@@ -1,0 +1,49 @@
+/// \file fig4_csr_element.cpp
+/// \brief Reproduces paper Figure 4: execution-time overheads of the ABFT
+/// techniques protecting *CSR elements* (value + column index), with row
+/// pointers and dense vectors left unprotected.
+///
+/// Paper series: SED, SECDED64, SECDED128, CRC32C across five platforms.
+/// Here: one CPU platform; SECDED128 has no per-element variant (the paper's
+/// element codeword is 96 bits), so the series is SED, SECDED, CRC32C with
+/// CRC32C measured in both software and hardware variants — the sw/hw split
+/// is the paper's Broadwell-vs-rest axis.
+#include <cstdio>
+
+#include "abft/abft.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  using namespace abft::bench;
+  const auto opts = BenchOptions::parse(argc, argv);
+  const auto cfg = make_config(opts);
+
+  print_workload(opts, "Figure 4: CSR element protection overheads");
+  print_table_header();
+
+  const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
+  print_row("none (baseline)", baseline, baseline);
+
+  print_row("sed", time_solve<ElemSed, RowNone, VecNone>(cfg, 1, opts.reps), baseline);
+  print_row("secded(96,88)",
+            time_solve<ElemSecded, RowNone, VecNone>(cfg, 1, opts.reps), baseline);
+
+  ecc::set_crc32c_impl(ecc::CrcImpl::software);
+  print_row("crc32c (software)",
+            time_solve<ElemCrc32c, RowNone, VecNone>(cfg, 1, opts.reps), baseline);
+  if (ecc::crc32c_hw_available()) {
+    ecc::set_crc32c_impl(ecc::CrcImpl::hardware);
+    print_row("crc32c (hardware)",
+              time_solve<ElemCrc32c, RowNone, VecNone>(cfg, 1, opts.reps), baseline);
+  } else {
+    std::printf("%-22s %10s\n", "crc32c (hardware)", "n/a (no SSE4.2)");
+  }
+  ecc::set_crc32c_impl(ecc::CrcImpl::auto_detect);
+
+  std::printf("\n# paper shape: SED cheapest on CPUs; SECDED and software CRC32C\n"
+              "# markedly more expensive; hardware CRC32C (instruction support)\n"
+              "# recovers much of the software-CRC cost (paper: 30%% full-matrix\n"
+              "# protection on Broadwell with hw CRC32C).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// \file fig6_sed_interval.cpp
+/// \brief Reproduces paper Figure 6: runtime overhead of protecting the
+/// whole CSR matrix (elements + row pointers) with SED, as a function of
+/// the integrity-check interval (checks every N-th CG iteration; other
+/// iterations only range-guard the indices).
+#include <cstdio>
+
+#include "abft/abft.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  using namespace abft::bench;
+  const auto opts = BenchOptions::parse(argc, argv);
+  const auto cfg = make_config(opts);
+
+  print_workload(opts, "Figure 6: whole-CSR SED overhead vs check interval");
+  std::printf("%-22s %12s %11s\n", "check interval", "solve time", "overhead");
+
+  const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
+  print_row("unprotected", baseline, baseline);
+  for (unsigned interval : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "every %u iter%s", interval,
+                  interval == 1 ? "" : "s");
+    print_row(label, time_solve<ElemSed, RowSed, VecNone>(cfg, interval, opts.reps),
+              baseline);
+  }
+
+  std::printf("\n# paper shape (Broadwell): checking every other iteration helps,\n"
+              "# then the curve flattens — the residual cost is the fixed range\n"
+              "# checking (branching) on the skip iterations.\n");
+  return 0;
+}

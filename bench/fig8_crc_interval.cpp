@@ -1,0 +1,49 @@
+/// \file fig8_crc_interval.cpp
+/// \brief Reproduces paper Figure 8: runtime overhead of protecting the
+/// whole CSR matrix with CRC32C vs integrity-check interval (paper
+/// platform: consumer GTX 1080 Ti; 88 % at every-iteration checking down to
+/// 1 % at every-128-iterations).
+#include <cstdio>
+
+#include "abft/abft.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  using namespace abft::bench;
+  const auto opts = BenchOptions::parse(argc, argv);
+  const auto cfg = make_config(opts);
+
+  print_workload(opts, "Figure 8: whole-CSR CRC32C overhead vs check interval");
+  std::printf("%-22s %12s %11s\n", "check interval", "solve time", "overhead");
+
+  const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
+  print_row("unprotected", baseline, baseline);
+
+  // Software CRC (closest to a platform without crc32 instructions).
+  ecc::set_crc32c_impl(ecc::CrcImpl::software);
+  for (unsigned interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "sw, every %u", interval);
+    print_row(label,
+              time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, interval, opts.reps),
+              baseline);
+  }
+  if (ecc::crc32c_hw_available()) {
+    ecc::set_crc32c_impl(ecc::CrcImpl::hardware);
+    for (unsigned interval : {1u, 16u, 128u}) {
+      char label[32];
+      std::snprintf(label, sizeof label, "hw, every %u", interval);
+      print_row(label,
+                time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, interval, opts.reps),
+                baseline);
+    }
+  }
+  ecc::set_crc32c_impl(ecc::CrcImpl::auto_detect);
+
+  std::printf("\n# paper shape: the steepest interval curve of the three codes —\n"
+              "# from ~88%% (every iteration) down to ~1%% (every 128) on the\n"
+              "# consumer GPU; the crossover to 'range checks dominate' happens\n"
+              "# at larger intervals than for SED/SECDED.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+/// \file full_protection.cpp
+/// \brief Reproduces the paper's §VII-B headline summary: overhead of fully
+/// protecting the whole solver state (CSR elements + row pointers + dense
+/// vectors), plus the additivity claim ("the overhead being approximately
+/// equal to the sum of the overheads of the two techniques") and the
+/// group-buffering ablation (§VI-C).
+#include <cstdio>
+
+#include "abft/abft.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::bench;
+
+/// Element-wise (unbuffered) AXPY: the RMW path the paper's group buffering
+/// removes. Used for the ablation below.
+template <class VS>
+void axpy_unbuffered(double alpha, ProtectedVector<VS>& x, ProtectedVector<VS>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y.store(i, y.load(i) + alpha * x.load(i));  // decode+encode per element
+  }
+}
+
+template <class VS>
+double time_axpy(bool buffered, std::size_t n, unsigned reps) {
+  ProtectedVector<VS> x(n), y(n);
+  fill(x, 1.25);
+  fill(y, 0.5);
+  TimingStats stats;
+  for (unsigned r = 0; r < reps; ++r) {
+    Timer t;
+    for (int k = 0; k < 20; ++k) {
+      if (buffered) {
+        axpy(1.0e-9, x, y);
+      } else {
+        axpy_unbuffered(1.0e-9, x, y);
+      }
+    }
+    stats.add(t.seconds());
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = BenchOptions::parse(argc, argv);
+  const auto cfg = make_config(opts);
+
+  print_workload(opts, "Full protection summary (paper §VII-B)");
+  print_table_header();
+
+  const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
+  print_row("none (baseline)", baseline, baseline);
+
+  // Headline rows: uniform schemes protecting everything.
+  print_row("full sed", time_solve<ElemSed, RowSed, VecSed>(cfg, 1, opts.reps), baseline);
+  const double full_secded =
+      time_solve<ElemSecded, RowSecded64, VecSecded64>(cfg, 1, opts.reps);
+  print_row("full secded64", full_secded, baseline);
+  print_row("full secded128",
+            time_solve<ElemSecded, RowSecded128, VecSecded128>(cfg, 1, opts.reps),
+            baseline);
+  print_row("full crc32c",
+            time_solve<ElemCrc32c, RowCrc32c, VecCrc32c>(cfg, 1, opts.reps), baseline);
+
+  // Mixed scheme the paper suggests: strong (correcting) code on the matrix,
+  // cheap detection on the vectors.
+  print_row("secded64 mtx + sed vec",
+            time_solve<ElemSecded, RowSecded64, VecSed>(cfg, 1, opts.reps), baseline);
+
+  // Additivity check: matrix-only + vectors-only vs full (paper: "the
+  // overhead being approximately equal to the sum of the overheads").
+  const double mtx_only =
+      time_solve<ElemSecded, RowSecded64, VecNone>(cfg, 1, opts.reps);
+  const double vec_only =
+      time_solve<ElemNone, RowNone, VecSecded64>(cfg, 1, opts.reps);
+  print_row("secded64 matrix only", mtx_only, baseline);
+  print_row("secded64 vectors only", vec_only, baseline);
+  const double predicted = baseline + (mtx_only - baseline) + (vec_only - baseline);
+  std::printf("%-22s %10.4f s   (sum-of-parts prediction for 'full secded64': "
+              "measured %+.1f %%, predicted %+.1f %%)\n",
+              "additivity check", predicted, (full_secded / baseline - 1.0) * 100.0,
+              (predicted / baseline - 1.0) * 100.0);
+
+  // Ablation: group write buffering vs element-wise RMW (paper §VI-C). The
+  // grouped CRC32C scheme (4 doubles per codeword) is where the RMW problem
+  // bites: an element-wise store must decode and re-encode the whole
+  // 4-element codeword per element, a 4x integrity-work amplification the
+  // buffered kernels eliminate by committing one full group per encode.
+  std::printf("\n# ablation: group-buffered writes vs per-element read-modify-write\n");
+  std::printf("# (20 AXPYs over %zu doubles, CRC32C-protected vectors, 4-wide groups)\n",
+              static_cast<std::size_t>(opts.nx * opts.ny));
+  const std::size_t n = opts.nx * opts.ny;
+  const double buffered = time_axpy<VecCrc32c>(true, n, opts.reps);
+  const double rmw = time_axpy<VecCrc32c>(false, n, opts.reps);
+  std::printf("buffered (group commits) %10.4f s\n", buffered);
+  std::printf("unbuffered (RMW/element) %10.4f s   (%.1fx slower)\n", rmw,
+              rmw / buffered);
+  // For completeness: with single-element codewords (SECDED64) there is no
+  // group to amortise, so both paths should be comparable.
+  const double buffered1 = time_axpy<VecSecded64>(true, n, opts.reps);
+  const double rmw1 = time_axpy<VecSecded64>(false, n, opts.reps);
+  std::printf("secded64 (1-wide codewords): buffered %.4f s, unbuffered %.4f s "
+              "(%.1fx)\n",
+              buffered1, rmw1, rmw1 / buffered1);
+
+  std::printf("\n# paper headline: full SECDED protection ~11%% overhead vs the\n"
+              "# 8.1%% hardware-ECC reference on the K40; SED + SECDED mixes can\n"
+              "# undercut that at reduced correction capability.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+/// \file harness.hpp
+/// \brief Shared harness for the figure-reproduction benchmarks.
+///
+/// Methodology (mirrors the paper §VII, adapted to one CPU node):
+///   - workload: the TeaLeaf deck the paper benchmarks (two-material
+///     2048x2048 problem, 5 timesteps) scaled by --nx/--ny/--steps;
+///   - a *fixed* iteration count per timestep (tolerance 0) so every
+///     protection scheme performs identical numerical work and the measured
+///     difference is purely the ABFT overhead;
+///   - the timed quantity is the solver time (the paper notes >98 % of
+///     TeaLeaf's runtime is the three solver kernels);
+///   - each configuration runs --reps times and the mean is reported, as in
+///     the paper ("all tests were run five times with the mean time taken");
+///   - overhead % is computed against the none/none/none baseline measured
+///     in the same binary run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+#include "common/timer.hpp"
+#include "tealeaf/deck.hpp"
+#include "tealeaf/driver.hpp"
+
+namespace abft::bench {
+
+struct BenchOptions {
+  std::size_t nx = 512;
+  std::size_t ny = 512;
+  unsigned steps = 2;
+  unsigned iters = 60;  ///< fixed CG iterations per timestep
+  unsigned reps = 3;    ///< min over reps is reported
+  /// Benchmarks default to a single thread: the relative ABFT overheads are
+  /// the measurement target, and on a shared host multi-threaded runs are
+  /// dominated by scheduler/bandwidth noise (the paper used dedicated
+  /// nodes). Pass --threads N to scale out.
+  unsigned threads = 1;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      auto grab = [&](const char* flag, auto& out) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          out = static_cast<std::remove_reference_t<decltype(out)>>(
+              std::strtoull(argv[++i], nullptr, 10));
+          return true;
+        }
+        return false;
+      };
+      if (grab("--nx", o.nx) || grab("--ny", o.ny) || grab("--steps", o.steps) ||
+          grab("--iters", o.iters) || grab("--reps", o.reps) ||
+          grab("--threads", o.threads)) {
+        continue;
+      }
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
+                    "[--threads N]\n",
+                    argv[0]);
+        std::exit(0);
+      }
+    }
+#if defined(_OPENMP)
+    omp_set_num_threads(static_cast<int>(o.threads == 0 ? 1 : o.threads));
+#endif
+    return o;
+  }
+};
+
+/// The paper's benchmark deck (two-material TeaLeaf problem) at the
+/// requested scale, with a fixed per-step iteration budget.
+inline tealeaf::Config make_config(const BenchOptions& o) {
+  tealeaf::Config cfg;
+  cfg.mesh = {.nx = o.nx, .ny = o.ny, .xmin = 0, .xmax = 10, .ymin = 0, .ymax = 10};
+  cfg.initial_timestep = 0.004;
+  cfg.end_step = o.steps;
+  cfg.tl_eps = 0.0;  // never converge early: fixed work per scheme
+  cfg.tl_max_iters = o.iters;
+  cfg.solver = tealeaf::SolverKind::cg;
+  cfg.states = {
+      tealeaf::State{.density = 100.0, .energy = 0.0001},
+      tealeaf::State{.density = 0.1,
+                     .energy = 25.0,
+                     .geometry = tealeaf::Geometry::rectangle,
+                     .xmin = 0.0,
+                     .xmax = 5.0,
+                     .ymin = 0.0,
+                     .ymax = 2.0},
+  };
+  return cfg;
+}
+
+/// Mean solver seconds over reps for one scheme combination. One untimed
+/// warm-up run (single timestep) precedes the measurements so the first
+/// configuration in a binary does not absorb page-fault / OpenMP thread
+/// spin-up costs.
+template <class ES, class RS, class VS>
+double time_solve(const tealeaf::Config& cfg, unsigned check_interval, unsigned reps) {
+  {
+    tealeaf::Config warm = cfg;
+    warm.end_step = 1;
+    tealeaf::Simulation<ES, RS, VS> sim(warm);
+    sim.set_check_interval(check_interval);
+    (void)sim.run();
+  }
+  TimingStats stats;
+  for (unsigned r = 0; r < reps; ++r) {
+    tealeaf::Simulation<ES, RS, VS> sim(cfg);
+    sim.set_check_interval(check_interval);
+    const auto result = sim.run();
+    stats.add(result.solve_seconds);
+  }
+  // The paper reports the mean of five runs on dedicated nodes; on a shared
+  // machine the minimum is the robust estimator of the compute cost (it
+  // strips scheduler noise, which is strictly additive).
+  return stats.min();
+}
+
+inline void print_workload(const BenchOptions& o, const char* what) {
+  std::printf("# %s\n", what);
+  std::printf("# workload: TeaLeaf CG, %zux%zu cells, %u timesteps, %u fixed "
+              "iterations/step, min of %u runs, %u thread(s)\n",
+              o.nx, o.ny, o.steps, o.iters, o.reps, o.threads);
+  std::printf("# (paper deck: 2048x2048, 5 timesteps; rerun with --nx 2048 --ny 2048 "
+              "--steps 5 for full scale)\n");
+}
+
+inline void print_row(const char* label, double seconds, double baseline) {
+  const double overhead = baseline > 0.0 ? (seconds / baseline - 1.0) * 100.0 : 0.0;
+  std::printf("%-22s %10.4f s   %+8.1f %%\n", label, seconds, overhead);
+}
+
+inline void print_table_header() {
+  std::printf("%-22s %12s %11s\n", "scheme", "solve time", "overhead");
+}
+
+}  // namespace abft::bench

@@ -1,0 +1,46 @@
+/// \file fault_campaign_demo.cpp
+/// \brief Compare protection schemes under fault injection: how many silent
+/// data corruptions does each scheme let through?
+///
+/// Usage: fault_campaign_demo [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "faults/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  using namespace abft::faults;
+
+  const unsigned trials =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10)) : 100;
+
+  std::printf("== fault-injection shoot-out: %u single-bit flips per scheme ==\n\n",
+              trials);
+
+  CampaignConfig cfg;
+  cfg.trials = trials;
+  cfg.target = Target::any;
+  cfg.model = FaultModel::single_flip;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.seed = 7;
+
+  std::printf("%-10s %10s %10s %10s %8s %6s\n", "scheme", "corrected", "detected",
+              "benign", "no-conv", "SDC");
+  for (auto scheme : ecc::kAllSchemes) {
+    cfg.scheme = scheme;
+    const auto res = run_injection_campaign(cfg);
+    std::printf("%-10s %10u %10u %10u %8u %6u\n",
+                std::string(ecc::to_string(scheme)).c_str(), res.detected_corrected,
+                res.detected_uncorrectable + res.bounds_caught, res.benign,
+                res.not_converged, res.sdc);
+  }
+
+  std::printf("\nReading: with no protection, flips into exponent bits silently\n"
+              "corrupt the solution (SDC) or break convergence. SED turns every\n"
+              "odd-weight flip into a detection (recoverable via restart);\n"
+              "SECDED and CRC32C repair the flip and the solve never notices.\n");
+  return 0;
+}

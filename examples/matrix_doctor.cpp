@@ -1,0 +1,101 @@
+/// \file matrix_doctor.cpp
+/// \brief CLI utility: protect a MatrixMarket file in memory, bombard it
+/// with bit flips, and report what the chosen scheme catches.
+///
+/// Usage: matrix_doctor <file.mtx|builtin> [scheme] [flips] [seed]
+///   file.mtx  MatrixMarket coordinate file, or "builtin" for a 64x64
+///             Laplacian test matrix
+///   scheme    none|sed|secded64|secded128|crc32c   (default secded64)
+///   flips     number of random single-bit flips    (default 50)
+///   seed      RNG seed                             (default 1)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "abft/abft.hpp"
+#include "faults/injector.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/io.hpp"
+#include "sparse/transform.hpp"
+
+namespace {
+
+using namespace abft;
+
+template <class ES, class RS>
+void doctor(const sparse::CsrMatrix& a, unsigned flips, std::uint64_t seed) {
+  FaultLog log;
+  auto p = ProtectedCsr<ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+  std::printf("encoded: %zu values, %zu column indices, %zu row pointers\n",
+              p.raw_values().size(), p.raw_cols().size(), p.raw_row_ptr().size());
+  std::printf("storage overhead: 0 bytes (redundancy lives in spare index bits)\n\n");
+
+  faults::Injector injector(seed);
+  unsigned in_values = 0, in_cols = 0, in_rows = 0;
+  for (unsigned f = 0; f < flips; ++f) {
+    const auto which = injector.rng().below(3);
+    if (which == 0) {
+      auto s = p.raw_values();
+      injector.inject_single({reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()});
+      ++in_values;
+    } else if (which == 1) {
+      auto s = p.raw_cols();
+      injector.inject_single({reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()});
+      ++in_cols;
+    } else {
+      auto s = p.raw_row_ptr();
+      injector.inject_single({reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()});
+      ++in_rows;
+    }
+  }
+  std::printf("injected %u flips (%u values, %u cols, %u row ptrs)\n", flips, in_values,
+              in_cols, in_rows);
+
+  const std::size_t failures = p.verify_all();
+  std::printf("verification sweep: %llu checks, %llu corrected, %llu uncorrectable, "
+              "%llu bounds hits\n",
+              static_cast<unsigned long long>(log.checks()),
+              static_cast<unsigned long long>(log.corrected()),
+              static_cast<unsigned long long>(log.uncorrectable()),
+              static_cast<unsigned long long>(log.bounds_violations()));
+
+  if (failures == 0 && log.corrected() > 0) {
+    // Confirm the repairs by decoding and comparing against the original.
+    const auto back = p.to_csr();
+    bool identical = back.values() == a.values() && back.cols() == a.cols() &&
+                     back.row_ptr() == a.row_ptr();
+    std::printf("matrix after repair %s the original\n",
+                identical ? "IDENTICAL to" : "DIFFERS from");
+  } else if (failures > 0) {
+    std::printf("=> %zu codewords need recovery (re-encode from checkpoint)\n", failures);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  if (argc < 2) {
+    std::printf("usage: %s <file.mtx|builtin> [scheme] [flips] [seed]\n", argv[0]);
+    return 2;
+  }
+  sparse::CsrMatrix a = std::strcmp(argv[1], "builtin") == 0
+                            ? sparse::laplacian_2d(64, 64)
+                            : sparse::read_matrix_market(argv[1]);
+  const auto scheme = parse_scheme(argc > 2 ? argv[2] : "secded64");
+  const unsigned flips =
+      argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 50;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  std::printf("== matrix_doctor: %zux%zu, %zu nnz, scheme %s ==\n", a.nrows(), a.ncols(),
+              a.nnz(), std::string(ecc::to_string(scheme)).c_str());
+
+  if (scheme == ecc::Scheme::crc32c) {
+    a = sparse::pad_rows_to_min_nnz(a, ElemCrc32c::kMinRowNnz);
+  }
+  dispatch_elem(scheme, [&]<class ES>() {
+    dispatch_row(scheme, [&]<class RS>() { doctor<ES, RS>(a, flips, seed); });
+  });
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file quickstart.cpp
+/// \brief Minimal tour of the public API: protect a sparse matrix and the
+/// solver vectors, flip a bit, and watch the solve survive.
+///
+/// Usage: quickstart [scheme]   (scheme: none|sed|secded64|secded128|crc32c)
+#include <cstdio>
+#include <exception>
+
+#include "abft/abft.hpp"
+#include "common/fault_log.hpp"
+#include "faults/injector.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/transform.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  const char* scheme_name = argc > 1 ? argv[1] : "secded64";
+  std::printf("== abftsolve quickstart (scheme: %s) ==\n", scheme_name);
+
+  // 1. Build a test problem: 5-point Laplacian, known solution u* = 1.
+  const std::size_t nx = 128, ny = 128;
+  sparse::CsrMatrix a = sparse::laplacian_2d(nx, ny);
+  a = sparse::pad_rows_to_min_nnz(a, 4);  // per-row CRC needs >= 4 nnz
+  const std::size_t n = a.nrows();
+  aligned_vector<double> ones(n, 1.0), rhs(n, 0.0);
+  sparse::spmv(a, ones.data(), rhs.data());
+  std::printf("matrix: %zux%zu, %zu non-zeros\n", a.nrows(), a.ncols(), a.nnz());
+
+  const ecc::Scheme scheme = parse_scheme(scheme_name);
+  FaultLog log;
+
+  // 2. Protect the matrix and the vectors with a uniform scheme, inject one
+  //    bit flip into the matrix values, and solve.
+  const auto run = [&]<class ES, class RS, class VS>() {
+    auto pa = ProtectedCsr<ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+    ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
+    ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
+    b.assign({rhs.data(), n});
+
+    faults::Injector injector(/*seed=*/7);
+    auto vals = pa.raw_values();
+    const auto fault = injector.inject_single(
+        {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()});
+    std::printf("injected a bit flip at bit offset %zu of the CSR value array\n",
+                fault.bit_offset);
+
+    solvers::SolveOptions opts;
+    opts.tolerance = 1e-12;
+    const auto res = solvers::cg_solve(pa, b, u, opts);
+
+    aligned_vector<double> got(n, 0.0);
+    u.extract(got);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = got[i] > 1.0 ? got[i] - 1.0 : 1.0 - got[i];
+      if (e > max_err) max_err = e;
+    }
+    std::printf("CG: %u iterations, converged=%s, max |u - 1| = %.3e\n",
+                res.iterations, res.converged ? "yes" : "no", max_err);
+  };
+  dispatch_elem(scheme, [&]<class ES>() {
+    dispatch_row(scheme, [&]<class RS>() {
+      dispatch_vec(scheme, [&]<class VS>() { run.template operator()<ES, RS, VS>(); });
+    });
+  });
+
+  // 3. Report what the protection layer saw.
+  std::printf("fault log: %llu checks, %llu corrected, %llu uncorrectable, "
+              "%llu bounds-guard hits\n",
+              static_cast<unsigned long long>(log.checks()),
+              static_cast<unsigned long long>(log.corrected()),
+              static_cast<unsigned long long>(log.uncorrectable()),
+              static_cast<unsigned long long>(log.bounds_violations()));
+  if (scheme == ecc::Scheme::none) {
+    std::printf("(no protection: the flip either landed harmlessly or silently "
+                "corrupted the answer above)\n");
+  }
+  return 0;
+}

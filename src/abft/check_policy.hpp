@@ -1,0 +1,50 @@
+/// \file check_policy.hpp
+/// \brief Less-frequent correctness checking (paper §VI-A2).
+///
+/// The sparse matrix does not change between CG iterations, so an error that
+/// appears in iteration t is still present at iteration t+N. Running the
+/// matrix integrity checks every N-th iteration amortises their cost, at the
+/// price of detecting the fault up to N-1 iterations late — which is why the
+/// paper recommends this mode for error-*detecting* codes only (a late
+/// correctable error may have already contaminated N-1 iterations, so the
+/// ability to correct is effectively lost). Iterations that skip the checks
+/// still range-guard all indices so corrupted offsets cannot segfault, and a
+/// mandatory whole-matrix verification runs at the end of every time-step.
+#pragma once
+
+#include <cstdint>
+
+namespace abft {
+
+/// Per-access verification level used by the protected kernels.
+enum class CheckMode : std::uint8_t {
+  full,         ///< decode + verify every codeword touched
+  bounds_only,  ///< skip integrity checks; only range-guard indices
+};
+
+/// Maps a CG iteration number to the CheckMode for that iteration.
+class CheckIntervalPolicy {
+ public:
+  /// \p interval = 1 checks every iteration (the paper's default);
+  /// N > 1 checks on iterations 0, N, 2N, ... and bounds-guards in between.
+  explicit constexpr CheckIntervalPolicy(unsigned interval = 1) noexcept
+      : interval_(interval == 0 ? 1 : interval) {}
+
+  [[nodiscard]] constexpr unsigned interval() const noexcept { return interval_; }
+
+  [[nodiscard]] constexpr CheckMode mode_for_iteration(std::uint64_t iter) const noexcept {
+    return (interval_ <= 1 || iter % interval_ == 0) ? CheckMode::full
+                                                     : CheckMode::bounds_only;
+  }
+
+  /// True when the policy ever skips checks; the solver must then run the
+  /// end-of-timestep full-matrix verification (paper §VI-A2).
+  [[nodiscard]] constexpr bool requires_final_sweep() const noexcept {
+    return interval_ > 1;
+  }
+
+ private:
+  unsigned interval_;
+};
+
+}  // namespace abft

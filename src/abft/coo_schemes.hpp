@@ -1,0 +1,214 @@
+/// \file coo_schemes.hpp
+/// \brief Protection schemes for Coordinate-format (COO) sparse matrices.
+///
+/// The ABFT lineage this paper extends (McIntosh-Smith et al. [13]) protected
+/// matrices stored in *either* COO or CSR; this header carries the COO side.
+/// A COO element is (64-bit value, 32-bit row, 32-bit column) = 128 bits,
+/// with the redundancy embedded in the top bits of the two index words:
+///
+///   - SED       : parity in row bit 31                  (rows  < 2^31);
+///   - SECDED128 : SECDED(128,120) — 8 check bits split across the two top
+///                 nibbles                               (rows, cols < 2^28);
+///   - CRC32C    : one checksum per group of 4 elements, 4 bits in each of
+///                 the 8 index top nibbles               (rows, cols < 2^28).
+///
+/// SECDED(128,120) is the exact 128-bit extended-Hamming codeword the paper
+/// calls "SECDED128": 120 data bits + 7 Hamming bits + overall parity.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/fault_log.hpp"
+#include "ecc/crc32c.hpp"
+#include "ecc/hamming.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/scheme.hpp"
+
+namespace abft {
+
+/// One COO element in its logical (decoded, masked) form.
+struct CooElement {
+  double value;
+  std::uint32_t row;
+  std::uint32_t col;
+};
+
+/// No protection (baseline).
+struct CooNone {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kIndexBits = 32;
+  static constexpr std::uint32_t kIndexMask = 0xFFFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
+
+  static void encode_group(double*, std::uint32_t*, std::uint32_t*) noexcept {}
+
+  [[nodiscard]] static CheckOutcome decode_group(double* values, std::uint32_t* rows,
+                                                 std::uint32_t* cols,
+                                                 CooElement* out) noexcept {
+    out[0] = {values[0], rows[0], cols[0]};
+    return CheckOutcome::ok;
+  }
+};
+
+/// SED over the 128-bit element; parity stored in the row's top bit.
+struct CooSed {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kIndexBits = 31;
+  static constexpr std::uint32_t kIndexMask = 0x7FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
+
+  static void encode_group(double* values, std::uint32_t* rows,
+                           std::uint32_t* cols) noexcept {
+    const std::uint32_t r = rows[0] & kIndexMask;
+    const std::uint32_t p =
+        parity64(double_to_bits(values[0])) ^ parity32(r) ^ parity32(cols[0]);
+    rows[0] = r | (p << 31);
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* values, std::uint32_t* rows,
+                                                 std::uint32_t* cols,
+                                                 CooElement* out) noexcept {
+    out[0] = {values[0], rows[0] & kIndexMask, cols[0]};
+    const std::uint32_t total =
+        parity64(double_to_bits(values[0])) ^ parity32(rows[0]) ^ parity32(cols[0]);
+    return total == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
+  }
+};
+
+/// SECDED(128,120): 64 value bits + 28 row bits + 28 col bits protected,
+/// 8 redundancy bits split across the two index top nibbles.
+struct CooSecded128 {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kIndexBits = 28;
+  static constexpr std::uint32_t kIndexMask = 0x0FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded128;
+  using Code = ecc::HammingSecded<120>;
+  static_assert(Code::kRedundancyBits == 8, "SECDED(128,120) uses exactly 8 spare bits");
+
+  static void encode_group(double* values, std::uint32_t* rows,
+                           std::uint32_t* cols) noexcept {
+    const std::uint32_t r = rows[0] & kIndexMask;
+    const std::uint32_t c = cols[0] & kIndexMask;
+    const std::uint32_t red = Code::encode(pack(double_to_bits(values[0]), r, c));
+    rows[0] = r | ((red & 0xF) << 28);
+    cols[0] = c | (((red >> 4) & 0xF) << 28);
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* values, std::uint32_t* rows,
+                                                 std::uint32_t* cols,
+                                                 CooElement* out) noexcept {
+    std::uint32_t r = rows[0] & kIndexMask;
+    std::uint32_t c = cols[0] & kIndexMask;
+    const std::uint32_t stored = ((rows[0] >> 28) & 0xF) | (((cols[0] >> 28) & 0xF) << 4);
+    Code::data_t data = pack(double_to_bits(values[0]), r, c);
+    const auto res = Code::check_and_correct(data, stored);
+    if (res.outcome == CheckOutcome::corrected) {
+      values[0] = bits_to_double(data[0]);
+      r = static_cast<std::uint32_t>(data[1] & kIndexMask);
+      c = static_cast<std::uint32_t>((data[1] >> 28) & kIndexMask);
+      rows[0] = r | ((res.fixed_redundancy & 0xF) << 28);
+      cols[0] = c | (((res.fixed_redundancy >> 4) & 0xF) << 28);
+    }
+    out[0] = {values[0], r, c};
+    return res.outcome;
+  }
+
+ private:
+  [[nodiscard]] static constexpr Code::data_t pack(std::uint64_t vbits, std::uint32_t r,
+                                                   std::uint32_t c) noexcept {
+    return {vbits, static_cast<std::uint64_t>(r) | (static_cast<std::uint64_t>(c) << 28)};
+  }
+};
+
+/// CRC32C over a group of 4 COO elements; the 32-bit checksum is split 4
+/// bits into each of the group's 8 index top nibbles.
+struct CooCrc32c {
+  static constexpr std::size_t kGroup = 4;
+  static constexpr unsigned kIndexBits = 28;
+  static constexpr std::uint32_t kIndexMask = 0x0FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
+  static constexpr std::size_t kBytesPerElement = 16;
+
+  static void encode_group(double* values, std::uint32_t* rows,
+                           std::uint32_t* cols) noexcept {
+    const std::uint32_t crc = group_crc(values, rows, cols);
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      rows[e] = (rows[e] & kIndexMask) | (((crc >> (8 * e)) & 0xF) << 28);
+      cols[e] = (cols[e] & kIndexMask) | (((crc >> (8 * e + 4)) & 0xF) << 28);
+    }
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* values, std::uint32_t* rows,
+                                                 std::uint32_t* cols,
+                                                 CooElement* out) noexcept {
+    std::uint32_t stored = 0;
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      stored |= ((rows[e] >> 28) & 0xF) << (8 * e);
+      stored |= ((cols[e] >> 28) & 0xF) << (8 * e + 4);
+    }
+    const std::uint32_t actual = group_crc(values, rows, cols);
+    CheckOutcome outcome = CheckOutcome::ok;
+    if (actual != stored) {
+      outcome = correct(values, rows, cols, stored) ? CheckOutcome::corrected
+                                                    : CheckOutcome::uncorrectable;
+      if (outcome == CheckOutcome::corrected) {
+        const std::uint32_t crc = group_crc(values, rows, cols);
+        for (std::size_t e = 0; e < kGroup; ++e) {
+          rows[e] = (rows[e] & kIndexMask) | (((crc >> (8 * e)) & 0xF) << 28);
+          cols[e] = (cols[e] & kIndexMask) | (((crc >> (8 * e + 4)) & 0xF) << 28);
+        }
+      }
+    }
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      out[e] = {values[e], rows[e] & kIndexMask, cols[e] & kIndexMask};
+    }
+    return outcome;
+  }
+
+ private:
+  static void pack(const double* values, const std::uint32_t* rows,
+                   const std::uint32_t* cols, std::uint8_t* buffer) noexcept {
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      const std::uint64_t vbits = double_to_bits(values[e]);
+      const std::uint32_t r = rows[e] & kIndexMask;
+      const std::uint32_t c = cols[e] & kIndexMask;
+      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
+      std::memcpy(buffer + e * kBytesPerElement + 8, &r, 4);
+      std::memcpy(buffer + e * kBytesPerElement + 12, &c, 4);
+    }
+  }
+
+  [[nodiscard]] static std::uint32_t group_crc(const double* values,
+                                               const std::uint32_t* rows,
+                                               const std::uint32_t* cols) noexcept {
+    std::uint8_t buffer[kGroup * kBytesPerElement];
+    pack(values, rows, cols, buffer);
+    return ecc::crc32c(buffer, sizeof(buffer));
+  }
+
+  [[nodiscard]] static bool correct(double* values, std::uint32_t* rows,
+                                    std::uint32_t* cols, std::uint32_t stored) noexcept {
+    std::uint8_t buffer[kGroup * kBytesPerElement];
+    pack(values, rows, cols, buffer);
+    if (std::popcount(ecc::crc32c(buffer, sizeof(buffer)) ^ stored) == 1) return true;
+    const auto res = ecc::crc32c_correct_single_bit(buffer, stored);
+    if (!res.corrected) return false;
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      std::uint64_t vbits;
+      std::uint32_t r, c;
+      std::memcpy(&vbits, buffer + e * kBytesPerElement, 8);
+      std::memcpy(&r, buffer + e * kBytesPerElement + 8, 4);
+      std::memcpy(&c, buffer + e * kBytesPerElement + 12, 4);
+      values[e] = bits_to_double(vbits);
+      rows[e] = (rows[e] & ~kIndexMask) | (r & kIndexMask);
+      cols[e] = (cols[e] & ~kIndexMask) | (c & kIndexMask);
+    }
+    return true;
+  }
+};
+
+}  // namespace abft

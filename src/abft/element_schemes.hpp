@@ -1,0 +1,211 @@
+/// \file element_schemes.hpp
+/// \brief Protection schemes for CSR elements (paper §VI-A, Fig. 1).
+///
+/// A CSR element pairs the 64-bit double value v[k] with the 32-bit column
+/// index y[k] at the same position, forming a 96-bit structure. Redundancy
+/// is stored in the unused top bits of the column index:
+///
+///   - SED    : parity in column bit 31            (matrix <= 2^31-1 columns);
+///   - SECDED : SECDED(96,88), 8 redundancy bits in
+///              column bits 24..31                 (matrix <= 2^24-1 columns);
+///   - CRC32C : one 32-bit checksum per *matrix row*, split 8 bits into the
+///              top byte of the first four elements of the row — rows
+///              therefore need >= 4 non-zeros (TeaLeaf's 5-point stencil
+///              satisfies this; sparse::pad_rows_to_min_nnz() fixes up
+///              general matrices).
+///
+/// Per-element schemes expose decode(); the row-granular CRC exposes
+/// encode_row()/decode_row(). The ProtectedCsr container dispatches with
+/// `if constexpr (Scheme::kRowGranular)`.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/fault_log.hpp"
+#include "ecc/crc32c.hpp"
+#include "ecc/hamming.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/scheme.hpp"
+
+namespace abft {
+
+/// No protection (baseline).
+struct ElemNone {
+  static constexpr bool kRowGranular = false;
+  static constexpr unsigned kColBits = 32;
+  static constexpr std::uint32_t kColMask = 0xFFFFFFFFu;
+  static constexpr std::size_t kMinRowNnz = 0;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
+
+  static void encode(double&, std::uint32_t&) noexcept {}
+
+  [[nodiscard]] static CheckOutcome decode(double& value, std::uint32_t& col,
+                                           double& v_out, std::uint32_t& c_out) noexcept {
+    v_out = value;
+    c_out = col;
+    return CheckOutcome::ok;
+  }
+};
+
+/// SED over one 96-bit CSR element (Fig. 1a): parity in column bit 31.
+struct ElemSed {
+  static constexpr bool kRowGranular = false;
+  static constexpr unsigned kColBits = 31;
+  static constexpr std::uint32_t kColMask = 0x7FFFFFFFu;
+  static constexpr std::size_t kMinRowNnz = 0;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
+
+  static void encode(double& value, std::uint32_t& col) noexcept {
+    const std::uint64_t vbits = double_to_bits(value);
+    const std::uint32_t c = col & kColMask;
+    col = c | (ecc::sed_parity96(vbits, c) << 31);
+  }
+
+  [[nodiscard]] static CheckOutcome decode(double& value, std::uint32_t& col,
+                                           double& v_out, std::uint32_t& c_out) noexcept {
+    v_out = value;
+    c_out = col & kColMask;
+    const std::uint32_t total =
+        parity64(double_to_bits(value)) ^ parity32(col);
+    return total == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
+  }
+};
+
+/// SECDED(96,88) over one CSR element (Fig. 1b): 64 value bits + 24 column
+/// bits protected; 8 redundancy bits in the column's top byte.
+struct ElemSecded {
+  static constexpr bool kRowGranular = false;
+  static constexpr unsigned kColBits = 24;
+  static constexpr std::uint32_t kColMask = 0x00FFFFFFu;
+  static constexpr std::size_t kMinRowNnz = 0;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
+  using Code = ecc::HammingSecded<88>;
+  static_assert(Code::kRedundancyBits == 8);
+
+  static void encode(double& value, std::uint32_t& col) noexcept {
+    const std::uint64_t vbits = double_to_bits(value);
+    const std::uint32_t c = col & kColMask;
+    const std::uint32_t red = Code::encode({vbits, c});
+    col = c | (red << 24);
+  }
+
+  [[nodiscard]] static CheckOutcome decode(double& value, std::uint32_t& col,
+                                           double& v_out, std::uint32_t& c_out) noexcept {
+    Code::data_t data{double_to_bits(value), col & kColMask};
+    const auto res = Code::check_and_correct(data, col >> 24);
+    if (res.outcome == CheckOutcome::corrected) {
+      value = bits_to_double(data[0]);
+      col = static_cast<std::uint32_t>(data[1] & kColMask) | (res.fixed_redundancy << 24);
+    }
+    v_out = bits_to_double(data[0]);
+    c_out = static_cast<std::uint32_t>(data[1] & kColMask);
+    return res.outcome;
+  }
+};
+
+/// CRC32C over a whole CSR row (Fig. 1c): the checksum of the row's
+/// (value, masked column) stream is split one byte into the top byte of each
+/// of the first four elements' column indices.
+struct ElemCrc32c {
+  static constexpr bool kRowGranular = true;
+  static constexpr unsigned kColBits = 24;
+  static constexpr std::uint32_t kColMask = 0x00FFFFFFu;
+  static constexpr std::size_t kMinRowNnz = 4;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
+
+  /// Bytes of codeword per element (8 value bytes + 4 masked column bytes).
+  static constexpr std::size_t kBytesPerElement = 12;
+
+  static void encode_row(double* values, std::uint32_t* cols, std::size_t nnz) noexcept {
+    const std::uint32_t crc = row_crc(values, cols, nnz);
+    for (std::size_t e = 0; e < 4 && e < nnz; ++e) {
+      cols[e] = (cols[e] & kColMask) | (((crc >> (8 * e)) & 0xFF) << 24);
+    }
+    for (std::size_t e = 4; e < nnz; ++e) cols[e] &= kColMask;
+  }
+
+  /// Verify (and on mismatch brute-force correct) one row in place. Column
+  /// reads after a clean decode must still be masked with kColMask.
+  [[nodiscard]] static CheckOutcome decode_row(double* values, std::uint32_t* cols,
+                                               std::size_t nnz) noexcept {
+    const std::uint32_t actual = row_crc(values, cols, nnz);
+    std::uint32_t stored = 0;
+    for (std::size_t e = 0; e < 4 && e < nnz; ++e) {
+      stored |= static_cast<std::uint32_t>(cols[e] >> 24) << (8 * e);
+    }
+    if (actual == stored) return CheckOutcome::ok;
+    return correct_row(values, cols, nnz, stored) ? CheckOutcome::corrected
+                                                  : CheckOutcome::uncorrectable;
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t row_crc(const double* values, const std::uint32_t* cols,
+                                             std::size_t nnz) noexcept {
+    // Assemble the row codeword contiguously and checksum it in one pass —
+    // one CRC call per row instead of two per element keeps the hardware
+    // path's advantage (the crc32 instruction pipelines across the buffer).
+    constexpr std::size_t kStackElements = 64;
+    if (nnz <= kStackElements) [[likely]] {
+      std::uint8_t buffer[kStackElements * kBytesPerElement];
+      pack_row(values, cols, nnz, buffer);
+      return ecc::crc32c(buffer, nnz * kBytesPerElement);
+    }
+    ecc::Crc32cAccumulator acc;
+    for (std::size_t e = 0; e < nnz; ++e) {
+      acc.update_u64(double_to_bits(values[e]));
+      acc.update_u32(cols[e] & kColMask);
+    }
+    return acc.value();
+  }
+
+  static void pack_row(const double* values, const std::uint32_t* cols, std::size_t nnz,
+                       std::uint8_t* buffer) noexcept {
+    for (std::size_t e = 0; e < nnz; ++e) {
+      const std::uint64_t vbits = double_to_bits(values[e]);
+      const std::uint32_t c = cols[e] & kColMask;
+      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
+      std::memcpy(buffer + e * kBytesPerElement + 8, &c, 4);
+    }
+  }
+
+  /// Cold recovery path: assemble the row codeword into a byte buffer and try
+  /// single-bit flips (plus the flip-in-stored-checksum case).
+  [[nodiscard]] static bool correct_row(double* values, std::uint32_t* cols,
+                                        std::size_t nnz, std::uint32_t stored) noexcept {
+    constexpr std::size_t kMaxRow = 512;  // stack buffer bound: 512 nnz per row
+    if (nnz > kMaxRow) return false;
+    std::uint8_t buffer[kMaxRow * kBytesPerElement];
+    for (std::size_t e = 0; e < nnz; ++e) {
+      const std::uint64_t vbits = double_to_bits(values[e]);
+      const std::uint32_t c = cols[e] & kColMask;
+      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
+      std::memcpy(buffer + e * kBytesPerElement + 8, &c, 4);
+    }
+    const auto res = ecc::crc32c_correct_single_bit(
+        {buffer, nnz * kBytesPerElement}, stored);
+    if (!res.corrected) return false;
+
+    if (res.flipped_bit < 0) {
+      // The flip was in the stored checksum bytes: rewrite them from the
+      // (intact) data.
+      encode_row(values, cols, nnz);
+      return true;
+    }
+    // Write the repaired element back and refresh the stored checksum bytes
+    // (unchanged, but cheap and keeps the path simple).
+    const std::size_t e = static_cast<std::size_t>(res.flipped_bit) / (8 * kBytesPerElement);
+    std::uint64_t vbits = 0;
+    std::uint32_t c = 0;
+    std::memcpy(&vbits, buffer + e * kBytesPerElement, 8);
+    std::memcpy(&c, buffer + e * kBytesPerElement + 8, 4);
+    values[e] = bits_to_double(vbits);
+    cols[e] = (cols[e] & ~kColMask) | (c & kColMask);
+    return true;
+  }
+};
+
+}  // namespace abft

@@ -1,0 +1,178 @@
+/// \file protected_coo.hpp
+/// \brief COO sparse matrix with embedded redundancy (the format the ABFT
+/// lineage protected alongside CSR; see coo_schemes.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "abft/coo_schemes.hpp"
+#include "abft/error_capture.hpp"
+#include "common/aligned.hpp"
+#include "common/fault_log.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace abft {
+
+/// Protected COO matrix. Storage is three parallel arrays (values, rows,
+/// cols) padded to a whole number of codeword groups; padding elements are
+/// (0.0, 0, 0) and participate in their group's codeword.
+template <class CS>
+class ProtectedCoo {
+ public:
+  using scheme_type = CS;
+  using index_type = std::uint32_t;
+
+  ProtectedCoo() = default;
+
+  /// Encode from a CSR matrix (the natural assembly output).
+  static ProtectedCoo from_csr(const sparse::CsrMatrix& a, FaultLog* log = nullptr,
+                               DuePolicy policy = DuePolicy::throw_exception) {
+    a.validate();
+    if ((a.nrows() > 0 && a.nrows() - 1 > CS::kIndexMask) ||
+        (a.ncols() > 0 && a.ncols() - 1 > CS::kIndexMask)) {
+      throw std::invalid_argument(
+          "ProtectedCoo: matrix dimensions exceed the scheme's index range (max " +
+          std::to_string(static_cast<std::uint64_t>(CS::kIndexMask) + 1) + ")");
+    }
+    ProtectedCoo p;
+    p.nrows_ = a.nrows();
+    p.ncols_ = a.ncols();
+    p.nnz_ = a.nnz();
+    p.log_ = log;
+    p.policy_ = policy;
+    const std::size_t padded = (a.nnz() + CS::kGroup - 1) / CS::kGroup * CS::kGroup;
+    p.values_.assign(padded, 0.0);
+    p.rows_.assign(padded, 0);
+    p.cols_.assign(padded, 0);
+    for (std::size_t r = 0; r < a.nrows(); ++r) {
+      for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+        p.values_[k] = a.values()[k];
+        p.rows_[k] = static_cast<index_type>(r);
+        p.cols_[k] = a.cols()[k];
+      }
+    }
+    for (std::size_t g = 0; g < padded / CS::kGroup; ++g) {
+      CS::encode_group(p.values_.data() + g * CS::kGroup, p.rows_.data() + g * CS::kGroup,
+                       p.cols_.data() + g * CS::kGroup);
+    }
+    return p;
+  }
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] std::size_t groups() const noexcept { return values_.size() / CS::kGroup; }
+  [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
+  [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
+
+  [[nodiscard]] std::span<double> raw_values() noexcept { return values_; }
+  [[nodiscard]] std::span<index_type> raw_rows() noexcept { return rows_; }
+  [[nodiscard]] std::span<index_type> raw_cols() noexcept { return cols_; }
+
+  /// Checked element read (decodes the containing group).
+  [[nodiscard]] CooElement element_at(std::size_t k) {
+    CooElement out[CS::kGroup];
+    const std::size_t g = k / CS::kGroup;
+    const auto outcome = decode_group(g, out);
+    handle(outcome, g);
+    return out[k % CS::kGroup];
+  }
+
+  /// Full integrity sweep; corrections are applied in place. Returns the
+  /// number of uncorrectable groups.
+  std::size_t verify_all() {
+    std::size_t failures = 0;
+    CooElement out[CS::kGroup];
+    for (std::size_t g = 0; g < groups(); ++g) {
+      const auto outcome = decode_group(g, out);
+      if (log_ != nullptr) {
+        log_->add_checks();
+        log_->record(Region::csr_values, outcome, g);
+      }
+      if (outcome == CheckOutcome::uncorrectable) ++failures;
+    }
+    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(Region::csr_values, 0);
+    }
+    return failures;
+  }
+
+  /// y = A x with full integrity checking. Indices decoded from corrupted
+  /// groups are range-guarded so a DUE cannot fault the kernel.
+  ///
+  /// COO products scatter into y, so the kernel is serial over groups (the
+  /// CSR path is the performance-oriented one; COO protection exists for
+  /// format completeness, as in the prior ABFT work).
+  void spmv(std::span<const double> x, std::span<double> y) {
+    if (x.size() != ncols_ || y.size() != nrows_) {
+      throw std::invalid_argument("ProtectedCoo::spmv: dimension mismatch");
+    }
+    ErrorCapture capture;
+    for (auto& v : y) v = 0.0;
+    CooElement out[CS::kGroup];
+    for (std::size_t g = 0; g < groups(); ++g) {
+      const auto outcome = decode_group(g, out);
+      capture.add_checks(1);
+      capture.record(Region::csr_values, outcome, g);
+      for (std::size_t e = 0; e < CS::kGroup; ++e) {
+        const std::size_t k = g * CS::kGroup + e;
+        if (k >= nnz_) break;
+        if (out[e].row >= nrows_ || out[e].col >= ncols_) {
+          capture.record_bounds(Region::csr_cols, k);
+          continue;
+        }
+        y[out[e].row] += out[e].value * x[out[e].col];
+      }
+    }
+    capture.commit(log_, policy_);
+  }
+
+  /// Decode everything back to CSR (checks every group).
+  [[nodiscard]] sparse::CsrMatrix to_csr() {
+    sparse::CooMatrix coo(nrows_, ncols_);
+    coo.reserve(nnz_);
+    CooElement out[CS::kGroup];
+    for (std::size_t g = 0; g < groups(); ++g) {
+      const auto outcome = decode_group(g, out);
+      handle(outcome, g);
+      for (std::size_t e = 0; e < CS::kGroup; ++e) {
+        const std::size_t k = g * CS::kGroup + e;
+        if (k >= nnz_) break;
+        coo.add(out[e].row, out[e].col, out[e].value);
+      }
+    }
+    return coo.to_csr();
+  }
+
+ private:
+  [[nodiscard]] CheckOutcome decode_group(std::size_t g, CooElement* out) noexcept {
+    return CS::decode_group(values_.data() + g * CS::kGroup, rows_.data() + g * CS::kGroup,
+                            cols_.data() + g * CS::kGroup, out);
+  }
+
+  void handle(CheckOutcome outcome, std::size_t group) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(Region::csr_values, outcome, group);
+    }
+    if (outcome == CheckOutcome::uncorrectable && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(Region::csr_values, group);
+    }
+  }
+
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::size_t nnz_ = 0;
+  aligned_vector<double> values_;
+  aligned_vector<index_type> rows_;
+  aligned_vector<index_type> cols_;
+  FaultLog* log_ = nullptr;
+  DuePolicy policy_ = DuePolicy::throw_exception;
+};
+
+}  // namespace abft

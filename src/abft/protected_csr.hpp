@@ -1,0 +1,313 @@
+/// \file protected_csr.hpp
+/// \brief CSR matrix whose three vectors all carry embedded redundancy
+/// (paper §VI-A): elements via an element scheme (Fig. 1), the row-pointer
+/// vector via a row scheme (Fig. 2). Zero additional storage is used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "abft/element_schemes.hpp"
+#include "abft/error_capture.hpp"
+#include "abft/row_schemes.hpp"
+#include "common/aligned.hpp"
+#include "common/fault_log.hpp"
+#include "sparse/csr.hpp"
+
+namespace abft {
+
+/// Sparse matrix in CSR format, fully protected with no storage overhead.
+///
+/// \tparam ES element scheme (ElemNone / ElemSed / ElemSecded / ElemCrc32c)
+/// \tparam RS row-pointer scheme (RowNone / RowSed / RowSecded64 /
+///            RowSecded128 / RowCrc32c)
+///
+/// The matrix is immutable after construction (the paper exploits exactly
+/// this: during a time-step's CG solve the matrix never changes, §V-A), so
+/// encoding happens once in from_csr(). Reads go through the decoding
+/// accessors; SECDED corrections are written back in place.
+template <class ES, class RS>
+class ProtectedCsr {
+ public:
+  using elem_scheme = ES;
+  using row_scheme = RS;
+  using index_type = std::uint32_t;
+
+  ProtectedCsr() = default;
+
+  /// Encode \p a. Throws std::invalid_argument when the matrix violates the
+  /// scheme's index-range constraints (paper: SED needs < 2^31 columns,
+  /// SECDED/CRC < 2^24; grouped row schemes need NNZ < 2^28; per-row CRC
+  /// needs >= 4 non-zeros per row — see sparse::pad_rows_to_min_nnz).
+  static ProtectedCsr from_csr(const sparse::CsrMatrix& a, FaultLog* log = nullptr,
+                               DuePolicy policy = DuePolicy::throw_exception) {
+    a.validate();
+    if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
+      throw std::invalid_argument(
+          "ProtectedCsr: matrix has too many columns for the element scheme (max " +
+          std::to_string(static_cast<std::uint64_t>(ES::kColMask) + 1) + ")");
+    }
+    if (a.nnz() > RS::kValueMask) {
+      throw std::invalid_argument(
+          "ProtectedCsr: matrix has too many non-zeros for the row scheme (max " +
+          std::to_string(RS::kValueMask) + ")");
+    }
+    if constexpr (ES::kMinRowNnz > 0) {
+      for (std::size_t r = 0; r < a.nrows(); ++r) {
+        if (a.row_nnz(r) < ES::kMinRowNnz) {
+          throw std::invalid_argument(
+              "ProtectedCsr: row " + std::to_string(r) + " has fewer than " +
+              std::to_string(ES::kMinRowNnz) +
+              " non-zeros required by the per-row CRC scheme; "
+              "pad the matrix with sparse::pad_rows_to_min_nnz()");
+        }
+      }
+    }
+
+    ProtectedCsr p;
+    p.nrows_ = a.nrows();
+    p.ncols_ = a.ncols();
+    p.nnz_ = a.nnz();
+    p.log_ = log;
+    p.policy_ = policy;
+    p.values_.assign(a.values().begin(), a.values().end());
+    p.cols_.assign(a.cols().begin(), a.cols().end());
+
+    // Row pointers: pad the storage to a whole number of groups; padding
+    // entries hold NNZ (a valid offset) so every group encodes cleanly.
+    const std::size_t len = a.nrows() + 1;
+    const std::size_t padded = (len + RS::kGroup - 1) / RS::kGroup * RS::kGroup;
+    p.row_ptr_.assign(padded, static_cast<index_type>(a.nnz()));
+    for (std::size_t i = 0; i < len; ++i) p.row_ptr_[i] = a.row_ptr()[i];
+    for (std::size_t g = 0; g < padded / RS::kGroup; ++g) {
+      index_type group[RS::kGroup];
+      for (std::size_t e = 0; e < RS::kGroup; ++e) group[e] = p.row_ptr_[g * RS::kGroup + e];
+      RS::encode_group(group, p.row_ptr_.data() + g * RS::kGroup);
+    }
+
+    // Elements.
+    if constexpr (ES::kRowGranular) {
+      for (std::size_t r = 0; r < p.nrows_; ++r) {
+        const auto begin = a.row_ptr()[r];
+        const auto end = a.row_ptr()[r + 1];
+        ES::encode_row(p.values_.data() + begin, p.cols_.data() + begin, end - begin);
+      }
+    } else {
+      for (std::size_t k = 0; k < p.nnz_; ++k) {
+        ES::encode(p.values_[k], p.cols_[k]);
+      }
+    }
+    return p;
+  }
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
+  [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
+
+  /// Raw storage, exposed for the kernels and for fault injection.
+  [[nodiscard]] double* values_data() noexcept { return values_.data(); }
+  [[nodiscard]] index_type* cols_data() noexcept { return cols_.data(); }
+  [[nodiscard]] std::span<double> raw_values() noexcept { return values_; }
+  [[nodiscard]] std::span<index_type> raw_cols() noexcept { return cols_; }
+  [[nodiscard]] std::span<index_type> raw_row_ptr() noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const index_type> raw_row_ptr() const noexcept { return row_ptr_; }
+
+  /// Checked row-pointer read (slow path; kernels use RowPtrReader).
+  [[nodiscard]] index_type row_ptr_at(std::size_t i) {
+    index_type group[RS::kGroup];
+    const std::size_t g = i / RS::kGroup;
+    const auto outcome = RS::decode_group(row_ptr_.data() + g * RS::kGroup, group);
+    handle(Region::csr_row_ptr, outcome, g);
+    return group[i % RS::kGroup];
+  }
+
+  /// Unchecked masked row-pointer read for check-interval skip iterations;
+  /// the caller must range-guard the result against nnz() (paper §VI-A2).
+  [[nodiscard]] index_type row_ptr_bounds_only(std::size_t i) const noexcept {
+    return row_ptr_[i] & RS::kValueMask;
+  }
+
+  /// Checked element read (slow path; kernels iterate rows directly).
+  /// For the row-granular CRC scheme this verifies the whole containing row.
+  struct Element {
+    double value;
+    index_type col;
+  };
+
+  [[nodiscard]] Element element_at(std::size_t r, std::size_t k) {
+    if constexpr (ES::kRowGranular) {
+      const index_type begin = row_ptr_at(r);
+      const index_type end = row_ptr_at(r + 1);
+      const auto outcome =
+          ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
+      handle(Region::csr_values, outcome, r);
+      return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
+    } else {
+      double v;
+      index_type c;
+      const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+      handle(Region::csr_values, outcome, k);
+      return {v, c};
+    }
+  }
+
+  /// Full-matrix integrity sweep (paper: run at the end of every time-step
+  /// in check-interval mode so no error escapes unnoticed). Returns the
+  /// number of uncorrectable codewords; corrections are applied in place.
+  std::size_t verify_all() {
+    std::size_t failures = 0;
+    // Row pointers.
+    for (std::size_t g = 0; g < row_ptr_.size() / RS::kGroup; ++g) {
+      index_type group[RS::kGroup];
+      const auto outcome = RS::decode_group(row_ptr_.data() + g * RS::kGroup, group);
+      failures += count_and_log(Region::csr_row_ptr, outcome, g);
+    }
+    // Elements: iterate rows through the (just verified) row pointers, but
+    // guard the offsets so a DUE in the row pointers cannot fault us.
+    std::size_t prev_end = 0;
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      std::size_t begin = row_ptr_[r] & RS::kValueMask;
+      std::size_t end = row_ptr_[r + 1] & RS::kValueMask;
+      if (begin > end || end > nnz_) {
+        if (log_ != nullptr) log_->record_bounds_violation(Region::csr_row_ptr, r);
+        ++failures;
+        begin = end = prev_end;
+      }
+      prev_end = end;
+      if constexpr (ES::kRowGranular) {
+        const auto outcome =
+            ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
+        failures += count_and_log(Region::csr_values, outcome, r);
+      } else {
+        for (std::size_t k = begin; k < end; ++k) {
+          double v;
+          index_type c;
+          const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+          failures += count_and_log(Region::csr_values, outcome, k);
+        }
+      }
+    }
+    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(Region::csr_values, 0);
+    }
+    return failures;
+  }
+
+  /// Decode back into an unprotected CSR matrix (checks everything).
+  [[nodiscard]] sparse::CsrMatrix to_csr() {
+    sparse::CsrMatrix out(nrows_, ncols_);
+    out.reserve(nnz_);
+    auto& row_ptr = out.row_ptr();
+    auto& cols = out.cols();
+    auto& values = out.values();
+    for (std::size_t i = 0; i <= nrows_; ++i) row_ptr[i] = row_ptr_at(i);
+    values.resize(nnz_);
+    cols.resize(nnz_);
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      const index_type begin = row_ptr[r];
+      const index_type end = row_ptr[r + 1];
+      if constexpr (ES::kRowGranular) {
+        const auto outcome =
+            ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
+        handle(Region::csr_values, outcome, r);
+      }
+      for (index_type k = begin; k < end; ++k) {
+        if constexpr (ES::kRowGranular) {
+          values[k] = values_[k];
+          cols[k] = cols_[k] & ES::kColMask;
+        } else {
+          double v;
+          index_type c;
+          const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+          handle(Region::csr_values, outcome, k);
+          values[k] = v;
+          cols[k] = c;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Route a check outcome to the log / policy (slow paths only).
+  void handle(Region region, CheckOutcome outcome, std::size_t index) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(region, outcome, index);
+    }
+    if (outcome == CheckOutcome::uncorrectable && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(region, index);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t count_and_log(Region region, CheckOutcome outcome,
+                                          std::size_t index) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(region, outcome, index);
+    }
+    return outcome == CheckOutcome::uncorrectable ? 1 : 0;
+  }
+
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::size_t nnz_ = 0;
+  aligned_vector<double> values_;
+  aligned_vector<index_type> cols_;
+  aligned_vector<index_type> row_ptr_;
+  FaultLog* log_ = nullptr;
+  DuePolicy policy_ = DuePolicy::throw_exception;
+};
+
+/// Cached decoder for the protected row-pointer vector (one group cached —
+/// CG's SpMV walks rows in order, so r and r+1 usually share a group).
+/// Thread-private; errors are deferred through an ErrorCapture.
+template <class ES, class RS>
+class RowPtrReader {
+ public:
+  explicit RowPtrReader(ProtectedCsr<ES, RS>& m, ErrorCapture* capture) noexcept
+      : m_(&m), capture_(capture) {}
+
+  ~RowPtrReader() { flush_checks(); }
+  RowPtrReader(const RowPtrReader&) = delete;
+  RowPtrReader& operator=(const RowPtrReader&) = delete;
+
+  /// Checked, masked row-pointer value.
+  [[nodiscard]] std::uint32_t get(std::size_t i) {
+    const std::size_t g = i / RS::kGroup;
+    if (g != cached_group_) {
+      const auto outcome =
+          RS::decode_group(m_->raw_row_ptr().data() + g * RS::kGroup, decoded_);
+      ++local_checks_;
+      capture_->record(Region::csr_row_ptr, outcome, g);
+      cached_group_ = g;
+    }
+    return decoded_[i % RS::kGroup];
+  }
+
+  /// Masked-only value for check-interval skip iterations.
+  [[nodiscard]] std::uint32_t get_bounds_only(std::size_t i) const noexcept {
+    return m_->raw_row_ptr()[i] & RS::kValueMask;
+  }
+
+  void flush_checks() noexcept {
+    if (local_checks_ > 0) {
+      capture_->add_checks(local_checks_);
+      local_checks_ = 0;
+    }
+  }
+
+ private:
+  ProtectedCsr<ES, RS>* m_;
+  ErrorCapture* capture_;
+  std::size_t cached_group_ = static_cast<std::size_t>(-1);
+  std::uint64_t local_checks_ = 0;
+  std::uint32_t decoded_[RS::kGroup] = {};
+};
+
+}  // namespace abft

@@ -1,0 +1,232 @@
+/// \file row_schemes.hpp
+/// \brief Protection schemes for the CSR row-pointer vector (paper §VI-A1,
+/// Fig. 2). Row-pointer entries are 32-bit offsets bounded by NNZ, so their
+/// most-significant bits are free to hold redundancy:
+///
+///   - SED       : parity in bit 31 of each entry        (NNZ < 2^31);
+///   - SECDED64  : codeword of 2 entries x 28 value bits, redundancy in the
+///                 top nibble of each entry               (NNZ < 2^28);
+///   - SECDED128 : codeword of 4 entries x 28 value bits  (NNZ < 2^28);
+///   - CRC32C    : codeword of 8 entries x 28 value bits, the 32-bit
+///                 checksum split 4 bits per top nibble   (NNZ < 2^28).
+///
+/// decode_group() returns *masked* values (top bits zeroed); corrections are
+/// written back into storage.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/fault_log.hpp"
+#include "ecc/crc32c.hpp"
+#include "ecc/hamming.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/scheme.hpp"
+
+namespace abft {
+
+/// No protection (baseline).
+struct RowNone {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kValueBits = 32;
+  static constexpr std::uint32_t kValueMask = 0xFFFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
+
+  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
+    storage[0] = values[0];
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
+                                                 std::uint32_t* values) noexcept {
+    values[0] = storage[0];
+    return CheckOutcome::ok;
+  }
+};
+
+/// SED: parity in the top bit of each entry (Fig. 2a).
+struct RowSed {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kValueBits = 31;
+  static constexpr std::uint32_t kValueMask = 0x7FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
+
+  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
+    const std::uint32_t v = values[0] & kValueMask;
+    storage[0] = v | (ecc::sed_parity_u32(v) << 31);
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
+                                                 std::uint32_t* values) noexcept {
+    values[0] = storage[0] & kValueMask;
+    return parity32(storage[0]) == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
+  }
+};
+
+/// SECDED across two entries (Fig. 2b): 56 data bits, 7 redundancy bits
+/// split across the two top nibbles (the last nibble bit is unused).
+struct RowSecded64 {
+  static constexpr std::size_t kGroup = 2;
+  static constexpr unsigned kValueBits = 28;
+  static constexpr std::uint32_t kValueMask = 0x0FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
+  using Code = ecc::HammingSecded<56>;
+  static_assert(Code::kRedundancyBits <= 8);
+
+  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
+    const std::uint32_t v0 = values[0] & kValueMask;
+    const std::uint32_t v1 = values[1] & kValueMask;
+    const std::uint32_t red = Code::encode(pack(v0, v1));
+    storage[0] = v0 | ((red & 0xF) << 28);
+    storage[1] = v1 | (((red >> 4) & 0xF) << 28);
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
+                                                 std::uint32_t* values) noexcept {
+    std::uint32_t v0 = storage[0] & kValueMask;
+    std::uint32_t v1 = storage[1] & kValueMask;
+    const std::uint32_t stored = ((storage[0] >> 28) & 0xF) | (((storage[1] >> 28) & 0xF) << 4);
+    Code::data_t data = pack(v0, v1);
+    const auto res = Code::check_and_correct(data, stored & 0x7F);
+    if (res.outcome == CheckOutcome::corrected) {
+      v0 = static_cast<std::uint32_t>(data[0] & kValueMask);
+      v1 = static_cast<std::uint32_t>((data[0] >> 28) & kValueMask);
+      storage[0] = v0 | ((res.fixed_redundancy & 0xF) << 28);
+      storage[1] = v1 | (((res.fixed_redundancy >> 4) & 0xF) << 28);
+    }
+    values[0] = v0;
+    values[1] = v1;
+    return res.outcome;
+  }
+
+ private:
+  [[nodiscard]] static constexpr Code::data_t pack(std::uint32_t v0,
+                                                   std::uint32_t v1) noexcept {
+    return {static_cast<std::uint64_t>(v0) | (static_cast<std::uint64_t>(v1) << 28)};
+  }
+};
+
+/// SECDED across four entries: 112 data bits, 8 redundancy bits in the top
+/// nibbles of the first two entries (paper Fig. 2b generalised; the paper
+/// splits SECDED128 across 4 elements).
+struct RowSecded128 {
+  static constexpr std::size_t kGroup = 4;
+  static constexpr unsigned kValueBits = 28;
+  static constexpr std::uint32_t kValueMask = 0x0FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded128;
+  using Code = ecc::HammingSecded<112>;
+  static_assert(Code::kRedundancyBits <= 16);
+
+  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
+    std::uint32_t v[kGroup];
+    for (std::size_t e = 0; e < kGroup; ++e) v[e] = values[e] & kValueMask;
+    const std::uint32_t red = Code::encode(pack(v));
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      storage[e] = v[e] | (((red >> (4 * e)) & 0xF) << 28);
+    }
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
+                                                 std::uint32_t* values) noexcept {
+    std::uint32_t v[kGroup];
+    std::uint32_t stored = 0;
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      v[e] = storage[e] & kValueMask;
+      stored |= ((storage[e] >> 28) & 0xF) << (4 * e);
+    }
+    Code::data_t data = pack(v);
+    const auto res = Code::check_and_correct(data, stored & low_mask32(Code::kRedundancyBits));
+    if (res.outcome == CheckOutcome::corrected) {
+      unpack(data, v);
+      for (std::size_t e = 0; e < kGroup; ++e) {
+        storage[e] = v[e] | (((res.fixed_redundancy >> (4 * e)) & 0xF) << 28);
+      }
+    }
+    for (std::size_t e = 0; e < kGroup; ++e) values[e] = v[e];
+    return res.outcome;
+  }
+
+ private:
+  [[nodiscard]] static constexpr Code::data_t pack(const std::uint32_t (&v)[kGroup]) noexcept {
+    // 4 x 28 bits packed little-endian: entry e occupies bits [28e, 28e+28).
+    Code::data_t data{};
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      const std::size_t bit = 28 * e;
+      data[bit / 64] |= static_cast<std::uint64_t>(v[e]) << (bit % 64);
+      if (bit % 64 > 36) {
+        data[bit / 64 + 1] |= static_cast<std::uint64_t>(v[e]) >> (64 - bit % 64);
+      }
+    }
+    return data;
+  }
+
+  static constexpr void unpack(const Code::data_t& data, std::uint32_t (&v)[kGroup]) noexcept {
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      const std::size_t bit = 28 * e;
+      std::uint64_t x = data[bit / 64] >> (bit % 64);
+      if (bit % 64 > 36) x |= data[bit / 64 + 1] << (64 - bit % 64);
+      v[e] = static_cast<std::uint32_t>(x) & kValueMask;
+    }
+  }
+};
+
+/// CRC32C across eight entries (paper: CRC32C splits its 32 redundancy bits
+/// over 8 elements, 4 bits each). The checksum covers the 8 masked entries
+/// (top nibbles zeroed); single-bit flips are brute-force corrected.
+struct RowCrc32c {
+  static constexpr std::size_t kGroup = 8;
+  static constexpr unsigned kValueBits = 28;
+  static constexpr std::uint32_t kValueMask = 0x0FFFFFFFu;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
+
+  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
+    std::uint32_t v[kGroup];
+    for (std::size_t e = 0; e < kGroup; ++e) v[e] = values[e] & kValueMask;
+    const std::uint32_t crc = ecc::crc32c(v, sizeof(v));
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      storage[e] = v[e] | (((crc >> (4 * e)) & 0xF) << 28);
+    }
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
+                                                 std::uint32_t* values) noexcept {
+    std::uint32_t v[kGroup];
+    std::uint32_t stored = 0;
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      v[e] = storage[e] & kValueMask;
+      stored |= ((storage[e] >> 28) & 0xF) << (4 * e);
+    }
+    const std::uint32_t actual = ecc::crc32c(v, sizeof(v));
+    CheckOutcome outcome = CheckOutcome::ok;
+    if (actual != stored) {
+      outcome = correct(v, stored, actual) ? CheckOutcome::corrected
+                                           : CheckOutcome::uncorrectable;
+      if (outcome == CheckOutcome::corrected) {
+        const std::uint32_t crc = ecc::crc32c(v, sizeof(v));
+        for (std::size_t e = 0; e < kGroup; ++e) {
+          storage[e] = v[e] | (((crc >> (4 * e)) & 0xF) << 28);
+        }
+      }
+    }
+    for (std::size_t e = 0; e < kGroup; ++e) values[e] = v[e];
+    return outcome;
+  }
+
+ private:
+  /// Brute-force single-flip correction over the 8 x 28 data bits (cold path).
+  [[nodiscard]] static bool correct(std::uint32_t (&v)[kGroup], std::uint32_t stored,
+                                    std::uint32_t actual) noexcept {
+    if (std::popcount(actual ^ stored) == 1) return true;  // flip in checksum storage
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      for (unsigned bit = 0; bit < kValueBits; ++bit) {
+        v[e] ^= (1u << bit);
+        if (ecc::crc32c(v, sizeof(v)) == stored) return true;
+        v[e] ^= (1u << bit);
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace abft

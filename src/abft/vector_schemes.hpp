@@ -1,0 +1,244 @@
+/// \file vector_schemes.hpp
+/// \brief Protection schemes for dense double-precision vectors (paper §VI-B,
+/// Fig. 3): the redundancy lives in the least-significant mantissa bits, so
+/// no extra storage is needed.
+///
+/// Layouts (storage representation of each codeword group):
+///   - SED       : 1 double,  parity of bits[1..63] stored in mantissa bit 0;
+///   - SECDED64  : 1 double,  Hamming SECDED over bits[8..63] (56 data bits),
+///                 7 redundancy bits in the low byte (bit 7 unused, zero);
+///   - SECDED128 : 2 doubles, SECDED over 2 x 59 data bits, 8 redundancy bits
+///                 split across the 5 low mantissa bits of each double;
+///   - CRC32C    : 4 doubles, CRC-32C over the 4 masked 64-bit patterns,
+///                 one checksum byte in the low byte of each double.
+///
+/// Reads always *mask* the redundancy bits to zero before the value is used
+/// in computation — the paper's mechanism for bounding the noise the scheme
+/// injects into the solution (§VI-B). Group schemes trade per-element
+/// redundancy for less noise per element.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/fault_log.hpp"
+#include "ecc/crc32c.hpp"
+#include "ecc/hamming.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/scheme.hpp"
+
+namespace abft {
+
+/// No protection; baseline storage.
+struct VecNone {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kRedundancyBitsPerElement = 0;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
+
+  static void encode_group(const double* logical, double* storage) noexcept {
+    storage[0] = logical[0];
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* storage, double* logical) noexcept {
+    logical[0] = storage[0];
+    return CheckOutcome::ok;
+  }
+
+  [[nodiscard]] static double mask(double v) noexcept { return v; }
+};
+
+/// SED: parity bit in the mantissa LSB (Fig. 3a). Detects any odd number of
+/// flips in the 64-bit pattern; corrects nothing.
+struct VecSed {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kRedundancyBitsPerElement = 1;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
+
+  static void encode_group(const double* logical, double* storage) noexcept {
+    std::uint64_t b = double_to_bits(logical[0]) & ~std::uint64_t{1};
+    b |= ecc::sed_parity_double(b);
+    storage[0] = bits_to_double(b);
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* storage, double* logical) noexcept {
+    const std::uint64_t b = double_to_bits(storage[0]);
+    logical[0] = bits_to_double(b & ~std::uint64_t{1});
+    // Stored LSB equals the parity of the remaining bits iff the total
+    // parity of the word is even.
+    return parity64(b) == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
+  }
+
+  [[nodiscard]] static double mask(double v) noexcept {
+    return bits_to_double(double_to_bits(v) & ~std::uint64_t{1});
+  }
+};
+
+/// SECDED over one double (Fig. 3b): 56 data bits, redundancy in the low byte.
+struct VecSecded64 {
+  static constexpr std::size_t kGroup = 1;
+  static constexpr unsigned kRedundancyBitsPerElement = 8;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
+  using Code = ecc::HammingSecded<56>;
+  static_assert(Code::kRedundancyBits <= 8);
+
+  static void encode_group(const double* logical, double* storage) noexcept {
+    const std::uint64_t b = double_to_bits(logical[0]) & ~std::uint64_t{0xFF};
+    const std::uint32_t red = Code::encode({b >> 8});
+    storage[0] = bits_to_double(b | red);
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* storage, double* logical) noexcept {
+    std::uint64_t b = double_to_bits(storage[0]);
+    Code::data_t data{b >> 8};
+    const std::uint32_t stored = static_cast<std::uint32_t>(b & 0x7F);
+    const auto res = Code::check_and_correct(data, stored);
+    if (res.outcome == CheckOutcome::corrected) {
+      b = (data[0] << 8) | (b & 0x80) | res.fixed_redundancy;
+      storage[0] = bits_to_double(b);
+    }
+    logical[0] = bits_to_double(b & ~std::uint64_t{0xFF});
+    return res.outcome;
+  }
+
+  [[nodiscard]] static double mask(double v) noexcept {
+    return bits_to_double(double_to_bits(v) & ~std::uint64_t{0xFF});
+  }
+};
+
+/// SECDED over two doubles (Fig. 3c layout, 128-bit flavour): 2 x 59 data
+/// bits, 8 redundancy bits split across the 5 low mantissa bits of each.
+struct VecSecded128 {
+  static constexpr std::size_t kGroup = 2;
+  static constexpr unsigned kRedundancyBitsPerElement = 5;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded128;
+  using Code = ecc::HammingSecded<118>;
+  static_assert(Code::kRedundancyBits <= 10);
+
+  static constexpr std::uint64_t kDataMask = ~std::uint64_t{0x1F};
+
+  static void encode_group(const double* logical, double* storage) noexcept {
+    const std::uint64_t b0 = double_to_bits(logical[0]) & kDataMask;
+    const std::uint64_t b1 = double_to_bits(logical[1]) & kDataMask;
+    const std::uint32_t red = Code::encode(pack(b0, b1));
+    storage[0] = bits_to_double(b0 | (red & 0x1F));
+    storage[1] = bits_to_double(b1 | ((red >> 5) & 0x1F));
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* storage, double* logical) noexcept {
+    std::uint64_t b0 = double_to_bits(storage[0]);
+    std::uint64_t b1 = double_to_bits(storage[1]);
+    Code::data_t data = pack(b0 & kDataMask, b1 & kDataMask);
+    const std::uint32_t stored = static_cast<std::uint32_t>(
+        (b0 & 0x1F) | ((b1 & 0x1F) << 5));
+    const auto res = Code::check_and_correct(data, stored);
+    if (res.outcome == CheckOutcome::corrected) {
+      if (res.corrected_data_bit >= 0) {
+        const unsigned d = static_cast<unsigned>(res.corrected_data_bit);
+        if (d < 59) {
+          b0 = flip_bit(b0, d + 5);
+        } else {
+          b1 = flip_bit(b1, (d - 59) + 5);
+        }
+      }
+      b0 = (b0 & kDataMask) | (res.fixed_redundancy & 0x1F);
+      b1 = (b1 & kDataMask) | ((res.fixed_redundancy >> 5) & 0x1F);
+      storage[0] = bits_to_double(b0);
+      storage[1] = bits_to_double(b1);
+    }
+    logical[0] = bits_to_double(b0 & kDataMask);
+    logical[1] = bits_to_double(b1 & kDataMask);
+    return res.outcome;
+  }
+
+  [[nodiscard]] static double mask(double v) noexcept {
+    return bits_to_double(double_to_bits(v) & kDataMask);
+  }
+
+ private:
+  /// Pack two 59-bit payloads (bits 5..63 of each double) into 118 bits.
+  [[nodiscard]] static constexpr Code::data_t pack(std::uint64_t b0,
+                                                   std::uint64_t b1) noexcept {
+    const std::uint64_t p0 = b0 >> 5;  // 59 bits
+    const std::uint64_t p1 = b1 >> 5;  // 59 bits
+    return {p0 | (p1 << 59), p1 >> 5};
+  }
+};
+
+/// CRC-32C over four doubles (Fig. 3c): checksum over the four masked 64-bit
+/// patterns, one checksum byte stored in the low byte of each double.
+/// Codeword size 256 bits — inside the 178..5243-bit window where CRC32C has
+/// minimum Hamming distance 6, so single-bit flips are brute-force
+/// correctable and up to 5 flips detectable.
+struct VecCrc32c {
+  static constexpr std::size_t kGroup = 4;
+  static constexpr unsigned kRedundancyBitsPerElement = 8;
+  static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
+  static constexpr std::uint64_t kDataMask = ~std::uint64_t{0xFF};
+
+  static void encode_group(const double* logical, double* storage) noexcept {
+    std::uint64_t b[kGroup];
+    for (std::size_t e = 0; e < kGroup; ++e) b[e] = double_to_bits(logical[e]) & kDataMask;
+    const std::uint32_t crc = group_crc(b);
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      storage[e] = bits_to_double(b[e] | ((crc >> (8 * e)) & 0xFF));
+    }
+  }
+
+  [[nodiscard]] static CheckOutcome decode_group(double* storage, double* logical) noexcept {
+    std::uint64_t b[kGroup];
+    std::uint32_t stored = 0;
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      b[e] = double_to_bits(storage[e]);
+      stored |= static_cast<std::uint32_t>(b[e] & 0xFF) << (8 * e);
+    }
+    std::uint64_t masked[kGroup];
+    for (std::size_t e = 0; e < kGroup; ++e) masked[e] = b[e] & kDataMask;
+    const std::uint32_t actual = group_crc(masked);
+
+    CheckOutcome outcome = CheckOutcome::ok;
+    if (actual != stored) {
+      outcome = correct(masked, stored, actual) ? CheckOutcome::corrected
+                                                : CheckOutcome::uncorrectable;
+      if (outcome == CheckOutcome::corrected) {
+        // Re-encode: data may have changed, and a flip inside the stored
+        // checksum bytes is repaired by rewriting them.
+        const std::uint32_t crc = group_crc(masked);
+        for (std::size_t e = 0; e < kGroup; ++e) {
+          storage[e] = bits_to_double(masked[e] | ((crc >> (8 * e)) & 0xFF));
+        }
+      }
+    }
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      logical[e] = bits_to_double(masked[e]);
+    }
+    return outcome;
+  }
+
+  [[nodiscard]] static double mask(double v) noexcept {
+    return bits_to_double(double_to_bits(v) & kDataMask);
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t group_crc(const std::uint64_t (&b)[kGroup]) noexcept {
+    return ecc::crc32c(b, sizeof(b));
+  }
+
+  /// Brute-force single-flip correction (cold path; runs only on mismatch).
+  [[nodiscard]] static bool correct(std::uint64_t (&masked)[kGroup], std::uint32_t stored,
+                                    std::uint32_t actual) noexcept {
+    // Flip inside the stored checksum bytes themselves.
+    if (std::popcount(actual ^ stored) == 1) return true;
+    // Flip inside the data bits (the masked low bytes are not data).
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      for (unsigned bit = 8; bit < 64; ++bit) {
+        masked[e] = flip_bit(masked[e], bit);
+        if (group_crc(masked) == stored) return true;
+        masked[e] = flip_bit(masked[e], bit);
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace abft

@@ -1,0 +1,46 @@
+/// \file aligned.hpp
+/// \brief Cache-line / SIMD aligned storage for solver vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace abft {
+
+/// Default alignment: one x86-64 cache line, also enough for AVX-512 loads.
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Minimal C++17-style allocator returning \p Alignment-aligned blocks.
+template <class T, std::size_t Alignment = kDefaultAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t alignment{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc{};
+    return static_cast<T*>(::operator new(n * sizeof(T), alignment));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, alignment); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+/// Vector whose data() is 64-byte aligned; used for all solver arrays.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace abft

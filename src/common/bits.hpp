@@ -1,0 +1,67 @@
+/// \file bits.hpp
+/// \brief Low-level bit manipulation helpers shared by every ECC codec.
+///
+/// All helpers are constexpr where possible so that the Hamming code
+/// generator matrices in ecc/hamming.hpp can be built at compile time.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace abft {
+
+/// Parity (XOR-reduction) of a 64-bit word: 1 if an odd number of bits set.
+[[nodiscard]] constexpr std::uint32_t parity64(std::uint64_t x) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(x) & 1);
+}
+
+/// Parity of a 32-bit word.
+[[nodiscard]] constexpr std::uint32_t parity32(std::uint32_t x) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(x) & 1);
+}
+
+/// Extract the bit at position \p pos (LSB = 0) from \p x.
+[[nodiscard]] constexpr std::uint32_t get_bit(std::uint64_t x, unsigned pos) noexcept {
+  return static_cast<std::uint32_t>((x >> pos) & 1u);
+}
+
+/// Return \p x with the bit at position \p pos set to \p value (0 or 1).
+[[nodiscard]] constexpr std::uint64_t set_bit(std::uint64_t x, unsigned pos,
+                                              std::uint32_t value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << pos;
+  return value ? (x | mask) : (x & ~mask);
+}
+
+/// Return \p x with the bit at position \p pos flipped.
+[[nodiscard]] constexpr std::uint64_t flip_bit(std::uint64_t x, unsigned pos) noexcept {
+  return x ^ (std::uint64_t{1} << pos);
+}
+
+/// Mask with the low \p n bits set (n in [0, 64]).
+[[nodiscard]] constexpr std::uint64_t low_mask64(unsigned n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Mask with the low \p n bits set (n in [0, 32]).
+[[nodiscard]] constexpr std::uint32_t low_mask32(unsigned n) noexcept {
+  return n >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << n) - 1);
+}
+
+/// Reinterpret a double as its IEEE-754 bit pattern.
+[[nodiscard]] inline std::uint64_t double_to_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+/// Reinterpret a 64-bit pattern as a double.
+[[nodiscard]] inline double bits_to_double(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+/// Number of 64-bit words needed to hold \p bits bits.
+[[nodiscard]] constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+}  // namespace abft

@@ -1,0 +1,167 @@
+/// \file fault_log.hpp
+/// \brief Error taxonomy and accounting shared by all protected structures.
+///
+/// The paper classifies memory faults into DCEs (detected & corrected),
+/// DUEs (detected, uncorrectable) and SDCs (silent). Protected containers
+/// report every integrity-check result into a FaultLog; SDC classification
+/// happens one level up, in the fault-injection campaign, by comparing the
+/// final solution against a fault-free reference.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace abft {
+
+/// Result of one codeword integrity check.
+enum class CheckOutcome : std::uint8_t {
+  ok = 0,             ///< codeword consistent
+  corrected,          ///< error detected and repaired in place (DCE)
+  uncorrectable,      ///< error detected, beyond the code's correction power (DUE)
+};
+
+/// Which protected data structure a fault event refers to.
+enum class Region : std::uint8_t {
+  csr_values = 0,   ///< CSR non-zero value vector (v)
+  csr_cols,         ///< CSR column-index vector (y)
+  csr_row_ptr,      ///< CSR row-pointer vector (x)
+  dense_vector,     ///< dense double-precision solver vector
+  other,
+};
+
+[[nodiscard]] constexpr const char* to_string(Region r) noexcept {
+  switch (r) {
+    case Region::csr_values: return "csr_values";
+    case Region::csr_cols: return "csr_cols";
+    case Region::csr_row_ptr: return "csr_row_ptr";
+    case Region::dense_vector: return "dense_vector";
+    case Region::other: return "other";
+  }
+  return "?";
+}
+
+/// One recorded detection/correction event.
+struct FaultEvent {
+  Region region = Region::other;
+  CheckOutcome outcome = CheckOutcome::ok;
+  std::size_t index = 0;  ///< element / codeword index within the region
+};
+
+/// Thrown (by default) when a code detects an error it cannot repair.
+/// The solver driver may catch this and fall back to checkpoint-restart,
+/// which is exactly the recovery path the paper describes for DUEs.
+class UncorrectableError : public std::runtime_error {
+ public:
+  UncorrectableError(Region region, std::size_t index)
+      : std::runtime_error(std::string("uncorrectable memory error in ") +
+                           to_string(region) + " at index " + std::to_string(index)),
+        region_(region),
+        index_(index) {}
+
+  [[nodiscard]] Region region() const noexcept { return region_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  Region region_;
+  std::size_t index_;
+};
+
+/// Thrown when a bounds-only guard (check-interval mode) catches an index
+/// that would have caused an out-of-range access.
+class BoundsViolation : public std::runtime_error {
+ public:
+  BoundsViolation(Region region, std::size_t index)
+      : std::runtime_error(std::string("index bounds violation in ") + to_string(region) +
+                           " at index " + std::to_string(index)),
+        region_(region),
+        index_(index) {}
+
+  [[nodiscard]] Region region() const noexcept { return region_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  Region region_;
+  std::size_t index_;
+};
+
+/// What a protected container should do when it hits a DUE.
+enum class DuePolicy : std::uint8_t {
+  throw_exception,  ///< raise UncorrectableError (lets the app checkpoint-restart)
+  record_only,      ///< count it and carry on (used by the fault campaigns)
+};
+
+/// Thread-safe accounting of integrity checks and their outcomes.
+///
+/// Counter updates are lock-free; the (optional, bounded) event trace takes a
+/// mutex and is meant for tests and post-mortem analysis, not hot loops.
+class FaultLog {
+ public:
+  static constexpr std::size_t kMaxTracedEvents = 4096;
+
+  void record(Region region, CheckOutcome outcome, std::size_t index) {
+    switch (outcome) {
+      case CheckOutcome::ok: break;
+      case CheckOutcome::corrected:
+        corrected_.fetch_add(1, std::memory_order_relaxed);
+        trace({region, outcome, index});
+        break;
+      case CheckOutcome::uncorrectable:
+        uncorrectable_.fetch_add(1, std::memory_order_relaxed);
+        trace({region, outcome, index});
+        break;
+    }
+  }
+
+  void record_bounds_violation(Region region, std::size_t index) {
+    bounds_violations_.fetch_add(1, std::memory_order_relaxed);
+    trace({region, CheckOutcome::uncorrectable, index});
+  }
+
+  void add_checks(std::uint64_t n = 1) noexcept {
+    checks_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t checks() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t corrected() const noexcept {
+    return corrected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t uncorrectable() const noexcept {
+    return uncorrectable_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bounds_violations() const noexcept {
+    return bounds_violations_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::vector<FaultEvent> events() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+  }
+
+  void clear() {
+    checks_ = corrected_ = uncorrectable_ = bounds_violations_ = 0;
+    std::lock_guard lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  void trace(FaultEvent e) {
+    std::lock_guard lock(mutex_);
+    if (events_.size() < kMaxTracedEvents) events_.push_back(e);
+  }
+
+  std::atomic<std::uint64_t> checks_{0};
+  std::atomic<std::uint64_t> corrected_{0};
+  std::atomic<std::uint64_t> uncorrectable_{0};
+  std::atomic<std::uint64_t> bounds_violations_{0};
+  mutable std::mutex mutex_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace abft

@@ -1,0 +1,68 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing and small summary statistics for the benchmark
+/// harnesses (mean / min / stddev over repetitions, as the paper reports the
+/// mean of five runs).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace abft {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates per-repetition timings and reports summary statistics.
+class TimingStats {
+ public:
+  void add(double seconds) { samples_.push_back(seconds); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const noexcept {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace abft

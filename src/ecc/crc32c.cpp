@@ -1,0 +1,206 @@
+#include "ecc/crc32c.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#if defined(ABFT_HAVE_SSE42_CRC)
+#include <nmmintrin.h>
+#if defined(__GNUC__) || defined(__clang__)
+#include <cpuid.h>
+#endif
+#endif
+
+namespace abft::ecc {
+namespace {
+
+/// Reflected CRC-32C polynomial (Castagnoli, 0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+/// Slicing-by-8 lookup tables, built at compile time (8 x 256 x 4 bytes).
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tab{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+    }
+    tab.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tab.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tab.t[0][crc & 0xffu] ^ (crc >> 8);
+      tab.t[s][i] = crc;
+    }
+  }
+  return tab;
+}
+
+constexpr Tables kTables = make_tables();
+
+std::uint32_t sw_kernel(const std::uint8_t* p, std::size_t len, std::uint32_t crc) noexcept {
+  // Byte-at-a-time until 8-byte alignment.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+    --len;
+  }
+  // Slicing-by-8 main loop.
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: CRC folds into the low 4 bytes
+    crc = kTables.t[7][word & 0xffu] ^ kTables.t[6][(word >> 8) & 0xffu] ^
+          kTables.t[5][(word >> 16) & 0xffu] ^ kTables.t[4][(word >> 24) & 0xffu] ^
+          kTables.t[3][(word >> 32) & 0xffu] ^ kTables.t[2][(word >> 40) & 0xffu] ^
+          kTables.t[1][(word >> 48) & 0xffu] ^ kTables.t[0][(word >> 56) & 0xffu];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(ABFT_HAVE_SSE42_CRC)
+bool detect_sse42() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 20)) != 0;  // SSE4.2 feature bit
+#else
+  return false;
+#endif
+}
+
+std::uint32_t hw_kernel(const std::uint8_t* p, std::size_t len, std::uint32_t crc) noexcept {
+  std::uint64_t c = crc;
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p++);
+    --len;
+  }
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p++);
+  }
+  return static_cast<std::uint32_t>(c);
+}
+#endif  // ABFT_HAVE_SSE42_CRC
+
+using KernelFn = std::uint32_t (*)(const std::uint8_t*, std::size_t, std::uint32_t);
+
+std::uint32_t run_sw(const std::uint8_t* p, std::size_t n, std::uint32_t c) noexcept {
+  return sw_kernel(p, n, c);
+}
+
+#if defined(ABFT_HAVE_SSE42_CRC)
+std::uint32_t run_hw(const std::uint8_t* p, std::size_t n, std::uint32_t c) noexcept {
+  return hw_kernel(p, n, c);
+}
+#endif
+
+std::atomic<KernelFn> g_kernel{nullptr};
+std::atomic<CrcImpl> g_impl{CrcImpl::auto_detect};
+
+KernelFn resolve(CrcImpl impl) noexcept {
+#if defined(ABFT_HAVE_SSE42_CRC)
+  static const bool hw_ok = detect_sse42();
+  if (impl == CrcImpl::hardware || impl == CrcImpl::auto_detect) {
+    if (hw_ok) return run_hw;
+  }
+#else
+  (void)impl;
+#endif
+  return run_sw;
+}
+
+KernelFn kernel() noexcept {
+  KernelFn fn = g_kernel.load(std::memory_order_acquire);
+  if (fn == nullptr) {
+    fn = resolve(g_impl.load(std::memory_order_acquire));
+    g_kernel.store(fn, std::memory_order_release);
+  }
+  return fn;
+}
+
+}  // namespace
+
+bool crc32c_hw_available() noexcept {
+#if defined(ABFT_HAVE_SSE42_CRC)
+  static const bool hw_ok = detect_sse42();
+  return hw_ok;
+#else
+  return false;
+#endif
+}
+
+std::uint32_t crc32c_sw(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  return ~sw_kernel(static_cast<const std::uint8_t*>(data), len, ~seed);
+}
+
+std::uint32_t crc32c_hw(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+#if defined(ABFT_HAVE_SSE42_CRC)
+  if (crc32c_hw_available()) {
+    return ~hw_kernel(static_cast<const std::uint8_t*>(data), len, ~seed);
+  }
+#endif
+  return crc32c_sw(data, len, seed);
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  return ~kernel()(static_cast<const std::uint8_t*>(data), len, ~seed);
+}
+
+void set_crc32c_impl(CrcImpl impl) noexcept {
+  g_impl.store(impl, std::memory_order_release);
+  g_kernel.store(resolve(impl), std::memory_order_release);
+}
+
+CrcImpl current_crc32c_impl() noexcept {
+#if defined(ABFT_HAVE_SSE42_CRC)
+  if (g_kernel.load(std::memory_order_acquire) == run_hw ||
+      (g_kernel.load(std::memory_order_acquire) == nullptr && crc32c_hw_available() &&
+       g_impl.load(std::memory_order_acquire) != CrcImpl::software)) {
+    return CrcImpl::hardware;
+  }
+#endif
+  return CrcImpl::software;
+}
+
+CrcCorrection crc32c_correct_single_bit(std::span<std::uint8_t> buffer,
+                                        std::uint32_t stored_crc) noexcept {
+  const std::uint32_t actual = crc32c(buffer.data(), buffer.size());
+  if (actual == stored_crc) return {false, -1};
+
+  // Case 1: the flip hit the stored checksum (a single-bit difference
+  // between the recomputed and stored CRC values).
+  if (std::popcount(actual ^ stored_crc) == 1) {
+    return {true, -1};
+  }
+
+  // Case 2: try every single-bit flip in the data buffer.
+  for (std::size_t byte = 0; byte < buffer.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      buffer[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      if (crc32c(buffer.data(), buffer.size()) == stored_crc) {
+        return {true, static_cast<std::ptrdiff_t>(byte * 8 + bit)};
+      }
+      buffer[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  return {false, -1};
+}
+
+}  // namespace abft::ecc

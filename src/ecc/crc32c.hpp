@@ -1,0 +1,88 @@
+/// \file crc32c.hpp
+/// \brief CRC-32C (Castagnoli) with software (slicing-by-8) and hardware
+/// (SSE4.2 `crc32` instruction) implementations, plus brute-force bit-flip
+/// correction for the recovery path.
+///
+/// The paper picks CRC32C because (a) its generator polynomial has a (x+1)
+/// factor, so all odd-weight errors and all burst errors up to 32 bits are
+/// detected, (b) its minimum Hamming distance is 6 for codewords between 178
+/// and 5243 bits, allowing up to 5-bit detection (or 2EC3ED / 1EC4ED
+/// operating points), and (c) modern Intel/ARMv8 CPUs compute it in hardware
+/// (paper §IV). Error *correction* is brute force over candidate flips: it
+/// runs only in the rare recovery path, never on the per-access check path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace abft::ecc {
+
+/// Which CRC32C kernel to run.
+enum class CrcImpl : std::uint8_t {
+  auto_detect,  ///< hardware if the CPU supports SSE4.2, else software
+  software,     ///< slicing-by-8 table kernel
+  hardware,     ///< SSE4.2 crc32 instruction (falls back to software if absent)
+};
+
+/// True when this binary can execute the SSE4.2 crc32 instruction.
+[[nodiscard]] bool crc32c_hw_available() noexcept;
+
+/// CRC-32C of \p len bytes at \p data, software kernel.
+/// Standard convention: initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF;
+/// \p seed is a previously returned checksum for streaming continuation.
+[[nodiscard]] std::uint32_t crc32c_sw(const void* data, std::size_t len,
+                                      std::uint32_t seed = 0) noexcept;
+
+/// CRC-32C, hardware kernel (software fallback when SSE4.2 is unavailable).
+[[nodiscard]] std::uint32_t crc32c_hw(const void* data, std::size_t len,
+                                      std::uint32_t seed = 0) noexcept;
+
+/// CRC-32C through the process-wide dispatch (see set_crc32c_impl()).
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t len,
+                                   std::uint32_t seed = 0) noexcept;
+
+/// Select the kernel used by crc32c(). Benchmarks use this to compare the
+/// software and hardware paths on the same machine.
+void set_crc32c_impl(CrcImpl impl) noexcept;
+
+/// Kernel currently selected (after auto-detection).
+[[nodiscard]] CrcImpl current_crc32c_impl() noexcept;
+
+/// Streaming accumulator for codewords assembled from multiple pieces
+/// (e.g. a CSR row: value bytes and column bytes interleaved).
+class Crc32cAccumulator {
+ public:
+  void update(const void* data, std::size_t len) noexcept {
+    crc_ = crc32c(data, len, crc_);
+  }
+
+  void update_u64(std::uint64_t word) noexcept { update(&word, sizeof word); }
+  void update_u32(std::uint32_t word) noexcept { update(&word, sizeof word); }
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return crc_; }
+  void reset() noexcept { crc_ = 0; }
+
+ private:
+  std::uint32_t crc_ = 0;
+};
+
+/// Result of a brute-force CRC correction attempt.
+struct CrcCorrection {
+  bool corrected = false;
+  /// Bit offset of the repaired flip inside the data buffer, or -1 when the
+  /// flip was inside the stored checksum itself (data untouched).
+  std::ptrdiff_t flipped_bit = -1;
+};
+
+/// Attempt single-bit correction of \p buffer against \p stored_crc.
+///
+/// Tries every single-bit flip in the buffer (O(bits) CRC recomputations;
+/// each recomputation could be replaced by a precomputed error-pattern table,
+/// but this runs only on the rare recovery path). Also recognises the case
+/// where the flip hit the stored checksum rather than the data. Returns
+/// corrected=false when no single flip explains the mismatch (2+ flips).
+[[nodiscard]] CrcCorrection crc32c_correct_single_bit(std::span<std::uint8_t> buffer,
+                                                      std::uint32_t stored_crc) noexcept;
+
+}  // namespace abft::ecc

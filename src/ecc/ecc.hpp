@@ -1,0 +1,8 @@
+/// \file ecc.hpp
+/// \brief Umbrella header for the error detecting/correcting codes (paper §IV).
+#pragma once
+
+#include "ecc/crc32c.hpp"    // IWYU pragma: export
+#include "ecc/hamming.hpp"   // IWYU pragma: export
+#include "ecc/parity.hpp"    // IWYU pragma: export
+#include "ecc/scheme.hpp"    // IWYU pragma: export

@@ -1,0 +1,195 @@
+/// \file hamming.hpp
+/// \brief Generic extended Hamming (SECDED) codec over an arbitrary number of
+/// data bits, with all generator tables built at compile time.
+///
+/// The paper uses three instantiations:
+///   - SECDED(72,64)  "SECDED64"  : 64 data bits, 7+1 redundancy bits;
+///   - SECDED(137,128) "SECDED128": 128 data bits, 8+1 redundancy bits;
+///   - SECDED(96,88)              : one CSR element (64-bit value + 24-bit
+///     column index), 7+1 redundancy bits stored in the column's top byte.
+///
+/// Classic extended Hamming layout: codeword positions are numbered from 1;
+/// positions that are powers of two hold check bits; the remaining positions
+/// hold data bits in order. Check bit j covers every position whose binary
+/// representation has bit j set, so the syndrome (recomputed XOR stored check
+/// bits) equals the 1-based position of a single flipped bit. An overall
+/// parity bit distinguishes single (odd parity, correctable) from double
+/// (even parity, detectable-only) errors.
+///
+/// For speed the per-check-bit coverage sets are materialised as bit masks
+/// over the caller's packed data words, so an integrity check is a handful of
+/// AND/XOR/POPCNT instructions per check bit rather than a loop over bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/fault_log.hpp"
+
+namespace abft::ecc {
+
+namespace detail {
+
+/// Smallest c with 2^c >= data_bits + c + 1 (Hamming bound for SEC).
+[[nodiscard]] constexpr unsigned hamming_check_bits(unsigned data_bits) noexcept {
+  unsigned c = 1;
+  while ((1u << c) < data_bits + c + 1) ++c;
+  return c;
+}
+
+}  // namespace detail
+
+/// Extended Hamming SECDED codec over \p DataBits packed data bits.
+///
+/// Data is passed as little-endian packed 64-bit words: data bit i lives at
+/// `words[i / 64] >> (i % 64) & 1`. Bits above DataBits in the last word must
+/// be zero; encode() and check_and_correct() never read them.
+template <unsigned DataBits>
+class HammingSecded {
+ public:
+  static constexpr unsigned kDataBits = DataBits;
+  static constexpr unsigned kCheckBits = detail::hamming_check_bits(DataBits);
+  /// Redundancy bits stored per codeword: Hamming check bits + overall parity.
+  static constexpr unsigned kRedundancyBits = kCheckBits + 1;
+  static constexpr unsigned kWords = static_cast<unsigned>(words_for_bits(DataBits));
+  /// Length of the (non-extended) Hamming codeword in 1-based positions.
+  static constexpr unsigned kCodeLength = DataBits + kCheckBits;
+
+  using data_t = std::array<std::uint64_t, kWords>;
+
+  /// Result of an integrity check.
+  struct Result {
+    CheckOutcome outcome = CheckOutcome::ok;
+    /// Index of the corrected data bit, or -1 if no data bit was touched
+    /// (clean codeword, or the flip was inside the redundancy bits).
+    int corrected_data_bit = -1;
+    /// Redundancy bits after correction; callers that keep redundancy stored
+    /// alongside the data should write this value back on `corrected`.
+    std::uint32_t fixed_redundancy = 0;
+  };
+
+  /// Compute the packed redundancy for \p data: bits [0, kCheckBits) are the
+  /// Hamming check bits, bit kCheckBits is the overall parity of the whole
+  /// codeword (data + check bits).
+  [[nodiscard]] static constexpr std::uint32_t encode(const data_t& data) noexcept {
+    std::uint32_t check = 0;
+    for (unsigned j = 0; j < kCheckBits; ++j) {
+      std::uint64_t acc = 0;
+      for (unsigned w = 0; w < kWords; ++w) acc ^= data[w] & kMasks[j][w];
+      check |= parity64_words(acc) << j;
+    }
+    std::uint32_t overall = parity32(check);
+    for (unsigned w = 0; w < kWords; ++w) overall ^= parity64(data[w]);
+    return check | (overall << kCheckBits);
+  }
+
+  /// Verify \p data against \p stored_redundancy; correct a single flipped
+  /// bit in place (in the data or in the returned redundancy). Double errors
+  /// are reported as uncorrectable, as are invalid syndromes produced by
+  /// 3+ flips that happen to leave overall parity odd but point outside the
+  /// codeword.
+  [[nodiscard]] static constexpr Result check_and_correct(
+      data_t& data, std::uint32_t stored_redundancy) noexcept {
+    const std::uint32_t recomputed = encode(data);
+    const std::uint32_t diff = (recomputed ^ stored_redundancy) & low_mask32(kRedundancyBits);
+    if (diff == 0) return {CheckOutcome::ok, -1, stored_redundancy};
+
+    const std::uint32_t syndrome = diff & low_mask32(kCheckBits);
+    // Overall parity of the received codeword (data + stored redundancy,
+    // including the stored parity bit itself): zero when the total number of
+    // flips is even.
+    const std::uint32_t received_parity =
+        (parity32(recomputed & low_mask32(kRedundancyBits)) ^
+         parity32(stored_redundancy & low_mask32(kRedundancyBits))) &
+        1u;
+
+    if (received_parity == 0) {
+      // Even number of flips but non-zero syndrome: double error.
+      return {CheckOutcome::uncorrectable, -1, stored_redundancy};
+    }
+
+    if (syndrome == 0) {
+      // Single flip of the overall parity bit itself; data and check bits ok.
+      return {CheckOutcome::corrected, -1, recomputed};
+    }
+    if (syndrome > kCodeLength) {
+      // Syndrome points outside the codeword: >= 3 flips. Detected, not fixable.
+      return {CheckOutcome::uncorrectable, -1, stored_redundancy};
+    }
+    const int data_bit = kDataBitOfPosition[syndrome];
+    if (data_bit < 0) {
+      // The flipped bit was one of the stored Hamming check bits.
+      return {CheckOutcome::corrected, -1, recomputed};
+    }
+    data[static_cast<unsigned>(data_bit) / 64] =
+        flip_bit(data[static_cast<unsigned>(data_bit) / 64],
+                 static_cast<unsigned>(data_bit) % 64);
+    // After correcting the data, the stored redundancy is consistent again.
+    return {CheckOutcome::corrected, data_bit, stored_redundancy};
+  }
+
+  /// 1-based codeword position of data bit \p d (exposed for tests).
+  [[nodiscard]] static constexpr unsigned position_of_data_bit(unsigned d) noexcept {
+    return kPositionOfDataBit[d];
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t parity64_words(std::uint64_t acc) noexcept {
+    return parity64(acc);
+  }
+
+  /// position_of_data[d]: 1-based codeword position of data bit d (skipping
+  /// power-of-two positions, which hold check bits).
+  static constexpr std::array<unsigned, DataBits> make_position_of_data() noexcept {
+    std::array<unsigned, DataBits> table{};
+    unsigned pos = 1;
+    for (unsigned d = 0; d < DataBits; ++d) {
+      while ((pos & (pos - 1)) == 0) ++pos;  // skip powers of two
+      table[d] = pos++;
+    }
+    return table;
+  }
+
+  /// data_of_position[p]: data-bit index at 1-based position p, or -1 for
+  /// check-bit (power of two) positions. Index 0 is unused.
+  static constexpr std::array<int, kCodeLength + 1> make_data_of_position() noexcept {
+    std::array<int, kCodeLength + 1> table{};
+    for (auto& t : table) t = -1;
+    const auto pos_of = make_position_of_data();
+    for (unsigned d = 0; d < DataBits; ++d) table[pos_of[d]] = static_cast<int>(d);
+    return table;
+  }
+
+  /// masks[j][w]: data bits (in packed word w) covered by check bit j.
+  static constexpr std::array<std::array<std::uint64_t, kWords>, kCheckBits>
+  make_masks() noexcept {
+    std::array<std::array<std::uint64_t, kWords>, kCheckBits> masks{};
+    const auto pos_of = make_position_of_data();
+    for (unsigned d = 0; d < DataBits; ++d) {
+      for (unsigned j = 0; j < kCheckBits; ++j) {
+        if ((pos_of[d] >> j) & 1u) {
+          masks[j][d / 64] |= std::uint64_t{1} << (d % 64);
+        }
+      }
+    }
+    return masks;
+  }
+
+  static constexpr std::array<unsigned, DataBits> kPositionOfDataBit = make_position_of_data();
+  static constexpr std::array<int, kCodeLength + 1> kDataBitOfPosition =
+      make_data_of_position();
+  static constexpr std::array<std::array<std::uint64_t, kWords>, kCheckBits> kMasks =
+      make_masks();
+};
+
+/// The three instantiations the paper evaluates.
+using Secded64 = HammingSecded<64>;    ///< SECDED(72,64): 8 redundancy bits
+using Secded128 = HammingSecded<128>;  ///< SECDED(137,128): 9 redundancy bits
+using Secded96 = HammingSecded<88>;    ///< SECDED(96,88): one CSR element
+
+static_assert(Secded64::kRedundancyBits == 8);
+static_assert(Secded128::kRedundancyBits == 9);
+static_assert(Secded96::kRedundancyBits == 8);
+
+}  // namespace abft::ecc

@@ -1,0 +1,35 @@
+/// \file parity.hpp
+/// \brief Single Error Detection (SED): one parity bit per codeword.
+///
+/// SED gives a minimum Hamming distance of 2: any odd number of bit flips in
+/// the codeword is detected, any even number is missed, nothing can be
+/// corrected (paper §IV).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace abft::ecc {
+
+/// Parity of a 96-bit CSR element: 64-bit value pattern plus the low 31 bits
+/// of the column index (bit 31 of the column holds the parity itself and is
+/// excluded).
+[[nodiscard]] constexpr std::uint32_t sed_parity96(std::uint64_t value_bits,
+                                                   std::uint32_t col_low31) noexcept {
+  return parity64(value_bits) ^ parity32(col_low31 & 0x7fffffffu);
+}
+
+/// Parity of a single 32-bit integer excluding its top bit (which stores the
+/// parity): used for the CSR row-pointer vector under SED.
+[[nodiscard]] constexpr std::uint32_t sed_parity_u32(std::uint32_t x) noexcept {
+  return parity32(x & 0x7fffffffu);
+}
+
+/// Parity of a double's bit pattern excluding the mantissa LSB (which stores
+/// the parity): used for dense floating-point vectors under SED.
+[[nodiscard]] constexpr std::uint32_t sed_parity_double(std::uint64_t bits) noexcept {
+  return parity64(bits & ~std::uint64_t{1});
+}
+
+}  // namespace abft::ecc

@@ -1,0 +1,58 @@
+/// \file scheme.hpp
+/// \brief Enumeration of the protection schemes evaluated in the paper, with
+/// their theoretical detection/correction capabilities (paper §IV).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace abft::ecc {
+
+/// Protection scheme selector used by benches, examples and campaigns.
+enum class Scheme : std::uint8_t {
+  none = 0,   ///< no protection (baseline)
+  sed,        ///< single-error-detect parity, Hamming distance 2
+  secded64,   ///< extended Hamming, 8 redundancy bits per 64 data bits
+  secded128,  ///< extended Hamming, 9 redundancy bits per 128 data bits
+  crc32c,     ///< CRC-32C (Castagnoli); HD = 6 for codewords of 178..5243 bits
+};
+
+inline constexpr std::array<Scheme, 5> kAllSchemes = {
+    Scheme::none, Scheme::sed, Scheme::secded64, Scheme::secded128, Scheme::crc32c};
+
+[[nodiscard]] constexpr std::string_view to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::none: return "none";
+    case Scheme::sed: return "sed";
+    case Scheme::secded64: return "secded64";
+    case Scheme::secded128: return "secded128";
+    case Scheme::crc32c: return "crc32c";
+  }
+  return "?";
+}
+
+/// Guaranteed capability of a scheme within a single codeword.
+struct Capability {
+  unsigned correct_bits;  ///< bit flips guaranteed correctable
+  unsigned detect_bits;   ///< bit flips guaranteed detectable (without correction)
+};
+
+/// Guarantees from the codes' minimum Hamming distances (paper §IV).
+/// For CRC32C the figures assume codewords in the 178..5243-bit range where
+/// the minimum Hamming distance of the Castagnoli polynomial is 6; the code
+/// may then be operated anywhere on the n+m=5 correction/detection trade-off
+/// (2EC3ED, 1EC4ED or 5ED). We report the detection-only configuration the
+/// library uses by default.
+[[nodiscard]] constexpr Capability capability(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::none: return {0, 0};
+    case Scheme::sed: return {0, 1};
+    case Scheme::secded64: return {1, 2};
+    case Scheme::secded128: return {1, 2};
+    case Scheme::crc32c: return {0, 5};
+  }
+  return {0, 0};
+}
+
+}  // namespace abft::ecc

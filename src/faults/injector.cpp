@@ -1,0 +1,45 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+namespace abft::faults {
+
+void flip_bit(std::span<std::uint8_t> region, std::size_t bit_offset) noexcept {
+  region[bit_offset / 8] ^= static_cast<std::uint8_t>(1u << (bit_offset % 8));
+}
+
+bool read_bit(std::span<const std::uint8_t> region, std::size_t bit_offset) noexcept {
+  return (region[bit_offset / 8] >> (bit_offset % 8)) & 1u;
+}
+
+Injection Injector::inject_single(std::span<std::uint8_t> region) noexcept {
+  const std::size_t bit = rng_.below(region.size() * 8);
+  flip_bit(region, bit);
+  return {bit, 1};
+}
+
+std::vector<Injection> Injector::inject_multi(std::span<std::uint8_t> region,
+                                              unsigned k) noexcept {
+  std::vector<Injection> done;
+  done.reserve(k);
+  const std::size_t total = region.size() * 8;
+  while (done.size() < k && done.size() < total) {
+    const std::size_t bit = rng_.below(total);
+    const bool seen = std::any_of(done.begin(), done.end(),
+                                  [bit](const Injection& f) { return f.bit_offset == bit; });
+    if (seen) continue;
+    flip_bit(region, bit);
+    done.push_back({bit, 1});
+  }
+  return done;
+}
+
+Injection Injector::inject_burst(std::span<std::uint8_t> region, unsigned length) noexcept {
+  const std::size_t total = region.size() * 8;
+  const unsigned len = static_cast<unsigned>(std::min<std::size_t>(length, total));
+  const std::size_t start = rng_.below(total - len + 1);
+  for (unsigned b = 0; b < len; ++b) flip_bit(region, start + b);
+  return {start, len};
+}
+
+}  // namespace abft::faults

@@ -1,0 +1,53 @@
+/// \file injector.hpp
+/// \brief Deterministic bit-flip injection into raw storage.
+///
+/// Soft errors flip bits in memory without damaging hardware (paper §I).
+/// The injector reproduces them synthetically: single flips, k independent
+/// flips, and burst errors (contiguous flipped bits — the error class CRC32C
+/// guarantees to detect up to 32 bits, §IV). All randomness is seeded, so
+/// every campaign is reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace abft::faults {
+
+/// Description of one injected fault (for reporting).
+struct Injection {
+  std::size_t bit_offset = 0;  ///< absolute bit offset within the region
+  unsigned bits = 1;           ///< number of contiguous bits flipped
+};
+
+/// Flip the bit at \p bit_offset within \p region.
+void flip_bit(std::span<std::uint8_t> region, std::size_t bit_offset) noexcept;
+
+/// Read back a bit (test helper).
+[[nodiscard]] bool read_bit(std::span<const std::uint8_t> region,
+                            std::size_t bit_offset) noexcept;
+
+/// Seeded injector over a byte region.
+class Injector {
+ public:
+  explicit Injector(std::uint64_t seed) noexcept : rng_(seed) {}
+
+  /// Flip one uniformly random bit; returns what was done.
+  Injection inject_single(std::span<std::uint8_t> region) noexcept;
+
+  /// Flip \p k independent uniformly random bits (distinct positions).
+  std::vector<Injection> inject_multi(std::span<std::uint8_t> region, unsigned k) noexcept;
+
+  /// Flip a contiguous burst of \p length bits at a random offset.
+  Injection inject_burst(std::span<std::uint8_t> region, unsigned length) noexcept;
+
+  [[nodiscard]] Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace abft::faults

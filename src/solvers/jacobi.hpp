@@ -1,0 +1,72 @@
+/// \file jacobi.hpp
+/// \brief Jacobi iteration over protected containers (one of TeaLeaf's
+/// alternative solvers; the paper's techniques are solver-agnostic, §V-A).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "abft/protected_csr.hpp"
+#include "abft/protected_kernels.hpp"
+#include "abft/protected_vector.hpp"
+#include "solvers/types.hpp"
+
+namespace abft::solvers {
+
+/// Extract 1/diag(A) into \p dinv (setup path, fully checked).
+template <class ES, class RS, class VS>
+void extract_inverse_diagonal(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& dinv) {
+  if (dinv.size() != a.nrows()) {
+    throw std::invalid_argument("extract_inverse_diagonal: dimension mismatch");
+  }
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    const auto begin = a.row_ptr_at(r);
+    const auto end = a.row_ptr_at(r + 1);
+    double d = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto el = a.element_at(r, k);
+      if (el.col == r) {
+        d = el.value;
+        break;
+      }
+    }
+    if (d == 0.0) throw std::invalid_argument("Jacobi: zero diagonal at row " + std::to_string(r));
+    dinv.store(r, 1.0 / d);
+  }
+}
+
+/// Solve A u = b with damped-free Jacobi: u += D^-1 (b - A u).
+template <class ES, class RS, class VS>
+SolveResult jacobi_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+                         ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
+  const std::size_t n = u.size();
+  FaultLog* log = u.fault_log();
+  const DuePolicy policy = u.due_policy();
+  ProtectedVector<VS> r(n, log, policy);
+  ProtectedVector<VS> w(n, log, policy);
+  ProtectedVector<VS> dinv(n, log, policy);
+  extract_inverse_diagonal(a, dinv);
+
+  const double bnorm = norm2(b);
+  const double threshold = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  SolveResult result;
+  for (unsigned iter = 0; iter <= opts.max_iterations; ++iter) {
+    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    spmv(a, u, w, mode);
+    sub(b, w, r);
+    result.iterations = iter;
+    result.residual_norm = norm2(r);
+    if (!std::isfinite(result.residual_norm)) break;
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+    pointwise_fma(dinv, r, u);
+  }
+  if (opts.final_matrix_verify) a.verify_all();
+  return result;
+}
+
+}  // namespace abft::solvers

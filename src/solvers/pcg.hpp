@@ -1,0 +1,76 @@
+/// \file pcg.hpp
+/// \brief Jacobi-(diagonally-)preconditioned CG, TeaLeaf's
+/// `tl_preconditioner_type=jac_diag` configuration, over protected
+/// containers.
+#pragma once
+
+#include <cmath>
+
+#include "abft/protected_csr.hpp"
+#include "abft/protected_kernels.hpp"
+#include "abft/protected_vector.hpp"
+#include "solvers/jacobi.hpp"
+#include "solvers/types.hpp"
+
+namespace abft::solvers {
+
+/// Solve A u = b with CG preconditioned by M = diag(A).
+template <class ES, class RS, class VS>
+SolveResult pcg_jacobi_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+                             ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
+  const std::size_t n = u.size();
+  FaultLog* log = u.fault_log();
+  const DuePolicy policy = u.due_policy();
+  ProtectedVector<VS> r(n, log, policy);
+  ProtectedVector<VS> z(n, log, policy);
+  ProtectedVector<VS> p(n, log, policy);
+  ProtectedVector<VS> w(n, log, policy);
+  ProtectedVector<VS> dinv(n, log, policy);
+  extract_inverse_diagonal(a, dinv);
+
+  const double bnorm = norm2(b);
+  const double threshold = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  // r = b - A u ; z = D^-1 r ; p = z.
+  spmv(a, u, w, opts.check_policy.mode_for_iteration(0));
+  sub(b, w, r);
+  fill(z, 0.0);
+  pointwise_fma(dinv, r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  SolveResult result;
+  result.residual_norm = norm2(r);
+  if (result.residual_norm <= threshold) {
+    result.converged = true;
+    if (opts.final_matrix_verify) a.verify_all();
+    return result;
+  }
+
+  for (unsigned iter = 1; iter <= opts.max_iterations; ++iter) {
+    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    spmv(a, p, w, mode);
+    const double pw = dot(p, w);
+    if (pw == 0.0 || !std::isfinite(pw)) break;
+    const double alpha = rz / pw;
+    axpy(alpha, p, u);
+    axpy(-alpha, w, r);
+    result.iterations = iter;
+    result.residual_norm = norm2(r);
+    if (!std::isfinite(result.residual_norm)) break;
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+    fill(z, 0.0);
+    pointwise_fma(dinv, r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    xpby(z, beta, p);
+    rz = rz_new;
+  }
+  if (opts.final_matrix_verify) a.verify_all();
+  return result;
+}
+
+}  // namespace abft::solvers

@@ -1,0 +1,127 @@
+/// \file ppcg.hpp
+/// \brief Polynomially Preconditioned CG (TeaLeaf's PPCG solver).
+///
+/// CG preconditioned with a fixed number of Chebyshev iterations applied as
+/// M^-1: each preconditioner application runs `inner_steps` Chebyshev steps
+/// for A z = r starting from z = 0. This mirrors TeaLeaf's ppcg solver where
+/// CG supplies the eigenvalue estimates and the inner Chebyshev smoothing
+/// does the heavy lifting.
+#pragma once
+
+#include <cmath>
+
+#include "abft/protected_csr.hpp"
+#include "abft/protected_kernels.hpp"
+#include "abft/protected_vector.hpp"
+#include "solvers/eigen_estimate.hpp"
+#include "solvers/types.hpp"
+
+namespace abft::solvers {
+
+/// Options for the PPCG solver.
+struct PpcgOptions {
+  SolveOptions base{};
+  unsigned inner_steps = 4;  ///< Chebyshev steps per preconditioner apply
+};
+
+namespace detail {
+
+/// z ~= A^-1 r via \p steps Chebyshev iterations from z = 0 (preconditioner
+/// application; always uses the supplied CheckMode for its SpMVs).
+template <class ES, class RS, class VS>
+void chebyshev_precondition(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& r,
+                            ProtectedVector<VS>& z, ProtectedVector<VS>& rr,
+                            ProtectedVector<VS>& d, ProtectedVector<VS>& w,
+                            const SpectralBounds& bounds, unsigned steps,
+                            CheckMode mode) {
+  const double theta = (bounds.lambda_max + bounds.lambda_min) / 2.0;
+  const double delta = (bounds.lambda_max - bounds.lambda_min) / 2.0;
+  const double sigma1 = theta / delta;
+
+  fill(z, 0.0);
+  copy(r, rr);                  // inner residual = r - A*0 = r
+  axpby(1.0 / theta, rr, 0.0, d);
+  double rho = 1.0 / sigma1;
+  for (unsigned it = 0; it < steps; ++it) {
+    axpy(1.0, d, z);
+    spmv(a, d, w, mode);
+    axpy(-1.0, w, rr);
+    const double rho_next = 1.0 / (2.0 * sigma1 - rho);
+    axpby(2.0 * rho_next / delta, rr, rho_next * rho, d);
+    rho = rho_next;
+  }
+}
+
+}  // namespace detail
+
+/// Solve A u = b with PPCG.
+template <class ES, class RS, class VS>
+SolveResult ppcg_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+                       ProtectedVector<VS>& u, const SpectralBounds& bounds,
+                       const PpcgOptions& opts = {}) {
+  const std::size_t n = u.size();
+  FaultLog* log = u.fault_log();
+  const DuePolicy policy = u.due_policy();
+  ProtectedVector<VS> r(n, log, policy);
+  ProtectedVector<VS> z(n, log, policy);
+  ProtectedVector<VS> p(n, log, policy);
+  ProtectedVector<VS> w(n, log, policy);
+  ProtectedVector<VS> inner_r(n, log, policy);
+  ProtectedVector<VS> inner_d(n, log, policy);
+
+  const double bnorm = norm2(b);
+  const double threshold = opts.base.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  // r = b - A u ; z = M^-1 r ; p = z.
+  spmv(a, u, w, opts.base.check_policy.mode_for_iteration(0));
+  sub(b, w, r);
+  detail::chebyshev_precondition(a, r, z, inner_r, inner_d, w, bounds, opts.inner_steps,
+                                 opts.base.check_policy.mode_for_iteration(0));
+  copy(z, p);
+  double rz = dot(r, z);
+
+  SolveResult result;
+  result.residual_norm = norm2(r);
+  if (result.residual_norm <= threshold) {
+    result.converged = true;
+    if (opts.base.final_matrix_verify) a.verify_all();
+    return result;
+  }
+
+  for (unsigned iter = 1; iter <= opts.base.max_iterations; ++iter) {
+    const CheckMode mode = opts.base.check_policy.mode_for_iteration(iter);
+    spmv(a, p, w, mode);
+    const double pw = dot(p, w);
+    if (pw == 0.0 || !std::isfinite(pw)) break;
+    const double alpha = rz / pw;
+    axpy(alpha, p, u);
+    axpy(-alpha, w, r);
+    result.iterations = iter;
+    result.residual_norm = norm2(r);
+    if (!std::isfinite(result.residual_norm)) break;
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+    detail::chebyshev_precondition(a, r, z, inner_r, inner_d, w, bounds,
+                                   opts.inner_steps, mode);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    xpby(z, beta, p);
+    rz = rz_new;
+  }
+  if (opts.base.final_matrix_verify) a.verify_all();
+  return result;
+}
+
+/// Convenience overload estimating the spectral bounds internally.
+template <class ES, class RS, class VS>
+SolveResult ppcg_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+                       ProtectedVector<VS>& u, const PpcgOptions& opts = {}) {
+  auto bounds = estimate_spectral_bounds<ES, RS, VS>(a);
+  bounds.lambda_min *= 0.9;
+  bounds.lambda_max *= 1.05;
+  return ppcg_solve(a, b, u, bounds, opts);
+}
+
+}  // namespace abft::solvers

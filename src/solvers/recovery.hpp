@@ -1,0 +1,66 @@
+/// \file recovery.hpp
+/// \brief DUE recovery by in-memory checkpoint-restart.
+///
+/// The paper's discussion (§VIII) points out that ABFT lets the *application*
+/// decide what happens on an uncorrectable error: instead of the machine-
+/// check abort a hardware DUE triggers, an iterative solver can restore a
+/// checkpoint and re-run. This wrapper demonstrates that: the pristine CSR
+/// matrix and the initial guess act as the checkpoint; on UncorrectableError
+/// or BoundsViolation the protected matrix is re-encoded from the pristine
+/// copy, the solution vector is restored, and the solve retries.
+#pragma once
+
+#include <cstddef>
+
+#include "abft/protected_csr.hpp"
+#include "abft/protected_kernels.hpp"
+#include "abft/protected_vector.hpp"
+#include "common/aligned.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace abft::solvers {
+
+/// Result of a recovering solve.
+struct RecoveringSolveResult {
+  SolveResult solve{};
+  unsigned restarts = 0;  ///< how many times the checkpoint was restored
+  bool gave_up = false;   ///< true when max_restarts was exhausted
+};
+
+/// CG with checkpoint-restart on detected-uncorrectable errors.
+///
+/// \p pristine is the fault-free matrix (the "checkpoint on disk"); \p a is
+/// the in-memory protected copy that faults may hit. \p u0 is the initial
+/// guess restored on every restart.
+template <class ES, class RS, class VS>
+RecoveringSolveResult cg_solve_with_restart(const sparse::CsrMatrix& pristine,
+                                            ProtectedCsr<ES, RS>& a,
+                                            ProtectedVector<VS>& b, ProtectedVector<VS>& u,
+                                            const SolveOptions& opts = {},
+                                            unsigned max_restarts = 3) {
+  // Checkpoint of the initial guess.
+  aligned_vector<double> u0(u.size());
+  u.extract(u0);
+
+  RecoveringSolveResult result;
+  for (;;) {
+    try {
+      result.solve = cg_solve(a, b, u, opts);
+      return result;
+    } catch (const UncorrectableError&) {
+    } catch (const BoundsViolation&) {
+    }
+    if (result.restarts >= max_restarts) {
+      result.gave_up = true;
+      return result;
+    }
+    ++result.restarts;
+    // Restore: re-encode the matrix from the pristine copy and reset u.
+    a = ProtectedCsr<ES, RS>::from_csr(pristine, a.fault_log(), a.due_policy());
+    u.assign(u0);
+  }
+}
+
+}  // namespace abft::solvers

@@ -1,0 +1,12 @@
+/// \file solvers.hpp
+/// \brief Umbrella header for the protection-aware iterative solvers.
+#pragma once
+
+#include "solvers/cg.hpp"              // IWYU pragma: export
+#include "solvers/chebyshev.hpp"       // IWYU pragma: export
+#include "solvers/eigen_estimate.hpp"  // IWYU pragma: export
+#include "solvers/jacobi.hpp"          // IWYU pragma: export
+#include "solvers/pcg.hpp"             // IWYU pragma: export
+#include "solvers/ppcg.hpp"            // IWYU pragma: export
+#include "solvers/recovery.hpp"        // IWYU pragma: export
+#include "solvers/types.hpp"           // IWYU pragma: export

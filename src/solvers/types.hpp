@@ -1,0 +1,32 @@
+/// \file types.hpp
+/// \brief Common option/result types for the iterative solvers.
+#pragma once
+
+#include <cstdint>
+
+#include "abft/check_policy.hpp"
+
+namespace abft::solvers {
+
+/// Options shared by all solvers.
+struct SolveOptions {
+  /// Convergence when ||r||_2 <= tolerance * max(||b||_2, 1).
+  double tolerance = 1e-10;
+  unsigned max_iterations = 10000;
+  /// Matrix integrity-check cadence (paper §VI-A2). Vectors are always
+  /// checked: they change every iteration.
+  CheckIntervalPolicy check_policy{1};
+  /// Run the end-of-solve whole-matrix verification. Mandatory when the
+  /// check interval skips iterations so no error escapes the time-step;
+  /// harmless (one extra sweep) otherwise.
+  bool final_matrix_verify = true;
+};
+
+/// Outcome of a solve.
+struct SolveResult {
+  unsigned iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+}  // namespace abft::solvers

@@ -1,0 +1,45 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abft::sparse {
+
+void CooMatrix::add(std::size_t row, std::size_t col, double value) {
+  if (row >= nrows_ || col >= ncols_) {
+    throw std::out_of_range("CooMatrix::add: index out of range");
+  }
+  entries_.push_back({static_cast<index_type>(row), static_cast<index_type>(col), value});
+}
+
+CsrMatrix CooMatrix::to_csr() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix csr(nrows_, ncols_);
+  csr.reserve(sorted.size());
+  auto& row_ptr = csr.row_ptr();
+  auto& cols = csr.cols();
+  auto& values = csr.values();
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    row_ptr[r] = static_cast<index_type>(values.size());
+    while (i < sorted.size() && sorted[i].row == r) {
+      const index_type c = sorted[i].col;
+      double sum = 0.0;
+      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+        sum += sorted[i].value;
+        ++i;
+      }
+      cols.push_back(c);
+      values.push_back(sum);
+    }
+  }
+  row_ptr[nrows_] = static_cast<index_type>(values.size());
+  return csr;
+}
+
+}  // namespace abft::sparse

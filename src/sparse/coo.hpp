@@ -1,0 +1,47 @@
+/// \file coo.hpp
+/// \brief Coordinate-format staging container used to assemble CSR matrices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace abft::sparse {
+
+/// Triplet (COO) matrix builder. Entries may be added in any order and with
+/// duplicates; to_csr() sorts rows/columns and sums duplicates, which is the
+/// usual finite-difference assembly path.
+class CooMatrix {
+ public:
+  using index_type = std::uint32_t;
+
+  struct Entry {
+    index_type row;
+    index_type col;
+    double value;
+  };
+
+  CooMatrix(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Record a contribution A(row, col) += value. Out-of-range indices throw.
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Convert to CSR: sorts by (row, col) and sums duplicate coordinates.
+  /// Entries that sum to exactly zero are kept (structural non-zeros), so the
+  /// sparsity pattern is deterministic for stencil matrices.
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+ private:
+  std::size_t nrows_;
+  std::size_t ncols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace abft::sparse

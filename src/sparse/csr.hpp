@@ -1,0 +1,107 @@
+/// \file csr.hpp
+/// \brief Compressed Sparse Row matrix, the storage format the paper protects.
+///
+/// A m x n sparse matrix is held as three dense vectors (paper §V-B):
+///   - values  (v): NNZ 64-bit doubles, non-zeros in row-major order;
+///   - cols    (y): NNZ 32-bit column indices;
+///   - row_ptr (x): m+1 32-bit offsets into v of each row's first non-zero.
+///
+/// 32-bit indices restrict matrices to < 2^32-1 non-zeros/columns, matching
+/// the paper's setting; the protection schemes further constrain the usable
+/// index range because they re-purpose the top bits (see abft/ layer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/aligned.hpp"
+
+namespace abft::sparse {
+
+/// Unprotected CSR matrix; the baseline for all overhead measurements.
+class CsrMatrix {
+ public:
+  using index_type = std::uint32_t;
+
+  CsrMatrix() = default;
+
+  /// Construct an empty matrix with \p nrows rows and \p ncols columns.
+  CsrMatrix(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {
+    row_ptr_.assign(nrows + 1, 0);
+  }
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  [[nodiscard]] aligned_vector<double>& values() noexcept { return values_; }
+  [[nodiscard]] const aligned_vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] aligned_vector<index_type>& cols() noexcept { return cols_; }
+  [[nodiscard]] const aligned_vector<index_type>& cols() const noexcept { return cols_; }
+  [[nodiscard]] aligned_vector<index_type>& row_ptr() noexcept { return row_ptr_; }
+  [[nodiscard]] const aligned_vector<index_type>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+
+  /// Number of non-zeros in row \p r.
+  [[nodiscard]] std::size_t row_nnz(std::size_t r) const noexcept {
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Entry lookup by (row, col); returns 0 for structural zeros. O(row nnz).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    for (index_type k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (cols_[k] == c) return values_[k];
+    }
+    return 0.0;
+  }
+
+  /// Structural sanity check; throws std::invalid_argument on malformed data.
+  void validate() const {
+    if (row_ptr_.size() != nrows_ + 1) {
+      throw std::invalid_argument("CSR: row_ptr size != nrows+1");
+    }
+    if (row_ptr_.front() != 0) throw std::invalid_argument("CSR: row_ptr[0] != 0");
+    if (row_ptr_.back() != values_.size()) {
+      throw std::invalid_argument("CSR: row_ptr back != nnz");
+    }
+    if (cols_.size() != values_.size()) {
+      throw std::invalid_argument("CSR: cols/values size mismatch");
+    }
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      if (row_ptr_[r] > row_ptr_[r + 1]) {
+        throw std::invalid_argument("CSR: row_ptr not monotone at row " + std::to_string(r));
+      }
+      for (index_type k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        if (cols_[k] >= ncols_) {
+          throw std::invalid_argument("CSR: column index out of range at row " +
+                                      std::to_string(r));
+        }
+        if (k > row_ptr_[r] && cols_[k] <= cols_[k - 1]) {
+          throw std::invalid_argument("CSR: columns not strictly increasing in row " +
+                                      std::to_string(r));
+        }
+      }
+    }
+  }
+
+  /// Reserve NNZ capacity up front (assembly convenience).
+  void reserve(std::size_t nnz_hint) {
+    values_.reserve(nnz_hint);
+    cols_.reserve(nnz_hint);
+  }
+
+ private:
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  aligned_vector<index_type> row_ptr_;
+  aligned_vector<index_type> cols_;
+  aligned_vector<double> values_;
+};
+
+/// y = A * x for an unprotected CSR matrix (baseline SpMV kernel).
+void spmv(const CsrMatrix& a, const double* x, double* y) noexcept;
+
+}  // namespace abft::sparse

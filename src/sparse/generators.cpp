@@ -1,0 +1,153 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace abft::sparse {
+
+namespace {
+
+/// Harmonic mean of two cell-centred coefficients (TeaLeaf's face value).
+[[nodiscard]] double face_coefficient(double a, double b) noexcept {
+  const double s = a + b;
+  return s > 0.0 ? 2.0 * a * b / s : 0.0;
+}
+
+}  // namespace
+
+CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny) {
+  const std::size_t n = nx * ny;
+  CsrMatrix csr(n, n);
+  csr.reserve(5 * n);
+  auto& row_ptr = csr.row_ptr();
+  auto& cols = csr.cols();
+  auto& values = csr.values();
+
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t r = j * nx + i;
+      row_ptr[r] = static_cast<CsrMatrix::index_type>(values.size());
+      if (j > 0) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r - nx));
+        values.push_back(-1.0);
+      }
+      if (i > 0) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r - 1));
+        values.push_back(-1.0);
+      }
+      cols.push_back(static_cast<CsrMatrix::index_type>(r));
+      values.push_back(4.0);
+      if (i + 1 < nx) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r + 1));
+        values.push_back(-1.0);
+      }
+      if (j + 1 < ny) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r + nx));
+        values.push_back(-1.0);
+      }
+    }
+  }
+  row_ptr[n] = static_cast<CsrMatrix::index_type>(values.size());
+  return csr;
+}
+
+CsrMatrix laplacian_2d_9pt(std::size_t nx, std::size_t ny) {
+  const std::size_t n = nx * ny;
+  CooMatrix coo(n, n);
+  coo.reserve(9 * n);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t r = j * nx + i;
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i) + di;
+          const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(j) + dj;
+          if (ii < 0 || jj < 0 || ii >= static_cast<std::ptrdiff_t>(nx) ||
+              jj >= static_cast<std::ptrdiff_t>(ny)) {
+            continue;
+          }
+          const std::size_t c =
+              static_cast<std::size_t>(jj) * nx + static_cast<std::size_t>(ii);
+          const double v = (di == 0 && dj == 0) ? 8.0 : -1.0;
+          coo.add(r, c, v);
+        }
+      }
+    }
+  }
+  return coo.to_csr();
+}
+
+CsrMatrix diffusion_2d(std::size_t nx, std::size_t ny, const double* kx, const double* ky,
+                       double lambda) {
+  const std::size_t n = nx * ny;
+  CsrMatrix csr(n, n);
+  csr.reserve(5 * n);
+  auto& row_ptr = csr.row_ptr();
+  auto& cols = csr.cols();
+  auto& values = csr.values();
+
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t r = j * nx + i;
+      row_ptr[r] = static_cast<CsrMatrix::index_type>(values.size());
+
+      // Face conductivities; zero flux through the domain boundary.
+      const double w = i > 0 ? face_coefficient(kx[r], kx[r - 1]) : 0.0;
+      const double e = i + 1 < nx ? face_coefficient(kx[r], kx[r + 1]) : 0.0;
+      const double s = j > 0 ? face_coefficient(ky[r], ky[r - nx]) : 0.0;
+      const double nf = j + 1 < ny ? face_coefficient(ky[r], ky[r + nx]) : 0.0;
+
+      if (j > 0) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r - nx));
+        values.push_back(-lambda * s);
+      }
+      if (i > 0) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r - 1));
+        values.push_back(-lambda * w);
+      }
+      cols.push_back(static_cast<CsrMatrix::index_type>(r));
+      values.push_back(1.0 + lambda * (w + e + s + nf));
+      if (i + 1 < nx) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r + 1));
+        values.push_back(-lambda * e);
+      }
+      if (j + 1 < ny) {
+        cols.push_back(static_cast<CsrMatrix::index_type>(r + nx));
+        values.push_back(-lambda * nf);
+      }
+    }
+  }
+  row_ptr[n] = static_cast<CsrMatrix::index_type>(values.size());
+  return csr;
+}
+
+CsrMatrix random_spd(std::size_t n, std::size_t nnz_per_row, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(n * (nnz_per_row + 1));
+  std::vector<double> diag(n, 1.0);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    std::set<std::size_t> picked;
+    while (picked.size() < std::min(nnz_per_row, n > 0 ? n - 1 : 0)) {
+      const std::size_t c = rng.below(n);
+      if (c != r) picked.insert(c);
+    }
+    for (std::size_t c : picked) {
+      // Symmetric off-diagonal pair with magnitude < 1.
+      const double v = -rng.uniform(0.01, 0.99) / static_cast<double>(2 * nnz_per_row);
+      coo.add(r, c, v);
+      coo.add(c, r, v);
+      diag[r] += -2.0 * v;
+      diag[c] += -2.0 * v;
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) coo.add(r, r, diag[r]);
+  return coo.to_csr();
+}
+
+}  // namespace abft::sparse

@@ -1,0 +1,35 @@
+/// \file generators.hpp
+/// \brief Test-problem matrix generators: 2-D stencils and random SPD
+/// matrices used by the tests and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace abft::sparse {
+
+/// Standard 5-point Laplacian on an nx x ny grid with Dirichlet boundaries:
+/// A(i,i) = 4, A(i, i +/- 1) = -1, A(i, i +/- nx) = -1. Symmetric positive
+/// definite; exactly the sparsity pattern TeaLeaf's operator has.
+[[nodiscard]] CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny);
+
+/// 9-point Laplacian variant (denser rows; exercises schemes whose per-row
+/// codewords need at least four non-zeros with margin).
+[[nodiscard]] CsrMatrix laplacian_2d_9pt(std::size_t nx, std::size_t ny);
+
+/// Variable-coefficient diffusion operator  (I + lambda * L_k)  on an
+/// nx x ny grid, where L_k is the 5-point operator with face conductivities
+/// kx/ky (arrays of size nx*ny; face value = harmonic mean of cell values).
+/// This is the matrix TeaLeaf assembles every timestep.
+[[nodiscard]] CsrMatrix diffusion_2d(std::size_t nx, std::size_t ny, const double* kx,
+                                     const double* ky, double lambda);
+
+/// Random diagonally-dominant SPD matrix with ~\p nnz_per_row off-diagonals
+/// per row; deterministic in \p seed. Used for property tests that should
+/// not depend on stencil structure.
+[[nodiscard]] CsrMatrix random_spd(std::size_t n, std::size_t nnz_per_row,
+                                   std::uint64_t seed);
+
+}  // namespace abft::sparse

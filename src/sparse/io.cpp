@@ -1,0 +1,86 @@
+#include "sparse/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+
+namespace abft::sparse {
+
+void write_matrix_market(std::ostream& os, const CsrMatrix& a) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << a.nrows() << ' ' << a.ncols() << ' ' << a.nnz() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      os << (r + 1) << ' ' << (a.cols()[k] + 1) << ' ' << a.values()[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market(const std::string& path, const CsrMatrix& a) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_matrix_market(os, a);
+}
+
+CsrMatrix read_matrix_market(std::istream& is) {
+  std::string line;
+  bool symmetric = false;
+  // Header.
+  if (!std::getline(is, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("MatrixMarket: missing header");
+  }
+  if (line.find("coordinate") == std::string::npos) {
+    throw std::runtime_error("MatrixMarket: only coordinate format supported");
+  }
+  symmetric = line.find("symmetric") != std::string::npos;
+  // Comments.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  std::size_t nrows = 0, ncols = 0, nnz = 0;
+  if (!(dims >> nrows >> ncols >> nnz)) {
+    throw std::runtime_error("MatrixMarket: bad size line");
+  }
+  CooMatrix coo(nrows, ncols);
+  coo.reserve(symmetric ? 2 * nnz : nnz);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    std::size_t r = 0, c = 0;
+    double v = 0.0;
+    if (!(is >> r >> c >> v)) throw std::runtime_error("MatrixMarket: truncated entries");
+    if (r == 0 || c == 0 || r > nrows || c > ncols) {
+      throw std::runtime_error("MatrixMarket: entry index out of range");
+    }
+    coo.add(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.add(c - 1, r - 1, v);
+  }
+  return coo.to_csr();
+}
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market(is);
+}
+
+void write_vector(const std::string& path, const aligned_vector<double>& v) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  os << std::setprecision(17);
+  for (double x : v) os << x << '\n';
+}
+
+aligned_vector<double> read_vector(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  aligned_vector<double> v;
+  double x = 0.0;
+  while (is >> x) v.push_back(x);
+  return v;
+}
+
+}  // namespace abft::sparse

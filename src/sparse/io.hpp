@@ -1,0 +1,28 @@
+/// \file io.hpp
+/// \brief Minimal MatrixMarket-style text IO so examples can persist and
+/// reload matrices and vectors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/aligned.hpp"
+#include "sparse/csr.hpp"
+
+namespace abft::sparse {
+
+/// Write \p a in MatrixMarket "coordinate real general" format (1-based).
+void write_matrix_market(std::ostream& os, const CsrMatrix& a);
+void write_matrix_market(const std::string& path, const CsrMatrix& a);
+
+/// Read a MatrixMarket "coordinate real" matrix (general or symmetric;
+/// symmetric entries are mirrored). Throws std::runtime_error on parse
+/// errors.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& is);
+[[nodiscard]] CsrMatrix read_matrix_market(const std::string& path);
+
+/// Plain one-value-per-line dense vector IO.
+void write_vector(const std::string& path, const aligned_vector<double>& v);
+[[nodiscard]] aligned_vector<double> read_vector(const std::string& path);
+
+}  // namespace abft::sparse

@@ -1,0 +1,21 @@
+#include <cstdint>
+
+#include "sparse/csr64.hpp"
+
+namespace abft::sparse {
+
+void spmv(const Csr64Matrix& a, const double* x, double* y) noexcept {
+  const auto* row_ptr = a.row_ptr().data();
+  const auto* cols = a.cols().data();
+  const auto* values = a.values().data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(a.nrows()); ++r) {
+    double sum = 0.0;
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      sum += values[k] * x[cols[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+}  // namespace abft::sparse

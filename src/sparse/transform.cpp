@@ -1,0 +1,42 @@
+#include "sparse/transform.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+
+namespace abft::sparse {
+
+CsrMatrix pad_rows_to_min_nnz(const CsrMatrix& a, std::size_t min_nnz) {
+  if (min_nnz > a.ncols()) {
+    throw std::invalid_argument("pad_rows_to_min_nnz: min_nnz exceeds column count");
+  }
+  CooMatrix coo(a.nrows(), a.ncols());
+  coo.reserve(a.nnz() + a.nrows());
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    std::set<std::size_t> present;
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      coo.add(r, a.cols()[k], a.values()[k]);
+      present.insert(a.cols()[k]);
+    }
+    std::size_t candidate = 0;
+    while (present.size() < min_nnz) {
+      if (present.insert(candidate).second) coo.add(r, candidate, 0.0);
+      ++candidate;
+    }
+  }
+  return coo.to_csr();
+}
+
+CsrMatrix transpose(const CsrMatrix& a) {
+  CooMatrix coo(a.ncols(), a.nrows());
+  coo.reserve(a.nnz());
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      coo.add(a.cols()[k], r, a.values()[k]);
+    }
+  }
+  return coo.to_csr();
+}
+
+}  // namespace abft::sparse

@@ -1,0 +1,26 @@
+/// \file transform.hpp
+/// \brief Structural CSR transformations.
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/csr.hpp"
+
+namespace abft::sparse {
+
+/// Return a copy of \p a where every row has at least \p min_nnz entries,
+/// achieved by inserting explicit zero-valued entries in the lowest column
+/// positions not already present. Numerics are unchanged (the new entries
+/// are exact zeros); only the sparsity pattern grows.
+///
+/// The per-row CRC32C protection scheme (paper Fig. 1c) stores its 32-bit
+/// checksum in the top byte of the first four elements of each row, so rows
+/// need >= 4 non-zeros. TeaLeaf's five-point stencil matrix satisfies this
+/// everywhere except (depending on assembly convention) boundary rows, which
+/// this pads.
+[[nodiscard]] CsrMatrix pad_rows_to_min_nnz(const CsrMatrix& a, std::size_t min_nnz);
+
+/// Transpose (used by tests to verify symmetry of generated operators).
+[[nodiscard]] CsrMatrix transpose(const CsrMatrix& a);
+
+}  // namespace abft::sparse

@@ -1,0 +1,56 @@
+#include "sparse/vector_ops.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace abft::sparse {
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void xpby(const double* x, double beta, double* y, std::size_t n) noexcept {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    y[i] = x[i] + beta * y[i];
+  }
+}
+
+void copy(const double* src, double* dst, std::size_t n) noexcept {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    dst[i] = src[i];
+  }
+}
+
+void scale(double alpha, double* x, std::size_t n) noexcept {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    x[i] *= alpha;
+  }
+}
+
+double norm2(const double* x, std::size_t n) noexcept {
+  return std::sqrt(dot(x, x, n));
+}
+
+void fill(double* x, double value, std::size_t n) noexcept {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    x[i] = value;
+  }
+}
+
+}  // namespace abft::sparse

@@ -1,0 +1,33 @@
+/// \file vector_ops.hpp
+/// \brief Dense BLAS-1 kernels on raw double arrays (OpenMP-parallel).
+///
+/// These are the unprotected baselines; the protected equivalents that
+/// operate on codeword groups live in abft/protected_kernels.hpp.
+#pragma once
+
+#include <cstddef>
+
+namespace abft::sparse {
+
+/// result = sum_i a[i] * b[i]
+[[nodiscard]] double dot(const double* a, const double* b, std::size_t n) noexcept;
+
+/// y[i] += alpha * x[i]
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept;
+
+/// y[i] = x[i] + beta * y[i]   (CG direction update)
+void xpby(const double* x, double beta, double* y, std::size_t n) noexcept;
+
+/// dst[i] = src[i]
+void copy(const double* src, double* dst, std::size_t n) noexcept;
+
+/// x[i] *= alpha
+void scale(double alpha, double* x, std::size_t n) noexcept;
+
+/// sqrt(sum_i x[i]^2)
+[[nodiscard]] double norm2(const double* x, std::size_t n) noexcept;
+
+/// x[i] = value
+void fill(double* x, double value, std::size_t n) noexcept;
+
+}  // namespace abft::sparse

@@ -1,0 +1,226 @@
+#include "tealeaf/deck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace abft::tealeaf {
+
+const char* to_string(SolverKind k) noexcept {
+  switch (k) {
+    case SolverKind::cg: return "cg";
+    case SolverKind::jacobi: return "jacobi";
+    case SolverKind::chebyshev: return "chebyshev";
+    case SolverKind::ppcg: return "ppcg";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Split a line into whitespace-separated tokens.
+[[nodiscard]] std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string t;
+  while (iss >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// Split "key=value" (value may be empty for flag tokens).
+struct KeyValue {
+  std::string key;
+  std::string value;
+  bool has_value = false;
+};
+
+[[nodiscard]] KeyValue split_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return {lower(token), "", false};
+  return {lower(token.substr(0, eq)), token.substr(eq + 1), true};
+}
+
+[[nodiscard]] double to_double(const std::string& s, std::size_t line_no) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("deck line " + std::to_string(line_no) +
+                             ": expected a number, got '" + s + "'");
+  }
+}
+
+[[nodiscard]] unsigned to_unsigned(const std::string& s, std::size_t line_no) {
+  const double v = to_double(s, line_no);
+  if (v < 0) {
+    throw std::runtime_error("deck line " + std::to_string(line_no) +
+                             ": expected a non-negative integer, got '" + s + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
+void parse_state(const std::vector<std::string>& tokens, std::size_t line_no,
+                 Config& config) {
+  if (tokens.size() < 2) {
+    throw std::runtime_error("deck line " + std::to_string(line_no) +
+                             ": state needs an index");
+  }
+  const auto index = static_cast<std::size_t>(to_unsigned(tokens[1], line_no));
+  if (index == 0) {
+    throw std::runtime_error("deck line " + std::to_string(line_no) +
+                             ": state indices are 1-based");
+  }
+  if (config.states.size() < index) config.states.resize(index);
+  State& st = config.states[index - 1];
+
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto kv = split_kv(tokens[i]);
+    if (!kv.has_value) {
+      throw std::runtime_error("deck line " + std::to_string(line_no) +
+                               ": state expects key=value, got '" + tokens[i] + "'");
+    }
+    if (kv.key == "density") {
+      st.density = to_double(kv.value, line_no);
+    } else if (kv.key == "energy") {
+      st.energy = to_double(kv.value, line_no);
+    } else if (kv.key == "geometry") {
+      const auto g = lower(kv.value);
+      if (g == "rectangle") {
+        st.geometry = Geometry::rectangle;
+      } else if (g == "circle") {
+        st.geometry = Geometry::circle;
+      } else if (g == "point") {
+        st.geometry = Geometry::point;
+      } else {
+        throw std::runtime_error("deck line " + std::to_string(line_no) +
+                                 ": unknown geometry '" + kv.value + "'");
+      }
+    } else if (kv.key == "xmin") {
+      st.xmin = to_double(kv.value, line_no);
+    } else if (kv.key == "xmax") {
+      st.xmax = to_double(kv.value, line_no);
+    } else if (kv.key == "ymin") {
+      st.ymin = to_double(kv.value, line_no);
+    } else if (kv.key == "ymax") {
+      st.ymax = to_double(kv.value, line_no);
+    } else if (kv.key == "radius") {
+      st.radius = to_double(kv.value, line_no);
+    } else if (kv.key == "centrex" || kv.key == "centerx") {
+      st.cx = to_double(kv.value, line_no);
+    } else if (kv.key == "centrey" || kv.key == "centery") {
+      st.cy = to_double(kv.value, line_no);
+    }
+    // Unknown state keys are ignored, mirroring TeaLeaf.
+  }
+}
+
+}  // namespace
+
+Config parse_deck(std::istream& is) {
+  Config config;
+  config.states.clear();
+  // Unlike the programmatic Config default, a deck must specify the grid.
+  config.mesh.nx = 0;
+  config.mesh.ny = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_block = false;
+  bool saw_block = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments (TeaLeaf uses '!' and we also accept '#').
+    for (const char c : {'!', '#'}) {
+      const auto pos = line.find(c);
+      if (pos != std::string::npos) line.erase(pos);
+    }
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const auto head = lower(tokens[0]);
+
+    if (head == "*tea") {
+      in_block = true;
+      saw_block = true;
+      continue;
+    }
+    if (head == "*endtea") {
+      in_block = false;
+      continue;
+    }
+    if (saw_block && !in_block) continue;
+
+    if (head == "state") {
+      parse_state(tokens, line_no, config);
+      continue;
+    }
+
+    // Every remaining token on the line is key=value or a flag.
+    for (const auto& token : tokens) {
+      const auto kv = split_kv(token);
+      if (kv.key == "x_cells") {
+        config.mesh.nx = to_unsigned(kv.value, line_no);
+      } else if (kv.key == "y_cells") {
+        config.mesh.ny = to_unsigned(kv.value, line_no);
+      } else if (kv.key == "xmin") {
+        config.mesh.xmin = to_double(kv.value, line_no);
+      } else if (kv.key == "xmax") {
+        config.mesh.xmax = to_double(kv.value, line_no);
+      } else if (kv.key == "ymin") {
+        config.mesh.ymin = to_double(kv.value, line_no);
+      } else if (kv.key == "ymax") {
+        config.mesh.ymax = to_double(kv.value, line_no);
+      } else if (kv.key == "initial_timestep") {
+        config.initial_timestep = to_double(kv.value, line_no);
+      } else if (kv.key == "end_step") {
+        config.end_step = to_unsigned(kv.value, line_no);
+      } else if (kv.key == "tl_eps") {
+        config.tl_eps = to_double(kv.value, line_no);
+      } else if (kv.key == "tl_max_iters") {
+        config.tl_max_iters = to_unsigned(kv.value, line_no);
+      } else if (kv.key == "tl_ppcg_inner_steps") {
+        config.tl_ppcg_inner_steps = to_unsigned(kv.value, line_no);
+      } else if (kv.key == "tl_use_cg") {
+        config.solver = SolverKind::cg;
+      } else if (kv.key == "tl_use_jacobi") {
+        config.solver = SolverKind::jacobi;
+      } else if (kv.key == "tl_use_chebyshev") {
+        config.solver = SolverKind::chebyshev;
+      } else if (kv.key == "tl_use_ppcg") {
+        config.solver = SolverKind::ppcg;
+      } else if (kv.key == "tl_coefficient_density") {
+        config.coefficient = CoefficientMode::conductivity;
+      } else if (kv.key == "tl_coefficient_recip_density") {
+        config.coefficient = CoefficientMode::recip_conductivity;
+      }
+      // Unknown keys ignored (TeaLeaf behaviour).
+    }
+  }
+
+  if (config.states.empty()) {
+    config.states.push_back(State{.density = 100.0, .energy = 0.0001});
+  }
+  if (config.mesh.nx == 0 || config.mesh.ny == 0) {
+    throw std::runtime_error("deck: x_cells and y_cells must be positive");
+  }
+  return config;
+}
+
+Config parse_deck_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open deck file " + path);
+  return parse_deck(is);
+}
+
+Config parse_deck_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_deck(is);
+}
+
+}  // namespace abft::tealeaf

@@ -1,0 +1,62 @@
+/// \file deck.hpp
+/// \brief TeaLeaf input deck ("tea.in") parsing and problem configuration.
+///
+/// Supports the subset of the TeaLeaf deck the paper's experiments use:
+/// grid size, domain extents, timestep control, solver selection and
+/// tolerance, and the initial state regions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tealeaf/mesh.hpp"
+
+namespace abft::tealeaf {
+
+/// Geometry of an initial-state region.
+enum class Geometry : std::uint8_t { rectangle, circle, point };
+
+/// One `state` line from the deck: material properties applied to a region.
+struct State {
+  double density = 1.0;
+  double energy = 1.0;
+  Geometry geometry = Geometry::rectangle;
+  double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;  ///< rectangle bounds
+  double radius = 0.0;                                    ///< circle radius
+  double cx = 0.0, cy = 0.0;                              ///< circle/point centre
+};
+
+/// Which solver drives the time-step.
+enum class SolverKind : std::uint8_t { cg, jacobi, chebyshev, ppcg };
+
+[[nodiscard]] const char* to_string(SolverKind k) noexcept;
+
+/// How cell conductivity derives from density (TeaLeaf's CONDUCTIVITY /
+/// RECIP_CONDUCTIVITY coefficient modes).
+enum class CoefficientMode : std::uint8_t { conductivity, recip_conductivity };
+
+/// Full problem configuration (defaults mirror TeaLeaf's tea.in defaults,
+/// scaled down; the paper's benchmark deck is 2048x2048 cells, 5 timesteps).
+struct Config {
+  Mesh2D mesh{.nx = 64, .ny = 64};
+  double initial_timestep = 0.004;
+  unsigned end_step = 5;
+  double tl_eps = 1e-15;
+  unsigned tl_max_iters = 10000;
+  SolverKind solver = SolverKind::cg;
+  CoefficientMode coefficient = CoefficientMode::conductivity;
+  unsigned tl_ppcg_inner_steps = 4;
+  /// State 1 is the default material; further states overwrite regions.
+  std::vector<State> states{State{.density = 100.0, .energy = 0.0001}};
+};
+
+/// Parse a tea.in-style deck. Throws std::runtime_error with a line number
+/// on malformed input. Unknown keys are ignored (TeaLeaf behaviour).
+[[nodiscard]] Config parse_deck(std::istream& is);
+[[nodiscard]] Config parse_deck_file(const std::string& path);
+[[nodiscard]] Config parse_deck_string(const std::string& text);
+
+}  // namespace abft::tealeaf

@@ -1,0 +1,38 @@
+#include "tealeaf/driver.hpp"
+
+namespace abft::tealeaf {
+
+namespace {
+
+template <class ES, class RS, class VS>
+RunResult run_impl(const Config& config, unsigned check_interval, FaultLog* log,
+                   DuePolicy policy) {
+  Simulation<ES, RS, VS> sim(config, log, policy);
+  sim.set_check_interval(check_interval);
+  return sim.run();
+}
+
+}  // namespace
+
+RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
+                                 unsigned check_interval, FaultLog* log,
+                                 DuePolicy policy) {
+  switch (scheme) {
+    case ecc::Scheme::none:
+      return run_impl<ElemNone, RowNone, VecNone>(config, check_interval, log, policy);
+    case ecc::Scheme::sed:
+      return run_impl<ElemSed, RowSed, VecSed>(config, check_interval, log, policy);
+    case ecc::Scheme::secded64:
+      return run_impl<ElemSecded, RowSecded64, VecSecded64>(config, check_interval, log,
+                                                            policy);
+    case ecc::Scheme::secded128:
+      return run_impl<ElemSecded, RowSecded128, VecSecded128>(config, check_interval,
+                                                              log, policy);
+    case ecc::Scheme::crc32c:
+      return run_impl<ElemCrc32c, RowCrc32c, VecCrc32c>(config, check_interval, log,
+                                                        policy);
+  }
+  throw std::invalid_argument("run_simulation_uniform: unknown scheme");
+}
+
+}  // namespace abft::tealeaf

@@ -1,0 +1,143 @@
+/// \file driver.hpp
+/// \brief Timestep driver: the TeaLeaf main loop over protected containers.
+///
+/// Each timestep (paper §V-A): the matrix is assembled from the current
+/// material state, protected once (it does not change during the solve —
+/// the property the check-interval optimisation exploits), the linear system
+/// is solved with the configured solver, and the energy field is updated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abft/protected_csr.hpp"
+#include "abft/protected_kernels.hpp"
+#include "abft/protected_vector.hpp"
+#include "common/fault_log.hpp"
+#include "common/timer.hpp"
+#include "solvers/solvers.hpp"
+#include "sparse/transform.hpp"
+#include "sparse/vector_ops.hpp"
+#include "tealeaf/problem.hpp"
+
+namespace abft::tealeaf {
+
+/// Result of one timestep.
+struct StepResult {
+  unsigned iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+  double seconds = 0.0;
+};
+
+/// Result of a whole simulation run.
+struct RunResult {
+  std::vector<StepResult> steps;
+  unsigned total_iterations = 0;
+  bool all_converged = true;
+  double solve_seconds = 0.0;   ///< total time inside the solver
+  double wall_seconds = 0.0;    ///< total including assembly/encode
+  double final_field_norm = 0.0;  ///< ||u||_2 after the last step
+  Problem::FieldSummary final_summary{};  ///< TeaLeaf field_summary diagnostics
+};
+
+/// TeaLeaf simulation templated on the protection schemes.
+template <class ES, class RS, class VS>
+class Simulation {
+ public:
+  explicit Simulation(const Config& config, FaultLog* log = nullptr,
+                      DuePolicy policy = DuePolicy::throw_exception)
+      : problem_(config), log_(log), policy_(policy) {
+    opts_.tolerance = config.tl_eps;
+    opts_.max_iterations = config.tl_max_iters;
+  }
+
+  /// Matrix integrity-check cadence (paper §VI-A2); 1 = every iteration.
+  void set_check_interval(unsigned interval) {
+    opts_.check_policy = CheckIntervalPolicy(interval);
+  }
+
+  [[nodiscard]] Problem& problem() noexcept { return problem_; }
+  [[nodiscard]] const solvers::SolveOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] solvers::SolveOptions& options() noexcept { return opts_; }
+
+  /// Run one timestep; returns the solver statistics.
+  StepResult step() {
+    const std::size_t n = problem_.mesh().cells();
+
+    // Assemble and protect this step's operator.
+    sparse::CsrMatrix a = problem_.assemble_matrix();
+    if constexpr (ES::kMinRowNnz > 1) {
+      a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
+    }
+    auto pa = ProtectedCsr<ES, RS>::from_csr(a, log_, policy_);
+
+    // b = u_old; initial guess u = u_old.
+    ProtectedVector<VS> b(n, log_, policy_);
+    ProtectedVector<VS> u(n, log_, policy_);
+    b.assign({problem_.u().data(), n});
+    u.assign({problem_.u().data(), n});
+
+    Timer solve_timer;
+    solvers::SolveResult res;
+    switch (problem_.config().solver) {
+      case SolverKind::cg:
+        res = solvers::cg_solve(pa, b, u, opts_);
+        break;
+      case SolverKind::jacobi:
+        res = solvers::jacobi_solve(pa, b, u, opts_);
+        break;
+      case SolverKind::chebyshev:
+        res = solvers::chebyshev_solve(pa, b, u, opts_);
+        break;
+      case SolverKind::ppcg: {
+        solvers::PpcgOptions popts;
+        popts.base = opts_;
+        popts.inner_steps = problem_.config().tl_ppcg_inner_steps;
+        res = solvers::ppcg_solve(pa, b, u, popts);
+        break;
+      }
+    }
+    const double solve_seconds = solve_timer.seconds();
+
+    // Extract the solution and update the energy field.
+    u.extract({problem_.u().data(), n});
+    problem_.update_energy_from_u();
+
+    return {res.iterations, res.residual_norm, res.converged, solve_seconds};
+  }
+
+  /// Run the configured number of timesteps.
+  RunResult run() {
+    Timer wall;
+    RunResult result;
+    for (unsigned s = 0; s < problem_.config().end_step; ++s) {
+      const StepResult sr = step();
+      result.total_iterations += sr.iterations;
+      result.all_converged = result.all_converged && sr.converged;
+      result.solve_seconds += sr.seconds;
+      result.steps.push_back(sr);
+    }
+    result.wall_seconds = wall.seconds();
+    result.final_field_norm =
+        sparse::norm2(problem_.u().data(), problem_.mesh().cells());
+    result.final_summary = problem_.field_summary();
+    return result;
+  }
+
+ private:
+  Problem problem_;
+  FaultLog* log_;
+  DuePolicy policy_;
+  solvers::SolveOptions opts_{};
+};
+
+/// Convenience: run a full simulation with a *uniform* protection scheme
+/// (the same code family protecting elements, row pointers and vectors),
+/// selected at runtime. This is what the examples use; benches compose the
+/// per-axis dispatchers themselves.
+RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
+                                 unsigned check_interval = 1, FaultLog* log = nullptr,
+                                 DuePolicy policy = DuePolicy::throw_exception);
+
+}  // namespace abft::tealeaf

@@ -1,0 +1,41 @@
+/// \file mesh.hpp
+/// \brief Regular 2-D grid for the heat-conduction miniapp.
+#pragma once
+
+#include <cstddef>
+
+namespace abft::tealeaf {
+
+/// Spatially decomposed regular grid (paper §V-A: TeaLeaf solves the linear
+/// heat conduction equation in 2D on a regular grid with a 5-point stencil).
+struct Mesh2D {
+  std::size_t nx = 0;  ///< cells in x
+  std::size_t ny = 0;  ///< cells in y
+  double xmin = 0.0;
+  double xmax = 10.0;
+  double ymin = 0.0;
+  double ymax = 10.0;
+
+  [[nodiscard]] std::size_t cells() const noexcept { return nx * ny; }
+  [[nodiscard]] double dx() const noexcept {
+    return nx > 0 ? (xmax - xmin) / static_cast<double>(nx) : 0.0;
+  }
+  [[nodiscard]] double dy() const noexcept {
+    return ny > 0 ? (ymax - ymin) / static_cast<double>(ny) : 0.0;
+  }
+
+  /// Cell-centre coordinates of cell (i, j).
+  [[nodiscard]] double cx(std::size_t i) const noexcept {
+    return xmin + (static_cast<double>(i) + 0.5) * dx();
+  }
+  [[nodiscard]] double cy(std::size_t j) const noexcept {
+    return ymin + (static_cast<double>(j) + 0.5) * dy();
+  }
+
+  /// Linear index of cell (i, j), row-major.
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const noexcept {
+    return j * nx + i;
+  }
+};
+
+}  // namespace abft::tealeaf

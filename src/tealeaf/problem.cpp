@@ -1,0 +1,108 @@
+#include "tealeaf/problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/generators.hpp"
+
+namespace abft::tealeaf {
+
+Problem::Problem(const Config& config) : config_(config) {
+  const std::size_t n = config_.mesh.cells();
+  if (n == 0) throw std::invalid_argument("Problem: empty mesh");
+  density_.assign(n, 1.0);
+  energy_.assign(n, 1.0);
+  u_.assign(n, 0.0);
+  apply_states();
+}
+
+void Problem::apply_states() {
+  const Mesh2D& mesh = config_.mesh;
+  if (config_.states.empty()) {
+    throw std::invalid_argument("Problem: deck defines no states");
+  }
+
+  // State 1 is the ambient material filling the whole domain.
+  const State& ambient = config_.states.front();
+  for (std::size_t c = 0; c < mesh.cells(); ++c) {
+    density_[c] = ambient.density;
+    energy_[c] = ambient.energy;
+  }
+
+  // Later states overwrite their regions (deck order matters).
+  for (std::size_t s = 1; s < config_.states.size(); ++s) {
+    const State& st = config_.states[s];
+    for (std::size_t j = 0; j < mesh.ny; ++j) {
+      for (std::size_t i = 0; i < mesh.nx; ++i) {
+        const double x = mesh.cx(i);
+        const double y = mesh.cy(j);
+        bool inside = false;
+        switch (st.geometry) {
+          case Geometry::rectangle:
+            inside = x >= st.xmin && x < st.xmax && y >= st.ymin && y < st.ymax;
+            break;
+          case Geometry::circle: {
+            const double dx = x - st.cx;
+            const double dy = y - st.cy;
+            inside = dx * dx + dy * dy <= st.radius * st.radius;
+            break;
+          }
+          case Geometry::point:
+            inside = std::abs(x - st.cx) <= mesh.dx() / 2 &&
+                     std::abs(y - st.cy) <= mesh.dy() / 2;
+            break;
+        }
+        if (inside) {
+          const std::size_t c = mesh.index(i, j);
+          density_[c] = st.density;
+          energy_[c] = st.energy;
+        }
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < mesh.cells(); ++c) u_[c] = energy_[c] * density_[c];
+}
+
+aligned_vector<double> Problem::conductivity() const {
+  aligned_vector<double> w(density_.size());
+  for (std::size_t c = 0; c < density_.size(); ++c) {
+    w[c] = config_.coefficient == CoefficientMode::conductivity
+               ? density_[c]
+               : (density_[c] != 0.0 ? 1.0 / density_[c] : 0.0);
+  }
+  return w;
+}
+
+double Problem::lambda() const noexcept {
+  const Mesh2D& mesh = config_.mesh;
+  return config_.initial_timestep / (mesh.dx() * mesh.dy());
+}
+
+sparse::CsrMatrix Problem::assemble_matrix() const {
+  const auto w = conductivity();
+  return sparse::diffusion_2d(config_.mesh.nx, config_.mesh.ny, w.data(), w.data(),
+                              lambda());
+}
+
+void Problem::update_energy_from_u() {
+  for (std::size_t c = 0; c < density_.size(); ++c) {
+    energy_[c] = density_[c] != 0.0 ? u_[c] / density_[c] : 0.0;
+  }
+}
+
+Problem::FieldSummary Problem::field_summary() const {
+  const Mesh2D& mesh = config_.mesh;
+  const double cell_volume = mesh.dx() * mesh.dy();
+  FieldSummary s;
+  for (std::size_t c = 0; c < density_.size(); ++c) {
+    const double cell_mass = density_[c] * cell_volume;
+    s.volume += cell_volume;
+    s.mass += cell_mass;
+    s.internal_energy += cell_mass * energy_[c];
+    s.temperature += cell_volume * u_[c];
+  }
+  return s;
+}
+
+}  // namespace abft::tealeaf

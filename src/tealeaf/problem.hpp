@@ -1,0 +1,64 @@
+/// \file problem.hpp
+/// \brief Scheme-independent TeaLeaf problem state: material fields, initial
+/// conditions, and the per-timestep coefficient/matrix assembly inputs.
+#pragma once
+
+#include "common/aligned.hpp"
+#include "sparse/csr.hpp"
+#include "tealeaf/deck.hpp"
+#include "tealeaf/mesh.hpp"
+
+namespace abft::tealeaf {
+
+/// Cell-centred fields and assembly helpers for the heat-conduction problem.
+///
+/// TeaLeaf solves dE/dt = div(k grad u) implicitly: each timestep assembles
+/// A = I + lambda * L_k (L_k the 5-point operator with face conductivities
+/// from the harmonic mean of cell conductivities) and solves A u_new = u_old.
+class Problem {
+ public:
+  explicit Problem(const Config& config);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Mesh2D& mesh() const noexcept { return config_.mesh; }
+
+  [[nodiscard]] const aligned_vector<double>& density() const noexcept { return density_; }
+  [[nodiscard]] const aligned_vector<double>& energy() const noexcept { return energy_; }
+  /// Solution field u = energy * density (TeaLeaf's conserved quantity).
+  [[nodiscard]] const aligned_vector<double>& u() const noexcept { return u_; }
+  [[nodiscard]] aligned_vector<double>& u() noexcept { return u_; }
+
+  /// Cell conductivity per the deck's coefficient mode.
+  [[nodiscard]] aligned_vector<double> conductivity() const;
+
+  /// lambda = dt / (dx*dy); the implicit coupling strength used in assembly.
+  [[nodiscard]] double lambda() const noexcept;
+
+  /// Assemble this timestep's CSR operator A = I + lambda * L_k.
+  [[nodiscard]] sparse::CsrMatrix assemble_matrix() const;
+
+  /// Push the solved u back into the energy field (energy = u / density).
+  void update_energy_from_u();
+
+  /// TeaLeaf's field_summary diagnostics, printed after each step by the
+  /// reference miniapp: cell volume, mass, internal energy and temperature
+  /// integrals over the domain.
+  struct FieldSummary {
+    double volume = 0.0;
+    double mass = 0.0;
+    double internal_energy = 0.0;
+    double temperature = 0.0;
+  };
+
+  [[nodiscard]] FieldSummary field_summary() const;
+
+ private:
+  void apply_states();
+
+  Config config_;
+  aligned_vector<double> density_;
+  aligned_vector<double> energy_;
+  aligned_vector<double> u_;
+};
+
+}  // namespace abft::tealeaf

@@ -1,0 +1,149 @@
+// Check-interval semantics (paper §VI-A2): skipping integrity checks
+// amortises their cost, errors are found at the next full check or at the
+// mandatory end-of-solve sweep, and no error ever escapes a time-step.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "abft/abft.hpp"
+#include "faults/injector.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::solvers;
+
+struct Problem {
+  sparse::CsrMatrix a;
+  aligned_vector<double> rhs;
+
+  Problem() {
+    a = sparse::laplacian_2d(20, 20);
+    aligned_vector<double> ones(a.nrows(), 1.0);
+    rhs.assign(a.nrows(), 0.0);
+    sparse::spmv(a, ones.data(), rhs.data());
+  }
+};
+
+TEST(CheckInterval, SkipIterationsRunFewerMatrixChecks) {
+  Problem prob;
+  const auto count_checks = [&](unsigned interval) {
+    FaultLog log;
+    auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(prob.a, &log,
+                                                              DuePolicy::record_only);
+    // Vectors carry no log so the counter sees only matrix checks.
+    ProtectedVector<VecNone> b(prob.a.nrows()), u(prob.a.nrows());
+    b.assign({prob.rhs.data(), prob.rhs.size()});
+    SolveOptions opts;
+    opts.tolerance = 0.0;  // fixed work
+    opts.max_iterations = 32;
+    opts.check_policy = CheckIntervalPolicy(interval);
+    opts.final_matrix_verify = false;
+    (void)cg_solve(pa, b, u, opts);
+    return log.checks();
+  };
+  const auto every = count_checks(1);
+  const auto fourth = count_checks(4);
+  const auto sixteenth = count_checks(16);
+  // The counters also include the x-vector group decodes of the SpMV (a
+  // fixed per-iteration cost even in bounds-only mode), so the reduction is
+  // not a clean 1/4 and 1/16 — but it must be strictly and substantially
+  // ordered.
+  EXPECT_LT(fourth, (every * 3) / 4);
+  EXPECT_LT(sixteenth, fourth);
+
+  // Isolated single-SpMV comparison: bounds-only skips all matrix codeword
+  // checks, so exactly the x-read decodes remain.
+  FaultLog log_full, log_bounds;
+  auto pa_full = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(prob.a, &log_full,
+                                                                 DuePolicy::record_only);
+  auto pa_bounds = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(
+      prob.a, &log_bounds, DuePolicy::record_only);
+  ProtectedVector<VecNone> x(prob.a.ncols()), y(prob.a.nrows());
+  fill(x, 1.0);
+  spmv(pa_full, x, y, CheckMode::full);
+  spmv(pa_bounds, x, y, CheckMode::bounds_only);
+  // Full mode adds at least one check per matrix element on top.
+  EXPECT_GE(log_full.checks(), log_bounds.checks() + prob.a.nnz());
+}
+
+TEST(CheckInterval, CorrectableFaultIsFoundAtNextFullCheck) {
+  Problem prob;
+  FaultLog log;
+  auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(prob.a, &log,
+                                                            DuePolicy::record_only);
+  ProtectedVector<VecSecded64> b(prob.a.nrows(), &log, DuePolicy::record_only);
+  ProtectedVector<VecSecded64> u(prob.a.nrows(), &log, DuePolicy::record_only);
+  b.assign({prob.rhs.data(), prob.rhs.size()});
+
+  auto vals = pa.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()},
+                   64 * 13 + 21);
+
+  SolveOptions opts;
+  opts.tolerance = 1e-11;
+  opts.check_policy = CheckIntervalPolicy(8);
+  const auto res = cg_solve(pa, b, u, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(log.corrected(), 1u) << "flip must be caught at a full-check iteration";
+
+  // And the matrix ends the solve fully repaired.
+  log.clear();
+  EXPECT_EQ(pa.verify_all(), 0u);
+  EXPECT_EQ(log.corrected(), 0u);
+}
+
+TEST(CheckInterval, DetectionOnlySchemeStillCatchesByFinalSweep) {
+  // Paper: with intervals the correction ability is effectively lost, so
+  // detection codes (SED) are recommended; the end-of-timestep sweep
+  // guarantees the error cannot escape unnoticed.
+  Problem prob;
+  FaultLog log;
+  auto pa =
+      ProtectedCsr<ElemSed, RowSed>::from_csr(prob.a, &log, DuePolicy::record_only);
+  ProtectedVector<VecNone> b(prob.a.nrows()), u(prob.a.nrows());
+  b.assign({prob.rhs.data(), prob.rhs.size()});
+
+  auto vals = pa.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()},
+                   64 * 3 + 50);
+
+  SolveOptions opts;
+  opts.tolerance = 0.0;
+  // Interval longer than the whole solve: the per-iteration SpMV only ever
+  // runs in bounds-only mode after iteration 0... except iteration 0 itself
+  // is a full check, so push the fault detection entirely onto the final
+  // sweep by using a huge interval and checking from iteration 1.
+  opts.max_iterations = 6;
+  opts.check_policy = CheckIntervalPolicy(1000);
+  opts.final_matrix_verify = true;
+  (void)cg_solve(pa, b, u, opts);
+  EXPECT_GE(log.uncorrectable(), 1u) << "final sweep must detect the SED fault";
+}
+
+TEST(CheckInterval, BoundsGuardPreventsSegfaultOnSkippedIterations) {
+  Problem prob;
+  FaultLog log;
+  auto pa =
+      ProtectedCsr<ElemSed, RowSed>::from_csr(prob.a, &log, DuePolicy::record_only);
+  ProtectedVector<VecNone> b(prob.a.nrows()), u(prob.a.nrows());
+  b.assign({prob.rhs.data(), prob.rhs.size()});
+
+  // Corrupt a column index so the masked value is far out of range; with
+  // interval 1000 every SpMV after the first runs unchecked and must rely
+  // on the range guard.
+  pa.raw_cols()[17] = 0x7FFFFFFFu;
+
+  SolveOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iterations = 6;
+  opts.check_policy = CheckIntervalPolicy(1000);
+  opts.final_matrix_verify = false;
+  (void)cg_solve(pa, b, u, opts);  // must not crash
+  EXPECT_GE(log.bounds_violations(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Runtime scheme selection -> compile-time policy dispatch.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "abft/dispatch.hpp"
+
+namespace {
+
+using namespace abft;
+
+TEST(ParseScheme, RoundTripsAllNames) {
+  for (auto s : ecc::kAllSchemes) {
+    EXPECT_EQ(parse_scheme(ecc::to_string(s)), s);
+  }
+  EXPECT_THROW((void)parse_scheme("hamming"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheme(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheme("SED"), std::invalid_argument);  // case-sensitive
+}
+
+TEST(DispatchElem, MapsSchemesToPolicies) {
+  const auto name = [](ecc::Scheme s) {
+    return dispatch_elem(s, []<class ES>() { return ES::kScheme; });
+  };
+  EXPECT_EQ(name(ecc::Scheme::none), ecc::Scheme::none);
+  EXPECT_EQ(name(ecc::Scheme::sed), ecc::Scheme::sed);
+  EXPECT_EQ(name(ecc::Scheme::secded64), ecc::Scheme::secded64);
+  // No per-element SECDED128: maps onto the 96-bit element code.
+  EXPECT_EQ(name(ecc::Scheme::secded128), ecc::Scheme::secded64);
+  EXPECT_EQ(name(ecc::Scheme::crc32c), ecc::Scheme::crc32c);
+}
+
+TEST(DispatchRow, MapsSchemesToPolicies) {
+  const auto group = [](ecc::Scheme s) {
+    return dispatch_row(s, []<class RS>() { return RS::kGroup; });
+  };
+  EXPECT_EQ(group(ecc::Scheme::none), 1u);
+  EXPECT_EQ(group(ecc::Scheme::sed), 1u);
+  EXPECT_EQ(group(ecc::Scheme::secded64), 2u);
+  EXPECT_EQ(group(ecc::Scheme::secded128), 4u);
+  EXPECT_EQ(group(ecc::Scheme::crc32c), 8u);
+}
+
+TEST(DispatchVec, MapsSchemesToPolicies) {
+  const auto group = [](ecc::Scheme s) {
+    return dispatch_vec(s, []<class VS>() { return VS::kGroup; });
+  };
+  EXPECT_EQ(group(ecc::Scheme::none), 1u);
+  EXPECT_EQ(group(ecc::Scheme::sed), 1u);
+  EXPECT_EQ(group(ecc::Scheme::secded64), 1u);
+  EXPECT_EQ(group(ecc::Scheme::secded128), 2u);
+  EXPECT_EQ(group(ecc::Scheme::crc32c), 4u);
+}
+
+TEST(DispatchReturn, ForwardsReturnValues) {
+  const std::string label = dispatch_vec(ecc::Scheme::crc32c, []<class VS>() {
+    return std::string(ecc::to_string(VS::kScheme));
+  });
+  EXPECT_EQ(label, "crc32c");
+}
+
+TEST(SchemeCapability, MatchesPaperTable) {
+  using ecc::capability;
+  EXPECT_EQ(capability(ecc::Scheme::none).detect_bits, 0u);
+  EXPECT_EQ(capability(ecc::Scheme::sed).detect_bits, 1u);
+  EXPECT_EQ(capability(ecc::Scheme::sed).correct_bits, 0u);
+  EXPECT_EQ(capability(ecc::Scheme::secded64).correct_bits, 1u);
+  EXPECT_EQ(capability(ecc::Scheme::secded64).detect_bits, 2u);
+  EXPECT_EQ(capability(ecc::Scheme::crc32c).detect_bits, 5u);
+}
+
+}  // namespace

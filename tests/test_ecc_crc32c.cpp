@@ -1,0 +1,182 @@
+// CRC-32C codec tests: known-answer vectors, sw/hw agreement, streaming,
+// burst-detection guarantee and brute-force correction (paper §IV).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ecc/crc32c.hpp"
+
+namespace {
+
+using namespace abft::ecc;
+using abft::Xoshiro256;
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // RFC 3720 (iSCSI) CRC32C test vectors.
+  const std::array<std::uint8_t, 32> zeros{};
+  EXPECT_EQ(crc32c_sw(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::array<std::uint8_t, 32> ones;
+  ones.fill(0xFF);
+  EXPECT_EQ(crc32c_sw(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::array<std::uint8_t, 32> ascending;
+  for (std::size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(crc32c_sw(ascending.data(), ascending.size()), 0x46DD794Eu);
+
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32c_sw(s.data(), s.size()), 0xE3069283u);
+}
+
+TEST(Crc32c, HardwareMatchesSoftware) {
+  if (!crc32c_hw_available()) {
+    GTEST_SKIP() << "no SSE4.2 on this machine";
+  }
+  Xoshiro256 rng(11);
+  for (std::size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 64u, 255u, 1024u}) {
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(crc32c_sw(buf.data(), buf.size()), crc32c_hw(buf.data(), buf.size()))
+        << "length " << len;
+  }
+}
+
+TEST(Crc32c, UnalignedStartMatchesAligned) {
+  // The kernels peel to 8-byte alignment; the result must not depend on the
+  // buffer's alignment.
+  std::vector<std::uint8_t> storage(64 + 8);
+  Xoshiro256 rng(12);
+  for (auto& b : storage) b = static_cast<std::uint8_t>(rng());
+  const auto reference = crc32c_sw(storage.data(), 40);
+  for (unsigned offset = 1; offset < 8; ++offset) {
+    std::memmove(storage.data() + offset, storage.data(), 40);
+    EXPECT_EQ(crc32c_sw(storage.data() + offset, 40), reference) << offset;
+    std::memmove(storage.data(), storage.data() + offset, 40);
+  }
+}
+
+TEST(Crc32c, StreamingAccumulatorMatchesOneShot) {
+  Xoshiro256 rng(13);
+  std::vector<std::uint8_t> buf(100);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  const auto expected = crc32c(buf.data(), buf.size());
+
+  for (std::size_t split : {1u, 7u, 8u, 50u, 99u}) {
+    Crc32cAccumulator acc;
+    acc.update(buf.data(), split);
+    acc.update(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(acc.value(), expected) << "split " << split;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlipIn64ByteBuffer) {
+  Xoshiro256 rng(14);
+  std::vector<std::uint8_t> buf(64);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  const auto clean = crc32c(buf.data(), buf.size());
+  for (std::size_t bit = 0; bit < buf.size() * 8; ++bit) {
+    buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32c(buf.data(), buf.size()), clean) << "missed flip at bit " << bit;
+    buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+TEST(Crc32c, DetectsAllBurstsUpTo32Bits) {
+  // The Castagnoli polynomial guarantees detection of burst errors up to
+  // 32 bits (paper §IV).
+  Xoshiro256 rng(15);
+  std::vector<std::uint8_t> buf(96);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  const auto clean = crc32c(buf.data(), buf.size());
+
+  for (unsigned len = 1; len <= 32; ++len) {
+    for (std::size_t start = 0; start + len <= buf.size() * 8; start += 53) {
+      auto corrupted = buf;
+      for (unsigned b = 0; b < len; ++b) {
+        const std::size_t bit = start + b;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      EXPECT_NE(crc32c(corrupted.data(), corrupted.size()), clean)
+          << "missed burst len " << len << " at " << start;
+    }
+  }
+}
+
+TEST(Crc32c, DetectsAllOddWeightErrors) {
+  // The generator has an (x+1) factor, so any odd number of flips changes
+  // the checksum (paper §IV). Sampled check with 1, 3, 5, 7 flips.
+  Xoshiro256 rng(16);
+  std::vector<std::uint8_t> buf(80);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  const auto clean = crc32c(buf.data(), buf.size());
+
+  for (unsigned flips : {1u, 3u, 5u, 7u}) {
+    for (int rep = 0; rep < 100; ++rep) {
+      auto corrupted = buf;
+      std::vector<std::size_t> picked;
+      while (picked.size() < flips) {
+        const std::size_t bit = rng.below(buf.size() * 8);
+        bool dup = false;
+        for (auto p : picked) dup = dup || p == bit;
+        if (dup) continue;
+        picked.push_back(bit);
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      EXPECT_NE(crc32c(corrupted.data(), corrupted.size()), clean)
+          << flips << " flips rep " << rep;
+    }
+  }
+}
+
+TEST(Crc32c, SingleBitCorrectionRepairsDataFlip) {
+  Xoshiro256 rng(17);
+  std::vector<std::uint8_t> buf(48);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  const auto stored = crc32c(buf.data(), buf.size());
+  const auto original = buf;
+
+  for (std::size_t bit = 0; bit < buf.size() * 8; bit += 17) {
+    buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto res = crc32c_correct_single_bit(buf, stored);
+    ASSERT_TRUE(res.corrected) << "bit " << bit;
+    EXPECT_EQ(res.flipped_bit, static_cast<std::ptrdiff_t>(bit));
+    EXPECT_EQ(buf, original);
+  }
+}
+
+TEST(Crc32c, SingleBitCorrectionRecognisesChecksumFlip) {
+  std::vector<std::uint8_t> buf(40, 0xAB);
+  const auto stored = crc32c(buf.data(), buf.size());
+  const auto res = crc32c_correct_single_bit(buf, stored ^ (1u << 13));
+  EXPECT_TRUE(res.corrected);
+  EXPECT_EQ(res.flipped_bit, -1);  // data untouched
+}
+
+TEST(Crc32c, CorrectionRefusesCleanBuffer) {
+  std::vector<std::uint8_t> buf(24, 0x5C);
+  const auto stored = crc32c(buf.data(), buf.size());
+  const auto res = crc32c_correct_single_bit(buf, stored);
+  EXPECT_FALSE(res.corrected);
+}
+
+TEST(Crc32c, ImplementationSelection) {
+  set_crc32c_impl(CrcImpl::software);
+  EXPECT_EQ(current_crc32c_impl(), CrcImpl::software);
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32c(s.data(), s.size()), 0xE3069283u);
+
+  set_crc32c_impl(CrcImpl::auto_detect);
+  if (crc32c_hw_available()) {
+    EXPECT_EQ(current_crc32c_impl(), CrcImpl::hardware);
+  }
+  EXPECT_EQ(crc32c(s.data(), s.size()), 0xE3069283u);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Property tests for the generic extended-Hamming SECDED codec (paper §IV):
+// every single-bit flip anywhere in the codeword must be corrected, every
+// double-bit flip must be detected-but-not-corrected.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ecc/hamming.hpp"
+
+namespace {
+
+using abft::CheckOutcome;
+using abft::Xoshiro256;
+
+template <class Code>
+typename Code::data_t random_data(Xoshiro256& rng) {
+  typename Code::data_t data{};
+  for (auto& w : data) w = rng();
+  // Clear bits above DataBits in the last word.
+  constexpr unsigned rem = Code::kDataBits % 64;
+  if constexpr (rem != 0) {
+    data[Code::kWords - 1] &= abft::low_mask64(rem);
+  }
+  return data;
+}
+
+template <class Code>
+void flip_data_bit(typename Code::data_t& data, unsigned bit) {
+  data[bit / 64] = abft::flip_bit(data[bit / 64], bit % 64);
+}
+
+// ---------------------------------------------------------------------------
+// Typed tests across the three instantiations the paper uses.
+// ---------------------------------------------------------------------------
+
+template <class Code>
+class HammingTypedTest : public ::testing::Test {};
+
+using Codes = ::testing::Types<abft::ecc::Secded64, abft::ecc::Secded128,
+                               abft::ecc::Secded96, abft::ecc::HammingSecded<56>,
+                               abft::ecc::HammingSecded<112>,
+                               abft::ecc::HammingSecded<118>>;
+TYPED_TEST_SUITE(HammingTypedTest, Codes);
+
+TYPED_TEST(HammingTypedTest, CleanCodewordChecksOk) {
+  Xoshiro256 rng(1);
+  for (int rep = 0; rep < 50; ++rep) {
+    auto data = random_data<TypeParam>(rng);
+    const auto red = TypeParam::encode(data);
+    auto copy = data;
+    const auto res = TypeParam::check_and_correct(copy, red);
+    EXPECT_EQ(res.outcome, CheckOutcome::ok);
+    EXPECT_EQ(copy, data);
+  }
+}
+
+TYPED_TEST(HammingTypedTest, EverySingleDataBitFlipIsCorrected) {
+  Xoshiro256 rng(2);
+  auto data = random_data<TypeParam>(rng);
+  const auto red = TypeParam::encode(data);
+  for (unsigned bit = 0; bit < TypeParam::kDataBits; ++bit) {
+    auto corrupted = data;
+    flip_data_bit<TypeParam>(corrupted, bit);
+    const auto res = TypeParam::check_and_correct(corrupted, red);
+    EXPECT_EQ(res.outcome, CheckOutcome::corrected) << "bit " << bit;
+    EXPECT_EQ(corrupted, data) << "bit " << bit;
+    EXPECT_EQ(res.corrected_data_bit, static_cast<int>(bit));
+  }
+}
+
+TYPED_TEST(HammingTypedTest, EverySingleRedundancyBitFlipIsCorrected) {
+  Xoshiro256 rng(3);
+  auto data = random_data<TypeParam>(rng);
+  const auto red = TypeParam::encode(data);
+  for (unsigned bit = 0; bit < TypeParam::kRedundancyBits; ++bit) {
+    auto copy = data;
+    const auto corrupted_red = red ^ (1u << bit);
+    const auto res = TypeParam::check_and_correct(copy, corrupted_red);
+    EXPECT_EQ(res.outcome, CheckOutcome::corrected) << "red bit " << bit;
+    EXPECT_EQ(copy, data) << "data must be untouched for red bit " << bit;
+    EXPECT_EQ(res.corrected_data_bit, -1);
+    EXPECT_EQ(res.fixed_redundancy, red) << "red bit " << bit;
+  }
+}
+
+TYPED_TEST(HammingTypedTest, EveryDoubleDataBitFlipIsDetected) {
+  Xoshiro256 rng(4);
+  auto data = random_data<TypeParam>(rng);
+  const auto red = TypeParam::encode(data);
+  // Exhaustive over pairs is O(bits^2); sample pairs deterministically for
+  // the bigger codes, exhaustive for the 56/64-bit ones.
+  const unsigned n = TypeParam::kDataBits;
+  const unsigned stride = n > 64 ? 7 : 1;
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; j += stride) {
+      auto corrupted = data;
+      flip_data_bit<TypeParam>(corrupted, i);
+      flip_data_bit<TypeParam>(corrupted, j);
+      const auto res = TypeParam::check_and_correct(corrupted, red);
+      EXPECT_EQ(res.outcome, CheckOutcome::uncorrectable)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TYPED_TEST(HammingTypedTest, MixedDataAndRedundancyDoubleFlipIsDetected) {
+  Xoshiro256 rng(5);
+  auto data = random_data<TypeParam>(rng);
+  const auto red = TypeParam::encode(data);
+  for (unsigned i = 0; i < TypeParam::kDataBits; i += 3) {
+    for (unsigned j = 0; j < TypeParam::kRedundancyBits; ++j) {
+      auto corrupted = data;
+      flip_data_bit<TypeParam>(corrupted, i);
+      const auto res = TypeParam::check_and_correct(corrupted, red ^ (1u << j));
+      EXPECT_EQ(res.outcome, CheckOutcome::uncorrectable) << i << "," << j;
+    }
+  }
+}
+
+TYPED_TEST(HammingTypedTest, EncodeIsDeterministic) {
+  Xoshiro256 rng(6);
+  const auto data = random_data<TypeParam>(rng);
+  EXPECT_EQ(TypeParam::encode(data), TypeParam::encode(data));
+}
+
+TYPED_TEST(HammingTypedTest, DistinctPositionsForAllDataBits) {
+  // The Hamming positions of the data bits must be unique non-powers of two.
+  for (unsigned d = 0; d < TypeParam::kDataBits; ++d) {
+    const unsigned pos = TypeParam::position_of_data_bit(d);
+    EXPECT_NE(pos & (pos - 1), 0u) << "data bit at power-of-two position " << d;
+    if (d > 0) {
+      EXPECT_GT(pos, TypeParam::position_of_data_bit(d - 1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Specific instantiation facts the paper quotes.
+// ---------------------------------------------------------------------------
+
+TEST(HammingLayout, RedundancyWidthsMatchPaper) {
+  // SECDED64 adds 8 bits per 64 data bits; SECDED128 adds 9 per 128 (§IV).
+  EXPECT_EQ(abft::ecc::Secded64::kRedundancyBits, 8u);
+  EXPECT_EQ(abft::ecc::Secded128::kRedundancyBits, 9u);
+  // SECDED(96,88) fits exactly into the spare byte of a CSR column index.
+  EXPECT_EQ(abft::ecc::Secded96::kDataBits, 88u);
+  EXPECT_EQ(abft::ecc::Secded96::kRedundancyBits, 8u);
+}
+
+TEST(HammingCorrection, TripleFlipIsNeverSilentlyAccepted) {
+  // 3 flips exceed SECDED's guarantee: the outcome may be a (wrong)
+  // "corrected" or "uncorrectable", but never "ok" with unchanged data that
+  // differs from the original — i.e. it must never claim the corrupted word
+  // is clean.
+  using Code = abft::ecc::Secded64;
+  Xoshiro256 rng(7);
+  for (int rep = 0; rep < 200; ++rep) {
+    Code::data_t data{rng()};
+    const auto red = Code::encode(data);
+    auto corrupted = data;
+    unsigned bits[3];
+    bits[0] = static_cast<unsigned>(rng.below(64));
+    do { bits[1] = static_cast<unsigned>(rng.below(64)); } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<unsigned>(rng.below(64));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    for (unsigned b : bits) corrupted[0] = abft::flip_bit(corrupted[0], b);
+    auto work = corrupted;
+    const auto res = Code::check_and_correct(work, red);
+    EXPECT_NE(res.outcome, CheckOutcome::ok) << "triple flip reported clean";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// SED (parity) primitive tests (paper §IV: detects all odd-weight errors,
+// misses all even-weight errors, corrects nothing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "ecc/parity.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::ecc;
+
+TEST(Parity, Parity64Basics) {
+  EXPECT_EQ(parity64(0), 0u);
+  EXPECT_EQ(parity64(1), 1u);
+  EXPECT_EQ(parity64(0b11), 0u);
+  EXPECT_EQ(parity64(~std::uint64_t{0}), 0u);
+  EXPECT_EQ(parity64(std::uint64_t{1} << 63), 1u);
+}
+
+TEST(Parity, SingleFlipAlwaysChangesParity64) {
+  Xoshiro256 rng(21);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::uint64_t x = rng();
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      EXPECT_NE(parity64(x), parity64(flip_bit(x, bit)));
+    }
+  }
+}
+
+TEST(Parity, EvenFlipsPreserveParity64) {
+  Xoshiro256 rng(22);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::uint64_t x = rng();
+    const unsigned i = static_cast<unsigned>(rng.below(64));
+    unsigned j = static_cast<unsigned>(rng.below(64));
+    while (j == i) j = static_cast<unsigned>(rng.below(64));
+    EXPECT_EQ(parity64(x), parity64(flip_bit(flip_bit(x, i), j)));
+  }
+}
+
+TEST(Parity, Sed96CoversValueAndLow31ColumnBits) {
+  Xoshiro256 rng(23);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::uint64_t v = rng();
+    const std::uint32_t c = static_cast<std::uint32_t>(rng()) & 0x7FFFFFFFu;
+    const std::uint32_t p = sed_parity96(v, c);
+
+    // Flipping any value bit must change the parity.
+    for (unsigned bit = 0; bit < 64; bit += 5) {
+      EXPECT_NE(sed_parity96(flip_bit(v, bit), c), p);
+    }
+    // Flipping any of the low 31 column bits must change it.
+    for (unsigned bit = 0; bit < 31; bit += 3) {
+      EXPECT_NE(sed_parity96(v, c ^ (1u << bit)), p);
+    }
+    // Bit 31 (the parity's own storage slot) is excluded from the codeword.
+    EXPECT_EQ(sed_parity96(v, c | 0x80000000u), p);
+  }
+}
+
+TEST(Parity, SedU32ExcludesTopBit) {
+  EXPECT_EQ(sed_parity_u32(0), 0u);
+  EXPECT_EQ(sed_parity_u32(1), 1u);
+  EXPECT_EQ(sed_parity_u32(0x80000000u), 0u);  // top bit not part of the data
+  EXPECT_EQ(sed_parity_u32(0x80000001u), 1u);
+}
+
+TEST(Parity, SedDoubleExcludesMantissaLsb) {
+  Xoshiro256 rng(24);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::uint64_t b = rng();
+    EXPECT_EQ(sed_parity_double(b), sed_parity_double(b ^ 1u))
+        << "parity must ignore the storage bit";
+    for (unsigned bit = 1; bit < 64; bit += 7) {
+      EXPECT_NE(sed_parity_double(b), sed_parity_double(flip_bit(b, bit)));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Fault injector determinism and the end-to-end injection campaigns that
+// reproduce the paper's resilience claims (§IV, §VI).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/campaign.hpp"
+#include "faults/injector.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::faults;
+
+TEST(Injector, FlipAndReadBit) {
+  std::vector<std::uint8_t> buf(4, 0);
+  flip_bit(buf, 0);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_TRUE(read_bit(buf, 0));
+  flip_bit(buf, 0);
+  EXPECT_EQ(buf[0], 0x00);
+  flip_bit(buf, 15);
+  EXPECT_EQ(buf[1], 0x80);
+  EXPECT_TRUE(read_bit(buf, 15));
+}
+
+TEST(Injector, SingleInjectionFlipsExactlyOneBit) {
+  Injector inj(42);
+  std::vector<std::uint8_t> buf(64, 0);
+  const auto f = inj.inject_single(buf);
+  EXPECT_LT(f.bit_offset, buf.size() * 8);
+  int set = 0;
+  for (auto b : buf) set += __builtin_popcount(b);
+  EXPECT_EQ(set, 1);
+  EXPECT_TRUE(read_bit(buf, f.bit_offset));
+}
+
+TEST(Injector, DeterministicInSeed) {
+  std::vector<std::uint8_t> a(32, 0), b(32, 0), c(32, 0);
+  Injector(7).inject_multi(a, 5);
+  Injector(7).inject_multi(b, 5);
+  Injector(8).inject_multi(c, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Injector, MultiInjectionFlipsDistinctBits) {
+  Injector inj(9);
+  std::vector<std::uint8_t> buf(16, 0);
+  const auto flips = inj.inject_multi(buf, 10);
+  EXPECT_EQ(flips.size(), 10u);
+  int set = 0;
+  for (auto b : buf) set += __builtin_popcount(b);
+  EXPECT_EQ(set, 10);
+}
+
+TEST(Injector, BurstFlipsContiguousRun) {
+  Injector inj(10);
+  std::vector<std::uint8_t> buf(16, 0);
+  const auto f = inj.inject_burst(buf, 12);
+  EXPECT_EQ(f.bits, 12u);
+  for (unsigned b = 0; b < 12; ++b) EXPECT_TRUE(read_bit(buf, f.bit_offset + b));
+  int set = 0;
+  for (auto b : buf) set += __builtin_popcount(b);
+  EXPECT_EQ(set, 12);
+}
+
+TEST(Injector, BurstClampsToRegion) {
+  Injector inj(11);
+  std::vector<std::uint8_t> buf(2, 0);
+  const auto f = inj.inject_burst(buf, 100);
+  EXPECT_EQ(f.bits, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns: reproduce the codes' guarantees end to end. Small grids and
+// trial counts keep these fast; the bench binary runs the full version.
+// ---------------------------------------------------------------------------
+
+CampaignConfig small_config(ecc::Scheme scheme, Target target, FaultModel model,
+                            unsigned k) {
+  CampaignConfig cfg;
+  cfg.scheme = scheme;
+  cfg.target = target;
+  cfg.model = model;
+  cfg.flips_per_trial = k;
+  cfg.trials = 40;
+  cfg.nx = 24;
+  cfg.ny = 24;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+TEST(Campaign, SecdedSingleFlipsAreNeverSdc) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::secded64, Target::any, FaultModel::single_flip, 1));
+  EXPECT_EQ(res.trials, 40u);
+  EXPECT_EQ(res.sdc, 0u) << "SECDED must correct or at least detect single flips";
+  EXPECT_EQ(res.not_converged, 0u);
+  // The vast majority land in protected data bits and are corrected.
+  EXPECT_GE(res.detected_corrected + res.benign, res.trials - res.detected_uncorrectable);
+  EXPECT_GT(res.detected_corrected, res.trials / 2);
+}
+
+TEST(Campaign, CrcSingleFlipsAreCorrected) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::crc32c, Target::any, FaultModel::single_flip, 1));
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_GT(res.detected_corrected, res.trials / 2);
+}
+
+TEST(Campaign, SedSingleFlipsAreDetectedNotCorrected) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::sed, Target::any, FaultModel::single_flip, 1));
+  EXPECT_EQ(res.sdc, 0u) << "SED detects all single flips";
+  EXPECT_EQ(res.detected_corrected, 0u) << "SED cannot correct";
+  EXPECT_GT(res.detected_uncorrectable, res.trials / 2);
+}
+
+TEST(Campaign, UnprotectedMatrixValuesSufferSdc) {
+  // Flips into the exponent/sign bits of matrix values with no protection
+  // must eventually produce silent corruptions or breakdowns.
+  auto cfg = small_config(ecc::Scheme::none, Target::csr_values, FaultModel::single_flip, 1);
+  cfg.trials = 60;
+  const auto res = run_injection_campaign(cfg);
+  EXPECT_EQ(res.detected(), 0u) << "nothing to detect with";
+  EXPECT_GT(res.sdc + res.not_converged, 0u) << "no-protection baseline must show damage";
+  EXPECT_GT(res.benign, 0u) << "low mantissa flips are usually harmless";
+}
+
+TEST(Campaign, SecdedDoubleFlipsDetectedOrBenign) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::secded64, Target::csr_values, FaultModel::multi_flip, 2));
+  // Two flips in the same codeword -> DUE; in different codewords -> two
+  // corrections. Either way nothing silent goes wrong.
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_EQ(res.not_converged, 0u);
+}
+
+TEST(Campaign, CrcDetectsBurstsUpTo32Bits) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::crc32c, Target::csr_values, FaultModel::burst, 32));
+  EXPECT_EQ(res.sdc, 0u) << "CRC32C guarantees burst detection <= 32 bits";
+  EXPECT_EQ(res.benign, 0u) << "a 32-bit burst in values can never be invisible";
+  EXPECT_EQ(res.detected(), res.trials);
+}
+
+TEST(Campaign, RowPtrFlipsAreContained) {
+  for (auto scheme : {ecc::Scheme::sed, ecc::Scheme::secded64, ecc::Scheme::crc32c}) {
+    const auto res = run_injection_campaign(
+        small_config(scheme, Target::csr_row_ptr, FaultModel::single_flip, 1));
+    EXPECT_EQ(res.sdc, 0u) << ecc::to_string(scheme);
+    EXPECT_EQ(res.not_converged, 0u) << ecc::to_string(scheme);
+  }
+}
+
+TEST(Campaign, RhsVectorFlipsAreContained) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::secded64, Target::rhs_vector, FaultModel::single_flip, 1));
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_GT(res.detected_corrected, 0u);
+}
+
+TEST(Campaign, ResultCountsAreConsistent) {
+  const auto res = run_injection_campaign(
+      small_config(ecc::Scheme::secded128, Target::any, FaultModel::single_flip, 1));
+  EXPECT_EQ(res.detected_corrected + res.detected_uncorrectable + res.bounds_caught +
+                res.benign + res.sdc + res.not_converged,
+            res.trials);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Jacobi-preconditioned CG (TeaLeaf's jac_diag configuration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/abft.hpp"
+#include "solvers/solvers.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::solvers;
+
+template <class ES, class RS, class VS>
+std::pair<SolveResult, double> run_pcg(unsigned interval = 1) {
+  auto a = sparse::random_spd(200, 5, 31);
+  aligned_vector<double> ones(a.nrows(), 1.0), rhs(a.nrows(), 0.0);
+  sparse::spmv(a, ones.data(), rhs.data());
+  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  ProtectedVector<VS> b(a.nrows()), u(a.nrows());
+  b.assign({rhs.data(), a.nrows()});
+  SolveOptions opts;
+  opts.tolerance = 1e-11;
+  opts.check_policy = CheckIntervalPolicy(interval);
+  const auto res = pcg_jacobi_solve(pa, b, u, opts);
+  aligned_vector<double> got(a.nrows());
+  u.extract(got);
+  double err = 0.0;
+  for (double g : got) err = std::max(err, std::abs(g - 1.0));
+  return {res, err};
+}
+
+TEST(PcgJacobi, ConvergesUnprotected) {
+  const auto [res, err] = run_pcg<ElemNone, RowNone, VecNone>();
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(err, 1e-8);
+}
+
+TEST(PcgJacobi, ConvergesFullyProtected) {
+  const auto [res, err] = run_pcg<ElemSecded, RowSecded64, VecSecded64>();
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST(PcgJacobi, ConvergesWithCheckInterval) {
+  const auto [res, err] = run_pcg<ElemSed, RowSed, VecSed>(8);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST(PcgJacobi, BeatsPlainCgOnIllConditionedDiagonal) {
+  // Strongly varying diagonal: Jacobi preconditioning should cut iterations.
+  sparse::CooMatrix coo(300, 300);
+  Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < 300; ++i) {
+    coo.add(i, i, std::pow(10.0, rng.uniform(0, 4)));
+    if (i + 1 < 300) {
+      coo.add(i, i + 1, -0.1);
+      coo.add(i + 1, i, -0.1);
+    }
+  }
+  auto a = coo.to_csr();
+  aligned_vector<double> ones(300, 1.0), rhs(300, 0.0);
+  sparse::spmv(a, ones.data(), rhs.data());
+  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+  ProtectedVector<VecNone> b(300), u1(300), u2(300);
+  b.assign({rhs.data(), 300});
+  SolveOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 100000;
+  const auto plain = cg_solve(pa, b, u1, opts);
+  const auto pcg = pcg_jacobi_solve(pa, b, u2, opts);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pcg.converged);
+  EXPECT_LT(pcg.iterations, plain.iterations);
+}
+
+}  // namespace

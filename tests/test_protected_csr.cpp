@@ -1,0 +1,205 @@
+// ProtectedCsr container: encode/decode round trips across every
+// element x row scheme combination, constraint enforcement, verification
+// sweeps and fault response (paper §VI-A).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "abft/protected_csr.hpp"
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/transform.hpp"
+
+namespace {
+
+using namespace abft;
+
+template <class Combo>
+class ProtectedCsrTest : public ::testing::Test {};
+
+template <class E, class R>
+struct Combo {
+  using ES = E;
+  using RS = R;
+};
+
+using AllCombos = ::testing::Types<
+    Combo<ElemNone, RowNone>, Combo<ElemSed, RowSed>, Combo<ElemSecded, RowSecded64>,
+    Combo<ElemSecded, RowSecded128>, Combo<ElemCrc32c, RowCrc32c>,
+    Combo<ElemSed, RowSecded64>, Combo<ElemSecded, RowSed>, Combo<ElemCrc32c, RowSed>,
+    Combo<ElemNone, RowCrc32c>, Combo<ElemSed, RowCrc32c>>;
+TYPED_TEST_SUITE(ProtectedCsrTest, AllCombos);
+
+template <class ES>
+sparse::CsrMatrix test_matrix() {
+  auto a = sparse::laplacian_2d(12, 9);
+  if constexpr (ES::kMinRowNnz > 1) {
+    a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
+  }
+  return a;
+}
+
+TYPED_TEST(ProtectedCsrTest, RoundTripPreservesMatrix) {
+  using ES = typename TypeParam::ES;
+  using RS = typename TypeParam::RS;
+  const auto a = test_matrix<ES>();
+  auto p = ProtectedCsr<ES, RS>::from_csr(a);
+  const auto back = p.to_csr();
+  ASSERT_EQ(back.nrows(), a.nrows());
+  ASSERT_EQ(back.ncols(), a.ncols());
+  ASSERT_EQ(back.nnz(), a.nnz());
+  for (std::size_t i = 0; i <= a.nrows(); ++i) {
+    EXPECT_EQ(back.row_ptr()[i], a.row_ptr()[i]) << i;
+  }
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_EQ(back.cols()[k], a.cols()[k]) << k;
+    EXPECT_EQ(back.values()[k], a.values()[k]) << k;
+  }
+}
+
+TYPED_TEST(ProtectedCsrTest, VerifyAllOnCleanMatrixIsQuiet) {
+  using ES = typename TypeParam::ES;
+  using RS = typename TypeParam::RS;
+  FaultLog log;
+  auto p = ProtectedCsr<ES, RS>::from_csr(test_matrix<ES>(), &log);
+  EXPECT_EQ(p.verify_all(), 0u);
+  EXPECT_EQ(log.corrected(), 0u);
+  EXPECT_EQ(log.uncorrectable(), 0u);
+  EXPECT_GT(log.checks(), 0u);
+}
+
+TYPED_TEST(ProtectedCsrTest, RowPtrAccessMatchesOriginal) {
+  using ES = typename TypeParam::ES;
+  using RS = typename TypeParam::RS;
+  const auto a = test_matrix<ES>();
+  auto p = ProtectedCsr<ES, RS>::from_csr(a);
+  for (std::size_t i = 0; i <= a.nrows(); ++i) {
+    EXPECT_EQ(p.row_ptr_at(i), a.row_ptr()[i]) << i;
+    EXPECT_EQ(p.row_ptr_bounds_only(i), a.row_ptr()[i]) << i;
+  }
+}
+
+TYPED_TEST(ProtectedCsrTest, ElementAccessMatchesOriginal) {
+  using ES = typename TypeParam::ES;
+  using RS = typename TypeParam::RS;
+  const auto a = test_matrix<ES>();
+  auto p = ProtectedCsr<ES, RS>::from_csr(a);
+  for (std::size_t r = 0; r < a.nrows(); r += 7) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      const auto el = p.element_at(r, k);
+      EXPECT_EQ(el.value, a.values()[k]);
+      EXPECT_EQ(el.col, a.cols()[k]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Constraint enforcement (paper's matrix-size limits).
+// ---------------------------------------------------------------------------
+
+TEST(ProtectedCsrLimits, SecdedRejectsWideMatrices) {
+  // > 2^24-1 columns cannot be indexed once the top byte holds redundancy.
+  sparse::CsrMatrix wide(1, std::size_t{1} << 25);
+  wide.row_ptr() = {0, 1};
+  wide.cols() = {(1u << 25) - 1};
+  wide.values() = {1.0};
+  EXPECT_THROW((ProtectedCsr<ElemSecded, RowNone>::from_csr(wide)), std::invalid_argument);
+  // SED allows up to 2^31-1 columns, so the same matrix is fine there.
+  EXPECT_NO_THROW((ProtectedCsr<ElemSed, RowNone>::from_csr(wide)));
+}
+
+TEST(ProtectedCsrLimits, CrcRejectsShortRows) {
+  const auto a = sparse::laplacian_2d(8, 8);  // corner rows have 3 nnz
+  EXPECT_THROW((ProtectedCsr<ElemCrc32c, RowNone>::from_csr(a)), std::invalid_argument);
+  const auto padded = sparse::pad_rows_to_min_nnz(a, 4);
+  EXPECT_NO_THROW((ProtectedCsr<ElemCrc32c, RowNone>::from_csr(padded)));
+}
+
+TEST(ProtectedCsrLimits, MalformedMatrixIsRejected) {
+  sparse::CsrMatrix bad(2, 2);
+  bad.row_ptr() = {0, 1, 3};  // row_ptr.back() != nnz
+  bad.cols() = {0, 1};
+  bad.values() = {1.0, 2.0};
+  EXPECT_THROW((ProtectedCsr<ElemSed, RowSed>::from_csr(bad)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault response.
+// ---------------------------------------------------------------------------
+
+TEST(ProtectedCsrFaults, SecdedCorrectsValueFlipDuringVerify) {
+  Xoshiro256 rng(1);
+  const auto a = sparse::laplacian_2d(16, 16);
+  FaultLog log;
+  auto p = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
+  auto values = p.raw_values();
+  const std::size_t bit = rng.below(values.size_bytes() * 8);
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
+                   bit);
+  EXPECT_EQ(p.verify_all(), 0u);
+  EXPECT_EQ(log.corrected(), 1u);
+  // Matrix restored exactly.
+  const auto back = p.to_csr();
+  for (std::size_t k = 0; k < a.nnz(); ++k) EXPECT_EQ(back.values()[k], a.values()[k]);
+}
+
+TEST(ProtectedCsrFaults, SecdedCorrectsRowPtrFlip) {
+  const auto a = sparse::laplacian_2d(16, 16);
+  FaultLog log;
+  auto p = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
+  auto row_ptr = p.raw_row_ptr();
+  faults::flip_bit(
+      {reinterpret_cast<std::uint8_t*>(row_ptr.data()), row_ptr.size_bytes()}, 37 * 32 + 9);
+  EXPECT_EQ(p.verify_all(), 0u);
+  EXPECT_EQ(log.corrected(), 1u);
+  for (std::size_t i = 0; i <= a.nrows(); ++i) EXPECT_EQ(p.row_ptr_at(i), a.row_ptr()[i]);
+}
+
+TEST(ProtectedCsrFaults, SedDetectsButCannotCorrect) {
+  const auto a = sparse::laplacian_2d(10, 10);
+  FaultLog log;
+  auto p = ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
+  auto values = p.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
+                   123);
+  EXPECT_GE(p.verify_all(), 1u);
+  EXPECT_EQ(log.corrected(), 0u);
+  EXPECT_GE(log.uncorrectable(), 1u);
+}
+
+TEST(ProtectedCsrFaults, ThrowPolicyRaisesOnVerify) {
+  const auto a = sparse::laplacian_2d(10, 10);
+  auto p = ProtectedCsr<ElemSed, RowSed>::from_csr(a);
+  auto values = p.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
+                   200);
+  EXPECT_THROW(p.verify_all(), UncorrectableError);
+}
+
+TEST(ProtectedCsrFaults, DoubleFlipInOneElementIsDue) {
+  const auto a = sparse::laplacian_2d(10, 10);
+  FaultLog log;
+  auto p = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
+  auto values = p.raw_values();
+  auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(values.data()),
+                                       values.size_bytes());
+  faults::flip_bit(bytes, 64 * 5 + 3);
+  faults::flip_bit(bytes, 64 * 5 + 44);
+  EXPECT_GE(p.verify_all(), 1u);
+  EXPECT_GE(log.uncorrectable(), 1u);
+}
+
+TEST(ProtectedCsrFaults, CorruptRowPtrIsBoundsGuardedInVerify) {
+  // With an undetecting row scheme (RowNone) a corrupted offset must still
+  // be caught by the range guard rather than fault the sweep.
+  const auto a = sparse::laplacian_2d(10, 10);
+  FaultLog log;
+  auto p = ProtectedCsr<ElemNone, RowNone>::from_csr(a, &log, DuePolicy::record_only);
+  p.raw_row_ptr()[5] = 0x7F000000u;  // way past nnz
+  (void)p.verify_all();
+  EXPECT_GE(log.bounds_violations(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+// Protected kernels vs raw reference kernels: SpMV across all scheme
+// combinations and check modes, BLAS-1 ops across vector schemes, and error
+// propagation out of the OpenMP regions (paper §VI-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "abft/abft.hpp"
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/transform.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+using namespace abft;
+
+constexpr double kTol = 1e-12;
+
+/// Masking the mantissa LSBs perturbs values; reference comparisons must
+/// allow the scheme's relative noise bound (paper §VI-B).
+template <class VS>
+double noise_bound(double magnitude, std::size_t terms) {
+  const double rel = std::ldexp(1.0, static_cast<int>(VS::kRedundancyBitsPerElement) - 52);
+  return magnitude * rel * static_cast<double>(terms) * 4.0 + kTol;
+}
+
+template <class Combo>
+class SpmvTest : public ::testing::Test {};
+
+template <class E, class R, class V>
+struct Combo {
+  using ES = E;
+  using RS = R;
+  using VS = V;
+};
+
+using SpmvCombos = ::testing::Types<
+    Combo<ElemNone, RowNone, VecNone>, Combo<ElemSed, RowSed, VecSed>,
+    Combo<ElemSecded, RowSecded64, VecSecded64>,
+    Combo<ElemSecded, RowSecded128, VecSecded128>,
+    Combo<ElemCrc32c, RowCrc32c, VecCrc32c>, Combo<ElemSed, RowNone, VecNone>,
+    Combo<ElemNone, RowSecded64, VecNone>, Combo<ElemNone, RowNone, VecCrc32c>,
+    Combo<ElemCrc32c, RowSed, VecSecded64>>;
+TYPED_TEST_SUITE(SpmvTest, SpmvCombos);
+
+TYPED_TEST(SpmvTest, MatchesRawSpmvOnLaplacian) {
+  using ES = typename TypeParam::ES;
+  using RS = typename TypeParam::RS;
+  using VS = typename TypeParam::VS;
+
+  auto a = sparse::laplacian_2d(13, 11);
+  if constexpr (ES::kMinRowNnz > 1) a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
+  const std::size_t n = a.nrows();
+
+  Xoshiro256 rng(1);
+  std::vector<double> xraw(n);
+  for (auto& v : xraw) v = VS::mask(rng.uniform(-3, 3));
+  std::vector<double> yref(n, 0.0);
+  sparse::spmv(a, xraw.data(), yref.data());
+
+  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  ProtectedVector<VS> x(n), y(n);
+  x.assign({xraw.data(), n});
+
+  for (CheckMode mode : {CheckMode::full, CheckMode::bounds_only}) {
+    spmv(pa, x, y, mode);
+    std::vector<double> got(n, 0.0);
+    y.extract(got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i], yref[i], noise_bound<VS>(20.0, 5)) << i;
+    }
+  }
+}
+
+TYPED_TEST(SpmvTest, MatchesRawSpmvOnRandomSpd) {
+  using ES = typename TypeParam::ES;
+  using RS = typename TypeParam::RS;
+  using VS = typename TypeParam::VS;
+
+  auto a = sparse::random_spd(150, 6, 99);
+  if constexpr (ES::kMinRowNnz > 1) a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
+  const std::size_t n = a.nrows();
+
+  Xoshiro256 rng(2);
+  std::vector<double> xraw(n);
+  for (auto& v : xraw) v = VS::mask(rng.uniform(-1, 1));
+  std::vector<double> yref(n, 0.0);
+  sparse::spmv(a, xraw.data(), yref.data());
+
+  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  ProtectedVector<VS> x(n), y(n);
+  x.assign({xraw.data(), n});
+  spmv(pa, x, y);
+  std::vector<double> got(n, 0.0);
+  y.extract(got);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i], yref[i], noise_bound<VS>(10.0, 16)) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 kernels across vector schemes.
+// ---------------------------------------------------------------------------
+
+template <class VS>
+class Blas1Test : public ::testing::Test {};
+
+using VecSchemes = ::testing::Types<VecNone, VecSed, VecSecded64, VecSecded128, VecCrc32c>;
+TYPED_TEST_SUITE(Blas1Test, VecSchemes);
+
+template <class VS>
+struct Fixture {
+  std::size_t n;
+  std::vector<double> araw, braw;
+  ProtectedVector<VS> a, b;
+
+  explicit Fixture(std::size_t size, std::uint64_t seed) : n(size), a(size), b(size) {
+    Xoshiro256 rng(seed);
+    araw.resize(n);
+    braw.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      araw[i] = VS::mask(rng.uniform(-5, 5));
+      braw[i] = VS::mask(rng.uniform(-5, 5));
+    }
+    a.assign({araw.data(), n});
+    b.assign({braw.data(), n});
+  }
+};
+
+TYPED_TEST(Blas1Test, DotMatchesReference) {
+  for (std::size_t n : {1u, 5u, 64u, 257u}) {
+    Fixture<TypeParam> f(n, n);
+    const double expected = sparse::dot(f.araw.data(), f.braw.data(), n);
+    EXPECT_NEAR(dot(f.a, f.b), expected, noise_bound<TypeParam>(25.0 * n, n));
+  }
+}
+
+TYPED_TEST(Blas1Test, AxpyMatchesReference) {
+  Fixture<TypeParam> f(130, 3);
+  sparse::axpy(2.5, f.araw.data(), f.braw.data(), f.n);
+  axpy(2.5, f.a, f.b);
+  std::vector<double> got(f.n);
+  f.b.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    EXPECT_NEAR(got[i], f.braw[i], noise_bound<TypeParam>(20.0, 2)) << i;
+  }
+}
+
+TYPED_TEST(Blas1Test, XpbyMatchesReference) {
+  Fixture<TypeParam> f(97, 4);
+  sparse::xpby(f.araw.data(), -0.75, f.braw.data(), f.n);
+  xpby(f.a, -0.75, f.b);
+  std::vector<double> got(f.n);
+  f.b.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    EXPECT_NEAR(got[i], f.braw[i], noise_bound<TypeParam>(10.0, 2)) << i;
+  }
+}
+
+TYPED_TEST(Blas1Test, AxpbyMatchesReference) {
+  Fixture<TypeParam> f(97, 5);
+  for (std::size_t i = 0; i < f.n; ++i) f.braw[i] = 1.5 * f.araw[i] - 2.0 * f.braw[i];
+  axpby(1.5, f.a, -2.0, f.b);
+  std::vector<double> got(f.n);
+  f.b.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    EXPECT_NEAR(got[i], f.braw[i], noise_bound<TypeParam>(20.0, 3)) << i;
+  }
+}
+
+TYPED_TEST(Blas1Test, SubMatchesReference) {
+  Fixture<TypeParam> f(64, 6);
+  ProtectedVector<TypeParam> r(f.n);
+  sub(f.a, f.b, r);
+  std::vector<double> got(f.n);
+  r.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    EXPECT_NEAR(got[i], f.araw[i] - f.braw[i], noise_bound<TypeParam>(10.0, 2)) << i;
+  }
+}
+
+TYPED_TEST(Blas1Test, PointwiseFmaMatchesReference) {
+  Fixture<TypeParam> f(50, 7);
+  ProtectedVector<TypeParam> y(f.n);
+  fill(y, 1.0);
+  pointwise_fma(f.a, f.b, y);
+  std::vector<double> got(f.n);
+  y.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    const double expected = TypeParam::mask(1.0) + f.araw[i] * f.braw[i];
+    EXPECT_NEAR(got[i], expected, noise_bound<TypeParam>(30.0, 3)) << i;
+  }
+}
+
+TYPED_TEST(Blas1Test, CopyAndFill) {
+  Fixture<TypeParam> f(41, 8);
+  ProtectedVector<TypeParam> dst(f.n);
+  copy(f.a, dst);
+  std::vector<double> got(f.n);
+  dst.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) EXPECT_EQ(got[i], f.araw[i]);
+
+  fill(dst, 3.5);
+  dst.extract(got);
+  for (std::size_t i = 0; i < f.n; ++i) EXPECT_EQ(got[i], TypeParam::mask(3.5));
+  // Padding must stay zero so dot products over padded groups are exact.
+  EXPECT_EQ(dst.verify_all(), 0u);
+  EXPECT_NEAR(dot(dst, dst),
+              f.n * TypeParam::mask(3.5) * TypeParam::mask(3.5), 1e-9);
+}
+
+TYPED_TEST(Blas1Test, NormMatchesReference) {
+  Fixture<TypeParam> f(123, 9);
+  const double expected = sparse::norm2(f.araw.data(), f.n);
+  EXPECT_NEAR(norm2(f.a), expected, noise_bound<TypeParam>(expected, f.n));
+}
+
+// ---------------------------------------------------------------------------
+// Error propagation out of parallel kernels.
+// ---------------------------------------------------------------------------
+
+TEST(KernelFaults, SpmvThrowsOnSedDetection) {
+  auto a = sparse::laplacian_2d(20, 20);
+  auto pa = ProtectedCsr<ElemSed, RowSed>::from_csr(a);
+  ProtectedVector<VecSed> x(a.ncols()), y(a.nrows());
+  fill(x, 1.0);
+  auto values = pa.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
+                   777);
+  EXPECT_THROW(spmv(pa, x, y), UncorrectableError);
+}
+
+TEST(KernelFaults, SpmvCorrectsSecdedFlipAndContinues) {
+  auto a = sparse::laplacian_2d(20, 20);
+  FaultLog log;
+  auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log);
+  ProtectedVector<VecSecded64> x(a.ncols(), &log), y(a.nrows(), &log);
+  fill(x, 1.0);
+  auto values = pa.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
+                   64 * 7 + 19);
+  EXPECT_NO_THROW(spmv(pa, x, y));
+  EXPECT_GE(log.corrected(), 1u);
+
+  // And the result equals the fault-free product.
+  std::vector<double> xraw(a.ncols(), VecSecded64::mask(1.0));
+  std::vector<double> yref(a.nrows(), 0.0);
+  sparse::spmv(a, xraw.data(), yref.data());
+  std::vector<double> got(a.nrows());
+  y.extract(got);
+  for (std::size_t i = 0; i < a.nrows(); ++i) EXPECT_NEAR(got[i], yref[i], 1e-9);
+}
+
+TEST(KernelFaults, BoundsOnlyModeSkipsMatrixChecksButGuardsIndices) {
+  auto a = sparse::laplacian_2d(16, 16);
+  FaultLog log;
+  auto pa =
+      ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
+  ProtectedVector<VecNone> x(a.ncols(), &log, DuePolicy::record_only);
+  ProtectedVector<VecNone> y(a.nrows(), &log, DuePolicy::record_only);
+  fill(x, 1.0);
+
+  // Corrupt a column index to an out-of-range value (bounds-visible bits).
+  pa.raw_cols()[10] = 0x7FFFFFFFu;  // masked value still >= ncols
+  spmv(pa, x, y, CheckMode::bounds_only);
+  EXPECT_GE(log.bounds_violations(), 1u);
+  EXPECT_EQ(log.uncorrectable(), 0u) << "no integrity checks in bounds-only mode";
+}
+
+TEST(KernelFaults, BoundsOnlyThrowsBoundsViolationUnderThrowPolicy) {
+  auto a = sparse::laplacian_2d(16, 16);
+  auto pa = ProtectedCsr<ElemSed, RowSed>::from_csr(a);
+  ProtectedVector<VecNone> x(a.ncols()), y(a.nrows());
+  fill(x, 1.0);
+  pa.raw_cols()[3] = 0x7FFFFFFFu;
+  EXPECT_THROW(spmv(pa, x, y, CheckMode::bounds_only), BoundsViolation);
+}
+
+TEST(KernelFaults, CorruptRowPtrInBoundsOnlyModeIsCaught) {
+  auto a = sparse::laplacian_2d(16, 16);
+  FaultLog log;
+  auto pa =
+      ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
+  ProtectedVector<VecNone> x(a.ncols(), &log, DuePolicy::record_only);
+  ProtectedVector<VecNone> y(a.nrows(), &log, DuePolicy::record_only);
+  fill(x, 1.0);
+  pa.raw_row_ptr()[40] = 0x7FFFFFFEu;  // masked -> way past nnz
+  spmv(pa, x, y, CheckMode::bounds_only);
+  EXPECT_GE(log.bounds_violations(), 1u);
+}
+
+TEST(KernelShapes, DimensionMismatchesThrow) {
+  auto a = sparse::laplacian_2d(4, 4);
+  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+  ProtectedVector<VecNone> x(15), y(16), z(16);
+  EXPECT_THROW(spmv(pa, x, y), std::invalid_argument);
+  EXPECT_THROW((void)dot(x, y), std::invalid_argument);
+  EXPECT_THROW(axpy(1.0, x, y), std::invalid_argument);
+  EXPECT_THROW(xpby(x, 1.0, y), std::invalid_argument);
+  EXPECT_THROW(sub(x, y, z), std::invalid_argument);
+  EXPECT_THROW(pointwise_fma(x, y, z), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// ProtectedVector container semantics: element access, bulk assign/extract,
+// group padding, reader caching, writer buffering, verification and error
+// policy (paper §VI-B / §VI-C).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "abft/protected_vector.hpp"
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+
+namespace {
+
+using namespace abft;
+
+template <class S>
+class ProtectedVectorTest : public ::testing::Test {};
+
+using AllSchemes = ::testing::Types<VecNone, VecSed, VecSecded64, VecSecded128, VecCrc32c>;
+TYPED_TEST_SUITE(ProtectedVectorTest, AllSchemes);
+
+TYPED_TEST(ProtectedVectorTest, FreshVectorIsZeroAndValid) {
+  ProtectedVector<TypeParam> v(37);
+  EXPECT_EQ(v.size(), 37u);
+  EXPECT_EQ(v.verify_all(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.load(i), 0.0);
+}
+
+TYPED_TEST(ProtectedVectorTest, StorageIsPaddedToWholeGroups) {
+  for (std::size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    ProtectedVector<TypeParam> v(n);
+    EXPECT_EQ(v.raw().size() % TypeParam::kGroup, 0u) << n;
+    EXPECT_GE(v.raw().size(), n);
+    EXPECT_LT(v.raw().size(), n + TypeParam::kGroup);
+  }
+}
+
+TYPED_TEST(ProtectedVectorTest, StoreLoadRoundTrip) {
+  Xoshiro256 rng(1);
+  ProtectedVector<TypeParam> v(101);
+  std::vector<double> expected(101);
+  for (std::size_t i = 0; i < 101; ++i) {
+    expected[i] = TypeParam::mask(rng.uniform(-50, 50));
+    v.store(i, expected[i]);
+  }
+  for (std::size_t i = 0; i < 101; ++i) EXPECT_EQ(v.load(i), expected[i]);
+  EXPECT_EQ(v.verify_all(), 0u);
+}
+
+TYPED_TEST(ProtectedVectorTest, AssignExtractRoundTrip) {
+  Xoshiro256 rng(2);
+  std::vector<double> raw(77);
+  for (auto& x : raw) x = rng.uniform(-5, 5);
+  ProtectedVector<TypeParam> v(0);
+  v.assign({raw.data(), raw.size()});
+  EXPECT_EQ(v.size(), 77u);
+  std::vector<double> out(77, -1);
+  v.extract(out);
+  for (std::size_t i = 0; i < 77; ++i) EXPECT_EQ(out[i], TypeParam::mask(raw[i]));
+}
+
+TYPED_TEST(ProtectedVectorTest, GroupReaderReturnsSameAsLoad) {
+  Xoshiro256 rng(3);
+  ProtectedVector<TypeParam> v(64);
+  for (std::size_t i = 0; i < 64; ++i) v.store(i, rng.uniform(-10, 10));
+  GroupReader<TypeParam> reader(v);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(reader.get(i), v.load(i));
+  // Strided access patterns too (the SpMV column pattern).
+  GroupReader<TypeParam> reader2(v);
+  for (std::size_t i = 0; i < 64; i += 5) EXPECT_EQ(reader2.get(i), v.load(i));
+}
+
+TYPED_TEST(ProtectedVectorTest, GroupWriterMatchesStores) {
+  Xoshiro256 rng(4);
+  std::vector<double> raw(50);
+  for (auto& x : raw) x = rng.uniform(-10, 10);
+
+  ProtectedVector<TypeParam> via_writer(50);
+  {
+    GroupWriter<TypeParam> writer(via_writer);
+    for (double x : raw) writer.push(x);
+  }
+  ProtectedVector<TypeParam> via_store(50);
+  for (std::size_t i = 0; i < 50; ++i) via_store.store(i, raw[i]);
+
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(via_writer.load(i), via_store.load(i)) << i;
+  }
+  EXPECT_EQ(via_writer.verify_all(), 0u);
+}
+
+TYPED_TEST(ProtectedVectorTest, ChecksAreCounted) {
+  FaultLog log;
+  ProtectedVector<TypeParam> v(16, &log);
+  (void)v.load(3);
+  EXPECT_GE(log.checks(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault response (skipping VecNone, which cannot detect anything).
+// ---------------------------------------------------------------------------
+
+template <class S>
+class ProtectedVectorFaultTest : public ::testing::Test {};
+
+using DetectingSchemes = ::testing::Types<VecSed, VecSecded64, VecSecded128, VecCrc32c>;
+TYPED_TEST_SUITE(ProtectedVectorFaultTest, DetectingSchemes);
+
+TYPED_TEST(ProtectedVectorFaultTest, RandomFlipIsNeverSilent) {
+  // Any single flip must be reported (corrected or uncorrectable): sweep
+  // random positions over the raw storage.
+  Xoshiro256 rng(5);
+  for (int rep = 0; rep < 64; ++rep) {
+    FaultLog log;
+    ProtectedVector<TypeParam> v(32, &log, DuePolicy::record_only);
+    for (std::size_t i = 0; i < 32; ++i) v.store(i, rng.uniform(-10, 10));
+    log.clear();
+
+    auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(v.data()),
+                                         v.raw().size_bytes());
+    const std::size_t bit = rng.below(bytes.size() * 8);
+    faults::flip_bit(bytes, bit);
+    (void)v.verify_all();
+    const bool dead_bit = log.corrected() == 0 && log.uncorrectable() == 0;
+    if (dead_bit) {
+      // Only allowed for schemes with unused storage slots (SECDED64 bit 7,
+      // SECDED128 slots 3-4 of the second element).
+      const bool may_have_dead_bits =
+          std::is_same_v<TypeParam, VecSecded64> || std::is_same_v<TypeParam, VecSecded128>;
+      EXPECT_TRUE(may_have_dead_bits) << "silent flip at bit " << bit;
+    }
+  }
+}
+
+TYPED_TEST(ProtectedVectorFaultTest, CorrectingSchemesRepairInPlace) {
+  if (TypeParam::kScheme == ecc::Scheme::sed) {
+    GTEST_SKIP() << "SED cannot correct";
+  }
+  Xoshiro256 rng(6);
+  FaultLog log;
+  ProtectedVector<TypeParam> v(24, &log, DuePolicy::record_only);
+  std::vector<double> expected(24);
+  for (std::size_t i = 0; i < 24; ++i) {
+    expected[i] = TypeParam::mask(rng.uniform(-10, 10));
+    v.store(i, expected[i]);
+  }
+  // Flip a data bit (bit 30 of element 5's storage, well above the
+  // redundancy slots).
+  auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(v.data()),
+                                       v.raw().size_bytes());
+  faults::flip_bit(bytes, 5 * 64 + 30);
+  EXPECT_EQ(v.verify_all(), 0u);
+  EXPECT_GE(log.corrected(), 1u);
+  for (std::size_t i = 0; i < 24; ++i) EXPECT_EQ(v.load(i), expected[i]) << i;
+}
+
+TEST(ProtectedVectorPolicy, SedThrowsOnDetectionByDefault) {
+  ProtectedVector<VecSed> v(8);
+  v.store(2, 1.5);
+  auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(v.data()),
+                                       v.raw().size_bytes());
+  faults::flip_bit(bytes, 2 * 64 + 17);
+  EXPECT_THROW((void)v.load(2), UncorrectableError);
+}
+
+TEST(ProtectedVectorPolicy, RecordOnlyDoesNotThrow) {
+  FaultLog log;
+  ProtectedVector<VecSed> v(8, &log, DuePolicy::record_only);
+  v.store(2, 1.5);
+  auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(v.data()),
+                                       v.raw().size_bytes());
+  faults::flip_bit(bytes, 2 * 64 + 17);
+  EXPECT_NO_THROW((void)v.load(2));
+  EXPECT_EQ(log.uncorrectable(), 1u);
+  EXPECT_EQ(v.verify_all(), 1u);
+}
+
+TEST(ProtectedVectorPolicy, UncorrectableErrorCarriesLocation) {
+  ProtectedVector<VecSed> v(8);
+  v.store(0, 2.0);
+  auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(v.data()),
+                                       v.raw().size_bytes());
+  faults::flip_bit(bytes, 20);
+  try {
+    (void)v.load(0);
+    FAIL() << "expected UncorrectableError";
+  } catch (const UncorrectableError& e) {
+    EXPECT_EQ(e.region(), Region::dense_vector);
+    EXPECT_EQ(e.index(), 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// Sparse substrate: CSR validation, COO assembly, generators, transforms
+// and the baseline kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/transform.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::sparse;
+
+TEST(Coo, BuildsSortedCsr) {
+  CooMatrix coo(3, 3);
+  coo.add(2, 1, 5.0);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 2, 3.0);
+  coo.add(1, 0, 2.0);
+  const auto csr = coo.to_csr();
+  csr.validate();
+  EXPECT_EQ(csr.nnz(), 4u);
+  EXPECT_EQ(csr.at(0, 0), 1.0);
+  EXPECT_EQ(csr.at(1, 0), 2.0);
+  EXPECT_EQ(csr.at(1, 2), 3.0);
+  EXPECT_EQ(csr.at(2, 1), 5.0);
+  EXPECT_EQ(csr.at(2, 2), 0.0);
+}
+
+TEST(Coo, SumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.5);
+  coo.add(0, 1, 2.5);
+  coo.add(0, 1, -1.0);
+  const auto csr = coo.to_csr();
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_EQ(csr.at(0, 1), 3.0);
+}
+
+TEST(Coo, RejectsOutOfRange) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(coo.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(Coo, EmptyRowsProduceValidCsr) {
+  CooMatrix coo(4, 4);
+  coo.add(1, 1, 1.0);
+  const auto csr = coo.to_csr();
+  csr.validate();
+  EXPECT_EQ(csr.row_nnz(0), 0u);
+  EXPECT_EQ(csr.row_nnz(1), 1u);
+  EXPECT_EQ(csr.row_nnz(3), 0u);
+}
+
+TEST(CsrValidate, CatchesBrokenStructures) {
+  CsrMatrix m(2, 2);
+  m.row_ptr() = {0, 1, 2};
+  m.cols() = {0, 5};  // column out of range
+  m.values() = {1.0, 1.0};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m.cols() = {1, 0};
+  m.row_ptr() = {0, 2, 2};  // columns not increasing within row 0
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Laplacian2d, StructureAndSymmetry) {
+  const auto a = laplacian_2d(5, 4);
+  a.validate();
+  EXPECT_EQ(a.nrows(), 20u);
+  // Interior row has 5 entries, corner rows 3.
+  EXPECT_EQ(a.row_nnz(0), 3u);
+  EXPECT_EQ(a.row_nnz(6), 5u);
+  EXPECT_EQ(a.at(6, 6), 4.0);
+  EXPECT_EQ(a.at(6, 5), -1.0);
+  EXPECT_EQ(a.at(6, 11), -1.0);
+
+  // Symmetric: A == A^T entrywise.
+  const auto t = transpose(a);
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      EXPECT_EQ(a.values()[k], t.at(r, a.cols()[k]));
+    }
+  }
+}
+
+TEST(Laplacian2d9pt, InteriorRowHasNineEntries) {
+  const auto a = laplacian_2d_9pt(5, 5);
+  a.validate();
+  EXPECT_EQ(a.row_nnz(12), 9u);  // centre cell
+  EXPECT_EQ(a.at(12, 12), 8.0);
+  EXPECT_EQ(a.row_nnz(0), 4u);  // corner
+}
+
+TEST(Diffusion2d, ConstantCoefficientsReduceToScaledLaplacian) {
+  const std::size_t nx = 6, ny = 5;
+  std::vector<double> k(nx * ny, 2.0);
+  const auto a = diffusion_2d(nx, ny, k.data(), k.data(), 0.5);
+  a.validate();
+  // Interior row: diag = 1 + lambda * 4 * harmonic(2,2) = 1 + 0.5*4*2 = 5,
+  // off-diagonals = -1.
+  const std::size_t r = 2 * nx + 2;
+  EXPECT_DOUBLE_EQ(a.at(r, r), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(r, r - 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(r, r + nx), -1.0);
+  // Row sums of the L part are zero => A row sum = 1 (conservation).
+  for (std::size_t row = 0; row < a.nrows(); ++row) {
+    double sum = 0.0;
+    for (auto kk = a.row_ptr()[row]; kk < a.row_ptr()[row + 1]; ++kk) {
+      sum += a.values()[kk];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-14) << row;
+  }
+}
+
+TEST(Diffusion2d, IsSymmetric) {
+  Xoshiro256 rng(3);
+  const std::size_t nx = 7, ny = 6;
+  std::vector<double> k(nx * ny);
+  for (auto& v : k) v = rng.uniform(0.1, 10.0);
+  const auto a = diffusion_2d(nx, ny, k.data(), k.data(), 0.25);
+  const auto t = transpose(a);
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto kk = a.row_ptr()[r]; kk < a.row_ptr()[r + 1]; ++kk) {
+      EXPECT_NEAR(a.values()[kk], t.at(r, a.cols()[kk]), 1e-15);
+    }
+  }
+}
+
+TEST(RandomSpd, IsSymmetricDiagonallyDominant) {
+  const auto a = random_spd(80, 4, 7);
+  a.validate();
+  const auto t = transpose(a);
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    double offsum = 0.0;
+    double diag = 0.0;
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      EXPECT_NEAR(a.values()[k], t.at(r, a.cols()[k]), 1e-15);
+      if (a.cols()[k] == r) {
+        diag = a.values()[k];
+      } else {
+        offsum += std::abs(a.values()[k]);
+      }
+    }
+    EXPECT_GT(diag, offsum) << "not diagonally dominant at row " << r;
+  }
+}
+
+TEST(RandomSpd, DeterministicInSeed) {
+  const auto a = random_spd(30, 3, 11);
+  const auto b = random_spd(30, 3, 11);
+  const auto c = random_spd(30, 3, 12);
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_EQ(a.cols(), b.cols());
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(PadRows, ReachesMinimumWithoutChangingNumerics) {
+  const auto a = laplacian_2d(6, 6);
+  const auto padded = pad_rows_to_min_nnz(a, 4);
+  padded.validate();
+  for (std::size_t r = 0; r < padded.nrows(); ++r) {
+    EXPECT_GE(padded.row_nnz(r), 4u) << r;
+  }
+  // SpMV results identical.
+  Xoshiro256 rng(5);
+  std::vector<double> x(a.ncols());
+  for (auto& v : x) v = rng.uniform(-2, 2);
+  std::vector<double> y1(a.nrows()), y2(a.nrows());
+  spmv(a, x.data(), y1.data());
+  spmv(padded, x.data(), y2.data());
+  for (std::size_t i = 0; i < a.nrows(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(PadRows, RejectsImpossibleRequest) {
+  const auto a = laplacian_2d(2, 1);  // 2 columns
+  EXPECT_THROW((void)pad_rows_to_min_nnz(a, 3), std::invalid_argument);
+}
+
+TEST(Transpose, InvolutionRestoresMatrix) {
+  const auto a = random_spd(40, 5, 21);
+  const auto tt = transpose(transpose(a));
+  EXPECT_EQ(tt.row_ptr(), a.row_ptr());
+  EXPECT_EQ(tt.cols(), a.cols());
+  EXPECT_EQ(tt.values(), a.values());
+}
+
+TEST(VectorOps, ReferenceKernels) {
+  const std::size_t n = 1000;
+  std::vector<double> a(n), b(n);
+  Xoshiro256 rng(9);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1, 1);
+    b[i] = rng.uniform(-1, 1);
+  }
+  double expected_dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) expected_dot += a[i] * b[i];
+  EXPECT_NEAR(dot(a.data(), b.data(), n), expected_dot, 1e-10);
+
+  std::vector<double> y = b;
+  axpy(0.5, a.data(), y.data(), n);
+  for (std::size_t i = 0; i < n; i += 100) EXPECT_NEAR(y[i], b[i] + 0.5 * a[i], 1e-15);
+
+  y = b;
+  xpby(a.data(), 2.0, y.data(), n);
+  for (std::size_t i = 0; i < n; i += 100) EXPECT_NEAR(y[i], a[i] + 2.0 * b[i], 1e-15);
+
+  fill(y.data(), 7.5, n);
+  for (std::size_t i = 0; i < n; i += 100) EXPECT_EQ(y[i], 7.5);
+
+  copy(a.data(), y.data(), n);
+  EXPECT_EQ(y, a);
+
+  scale(3.0, y.data(), n);
+  for (std::size_t i = 0; i < n; i += 100) EXPECT_EQ(y[i], 3.0 * a[i]);
+
+  EXPECT_NEAR(norm2(a.data(), n), std::sqrt(dot(a.data(), a.data(), n)), 1e-12);
+}
+
+TEST(Spmv, IdentityAndScaling) {
+  CooMatrix coo(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) coo.add(i, i, 2.0);
+  const auto a = coo.to_csr();
+  std::vector<double> x = {1.0, -2.0, 3.0}, y(3);
+  spmv(a, x.data(), y.data());
+  EXPECT_EQ(y[0], 2.0);
+  EXPECT_EQ(y[1], -4.0);
+  EXPECT_EQ(y[2], 6.0);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// MatrixMarket-style IO round trips and error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "sparse/generators.hpp"
+#include "sparse/io.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::sparse;
+
+TEST(MatrixMarket, StreamRoundTrip) {
+  const auto a = random_spd(25, 3, 5);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market(ss);
+  ASSERT_EQ(b.nrows(), a.nrows());
+  ASSERT_EQ(b.ncols(), a.ncols());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  EXPECT_EQ(b.row_ptr(), a.row_ptr());
+  EXPECT_EQ(b.cols(), a.cols());
+  EXPECT_EQ(b.values(), a.values());
+}
+
+TEST(MatrixMarket, SymmetricInputIsMirrored) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n"
+     << "2 1 -1.0\n"
+     << "2 2 2.0\n"
+     << "3 3 2.0\n";
+  const auto a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 5u);  // off-diagonal mirrored
+  EXPECT_EQ(a.at(0, 1), -1.0);
+  EXPECT_EQ(a.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  {
+    std::stringstream ss("not a matrix\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);  // truncated
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "abft_io_test.mtx";
+  const auto a = laplacian_2d(6, 5);
+  write_matrix_market(path.string(), a);
+  const auto b = read_matrix_market(path.string());
+  EXPECT_EQ(b.values(), a.values());
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)read_matrix_market(path.string()), std::runtime_error);
+}
+
+TEST(VectorIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "abft_vec_test.txt";
+  aligned_vector<double> v = {1.5, -2.25, 3.0e-7, 4e300};
+  write_vector(path.string(), v);
+  const auto w = read_vector(path.string());
+  EXPECT_EQ(w, v);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// TeaLeaf miniapp: deck parsing, initial states, per-step assembly and the
+// timestep driver across protection schemes (paper §V).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "tealeaf/deck.hpp"
+#include "tealeaf/driver.hpp"
+#include "tealeaf/problem.hpp"
+
+namespace {
+
+using namespace abft;
+using namespace abft::tealeaf;
+
+constexpr const char* kPaperStyleDeck = R"(*tea
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+state 3 density=0.1 energy=0.1 geometry=circle radius=1.0 centrex=7.0 centrey=7.0
+x_cells=16
+y_cells=16
+xmin=0.0
+xmax=10.0
+ymin=0.0
+ymax=10.0
+initial_timestep=0.004
+end_step=3
+tl_max_iters=2000
+tl_use_cg
+tl_eps=1e-12
+*endtea
+)";
+
+TEST(Deck, ParsesPaperStyleInput) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  EXPECT_EQ(cfg.mesh.nx, 16u);
+  EXPECT_EQ(cfg.mesh.ny, 16u);
+  EXPECT_EQ(cfg.mesh.xmax, 10.0);
+  EXPECT_EQ(cfg.initial_timestep, 0.004);
+  EXPECT_EQ(cfg.end_step, 3u);
+  EXPECT_EQ(cfg.tl_eps, 1e-12);
+  EXPECT_EQ(cfg.tl_max_iters, 2000u);
+  EXPECT_EQ(cfg.solver, SolverKind::cg);
+  ASSERT_EQ(cfg.states.size(), 3u);
+  EXPECT_EQ(cfg.states[0].density, 100.0);
+  EXPECT_EQ(cfg.states[1].geometry, Geometry::rectangle);
+  EXPECT_EQ(cfg.states[1].ymax, 2.0);
+  EXPECT_EQ(cfg.states[2].geometry, Geometry::circle);
+  EXPECT_EQ(cfg.states[2].radius, 1.0);
+  EXPECT_EQ(cfg.states[2].cx, 7.0);
+}
+
+TEST(Deck, CommentsAndUnknownKeysIgnored) {
+  const auto cfg = parse_deck_string(
+      "x_cells=8 ! trailing comment\n"
+      "# full-line comment\n"
+      "y_cells=4\n"
+      "mystery_key=42\n"
+      "tl_use_jacobi\n");
+  EXPECT_EQ(cfg.mesh.nx, 8u);
+  EXPECT_EQ(cfg.mesh.ny, 4u);
+  EXPECT_EQ(cfg.solver, SolverKind::jacobi);
+}
+
+TEST(Deck, SolverSelectionFlags) {
+  EXPECT_EQ(parse_deck_string("x_cells=4\ny_cells=4\ntl_use_chebyshev\n").solver,
+            SolverKind::chebyshev);
+  EXPECT_EQ(parse_deck_string("x_cells=4\ny_cells=4\ntl_use_ppcg\n").solver,
+            SolverKind::ppcg);
+}
+
+TEST(Deck, BadNumbersAndMissingCellsThrow) {
+  EXPECT_THROW((void)parse_deck_string("x_cells=abc\ny_cells=4\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_deck_string("initial_timestep=0.1\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_deck_string("x_cells=4\ny_cells=4\nstate 0 density=1\n"),
+               std::runtime_error);
+}
+
+TEST(Problem, StatesApplyInOrder) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  Problem p(cfg);
+  const auto& mesh = p.mesh();
+  // Ambient cell far from both regions.
+  const auto far_cell = mesh.index(15, 0);
+  EXPECT_EQ(p.density()[far_cell], 100.0);
+  EXPECT_EQ(p.energy()[far_cell], 0.0001);
+  // Inside the rectangle (x in [0,1), y in [1,2)): cell (0, 2) has centre
+  // (0.3125, 1.5625).
+  const auto rect_cell = mesh.index(0, 2);
+  EXPECT_EQ(p.density()[rect_cell], 0.1);
+  EXPECT_EQ(p.energy()[rect_cell], 25.0);
+  // Inside the circle at (7,7): nearest cell centre.
+  const auto circ_cell = mesh.index(11, 11);  // centre (7.1875, 7.1875)
+  EXPECT_EQ(p.density()[circ_cell], 0.1);
+  EXPECT_EQ(p.energy()[circ_cell], 0.1);
+  // u = energy * density everywhere.
+  for (std::size_t c = 0; c < mesh.cells(); ++c) {
+    EXPECT_EQ(p.u()[c], p.energy()[c] * p.density()[c]);
+  }
+}
+
+TEST(Problem, AssembledMatrixIsWellFormed) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  Problem p(cfg);
+  const auto a = p.assemble_matrix();
+  a.validate();
+  EXPECT_EQ(a.nrows(), cfg.mesh.cells());
+  // Row sums are 1: the operator conserves constants under zero-flux BCs.
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    double sum = 0.0;
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) sum += a.values()[k];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << r;
+  }
+}
+
+TEST(Problem, RecipCoefficientInvertsDensity) {
+  auto cfg = parse_deck_string("x_cells=4\ny_cells=4\n");
+  cfg.states = {State{.density = 4.0, .energy = 1.0}};
+  cfg.coefficient = CoefficientMode::recip_conductivity;
+  Problem p(cfg);
+  const auto w = p.conductivity();
+  for (double v : w) EXPECT_EQ(v, 0.25);
+}
+
+TEST(Problem, FieldSummaryIntegrals) {
+  auto cfg = parse_deck_string("x_cells=4\ny_cells=4\nxmin=0 xmax=4 ymin=0 ymax=4\n");
+  cfg.states = {State{.density = 2.0, .energy = 3.0}};
+  Problem p(cfg);
+  const auto s = p.field_summary();
+  // 16 cells of 1x1: volume 16, mass 32, ie = mass*energy = 96,
+  // temperature integral = volume * u = volume * (2*3) = 96.
+  EXPECT_DOUBLE_EQ(s.volume, 16.0);
+  EXPECT_DOUBLE_EQ(s.mass, 32.0);
+  EXPECT_DOUBLE_EQ(s.internal_energy, 96.0);
+  EXPECT_DOUBLE_EQ(s.temperature, 96.0);
+}
+
+TEST(Problem, FieldSummaryInternalEnergyConservedBySolve) {
+  // The operator conserves sum(u); with uniform density that means the
+  // internal-energy integral is conserved across timesteps.
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  Simulation<ElemNone, RowNone, VecNone> sim(cfg);
+  const auto before = sim.problem().field_summary();
+  (void)sim.step();
+  const auto after = sim.problem().field_summary();
+  EXPECT_DOUBLE_EQ(after.volume, before.volume);
+  EXPECT_DOUBLE_EQ(after.mass, before.mass);
+  EXPECT_NEAR(after.temperature, before.temperature,
+              1e-8 * std::abs(before.temperature));
+}
+
+// ---------------------------------------------------------------------------
+// Full simulation runs.
+// ---------------------------------------------------------------------------
+
+TEST(Simulation, EnergyDiffusesAndTotalUIsConserved) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  Simulation<ElemNone, RowNone, VecNone> sim(cfg);
+  const auto& mesh = sim.problem().mesh();
+
+  double total_before = 0.0;
+  for (std::size_t c = 0; c < mesh.cells(); ++c) total_before += sim.problem().u()[c];
+
+  const auto result = sim.run();
+  EXPECT_TRUE(result.all_converged);
+  EXPECT_EQ(result.steps.size(), 3u);
+  EXPECT_GT(result.total_iterations, 0u);
+
+  // A = I + lambda*L with zero row-sums in L^T columns => sum(u) conserved
+  // up to solver tolerance (symmetric operator, zero-flux boundaries).
+  double total_after = 0.0;
+  for (std::size_t c = 0; c < mesh.cells(); ++c) total_after += sim.problem().u()[c];
+  EXPECT_NEAR(total_after, total_before, 1e-6 * std::abs(total_before));
+}
+
+TEST(Simulation, AllSchemesAgreeOnTheField) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  const auto baseline = run_simulation_uniform(cfg, ecc::Scheme::none);
+  ASSERT_TRUE(baseline.all_converged);
+  for (auto scheme : {ecc::Scheme::sed, ecc::Scheme::secded64, ecc::Scheme::secded128,
+                      ecc::Scheme::crc32c}) {
+    const auto run = run_simulation_uniform(cfg, scheme);
+    EXPECT_TRUE(run.all_converged) << ecc::to_string(scheme);
+    // Paper §VI-B: solution norm within 2e-11 % of the reference.
+    EXPECT_NEAR(run.final_field_norm, baseline.final_field_norm,
+                baseline.final_field_norm * 1e-9)
+        << ecc::to_string(scheme);
+    // And iteration counts stay within 1 % (§VI-B).
+    EXPECT_LE(run.total_iterations,
+              baseline.total_iterations + std::max(3u, baseline.total_iterations / 100))
+        << ecc::to_string(scheme);
+  }
+}
+
+TEST(Simulation, CheckIntervalProducesSameAnswer) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  const auto every = run_simulation_uniform(cfg, ecc::Scheme::secded64, 1);
+  const auto sparse_checks = run_simulation_uniform(cfg, ecc::Scheme::secded64, 16);
+  EXPECT_TRUE(sparse_checks.all_converged);
+  EXPECT_NEAR(every.final_field_norm, sparse_checks.final_field_norm,
+              every.final_field_norm * 1e-12);
+}
+
+TEST(Simulation, AlternativeSolversReachSameField) {
+  auto cfg = parse_deck_string(kPaperStyleDeck);
+  cfg.end_step = 1;
+  cfg.tl_eps = 1e-11;
+  const auto cg = run_simulation_uniform(cfg, ecc::Scheme::none);
+  ASSERT_TRUE(cg.all_converged);
+
+  cfg.solver = SolverKind::ppcg;
+  const auto ppcg = run_simulation_uniform(cfg, ecc::Scheme::none);
+  EXPECT_TRUE(ppcg.all_converged);
+  EXPECT_NEAR(ppcg.final_field_norm, cg.final_field_norm, cg.final_field_norm * 1e-6);
+
+  cfg.solver = SolverKind::chebyshev;
+  cfg.tl_max_iters = 20000;
+  const auto cheby = run_simulation_uniform(cfg, ecc::Scheme::none);
+  EXPECT_TRUE(cheby.all_converged);
+  EXPECT_NEAR(cheby.final_field_norm, cg.final_field_norm, cg.final_field_norm * 1e-5);
+}
+
+TEST(Simulation, FaultLogSeesMatrixChecks) {
+  const auto cfg = parse_deck_string(kPaperStyleDeck);
+  FaultLog log;
+  const auto run = run_simulation_uniform(cfg, ecc::Scheme::secded64, 1, &log);
+  EXPECT_TRUE(run.all_converged);
+  EXPECT_GT(log.checks(), 0u);
+  EXPECT_EQ(log.corrected(), 0u);
+  EXPECT_EQ(log.uncorrectable(), 0u);
+}
+
+}  // namespace

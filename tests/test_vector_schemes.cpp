@@ -1,0 +1,265 @@
+// Dense-vector protection schemes (paper §VI-B, Fig. 3): round-trip,
+// masking semantics, and flip detection/correction per scheme, swept with
+// parameterized and typed tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "abft/vector_schemes.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace abft;
+
+template <class S>
+class VectorSchemeTest : public ::testing::Test {};
+
+using AllSchemes = ::testing::Types<VecNone, VecSed, VecSecded64, VecSecded128, VecCrc32c>;
+TYPED_TEST_SUITE(VectorSchemeTest, AllSchemes);
+
+template <class S>
+void fill_random(double (&vals)[S::kGroup], Xoshiro256& rng) {
+  for (auto& v : vals) v = rng.uniform(-1e6, 1e6);
+}
+
+TYPED_TEST(VectorSchemeTest, RoundTripPreservesMaskedValues) {
+  using S = TypeParam;
+  Xoshiro256 rng(1);
+  for (int rep = 0; rep < 100; ++rep) {
+    double vals[S::kGroup];
+    fill_random<S>(vals, rng);
+    double storage[S::kGroup];
+    S::encode_group(vals, storage);
+    double decoded[S::kGroup];
+    EXPECT_EQ(S::decode_group(storage, decoded), CheckOutcome::ok);
+    for (std::size_t e = 0; e < S::kGroup; ++e) {
+      EXPECT_EQ(decoded[e], S::mask(vals[e]));
+    }
+  }
+}
+
+TYPED_TEST(VectorSchemeTest, MaskingErrorIsBounded) {
+  using S = TypeParam;
+  // Masking the low mantissa bits perturbs a value by at most
+  // 2^-(52 - bits) relative — the "noise" the paper bounds (§VI-B).
+  Xoshiro256 rng(2);
+  const double rel_bound = std::ldexp(1.0, static_cast<int>(S::kRedundancyBitsPerElement) - 52);
+  for (int rep = 0; rep < 1000; ++rep) {
+    const double v = rng.uniform(-1e9, 1e9);
+    const double m = S::mask(v);
+    EXPECT_LE(std::abs(m - v), std::abs(v) * rel_bound + 1e-300) << v;
+  }
+}
+
+TYPED_TEST(VectorSchemeTest, MaskIsIdempotent) {
+  using S = TypeParam;
+  Xoshiro256 rng(3);
+  for (int rep = 0; rep < 100; ++rep) {
+    const double v = rng.uniform(-1e3, 1e3);
+    EXPECT_EQ(S::mask(S::mask(v)), S::mask(v));
+  }
+}
+
+TYPED_TEST(VectorSchemeTest, EncodedGroupSurvivesDecodeEncodeCycle) {
+  using S = TypeParam;
+  Xoshiro256 rng(4);
+  double vals[S::kGroup];
+  fill_random<S>(vals, rng);
+  double storage[S::kGroup];
+  S::encode_group(vals, storage);
+  double decoded[S::kGroup];
+  ASSERT_EQ(S::decode_group(storage, decoded), CheckOutcome::ok);
+  double storage2[S::kGroup];
+  S::encode_group(decoded, storage2);
+  for (std::size_t e = 0; e < S::kGroup; ++e) {
+    EXPECT_EQ(double_to_bits(storage[e]), double_to_bits(storage2[e]));
+  }
+}
+
+TYPED_TEST(VectorSchemeTest, HandlesSpecialValues) {
+  using S = TypeParam;
+  const double specials[] = {0.0, -0.0, 1.0, -1.0,
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::min(),
+                             std::numeric_limits<double>::denorm_min()};
+  for (double v : specials) {
+    double vals[S::kGroup];
+    for (auto& x : vals) x = v;
+    double storage[S::kGroup];
+    S::encode_group(vals, storage);
+    double decoded[S::kGroup];
+    EXPECT_EQ(S::decode_group(storage, decoded), CheckOutcome::ok) << v;
+    for (std::size_t e = 0; e < S::kGroup; ++e) EXPECT_EQ(decoded[e], S::mask(v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detection / correction properties per scheme.
+// ---------------------------------------------------------------------------
+
+/// Flip bit `bit` of element `e` in a raw double array.
+template <std::size_t N>
+void flip(double (&storage)[N], std::size_t e, unsigned bit) {
+  storage[e] = bits_to_double(flip_bit(double_to_bits(storage[e]), bit));
+}
+
+class VecSedFlips : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VecSedFlips, EverySingleFlipIsDetected) {
+  Xoshiro256 rng(5);
+  const unsigned bit = GetParam();
+  double vals[1] = {rng.uniform(-10, 10)};
+  double storage[1];
+  VecSed::encode_group(vals, storage);
+  flip(storage, 0, bit);
+  double decoded[1];
+  EXPECT_EQ(VecSed::decode_group(storage, decoded), CheckOutcome::uncorrectable);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, VecSedFlips, ::testing::Range(0u, 64u));
+
+TEST(VecSedProperties, DoubleFlipsAreMissed) {
+  // HD=2: even-weight errors are invisible — the scheme's documented limit.
+  Xoshiro256 rng(6);
+  double vals[1] = {rng.uniform(-10, 10)};
+  double storage[1];
+  VecSed::encode_group(vals, storage);
+  flip(storage, 0, 7);
+  flip(storage, 0, 42);
+  double decoded[1];
+  EXPECT_EQ(VecSed::decode_group(storage, decoded), CheckOutcome::ok);
+}
+
+class VecSecded64Flips : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VecSecded64Flips, EverySingleFlipIsCorrected) {
+  Xoshiro256 rng(7);
+  const unsigned bit = GetParam();
+  double vals[1] = {rng.uniform(-10, 10)};
+  double storage[1];
+  VecSecded64::encode_group(vals, storage);
+  const std::uint64_t clean = double_to_bits(storage[0]);
+  flip(storage, 0, bit);
+  double decoded[1];
+  const auto outcome = VecSecded64::decode_group(storage, decoded);
+  if (bit == 7) {
+    // Bit 7 of the low byte is the unused redundancy slot: flips there are
+    // outside the codeword, invisible by design and masked on read.
+    EXPECT_EQ(outcome, CheckOutcome::ok);
+  } else {
+    EXPECT_EQ(outcome, CheckOutcome::corrected) << "bit " << bit;
+    EXPECT_EQ(double_to_bits(storage[0]), clean) << "write-back at bit " << bit;
+  }
+  EXPECT_EQ(decoded[0], VecSecded64::mask(vals[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, VecSecded64Flips, ::testing::Range(0u, 64u));
+
+TEST(VecSecded64Properties, DoubleFlipInDataIsDetected) {
+  Xoshiro256 rng(8);
+  for (unsigned i = 8; i < 64; i += 5) {
+    for (unsigned j = i + 1; j < 64; j += 9) {
+      double vals[1] = {rng.uniform(-10, 10)};
+      double storage[1];
+      VecSecded64::encode_group(vals, storage);
+      flip(storage, 0, i);
+      flip(storage, 0, j);
+      double decoded[1];
+      EXPECT_EQ(VecSecded64::decode_group(storage, decoded), CheckOutcome::uncorrectable)
+          << i << "," << j;
+    }
+  }
+}
+
+class VecSecded128Flips : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(VecSecded128Flips, EverySingleFlipIsCorrectedOrDeadBit) {
+  const auto [elem, bit] = GetParam();
+  Xoshiro256 rng(9);
+  double vals[2] = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+  double storage[2];
+  VecSecded128::encode_group(vals, storage);
+  const std::uint64_t clean0 = double_to_bits(storage[0]);
+  const std::uint64_t clean1 = double_to_bits(storage[1]);
+  flip(storage, static_cast<std::size_t>(elem), bit);
+  double decoded[2];
+  const auto outcome = VecSecded128::decode_group(storage, decoded);
+  // Redundancy layout: 5 LSBs of element 0 hold red bits 0..4, 5 LSBs of
+  // element 1 hold red bits 5..7 plus two unused slots (bits 3, 4).
+  const bool dead = elem == 1 && (bit == 3 || bit == 4);
+  if (dead) {
+    EXPECT_EQ(outcome, CheckOutcome::ok);
+  } else {
+    EXPECT_EQ(outcome, CheckOutcome::corrected) << "elem " << elem << " bit " << bit;
+    EXPECT_EQ(double_to_bits(storage[0]), clean0);
+    EXPECT_EQ(double_to_bits(storage[1]), clean1);
+  }
+  EXPECT_EQ(decoded[0], VecSecded128::mask(vals[0]));
+  EXPECT_EQ(decoded[1], VecSecded128::mask(vals[1]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, VecSecded128Flips,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Range(0u, 64u)));
+
+class VecCrc32cFlips : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(VecCrc32cFlips, EverySingleFlipIsCorrected) {
+  const auto [elem, bit] = GetParam();
+  Xoshiro256 rng(10);
+  double vals[4];
+  for (auto& v : vals) v = rng.uniform(-10, 10);
+  double storage[4];
+  VecCrc32c::encode_group(vals, storage);
+  std::uint64_t clean[4];
+  for (int e = 0; e < 4; ++e) clean[e] = double_to_bits(storage[e]);
+  flip(storage, static_cast<std::size_t>(elem), bit);
+  double decoded[4];
+  const auto outcome = VecCrc32c::decode_group(storage, decoded);
+  EXPECT_EQ(outcome, CheckOutcome::corrected) << "elem " << elem << " bit " << bit;
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_EQ(double_to_bits(storage[e]), clean[e]) << "write-back elem " << e;
+    EXPECT_EQ(decoded[e], VecCrc32c::mask(vals[e]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledBits, VecCrc32cFlips,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0u, 3u, 8u, 21u, 40u,
+                                                              52u, 63u)));
+
+TEST(VecCrc32cProperties, FiveFlipsAreAlwaysAtLeastDetected) {
+  // HD=6 in this codeword size: up to 5 flips can never decode to "ok".
+  Xoshiro256 rng(11);
+  for (int rep = 0; rep < 200; ++rep) {
+    double vals[4];
+    for (auto& v : vals) v = rng.uniform(-10, 10);
+    double storage[4];
+    VecCrc32c::encode_group(vals, storage);
+    for (int f = 0; f < 5; ++f) {
+      flip(storage, rng.below(4), static_cast<unsigned>(rng.below(64)));
+    }
+    double decoded[4];
+    const auto outcome = VecCrc32c::decode_group(storage, decoded);
+    EXPECT_NE(outcome, CheckOutcome::ok) << "rep " << rep;
+  }
+}
+
+TEST(VecCrc32cProperties, BurstWithinGroupIsDetected) {
+  Xoshiro256 rng(12);
+  double vals[4];
+  for (auto& v : vals) v = rng.uniform(-10, 10);
+  double storage[4];
+  VecCrc32c::encode_group(vals, storage);
+  // Flip a 20-bit burst spanning elements 1 and 2.
+  for (unsigned b = 54; b < 64; ++b) flip(storage, 1, b);
+  for (unsigned b = 0; b < 10; ++b) flip(storage, 2, b);
+  double decoded[4];
+  EXPECT_NE(VecCrc32c::decode_group(storage, decoded), CheckOutcome::ok);
+}
+
+}  // namespace
