@@ -24,12 +24,30 @@ int main(int argc, char** argv) {
   base.ny = 32;
   base.seed = 99;
 
-  std::printf("## single bit flips, any structure\n");
-  for (auto scheme : ecc::kAllSchemes) {
+  std::printf("## single bit flips, any structure (32- and 64-bit index stacks)\n");
+  for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
+    for (auto scheme : ecc::kAllSchemes) {
+      auto cfg = base;
+      cfg.width = width;
+      cfg.scheme = scheme;
+      cfg.target = Target::any;
+      cfg.model = FaultModel::single_flip;
+      print_summary(std::cout, cfg, run_injection_campaign(cfg));
+    }
+  }
+
+  // Like the 32-bit double-flip section below, the two flips are independent
+  // draws over the whole value array, so they almost always land in distinct
+  // codewords (each corrected); same-codeword double-flip detection is
+  // exercised deterministically by the scheme-matrix test harness.
+  std::printf("\n## double bit flips in matrix values, 64-bit stack\n");
+  {
     auto cfg = base;
-    cfg.scheme = scheme;
-    cfg.target = Target::any;
-    cfg.model = FaultModel::single_flip;
+    cfg.width = IndexWidth::i64;
+    cfg.scheme = ecc::Scheme::secded128;
+    cfg.target = Target::csr_values;
+    cfg.model = FaultModel::multi_flip;
+    cfg.flips_per_trial = 2;
     print_summary(std::cout, cfg, run_injection_campaign(cfg));
   }
 

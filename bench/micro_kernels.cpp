@@ -22,13 +22,13 @@ constexpr std::size_t kGrid = 256;  // 65k rows, ~327k nnz
 template <class ES, class RS, class VS>
 struct SpmvFixture {
   sparse::CsrMatrix a;
-  ProtectedCsr<ES, RS> pa;
+  ProtectedCsr<std::uint32_t, ES, RS> pa;
   ProtectedVector<VS> x, y;
 
   SpmvFixture() {
     a = sparse::laplacian_2d(kGrid, kGrid);
     if constexpr (ES::kMinRowNnz > 1) a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
-    pa = ProtectedCsr<ES, RS>::from_csr(a);
+    pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
     x = ProtectedVector<VS>(a.ncols());
     y = ProtectedVector<VS>(a.nrows());
     Xoshiro256 rng(1);

@@ -26,7 +26,7 @@ using namespace abft;
 template <class ES, class RS>
 void doctor(const sparse::CsrMatrix& a, unsigned flips, std::uint64_t seed) {
   FaultLog log;
-  auto p = ProtectedCsr<ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+  auto p = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a, &log, DuePolicy::record_only);
   std::printf("encoded: %zu values, %zu column indices, %zu row pointers\n",
               p.raw_values().size(), p.raw_cols().size(), p.raw_row_ptr().size());
   std::printf("storage overhead: 0 bytes (redundancy lives in spare index bits)\n\n");
@@ -94,8 +94,13 @@ int main(int argc, char** argv) {
   if (scheme == ecc::Scheme::crc32c) {
     a = sparse::pad_rows_to_min_nnz(a, ElemCrc32c::kMinRowNnz);
   }
-  dispatch_elem(scheme, [&]<class ES>() {
-    dispatch_row(scheme, [&]<class RS>() { doctor<ES, RS>(a, flips, seed); });
-  });
+  try {
+    dispatch_elem(scheme, [&]<class ES>() {
+      dispatch_row(scheme, [&]<class RS>() { doctor<ES, RS>(a, flips, seed); });
+    });
+  } catch (const SchemeUnavailableError& e) {
+    std::printf("scheme unavailable: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -1,9 +1,13 @@
 /// \file quickstart.cpp
 /// \brief Minimal tour of the public API: protect a sparse matrix and the
-/// solver vectors, flip a bit, and watch the solve survive.
+/// solver vectors — at either index width — flip a bit, and watch the solve
+/// survive.
 ///
-/// Usage: quickstart [scheme]   (scheme: none|sed|secded64|secded128|crc32c)
+/// Usage: quickstart [scheme] [width]
+///   scheme: none|sed|secded64|secded128|crc32c   (default secded64)
+///   width:  32|64|both                           (default both)
 #include <cstdio>
+#include <cstring>
 #include <exception>
 
 #include "abft/abft.hpp"
@@ -13,27 +17,24 @@
 #include "sparse/generators.hpp"
 #include "sparse/transform.hpp"
 
-int main(int argc, char** argv) {
-  using namespace abft;
-  const char* scheme_name = argc > 1 ? argv[1] : "secded64";
-  std::printf("== abftsolve quickstart (scheme: %s) ==\n", scheme_name);
+namespace {
 
-  // 1. Build a test problem: 5-point Laplacian, known solution u* = 1.
-  const std::size_t nx = 128, ny = 128;
-  sparse::CsrMatrix a = sparse::laplacian_2d(nx, ny);
-  a = sparse::pad_rows_to_min_nnz(a, 4);  // per-row CRC needs >= 4 nnz
-  const std::size_t n = a.nrows();
-  aligned_vector<double> ones(n, 1.0), rhs(n, 0.0);
-  sparse::spmv(a, ones.data(), rhs.data());
-  std::printf("matrix: %zux%zu, %zu non-zeros\n", a.nrows(), a.ncols(), a.nnz());
+using namespace abft;
 
-  const ecc::Scheme scheme = parse_scheme(scheme_name);
+/// Protect, inject one flip, CG-solve and report — for one (width x scheme)
+/// combination picked at runtime through dispatch_protection().
+void run_protected_solve(const sparse::CsrMatrix& a32, IndexWidth width,
+                         ecc::Scheme scheme) {
   FaultLog log;
+  std::printf("-- %s-bit indices --\n", to_string(width).data());
+  dispatch_protection(width, SchemeTriple(scheme),
+                      [&]<class Index, class ES, class RS, class VS>() {
+    const auto a = sparse::Csr<Index>::from_csr(a32);
+    const std::size_t n = a.nrows();
+    aligned_vector<double> ones(n, 1.0), rhs(n, 0.0);
+    sparse::spmv(a, ones.data(), rhs.data());
 
-  // 2. Protect the matrix and the vectors with a uniform scheme, inject one
-  //    bit flip into the matrix values, and solve.
-  const auto run = [&]<class ES, class RS, class VS>() {
-    auto pa = ProtectedCsr<ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+    auto pa = ProtectedCsr<Index, ES, RS>::from_csr(a, &log, DuePolicy::record_only);
     ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
     ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
     b.assign({rhs.data(), n});
@@ -58,21 +59,50 @@ int main(int argc, char** argv) {
     }
     std::printf("CG: %u iterations, converged=%s, max |u - 1| = %.3e\n",
                 res.iterations, res.converged ? "yes" : "no", max_err);
-  };
-  dispatch_elem(scheme, [&]<class ES>() {
-    dispatch_row(scheme, [&]<class RS>() {
-      dispatch_vec(scheme, [&]<class VS>() { run.template operator()<ES, RS, VS>(); });
-    });
   });
-
-  // 3. Report what the protection layer saw.
   std::printf("fault log: %llu checks, %llu corrected, %llu uncorrectable, "
               "%llu bounds-guard hits\n",
               static_cast<unsigned long long>(log.checks()),
               static_cast<unsigned long long>(log.corrected()),
               static_cast<unsigned long long>(log.uncorrectable()),
               static_cast<unsigned long long>(log.bounds_violations()));
-  if (scheme == ecc::Scheme::none) {
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* scheme_name = argc > 1 ? argv[1] : "secded64";
+  const char* width_name = argc > 2 ? argv[2] : "both";
+  std::printf("== abftsolve quickstart (scheme: %s, width: %s) ==\n", scheme_name,
+              width_name);
+
+  // 1. Build a test problem: 5-point Laplacian, known solution u* = 1.
+  const std::size_t nx = 128, ny = 128;
+  sparse::CsrMatrix a = sparse::laplacian_2d(nx, ny);
+  a = sparse::pad_rows_to_min_nnz(a, 4);  // per-row CRC needs >= 4 nnz
+  std::printf("matrix: %zux%zu, %zu non-zeros\n", a.nrows(), a.ncols(), a.nnz());
+
+  // 2. Protect matrix + vectors at the requested width(s), inject one bit
+  //    flip into the matrix values, solve, and report what the protection
+  //    layer saw. secded128 demonstrates width-aware dispatch: it is a real
+  //    128-bit element codeword at 64-bit width and a clear error at 32-bit.
+  const ecc::Scheme scheme = abft::parse_scheme(scheme_name);
+  const bool both = std::strcmp(width_name, "both") == 0;
+  if (!both) (void)abft::parse_index_width(width_name);  // reject typos loudly
+  const auto run_width = [&](abft::IndexWidth width) {
+    try {
+      run_protected_solve(a, width, scheme);
+      return true;
+    } catch (const abft::SchemeUnavailableError& e) {
+      std::printf("scheme unavailable: %s\n", e.what());
+      return false;
+    }
+  };
+  bool any_ok = false;
+  if (both || std::strcmp(width_name, "32") == 0) any_ok |= run_width(abft::IndexWidth::i32);
+  if (both || std::strcmp(width_name, "64") == 0) any_ok |= run_width(abft::IndexWidth::i64);
+  if (!any_ok) return 1;
+  if (scheme == abft::ecc::Scheme::none) {
     std::printf("(no protection: the flip either landed harmlessly or silently "
                 "corrupted the answer above)\n");
   }

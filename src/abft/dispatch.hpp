@@ -1,13 +1,16 @@
 /// \file dispatch.hpp
 /// \brief Runtime scheme selection -> compile-time template instantiation.
 ///
-/// Benches and examples pick protection schemes from the command line; this
-/// header maps an ecc::Scheme value onto the corresponding policy type and
-/// invokes a generic callable with it. Dispatchers are per-axis (element /
-/// row-pointer / dense-vector) so binaries instantiate only the combinations
-/// they actually measure.
+/// Benches, examples and fault campaigns pick protection schemes and the
+/// index width from the command line; this header maps an ecc::Scheme value
+/// (plus an IndexWidth) onto the corresponding policy type and invokes a
+/// generic callable with it. Dispatchers are per-axis (element / row-pointer
+/// / dense-vector) so binaries instantiate only the combinations they
+/// actually measure; dispatch_protection() composes all four axes
+/// (width x element x row x vector) for full-matrix drivers.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -20,38 +23,76 @@
 
 namespace abft {
 
+/// Index width of the protected CSR stack being dispatched.
+enum class IndexWidth : std::uint8_t {
+  i32,  ///< 32-bit indices (the paper's main setting)
+  i64,  ///< 64-bit indices (§V-B "easily extended" scenario)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(IndexWidth w) noexcept {
+  return w == IndexWidth::i32 ? "32" : "64";
+}
+
+/// A scheme is requested at an index width whose bit layout cannot hold it.
+class SchemeUnavailableError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Invoke `f.template operator()<ElemScheme>()` for the element scheme
-/// matching \p s. SECDED128 has no per-element variant (the paper evaluates
-/// SED, SECDED and CRC32C on CSR elements) and maps to ElemSecded.
-template <class F>
+/// matching \p s at index width \p Index (default: 32-bit).
+///
+/// secded128 is width-aware: at 64-bit width it selects the real 128-bit
+/// element codeword (SECDED(128,120), schemes::ElemSecded<uint64_t>); at
+/// 32-bit width the element codeword is only 96 bits, so the request is
+/// rejected with a clear error instead of being silently downgraded.
+template <class Index = std::uint32_t, class F>
 decltype(auto) dispatch_elem(ecc::Scheme s, F&& f) {
   switch (s) {
-    case ecc::Scheme::none: return std::forward<F>(f).template operator()<ElemNone>();
-    case ecc::Scheme::sed: return std::forward<F>(f).template operator()<ElemSed>();
+    case ecc::Scheme::none:
+      return std::forward<F>(f).template operator()<schemes::ElemNone<Index>>();
+    case ecc::Scheme::sed:
+      return std::forward<F>(f).template operator()<schemes::ElemSed<Index>>();
     case ecc::Scheme::secded64:
+      return std::forward<F>(f).template operator()<schemes::ElemSecded<Index>>();
     case ecc::Scheme::secded128:
-      return std::forward<F>(f).template operator()<ElemSecded>();
-    case ecc::Scheme::crc32c: return std::forward<F>(f).template operator()<ElemCrc32c>();
+      if constexpr (sizeof(Index) == 8) {
+        return std::forward<F>(f).template operator()<schemes::ElemSecded<Index>>();
+      } else {
+        throw SchemeUnavailableError(
+            "element scheme 'secded128' is unavailable at 32-bit index width: the "
+            "element codeword is only 96 bits (SECDED(96,88)); use 'secded64' or "
+            "switch to 64-bit indices");
+      }
+    case ecc::Scheme::crc32c:
+      return std::forward<F>(f).template operator()<schemes::ElemCrc32c<Index>>();
   }
   throw std::invalid_argument("dispatch_elem: unknown scheme");
 }
 
-/// Invoke `f.template operator()<RowScheme>()` for the row-pointer scheme.
-template <class F>
+/// Invoke `f.template operator()<RowScheme>()` for the row-pointer scheme
+/// matching \p s at index width \p Index. Every scheme has a layout at both
+/// widths (see row_schemes.hpp for the group-size table).
+template <class Index = std::uint32_t, class F>
 decltype(auto) dispatch_row(ecc::Scheme s, F&& f) {
   switch (s) {
-    case ecc::Scheme::none: return std::forward<F>(f).template operator()<RowNone>();
-    case ecc::Scheme::sed: return std::forward<F>(f).template operator()<RowSed>();
+    case ecc::Scheme::none:
+      return std::forward<F>(f).template operator()<schemes::RowNone<Index>>();
+    case ecc::Scheme::sed:
+      return std::forward<F>(f).template operator()<schemes::RowSed<Index>>();
     case ecc::Scheme::secded64:
-      return std::forward<F>(f).template operator()<RowSecded64>();
+      return std::forward<F>(f).template operator()<schemes::RowSecded<Index>>();
     case ecc::Scheme::secded128:
-      return std::forward<F>(f).template operator()<RowSecded128>();
-    case ecc::Scheme::crc32c: return std::forward<F>(f).template operator()<RowCrc32c>();
+      return std::forward<F>(f).template operator()<schemes::RowSecded128<Index>>();
+    case ecc::Scheme::crc32c:
+      return std::forward<F>(f).template operator()<schemes::RowCrc32c<Index>>();
   }
   throw std::invalid_argument("dispatch_row: unknown scheme");
 }
 
 /// Invoke `f.template operator()<VecScheme>()` for the dense-vector scheme.
+/// Dense vectors hold doubles at either index width, so there is no width
+/// parameter on this axis.
 template <class F>
 decltype(auto) dispatch_vec(ecc::Scheme s, F&& f) {
   switch (s) {
@@ -66,12 +107,103 @@ decltype(auto) dispatch_vec(ecc::Scheme s, F&& f) {
   throw std::invalid_argument("dispatch_vec: unknown scheme");
 }
 
+/// One runtime protection selection: a scheme per protected structure.
+struct SchemeTriple {
+  ecc::Scheme elem = ecc::Scheme::none;  ///< CSR elements (value + column)
+  ecc::Scheme row = ecc::Scheme::none;   ///< CSR row pointers
+  ecc::Scheme vec = ecc::Scheme::none;   ///< dense solver vectors
+
+  SchemeTriple() = default;
+  constexpr SchemeTriple(ecc::Scheme e, ecc::Scheme r, ecc::Scheme v) noexcept
+      : elem(e), row(r), vec(v) {}
+  /// Uniform protection: the same scheme on all three structures.
+  explicit constexpr SchemeTriple(ecc::Scheme s) noexcept : elem(s), row(s), vec(s) {}
+};
+
+/// Invoke `f.template operator()<Index, ES, RS, VS>()` for the full
+/// (width x element x row x vector) combination selected at runtime —
+/// the single entry point for drivers that cover the whole matrix.
+template <class F>
+decltype(auto) dispatch_protection(IndexWidth width, const SchemeTriple& t, F&& f) {
+  const auto with_index = [&]<class Index>() -> decltype(auto) {
+    return dispatch_elem<Index>(t.elem, [&]<class ES>() -> decltype(auto) {
+      return dispatch_row<Index>(t.row, [&]<class RS>() -> decltype(auto) {
+        return dispatch_vec(t.vec, [&]<class VS>() -> decltype(auto) {
+          return std::forward<F>(f).template operator()<Index, ES, RS, VS>();
+        });
+      });
+    });
+  };
+  return width == IndexWidth::i64
+             ? with_index.template operator()<std::uint64_t>()
+             : with_index.template operator()<std::uint32_t>();
+}
+
+/// Invoke `f.template operator()<Index, ES, RS, VS>()` for the *uniform*
+/// protection selection most drivers use (the same scheme on all three
+/// structures), instantiating only the five uniform combinations per width
+/// instead of dispatch_protection's full cross product.
+///
+/// The policy for the one hole in the matrix lives here, once: at 32-bit
+/// width secded128 has no element codeword, so the element axis uses the
+/// closest available code (SECDED(96,88)) while the row and vector axes keep
+/// their genuine 128-bit layouts. Callers that must not downgrade should use
+/// dispatch_protection with an explicit SchemeTriple and catch
+/// SchemeUnavailableError.
+template <class F>
+decltype(auto) dispatch_uniform_protection(IndexWidth width, ecc::Scheme s, F&& f) {
+  const auto with_index = [&]<class Index>() -> decltype(auto) {
+    switch (s) {
+      case ecc::Scheme::none:
+        return std::forward<F>(f)
+            .template operator()<Index, schemes::ElemNone<Index>, schemes::RowNone<Index>,
+                                 VecNone>();
+      case ecc::Scheme::sed:
+        return std::forward<F>(f)
+            .template operator()<Index, schemes::ElemSed<Index>, schemes::RowSed<Index>,
+                                 VecSed>();
+      case ecc::Scheme::secded64:
+        return std::forward<F>(f)
+            .template operator()<Index, schemes::ElemSecded<Index>,
+                                 schemes::RowSecded<Index>, VecSecded64>();
+      case ecc::Scheme::secded128:
+        // ElemSecded<Index> is the genuine 128-bit codeword at 64-bit width
+        // and the documented closest-available downgrade at 32-bit width.
+        return std::forward<F>(f)
+            .template operator()<Index, schemes::ElemSecded<Index>,
+                                 schemes::RowSecded128<Index>, VecSecded128>();
+      case ecc::Scheme::crc32c:
+        return std::forward<F>(f)
+            .template operator()<Index, schemes::ElemCrc32c<Index>,
+                                 schemes::RowCrc32c<Index>, VecCrc32c>();
+    }
+    throw std::invalid_argument("dispatch_uniform_protection: unknown scheme");
+  };
+  return width == IndexWidth::i64
+             ? with_index.template operator()<std::uint64_t>()
+             : with_index.template operator()<std::uint32_t>();
+}
+
 /// Parse a scheme name ("none", "sed", "secded64", "secded128", "crc32c").
 [[nodiscard]] inline ecc::Scheme parse_scheme(std::string_view name) {
   for (auto s : ecc::kAllSchemes) {
     if (ecc::to_string(s) == name) return s;
   }
-  throw std::invalid_argument("unknown scheme name: " + std::string(name));
+  std::string valid;
+  for (auto s : ecc::kAllSchemes) {
+    if (!valid.empty()) valid += ", ";
+    valid += ecc::to_string(s);
+  }
+  throw std::invalid_argument("unknown scheme name: '" + std::string(name) +
+                              "' (valid names: " + valid + ")");
+}
+
+/// Parse an index width ("32" or "64").
+[[nodiscard]] inline IndexWidth parse_index_width(std::string_view name) {
+  if (name == "32") return IndexWidth::i32;
+  if (name == "64") return IndexWidth::i64;
+  throw std::invalid_argument("unknown index width: '" + std::string(name) +
+                              "' (valid widths: 32, 64)");
 }
 
 }  // namespace abft

@@ -1,18 +1,27 @@
 /// \file element_schemes.hpp
-/// \brief Protection schemes for CSR elements (paper §VI-A, Fig. 1).
+/// \brief Protection schemes for CSR elements (paper §VI-A, Fig. 1; §V-B for
+/// the 64-bit extension), parameterized on the column-index width.
 ///
-/// A CSR element pairs the 64-bit double value v[k] with the 32-bit column
-/// index y[k] at the same position, forming a 96-bit structure. Redundancy
-/// is stored in the unused top bits of the column index:
+/// A CSR element pairs the 64-bit double value v[k] with the column index
+/// y[k] at the same position. With 32-bit indices this forms a 96-bit
+/// structure, with 64-bit indices a 128-bit one. Redundancy is stored in the
+/// unused top bits of the column index:
 ///
-///   - SED    : parity in column bit 31            (matrix <= 2^31-1 columns);
-///   - SECDED : SECDED(96,88), 8 redundancy bits in
-///              column bits 24..31                 (matrix <= 2^24-1 columns);
+///   - SED    : parity in the column's top bit
+///              (32-bit: <= 2^31-1 columns; 64-bit: <= 2^63-1);
+///   - SECDED : extended Hamming over value + masked column, 8 redundancy
+///              bits in the column's top byte — SECDED(96,88) at 32 bits
+///              (<= 2^24-1 columns), SECDED(128,120) at 64 bits (< 2^56);
 ///   - CRC32C : one 32-bit checksum per *matrix row*, split 8 bits into the
 ///              top byte of the first four elements of the row — rows
 ///              therefore need >= 4 non-zeros (TeaLeaf's 5-point stencil
 ///              satisfies this; sparse::pad_rows_to_min_nnz() fixes up
 ///              general matrices).
+///
+/// All encode/decode logic lives once in the `schemes::` templates below;
+/// the two index widths differ only in masks, shifts and the SECDED codeword
+/// length, all derived from the Index type. `abft::ElemSed` etc. remain as
+/// 32-bit aliases; the 64-bit aliases live in schemes64.hpp.
 ///
 /// Per-element schemes expose decode(); the row-granular CRC exposes
 /// encode_row()/decode_row(). The ProtectedCsr container dispatches with
@@ -23,6 +32,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <type_traits>
 
 #include "common/bits.hpp"
 #include "common/fault_log.hpp"
@@ -31,78 +42,97 @@
 #include "ecc/parity.hpp"
 #include "ecc/scheme.hpp"
 
-namespace abft {
+namespace abft::schemes {
+
+template <class Index>
+inline constexpr bool kValidIndex =
+    std::is_same_v<Index, std::uint32_t> || std::is_same_v<Index, std::uint64_t>;
 
 /// No protection (baseline).
+template <class Index>
 struct ElemNone {
+  static_assert(kValidIndex<Index>);
+  using index_type = Index;
   static constexpr bool kRowGranular = false;
-  static constexpr unsigned kColBits = 32;
-  static constexpr std::uint32_t kColMask = 0xFFFFFFFFu;
+  static constexpr unsigned kColBits = std::numeric_limits<Index>::digits;
+  static constexpr Index kColMask = ~Index{0};
   static constexpr std::size_t kMinRowNnz = 0;
   static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
 
-  static void encode(double&, std::uint32_t&) noexcept {}
+  static void encode(double&, Index&) noexcept {}
 
-  [[nodiscard]] static CheckOutcome decode(double& value, std::uint32_t& col,
-                                           double& v_out, std::uint32_t& c_out) noexcept {
+  [[nodiscard]] static CheckOutcome decode(double& value, Index& col, double& v_out,
+                                           Index& c_out) noexcept {
     v_out = value;
     c_out = col;
     return CheckOutcome::ok;
   }
 };
 
-/// SED over one 96-bit CSR element (Fig. 1a): parity in column bit 31.
+/// SED over one (value, column) element (Fig. 1a): parity in the column's
+/// top bit.
+template <class Index>
 struct ElemSed {
+  static_assert(kValidIndex<Index>);
+  using index_type = Index;
   static constexpr bool kRowGranular = false;
-  static constexpr unsigned kColBits = 31;
-  static constexpr std::uint32_t kColMask = 0x7FFFFFFFu;
+  static constexpr unsigned kColBits = std::numeric_limits<Index>::digits - 1;
+  static constexpr Index kColMask = static_cast<Index>(~Index{0} >> 1);
   static constexpr std::size_t kMinRowNnz = 0;
   static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
 
-  static void encode(double& value, std::uint32_t& col) noexcept {
-    const std::uint64_t vbits = double_to_bits(value);
-    const std::uint32_t c = col & kColMask;
-    col = c | (ecc::sed_parity96(vbits, c) << 31);
+  static void encode(double& value, Index& col) noexcept {
+    const Index c = col & kColMask;
+    const std::uint32_t p = ecc::sed_parity_element(double_to_bits(value), c);
+    col = static_cast<Index>(c | (static_cast<Index>(p) << kColBits));
   }
 
-  [[nodiscard]] static CheckOutcome decode(double& value, std::uint32_t& col,
-                                           double& v_out, std::uint32_t& c_out) noexcept {
+  [[nodiscard]] static CheckOutcome decode(double& value, Index& col, double& v_out,
+                                           Index& c_out) noexcept {
     v_out = value;
     c_out = col & kColMask;
-    const std::uint32_t total =
-        parity64(double_to_bits(value)) ^ parity32(col);
+    const std::uint32_t total = parity64(double_to_bits(value)) ^ parity64(col);
     return total == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
   }
 };
 
-/// SECDED(96,88) over one CSR element (Fig. 1b): 64 value bits + 24 column
-/// bits protected; 8 redundancy bits in the column's top byte.
+/// SECDED over one element (Fig. 1b / §V-B): the 64 value bits plus the
+/// masked column bits are the data word; the 8 redundancy bits live in the
+/// column's top byte. SECDED(96,88) at 32-bit width, SECDED(128,120) at
+/// 64-bit width — the "real" 128-bit element codeword.
+template <class Index>
 struct ElemSecded {
+  static_assert(kValidIndex<Index>);
+  using index_type = Index;
   static constexpr bool kRowGranular = false;
-  static constexpr unsigned kColBits = 24;
-  static constexpr std::uint32_t kColMask = 0x00FFFFFFu;
+  static constexpr unsigned kColBits = std::numeric_limits<Index>::digits - 8;
+  static constexpr Index kColMask = static_cast<Index>((Index{1} << kColBits) - 1);
   static constexpr std::size_t kMinRowNnz = 0;
   static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
-  using Code = ecc::HammingSecded<88>;
+  using Code = ecc::HammingSecded<64 + kColBits>;
   static_assert(Code::kRedundancyBits == 8);
 
-  static void encode(double& value, std::uint32_t& col) noexcept {
-    const std::uint64_t vbits = double_to_bits(value);
-    const std::uint32_t c = col & kColMask;
-    const std::uint32_t red = Code::encode({vbits, c});
-    col = c | (red << 24);
+  static void encode(double& value, Index& col) noexcept {
+    const Index c = col & kColMask;
+    const std::uint32_t red =
+        Code::encode({double_to_bits(value), static_cast<std::uint64_t>(c)});
+    col = static_cast<Index>(c | (static_cast<Index>(red) << kColBits));
   }
 
-  [[nodiscard]] static CheckOutcome decode(double& value, std::uint32_t& col,
-                                           double& v_out, std::uint32_t& c_out) noexcept {
-    Code::data_t data{double_to_bits(value), col & kColMask};
-    const auto res = Code::check_and_correct(data, col >> 24);
+  [[nodiscard]] static CheckOutcome decode(double& value, Index& col, double& v_out,
+                                           Index& c_out) noexcept {
+    typename Code::data_t data{double_to_bits(value),
+                               static_cast<std::uint64_t>(col & kColMask)};
+    const auto res =
+        Code::check_and_correct(data, static_cast<std::uint32_t>(col >> kColBits));
     if (res.outcome == CheckOutcome::corrected) {
       value = bits_to_double(data[0]);
-      col = static_cast<std::uint32_t>(data[1] & kColMask) | (res.fixed_redundancy << 24);
+      col = static_cast<Index>((data[1] & kColMask) |
+                               (static_cast<std::uint64_t>(res.fixed_redundancy)
+                                << kColBits));
     }
     v_out = bits_to_double(data[0]);
-    c_out = static_cast<std::uint32_t>(data[1] & kColMask);
+    c_out = static_cast<Index>(data[1] & kColMask);
     return res.outcome;
   }
 };
@@ -110,32 +140,38 @@ struct ElemSecded {
 /// CRC32C over a whole CSR row (Fig. 1c): the checksum of the row's
 /// (value, masked column) stream is split one byte into the top byte of each
 /// of the first four elements' column indices.
+template <class Index>
 struct ElemCrc32c {
+  static_assert(kValidIndex<Index>);
+  using index_type = Index;
   static constexpr bool kRowGranular = true;
-  static constexpr unsigned kColBits = 24;
-  static constexpr std::uint32_t kColMask = 0x00FFFFFFu;
+  static constexpr unsigned kColBits = std::numeric_limits<Index>::digits - 8;
+  static constexpr Index kColMask = static_cast<Index>((Index{1} << kColBits) - 1);
   static constexpr std::size_t kMinRowNnz = 4;
   static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
 
-  /// Bytes of codeword per element (8 value bytes + 4 masked column bytes).
-  static constexpr std::size_t kBytesPerElement = 12;
+  /// Bytes of codeword per element (8 value bytes + the masked column).
+  static constexpr std::size_t kBytesPerElement = 8 + sizeof(Index);
 
-  static void encode_row(double* values, std::uint32_t* cols, std::size_t nnz) noexcept {
+  static void encode_row(double* values, Index* cols, std::size_t nnz) noexcept {
     const std::uint32_t crc = row_crc(values, cols, nnz);
-    for (std::size_t e = 0; e < 4 && e < nnz; ++e) {
-      cols[e] = (cols[e] & kColMask) | (((crc >> (8 * e)) & 0xFF) << 24);
+    for (std::size_t e = 0; e < nnz; ++e) {
+      cols[e] &= kColMask;
+      if (e < 4) {
+        cols[e] |= static_cast<Index>(static_cast<Index>((crc >> (8 * e)) & 0xFF)
+                                      << kColBits);
+      }
     }
-    for (std::size_t e = 4; e < nnz; ++e) cols[e] &= kColMask;
   }
 
   /// Verify (and on mismatch brute-force correct) one row in place. Column
   /// reads after a clean decode must still be masked with kColMask.
-  [[nodiscard]] static CheckOutcome decode_row(double* values, std::uint32_t* cols,
+  [[nodiscard]] static CheckOutcome decode_row(double* values, Index* cols,
                                                std::size_t nnz) noexcept {
     const std::uint32_t actual = row_crc(values, cols, nnz);
     std::uint32_t stored = 0;
     for (std::size_t e = 0; e < 4 && e < nnz; ++e) {
-      stored |= static_cast<std::uint32_t>(cols[e] >> 24) << (8 * e);
+      stored |= static_cast<std::uint32_t>(cols[e] >> kColBits) << (8 * e);
     }
     if (actual == stored) return CheckOutcome::ok;
     return correct_row(values, cols, nnz, stored) ? CheckOutcome::corrected
@@ -143,7 +179,17 @@ struct ElemCrc32c {
   }
 
  private:
-  [[nodiscard]] static std::uint32_t row_crc(const double* values, const std::uint32_t* cols,
+  static void pack_row(const double* values, const Index* cols, std::size_t nnz,
+                       std::uint8_t* buffer) noexcept {
+    for (std::size_t e = 0; e < nnz; ++e) {
+      const std::uint64_t vbits = double_to_bits(values[e]);
+      const Index c = cols[e] & kColMask;
+      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
+      std::memcpy(buffer + e * kBytesPerElement + 8, &c, sizeof(Index));
+    }
+  }
+
+  [[nodiscard]] static std::uint32_t row_crc(const double* values, const Index* cols,
                                              std::size_t nnz) noexcept {
     // Assemble the row codeword contiguously and checksum it in one pass —
     // one CRC call per row instead of two per element keeps the hardware
@@ -157,36 +203,23 @@ struct ElemCrc32c {
     ecc::Crc32cAccumulator acc;
     for (std::size_t e = 0; e < nnz; ++e) {
       acc.update_u64(double_to_bits(values[e]));
-      acc.update_u32(cols[e] & kColMask);
+      const Index c = cols[e] & kColMask;
+      acc.update(&c, sizeof(Index));
     }
     return acc.value();
   }
 
-  static void pack_row(const double* values, const std::uint32_t* cols, std::size_t nnz,
-                       std::uint8_t* buffer) noexcept {
-    for (std::size_t e = 0; e < nnz; ++e) {
-      const std::uint64_t vbits = double_to_bits(values[e]);
-      const std::uint32_t c = cols[e] & kColMask;
-      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
-      std::memcpy(buffer + e * kBytesPerElement + 8, &c, 4);
-    }
-  }
-
   /// Cold recovery path: assemble the row codeword into a byte buffer and try
   /// single-bit flips (plus the flip-in-stored-checksum case).
-  [[nodiscard]] static bool correct_row(double* values, std::uint32_t* cols,
-                                        std::size_t nnz, std::uint32_t stored) noexcept {
-    constexpr std::size_t kMaxRow = 512;  // stack buffer bound: 512 nnz per row
+  [[nodiscard]] static bool correct_row(double* values, Index* cols, std::size_t nnz,
+                                        std::uint32_t stored) noexcept {
+    constexpr std::size_t kMaxRowBytes = 6144;  // stack buffer bound
+    constexpr std::size_t kMaxRow = kMaxRowBytes / kBytesPerElement;
     if (nnz > kMaxRow) return false;
     std::uint8_t buffer[kMaxRow * kBytesPerElement];
-    for (std::size_t e = 0; e < nnz; ++e) {
-      const std::uint64_t vbits = double_to_bits(values[e]);
-      const std::uint32_t c = cols[e] & kColMask;
-      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
-      std::memcpy(buffer + e * kBytesPerElement + 8, &c, 4);
-    }
-    const auto res = ecc::crc32c_correct_single_bit(
-        {buffer, nnz * kBytesPerElement}, stored);
+    pack_row(values, cols, nnz, buffer);
+    const auto res =
+        ecc::crc32c_correct_single_bit({buffer, nnz * kBytesPerElement}, stored);
     if (!res.corrected) return false;
 
     if (res.flipped_bit < 0) {
@@ -199,13 +232,23 @@ struct ElemCrc32c {
     // (unchanged, but cheap and keeps the path simple).
     const std::size_t e = static_cast<std::size_t>(res.flipped_bit) / (8 * kBytesPerElement);
     std::uint64_t vbits = 0;
-    std::uint32_t c = 0;
+    Index c = 0;
     std::memcpy(&vbits, buffer + e * kBytesPerElement, 8);
-    std::memcpy(&c, buffer + e * kBytesPerElement + 8, 4);
+    std::memcpy(&c, buffer + e * kBytesPerElement + 8, sizeof(Index));
     values[e] = bits_to_double(vbits);
     cols[e] = (cols[e] & ~kColMask) | (c & kColMask);
     return true;
   }
 };
+
+}  // namespace abft::schemes
+
+namespace abft {
+
+/// 32-bit (96-bit element codeword) aliases — the paper's main setting.
+using ElemNone = schemes::ElemNone<std::uint32_t>;
+using ElemSed = schemes::ElemSed<std::uint32_t>;
+using ElemSecded = schemes::ElemSecded<std::uint32_t>;
+using ElemCrc32c = schemes::ElemCrc32c<std::uint32_t>;
 
 }  // namespace abft

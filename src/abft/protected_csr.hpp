@@ -2,6 +2,10 @@
 /// \brief CSR matrix whose three vectors all carry embedded redundancy
 /// (paper §VI-A): elements via an element scheme (Fig. 1), the row-pointer
 /// vector via a row scheme (Fig. 2). Zero additional storage is used.
+///
+/// One width-parameterized container serves both the paper's 32-bit setting
+/// and the §V-B 64-bit extension: the index type is the first template
+/// parameter and the schemes must be instantiated at the same width.
 #pragma once
 
 #include <cstddef>
@@ -9,7 +13,9 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
+#include "abft/check_policy.hpp"
 #include "abft/element_schemes.hpp"
 #include "abft/error_capture.hpp"
 #include "abft/row_schemes.hpp"
@@ -19,30 +25,97 @@
 
 namespace abft {
 
+namespace detail {
+
+/// Accumulate one protected CSR row into a dot product, with x accessed
+/// through \p xload. This is the single decode/range-guard loop behind both
+/// SpMV surfaces — the raw-span ProtectedCsr::spmv member and the
+/// protected-vector kernel in protected_kernels.hpp — so check and guard
+/// semantics cannot diverge between them. In CheckMode::full every element
+/// is verified (per element, or per row for row-granular schemes); in
+/// bounds_only the integrity checks are skipped but every column index is
+/// still range-guarded (paper §VI-A2).
+template <class ES, class Index, class XLoad>
+[[nodiscard]] double protected_row_sum(double* values, Index* cols, std::size_t begin,
+                                       std::size_t end, std::size_t ncols, std::size_t r,
+                                       CheckMode mode, ErrorCapture& capture,
+                                       std::uint64_t& checks, XLoad&& xload) {
+  double sum = 0.0;
+  if (mode == CheckMode::full) {
+    if constexpr (ES::kRowGranular) {
+      const auto outcome = ES::decode_row(values + begin, cols + begin, end - begin);
+      ++checks;
+      capture.record(Region::csr_values, outcome, r);
+      for (std::size_t k = begin; k < end; ++k) {
+        const Index c = cols[k] & ES::kColMask;
+        if (c >= ncols) {
+          capture.record_bounds(Region::csr_cols, k);
+          continue;
+        }
+        sum += values[k] * xload(c);
+      }
+    } else {
+      for (std::size_t k = begin; k < end; ++k) {
+        double v;
+        Index c;
+        const auto outcome = ES::decode(values[k], cols[k], v, c);
+        ++checks;
+        capture.record(Region::csr_values, outcome, k);
+        if (c >= ncols) {
+          capture.record_bounds(Region::csr_cols, k);
+          continue;
+        }
+        sum += v * xload(c);
+      }
+    }
+  } else {
+    for (std::size_t k = begin; k < end; ++k) {
+      const Index c = cols[k] & ES::kColMask;
+      if (c >= ncols) {
+        capture.record_bounds(Region::csr_cols, k);
+        continue;
+      }
+      sum += values[k] * xload(c);
+    }
+  }
+  return sum;
+}
+
+}  // namespace detail
+
 /// Sparse matrix in CSR format, fully protected with no storage overhead.
 ///
-/// \tparam ES element scheme (ElemNone / ElemSed / ElemSecded / ElemCrc32c)
-/// \tparam RS row-pointer scheme (RowNone / RowSed / RowSecded64 /
-///            RowSecded128 / RowCrc32c)
+/// \tparam Index index width (std::uint32_t or std::uint64_t)
+/// \tparam ES element scheme (schemes::ElemNone / ElemSed / ElemSecded /
+///            ElemCrc32c at the same width)
+/// \tparam RS row-pointer scheme (schemes::RowNone / RowSed / RowSecded /
+///            RowSecded128 / RowCrc32c at the same width)
 ///
 /// The matrix is immutable after construction (the paper exploits exactly
 /// this: during a time-step's CG solve the matrix never changes, §V-A), so
 /// encoding happens once in from_csr(). Reads go through the decoding
 /// accessors; SECDED corrections are written back in place.
-template <class ES, class RS>
+template <class Index, class ES, class RS>
 class ProtectedCsr {
+  static_assert(std::is_same_v<Index, typename ES::index_type>,
+                "ProtectedCsr: element scheme instantiated at a different index width");
+  static_assert(std::is_same_v<Index, typename RS::index_type>,
+                "ProtectedCsr: row scheme instantiated at a different index width");
+
  public:
   using elem_scheme = ES;
   using row_scheme = RS;
-  using index_type = std::uint32_t;
+  using index_type = Index;
+  using csr_type = sparse::Csr<Index>;
 
   ProtectedCsr() = default;
 
   /// Encode \p a. Throws std::invalid_argument when the matrix violates the
-  /// scheme's index-range constraints (paper: SED needs < 2^31 columns,
-  /// SECDED/CRC < 2^24; grouped row schemes need NNZ < 2^28; per-row CRC
-  /// needs >= 4 non-zeros per row — see sparse::pad_rows_to_min_nnz).
-  static ProtectedCsr from_csr(const sparse::CsrMatrix& a, FaultLog* log = nullptr,
+  /// scheme's index-range constraints (paper: at 32-bit width SED needs
+  /// < 2^31 columns, SECDED/CRC < 2^24; grouped row schemes need NNZ < 2^28;
+  /// the 64-bit layouts allow < 2^63 / 2^56 respectively; per-row CRC needs
+  /// >= 4 non-zeros per row — see sparse::pad_rows_to_min_nnz).
+  static ProtectedCsr from_csr(const csr_type& a, FaultLog* log = nullptr,
                                DuePolicy policy = DuePolicy::throw_exception) {
     a.validate();
     if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
@@ -53,7 +126,7 @@ class ProtectedCsr {
     if (a.nnz() > RS::kValueMask) {
       throw std::invalid_argument(
           "ProtectedCsr: matrix has too many non-zeros for the row scheme (max " +
-          std::to_string(RS::kValueMask) + ")");
+          std::to_string(static_cast<std::uint64_t>(RS::kValueMask)) + ")");
     }
     if constexpr (ES::kMinRowNnz > 0) {
       for (std::size_t r = 0; r < a.nrows(); ++r) {
@@ -156,6 +229,14 @@ class ProtectedCsr {
     }
   }
 
+  /// y = A x over raw dense spans (for callers that do not protect their
+  /// vectors — e.g. wide-index operators partnered with distributed vectors).
+  /// CheckMode semantics match the free protected-kernel spmv: bounds_only
+  /// skips the integrity checks but still range-guards every index.
+  /// Defined after RowPtrReader below.
+  void spmv(std::span<const double> x, std::span<double> y,
+            CheckMode mode = CheckMode::full);
+
   /// Full-matrix integrity sweep (paper: run at the end of every time-step
   /// in check-interval mode so no error escapes unnoticed). Returns the
   /// number of uncorrectable codewords; corrections are applied in place.
@@ -199,8 +280,8 @@ class ProtectedCsr {
   }
 
   /// Decode back into an unprotected CSR matrix (checks everything).
-  [[nodiscard]] sparse::CsrMatrix to_csr() {
-    sparse::CsrMatrix out(nrows_, ncols_);
+  [[nodiscard]] csr_type to_csr() {
+    csr_type out(nrows_, ncols_);
     out.reserve(nnz_);
     auto& row_ptr = out.row_ptr();
     auto& cols = out.cols();
@@ -267,10 +348,10 @@ class ProtectedCsr {
 /// Cached decoder for the protected row-pointer vector (one group cached —
 /// CG's SpMV walks rows in order, so r and r+1 usually share a group).
 /// Thread-private; errors are deferred through an ErrorCapture.
-template <class ES, class RS>
+template <class Index, class ES, class RS>
 class RowPtrReader {
  public:
-  explicit RowPtrReader(ProtectedCsr<ES, RS>& m, ErrorCapture* capture) noexcept
+  explicit RowPtrReader(ProtectedCsr<Index, ES, RS>& m, ErrorCapture* capture) noexcept
       : m_(&m), capture_(capture) {}
 
   ~RowPtrReader() { flush_checks(); }
@@ -278,7 +359,7 @@ class RowPtrReader {
   RowPtrReader& operator=(const RowPtrReader&) = delete;
 
   /// Checked, masked row-pointer value.
-  [[nodiscard]] std::uint32_t get(std::size_t i) {
+  [[nodiscard]] Index get(std::size_t i) {
     const std::size_t g = i / RS::kGroup;
     if (g != cached_group_) {
       const auto outcome =
@@ -291,7 +372,7 @@ class RowPtrReader {
   }
 
   /// Masked-only value for check-interval skip iterations.
-  [[nodiscard]] std::uint32_t get_bounds_only(std::size_t i) const noexcept {
+  [[nodiscard]] Index get_bounds_only(std::size_t i) const noexcept {
     return m_->raw_row_ptr()[i] & RS::kValueMask;
   }
 
@@ -303,11 +384,51 @@ class RowPtrReader {
   }
 
  private:
-  ProtectedCsr<ES, RS>* m_;
+  ProtectedCsr<Index, ES, RS>* m_;
   ErrorCapture* capture_;
   std::size_t cached_group_ = static_cast<std::size_t>(-1);
   std::uint64_t local_checks_ = 0;
-  std::uint32_t decoded_[RS::kGroup] = {};
+  Index decoded_[RS::kGroup] = {};
 };
+
+template <class Index, class ES, class RS>
+void ProtectedCsr<Index, ES, RS>::spmv(std::span<const double> x, std::span<double> y,
+                                       CheckMode mode) {
+  if (x.size() != ncols_ || y.size() != nrows_) {
+    throw std::invalid_argument("ProtectedCsr::spmv: dimension mismatch");
+  }
+  ErrorCapture capture;
+  double* values = values_.data();
+  index_type* cols = cols_.data();
+
+#pragma omp parallel
+  {
+    RowPtrReader rp(*this, &capture);
+    std::uint64_t checks = 0;
+
+#pragma omp for schedule(static)
+    for (std::int64_t r = 0; r < static_cast<std::int64_t>(nrows_); ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      std::size_t begin, end;
+      if (mode == CheckMode::full) {
+        begin = rp.get(row);
+        end = rp.get(row + 1);
+      } else {
+        begin = rp.get_bounds_only(row);
+        end = rp.get_bounds_only(row + 1);
+      }
+      if (begin > end || end > nnz_) {
+        capture.record_bounds(Region::csr_row_ptr, row);
+        y[row] = 0.0;
+        continue;
+      }
+      y[row] = detail::protected_row_sum<ES>(values, cols, begin, end, ncols_, row, mode,
+                                             capture, checks,
+                                             [&](index_type c) { return x[c]; });
+    }
+    capture.add_checks(checks);
+  }
+  capture.commit(log_, policy_);
+}
 
 }  // namespace abft

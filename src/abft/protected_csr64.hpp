@@ -1,275 +1,20 @@
 /// \file protected_csr64.hpp
-/// \brief Fully protected 64-bit-index CSR matrix (see schemes64.hpp).
+/// \brief Compatibility shim: the fully protected 64-bit-index CSR matrix is
+/// now the `ProtectedCsr<std::uint64_t, ES, RS>` instantiation of the merged
+/// width-parameterized container in protected_csr.hpp (use
+/// `ProtectedCsr::from_csr` with a `sparse::Csr64Matrix`). All kernels and
+/// solvers operate on it unchanged.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
-#include <span>
-#include <stdexcept>
-#include <string>
 
-#include "abft/check_policy.hpp"
-#include "abft/error_capture.hpp"
-#include "abft/schemes64.hpp"
-#include "common/aligned.hpp"
-#include "common/fault_log.hpp"
-#include "sparse/csr64.hpp"
+#include "abft/protected_csr.hpp"  // IWYU pragma: export
+#include "abft/schemes64.hpp"      // IWYU pragma: export
+#include "sparse/csr64.hpp"        // IWYU pragma: export
 
 namespace abft {
 
-/// Wide-index analogue of ProtectedCsr. The SpMV operates on raw double
-/// spans (wide-index operators typically partner with distributed vectors;
-/// the mantissa-LSB vector schemes from protected_vector.hpp compose the
-/// same way as in the 32-bit path).
 template <class ES, class RS>
-class ProtectedCsr64 {
- public:
-  using elem_scheme = ES;
-  using row_scheme = RS;
-  using index_type = std::uint64_t;
-
-  ProtectedCsr64() = default;
-
-  static ProtectedCsr64 from_csr64(const sparse::Csr64Matrix& a, FaultLog* log = nullptr,
-                                   DuePolicy policy = DuePolicy::throw_exception) {
-    a.validate();
-    if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
-      throw std::invalid_argument("ProtectedCsr64: too many columns for the scheme");
-    }
-    if (a.nnz() > RS::kValueMask) {
-      throw std::invalid_argument("ProtectedCsr64: too many non-zeros for the scheme");
-    }
-    if constexpr (ES::kMinRowNnz > 0) {
-      for (std::size_t r = 0; r < a.nrows(); ++r) {
-        if (a.row_nnz(r) < ES::kMinRowNnz) {
-          throw std::invalid_argument("ProtectedCsr64: row " + std::to_string(r) +
-                                      " too short for the per-row CRC scheme");
-        }
-      }
-    }
-
-    ProtectedCsr64 p;
-    p.nrows_ = a.nrows();
-    p.ncols_ = a.ncols();
-    p.nnz_ = a.nnz();
-    p.log_ = log;
-    p.policy_ = policy;
-    p.values_.assign(a.values().begin(), a.values().end());
-    p.cols_.assign(a.cols().begin(), a.cols().end());
-
-    const std::size_t len = a.nrows() + 1;
-    const std::size_t padded = (len + RS::kGroup - 1) / RS::kGroup * RS::kGroup;
-    p.row_ptr_.assign(padded, a.nnz());
-    for (std::size_t i = 0; i < len; ++i) p.row_ptr_[i] = a.row_ptr()[i];
-    for (std::size_t g = 0; g < padded / RS::kGroup; ++g) {
-      index_type group[RS::kGroup];
-      for (std::size_t e = 0; e < RS::kGroup; ++e) group[e] = p.row_ptr_[g * RS::kGroup + e];
-      RS::encode_group(group, p.row_ptr_.data() + g * RS::kGroup);
-    }
-
-    if constexpr (ES::kRowGranular) {
-      for (std::size_t r = 0; r < p.nrows_; ++r) {
-        const auto begin = a.row_ptr()[r];
-        const auto end = a.row_ptr()[r + 1];
-        ES::encode_row(p.values_.data() + begin, p.cols_.data() + begin, end - begin);
-      }
-    } else {
-      for (std::size_t k = 0; k < p.nnz_; ++k) ES::encode(p.values_[k], p.cols_[k]);
-    }
-    return p;
-  }
-
-  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
-  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
-  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
-
-  [[nodiscard]] std::span<double> raw_values() noexcept { return values_; }
-  [[nodiscard]] std::span<index_type> raw_cols() noexcept { return cols_; }
-  [[nodiscard]] std::span<index_type> raw_row_ptr() noexcept { return row_ptr_; }
-
-  /// y = A x. CheckMode semantics match the 32-bit kernel: bounds_only
-  /// skips the integrity checks but still range-guards every index.
-  void spmv(std::span<const double> x, std::span<double> y,
-            CheckMode mode = CheckMode::full) {
-    if (x.size() != ncols_ || y.size() != nrows_) {
-      throw std::invalid_argument("ProtectedCsr64::spmv: dimension mismatch");
-    }
-    ErrorCapture capture;
-    double* values = values_.data();
-    index_type* cols = cols_.data();
-
-#pragma omp parallel
-    {
-      std::size_t cached_group = static_cast<std::size_t>(-1);
-      index_type decoded[RS::kGroup] = {};
-      std::uint64_t checks = 0;
-
-      const auto row_ptr_at = [&](std::size_t i) {
-        const std::size_t g = i / RS::kGroup;
-        if (g != cached_group) {
-          const auto outcome = RS::decode_group(row_ptr_.data() + g * RS::kGroup, decoded);
-          ++checks;
-          capture.record(Region::csr_row_ptr, outcome, g);
-          cached_group = g;
-        }
-        return decoded[i % RS::kGroup];
-      };
-
-#pragma omp for schedule(static)
-      for (std::int64_t r = 0; r < static_cast<std::int64_t>(nrows_); ++r) {
-        std::size_t begin, end;
-        if (mode == CheckMode::full) {
-          begin = row_ptr_at(static_cast<std::size_t>(r));
-          end = row_ptr_at(static_cast<std::size_t>(r) + 1);
-        } else {
-          begin = row_ptr_[static_cast<std::size_t>(r)] & RS::kValueMask;
-          end = row_ptr_[static_cast<std::size_t>(r) + 1] & RS::kValueMask;
-        }
-        if (begin > end || end > nnz_) {
-          capture.record_bounds(Region::csr_row_ptr, static_cast<std::size_t>(r));
-          y[static_cast<std::size_t>(r)] = 0.0;
-          continue;
-        }
-        double sum = 0.0;
-        if (mode == CheckMode::full) {
-          if constexpr (ES::kRowGranular) {
-            const auto outcome = ES::decode_row(values + begin, cols + begin, end - begin);
-            ++checks;
-            capture.record(Region::csr_values, outcome, static_cast<std::size_t>(r));
-            for (std::size_t k = begin; k < end; ++k) {
-              const index_type c = cols[k] & ES::kColMask;
-              if (c >= ncols_) {
-                capture.record_bounds(Region::csr_cols, k);
-                continue;
-              }
-              sum += values[k] * x[c];
-            }
-          } else {
-            for (std::size_t k = begin; k < end; ++k) {
-              double v;
-              index_type c;
-              const auto outcome = ES::decode(values[k], cols[k], v, c);
-              ++checks;
-              capture.record(Region::csr_values, outcome, k);
-              if (c >= ncols_) {
-                capture.record_bounds(Region::csr_cols, k);
-                continue;
-              }
-              sum += v * x[c];
-            }
-          }
-        } else {
-          for (std::size_t k = begin; k < end; ++k) {
-            const index_type c = cols[k] & ES::kColMask;
-            if (c >= ncols_) {
-              capture.record_bounds(Region::csr_cols, k);
-              continue;
-            }
-            sum += values[k] * x[c];
-          }
-        }
-        y[static_cast<std::size_t>(r)] = sum;
-      }
-      capture.add_checks(checks);
-    }
-    capture.commit(log_, policy_);
-  }
-
-  /// Full-matrix integrity sweep (corrections in place).
-  std::size_t verify_all() {
-    std::size_t failures = 0;
-    for (std::size_t g = 0; g < row_ptr_.size() / RS::kGroup; ++g) {
-      index_type group[RS::kGroup];
-      const auto outcome = RS::decode_group(row_ptr_.data() + g * RS::kGroup, group);
-      failures += log_outcome(Region::csr_row_ptr, outcome, g);
-    }
-    std::size_t prev_end = 0;
-    for (std::size_t r = 0; r < nrows_; ++r) {
-      std::size_t begin = row_ptr_[r] & RS::kValueMask;
-      std::size_t end = row_ptr_[r + 1] & RS::kValueMask;
-      if (begin > end || end > nnz_) {
-        if (log_ != nullptr) log_->record_bounds_violation(Region::csr_row_ptr, r);
-        ++failures;
-        begin = end = prev_end;
-      }
-      prev_end = end;
-      if constexpr (ES::kRowGranular) {
-        const auto outcome =
-            ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
-        failures += log_outcome(Region::csr_values, outcome, r);
-      } else {
-        for (std::size_t k = begin; k < end; ++k) {
-          double v;
-          index_type c;
-          const auto outcome = ES::decode(values_[k], cols_[k], v, c);
-          failures += log_outcome(Region::csr_values, outcome, k);
-        }
-      }
-    }
-    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
-      throw UncorrectableError(Region::csr_values, 0);
-    }
-    return failures;
-  }
-
-  /// Decode back into a wide-index CSR matrix.
-  [[nodiscard]] sparse::Csr64Matrix to_csr64() {
-    sparse::Csr64Matrix out(nrows_, ncols_);
-    auto& row_ptr = out.row_ptr();
-    auto& cols = out.cols();
-    auto& values = out.values();
-    index_type group[RS::kGroup];
-    for (std::size_t i = 0; i <= nrows_; ++i) {
-      const std::size_t g = i / RS::kGroup;
-      const auto outcome = RS::decode_group(row_ptr_.data() + g * RS::kGroup, group);
-      if (outcome == CheckOutcome::uncorrectable &&
-          policy_ == DuePolicy::throw_exception) {
-        throw UncorrectableError(Region::csr_row_ptr, g);
-      }
-      row_ptr[i] = group[i % RS::kGroup];
-    }
-    values.resize(nnz_);
-    cols.resize(nnz_);
-    for (std::size_t r = 0; r < nrows_; ++r) {
-      const index_type begin = row_ptr[r];
-      const index_type end = row_ptr[r + 1];
-      if constexpr (ES::kRowGranular) {
-        (void)ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
-        for (index_type k = begin; k < end; ++k) {
-          values[k] = values_[k];
-          cols[k] = cols_[k] & ES::kColMask;
-        }
-      } else {
-        for (index_type k = begin; k < end; ++k) {
-          double v;
-          index_type c;
-          (void)ES::decode(values_[k], cols_[k], v, c);
-          values[k] = v;
-          cols[k] = c;
-        }
-      }
-    }
-    return out;
-  }
-
- private:
-  [[nodiscard]] std::size_t log_outcome(Region region, CheckOutcome outcome,
-                                        std::size_t index) {
-    if (log_ != nullptr) {
-      log_->add_checks();
-      log_->record(region, outcome, index);
-    }
-    return outcome == CheckOutcome::uncorrectable ? 1 : 0;
-  }
-
-  std::size_t nrows_ = 0;
-  std::size_t ncols_ = 0;
-  std::size_t nnz_ = 0;
-  aligned_vector<double> values_;
-  aligned_vector<index_type> cols_;
-  aligned_vector<index_type> row_ptr_;
-  FaultLog* log_ = nullptr;
-  DuePolicy policy_ = DuePolicy::throw_exception;
-};
+using ProtectedCsr64 = ProtectedCsr<std::uint64_t, ES, RS>;
 
 }  // namespace abft

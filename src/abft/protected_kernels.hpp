@@ -43,8 +43,8 @@ struct LocalCounts {
 /// against ncols, exactly the segfault protection the paper requires of skip
 /// iterations (§VI-A2). The x and y vectors are always fully protected —
 /// they change every iteration, so their checks cannot be deferred.
-template <class ES, class RS, class VS>
-void spmv(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
+template <class Index, class ES, class RS, class VS>
+void spmv(ProtectedCsr<Index, ES, RS>& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
           CheckMode mode = CheckMode::full) {
   if (x.size() != a.ncols() || y.size() != a.nrows()) {
     throw std::invalid_argument("spmv: dimension mismatch");
@@ -55,12 +55,12 @@ void spmv(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& x, ProtectedVector<VS>& 
   const std::size_t ncols = a.ncols();
   const std::size_t nnz = a.nnz();
   double* values = a.values_data();
-  std::uint32_t* cols = a.cols_data();
+  Index* cols = a.cols_data();
   ErrorCapture capture;
 
 #pragma omp parallel
   {
-    RowPtrReader<ES, RS> rp(a, &capture);
+    RowPtrReader rp(a, &capture);
     GroupReader<VS, 8> xr(x, &capture);
     detail::LocalCounts counts;
 
@@ -84,45 +84,9 @@ void spmv(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& x, ProtectedVector<VS>& 
           continue;
         }
 
-        double sum = 0.0;
-        if (mode == CheckMode::full) {
-          if constexpr (ES::kRowGranular) {
-            const auto outcome = ES::decode_row(values + begin, cols + begin, end - begin);
-            ++counts.checks;
-            capture.record(Region::csr_values, outcome, r);
-            for (std::size_t k = begin; k < end; ++k) {
-              const std::uint32_t c = cols[k] & ES::kColMask;
-              if (c >= ncols) {
-                capture.record_bounds(Region::csr_cols, k);
-                continue;
-              }
-              sum += values[k] * xr.get(c);
-            }
-          } else {
-            for (std::size_t k = begin; k < end; ++k) {
-              double v;
-              std::uint32_t c;
-              const auto outcome = ES::decode(values[k], cols[k], v, c);
-              ++counts.checks;
-              capture.record(Region::csr_values, outcome, k);
-              if (c >= ncols) {
-                capture.record_bounds(Region::csr_cols, k);
-                continue;
-              }
-              sum += v * xr.get(c);
-            }
-          }
-        } else {
-          for (std::size_t k = begin; k < end; ++k) {
-            const std::uint32_t c = cols[k] & ES::kColMask;
-            if (c >= ncols) {
-              capture.record_bounds(Region::csr_cols, k);
-              continue;
-            }
-            sum += values[k] * xr.get(c);
-          }
-        }
-        sums[e] = sum;
+        sums[e] = detail::protected_row_sum<ES>(values, cols, begin, end, ncols, r, mode,
+                                                capture, counts.checks,
+                                                [&](Index c) { return xr.get(c); });
       }
       VS::encode_group(sums, y.data() + static_cast<std::size_t>(gi) * G);
     }

@@ -1,14 +1,24 @@
 /// \file row_schemes.hpp
 /// \brief Protection schemes for the CSR row-pointer vector (paper §VI-A1,
-/// Fig. 2). Row-pointer entries are 32-bit offsets bounded by NNZ, so their
-/// most-significant bits are free to hold redundancy:
+/// Fig. 2; §V-B for the 64-bit extension), parameterized on the index width.
 ///
-///   - SED       : parity in bit 31 of each entry        (NNZ < 2^31);
-///   - SECDED64  : codeword of 2 entries x 28 value bits, redundancy in the
-///                 top nibble of each entry               (NNZ < 2^28);
-///   - SECDED128 : codeword of 4 entries x 28 value bits  (NNZ < 2^28);
-///   - CRC32C    : codeword of 8 entries x 28 value bits, the 32-bit
-///                 checksum split 4 bits per top nibble   (NNZ < 2^28).
+/// Row-pointer entries are offsets bounded by NNZ, so their most-significant
+/// bits are free to hold redundancy. At 32-bit width 4 spare bits per entry
+/// are reclaimed (28 usable offset bits, NNZ < 2^28); at 64-bit width a whole
+/// spare byte is available (56 usable bits, NNZ < 2^56), so codewords need
+/// fewer entries per group:
+///
+///   scheme      32-bit group x bits      64-bit group x bits
+///   ---------   ----------------------   ----------------------
+///   SED         1 x 31 (parity bit 31)   1 x 63 (parity bit 63)
+///   SECDED      2 x 28                   1 x 56
+///   SECDED128   4 x 28                   2 x 56
+///   CRC32C      8 x 28 (4 bits/entry)    4 x 56 (8 bits/entry)
+///
+/// All encode/decode logic lives once in the `schemes::` templates below;
+/// group sizes and spare-bit counts are the only per-width differences and
+/// are derived from the Index type. `abft::RowSed` etc. remain as 32-bit
+/// aliases; the 64-bit aliases live in schemes64.hpp.
 ///
 /// decode_group() returns *masked* values (top bits zeroed); corrections are
 /// written back into storage.
@@ -17,6 +27,8 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 
 #include "common/bits.hpp"
 #include "common/fault_log.hpp"
@@ -25,177 +37,177 @@
 #include "ecc/parity.hpp"
 #include "ecc/scheme.hpp"
 
-namespace abft {
+namespace abft::schemes {
+
+namespace detail {
+
+/// Spare (redundancy) bits reclaimed from the top of each row-pointer entry
+/// by the grouped schemes: a nibble at 32-bit width, a byte at 64-bit width
+/// (paper Fig. 2b vs. §V-B).
+template <class Index>
+inline constexpr unsigned kRowSpareBits = sizeof(Index) == 4 ? 4 : 8;
+
+}  // namespace detail
 
 /// No protection (baseline).
+template <class Index>
 struct RowNone {
+  using index_type = Index;
   static constexpr std::size_t kGroup = 1;
-  static constexpr unsigned kValueBits = 32;
-  static constexpr std::uint32_t kValueMask = 0xFFFFFFFFu;
+  static constexpr unsigned kValueBits = std::numeric_limits<Index>::digits;
+  static constexpr Index kValueMask = ~Index{0};
   static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
 
-  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
+  static void encode_group(const Index* values, Index* storage) noexcept {
     storage[0] = values[0];
   }
 
-  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
-                                                 std::uint32_t* values) noexcept {
+  [[nodiscard]] static CheckOutcome decode_group(Index* storage, Index* values) noexcept {
     values[0] = storage[0];
     return CheckOutcome::ok;
   }
 };
 
 /// SED: parity in the top bit of each entry (Fig. 2a).
+template <class Index>
 struct RowSed {
+  using index_type = Index;
   static constexpr std::size_t kGroup = 1;
-  static constexpr unsigned kValueBits = 31;
-  static constexpr std::uint32_t kValueMask = 0x7FFFFFFFu;
+  static constexpr unsigned kValueBits = std::numeric_limits<Index>::digits - 1;
+  static constexpr Index kValueMask = static_cast<Index>(~Index{0} >> 1);
   static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
 
-  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
-    const std::uint32_t v = values[0] & kValueMask;
-    storage[0] = v | (ecc::sed_parity_u32(v) << 31);
+  static void encode_group(const Index* values, Index* storage) noexcept {
+    const Index v = values[0] & kValueMask;
+    storage[0] =
+        static_cast<Index>(v | (static_cast<Index>(ecc::sed_parity_entry(v)) << kValueBits));
   }
 
-  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
-                                                 std::uint32_t* values) noexcept {
+  [[nodiscard]] static CheckOutcome decode_group(Index* storage, Index* values) noexcept {
     values[0] = storage[0] & kValueMask;
-    return parity32(storage[0]) == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
+    return parity64(storage[0]) == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
   }
 };
 
-/// SECDED across two entries (Fig. 2b): 56 data bits, 7 redundancy bits
-/// split across the two top nibbles (the last nibble bit is unused).
-struct RowSecded64 {
-  static constexpr std::size_t kGroup = 2;
-  static constexpr unsigned kValueBits = 28;
-  static constexpr std::uint32_t kValueMask = 0x0FFFFFFFu;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
-  using Code = ecc::HammingSecded<56>;
-  static_assert(Code::kRedundancyBits <= 8);
+/// SECDED across a group of entries: the masked offsets are concatenated into
+/// one extended-Hamming data word; the redundancy bits are split across the
+/// group's spare top bits. Fig. 2b at 32-bit width (2 x 28 = 56 data bits);
+/// at 64-bit width a *single* entry already fits 56 data bits + 8 redundancy
+/// bits — an advantage of the wide-index layout (§V-B).
+template <class Index, std::size_t Group>
+struct RowSecdedGroup {
+  using index_type = Index;
+  static constexpr std::size_t kGroup = Group;
+  static constexpr unsigned kSpareBits = detail::kRowSpareBits<Index>;
+  static constexpr unsigned kValueBits = std::numeric_limits<Index>::digits - kSpareBits;
+  static constexpr Index kValueMask = static_cast<Index>((Index{1} << kValueBits) - 1);
+  static constexpr std::uint32_t kSpareMask = (1u << kSpareBits) - 1;
+  using Code = ecc::HammingSecded<static_cast<unsigned>(Group) * kValueBits>;
+  static_assert(Code::kRedundancyBits <= Group * kSpareBits,
+                "redundancy must fit in the group's spare bits");
+  static constexpr ecc::Scheme kScheme =
+      Code::kDataBits <= 64 ? ecc::Scheme::secded64 : ecc::Scheme::secded128;
 
-  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
-    const std::uint32_t v0 = values[0] & kValueMask;
-    const std::uint32_t v1 = values[1] & kValueMask;
-    const std::uint32_t red = Code::encode(pack(v0, v1));
-    storage[0] = v0 | ((red & 0xF) << 28);
-    storage[1] = v1 | (((red >> 4) & 0xF) << 28);
-  }
-
-  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
-                                                 std::uint32_t* values) noexcept {
-    std::uint32_t v0 = storage[0] & kValueMask;
-    std::uint32_t v1 = storage[1] & kValueMask;
-    const std::uint32_t stored = ((storage[0] >> 28) & 0xF) | (((storage[1] >> 28) & 0xF) << 4);
-    Code::data_t data = pack(v0, v1);
-    const auto res = Code::check_and_correct(data, stored & 0x7F);
-    if (res.outcome == CheckOutcome::corrected) {
-      v0 = static_cast<std::uint32_t>(data[0] & kValueMask);
-      v1 = static_cast<std::uint32_t>((data[0] >> 28) & kValueMask);
-      storage[0] = v0 | ((res.fixed_redundancy & 0xF) << 28);
-      storage[1] = v1 | (((res.fixed_redundancy >> 4) & 0xF) << 28);
-    }
-    values[0] = v0;
-    values[1] = v1;
-    return res.outcome;
-  }
-
- private:
-  [[nodiscard]] static constexpr Code::data_t pack(std::uint32_t v0,
-                                                   std::uint32_t v1) noexcept {
-    return {static_cast<std::uint64_t>(v0) | (static_cast<std::uint64_t>(v1) << 28)};
-  }
-};
-
-/// SECDED across four entries: 112 data bits, 8 redundancy bits in the top
-/// nibbles of the first two entries (paper Fig. 2b generalised; the paper
-/// splits SECDED128 across 4 elements).
-struct RowSecded128 {
-  static constexpr std::size_t kGroup = 4;
-  static constexpr unsigned kValueBits = 28;
-  static constexpr std::uint32_t kValueMask = 0x0FFFFFFFu;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded128;
-  using Code = ecc::HammingSecded<112>;
-  static_assert(Code::kRedundancyBits <= 16);
-
-  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
-    std::uint32_t v[kGroup];
+  static void encode_group(const Index* values, Index* storage) noexcept {
+    Index v[kGroup];
     for (std::size_t e = 0; e < kGroup; ++e) v[e] = values[e] & kValueMask;
     const std::uint32_t red = Code::encode(pack(v));
-    for (std::size_t e = 0; e < kGroup; ++e) {
-      storage[e] = v[e] | (((red >> (4 * e)) & 0xF) << 28);
-    }
+    write_back(v, red, storage);
   }
 
-  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
-                                                 std::uint32_t* values) noexcept {
-    std::uint32_t v[kGroup];
+  [[nodiscard]] static CheckOutcome decode_group(Index* storage, Index* values) noexcept {
+    Index v[kGroup];
     std::uint32_t stored = 0;
     for (std::size_t e = 0; e < kGroup; ++e) {
       v[e] = storage[e] & kValueMask;
-      stored |= ((storage[e] >> 28) & 0xF) << (4 * e);
+      stored |= (static_cast<std::uint32_t>(storage[e] >> kValueBits) & kSpareMask)
+                << (kSpareBits * e);
     }
-    Code::data_t data = pack(v);
+    typename Code::data_t data = pack(v);
     const auto res = Code::check_and_correct(data, stored & low_mask32(Code::kRedundancyBits));
     if (res.outcome == CheckOutcome::corrected) {
       unpack(data, v);
-      for (std::size_t e = 0; e < kGroup; ++e) {
-        storage[e] = v[e] | (((res.fixed_redundancy >> (4 * e)) & 0xF) << 28);
-      }
+      write_back(v, res.fixed_redundancy, storage);
     }
     for (std::size_t e = 0; e < kGroup; ++e) values[e] = v[e];
     return res.outcome;
   }
 
  private:
-  [[nodiscard]] static constexpr Code::data_t pack(const std::uint32_t (&v)[kGroup]) noexcept {
-    // 4 x 28 bits packed little-endian: entry e occupies bits [28e, 28e+28).
-    Code::data_t data{};
+  static void write_back(const Index (&v)[kGroup], std::uint32_t red,
+                         Index* storage) noexcept {
     for (std::size_t e = 0; e < kGroup; ++e) {
-      const std::size_t bit = 28 * e;
+      storage[e] = static_cast<Index>(
+          v[e] | (static_cast<Index>((red >> (kSpareBits * e)) & kSpareMask)
+                  << kValueBits));
+    }
+  }
+
+  /// Concatenate the masked entries little-endian: entry e occupies data bits
+  /// [kValueBits*e, kValueBits*(e+1)).
+  [[nodiscard]] static constexpr typename Code::data_t pack(
+      const Index (&v)[kGroup]) noexcept {
+    typename Code::data_t data{};
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      const std::size_t bit = kValueBits * e;
       data[bit / 64] |= static_cast<std::uint64_t>(v[e]) << (bit % 64);
-      if (bit % 64 > 36) {
+      if (bit % 64 != 0 && bit % 64 + kValueBits > 64) {
         data[bit / 64 + 1] |= static_cast<std::uint64_t>(v[e]) >> (64 - bit % 64);
       }
     }
     return data;
   }
 
-  static constexpr void unpack(const Code::data_t& data, std::uint32_t (&v)[kGroup]) noexcept {
+  static constexpr void unpack(const typename Code::data_t& data,
+                               Index (&v)[kGroup]) noexcept {
     for (std::size_t e = 0; e < kGroup; ++e) {
-      const std::size_t bit = 28 * e;
+      const std::size_t bit = kValueBits * e;
       std::uint64_t x = data[bit / 64] >> (bit % 64);
-      if (bit % 64 > 36) x |= data[bit / 64 + 1] << (64 - bit % 64);
-      v[e] = static_cast<std::uint32_t>(x) & kValueMask;
+      if (bit % 64 != 0 && bit % 64 + kValueBits > 64) {
+        x |= data[bit / 64 + 1] << (64 - bit % 64);
+      }
+      v[e] = static_cast<Index>(x) & kValueMask;
     }
   }
 };
 
-/// CRC32C across eight entries (paper: CRC32C splits its 32 redundancy bits
-/// over 8 elements, 4 bits each). The checksum covers the 8 masked entries
-/// (top nibbles zeroed); single-bit flips are brute-force corrected.
+/// "SECDED64" point in the paper's trade-off: the smallest group whose
+/// codeword fits one 64-bit-aligned data word.
+template <class Index>
+using RowSecded = RowSecdedGroup<Index, sizeof(Index) == 4 ? 2 : 1>;
+
+/// "SECDED128": twice the data bits per codeword, amortizing redundancy.
+template <class Index>
+using RowSecded128 = RowSecdedGroup<Index, sizeof(Index) == 4 ? 4 : 2>;
+
+/// CRC32C across a group of entries: the 32 checksum bits are split evenly
+/// over the group's spare top bits (8 x 4 bits at 32-bit width, 4 x 8 bits
+/// at 64-bit width). The checksum covers the masked entries; single-bit
+/// flips are brute-force corrected.
+template <class Index>
 struct RowCrc32c {
-  static constexpr std::size_t kGroup = 8;
-  static constexpr unsigned kValueBits = 28;
-  static constexpr std::uint32_t kValueMask = 0x0FFFFFFFu;
+  using index_type = Index;
+  static constexpr std::size_t kGroup = sizeof(Index) == 4 ? 8 : 4;
+  static constexpr unsigned kSpareBits = detail::kRowSpareBits<Index>;
+  static_assert(kGroup * kSpareBits == 32, "checksum must exactly fill the spare bits");
+  static constexpr unsigned kValueBits = std::numeric_limits<Index>::digits - kSpareBits;
+  static constexpr Index kValueMask = static_cast<Index>((Index{1} << kValueBits) - 1);
+  static constexpr std::uint32_t kSpareMask = (1u << kSpareBits) - 1;
   static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
 
-  static void encode_group(const std::uint32_t* values, std::uint32_t* storage) noexcept {
-    std::uint32_t v[kGroup];
+  static void encode_group(const Index* values, Index* storage) noexcept {
+    Index v[kGroup];
     for (std::size_t e = 0; e < kGroup; ++e) v[e] = values[e] & kValueMask;
-    const std::uint32_t crc = ecc::crc32c(v, sizeof(v));
-    for (std::size_t e = 0; e < kGroup; ++e) {
-      storage[e] = v[e] | (((crc >> (4 * e)) & 0xF) << 28);
-    }
+    write_back(v, ecc::crc32c(v, sizeof(v)), storage);
   }
 
-  [[nodiscard]] static CheckOutcome decode_group(std::uint32_t* storage,
-                                                 std::uint32_t* values) noexcept {
-    std::uint32_t v[kGroup];
+  [[nodiscard]] static CheckOutcome decode_group(Index* storage, Index* values) noexcept {
+    Index v[kGroup];
     std::uint32_t stored = 0;
     for (std::size_t e = 0; e < kGroup; ++e) {
       v[e] = storage[e] & kValueMask;
-      stored |= ((storage[e] >> 28) & 0xF) << (4 * e);
+      stored |= (static_cast<std::uint32_t>(storage[e] >> kValueBits) & kSpareMask)
+                << (kSpareBits * e);
     }
     const std::uint32_t actual = ecc::crc32c(v, sizeof(v));
     CheckOutcome outcome = CheckOutcome::ok;
@@ -203,10 +215,7 @@ struct RowCrc32c {
       outcome = correct(v, stored, actual) ? CheckOutcome::corrected
                                            : CheckOutcome::uncorrectable;
       if (outcome == CheckOutcome::corrected) {
-        const std::uint32_t crc = ecc::crc32c(v, sizeof(v));
-        for (std::size_t e = 0; e < kGroup; ++e) {
-          storage[e] = v[e] | (((crc >> (4 * e)) & 0xF) << 28);
-        }
+        write_back(v, ecc::crc32c(v, sizeof(v)), storage);
       }
     }
     for (std::size_t e = 0; e < kGroup; ++e) values[e] = v[e];
@@ -214,19 +223,39 @@ struct RowCrc32c {
   }
 
  private:
-  /// Brute-force single-flip correction over the 8 x 28 data bits (cold path).
-  [[nodiscard]] static bool correct(std::uint32_t (&v)[kGroup], std::uint32_t stored,
+  static void write_back(const Index (&v)[kGroup], std::uint32_t crc,
+                         Index* storage) noexcept {
+    for (std::size_t e = 0; e < kGroup; ++e) {
+      storage[e] = static_cast<Index>(
+          v[e] | (static_cast<Index>((crc >> (kSpareBits * e)) & kSpareMask)
+                  << kValueBits));
+    }
+  }
+
+  /// Brute-force single-flip correction over the group's data bits (cold path).
+  [[nodiscard]] static bool correct(Index (&v)[kGroup], std::uint32_t stored,
                                     std::uint32_t actual) noexcept {
     if (std::popcount(actual ^ stored) == 1) return true;  // flip in checksum storage
     for (std::size_t e = 0; e < kGroup; ++e) {
       for (unsigned bit = 0; bit < kValueBits; ++bit) {
-        v[e] ^= (1u << bit);
+        v[e] = static_cast<Index>(v[e] ^ (Index{1} << bit));
         if (ecc::crc32c(v, sizeof(v)) == stored) return true;
-        v[e] ^= (1u << bit);
+        v[e] = static_cast<Index>(v[e] ^ (Index{1} << bit));
       }
     }
     return false;
   }
 };
+
+}  // namespace abft::schemes
+
+namespace abft {
+
+/// 32-bit aliases — the paper's main setting (4 spare bits per entry).
+using RowNone = schemes::RowNone<std::uint32_t>;
+using RowSed = schemes::RowSed<std::uint32_t>;
+using RowSecded64 = schemes::RowSecded<std::uint32_t>;
+using RowSecded128 = schemes::RowSecded128<std::uint32_t>;
+using RowCrc32c = schemes::RowCrc32c<std::uint32_t>;
 
 }  // namespace abft

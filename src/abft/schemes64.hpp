@@ -1,300 +1,30 @@
 /// \file schemes64.hpp
-/// \brief Protection schemes for 64-bit-index CSR matrices — the paper's
-/// "easily extended" scenario (§V-B). With 64-bit indices every index word
-/// has a whole spare byte once dimensions stay below 2^56, so:
-///
-///   - element SED      : parity of the 128-bit (value, column) pair in
-///                        column bit 63                  (cols < 2^63);
-///   - element SECDED   : SECDED(128,120) over value + 56 column bits,
-///                        8 check bits in the column's top byte (cols < 2^56);
-///   - element CRC32C   : per-row checksum, one byte in each of the first
-///                        four columns' top bytes (rows >= 4 nnz);
-///   - row-pointer SED / SECDED: per-entry (no grouping needed — a single
-///                        64-bit entry already fits data + redundancy);
-///   - row-pointer CRC32C: groups of 4 entries, 8 checksum bits per top byte.
+/// \brief Compatibility shim: the 64-bit-index protection schemes — the
+/// paper's "easily extended" scenario (§V-B) — are now the
+/// `schemes::*<std::uint64_t>` instantiations of the width-parameterized
+/// templates in element_schemes.hpp / row_schemes.hpp. With 64-bit indices
+/// every index word has a whole spare byte once dimensions stay below 2^56,
+/// so the element SECDED becomes SECDED(128,120) and a single row-pointer
+/// entry fits a whole SECDED codeword. This header keeps the old `*64*`
+/// names alive as aliases.
 #pragma once
 
-#include <bit>
-#include <cstddef>
 #include <cstdint>
-#include <cstring>
 
-#include "common/bits.hpp"
-#include "common/fault_log.hpp"
-#include "ecc/crc32c.hpp"
-#include "ecc/hamming.hpp"
-#include "ecc/scheme.hpp"
+#include "abft/element_schemes.hpp"  // IWYU pragma: export
+#include "abft/row_schemes.hpp"      // IWYU pragma: export
 
 namespace abft {
 
-// ---------------------------------------------------------------------------
-// Element schemes (value + 64-bit column index).
-// ---------------------------------------------------------------------------
+using Elem64None = schemes::ElemNone<std::uint64_t>;
+using Elem64Sed = schemes::ElemSed<std::uint64_t>;
+using Elem64Secded = schemes::ElemSecded<std::uint64_t>;
+using Elem64Crc32c = schemes::ElemCrc32c<std::uint64_t>;
 
-struct Elem64None {
-  static constexpr bool kRowGranular = false;
-  static constexpr std::uint64_t kColMask = ~std::uint64_t{0};
-  static constexpr std::size_t kMinRowNnz = 0;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
-
-  static void encode(double&, std::uint64_t&) noexcept {}
-
-  [[nodiscard]] static CheckOutcome decode(double& value, std::uint64_t& col,
-                                           double& v_out, std::uint64_t& c_out) noexcept {
-    v_out = value;
-    c_out = col;
-    return CheckOutcome::ok;
-  }
-};
-
-struct Elem64Sed {
-  static constexpr bool kRowGranular = false;
-  static constexpr std::uint64_t kColMask = ~std::uint64_t{0} >> 1;
-  static constexpr std::size_t kMinRowNnz = 0;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
-
-  static void encode(double& value, std::uint64_t& col) noexcept {
-    const std::uint64_t c = col & kColMask;
-    const std::uint64_t p = parity64(double_to_bits(value)) ^ parity64(c);
-    col = c | (p << 63);
-  }
-
-  [[nodiscard]] static CheckOutcome decode(double& value, std::uint64_t& col,
-                                           double& v_out, std::uint64_t& c_out) noexcept {
-    v_out = value;
-    c_out = col & kColMask;
-    return (parity64(double_to_bits(value)) ^ parity64(col)) == 0
-               ? CheckOutcome::ok
-               : CheckOutcome::uncorrectable;
-  }
-};
-
-struct Elem64Secded {
-  static constexpr bool kRowGranular = false;
-  static constexpr std::uint64_t kColMask = (std::uint64_t{1} << 56) - 1;
-  static constexpr std::size_t kMinRowNnz = 0;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
-  using Code = ecc::HammingSecded<120>;
-  static_assert(Code::kRedundancyBits == 8);
-
-  static void encode(double& value, std::uint64_t& col) noexcept {
-    const std::uint64_t c = col & kColMask;
-    const std::uint32_t red = Code::encode({double_to_bits(value), c});
-    col = c | (static_cast<std::uint64_t>(red) << 56);
-  }
-
-  [[nodiscard]] static CheckOutcome decode(double& value, std::uint64_t& col,
-                                           double& v_out, std::uint64_t& c_out) noexcept {
-    Code::data_t data{double_to_bits(value), col & kColMask};
-    const auto res =
-        Code::check_and_correct(data, static_cast<std::uint32_t>(col >> 56));
-    if (res.outcome == CheckOutcome::corrected) {
-      value = bits_to_double(data[0]);
-      col = (data[1] & kColMask) | (static_cast<std::uint64_t>(res.fixed_redundancy) << 56);
-    }
-    v_out = bits_to_double(data[0]);
-    c_out = data[1] & kColMask;
-    return res.outcome;
-  }
-};
-
-struct Elem64Crc32c {
-  static constexpr bool kRowGranular = true;
-  static constexpr std::uint64_t kColMask = (std::uint64_t{1} << 56) - 1;
-  static constexpr std::size_t kMinRowNnz = 4;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
-  static constexpr std::size_t kBytesPerElement = 16;
-
-  static void encode_row(double* values, std::uint64_t* cols, std::size_t nnz) noexcept {
-    const std::uint32_t crc = row_crc(values, cols, nnz);
-    for (std::size_t e = 0; e < nnz; ++e) {
-      cols[e] &= kColMask;
-      if (e < 4) {
-        cols[e] |= static_cast<std::uint64_t>((crc >> (8 * e)) & 0xFF) << 56;
-      }
-    }
-  }
-
-  [[nodiscard]] static CheckOutcome decode_row(double* values, std::uint64_t* cols,
-                                               std::size_t nnz) noexcept {
-    const std::uint32_t actual = row_crc(values, cols, nnz);
-    std::uint32_t stored = 0;
-    for (std::size_t e = 0; e < 4 && e < nnz; ++e) {
-      stored |= static_cast<std::uint32_t>(cols[e] >> 56) << (8 * e);
-    }
-    if (actual == stored) return CheckOutcome::ok;
-    return correct_row(values, cols, nnz, stored) ? CheckOutcome::corrected
-                                                  : CheckOutcome::uncorrectable;
-  }
-
- private:
-  static void pack_row(const double* values, const std::uint64_t* cols, std::size_t nnz,
-                       std::uint8_t* buffer) noexcept {
-    for (std::size_t e = 0; e < nnz; ++e) {
-      const std::uint64_t vbits = double_to_bits(values[e]);
-      const std::uint64_t c = cols[e] & kColMask;
-      std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
-      std::memcpy(buffer + e * kBytesPerElement + 8, &c, 8);
-    }
-  }
-
-  [[nodiscard]] static std::uint32_t row_crc(const double* values,
-                                             const std::uint64_t* cols,
-                                             std::size_t nnz) noexcept {
-    constexpr std::size_t kStackElements = 64;
-    if (nnz <= kStackElements) [[likely]] {
-      std::uint8_t buffer[kStackElements * kBytesPerElement];
-      pack_row(values, cols, nnz, buffer);
-      return ecc::crc32c(buffer, nnz * kBytesPerElement);
-    }
-    ecc::Crc32cAccumulator acc;
-    for (std::size_t e = 0; e < nnz; ++e) {
-      acc.update_u64(double_to_bits(values[e]));
-      acc.update_u64(cols[e] & kColMask);
-    }
-    return acc.value();
-  }
-
-  [[nodiscard]] static bool correct_row(double* values, std::uint64_t* cols,
-                                        std::size_t nnz, std::uint32_t stored) noexcept {
-    constexpr std::size_t kMaxRow = 256;
-    if (nnz > kMaxRow) return false;
-    std::uint8_t buffer[kMaxRow * kBytesPerElement];
-    pack_row(values, cols, nnz, buffer);
-    const auto res = ecc::crc32c_correct_single_bit({buffer, nnz * kBytesPerElement},
-                                                    stored);
-    if (!res.corrected) return false;
-    if (res.flipped_bit < 0) {
-      encode_row(values, cols, nnz);
-      return true;
-    }
-    const std::size_t e = static_cast<std::size_t>(res.flipped_bit) / (8 * kBytesPerElement);
-    std::uint64_t vbits, c;
-    std::memcpy(&vbits, buffer + e * kBytesPerElement, 8);
-    std::memcpy(&c, buffer + e * kBytesPerElement + 8, 8);
-    values[e] = bits_to_double(vbits);
-    cols[e] = (cols[e] & ~kColMask) | (c & kColMask);
-    return true;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Row-pointer schemes (64-bit offsets bounded by NNZ).
-// ---------------------------------------------------------------------------
-
-struct Row64None {
-  static constexpr std::size_t kGroup = 1;
-  static constexpr std::uint64_t kValueMask = ~std::uint64_t{0};
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::none;
-
-  static void encode_group(const std::uint64_t* values, std::uint64_t* storage) noexcept {
-    storage[0] = values[0];
-  }
-
-  [[nodiscard]] static CheckOutcome decode_group(std::uint64_t* storage,
-                                                 std::uint64_t* values) noexcept {
-    values[0] = storage[0];
-    return CheckOutcome::ok;
-  }
-};
-
-struct Row64Sed {
-  static constexpr std::size_t kGroup = 1;
-  static constexpr std::uint64_t kValueMask = ~std::uint64_t{0} >> 1;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::sed;
-
-  static void encode_group(const std::uint64_t* values, std::uint64_t* storage) noexcept {
-    const std::uint64_t v = values[0] & kValueMask;
-    storage[0] = v | (static_cast<std::uint64_t>(parity64(v)) << 63);
-  }
-
-  [[nodiscard]] static CheckOutcome decode_group(std::uint64_t* storage,
-                                                 std::uint64_t* values) noexcept {
-    values[0] = storage[0] & kValueMask;
-    return parity64(storage[0]) == 0 ? CheckOutcome::ok : CheckOutcome::uncorrectable;
-  }
-};
-
-/// SECDED over a single 64-bit entry: 56 value bits + 7 check bits + parity
-/// fit exactly, so no multi-entry grouping is required — an advantage of the
-/// wide-index layout over the 32-bit one.
-struct Row64Secded {
-  static constexpr std::size_t kGroup = 1;
-  static constexpr std::uint64_t kValueMask = (std::uint64_t{1} << 56) - 1;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::secded64;
-  using Code = ecc::HammingSecded<56>;
-  static_assert(Code::kRedundancyBits <= 8);
-
-  static void encode_group(const std::uint64_t* values, std::uint64_t* storage) noexcept {
-    const std::uint64_t v = values[0] & kValueMask;
-    storage[0] = v | (static_cast<std::uint64_t>(Code::encode({v})) << 56);
-  }
-
-  [[nodiscard]] static CheckOutcome decode_group(std::uint64_t* storage,
-                                                 std::uint64_t* values) noexcept {
-    Code::data_t data{storage[0] & kValueMask};
-    const auto res = Code::check_and_correct(
-        data, static_cast<std::uint32_t>(storage[0] >> 56) & 0x7F);
-    if (res.outcome == CheckOutcome::corrected) {
-      storage[0] = (data[0] & kValueMask) |
-                   (static_cast<std::uint64_t>(res.fixed_redundancy) << 56);
-    }
-    values[0] = data[0] & kValueMask;
-    return res.outcome;
-  }
-};
-
-/// CRC32C over four 64-bit entries, one checksum byte in each top byte.
-struct Row64Crc32c {
-  static constexpr std::size_t kGroup = 4;
-  static constexpr std::uint64_t kValueMask = (std::uint64_t{1} << 56) - 1;
-  static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c;
-
-  static void encode_group(const std::uint64_t* values, std::uint64_t* storage) noexcept {
-    std::uint64_t v[kGroup];
-    for (std::size_t e = 0; e < kGroup; ++e) v[e] = values[e] & kValueMask;
-    const std::uint32_t crc = ecc::crc32c(v, sizeof(v));
-    for (std::size_t e = 0; e < kGroup; ++e) {
-      storage[e] = v[e] | (static_cast<std::uint64_t>((crc >> (8 * e)) & 0xFF) << 56);
-    }
-  }
-
-  [[nodiscard]] static CheckOutcome decode_group(std::uint64_t* storage,
-                                                 std::uint64_t* values) noexcept {
-    std::uint64_t v[kGroup];
-    std::uint32_t stored = 0;
-    for (std::size_t e = 0; e < kGroup; ++e) {
-      v[e] = storage[e] & kValueMask;
-      stored |= static_cast<std::uint32_t>(storage[e] >> 56) << (8 * e);
-    }
-    const std::uint32_t actual = ecc::crc32c(v, sizeof(v));
-    CheckOutcome outcome = CheckOutcome::ok;
-    if (actual != stored) {
-      outcome = correct(v, stored) ? CheckOutcome::corrected : CheckOutcome::uncorrectable;
-      if (outcome == CheckOutcome::corrected) {
-        const std::uint32_t crc = ecc::crc32c(v, sizeof(v));
-        for (std::size_t e = 0; e < kGroup; ++e) {
-          storage[e] = v[e] | (static_cast<std::uint64_t>((crc >> (8 * e)) & 0xFF) << 56);
-        }
-      }
-    }
-    for (std::size_t e = 0; e < kGroup; ++e) values[e] = v[e];
-    return outcome;
-  }
-
- private:
-  [[nodiscard]] static bool correct(std::uint64_t (&v)[kGroup],
-                                    std::uint32_t stored) noexcept {
-    if (std::popcount(ecc::crc32c(v, sizeof(v)) ^ stored) == 1) return true;
-    for (std::size_t e = 0; e < kGroup; ++e) {
-      for (unsigned bit = 0; bit < 56; ++bit) {
-        v[e] = flip_bit(v[e], bit);
-        if (ecc::crc32c(v, sizeof(v)) == stored) return true;
-        v[e] = flip_bit(v[e], bit);
-      }
-    }
-    return false;
-  }
-};
+using Row64None = schemes::RowNone<std::uint64_t>;
+using Row64Sed = schemes::RowSed<std::uint64_t>;
+using Row64Secded = schemes::RowSecded<std::uint64_t>;
+using Row64Secded128 = schemes::RowSecded128<std::uint64_t>;
+using Row64Crc32c = schemes::RowCrc32c<std::uint64_t>;
 
 }  // namespace abft

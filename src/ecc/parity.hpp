@@ -3,7 +3,8 @@
 ///
 /// SED gives a minimum Hamming distance of 2: any odd number of bit flips in
 /// the codeword is detected, any even number is missed, nothing can be
-/// corrected (paper §IV).
+/// corrected (paper §IV). The helpers are generic over the index width; the
+/// parity bit always lives in the excluded top bit of the index word.
 #pragma once
 
 #include <cstdint>
@@ -12,18 +13,23 @@
 
 namespace abft::ecc {
 
-/// Parity of a 96-bit CSR element: 64-bit value pattern plus the low 31 bits
-/// of the column index (bit 31 of the column holds the parity itself and is
-/// excluded).
-[[nodiscard]] constexpr std::uint32_t sed_parity96(std::uint64_t value_bits,
-                                                   std::uint32_t col_low31) noexcept {
-  return parity64(value_bits) ^ parity32(col_low31 & 0x7fffffffu);
+/// Parity of one (value, column) CSR element codeword at either index width:
+/// the 64 value bits plus the column with its top bit — the parity's own
+/// storage slot — excluded. 96-bit codeword for 32-bit columns (paper
+/// Fig. 1a), 128-bit for 64-bit columns (§V-B).
+template <class Index>
+[[nodiscard]] constexpr std::uint32_t sed_parity_element(std::uint64_t value_bits,
+                                                         Index col) noexcept {
+  constexpr Index kDataMask = static_cast<Index>(~Index{0} >> 1);
+  return parity64(value_bits) ^ parity64(static_cast<std::uint64_t>(col & kDataMask));
 }
 
-/// Parity of a single 32-bit integer excluding its top bit (which stores the
-/// parity): used for the CSR row-pointer vector under SED.
-[[nodiscard]] constexpr std::uint32_t sed_parity_u32(std::uint32_t x) noexcept {
-  return parity32(x & 0x7fffffffu);
+/// Parity of a single row-pointer entry excluding its top bit (which stores
+/// the parity itself): used for the CSR row-pointer vector under SED.
+template <class Index>
+[[nodiscard]] constexpr std::uint32_t sed_parity_entry(Index x) noexcept {
+  constexpr Index kDataMask = static_cast<Index>(~Index{0} >> 1);
+  return parity64(static_cast<std::uint64_t>(x & kDataMask));
 }
 
 /// Parity of a double's bit pattern excluding the mantissa LSB (which stores

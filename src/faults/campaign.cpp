@@ -41,13 +41,15 @@ template <class T>
   return {reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()};
 }
 
-template <class ES, class RS, class VS>
+template <class Index, class ES, class RS, class VS>
 CampaignResult run_impl(const CampaignConfig& cfg) {
-  // Test problem: 5-point Laplacian with known solution u* = 1.
-  sparse::CsrMatrix a = sparse::laplacian_2d(cfg.nx, cfg.ny);
+  // Test problem: 5-point Laplacian with known solution u* = 1, assembled at
+  // 32-bit width and re-indexed to the width under test.
+  sparse::CsrMatrix a32 = sparse::laplacian_2d(cfg.nx, cfg.ny);
   if constexpr (ES::kMinRowNnz > 1) {
-    a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
+    a32 = sparse::pad_rows_to_min_nnz(a32, ES::kMinRowNnz);
   }
+  const sparse::Csr<Index> a = sparse::Csr<Index>::from_csr(a32);
   const std::size_t n = a.nrows();
   aligned_vector<double> ones(n, 1.0);
   aligned_vector<double> rhs(n, 0.0);
@@ -63,7 +65,7 @@ CampaignResult run_impl(const CampaignConfig& cfg) {
 
   for (unsigned trial = 0; trial < cfg.trials; ++trial) {
     FaultLog log;
-    auto pa = ProtectedCsr<ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+    auto pa = ProtectedCsr<Index, ES, RS>::from_csr(a, &log, DuePolicy::record_only);
     ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
     ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
     b.assign({rhs.data(), n});
@@ -134,19 +136,12 @@ CampaignResult run_impl(const CampaignConfig& cfg) {
 }  // namespace
 
 CampaignResult run_injection_campaign(const CampaignConfig& cfg) {
-  switch (cfg.scheme) {
-    case ecc::Scheme::none:
-      return run_impl<ElemNone, RowNone, VecNone>(cfg);
-    case ecc::Scheme::sed:
-      return run_impl<ElemSed, RowSed, VecSed>(cfg);
-    case ecc::Scheme::secded64:
-      return run_impl<ElemSecded, RowSecded64, VecSecded64>(cfg);
-    case ecc::Scheme::secded128:
-      return run_impl<ElemSecded, RowSecded128, VecSecded128>(cfg);
-    case ecc::Scheme::crc32c:
-      return run_impl<ElemCrc32c, RowCrc32c, VecCrc32c>(cfg);
-  }
-  throw std::invalid_argument("run_injection_campaign: unknown scheme");
+  // Uniform protection across the three structures; the secded128-at-32-bit
+  // element downgrade policy lives in dispatch_uniform_protection.
+  return dispatch_uniform_protection(cfg.width, cfg.scheme,
+                                     [&]<class Index, class ES, class RS, class VS>() {
+                                       return run_impl<Index, ES, RS, VS>(cfg);
+                                     });
 }
 
 void print_summary(std::ostream& os, const CampaignConfig& cfg,
@@ -155,7 +150,8 @@ void print_summary(std::ostream& os, const CampaignConfig& cfg,
     return r.trials > 0 ? 100.0 * static_cast<double>(c) / static_cast<double>(r.trials)
                         : 0.0;
   };
-  os << "scheme=" << ecc::to_string(cfg.scheme) << " target=" << to_string(cfg.target)
+  os << "scheme=" << ecc::to_string(cfg.scheme) << " width=" << to_string(cfg.width)
+     << " target=" << to_string(cfg.target)
      << " model=" << to_string(cfg.model) << " k=" << cfg.flips_per_trial
      << " trials=" << r.trials << " | corrected " << r.detected_corrected << " ("
      << pct(r.detected_corrected) << "%), uncorrectable " << r.detected_uncorrectable

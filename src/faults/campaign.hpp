@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "abft/dispatch.hpp"
 #include "common/fault_log.hpp"
 #include "ecc/scheme.hpp"
 
@@ -37,6 +38,7 @@ enum class FaultModel : std::uint8_t {
 /// Campaign configuration.
 struct CampaignConfig {
   ecc::Scheme scheme = ecc::Scheme::secded64;  ///< uniform protection scheme
+  IndexWidth width = IndexWidth::i32;          ///< CSR index width under test
   Target target = Target::any;
   FaultModel model = FaultModel::single_flip;
   unsigned flips_per_trial = 1;   ///< k for multi_flip / burst length for burst

@@ -18,9 +18,10 @@
 namespace abft::solvers {
 
 /// Solve A u = b with (unpreconditioned) CG. \p u holds the initial guess on
-/// entry and the solution on exit.
-template <class ES, class RS, class VS>
-SolveResult cg_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+/// entry and the solution on exit. \p Matrix is any ProtectedCsr
+/// instantiation — one implementation serves both index widths.
+template <class Matrix, class VS>
+SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
                      ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();

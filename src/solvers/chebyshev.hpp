@@ -19,8 +19,8 @@
 namespace abft::solvers {
 
 /// Solve A u = b with Chebyshev iteration given spectral bounds.
-template <class ES, class RS, class VS>
-SolveResult chebyshev_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+template <class Matrix, class VS>
+SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
                             ProtectedVector<VS>& u, const SpectralBounds& bounds,
                             const SolveOptions& opts = {}) {
   const std::size_t n = u.size();
@@ -71,10 +71,10 @@ SolveResult chebyshev_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
 }
 
 /// Convenience overload that estimates the spectral bounds first.
-template <class ES, class RS, class VS>
-SolveResult chebyshev_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+template <class Matrix, class VS>
+SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
                             ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
-  auto bounds = estimate_spectral_bounds<ES, RS, VS>(a);
+  auto bounds = estimate_spectral_bounds<VS>(a);
   // Guard against underestimated extremes (power iteration converges from
   // below): widen slightly so the iteration stays contractive.
   bounds.lambda_min *= 0.9;

@@ -60,8 +60,8 @@ void xpby_scaled(ProtectedVector<VS>& v, double s, ProtectedVector<VS>& w) {
 
 /// Power iteration for lambda_max, then shifted power iteration on
 /// (lambda_max I - A) for lambda_min. Deterministic in \p seed.
-template <class ES, class RS, class VS>
-[[nodiscard]] SpectralBounds estimate_spectral_bounds(ProtectedCsr<ES, RS>& a,
+template <class VS, class Matrix>
+[[nodiscard]] SpectralBounds estimate_spectral_bounds(Matrix& a,
                                                       unsigned iterations = 50,
                                                       std::uint64_t seed = 42) {
   const std::size_t n = a.nrows();

@@ -15,8 +15,8 @@
 namespace abft::solvers {
 
 /// Extract 1/diag(A) into \p dinv (setup path, fully checked).
-template <class ES, class RS, class VS>
-void extract_inverse_diagonal(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& dinv) {
+template <class Matrix, class VS>
+void extract_inverse_diagonal(Matrix& a, ProtectedVector<VS>& dinv) {
   if (dinv.size() != a.nrows()) {
     throw std::invalid_argument("extract_inverse_diagonal: dimension mismatch");
   }
@@ -37,8 +37,8 @@ void extract_inverse_diagonal(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& dinv
 }
 
 /// Solve A u = b with damped-free Jacobi: u += D^-1 (b - A u).
-template <class ES, class RS, class VS>
-SolveResult jacobi_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+template <class Matrix, class VS>
+SolveResult jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
                          ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();

@@ -15,8 +15,8 @@
 namespace abft::solvers {
 
 /// Solve A u = b with CG preconditioned by M = diag(A).
-template <class ES, class RS, class VS>
-SolveResult pcg_jacobi_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+template <class Matrix, class VS>
+SolveResult pcg_jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
                              ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();

@@ -28,8 +28,8 @@ namespace detail {
 
 /// z ~= A^-1 r via \p steps Chebyshev iterations from z = 0 (preconditioner
 /// application; always uses the supplied CheckMode for its SpMVs).
-template <class ES, class RS, class VS>
-void chebyshev_precondition(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& r,
+template <class Matrix, class VS>
+void chebyshev_precondition(Matrix& a, ProtectedVector<VS>& r,
                             ProtectedVector<VS>& z, ProtectedVector<VS>& rr,
                             ProtectedVector<VS>& d, ProtectedVector<VS>& w,
                             const SpectralBounds& bounds, unsigned steps,
@@ -55,8 +55,8 @@ void chebyshev_precondition(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& r,
 }  // namespace detail
 
 /// Solve A u = b with PPCG.
-template <class ES, class RS, class VS>
-SolveResult ppcg_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+template <class Matrix, class VS>
+SolveResult ppcg_solve(Matrix& a, ProtectedVector<VS>& b,
                        ProtectedVector<VS>& u, const SpectralBounds& bounds,
                        const PpcgOptions& opts = {}) {
   const std::size_t n = u.size();
@@ -115,10 +115,10 @@ SolveResult ppcg_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
 }
 
 /// Convenience overload estimating the spectral bounds internally.
-template <class ES, class RS, class VS>
-SolveResult ppcg_solve(ProtectedCsr<ES, RS>& a, ProtectedVector<VS>& b,
+template <class Matrix, class VS>
+SolveResult ppcg_solve(Matrix& a, ProtectedVector<VS>& b,
                        ProtectedVector<VS>& u, const PpcgOptions& opts = {}) {
-  auto bounds = estimate_spectral_bounds<ES, RS, VS>(a);
+  auto bounds = estimate_spectral_bounds<VS>(a);
   bounds.lambda_min *= 0.9;
   bounds.lambda_max *= 1.05;
   return ppcg_solve(a, b, u, bounds, opts);

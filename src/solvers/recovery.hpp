@@ -34,9 +34,9 @@ struct RecoveringSolveResult {
 /// \p pristine is the fault-free matrix (the "checkpoint on disk"); \p a is
 /// the in-memory protected copy that faults may hit. \p u0 is the initial
 /// guess restored on every restart.
-template <class ES, class RS, class VS>
-RecoveringSolveResult cg_solve_with_restart(const sparse::CsrMatrix& pristine,
-                                            ProtectedCsr<ES, RS>& a,
+template <class Matrix, class VS>
+RecoveringSolveResult cg_solve_with_restart(const typename Matrix::csr_type& pristine,
+                                            Matrix& a,
                                             ProtectedVector<VS>& b, ProtectedVector<VS>& u,
                                             const SolveOptions& opts = {},
                                             unsigned max_restarts = 3) {
@@ -58,7 +58,7 @@ RecoveringSolveResult cg_solve_with_restart(const sparse::CsrMatrix& pristine,
     }
     ++result.restarts;
     // Restore: re-encode the matrix from the pristine copy and reset u.
-    a = ProtectedCsr<ES, RS>::from_csr(pristine, a.fault_log(), a.due_policy());
+    a = Matrix::from_csr(pristine, a.fault_log(), a.due_policy());
     u.assign(u0);
   }
 }

@@ -3,33 +3,59 @@
 ///
 /// A m x n sparse matrix is held as three dense vectors (paper §V-B):
 ///   - values  (v): NNZ 64-bit doubles, non-zeros in row-major order;
-///   - cols    (y): NNZ 32-bit column indices;
-///   - row_ptr (x): m+1 32-bit offsets into v of each row's first non-zero.
+///   - cols    (y): NNZ column indices;
+///   - row_ptr (x): m+1 offsets into v of each row's first non-zero.
 ///
-/// 32-bit indices restrict matrices to < 2^32-1 non-zeros/columns, matching
-/// the paper's setting; the protection schemes further constrain the usable
-/// index range because they re-purpose the top bits (see abft/ layer).
+/// The index width is a template parameter. 32-bit indices (`CsrMatrix`)
+/// restrict matrices to < 2^32-1 non-zeros/columns, matching the paper's
+/// main setting; 64-bit indices (`Csr64Matrix`) cover the §V-B "matrix
+/// dimensions may be larger than 2^32-1" scenario and leave a whole spare
+/// byte per index word for redundancy. The protection schemes further
+/// constrain the usable index range because they re-purpose the top bits
+/// (see the abft/ layer).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "common/aligned.hpp"
 
 namespace abft::sparse {
 
 /// Unprotected CSR matrix; the baseline for all overhead measurements.
-class CsrMatrix {
- public:
-  using index_type = std::uint32_t;
+///
+/// \tparam Index unsigned integer type of the column indices / row pointers
+///         (std::uint32_t or std::uint64_t).
+template <class Index>
+class Csr {
+  static_assert(std::is_same_v<Index, std::uint32_t> || std::is_same_v<Index, std::uint64_t>,
+                "Csr: index type must be uint32_t or uint64_t");
 
-  CsrMatrix() = default;
+ public:
+  using index_type = Index;
+
+  Csr() = default;
 
   /// Construct an empty matrix with \p nrows rows and \p ncols columns.
-  CsrMatrix(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {
+  Csr(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {
     row_ptr_.assign(nrows + 1, 0);
+  }
+
+  /// Re-index a matrix of a different (narrower or equal) index width — the
+  /// common test path for the 64-bit stack; production would assemble wide
+  /// directly.
+  template <class OtherIndex>
+  static Csr from_csr(const Csr<OtherIndex>& a) {
+    static_assert(sizeof(OtherIndex) <= sizeof(Index),
+                  "Csr::from_csr: narrowing conversions are not supported");
+    Csr m(a.nrows(), a.ncols());
+    m.values_.assign(a.values().begin(), a.values().end());
+    m.cols_.assign(a.cols().begin(), a.cols().end());
+    m.row_ptr_.assign(a.row_ptr().begin(), a.row_ptr().end());
+    return m;
   }
 
   [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
@@ -94,6 +120,9 @@ class CsrMatrix {
   }
 
  private:
+  template <class OtherIndex>
+  friend class Csr;
+
   std::size_t nrows_ = 0;
   std::size_t ncols_ = 0;
   aligned_vector<index_type> row_ptr_;
@@ -101,7 +130,26 @@ class CsrMatrix {
   aligned_vector<double> values_;
 };
 
-/// y = A * x for an unprotected CSR matrix (baseline SpMV kernel).
-void spmv(const CsrMatrix& a, const double* x, double* y) noexcept;
+/// The paper's main setting: 32-bit indices.
+using CsrMatrix = Csr<std::uint32_t>;
+/// The §V-B wide-index setting: 64-bit indices.
+using Csr64Matrix = Csr<std::uint64_t>;
+
+/// y = A * x for an unprotected CSR matrix (baseline SpMV kernel); one
+/// template serves both index widths.
+template <class Index>
+void spmv(const Csr<Index>& a, const double* x, double* y) noexcept {
+  const auto* row_ptr = a.row_ptr().data();
+  const auto* cols = a.cols().data();
+  const auto* values = a.values().data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(a.nrows()); ++r) {
+    double sum = 0.0;
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      sum += values[k] * x[cols[k]];
+    }
+    y[r] = sum;
+  }
+}
 
 }  // namespace abft::sparse

@@ -1,86 +1,8 @@
 /// \file csr64.hpp
-/// \brief CSR matrix with 64-bit indices, for matrices whose dimensions or
-/// NNZ exceed 2^32-1 (paper §V-B: "in many production solvers, the matrix
-/// dimensions may be larger than 2^32-1, warranting the need for 64-bit
-/// integer indices; our 32-bit integer techniques are easily extended").
+/// \brief Compatibility shim: the 64-bit-index CSR matrix is now the
+/// `sparse::Csr<std::uint64_t>` instantiation of the width-parameterized
+/// template in csr.hpp (`Csr64Matrix` alias, shared `spmv` template). This
+/// header remains so older includes keep working.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <stdexcept>
-
-#include "common/aligned.hpp"
-#include "sparse/csr.hpp"
-
-namespace abft::sparse {
-
-/// Wide-index CSR. Functionally identical to CsrMatrix; 64-bit row pointers
-/// and column indices leave a full spare byte for redundancy even on
-/// petascale-sized operators (< 2^56 columns / non-zeros).
-class Csr64Matrix {
- public:
-  using index_type = std::uint64_t;
-
-  Csr64Matrix() = default;
-
-  Csr64Matrix(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {
-    row_ptr_.assign(nrows + 1, 0);
-  }
-
-  /// Widen a 32-bit-index matrix (the common test path; production would
-  /// assemble wide directly).
-  static Csr64Matrix from_csr(const CsrMatrix& a) {
-    Csr64Matrix m(a.nrows(), a.ncols());
-    m.values_.assign(a.values().begin(), a.values().end());
-    m.cols_.assign(a.cols().begin(), a.cols().end());
-    m.row_ptr_.assign(a.row_ptr().begin(), a.row_ptr().end());
-    return m;
-  }
-
-  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
-  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
-  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
-
-  [[nodiscard]] aligned_vector<double>& values() noexcept { return values_; }
-  [[nodiscard]] const aligned_vector<double>& values() const noexcept { return values_; }
-  [[nodiscard]] aligned_vector<index_type>& cols() noexcept { return cols_; }
-  [[nodiscard]] const aligned_vector<index_type>& cols() const noexcept { return cols_; }
-  [[nodiscard]] aligned_vector<index_type>& row_ptr() noexcept { return row_ptr_; }
-  [[nodiscard]] const aligned_vector<index_type>& row_ptr() const noexcept {
-    return row_ptr_;
-  }
-
-  [[nodiscard]] std::size_t row_nnz(std::size_t r) const noexcept {
-    return row_ptr_[r + 1] - row_ptr_[r];
-  }
-
-  void validate() const {
-    if (row_ptr_.size() != nrows_ + 1 || row_ptr_.front() != 0 ||
-        row_ptr_.back() != values_.size() || cols_.size() != values_.size()) {
-      throw std::invalid_argument("Csr64: malformed structure");
-    }
-    for (std::size_t r = 0; r < nrows_; ++r) {
-      if (row_ptr_[r] > row_ptr_[r + 1]) {
-        throw std::invalid_argument("Csr64: row_ptr not monotone");
-      }
-      for (index_type k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        if (cols_[k] >= ncols_) throw std::invalid_argument("Csr64: column out of range");
-        if (k > row_ptr_[r] && cols_[k] <= cols_[k - 1]) {
-          throw std::invalid_argument("Csr64: columns not increasing");
-        }
-      }
-    }
-  }
-
- private:
-  std::size_t nrows_ = 0;
-  std::size_t ncols_ = 0;
-  aligned_vector<index_type> row_ptr_;
-  aligned_vector<index_type> cols_;
-  aligned_vector<double> values_;
-};
-
-/// y = A x baseline kernel for wide-index matrices.
-void spmv(const Csr64Matrix& a, const double* x, double* y) noexcept;
-
-}  // namespace abft::sparse
+#include "sparse/csr.hpp"  // IWYU pragma: export

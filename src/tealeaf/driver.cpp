@@ -1,38 +1,29 @@
 #include "tealeaf/driver.hpp"
 
+#include <stdexcept>
+#include <type_traits>
+
+#include "abft/dispatch.hpp"
+
 namespace abft::tealeaf {
-
-namespace {
-
-template <class ES, class RS, class VS>
-RunResult run_impl(const Config& config, unsigned check_interval, FaultLog* log,
-                   DuePolicy policy) {
-  Simulation<ES, RS, VS> sim(config, log, policy);
-  sim.set_check_interval(check_interval);
-  return sim.run();
-}
-
-}  // namespace
 
 RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
                                  unsigned check_interval, FaultLog* log,
                                  DuePolicy policy) {
-  switch (scheme) {
-    case ecc::Scheme::none:
-      return run_impl<ElemNone, RowNone, VecNone>(config, check_interval, log, policy);
-    case ecc::Scheme::sed:
-      return run_impl<ElemSed, RowSed, VecSed>(config, check_interval, log, policy);
-    case ecc::Scheme::secded64:
-      return run_impl<ElemSecded, RowSecded64, VecSecded64>(config, check_interval, log,
-                                                            policy);
-    case ecc::Scheme::secded128:
-      return run_impl<ElemSecded, RowSecded128, VecSecded128>(config, check_interval,
-                                                              log, policy);
-    case ecc::Scheme::crc32c:
-      return run_impl<ElemCrc32c, RowCrc32c, VecCrc32c>(config, check_interval, log,
-                                                        policy);
-  }
-  throw std::invalid_argument("run_simulation_uniform: unknown scheme");
+  // TeaLeaf assembles 32-bit operators; the secded128 element-downgrade
+  // policy lives in dispatch_uniform_protection. The dispatcher instantiates
+  // the callable at both widths, so the 64-bit branch is compiled out.
+  return dispatch_uniform_protection(
+      IndexWidth::i32, scheme,
+      [&]<class Index, class ES, class RS, class VS>() -> RunResult {
+        if constexpr (std::is_same_v<Index, std::uint32_t>) {
+          Simulation<ES, RS, VS> sim(config, log, policy);
+          sim.set_check_interval(check_interval);
+          return sim.run();
+        } else {
+          throw std::logic_error("run_simulation_uniform: TeaLeaf operators are 32-bit");
+        }
+      });
 }
 
 }  // namespace abft::tealeaf

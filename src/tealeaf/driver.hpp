@@ -70,7 +70,7 @@ class Simulation {
     if constexpr (ES::kMinRowNnz > 1) {
       a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
     }
-    auto pa = ProtectedCsr<ES, RS>::from_csr(a, log_, policy_);
+    auto pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a, log_, policy_);
 
     // b = u_old; initial guess u = u_old.
     ProtectedVector<VS> b(n, log_, policy_);

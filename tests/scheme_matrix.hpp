@@ -1,0 +1,317 @@
+/// \file scheme_matrix.hpp
+/// \brief Shared encode/decode/fault test harness run over the full
+/// (index width x scheme) matrix.
+///
+/// Every protection scheme — element and row-pointer, at 32- and 64-bit
+/// index width — must satisfy the same contract: clean codewords round-trip,
+/// single bit flips are detected (SED), corrected (SECDED, CRC32C) or missed
+/// (None), and double flips are detected by any distance>=3 code. The typed
+/// suites in test_element_schemes.cpp / test_row_schemes.cpp / test_csr64.cpp
+/// instantiate these templates instead of copy-pasting width-specific
+/// assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "abft/element_schemes.hpp"
+#include "abft/row_schemes.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "ecc/scheme.hpp"
+
+namespace abft::scheme_matrix {
+
+/// Outcome a scheme must produce for a single bit flip anywhere in its
+/// codeword *data* bits (redundancy-bit flips are handled per scheme below).
+[[nodiscard]] constexpr CheckOutcome expected_single_flip(ecc::Scheme s) noexcept {
+  switch (s) {
+    case ecc::Scheme::none: return CheckOutcome::ok;  // undetected by design
+    case ecc::Scheme::sed: return CheckOutcome::uncorrectable;  // detect-only
+    case ecc::Scheme::secded64:
+    case ecc::Scheme::secded128: return CheckOutcome::corrected;
+    case ecc::Scheme::crc32c: return CheckOutcome::corrected;  // brute-force path
+  }
+  return CheckOutcome::ok;
+}
+
+// ---------------------------------------------------------------------------
+// Per-element schemes (ElemNone / ElemSed / ElemSecded at either width).
+// ---------------------------------------------------------------------------
+
+template <class ES>
+void elem_round_trip(int reps = 200) {
+  using Index = typename ES::index_type;
+  Xoshiro256 rng(1);
+  for (int rep = 0; rep < reps; ++rep) {
+    double v = rng.uniform(-1e6, 1e6);
+    Index c = static_cast<Index>(rng()) & ES::kColMask;
+    const double v0 = v;
+    const Index c0 = c;
+    ES::encode(v, c);
+    EXPECT_EQ(v, v0) << "element schemes must not alter the value";
+    double vd;
+    Index cd;
+    EXPECT_EQ(ES::decode(v, c, vd, cd), CheckOutcome::ok);
+    EXPECT_EQ(vd, v0);
+    EXPECT_EQ(cd, c0);
+  }
+}
+
+/// Flip every bit of the (value, column) pair in turn, including the
+/// redundancy bits embedded in the column's top bits.
+template <class ES>
+void elem_single_flips() {
+  using Index = typename ES::index_type;
+  constexpr unsigned kIndexBits = std::numeric_limits<Index>::digits;
+  constexpr bool kFlipsRecoverable =
+      expected_single_flip(ES::kScheme) == CheckOutcome::corrected;
+  Xoshiro256 rng(2);
+  for (unsigned bit = 0; bit < 64 + kIndexBits; ++bit) {
+    double v = rng.uniform(-10, 10);
+    Index c = static_cast<Index>(rng()) & ES::kColMask;
+    const double v0 = v;
+    const Index c0 = c;
+    ES::encode(v, c);
+    const double v_enc = v;
+    const Index c_enc = c;
+    if (bit < 64) {
+      v = bits_to_double(flip_bit(double_to_bits(v), bit));
+    } else {
+      c = static_cast<Index>(flip_bit(c, bit - 64));
+    }
+    double vd;
+    Index cd;
+    const auto outcome = ES::decode(v, c, vd, cd);
+    if constexpr (ES::kScheme == ecc::Scheme::none) {
+      // No redundancy: the flip is invisible; a column flip lands in the
+      // decoded index unchanged.
+      EXPECT_EQ(outcome, CheckOutcome::ok) << bit;
+    } else {
+      EXPECT_EQ(outcome, expected_single_flip(ES::kScheme)) << "bit " << bit;
+    }
+    if constexpr (kFlipsRecoverable) {
+      EXPECT_EQ(vd, v0) << "bit " << bit;
+      EXPECT_EQ(cd, c0) << "bit " << bit;
+      EXPECT_EQ(double_to_bits(v), double_to_bits(v_enc))
+          << "correction must write back, bit " << bit;
+      EXPECT_EQ(c, c_enc) << "correction must write back, bit " << bit;
+    }
+  }
+}
+
+/// Two flips spread across value and column data bits: SED misses pairs in
+/// the same parity domain only when both land inside it — here we flip one
+/// value bit and one column bit, which SED *also* misses (even total parity)
+/// while SECDED must flag the pair as uncorrectable.
+template <class ES>
+void elem_double_flips() {
+  using Index = typename ES::index_type;
+  Xoshiro256 rng(3);
+  for (unsigned i = 0; i < 64; i += 7) {
+    for (unsigned j = 0; j < ES::kColBits; j += 5) {
+      double v = rng.uniform(-10, 10);
+      Index c = static_cast<Index>(rng()) & ES::kColMask;
+      ES::encode(v, c);
+      v = bits_to_double(flip_bit(double_to_bits(v), i));
+      c = static_cast<Index>(flip_bit(c, j));
+      double vd;
+      Index cd;
+      const auto outcome = ES::decode(v, c, vd, cd);
+      if constexpr (ES::kScheme == ecc::Scheme::secded64 ||
+                    ES::kScheme == ecc::Scheme::secded128) {
+        EXPECT_EQ(outcome, CheckOutcome::uncorrectable) << i << "," << j;
+      } else {
+        EXPECT_EQ(outcome, CheckOutcome::ok) << i << "," << j;  // missed
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row-granular element scheme (ElemCrc32c at either width).
+// ---------------------------------------------------------------------------
+
+template <class ES>
+struct CrcRow {
+  std::vector<double> values;
+  std::vector<typename ES::index_type> cols;
+};
+
+template <class ES>
+CrcRow<ES> make_crc_row(std::size_t nnz, Xoshiro256& rng) {
+  CrcRow<ES> row;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    row.values.push_back(rng.uniform(-100, 100));
+    row.cols.push_back(static_cast<typename ES::index_type>(rng()) & ES::kColMask);
+  }
+  return row;
+}
+
+template <class ES>
+void crc_row_round_trip() {
+  Xoshiro256 rng(4);
+  for (std::size_t nnz : {std::size_t{4}, std::size_t{5}, std::size_t{8},
+                          std::size_t{13}, std::size_t{64}, std::size_t{70}}) {
+    auto row = make_crc_row<ES>(nnz, rng);
+    const auto original = row;
+    ES::encode_row(row.values.data(), row.cols.data(), nnz);
+    EXPECT_EQ(ES::decode_row(row.values.data(), row.cols.data(), nnz), CheckOutcome::ok);
+    for (std::size_t k = 0; k < nnz; ++k) {
+      EXPECT_EQ(row.values[k], original.values[k]);
+      EXPECT_EQ(row.cols[k] & ES::kColMask, original.cols[k]);
+    }
+  }
+}
+
+/// One flip anywhere in the row — value bits, column data bits, or the
+/// checksum storage bytes — must be corrected and the full row restored.
+template <class ES>
+void crc_row_single_flips() {
+  constexpr std::size_t kNnz = 5;  // TeaLeaf's 5-point row width
+  constexpr unsigned kIndexBits = std::numeric_limits<typename ES::index_type>::digits;
+  Xoshiro256 rng(5);
+  for (std::size_t k = 0; k < kNnz; ++k) {
+    for (unsigned bit = 0; bit < 64 + kIndexBits; bit += 3) {
+      auto row = make_crc_row<ES>(kNnz, rng);
+      ES::encode_row(row.values.data(), row.cols.data(), kNnz);
+      const auto clean = row;
+      if (bit < 64) {
+        row.values[k] = bits_to_double(flip_bit(double_to_bits(row.values[k]), bit));
+      } else {
+        row.cols[k] = static_cast<typename ES::index_type>(flip_bit(row.cols[k], bit - 64));
+      }
+      // Top-byte bits of elements beyond the first four hold neither data
+      // nor checksum; a flip there is invisible (and harmless — reads mask).
+      const bool unused_spare = bit >= 64 + ES::kColBits && k >= 4;
+      EXPECT_EQ(ES::decode_row(row.values.data(), row.cols.data(), kNnz),
+                unused_spare ? CheckOutcome::ok : CheckOutcome::corrected)
+          << "element " << k << " bit " << bit;
+      if (unused_spare) continue;
+      for (std::size_t e = 0; e < kNnz; ++e) {
+        EXPECT_EQ(double_to_bits(row.values[e]), double_to_bits(clean.values[e]));
+        EXPECT_EQ(row.cols[e], clean.cols[e]);
+      }
+    }
+  }
+}
+
+template <class ES>
+void crc_row_triple_flips_never_ok(int reps = 100) {
+  constexpr std::size_t kNnz = 5;
+  Xoshiro256 rng(6);
+  for (int rep = 0; rep < reps; ++rep) {
+    auto row = make_crc_row<ES>(kNnz, rng);
+    ES::encode_row(row.values.data(), row.cols.data(), kNnz);
+    for (int f = 0; f < 3; ++f) {
+      const std::size_t k = rng.below(kNnz);
+      row.values[k] =
+          bits_to_double(flip_bit(double_to_bits(row.values[k]), rng.below(64)));
+    }
+    EXPECT_NE(ES::decode_row(row.values.data(), row.cols.data(), kNnz),
+              CheckOutcome::ok)
+        << rep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row-pointer schemes (all five, at either width).
+// ---------------------------------------------------------------------------
+
+/// Expected outcome of a single flip in storage entry \p e at bit \p bit.
+/// Data-bit flips follow expected_single_flip(); flips in the embedded
+/// redundancy are corrected by SECDED/CRC, detected by SED's parity bit, and
+/// invisible when they land in a spare bit the code does not use (e.g. the
+/// 8th redundancy slot of a 7-bit SECDED code).
+template <class RS>
+[[nodiscard]] constexpr CheckOutcome expected_row_flip(std::size_t e,
+                                                       unsigned bit) noexcept {
+  if constexpr (RS::kScheme == ecc::Scheme::none) {
+    (void)e;
+    (void)bit;
+    return CheckOutcome::ok;
+  } else if constexpr (RS::kScheme == ecc::Scheme::sed) {
+    (void)e;
+    (void)bit;
+    return CheckOutcome::uncorrectable;  // value bits and the parity bit alike
+  } else if constexpr (RS::kScheme == ecc::Scheme::crc32c) {
+    (void)e;
+    (void)bit;
+    return CheckOutcome::corrected;  // every spare bit holds checksum
+  } else {
+    if (bit < RS::kValueBits) return CheckOutcome::corrected;
+    const unsigned red = RS::kSpareBits * static_cast<unsigned>(e) + (bit - RS::kValueBits);
+    return red < RS::Code::kRedundancyBits ? CheckOutcome::corrected : CheckOutcome::ok;
+  }
+}
+
+template <class RS>
+void row_round_trip(int reps = 100) {
+  using Index = typename RS::index_type;
+  Xoshiro256 rng(7);
+  for (int rep = 0; rep < reps; ++rep) {
+    Index vals[RS::kGroup], storage[RS::kGroup], decoded[RS::kGroup];
+    for (auto& v : vals) v = static_cast<Index>(rng()) & RS::kValueMask;
+    RS::encode_group(vals, storage);
+    EXPECT_EQ(RS::decode_group(storage, decoded), CheckOutcome::ok);
+    for (std::size_t e = 0; e < RS::kGroup; ++e) EXPECT_EQ(decoded[e], vals[e]);
+  }
+}
+
+template <class RS>
+void row_single_flips() {
+  using Index = typename RS::index_type;
+  constexpr unsigned kIndexBits = std::numeric_limits<Index>::digits;
+  Xoshiro256 rng(8);
+  for (std::size_t e = 0; e < RS::kGroup; ++e) {
+    for (unsigned bit = 0; bit < kIndexBits; ++bit) {
+      Index vals[RS::kGroup], storage[RS::kGroup], decoded[RS::kGroup];
+      for (auto& v : vals) v = static_cast<Index>(rng()) & RS::kValueMask;
+      RS::encode_group(vals, storage);
+      Index clean[RS::kGroup];
+      for (std::size_t i = 0; i < RS::kGroup; ++i) clean[i] = storage[i];
+      storage[e] = static_cast<Index>(flip_bit(storage[e], bit));
+      const auto outcome = RS::decode_group(storage, decoded);
+      const auto expected = expected_row_flip<RS>(e, bit);
+      EXPECT_EQ(outcome, expected) << "entry " << e << " bit " << bit;
+      if (expected == CheckOutcome::corrected) {
+        for (std::size_t i = 0; i < RS::kGroup; ++i) {
+          EXPECT_EQ(storage[i], clean[i]) << "entry " << e << " bit " << bit;
+          EXPECT_EQ(decoded[i], vals[i]) << "entry " << e << " bit " << bit;
+        }
+      }
+    }
+  }
+}
+
+template <class RS>
+void row_double_flips() {
+  using Index = typename RS::index_type;
+  Xoshiro256 rng(9);
+  for (std::size_t e1 = 0; e1 < RS::kGroup; ++e1) {
+    for (unsigned b1 = 0; b1 + 1 < RS::kValueBits; b1 += 9) {
+      const std::size_t e2 = (e1 + 1) % RS::kGroup;
+      const unsigned b2 = b1 + 1;
+      Index vals[RS::kGroup], storage[RS::kGroup], decoded[RS::kGroup];
+      for (auto& v : vals) v = static_cast<Index>(rng()) & RS::kValueMask;
+      RS::encode_group(vals, storage);
+      storage[e1] = static_cast<Index>(flip_bit(storage[e1], b1));
+      storage[e2] = static_cast<Index>(flip_bit(storage[e2], b2));
+      const auto outcome = RS::decode_group(storage, decoded);
+      if constexpr (RS::kScheme == ecc::Scheme::none ||
+                    RS::kScheme == ecc::Scheme::sed) {
+        // None misses; SED's per-entry parity misses even flip counts (the
+        // group is a single entry, so both flips share one parity domain).
+        EXPECT_EQ(outcome, CheckOutcome::ok) << e1 << ":" << b1;
+      } else {
+        EXPECT_EQ(outcome, CheckOutcome::uncorrectable) << e1 << ":" << b1;
+      }
+    }
+  }
+}
+
+}  // namespace abft::scheme_matrix

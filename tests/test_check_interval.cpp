@@ -32,7 +32,7 @@ TEST(CheckInterval, SkipIterationsRunFewerMatrixChecks) {
   Problem prob;
   const auto count_checks = [&](unsigned interval) {
     FaultLog log;
-    auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(prob.a, &log,
+    auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(prob.a, &log,
                                                               DuePolicy::record_only);
     // Vectors carry no log so the counter sees only matrix checks.
     ProtectedVector<VecNone> b(prob.a.nrows()), u(prob.a.nrows());
@@ -58,9 +58,9 @@ TEST(CheckInterval, SkipIterationsRunFewerMatrixChecks) {
   // Isolated single-SpMV comparison: bounds-only skips all matrix codeword
   // checks, so exactly the x-read decodes remain.
   FaultLog log_full, log_bounds;
-  auto pa_full = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(prob.a, &log_full,
+  auto pa_full = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(prob.a, &log_full,
                                                                  DuePolicy::record_only);
-  auto pa_bounds = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(
+  auto pa_bounds = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(
       prob.a, &log_bounds, DuePolicy::record_only);
   ProtectedVector<VecNone> x(prob.a.ncols()), y(prob.a.nrows());
   fill(x, 1.0);
@@ -73,7 +73,7 @@ TEST(CheckInterval, SkipIterationsRunFewerMatrixChecks) {
 TEST(CheckInterval, CorrectableFaultIsFoundAtNextFullCheck) {
   Problem prob;
   FaultLog log;
-  auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(prob.a, &log,
+  auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(prob.a, &log,
                                                             DuePolicy::record_only);
   ProtectedVector<VecSecded64> b(prob.a.nrows(), &log, DuePolicy::record_only);
   ProtectedVector<VecSecded64> u(prob.a.nrows(), &log, DuePolicy::record_only);
@@ -103,7 +103,7 @@ TEST(CheckInterval, DetectionOnlySchemeStillCatchesByFinalSweep) {
   Problem prob;
   FaultLog log;
   auto pa =
-      ProtectedCsr<ElemSed, RowSed>::from_csr(prob.a, &log, DuePolicy::record_only);
+      ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(prob.a, &log, DuePolicy::record_only);
   ProtectedVector<VecNone> b(prob.a.nrows()), u(prob.a.nrows());
   b.assign({prob.rhs.data(), prob.rhs.size()});
 
@@ -128,7 +128,7 @@ TEST(CheckInterval, BoundsGuardPreventsSegfaultOnSkippedIterations) {
   Problem prob;
   FaultLog log;
   auto pa =
-      ProtectedCsr<ElemSed, RowSed>::from_csr(prob.a, &log, DuePolicy::record_only);
+      ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(prob.a, &log, DuePolicy::record_only);
   ProtectedVector<VecNone> b(prob.a.nrows()), u(prob.a.nrows());
   b.assign({prob.rhs.data(), prob.rhs.size()});
 

@@ -1,6 +1,8 @@
-// Runtime scheme selection -> compile-time policy dispatch.
+// Runtime scheme selection -> compile-time policy dispatch, across the full
+// (width x element x row x vector) matrix.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "abft/dispatch.hpp"
@@ -18,19 +20,67 @@ TEST(ParseScheme, RoundTripsAllNames) {
   EXPECT_THROW((void)parse_scheme("SED"), std::invalid_argument);  // case-sensitive
 }
 
-TEST(DispatchElem, MapsSchemesToPolicies) {
+TEST(ParseScheme, ErrorListsValidNames) {
+  try {
+    (void)parse_scheme("hamming");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (auto s : ecc::kAllSchemes) {
+      EXPECT_NE(what.find(ecc::to_string(s)), std::string::npos)
+          << "missing '" << ecc::to_string(s) << "' in: " << what;
+    }
+  }
+}
+
+TEST(ParseIndexWidth, RoundTripsAndRejects) {
+  EXPECT_EQ(parse_index_width("32"), IndexWidth::i32);
+  EXPECT_EQ(parse_index_width("64"), IndexWidth::i64);
+  EXPECT_THROW((void)parse_index_width("128"), std::invalid_argument);
+}
+
+TEST(DispatchElem, MapsSchemesToPolicies32) {
   const auto name = [](ecc::Scheme s) {
     return dispatch_elem(s, []<class ES>() { return ES::kScheme; });
   };
   EXPECT_EQ(name(ecc::Scheme::none), ecc::Scheme::none);
   EXPECT_EQ(name(ecc::Scheme::sed), ecc::Scheme::sed);
   EXPECT_EQ(name(ecc::Scheme::secded64), ecc::Scheme::secded64);
-  // No per-element SECDED128: maps onto the 96-bit element code.
-  EXPECT_EQ(name(ecc::Scheme::secded128), ecc::Scheme::secded64);
   EXPECT_EQ(name(ecc::Scheme::crc32c), ecc::Scheme::crc32c);
 }
 
-TEST(DispatchRow, MapsSchemesToPolicies) {
+TEST(DispatchElem, Secded128UnavailableAt32Bits) {
+  // No 128-bit element codeword exists in the 96-bit layout: a clear error,
+  // not a silent downgrade onto SECDED(96,88).
+  try {
+    dispatch_elem(ecc::Scheme::secded128, []<class ES>() {});
+    FAIL() << "expected SchemeUnavailableError";
+  } catch (const SchemeUnavailableError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("secded128"), std::string::npos);
+    EXPECT_NE(what.find("32-bit"), std::string::npos);
+  }
+}
+
+TEST(DispatchElem, Secded128SelectsReal128BitLayoutAt64Bits) {
+  // The lambda instantiates for every scheme branch, so probe Code's
+  // existence instead of assuming it.
+  const unsigned data_bits = dispatch_elem<std::uint64_t>(
+      ecc::Scheme::secded128, []<class ES>() -> unsigned {
+        if constexpr (requires { typename ES::Code; }) {
+          return ES::Code::kDataBits;
+        } else {
+          return 0;
+        }
+      });
+  EXPECT_EQ(data_bits, 120u);  // SECDED(128,120): the full 128-bit codeword
+  const bool wide = dispatch_elem<std::uint64_t>(ecc::Scheme::secded128, []<class ES>() {
+    return std::is_same_v<typename ES::index_type, std::uint64_t>;
+  });
+  EXPECT_TRUE(wide);
+}
+
+TEST(DispatchRow, MapsSchemesToPolicies32) {
   const auto group = [](ecc::Scheme s) {
     return dispatch_row(s, []<class RS>() { return RS::kGroup; });
   };
@@ -39,6 +89,18 @@ TEST(DispatchRow, MapsSchemesToPolicies) {
   EXPECT_EQ(group(ecc::Scheme::secded64), 2u);
   EXPECT_EQ(group(ecc::Scheme::secded128), 4u);
   EXPECT_EQ(group(ecc::Scheme::crc32c), 8u);
+}
+
+TEST(DispatchRow, MapsSchemesToPolicies64) {
+  // A spare byte per entry halves/quarters the group sizes (§V-B).
+  const auto group = [](ecc::Scheme s) {
+    return dispatch_row<std::uint64_t>(s, []<class RS>() { return RS::kGroup; });
+  };
+  EXPECT_EQ(group(ecc::Scheme::none), 1u);
+  EXPECT_EQ(group(ecc::Scheme::sed), 1u);
+  EXPECT_EQ(group(ecc::Scheme::secded64), 1u);
+  EXPECT_EQ(group(ecc::Scheme::secded128), 2u);
+  EXPECT_EQ(group(ecc::Scheme::crc32c), 4u);
 }
 
 TEST(DispatchVec, MapsSchemesToPolicies) {
@@ -57,6 +119,69 @@ TEST(DispatchReturn, ForwardsReturnValues) {
     return std::string(ecc::to_string(VS::kScheme));
   });
   EXPECT_EQ(label, "crc32c");
+}
+
+TEST(DispatchProtection, CoversFullWidthSchemeMatrix) {
+  // Every (width x element x row x vector) combination the CLI can request
+  // must resolve to a consistent set of policy types.
+  for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
+    for (auto es : ecc::kAllSchemes) {
+      if (width == IndexWidth::i32 && es == ecc::Scheme::secded128) {
+        EXPECT_THROW(dispatch_protection(
+                         width, SchemeTriple(es, ecc::Scheme::sed, ecc::Scheme::sed),
+                         []<class Index, class ES, class RS, class VS>() {}),
+                     SchemeUnavailableError);
+        continue;
+      }
+      for (auto rs : ecc::kAllSchemes) {
+        const bool ok = dispatch_protection(
+            width, SchemeTriple(es, rs, ecc::Scheme::secded64),
+            []<class Index, class ES, class RS, class VS>() {
+              constexpr bool widths_agree =
+                  std::is_same_v<typename ES::index_type, Index> &&
+                  std::is_same_v<typename RS::index_type, Index>;
+              return widths_agree && std::is_same_v<VS, VecSecded64>;
+            });
+        EXPECT_TRUE(ok) << ecc::to_string(es) << "/" << ecc::to_string(rs);
+      }
+    }
+  }
+}
+
+TEST(DispatchUniformProtection, AppliesElementDowngradePolicyOnce) {
+  // The one hole in the matrix: secded128's element axis at 32-bit width
+  // falls back to the 96-bit SECDED code instead of throwing — this is the
+  // single home of that policy for all uniform-protection drivers.
+  const auto elem_bits = [](IndexWidth w) {
+    return dispatch_uniform_protection(
+        w, ecc::Scheme::secded128,
+        []<class Index, class ES, class RS, class VS>() -> unsigned {
+          // The lambda instantiates for every scheme branch; only the SECDED
+          // element schemes carry a Code.
+          if constexpr (requires { typename ES::Code; }) {
+            return ES::Code::kDataBits;
+          } else {
+            return 0;
+          }
+        });
+  };
+  EXPECT_EQ(elem_bits(IndexWidth::i32), 88u);   // SECDED(96,88) downgrade
+  EXPECT_EQ(elem_bits(IndexWidth::i64), 120u);  // genuine SECDED(128,120)
+  // Row and vector axes keep their 128-bit layouts at both widths.
+  const auto row_group = [](IndexWidth w) {
+    return dispatch_uniform_protection(
+        w, ecc::Scheme::secded128,
+        []<class Index, class ES, class RS, class VS>() { return RS::kGroup; });
+  };
+  EXPECT_EQ(row_group(IndexWidth::i32), 4u);
+  EXPECT_EQ(row_group(IndexWidth::i64), 2u);
+}
+
+TEST(DispatchProtection, UniformTripleBroadcastsScheme) {
+  const SchemeTriple t(ecc::Scheme::crc32c);
+  EXPECT_EQ(t.elem, ecc::Scheme::crc32c);
+  EXPECT_EQ(t.row, ecc::Scheme::crc32c);
+  EXPECT_EQ(t.vec, ecc::Scheme::crc32c);
 }
 
 TEST(SchemeCapability, MatchesPaperTable) {

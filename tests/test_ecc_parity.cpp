@@ -42,31 +42,47 @@ TEST(Parity, EvenFlipsPreserveParity64) {
   }
 }
 
-TEST(Parity, Sed96CoversValueAndLow31ColumnBits) {
+TEST(Parity, SedElementCoversValueAndDataColumnBits32) {
+  // 96-bit element codeword: 64 value bits + low 31 column bits (Fig. 1a).
   Xoshiro256 rng(23);
   for (int rep = 0; rep < 50; ++rep) {
     const std::uint64_t v = rng();
     const std::uint32_t c = static_cast<std::uint32_t>(rng()) & 0x7FFFFFFFu;
-    const std::uint32_t p = sed_parity96(v, c);
+    const std::uint32_t p = sed_parity_element(v, c);
 
     // Flipping any value bit must change the parity.
     for (unsigned bit = 0; bit < 64; bit += 5) {
-      EXPECT_NE(sed_parity96(flip_bit(v, bit), c), p);
+      EXPECT_NE(sed_parity_element(flip_bit(v, bit), c), p);
     }
     // Flipping any of the low 31 column bits must change it.
     for (unsigned bit = 0; bit < 31; bit += 3) {
-      EXPECT_NE(sed_parity96(v, c ^ (1u << bit)), p);
+      EXPECT_NE(sed_parity_element(v, c ^ (1u << bit)), p);
     }
     // Bit 31 (the parity's own storage slot) is excluded from the codeword.
-    EXPECT_EQ(sed_parity96(v, c | 0x80000000u), p);
+    EXPECT_EQ(sed_parity_element(v, c | 0x80000000u), p);
   }
 }
 
-TEST(Parity, SedU32ExcludesTopBit) {
-  EXPECT_EQ(sed_parity_u32(0), 0u);
-  EXPECT_EQ(sed_parity_u32(1), 1u);
-  EXPECT_EQ(sed_parity_u32(0x80000000u), 0u);  // top bit not part of the data
-  EXPECT_EQ(sed_parity_u32(0x80000001u), 1u);
+TEST(Parity, SedElementCoversValueAndDataColumnBits64) {
+  // 128-bit element codeword: 64 value bits + low 63 column bits (§V-B).
+  Xoshiro256 rng(25);
+  const std::uint64_t v = rng();
+  const std::uint64_t c = rng() >> 1;
+  const std::uint32_t p = sed_parity_element(v, c);
+  for (unsigned bit = 0; bit < 63; bit += 7) {
+    EXPECT_NE(sed_parity_element(v, c ^ (std::uint64_t{1} << bit)), p);
+  }
+  // Bit 63 (the parity's own storage slot) is excluded from the codeword.
+  EXPECT_EQ(sed_parity_element(v, c | (std::uint64_t{1} << 63)), p);
+}
+
+TEST(Parity, SedEntryExcludesTopBit) {
+  EXPECT_EQ(sed_parity_entry<std::uint32_t>(0), 0u);
+  EXPECT_EQ(sed_parity_entry<std::uint32_t>(1), 1u);
+  EXPECT_EQ(sed_parity_entry<std::uint32_t>(0x80000000u), 0u);  // parity slot
+  EXPECT_EQ(sed_parity_entry<std::uint32_t>(0x80000001u), 1u);
+  EXPECT_EQ(sed_parity_entry<std::uint64_t>(std::uint64_t{1} << 63), 0u);
+  EXPECT_EQ(sed_parity_entry<std::uint64_t>((std::uint64_t{1} << 63) | 1u), 1u);
 }
 
 TEST(Parity, SedDoubleExcludesMantissaLsb) {

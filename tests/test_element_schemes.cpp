@@ -1,255 +1,92 @@
-// CSR element protection schemes (paper §VI-A, Fig. 1): 96-bit element
-// codewords (SED / SECDED(96,88)) and the per-row CRC32C layout.
+// CSR element protection schemes (paper §VI-A Fig. 1 at 32-bit width, §V-B
+// at 64-bit width), exercised through the shared scheme-matrix harness: the
+// same encode/decode/single-flip/double-flip contract runs over every scheme
+// at both index widths.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <vector>
 
-#include "abft/element_schemes.hpp"
-#include "common/bits.hpp"
-#include "common/rng.hpp"
+#include "scheme_matrix.hpp"
 
 namespace {
 
 using namespace abft;
 
 // ---------------------------------------------------------------------------
-// ElemSed: parity over the 96-bit (value, column) pair.
+// Per-element schemes (None / SED / SECDED) x both widths.
 // ---------------------------------------------------------------------------
 
-TEST(ElemSed, RoundTrip) {
-  Xoshiro256 rng(1);
-  for (int rep = 0; rep < 200; ++rep) {
-    double v = rng.uniform(-1e6, 1e6);
-    std::uint32_t c = static_cast<std::uint32_t>(rng()) & ElemSed::kColMask;
-    const double v0 = v;
-    const std::uint32_t c0 = c;
-    ElemSed::encode(v, c);
-    EXPECT_EQ(v, v0) << "SED must not alter the value";
-    double vd;
-    std::uint32_t cd;
-    EXPECT_EQ(ElemSed::decode(v, c, vd, cd), CheckOutcome::ok);
-    EXPECT_EQ(vd, v0);
-    EXPECT_EQ(cd, c0);
-  }
+template <class ES>
+class PerElementScheme : public ::testing::Test {};
+
+using PerElementTypes = ::testing::Types<
+    schemes::ElemNone<std::uint32_t>, schemes::ElemNone<std::uint64_t>,
+    schemes::ElemSed<std::uint32_t>, schemes::ElemSed<std::uint64_t>,
+    schemes::ElemSecded<std::uint32_t>, schemes::ElemSecded<std::uint64_t>>;
+TYPED_TEST_SUITE(PerElementScheme, PerElementTypes);
+
+TYPED_TEST(PerElementScheme, RoundTrip) {
+  scheme_matrix::elem_round_trip<TypeParam>();
 }
 
-class ElemSedValueFlips : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(ElemSedValueFlips, DetectsValueBitFlip) {
-  Xoshiro256 rng(2);
-  double v = rng.uniform(-10, 10);
-  std::uint32_t c = 12345;
-  ElemSed::encode(v, c);
-  v = bits_to_double(flip_bit(double_to_bits(v), GetParam()));
-  double vd;
-  std::uint32_t cd;
-  EXPECT_EQ(ElemSed::decode(v, c, vd, cd), CheckOutcome::uncorrectable);
+TYPED_TEST(PerElementScheme, SingleBitFlipsAcrossWholeCodeword) {
+  scheme_matrix::elem_single_flips<TypeParam>();
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBits, ElemSedValueFlips, ::testing::Range(0u, 64u));
-
-class ElemSedColFlips : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(ElemSedColFlips, DetectsColumnBitFlip) {
-  Xoshiro256 rng(3);
-  double v = rng.uniform(-10, 10);
-  std::uint32_t c = 99;
-  ElemSed::encode(v, c);
-  c ^= (1u << GetParam());
-  double vd;
-  std::uint32_t cd;
-  EXPECT_EQ(ElemSed::decode(v, c, vd, cd), CheckOutcome::uncorrectable);
-}
-
-INSTANTIATE_TEST_SUITE_P(AllBits, ElemSedColFlips, ::testing::Range(0u, 32u));
-
-TEST(ElemSed, MissesDoubleFlip) {
-  double v = 3.25;
-  std::uint32_t c = 77;
-  ElemSed::encode(v, c);
-  v = bits_to_double(flip_bit(flip_bit(double_to_bits(v), 5), 40));
-  double vd;
-  std::uint32_t cd;
-  EXPECT_EQ(ElemSed::decode(v, c, vd, cd), CheckOutcome::ok);
+TYPED_TEST(PerElementScheme, DoubleBitFlipsAcrossValueAndColumn) {
+  scheme_matrix::elem_double_flips<TypeParam>();
 }
 
 // ---------------------------------------------------------------------------
-// ElemSecded: SECDED(96,88) with redundancy in the column's top byte.
+// Row-granular CRC32C element scheme x both widths.
 // ---------------------------------------------------------------------------
 
-TEST(ElemSecded, RoundTrip) {
-  Xoshiro256 rng(4);
-  for (int rep = 0; rep < 200; ++rep) {
-    double v = rng.uniform(-1e6, 1e6);
-    std::uint32_t c = static_cast<std::uint32_t>(rng()) & ElemSecded::kColMask;
-    const double v0 = v;
-    const std::uint32_t c0 = c;
-    ElemSecded::encode(v, c);
-    double vd;
-    std::uint32_t cd;
-    EXPECT_EQ(ElemSecded::decode(v, c, vd, cd), CheckOutcome::ok);
-    EXPECT_EQ(vd, v0);
-    EXPECT_EQ(cd, c0);
-  }
+template <class ES>
+class RowGranularElementScheme : public ::testing::Test {};
+
+using RowGranularTypes =
+    ::testing::Types<schemes::ElemCrc32c<std::uint32_t>, schemes::ElemCrc32c<std::uint64_t>>;
+TYPED_TEST_SUITE(RowGranularElementScheme, RowGranularTypes);
+
+TYPED_TEST(RowGranularElementScheme, RoundTripVariousRowSizes) {
+  scheme_matrix::crc_row_round_trip<TypeParam>();
 }
 
-class ElemSecdedValueFlips : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(ElemSecdedValueFlips, CorrectsValueBitFlip) {
-  Xoshiro256 rng(5);
-  double v = rng.uniform(-10, 10);
-  std::uint32_t c = 4242;
-  const double v0 = v;
-  ElemSecded::encode(v, c);
-  const std::uint32_t enc_c = c;
-  v = bits_to_double(flip_bit(double_to_bits(v), GetParam()));
-  double vd;
-  std::uint32_t cd;
-  EXPECT_EQ(ElemSecded::decode(v, c, vd, cd), CheckOutcome::corrected);
-  EXPECT_EQ(vd, v0);
-  EXPECT_EQ(cd, 4242u);
-  EXPECT_EQ(v, v0) << "correction must write back";
-  EXPECT_EQ(c, enc_c);
+TYPED_TEST(RowGranularElementScheme, SingleFlipAnywhereInRowIsCorrected) {
+  scheme_matrix::crc_row_single_flips<TypeParam>();
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBits, ElemSecdedValueFlips, ::testing::Range(0u, 64u));
-
-class ElemSecdedColFlips : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(ElemSecdedColFlips, CorrectsColumnBitFlip) {
-  Xoshiro256 rng(6);
-  double v = rng.uniform(-10, 10);
-  std::uint32_t c = 0x00ABCDEFu;
-  const double v0 = v;
-  ElemSecded::encode(v, c);
-  c ^= (1u << GetParam());
-  double vd;
-  std::uint32_t cd;
-  EXPECT_EQ(ElemSecded::decode(v, c, vd, cd), CheckOutcome::corrected) << GetParam();
-  EXPECT_EQ(vd, v0);
-  EXPECT_EQ(cd, 0x00ABCDEFu);
-}
-
-INSTANTIATE_TEST_SUITE_P(AllBits, ElemSecdedColFlips, ::testing::Range(0u, 32u));
-
-TEST(ElemSecded, DetectsDoubleFlipAcrossValueAndColumn) {
-  Xoshiro256 rng(7);
-  for (unsigned i = 0; i < 64; i += 7) {
-    for (unsigned j = 0; j < 24; j += 5) {
-      double v = rng.uniform(-10, 10);
-      std::uint32_t c = 1000 + j;
-      ElemSecded::encode(v, c);
-      v = bits_to_double(flip_bit(double_to_bits(v), i));
-      c ^= (1u << j);
-      double vd;
-      std::uint32_t cd;
-      EXPECT_EQ(ElemSecded::decode(v, c, vd, cd), CheckOutcome::uncorrectable)
-          << i << "," << j;
-    }
-  }
+TYPED_TEST(RowGranularElementScheme, TripleFlipNeverReportsOk) {
+  scheme_matrix::crc_row_triple_flips_never_ok<TypeParam>();
 }
 
 // ---------------------------------------------------------------------------
-// ElemCrc32c: one checksum per row spread over the first 4 column top bytes.
+// Layout constants per width (paper Fig. 1 vs. §V-B spare-byte layouts).
 // ---------------------------------------------------------------------------
-
-struct Row {
-  std::vector<double> values;
-  std::vector<std::uint32_t> cols;
-};
-
-Row make_row(std::size_t nnz, Xoshiro256& rng) {
-  Row row;
-  for (std::size_t k = 0; k < nnz; ++k) {
-    row.values.push_back(rng.uniform(-100, 100));
-    row.cols.push_back(static_cast<std::uint32_t>(rng()) & ElemCrc32c::kColMask);
-  }
-  return row;
-}
-
-TEST(ElemCrc32c, RoundTripVariousRowSizes) {
-  Xoshiro256 rng(8);
-  for (std::size_t nnz : {4u, 5u, 8u, 13u, 64u}) {
-    Row row = make_row(nnz, rng);
-    const Row original = row;
-    ElemCrc32c::encode_row(row.values.data(), row.cols.data(), nnz);
-    EXPECT_EQ(ElemCrc32c::decode_row(row.values.data(), row.cols.data(), nnz),
-              CheckOutcome::ok);
-    for (std::size_t k = 0; k < nnz; ++k) {
-      EXPECT_EQ(row.values[k], original.values[k]);
-      EXPECT_EQ(row.cols[k] & ElemCrc32c::kColMask, original.cols[k]);
-    }
-  }
-}
-
-class ElemCrcRowFlips : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
-
-TEST_P(ElemCrcRowFlips, CorrectsSingleValueFlipInRow) {
-  const auto [k, bit] = GetParam();
-  Xoshiro256 rng(9);
-  Row row = make_row(5, rng);  // TeaLeaf's 5-point row width
-  ElemCrc32c::encode_row(row.values.data(), row.cols.data(), 5);
-  const Row clean = row;
-  row.values[static_cast<std::size_t>(k)] = bits_to_double(
-      flip_bit(double_to_bits(row.values[static_cast<std::size_t>(k)]), bit));
-  EXPECT_EQ(ElemCrc32c::decode_row(row.values.data(), row.cols.data(), 5),
-            CheckOutcome::corrected);
-  for (std::size_t e = 0; e < 5; ++e) {
-    EXPECT_EQ(double_to_bits(row.values[e]), double_to_bits(clean.values[e]));
-    EXPECT_EQ(row.cols[e], clean.cols[e]);
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Sampled, ElemCrcRowFlips,
-                         ::testing::Combine(::testing::Values(0, 2, 4),
-                                            ::testing::Values(0u, 11u, 33u, 52u, 63u)));
-
-TEST(ElemCrc32c, CorrectsColumnFlipInRow) {
-  Xoshiro256 rng(10);
-  Row row = make_row(6, rng);
-  ElemCrc32c::encode_row(row.values.data(), row.cols.data(), 6);
-  const Row clean = row;
-  row.cols[3] ^= (1u << 13);
-  EXPECT_EQ(ElemCrc32c::decode_row(row.values.data(), row.cols.data(), 6),
-            CheckOutcome::corrected);
-  for (std::size_t e = 0; e < 6; ++e) EXPECT_EQ(row.cols[e], clean.cols[e]);
-}
-
-TEST(ElemCrc32c, CorrectsChecksumStorageFlip) {
-  Xoshiro256 rng(11);
-  Row row = make_row(5, rng);
-  ElemCrc32c::encode_row(row.values.data(), row.cols.data(), 5);
-  const Row clean = row;
-  row.cols[1] ^= (1u << 29);  // top byte = checksum storage
-  EXPECT_EQ(ElemCrc32c::decode_row(row.values.data(), row.cols.data(), 5),
-            CheckOutcome::corrected);
-  for (std::size_t e = 0; e < 5; ++e) EXPECT_EQ(row.cols[e], clean.cols[e]);
-}
-
-TEST(ElemCrc32c, TripleFlipNeverReportsOk) {
-  Xoshiro256 rng(12);
-  for (int rep = 0; rep < 100; ++rep) {
-    Row row = make_row(5, rng);
-    ElemCrc32c::encode_row(row.values.data(), row.cols.data(), 5);
-    for (int f = 0; f < 3; ++f) {
-      const std::size_t k = rng.below(5);
-      row.values[k] =
-          bits_to_double(flip_bit(double_to_bits(row.values[k]), rng.below(64)));
-    }
-    EXPECT_NE(ElemCrc32c::decode_row(row.values.data(), row.cols.data(), 5),
-              CheckOutcome::ok)
-        << rep;
-  }
-}
 
 TEST(ElemSchemeLimits, ColumnMasksMatchPaperConstraints) {
-  // SED: <= 2^31-1 columns; SECDED/CRC32C: <= 2^24-1 columns (paper Fig. 1).
+  // 32-bit: SED <= 2^31-1 columns; SECDED/CRC32C <= 2^24-1 (paper Fig. 1).
   EXPECT_EQ(ElemSed::kColMask, 0x7FFFFFFFu);
   EXPECT_EQ(ElemSecded::kColMask, 0x00FFFFFFu);
   EXPECT_EQ(ElemCrc32c::kColMask, 0x00FFFFFFu);
-  // Per-row CRC needs >= 4 elements to hold its 32 checksum bits.
+  // 64-bit: SED <= 2^63-1; SECDED/CRC32C use the spare top byte (< 2^56).
+  EXPECT_EQ(schemes::ElemSed<std::uint64_t>::kColMask, ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(schemes::ElemSecded<std::uint64_t>::kColMask,
+            (std::uint64_t{1} << 56) - 1);
+  EXPECT_EQ(schemes::ElemCrc32c<std::uint64_t>::kColMask,
+            (std::uint64_t{1} << 56) - 1);
+  // Per-row CRC needs >= 4 elements to hold its 32 checksum bits, either width.
   EXPECT_EQ(ElemCrc32c::kMinRowNnz, 4u);
+  EXPECT_EQ(schemes::ElemCrc32c<std::uint64_t>::kMinRowNnz, 4u);
+}
+
+TEST(ElemSchemeLimits, SecdedCodewordsMatchPaperLayouts) {
+  // One shared SECDED core, two genuinely different codeword lengths:
+  // SECDED(96,88) at 32-bit width, SECDED(128,120) at 64-bit width.
+  EXPECT_EQ(schemes::ElemSecded<std::uint32_t>::Code::kDataBits, 88u);
+  EXPECT_EQ(schemes::ElemSecded<std::uint64_t>::Code::kDataBits, 120u);
+  EXPECT_EQ(schemes::ElemSecded<std::uint32_t>::Code::kRedundancyBits, 8u);
+  EXPECT_EQ(schemes::ElemSecded<std::uint64_t>::Code::kRedundancyBits, 8u);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ std::pair<SolveResult, double> run_pcg(unsigned interval = 1) {
   auto a = sparse::random_spd(200, 5, 31);
   aligned_vector<double> ones(a.nrows(), 1.0), rhs(a.nrows(), 0.0);
   sparse::spmv(a, ones.data(), rhs.data());
-  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   ProtectedVector<VS> b(a.nrows()), u(a.nrows());
   b.assign({rhs.data(), a.nrows()});
   SolveOptions opts;
@@ -64,7 +64,7 @@ TEST(PcgJacobi, BeatsPlainCgOnIllConditionedDiagonal) {
   auto a = coo.to_csr();
   aligned_vector<double> ones(300, 1.0), rhs(300, 0.0);
   sparse::spmv(a, ones.data(), rhs.data());
-  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a);
   ProtectedVector<VecNone> b(300), u1(300), u2(300);
   b.assign({rhs.data(), 300});
   SolveOptions opts;

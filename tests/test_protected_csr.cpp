@@ -45,7 +45,7 @@ TYPED_TEST(ProtectedCsrTest, RoundTripPreservesMatrix) {
   using ES = typename TypeParam::ES;
   using RS = typename TypeParam::RS;
   const auto a = test_matrix<ES>();
-  auto p = ProtectedCsr<ES, RS>::from_csr(a);
+  auto p = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   const auto back = p.to_csr();
   ASSERT_EQ(back.nrows(), a.nrows());
   ASSERT_EQ(back.ncols(), a.ncols());
@@ -63,7 +63,7 @@ TYPED_TEST(ProtectedCsrTest, VerifyAllOnCleanMatrixIsQuiet) {
   using ES = typename TypeParam::ES;
   using RS = typename TypeParam::RS;
   FaultLog log;
-  auto p = ProtectedCsr<ES, RS>::from_csr(test_matrix<ES>(), &log);
+  auto p = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(test_matrix<ES>(), &log);
   EXPECT_EQ(p.verify_all(), 0u);
   EXPECT_EQ(log.corrected(), 0u);
   EXPECT_EQ(log.uncorrectable(), 0u);
@@ -74,7 +74,7 @@ TYPED_TEST(ProtectedCsrTest, RowPtrAccessMatchesOriginal) {
   using ES = typename TypeParam::ES;
   using RS = typename TypeParam::RS;
   const auto a = test_matrix<ES>();
-  auto p = ProtectedCsr<ES, RS>::from_csr(a);
+  auto p = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   for (std::size_t i = 0; i <= a.nrows(); ++i) {
     EXPECT_EQ(p.row_ptr_at(i), a.row_ptr()[i]) << i;
     EXPECT_EQ(p.row_ptr_bounds_only(i), a.row_ptr()[i]) << i;
@@ -85,7 +85,7 @@ TYPED_TEST(ProtectedCsrTest, ElementAccessMatchesOriginal) {
   using ES = typename TypeParam::ES;
   using RS = typename TypeParam::RS;
   const auto a = test_matrix<ES>();
-  auto p = ProtectedCsr<ES, RS>::from_csr(a);
+  auto p = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   for (std::size_t r = 0; r < a.nrows(); r += 7) {
     for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
       const auto el = p.element_at(r, k);
@@ -105,16 +105,16 @@ TEST(ProtectedCsrLimits, SecdedRejectsWideMatrices) {
   wide.row_ptr() = {0, 1};
   wide.cols() = {(1u << 25) - 1};
   wide.values() = {1.0};
-  EXPECT_THROW((ProtectedCsr<ElemSecded, RowNone>::from_csr(wide)), std::invalid_argument);
+  EXPECT_THROW((ProtectedCsr<std::uint32_t, ElemSecded, RowNone>::from_csr(wide)), std::invalid_argument);
   // SED allows up to 2^31-1 columns, so the same matrix is fine there.
-  EXPECT_NO_THROW((ProtectedCsr<ElemSed, RowNone>::from_csr(wide)));
+  EXPECT_NO_THROW((ProtectedCsr<std::uint32_t, ElemSed, RowNone>::from_csr(wide)));
 }
 
 TEST(ProtectedCsrLimits, CrcRejectsShortRows) {
   const auto a = sparse::laplacian_2d(8, 8);  // corner rows have 3 nnz
-  EXPECT_THROW((ProtectedCsr<ElemCrc32c, RowNone>::from_csr(a)), std::invalid_argument);
+  EXPECT_THROW((ProtectedCsr<std::uint32_t, ElemCrc32c, RowNone>::from_csr(a)), std::invalid_argument);
   const auto padded = sparse::pad_rows_to_min_nnz(a, 4);
-  EXPECT_NO_THROW((ProtectedCsr<ElemCrc32c, RowNone>::from_csr(padded)));
+  EXPECT_NO_THROW((ProtectedCsr<std::uint32_t, ElemCrc32c, RowNone>::from_csr(padded)));
 }
 
 TEST(ProtectedCsrLimits, MalformedMatrixIsRejected) {
@@ -122,7 +122,7 @@ TEST(ProtectedCsrLimits, MalformedMatrixIsRejected) {
   bad.row_ptr() = {0, 1, 3};  // row_ptr.back() != nnz
   bad.cols() = {0, 1};
   bad.values() = {1.0, 2.0};
-  EXPECT_THROW((ProtectedCsr<ElemSed, RowSed>::from_csr(bad)), std::invalid_argument);
+  EXPECT_THROW((ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(bad)), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
@@ -133,7 +133,7 @@ TEST(ProtectedCsrFaults, SecdedCorrectsValueFlipDuringVerify) {
   Xoshiro256 rng(1);
   const auto a = sparse::laplacian_2d(16, 16);
   FaultLog log;
-  auto p = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
+  auto p = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
   auto values = p.raw_values();
   const std::size_t bit = rng.below(values.size_bytes() * 8);
   faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
@@ -148,7 +148,7 @@ TEST(ProtectedCsrFaults, SecdedCorrectsValueFlipDuringVerify) {
 TEST(ProtectedCsrFaults, SecdedCorrectsRowPtrFlip) {
   const auto a = sparse::laplacian_2d(16, 16);
   FaultLog log;
-  auto p = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
+  auto p = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
   auto row_ptr = p.raw_row_ptr();
   faults::flip_bit(
       {reinterpret_cast<std::uint8_t*>(row_ptr.data()), row_ptr.size_bytes()}, 37 * 32 + 9);
@@ -160,7 +160,7 @@ TEST(ProtectedCsrFaults, SecdedCorrectsRowPtrFlip) {
 TEST(ProtectedCsrFaults, SedDetectsButCannotCorrect) {
   const auto a = sparse::laplacian_2d(10, 10);
   FaultLog log;
-  auto p = ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
+  auto p = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
   auto values = p.raw_values();
   faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
                    123);
@@ -171,7 +171,7 @@ TEST(ProtectedCsrFaults, SedDetectsButCannotCorrect) {
 
 TEST(ProtectedCsrFaults, ThrowPolicyRaisesOnVerify) {
   const auto a = sparse::laplacian_2d(10, 10);
-  auto p = ProtectedCsr<ElemSed, RowSed>::from_csr(a);
+  auto p = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a);
   auto values = p.raw_values();
   faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
                    200);
@@ -181,7 +181,7 @@ TEST(ProtectedCsrFaults, ThrowPolicyRaisesOnVerify) {
 TEST(ProtectedCsrFaults, DoubleFlipInOneElementIsDue) {
   const auto a = sparse::laplacian_2d(10, 10);
   FaultLog log;
-  auto p = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
+  auto p = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(a, &log, DuePolicy::record_only);
   auto values = p.raw_values();
   auto bytes = std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(values.data()),
                                        values.size_bytes());
@@ -196,7 +196,7 @@ TEST(ProtectedCsrFaults, CorruptRowPtrIsBoundsGuardedInVerify) {
   // be caught by the range guard rather than fault the sweep.
   const auto a = sparse::laplacian_2d(10, 10);
   FaultLog log;
-  auto p = ProtectedCsr<ElemNone, RowNone>::from_csr(a, &log, DuePolicy::record_only);
+  auto p = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a, &log, DuePolicy::record_only);
   p.raw_row_ptr()[5] = 0x7F000000u;  // way past nnz
   (void)p.verify_all();
   EXPECT_GE(log.bounds_violations(), 1u);

@@ -62,7 +62,7 @@ TYPED_TEST(SpmvTest, MatchesRawSpmvOnLaplacian) {
   std::vector<double> yref(n, 0.0);
   sparse::spmv(a, xraw.data(), yref.data());
 
-  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   ProtectedVector<VS> x(n), y(n);
   x.assign({xraw.data(), n});
 
@@ -91,7 +91,7 @@ TYPED_TEST(SpmvTest, MatchesRawSpmvOnRandomSpd) {
   std::vector<double> yref(n, 0.0);
   sparse::spmv(a, xraw.data(), yref.data());
 
-  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   ProtectedVector<VS> x(n), y(n);
   x.assign({xraw.data(), n});
   spmv(pa, x, y);
@@ -225,7 +225,7 @@ TYPED_TEST(Blas1Test, NormMatchesReference) {
 
 TEST(KernelFaults, SpmvThrowsOnSedDetection) {
   auto a = sparse::laplacian_2d(20, 20);
-  auto pa = ProtectedCsr<ElemSed, RowSed>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a);
   ProtectedVector<VecSed> x(a.ncols()), y(a.nrows());
   fill(x, 1.0);
   auto values = pa.raw_values();
@@ -237,7 +237,7 @@ TEST(KernelFaults, SpmvThrowsOnSedDetection) {
 TEST(KernelFaults, SpmvCorrectsSecdedFlipAndContinues) {
   auto a = sparse::laplacian_2d(20, 20);
   FaultLog log;
-  auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a, &log);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(a, &log);
   ProtectedVector<VecSecded64> x(a.ncols(), &log), y(a.nrows(), &log);
   fill(x, 1.0);
   auto values = pa.raw_values();
@@ -259,7 +259,7 @@ TEST(KernelFaults, BoundsOnlyModeSkipsMatrixChecksButGuardsIndices) {
   auto a = sparse::laplacian_2d(16, 16);
   FaultLog log;
   auto pa =
-      ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
+      ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
   ProtectedVector<VecNone> x(a.ncols(), &log, DuePolicy::record_only);
   ProtectedVector<VecNone> y(a.nrows(), &log, DuePolicy::record_only);
   fill(x, 1.0);
@@ -273,7 +273,7 @@ TEST(KernelFaults, BoundsOnlyModeSkipsMatrixChecksButGuardsIndices) {
 
 TEST(KernelFaults, BoundsOnlyThrowsBoundsViolationUnderThrowPolicy) {
   auto a = sparse::laplacian_2d(16, 16);
-  auto pa = ProtectedCsr<ElemSed, RowSed>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a);
   ProtectedVector<VecNone> x(a.ncols()), y(a.nrows());
   fill(x, 1.0);
   pa.raw_cols()[3] = 0x7FFFFFFFu;
@@ -284,7 +284,7 @@ TEST(KernelFaults, CorruptRowPtrInBoundsOnlyModeIsCaught) {
   auto a = sparse::laplacian_2d(16, 16);
   FaultLog log;
   auto pa =
-      ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
+      ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a, &log, DuePolicy::record_only);
   ProtectedVector<VecNone> x(a.ncols(), &log, DuePolicy::record_only);
   ProtectedVector<VecNone> y(a.nrows(), &log, DuePolicy::record_only);
   fill(x, 1.0);
@@ -295,7 +295,7 @@ TEST(KernelFaults, CorruptRowPtrInBoundsOnlyModeIsCaught) {
 
 TEST(KernelShapes, DimensionMismatchesThrow) {
   auto a = sparse::laplacian_2d(4, 4);
-  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a);
   ProtectedVector<VecNone> x(15), y(16), z(16);
   EXPECT_THROW(spmv(pa, x, y), std::invalid_argument);
   EXPECT_THROW((void)dot(x, y), std::invalid_argument);

@@ -1,215 +1,95 @@
-// Row-pointer protection schemes (paper §VI-A1, Fig. 2): round-trip,
-// masking, and flip detection/correction, parameterized across bit positions.
+// Row-pointer protection schemes (paper §VI-A1 Fig. 2 at 32-bit width, §V-B
+// at 64-bit width), exercised through the shared scheme-matrix harness: the
+// same round-trip/single-flip/double-flip contract runs over every scheme at
+// both index widths.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 
-#include "abft/row_schemes.hpp"
-#include "common/rng.hpp"
+#include "scheme_matrix.hpp"
 
 namespace {
 
 using namespace abft;
 
 template <class S>
-class RowSchemeTest : public ::testing::Test {};
+class RowSchemeMatrix : public ::testing::Test {};
 
-using AllRowSchemes =
-    ::testing::Types<RowNone, RowSed, RowSecded64, RowSecded128, RowCrc32c>;
-TYPED_TEST_SUITE(RowSchemeTest, AllRowSchemes);
+using AllRowSchemes = ::testing::Types<
+    schemes::RowNone<std::uint32_t>, schemes::RowNone<std::uint64_t>,
+    schemes::RowSed<std::uint32_t>, schemes::RowSed<std::uint64_t>,
+    schemes::RowSecded<std::uint32_t>, schemes::RowSecded<std::uint64_t>,
+    schemes::RowSecded128<std::uint32_t>, schemes::RowSecded128<std::uint64_t>,
+    schemes::RowCrc32c<std::uint32_t>, schemes::RowCrc32c<std::uint64_t>>;
+TYPED_TEST_SUITE(RowSchemeMatrix, AllRowSchemes);
 
-template <class S>
-void random_values(std::uint32_t (&vals)[S::kGroup], Xoshiro256& rng) {
-  for (auto& v : vals) v = static_cast<std::uint32_t>(rng()) & S::kValueMask;
+TYPED_TEST(RowSchemeMatrix, RoundTripPreservesValues) {
+  scheme_matrix::row_round_trip<TypeParam>();
 }
 
-TYPED_TEST(RowSchemeTest, RoundTripPreservesValues) {
+TYPED_TEST(RowSchemeMatrix, BoundaryValuesRoundTrip) {
   using S = TypeParam;
-  Xoshiro256 rng(1);
-  for (int rep = 0; rep < 200; ++rep) {
-    std::uint32_t vals[S::kGroup];
-    random_values<S>(vals, rng);
-    std::uint32_t storage[S::kGroup];
-    S::encode_group(vals, storage);
-    std::uint32_t decoded[S::kGroup];
-    EXPECT_EQ(S::decode_group(storage, decoded), CheckOutcome::ok);
-    for (std::size_t e = 0; e < S::kGroup; ++e) EXPECT_EQ(decoded[e], vals[e]);
-  }
-}
-
-TYPED_TEST(RowSchemeTest, BoundaryValuesRoundTrip) {
-  using S = TypeParam;
-  std::uint32_t vals[S::kGroup];
-  for (auto v : {std::uint32_t{0}, S::kValueMask, S::kValueMask - 1, std::uint32_t{1}}) {
+  using Index = typename S::index_type;
+  Index vals[S::kGroup], storage[S::kGroup], decoded[S::kGroup];
+  for (Index v : {Index{0}, S::kValueMask, static_cast<Index>(S::kValueMask - 1), Index{1}}) {
     for (auto& x : vals) x = v;
-    std::uint32_t storage[S::kGroup];
     S::encode_group(vals, storage);
-    std::uint32_t decoded[S::kGroup];
     EXPECT_EQ(S::decode_group(storage, decoded), CheckOutcome::ok);
     for (std::size_t e = 0; e < S::kGroup; ++e) EXPECT_EQ(decoded[e], v);
   }
 }
 
-TYPED_TEST(RowSchemeTest, EncodeIsDeterministic) {
+TYPED_TEST(RowSchemeMatrix, EncodeIsDeterministic) {
   using S = TypeParam;
+  using Index = typename S::index_type;
   Xoshiro256 rng(2);
-  std::uint32_t vals[S::kGroup];
-  random_values<S>(vals, rng);
-  std::uint32_t s1[S::kGroup], s2[S::kGroup];
+  Index vals[S::kGroup], s1[S::kGroup], s2[S::kGroup];
+  for (auto& v : vals) v = static_cast<Index>(rng()) & S::kValueMask;
   S::encode_group(vals, s1);
   S::encode_group(vals, s2);
   for (std::size_t e = 0; e < S::kGroup; ++e) EXPECT_EQ(s1[e], s2[e]);
 }
 
-// ---------------------------------------------------------------------------
-// Flip sweeps.
-// ---------------------------------------------------------------------------
-
-class RowSedFlips : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(RowSedFlips, SingleFlipDetected) {
-  Xoshiro256 rng(3);
-  const unsigned bit = GetParam();
-  std::uint32_t vals[1] = {static_cast<std::uint32_t>(rng()) & RowSed::kValueMask};
-  std::uint32_t storage[1];
-  RowSed::encode_group(vals, storage);
-  storage[0] ^= (1u << bit);
-  std::uint32_t decoded[1];
-  EXPECT_EQ(RowSed::decode_group(storage, decoded), CheckOutcome::uncorrectable);
+TYPED_TEST(RowSchemeMatrix, SingleFlipEveryStorageBit) {
+  scheme_matrix::row_single_flips<TypeParam>();
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBits, RowSedFlips, ::testing::Range(0u, 32u));
-
-class RowSecded64Flips : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
-
-TEST_P(RowSecded64Flips, SingleFlipCorrectedOrDeadBit) {
-  const auto [elem, bit] = GetParam();
-  Xoshiro256 rng(4);
-  std::uint32_t vals[2];
-  random_values<RowSecded64>(vals, rng);
-  std::uint32_t storage[2];
-  RowSecded64::encode_group(vals, storage);
-  const std::uint32_t clean0 = storage[0], clean1 = storage[1];
-  storage[elem] ^= (1u << bit);
-  std::uint32_t decoded[2];
-  const auto outcome = RowSecded64::decode_group(storage, decoded);
-  // Redundancy: nibble of elem0 = red bits 0..3, nibble of elem1 = bits 4..6,
-  // elem1 bit 31 (nibble bit 3) unused.
-  const bool dead = elem == 1 && bit == 31;
-  if (dead) {
-    EXPECT_EQ(outcome, CheckOutcome::ok);
-  } else {
-    EXPECT_EQ(outcome, CheckOutcome::corrected) << elem << ":" << bit;
-    EXPECT_EQ(storage[0], clean0);
-    EXPECT_EQ(storage[1], clean1);
-  }
-  EXPECT_EQ(decoded[0], vals[0]);
-  EXPECT_EQ(decoded[1], vals[1]);
+TYPED_TEST(RowSchemeMatrix, DoubleFlipsInDataBits) {
+  scheme_matrix::row_double_flips<TypeParam>();
 }
-
-INSTANTIATE_TEST_SUITE_P(AllBits, RowSecded64Flips,
-                         ::testing::Combine(::testing::Values(0, 1),
-                                            ::testing::Range(0u, 32u)));
-
-TEST(RowSecded64Properties, DoubleFlipsDetected) {
-  Xoshiro256 rng(5);
-  for (unsigned i = 0; i < 28; i += 3) {
-    for (unsigned j = 0; j < 28; j += 5) {
-      std::uint32_t vals[2];
-      random_values<RowSecded64>(vals, rng);
-      std::uint32_t storage[2];
-      RowSecded64::encode_group(vals, storage);
-      storage[0] ^= (1u << i);
-      storage[1] ^= (1u << j);
-      std::uint32_t decoded[2];
-      EXPECT_EQ(RowSecded64::decode_group(storage, decoded), CheckOutcome::uncorrectable)
-          << i << "," << j;
-    }
-  }
-}
-
-class RowSecded128Flips : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
-
-TEST_P(RowSecded128Flips, SingleFlipCorrectedOrDeadBit) {
-  const auto [elem, bit] = GetParam();
-  Xoshiro256 rng(6);
-  std::uint32_t vals[4];
-  random_values<RowSecded128>(vals, rng);
-  std::uint32_t storage[4];
-  RowSecded128::encode_group(vals, storage);
-  std::uint32_t clean[4];
-  for (int e = 0; e < 4; ++e) clean[e] = storage[e];
-  storage[elem] ^= (1u << bit);
-  std::uint32_t decoded[4];
-  const auto outcome = RowSecded128::decode_group(storage, decoded);
-  // 8 redundancy bits live in the nibbles of elems 0 and 1; the nibbles of
-  // elems 2 and 3 are unused (dead) storage.
-  const bool dead = (elem == 2 || elem == 3) && bit >= 28;
-  if (dead) {
-    EXPECT_EQ(outcome, CheckOutcome::ok);
-  } else {
-    EXPECT_EQ(outcome, CheckOutcome::corrected) << elem << ":" << bit;
-    for (int e = 0; e < 4; ++e) EXPECT_EQ(storage[e], clean[e]);
-  }
-  for (int e = 0; e < 4; ++e) EXPECT_EQ(decoded[e], vals[e]);
-}
-
-INSTANTIATE_TEST_SUITE_P(AllBits, RowSecded128Flips,
-                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
-                                            ::testing::Range(0u, 32u)));
-
-class RowCrcFlips : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
-
-TEST_P(RowCrcFlips, SingleFlipCorrected) {
-  const auto [elem, bit] = GetParam();
-  Xoshiro256 rng(7);
-  std::uint32_t vals[8];
-  random_values<RowCrc32c>(vals, rng);
-  std::uint32_t storage[8];
-  RowCrc32c::encode_group(vals, storage);
-  std::uint32_t clean[8];
-  for (int e = 0; e < 8; ++e) clean[e] = storage[e];
-  storage[elem] ^= (1u << bit);
-  std::uint32_t decoded[8];
-  const auto outcome = RowCrc32c::decode_group(storage, decoded);
-  EXPECT_EQ(outcome, CheckOutcome::corrected) << elem << ":" << bit;
-  for (int e = 0; e < 8; ++e) {
-    EXPECT_EQ(storage[e], clean[e]) << "write-back elem " << e;
-    EXPECT_EQ(decoded[e], vals[e]);
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(SampledBits, RowCrcFlips,
-                         ::testing::Combine(::testing::Values(0, 3, 7),
-                                            ::testing::Values(0u, 5u, 13u, 27u, 28u,
-                                                              31u)));
 
 TEST(RowCrcProperties, TripleFlipsNeverReportOk) {
+  using S = RowCrc32c;
   Xoshiro256 rng(8);
   for (int rep = 0; rep < 200; ++rep) {
-    std::uint32_t vals[8];
-    random_values<RowCrc32c>(vals, rng);
-    std::uint32_t storage[8];
-    RowCrc32c::encode_group(vals, storage);
+    std::uint32_t vals[S::kGroup], storage[S::kGroup], decoded[S::kGroup];
+    for (auto& v : vals) v = static_cast<std::uint32_t>(rng()) & S::kValueMask;
+    S::encode_group(vals, storage);
     for (int f = 0; f < 3; ++f) {
-      storage[rng.below(8)] ^= (1u << rng.below(28));
+      storage[rng.below(S::kGroup)] ^= (1u << rng.below(S::kValueBits));
     }
-    std::uint32_t decoded[8];
-    EXPECT_NE(RowCrc32c::decode_group(storage, decoded), CheckOutcome::ok) << rep;
+    EXPECT_NE(S::decode_group(storage, decoded), CheckOutcome::ok) << rep;
   }
 }
 
 TEST(RowSchemeLimits, ValueMasksMatchPaperConstraints) {
-  // SED: NNZ < 2^31 (Fig. 2a); grouped schemes: NNZ < 2^28 (§VI-A1: "by
-  // using the top 4 bits we can still have 2^28-1 elements").
+  // 32-bit — SED: NNZ < 2^31 (Fig. 2a); grouped schemes: NNZ < 2^28
+  // (§VI-A1: "by using the top 4 bits we can still have 2^28-1 elements").
   EXPECT_EQ(RowSed::kValueMask, 0x7FFFFFFFu);
   EXPECT_EQ(RowSecded64::kValueMask, 0x0FFFFFFFu);
   EXPECT_EQ(RowSecded128::kValueMask, 0x0FFFFFFFu);
   EXPECT_EQ(RowCrc32c::kValueMask, 0x0FFFFFFFu);
-  // Group sizes 2/4/8 for SECDED64/SECDED128/CRC32C (§VI-A1).
+  // 32-bit group sizes 2/4/8 for SECDED64/SECDED128/CRC32C (§VI-A1).
   EXPECT_EQ(RowSecded64::kGroup, 2u);
   EXPECT_EQ(RowSecded128::kGroup, 4u);
   EXPECT_EQ(RowCrc32c::kGroup, 8u);
+  // 64-bit — a whole spare byte per entry (§V-B): NNZ < 2^63 (SED) / 2^56
+  // (grouped), and codewords need half/quarter the entries.
+  EXPECT_EQ(schemes::RowSed<std::uint64_t>::kValueMask, ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(schemes::RowSecded<std::uint64_t>::kValueMask, (std::uint64_t{1} << 56) - 1);
+  EXPECT_EQ(schemes::RowSecded<std::uint64_t>::kGroup, 1u);
+  EXPECT_EQ(schemes::RowSecded128<std::uint64_t>::kGroup, 2u);
+  EXPECT_EQ(schemes::RowCrc32c<std::uint64_t>::kGroup, 4u);
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ template <class ES, class RS, class VS>
 double solve_and_max_error(unsigned check_interval = 1) {
   auto [a, rhs] = ones_problem<ES>(24, 24);
   const std::size_t n = a.nrows();
-  auto pa = ProtectedCsr<ES, RS>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a);
   ProtectedVector<VS> b(n), u(n);
   b.assign({rhs.data(), n});
   SolveOptions opts;
@@ -97,7 +97,7 @@ TEST(ConvergenceImpact, IterationCountIncreaseIsSmall) {
   opts.tolerance = 1e-10;
 
   auto run = [&]<class VS>() {
-    auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+    auto pa = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a);
     ProtectedVector<VS> b(n), u(n);
     b.assign({rhs.data(), n});
     return cg_solve(pa, b, u, opts).iterations;
@@ -113,7 +113,7 @@ TEST(Jacobi, ConvergesOnDiagonallyDominantSystem) {
   auto a = sparse::random_spd(120, 4, 3);
   aligned_vector<double> ones(a.nrows(), 1.0), rhs(a.nrows(), 0.0);
   sparse::spmv(a, ones.data(), rhs.data());
-  auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(a);
   ProtectedVector<VecSecded64> b(a.nrows()), u(a.nrows());
   b.assign({rhs.data(), a.nrows()});
   SolveOptions opts;
@@ -128,7 +128,7 @@ TEST(Jacobi, ConvergesOnDiagonallyDominantSystem) {
 
 TEST(Chebyshev, ConvergesWithEstimatedBounds) {
   auto [a, rhs] = ones_problem<ElemNone>(16, 16);
-  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a);
   ProtectedVector<VecNone> b(a.nrows()), u(a.nrows());
   b.assign({rhs.data(), a.nrows()});
   SolveOptions opts;
@@ -147,7 +147,7 @@ TEST(Chebyshev, ProtectedSchemesMatchUnprotected) {
   opts.tolerance = 1e-9;
   opts.max_iterations = 5000;
 
-  auto pa = ProtectedCsr<ElemSecded, RowSecded64>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(a);
   ProtectedVector<VecSecded64> b(a.nrows()), u(a.nrows());
   b.assign({rhs.data(), a.nrows()});
   const auto res = chebyshev_solve(pa, b, u, opts);
@@ -163,7 +163,7 @@ TEST(Ppcg, ConvergesFasterThanCgInIterations) {
   SolveOptions opts;
   opts.tolerance = 1e-10;
 
-  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
+  auto pa = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a);
   ProtectedVector<VecNone> b(n), u(n);
   b.assign({rhs.data(), n});
   const auto cg_res = cg_solve(pa, b, u, opts);
@@ -186,8 +186,8 @@ TEST(EigenEstimate, BracketsLaplacianSpectrum) {
   // 2-D Laplacian eigenvalues lie in (0, 8); on a 16x16 grid
   // lambda_max ~ 7.93, lambda_min ~ 0.068.
   auto a = sparse::laplacian_2d(16, 16);
-  auto pa = ProtectedCsr<ElemNone, RowNone>::from_csr(a);
-  const auto bounds = estimate_spectral_bounds<ElemNone, RowNone, VecNone>(pa, 100);
+  auto pa = ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a);
+  const auto bounds = estimate_spectral_bounds<VecNone>(pa, 100);
   EXPECT_GT(bounds.lambda_max, 7.0);
   EXPECT_LT(bounds.lambda_max, 8.1);
   EXPECT_GT(bounds.lambda_min, 0.0);
@@ -198,7 +198,7 @@ TEST(Recovery, RestartsAfterDueAndSolves) {
   auto [a, rhs] = ones_problem<ElemSed>(16, 16);
   const std::size_t n = a.nrows();
   FaultLog log;
-  auto pa = ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a, &log);
   ProtectedVector<VecSed> b(n, &log), u(n, &log);
   b.assign({rhs.data(), n});
 
@@ -224,10 +224,10 @@ TEST(Recovery, GivesUpAfterMaxRestartsOnPersistentFault) {
   // fault that re-encoding cannot fix.
   auto a = sparse::laplacian_2d(8, 8);
   FaultLog log;
-  auto pa = ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log);
+  auto pa = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a, &log);
   // Corrupt the pristine copy's column index beyond repair, then rebuild.
   sparse::CsrMatrix broken = a;
-  auto pb = ProtectedCsr<ElemSed, RowSed>::from_csr(broken, &log);
+  auto pb = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(broken, &log);
   pb.raw_cols()[2] = 0x7FFFFFFFu;
 
   ProtectedVector<VecSed> b(a.nrows(), &log), u(a.nrows(), &log);
@@ -256,7 +256,7 @@ TEST(Recovery, GivesUpAfterMaxRestartsOnPersistentFault) {
       break;
     }
     ++res.restarts;
-    pb = ProtectedCsr<ElemSed, RowSed>::from_csr(a, &log);
+    pb = ProtectedCsr<std::uint32_t, ElemSed, RowSed>::from_csr(a, &log);
   }
   EXPECT_TRUE(res.gave_up);
   EXPECT_EQ(res.restarts, max_restarts);
