@@ -36,6 +36,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("\n## single bit flips, ELL format, any structure (32- and 64-bit stacks)\n");
+  for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
+    for (auto scheme : ecc::kAllSchemes) {
+      auto cfg = base;
+      cfg.format = MatrixFormat::ell;
+      cfg.width = width;
+      cfg.scheme = scheme;
+      cfg.target = Target::any;
+      cfg.model = FaultModel::single_flip;
+      print_summary(std::cout, cfg, run_injection_campaign(cfg));
+    }
+  }
+
+  std::printf("\n## single bit flips per ELL region (secded64; row-width array is the\n"
+              "## format's tiny structural region, replacing CSR's row pointers)\n");
+  for (auto target : {Target::ell_values, Target::ell_cols, Target::ell_row_width,
+                      Target::rhs_vector}) {
+    auto cfg = base;
+    cfg.format = MatrixFormat::ell;
+    cfg.scheme = ecc::Scheme::secded64;
+    cfg.target = target;
+    print_summary(std::cout, cfg, run_injection_campaign(cfg));
+  }
+
   // Like the 32-bit double-flip section below, the two flips are independent
   // draws over the whole value array, so they almost always land in distinct
   // codewords (each corrected); same-codeword double-flip detection is

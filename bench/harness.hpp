@@ -96,22 +96,23 @@ inline tealeaf::Config make_config(const BenchOptions& o) {
   return cfg;
 }
 
-/// Mean solver seconds over reps for one scheme combination. One untimed
-/// warm-up run (single timestep) precedes the measurements so the first
-/// configuration in a binary does not absorb page-fault / OpenMP thread
-/// spin-up costs.
-template <class ES, class RS, class VS>
+/// Mean solver seconds over reps for one scheme combination, optionally in a
+/// non-default storage format (the Fmt tag from format_traits.hpp). One
+/// untimed warm-up run (single timestep) precedes the measurements so the
+/// first configuration in a binary does not absorb page-fault / OpenMP
+/// thread spin-up costs.
+template <class ES, class RS, class VS, class Fmt = abft::CsrFormat>
 double time_solve(const tealeaf::Config& cfg, unsigned check_interval, unsigned reps) {
   {
     tealeaf::Config warm = cfg;
     warm.end_step = 1;
-    tealeaf::Simulation<ES, RS, VS> sim(warm);
+    tealeaf::Simulation<ES, RS, VS, Fmt> sim(warm);
     sim.set_check_interval(check_interval);
     (void)sim.run();
   }
   TimingStats stats;
   for (unsigned r = 0; r < reps; ++r) {
-    tealeaf::Simulation<ES, RS, VS> sim(cfg);
+    tealeaf::Simulation<ES, RS, VS, Fmt> sim(cfg);
     sim.set_check_interval(check_interval);
     const auto result = sim.run();
     stats.add(result.solve_seconds);

@@ -1,13 +1,15 @@
 /// \file matrix_doctor.cpp
-/// \brief CLI utility: protect a MatrixMarket file in memory, bombard it
-/// with bit flips, and report what the chosen scheme catches.
+/// \brief CLI utility: protect a MatrixMarket file in memory — in either
+/// storage format — bombard it with bit flips, and report what the chosen
+/// scheme catches.
 ///
-/// Usage: matrix_doctor <file.mtx|builtin> [scheme] [flips] [seed]
+/// Usage: matrix_doctor <file.mtx|builtin> [scheme] [flips] [seed] [--format csr|ell]
 ///   file.mtx  MatrixMarket coordinate file, or "builtin" for a 64x64
 ///             Laplacian test matrix
 ///   scheme    none|sed|secded64|secded128|crc32c   (default secded64)
 ///   flips     number of random single-bit flips    (default 50)
 ///   seed      RNG seed                             (default 1)
+///   format    storage format under test            (default csr)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,16 +25,29 @@ namespace {
 
 using namespace abft;
 
-template <class ES, class RS>
-void doctor(const sparse::CsrMatrix& a, unsigned flips, std::uint64_t seed) {
+[[nodiscard]] bool matrices_identical(const sparse::CsrMatrix& a,
+                                      const sparse::CsrMatrix& b) {
+  return a.values() == b.values() && a.cols() == b.cols() && a.row_ptr() == b.row_ptr();
+}
+
+[[nodiscard]] bool matrices_identical(const sparse::EllMatrix& a,
+                                      const sparse::EllMatrix& b) {
+  return a.values() == b.values() && a.cols() == b.cols() && a.row_nnz() == b.row_nnz();
+}
+
+template <class Fmt, class ES, class SS>
+void doctor(const sparse::CsrMatrix& a32, unsigned flips, std::uint64_t seed) {
+  using PM = typename Fmt::template protected_matrix<std::uint32_t, ES, SS>;
+  const auto a = Fmt::template make_plain<std::uint32_t, ES>(a32);
   FaultLog log;
-  auto p = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a, &log, DuePolicy::record_only);
-  std::printf("encoded: %zu values, %zu column indices, %zu row pointers\n",
-              p.raw_values().size(), p.raw_cols().size(), p.raw_row_ptr().size());
+  auto p = PM::from_plain(a, &log, DuePolicy::record_only);
+  std::printf("encoded (%s): %zu values, %zu column indices, %zu structure entries\n",
+              to_string(Fmt::kFormat).data(), p.raw_values().size(), p.raw_cols().size(),
+              p.raw_structure().size());
   std::printf("storage overhead: 0 bytes (redundancy lives in spare index bits)\n\n");
 
   faults::Injector injector(seed);
-  unsigned in_values = 0, in_cols = 0, in_rows = 0;
+  unsigned in_values = 0, in_cols = 0, in_struct = 0;
   for (unsigned f = 0; f < flips; ++f) {
     const auto which = injector.rng().below(3);
     if (which == 0) {
@@ -44,13 +59,13 @@ void doctor(const sparse::CsrMatrix& a, unsigned flips, std::uint64_t seed) {
       injector.inject_single({reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()});
       ++in_cols;
     } else {
-      auto s = p.raw_row_ptr();
+      auto s = p.raw_structure();
       injector.inject_single({reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()});
-      ++in_rows;
+      ++in_struct;
     }
   }
-  std::printf("injected %u flips (%u values, %u cols, %u row ptrs)\n", flips, in_values,
-              in_cols, in_rows);
+  std::printf("injected %u flips (%u values, %u cols, %u structure)\n", flips, in_values,
+              in_cols, in_struct);
 
   const std::size_t failures = p.verify_all();
   std::printf("verification sweep: %llu checks, %llu corrected, %llu uncorrectable, "
@@ -62,11 +77,9 @@ void doctor(const sparse::CsrMatrix& a, unsigned flips, std::uint64_t seed) {
 
   if (failures == 0 && log.corrected() > 0) {
     // Confirm the repairs by decoding and comparing against the original.
-    const auto back = p.to_csr();
-    bool identical = back.values() == a.values() && back.cols() == a.cols() &&
-                     back.row_ptr() == a.row_ptr();
+    const auto back = p.to_plain();
     std::printf("matrix after repair %s the original\n",
-                identical ? "IDENTICAL to" : "DIFFERS from");
+                matrices_identical(back, a) ? "IDENTICAL to" : "DIFFERS from");
   } else if (failures > 0) {
     std::printf("=> %zu codewords need recovery (re-encode from checkpoint)\n", failures);
   }
@@ -76,27 +89,50 @@ void doctor(const sparse::CsrMatrix& a, unsigned flips, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace abft;
-  if (argc < 2) {
-    std::printf("usage: %s <file.mtx|builtin> [scheme] [flips] [seed]\n", argv[0]);
+  const char* positional[4] = {nullptr, nullptr, nullptr, nullptr};
+  const char* format_name = "csr";
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--format requires a value (csr or ell)\n");
+        return 2;
+      }
+      format_name = argv[++i];
+    } else if (npos < 4) {
+      positional[npos++] = argv[i];
+    } else {
+      std::printf("unexpected argument: '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (npos < 1) {
+    std::printf("usage: %s <file.mtx|builtin> [scheme] [flips] [seed] "
+                "[--format csr|ell]\n",
+                argv[0]);
     return 2;
   }
-  sparse::CsrMatrix a = std::strcmp(argv[1], "builtin") == 0
-                            ? sparse::laplacian_2d(64, 64)
-                            : sparse::read_matrix_market(argv[1]);
-  const auto scheme = parse_scheme(argc > 2 ? argv[2] : "secded64");
+  const sparse::CsrMatrix a = std::strcmp(positional[0], "builtin") == 0
+                                  ? sparse::laplacian_2d(64, 64)
+                                  : sparse::read_matrix_market(positional[0]);
+  const auto scheme = parse_scheme(positional[1] != nullptr ? positional[1] : "secded64");
   const unsigned flips =
-      argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 50;
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      positional[2] != nullptr
+          ? static_cast<unsigned>(std::strtoul(positional[2], nullptr, 10))
+          : 50;
+  const std::uint64_t seed =
+      positional[3] != nullptr ? std::strtoull(positional[3], nullptr, 10) : 1;
+  const auto format = parse_format(format_name);
 
-  std::printf("== matrix_doctor: %zux%zu, %zu nnz, scheme %s ==\n", a.nrows(), a.ncols(),
-              a.nnz(), std::string(ecc::to_string(scheme)).c_str());
+  std::printf("== matrix_doctor: %zux%zu, %zu nnz, scheme %s, format %s ==\n", a.nrows(),
+              a.ncols(), a.nnz(), std::string(ecc::to_string(scheme)).c_str(),
+              to_string(format).data());
 
-  if (scheme == ecc::Scheme::crc32c) {
-    a = sparse::pad_rows_to_min_nnz(a, ElemCrc32c::kMinRowNnz);
-  }
   try {
-    dispatch_elem(scheme, [&]<class ES>() {
-      dispatch_row(scheme, [&]<class RS>() { doctor<ES, RS>(a, flips, seed); });
+    dispatch_format(format, [&]<class Fmt>() {
+      dispatch_elem(scheme, [&]<class ES>() {
+        dispatch_row(scheme, [&]<class SS>() { doctor<Fmt, ES, SS>(a, flips, seed); });
+      });
     });
   } catch (const SchemeUnavailableError& e) {
     std::printf("scheme unavailable: %s\n", e.what());

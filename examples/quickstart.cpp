@@ -1,11 +1,12 @@
 /// \file quickstart.cpp
 /// \brief Minimal tour of the public API: protect a sparse matrix and the
-/// solver vectors — at either index width — flip a bit, and watch the solve
-/// survive.
+/// solver vectors — at either index width, in either storage format — flip a
+/// bit, and watch the solve survive.
 ///
-/// Usage: quickstart [scheme] [width]
+/// Usage: quickstart [scheme] [width] [--format csr|ell|both]
 ///   scheme: none|sed|secded64|secded128|crc32c   (default secded64)
 ///   width:  32|64|both                           (default both)
+///   format: csr|ell|both                         (default both)
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -21,20 +22,23 @@ namespace {
 
 using namespace abft;
 
-/// Protect, inject one flip, CG-solve and report — for one (width x scheme)
-/// combination picked at runtime through dispatch_protection().
-void run_protected_solve(const sparse::CsrMatrix& a32, IndexWidth width,
-                         ecc::Scheme scheme) {
+/// Protect, inject one flip, CG-solve and report — for one
+/// (format x width x scheme) combination picked at runtime through
+/// dispatch_protection().
+void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
+                         IndexWidth width, ecc::Scheme scheme) {
   FaultLog log;
-  std::printf("-- %s-bit indices --\n", to_string(width).data());
-  dispatch_protection(width, SchemeTriple(scheme),
-                      [&]<class Index, class ES, class RS, class VS>() {
-    const auto a = sparse::Csr<Index>::from_csr(a32);
+  std::printf("-- %s, %s-bit indices --\n", to_string(format).data(),
+              to_string(width).data());
+  dispatch_protection(format, width, SchemeTriple(scheme),
+                      [&]<class Fmt, class Index, class ES, class SS, class VS>() {
+    using PM = typename Fmt::template protected_matrix<Index, ES, SS>;
+    const auto a = Fmt::template make_plain<Index, ES>(a32);
     const std::size_t n = a.nrows();
     aligned_vector<double> ones(n, 1.0), rhs(n, 0.0);
     sparse::spmv(a, ones.data(), rhs.data());
 
-    auto pa = ProtectedCsr<Index, ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+    auto pa = PM::from_plain(a, &log, DuePolicy::record_only);
     ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
     ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
     b.assign({rhs.data(), n});
@@ -43,7 +47,7 @@ void run_protected_solve(const sparse::CsrMatrix& a32, IndexWidth width,
     auto vals = pa.raw_values();
     const auto fault = injector.inject_single(
         {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()});
-    std::printf("injected a bit flip at bit offset %zu of the CSR value array\n",
+    std::printf("injected a bit flip at bit offset %zu of the matrix value array\n",
                 fault.bit_offset);
 
     solvers::SolveOptions opts;
@@ -71,27 +75,51 @@ void run_protected_solve(const sparse::CsrMatrix& a32, IndexWidth width,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* scheme_name = argc > 1 ? argv[1] : "secded64";
-  const char* width_name = argc > 2 ? argv[2] : "both";
-  std::printf("== abftsolve quickstart (scheme: %s, width: %s) ==\n", scheme_name,
-              width_name);
+  const char* scheme_name = "secded64";
+  const char* width_name = "both";
+  const char* format_name = "both";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--format requires a value (csr, ell or both)\n");
+        return 2;
+      }
+      format_name = argv[++i];
+    } else if (positional == 0) {
+      scheme_name = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      width_name = argv[i];
+      ++positional;
+    } else {
+      std::printf("unexpected argument: '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  std::printf("== abftsolve quickstart (scheme: %s, width: %s, format: %s) ==\n",
+              scheme_name, width_name, format_name);
 
-  // 1. Build a test problem: 5-point Laplacian, known solution u* = 1.
+  // 1. Build a test problem: 5-point Laplacian, known solution u* = 1. The
+  //    format tags apply their own minimum-row remedies for the per-row CRC
+  //    (CSR pads rows; ELL only needs slab width >= 4, which the stencil has).
   const std::size_t nx = 128, ny = 128;
-  sparse::CsrMatrix a = sparse::laplacian_2d(nx, ny);
-  a = sparse::pad_rows_to_min_nnz(a, 4);  // per-row CRC needs >= 4 nnz
+  const sparse::CsrMatrix a = sparse::laplacian_2d(nx, ny);
   std::printf("matrix: %zux%zu, %zu non-zeros\n", a.nrows(), a.ncols(), a.nnz());
 
-  // 2. Protect matrix + vectors at the requested width(s), inject one bit
-  //    flip into the matrix values, solve, and report what the protection
-  //    layer saw. secded128 demonstrates width-aware dispatch: it is a real
-  //    128-bit element codeword at 64-bit width and a clear error at 32-bit.
+  // 2. Protect matrix + vectors at the requested width(s) and format(s),
+  //    inject one bit flip into the matrix values, solve, and report what the
+  //    protection layer saw. secded128 demonstrates width-aware dispatch: it
+  //    is a real 128-bit element codeword at 64-bit width and a clear error
+  //    at 32-bit.
   const ecc::Scheme scheme = abft::parse_scheme(scheme_name);
-  const bool both = std::strcmp(width_name, "both") == 0;
-  if (!both) (void)abft::parse_index_width(width_name);  // reject typos loudly
-  const auto run_width = [&](abft::IndexWidth width) {
+  const bool both_widths = std::strcmp(width_name, "both") == 0;
+  if (!both_widths) (void)abft::parse_index_width(width_name);  // reject typos loudly
+  const bool both_formats = std::strcmp(format_name, "both") == 0;
+  if (!both_formats) (void)abft::parse_format(format_name);
+  const auto run_combo = [&](abft::MatrixFormat format, abft::IndexWidth width) {
     try {
-      run_protected_solve(a, width, scheme);
+      run_protected_solve(a, format, width, scheme);
       return true;
     } catch (const abft::SchemeUnavailableError& e) {
       std::printf("scheme unavailable: %s\n", e.what());
@@ -99,8 +127,16 @@ int main(int argc, char** argv) {
     }
   };
   bool any_ok = false;
-  if (both || std::strcmp(width_name, "32") == 0) any_ok |= run_width(abft::IndexWidth::i32);
-  if (both || std::strcmp(width_name, "64") == 0) any_ok |= run_width(abft::IndexWidth::i64);
+  for (const char* fmt : {"csr", "ell"}) {
+    if (!both_formats && std::strcmp(format_name, fmt) != 0) continue;
+    const auto format = abft::parse_format(fmt);
+    if (both_widths || std::strcmp(width_name, "32") == 0) {
+      any_ok |= run_combo(format, abft::IndexWidth::i32);
+    }
+    if (both_widths || std::strcmp(width_name, "64") == 0) {
+      any_ok |= run_combo(format, abft::IndexWidth::i64);
+    }
+  }
   if (!any_ok) return 1;
   if (scheme == abft::ecc::Scheme::none) {
     std::printf("(no protection: the flip either landed harmlessly or silently "

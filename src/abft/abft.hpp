@@ -4,15 +4,18 @@
 /// against bit flips with zero additional storage (paper §VI).
 #pragma once
 
-#include "abft/check_policy.hpp"       // IWYU pragma: export
-#include "abft/coo_schemes.hpp"        // IWYU pragma: export
-#include "abft/dispatch.hpp"           // IWYU pragma: export
-#include "abft/element_schemes.hpp"    // IWYU pragma: export
-#include "abft/protected_coo.hpp"      // IWYU pragma: export
-#include "abft/protected_csr64.hpp"    // IWYU pragma: export
-#include "abft/error_capture.hpp"      // IWYU pragma: export
-#include "abft/protected_csr.hpp"      // IWYU pragma: export
-#include "abft/protected_kernels.hpp"  // IWYU pragma: export
-#include "abft/protected_vector.hpp"   // IWYU pragma: export
-#include "abft/row_schemes.hpp"        // IWYU pragma: export
-#include "abft/vector_schemes.hpp"     // IWYU pragma: export
+#include "abft/check_policy.hpp"        // IWYU pragma: export
+#include "abft/coo_schemes.hpp"         // IWYU pragma: export
+#include "abft/dispatch.hpp"            // IWYU pragma: export
+#include "abft/element_schemes.hpp"     // IWYU pragma: export
+#include "abft/format_traits.hpp"       // IWYU pragma: export
+#include "abft/protected_coo.hpp"       // IWYU pragma: export
+#include "abft/protected_csr64.hpp"     // IWYU pragma: export
+#include "abft/error_capture.hpp"       // IWYU pragma: export
+#include "abft/protected_csr.hpp"       // IWYU pragma: export
+#include "abft/protected_ell.hpp"       // IWYU pragma: export
+#include "abft/protected_kernels.hpp"   // IWYU pragma: export
+#include "abft/protected_vector.hpp"    // IWYU pragma: export
+#include "abft/row_schemes.hpp"         // IWYU pragma: export
+#include "abft/structure_schemes.hpp"   // IWYU pragma: export
+#include "abft/vector_schemes.hpp"      // IWYU pragma: export

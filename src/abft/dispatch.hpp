@@ -1,13 +1,15 @@
 /// \file dispatch.hpp
 /// \brief Runtime scheme selection -> compile-time template instantiation.
 ///
-/// Benches, examples and fault campaigns pick protection schemes and the
-/// index width from the command line; this header maps an ecc::Scheme value
-/// (plus an IndexWidth) onto the corresponding policy type and invokes a
-/// generic callable with it. Dispatchers are per-axis (element / row-pointer
-/// / dense-vector) so binaries instantiate only the combinations they
-/// actually measure; dispatch_protection() composes all four axes
-/// (width x element x row x vector) for full-matrix drivers.
+/// Benches, examples and fault campaigns pick protection schemes, the index
+/// width and the storage format from the command line; this header maps an
+/// ecc::Scheme value (plus an IndexWidth and a MatrixFormat) onto the
+/// corresponding policy/container types and invokes a generic callable with
+/// them. Dispatchers are per-axis (element / structure / dense-vector /
+/// format) so binaries instantiate only the combinations they actually
+/// measure; dispatch_protection() composes the axes — (width x element x
+/// structure x vector) for the CSR-only entry point, and additionally the
+/// format for full-matrix drivers that take a MatrixFormat first argument.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include <utility>
 
 #include "abft/element_schemes.hpp"
+#include "abft/format_traits.hpp"
 #include "abft/row_schemes.hpp"
 #include "abft/vector_schemes.hpp"
 #include "ecc/scheme.hpp"
@@ -120,9 +123,21 @@ struct SchemeTriple {
   explicit constexpr SchemeTriple(ecc::Scheme s) noexcept : elem(s), row(s), vec(s) {}
 };
 
+/// Invoke `f.template operator()<Fmt>()` for the format tag matching \p fmt
+/// (CsrFormat / EllFormat, see format_traits.hpp).
+template <class F>
+decltype(auto) dispatch_format(MatrixFormat fmt, F&& f) {
+  switch (fmt) {
+    case MatrixFormat::csr: return std::forward<F>(f).template operator()<CsrFormat>();
+    case MatrixFormat::ell: return std::forward<F>(f).template operator()<EllFormat>();
+  }
+  throw std::invalid_argument("dispatch_format: unknown format");
+}
+
 /// Invoke `f.template operator()<Index, ES, RS, VS>()` for the full
-/// (width x element x row x vector) combination selected at runtime —
-/// the single entry point for drivers that cover the whole matrix.
+/// (width x element x structure x vector) combination selected at runtime —
+/// the single entry point for CSR-only drivers covering the whole matrix.
+/// Format-aware drivers use the MatrixFormat overload below.
 template <class F>
 decltype(auto) dispatch_protection(IndexWidth width, const SchemeTriple& t, F&& f) {
   const auto with_index = [&]<class Index>() -> decltype(auto) {
@@ -137,6 +152,22 @@ decltype(auto) dispatch_protection(IndexWidth width, const SchemeTriple& t, F&& 
   return width == IndexWidth::i64
              ? with_index.template operator()<std::uint64_t>()
              : with_index.template operator()<std::uint32_t>();
+}
+
+/// Invoke `f.template operator()<Fmt, Index, ES, SS, VS>()` for the full
+/// (format x width x element x structure x vector) combination selected at
+/// runtime. `Fmt` is a format tag; the callable obtains the container as
+/// `Fmt::template protected_matrix<Index, ES, SS>` and builds its plain
+/// matrix with `Fmt::template make_plain<Index, ES>(csr)`.
+template <class F>
+decltype(auto) dispatch_protection(MatrixFormat fmt, IndexWidth width,
+                                   const SchemeTriple& t, F&& f) {
+  return dispatch_format(fmt, [&]<class Fmt>() -> decltype(auto) {
+    return dispatch_protection(
+        width, t, [&]<class Index, class ES, class SS, class VS>() -> decltype(auto) {
+          return std::forward<F>(f).template operator()<Fmt, Index, ES, SS, VS>();
+        });
+  });
 }
 
 /// Invoke `f.template operator()<Index, ES, RS, VS>()` for the *uniform*
@@ -184,6 +215,19 @@ decltype(auto) dispatch_uniform_protection(IndexWidth width, ecc::Scheme s, F&& 
              : with_index.template operator()<std::uint32_t>();
 }
 
+/// Uniform protection with a format axis: invoke
+/// `f.template operator()<Fmt, Index, ES, SS, VS>()`.
+template <class F>
+decltype(auto) dispatch_uniform_protection(MatrixFormat fmt, IndexWidth width,
+                                           ecc::Scheme s, F&& f) {
+  return dispatch_format(fmt, [&]<class Fmt>() -> decltype(auto) {
+    return dispatch_uniform_protection(
+        width, s, [&]<class Index, class ES, class SS, class VS>() -> decltype(auto) {
+          return std::forward<F>(f).template operator()<Fmt, Index, ES, SS, VS>();
+        });
+  });
+}
+
 /// Parse a scheme name ("none", "sed", "secded64", "secded128", "crc32c").
 [[nodiscard]] inline ecc::Scheme parse_scheme(std::string_view name) {
   for (auto s : ecc::kAllSchemes) {
@@ -204,6 +248,14 @@ decltype(auto) dispatch_uniform_protection(IndexWidth width, ecc::Scheme s, F&& 
   if (name == "64") return IndexWidth::i64;
   throw std::invalid_argument("unknown index width: '" + std::string(name) +
                               "' (valid widths: 32, 64)");
+}
+
+/// Parse a storage format ("csr" or "ell").
+[[nodiscard]] inline MatrixFormat parse_format(std::string_view name) {
+  if (name == "csr") return MatrixFormat::csr;
+  if (name == "ell") return MatrixFormat::ell;
+  throw std::invalid_argument("unknown matrix format: '" + std::string(name) +
+                              "' (valid formats: csr, ell)");
 }
 
 }  // namespace abft

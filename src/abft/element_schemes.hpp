@@ -153,13 +153,18 @@ struct ElemCrc32c {
   /// Bytes of codeword per element (8 value bytes + the masked column).
   static constexpr std::size_t kBytesPerElement = 8 + sizeof(Index);
 
-  static void encode_row(double* values, Index* cols, std::size_t nnz) noexcept {
-    const std::uint32_t crc = row_crc(values, cols, nnz);
+  /// Encode one row of \p nnz elements whose e-th slot lives at
+  /// values[e*stride] / cols[e*stride]. CSR rows are contiguous (stride 1);
+  /// column-major ELL rows are strided by nrows — the codeword layout is the
+  /// same either way, so both formats share one CRC scheme.
+  static void encode_row(double* values, Index* cols, std::size_t nnz,
+                         std::size_t stride = 1) noexcept {
+    const std::uint32_t crc = row_crc(values, cols, nnz, stride);
     for (std::size_t e = 0; e < nnz; ++e) {
-      cols[e] &= kColMask;
+      cols[e * stride] &= kColMask;
       if (e < 4) {
-        cols[e] |= static_cast<Index>(static_cast<Index>((crc >> (8 * e)) & 0xFF)
-                                      << kColBits);
+        cols[e * stride] |= static_cast<Index>(
+            static_cast<Index>((crc >> (8 * e)) & 0xFF) << kColBits);
       }
     }
   }
@@ -167,43 +172,45 @@ struct ElemCrc32c {
   /// Verify (and on mismatch brute-force correct) one row in place. Column
   /// reads after a clean decode must still be masked with kColMask.
   [[nodiscard]] static CheckOutcome decode_row(double* values, Index* cols,
-                                               std::size_t nnz) noexcept {
-    const std::uint32_t actual = row_crc(values, cols, nnz);
+                                               std::size_t nnz,
+                                               std::size_t stride = 1) noexcept {
+    const std::uint32_t actual = row_crc(values, cols, nnz, stride);
     std::uint32_t stored = 0;
     for (std::size_t e = 0; e < 4 && e < nnz; ++e) {
-      stored |= static_cast<std::uint32_t>(cols[e] >> kColBits) << (8 * e);
+      stored |= static_cast<std::uint32_t>(cols[e * stride] >> kColBits) << (8 * e);
     }
     if (actual == stored) return CheckOutcome::ok;
-    return correct_row(values, cols, nnz, stored) ? CheckOutcome::corrected
-                                                  : CheckOutcome::uncorrectable;
+    return correct_row(values, cols, nnz, stride, stored) ? CheckOutcome::corrected
+                                                          : CheckOutcome::uncorrectable;
   }
 
  private:
   static void pack_row(const double* values, const Index* cols, std::size_t nnz,
-                       std::uint8_t* buffer) noexcept {
+                       std::size_t stride, std::uint8_t* buffer) noexcept {
     for (std::size_t e = 0; e < nnz; ++e) {
-      const std::uint64_t vbits = double_to_bits(values[e]);
-      const Index c = cols[e] & kColMask;
+      const std::uint64_t vbits = double_to_bits(values[e * stride]);
+      const Index c = cols[e * stride] & kColMask;
       std::memcpy(buffer + e * kBytesPerElement, &vbits, 8);
       std::memcpy(buffer + e * kBytesPerElement + 8, &c, sizeof(Index));
     }
   }
 
   [[nodiscard]] static std::uint32_t row_crc(const double* values, const Index* cols,
-                                             std::size_t nnz) noexcept {
+                                             std::size_t nnz,
+                                             std::size_t stride) noexcept {
     // Assemble the row codeword contiguously and checksum it in one pass —
     // one CRC call per row instead of two per element keeps the hardware
     // path's advantage (the crc32 instruction pipelines across the buffer).
     constexpr std::size_t kStackElements = 64;
     if (nnz <= kStackElements) [[likely]] {
       std::uint8_t buffer[kStackElements * kBytesPerElement];
-      pack_row(values, cols, nnz, buffer);
+      pack_row(values, cols, nnz, stride, buffer);
       return ecc::crc32c(buffer, nnz * kBytesPerElement);
     }
     ecc::Crc32cAccumulator acc;
     for (std::size_t e = 0; e < nnz; ++e) {
-      acc.update_u64(double_to_bits(values[e]));
-      const Index c = cols[e] & kColMask;
+      acc.update_u64(double_to_bits(values[e * stride]));
+      const Index c = cols[e * stride] & kColMask;
       acc.update(&c, sizeof(Index));
     }
     return acc.value();
@@ -212,12 +219,13 @@ struct ElemCrc32c {
   /// Cold recovery path: assemble the row codeword into a byte buffer and try
   /// single-bit flips (plus the flip-in-stored-checksum case).
   [[nodiscard]] static bool correct_row(double* values, Index* cols, std::size_t nnz,
+                                        std::size_t stride,
                                         std::uint32_t stored) noexcept {
     constexpr std::size_t kMaxRowBytes = 6144;  // stack buffer bound
     constexpr std::size_t kMaxRow = kMaxRowBytes / kBytesPerElement;
     if (nnz > kMaxRow) return false;
     std::uint8_t buffer[kMaxRow * kBytesPerElement];
-    pack_row(values, cols, nnz, buffer);
+    pack_row(values, cols, nnz, stride, buffer);
     const auto res =
         ecc::crc32c_correct_single_bit({buffer, nnz * kBytesPerElement}, stored);
     if (!res.corrected) return false;
@@ -225,7 +233,7 @@ struct ElemCrc32c {
     if (res.flipped_bit < 0) {
       // The flip was in the stored checksum bytes: rewrite them from the
       // (intact) data.
-      encode_row(values, cols, nnz);
+      encode_row(values, cols, nnz, stride);
       return true;
     }
     // Write the repaired element back and refresh the stored checksum bytes
@@ -235,8 +243,8 @@ struct ElemCrc32c {
     Index c = 0;
     std::memcpy(&vbits, buffer + e * kBytesPerElement, 8);
     std::memcpy(&c, buffer + e * kBytesPerElement + 8, sizeof(Index));
-    values[e] = bits_to_double(vbits);
-    cols[e] = (cols[e] & ~kColMask) | (c & kColMask);
+    values[e * stride] = bits_to_double(vbits);
+    cols[e * stride] = (cols[e * stride] & ~kColMask) | (c & kColMask);
     return true;
   }
 };

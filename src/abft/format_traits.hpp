@@ -1,0 +1,125 @@
+/// \file format_traits.hpp
+/// \brief The format axis of the protection stack.
+///
+/// PR 1 unified the 32/64-bit stacks behind one width parameter; this layer
+/// does the same for the storage format. It has two faces:
+///
+///   - MatrixTraits<PM>: compile-time traits of a *protected matrix type* —
+///     its format, plain (unprotected) counterpart and the per-thread row
+///     cursor the generic kernels in protected_kernels.hpp drive. Kernels
+///     and solvers talk only to this surface, never to ProtectedCsr /
+///     ProtectedEll internals.
+///   - Format tags (CsrFormat / EllFormat): the compile-time handle a
+///     *runtime* format selection dispatches onto (abft/dispatch.hpp). A tag
+///     maps (Index, ES, SS) onto the protected container and builds the
+///     plain matrix from the CSR assembly every generator/driver produces,
+///     applying the format's own minimum-row-size remedy (CSR pads rows for
+///     the per-row CRC; ELL only needs a minimum slab width).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "abft/protected_csr.hpp"
+#include "abft/protected_ell.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/transform.hpp"
+
+namespace abft {
+
+/// Sparse storage format of the protected matrix stack.
+enum class MatrixFormat : std::uint8_t {
+  csr,  ///< compressed sparse row — the paper's setting (§V-B)
+  ell,  ///< ELLPACK(-R) — padded slabs + row widths; the stencil-shaped format
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MatrixFormat f) noexcept {
+  return f == MatrixFormat::csr ? "csr" : "ell";
+}
+
+/// Traits of a protected matrix type; specialized per container.
+template <class PM>
+struct MatrixTraits;
+
+template <class Index, class ES, class RS>
+struct MatrixTraits<ProtectedCsr<Index, ES, RS>> {
+  static constexpr MatrixFormat kFormat = MatrixFormat::csr;
+  using matrix_type = ProtectedCsr<Index, ES, RS>;
+  using plain_type = sparse::Csr<Index>;
+  using cursor_type = CsrRowCursor<Index, ES, RS>;
+  /// Regions fault events from this container land in.
+  static constexpr Region kValuesRegion = Region::csr_values;
+  static constexpr Region kColsRegion = Region::csr_cols;
+  static constexpr Region kStructRegion = Region::csr_row_ptr;
+};
+
+template <class Index, class ES, class SS>
+struct MatrixTraits<ProtectedEll<Index, ES, SS>> {
+  static constexpr MatrixFormat kFormat = MatrixFormat::ell;
+  using matrix_type = ProtectedEll<Index, ES, SS>;
+  using plain_type = sparse::Ell<Index>;
+  using cursor_type = EllRowCursor<Index, ES, SS>;
+  static constexpr Region kValuesRegion = Region::ell_values;
+  static constexpr Region kColsRegion = Region::ell_cols;
+  static constexpr Region kStructRegion = Region::ell_row_width;
+};
+
+/// A type the protected kernels can run over: any container with a
+/// MatrixTraits specialization (and thus a row cursor).
+template <class PM>
+concept ProtectedMatrixType = requires { typename MatrixTraits<PM>::cursor_type; };
+
+/// Format tag: CSR. Drivers assemble 32-bit CSR operators; make_plain
+/// re-indexes to the requested width and applies the element scheme's
+/// minimum-row-NNZ remedy (explicit zero fill-in, sparse::pad_rows_to_min_nnz).
+struct CsrFormat {
+  static constexpr MatrixFormat kFormat = MatrixFormat::csr;
+
+  template <class Index>
+  using plain_matrix = sparse::Csr<Index>;
+
+  template <class Index, class ES, class SS>
+  using protected_matrix = ProtectedCsr<Index, ES, SS>;
+
+  template <class Index, class ES>
+  [[nodiscard]] static sparse::Csr<Index> make_plain(sparse::CsrMatrix a) {
+    if constexpr (ES::kMinRowNnz > 1) {
+      a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
+    }
+    if constexpr (std::is_same_v<Index, std::uint32_t>) {
+      return a;
+    } else {
+      return sparse::Csr<Index>::from_csr(a);
+    }
+  }
+};
+
+/// Format tag: ELLPACK. make_plain converts the CSR assembly into padded
+/// slabs; the per-row CRC's minimum becomes a minimum slab *width* (the
+/// checksum lives in the first slots of the padded row), so no fill-in
+/// entries are ever added.
+struct EllFormat {
+  static constexpr MatrixFormat kFormat = MatrixFormat::ell;
+
+  template <class Index>
+  using plain_matrix = sparse::Ell<Index>;
+
+  template <class Index, class ES, class SS>
+  using protected_matrix = ProtectedEll<Index, ES, SS>;
+
+  template <class Index, class ES>
+  [[nodiscard]] static sparse::Ell<Index> make_plain(sparse::CsrMatrix a) {
+    if constexpr (std::is_same_v<Index, std::uint32_t>) {
+      return sparse::Ell<Index>::from_csr(a, ES::kMinRowNnz);
+    } else {
+      return sparse::Ell<Index>::from_csr(sparse::Csr<Index>::from_csr(a),
+                                          ES::kMinRowNnz);
+    }
+  }
+};
+
+}  // namespace abft

@@ -8,6 +8,7 @@
 /// parameter and the schemes must be instantiated at the same width.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -18,6 +19,7 @@
 #include "abft/check_policy.hpp"
 #include "abft/element_schemes.hpp"
 #include "abft/error_capture.hpp"
+#include "abft/raw_spmv.hpp"
 #include "abft/row_schemes.hpp"
 #include "common/aligned.hpp"
 #include "common/fault_log.hpp"
@@ -105,8 +107,12 @@ class ProtectedCsr {
  public:
   using elem_scheme = ES;
   using row_scheme = RS;
+  using struct_scheme = RS;
   using index_type = Index;
   using csr_type = sparse::Csr<Index>;
+  /// The unprotected matrix this container encodes/decodes — the uniform name
+  /// format-generic code (recovery, dispatch format tags) programs against.
+  using plain_type = csr_type;
 
   ProtectedCsr() = default;
 
@@ -176,6 +182,12 @@ class ProtectedCsr {
     return p;
   }
 
+  /// Format-uniform spelling of from_csr (see plain_type).
+  static ProtectedCsr from_plain(const plain_type& a, FaultLog* log = nullptr,
+                                 DuePolicy policy = DuePolicy::throw_exception) {
+    return from_csr(a, log, policy);
+  }
+
   [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
   [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
@@ -189,6 +201,8 @@ class ProtectedCsr {
   [[nodiscard]] std::span<index_type> raw_cols() noexcept { return cols_; }
   [[nodiscard]] std::span<index_type> raw_row_ptr() noexcept { return row_ptr_; }
   [[nodiscard]] std::span<const index_type> raw_row_ptr() const noexcept { return row_ptr_; }
+  /// Format-uniform name for the structural index array (CSR: row pointers).
+  [[nodiscard]] std::span<index_type> raw_structure() noexcept { return row_ptr_; }
 
   /// Checked row-pointer read (slow path; kernels use RowPtrReader).
   [[nodiscard]] index_type row_ptr_at(std::size_t i) {
@@ -212,10 +226,55 @@ class ProtectedCsr {
     index_type col;
   };
 
+  /// Checked number of non-zeros in row \p r (slow path). Offsets that
+  /// survive the scheme corrupted (begin > end, or past NNZ) yield an empty
+  /// row and a logged bounds violation rather than an underflowed count —
+  /// the no-out-of-range-access guarantee of §VI-A2.
+  [[nodiscard]] std::size_t row_nnz_at(std::size_t r) {
+    const std::size_t begin = row_ptr_at(r);
+    const std::size_t end = row_ptr_at(r + 1);
+    if (begin > end || end > nnz_) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::csr_row_ptr, r);
+      return 0;
+    }
+    return end - begin;
+  }
+
+  /// Checked \p j-th element of row \p r — the format-uniform slow-path
+  /// accessor (solver setup code iterates j in [0, row_nnz_at(r))). The row
+  /// extent is resolved once (element_at would re-decode it); a slot beyond
+  /// the guarded extent raises BoundsViolation so recovery wrappers can
+  /// checkpoint-restart.
+  [[nodiscard]] Element element_in_row(std::size_t r, std::size_t j) {
+    const std::size_t begin = row_ptr_at(r);
+    const std::size_t end = row_ptr_at(r + 1);
+    if (begin > end || end > nnz_ || j >= end - begin) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::csr_row_ptr, r);
+      throw BoundsViolation(Region::csr_row_ptr, r);
+    }
+    const std::size_t k = begin + j;
+    if constexpr (ES::kRowGranular) {
+      const auto outcome =
+          ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
+      handle(Region::csr_values, outcome, r);
+      return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
+    } else {
+      double v;
+      index_type c;
+      const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+      handle(Region::csr_values, outcome, k);
+      return {v, c};
+    }
+  }
+
   [[nodiscard]] Element element_at(std::size_t r, std::size_t k) {
     if constexpr (ES::kRowGranular) {
       const index_type begin = row_ptr_at(r);
       const index_type end = row_ptr_at(r + 1);
+      if (begin > end || end > nnz_) {
+        if (log_ != nullptr) log_->record_bounds_violation(Region::csr_row_ptr, r);
+        throw BoundsViolation(Region::csr_row_ptr, r);
+      }
       const auto outcome =
           ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
       handle(Region::csr_values, outcome, r);
@@ -314,6 +373,9 @@ class ProtectedCsr {
     return out;
   }
 
+  /// Format-uniform spelling of to_csr (see plain_type).
+  [[nodiscard]] plain_type to_plain() { return to_csr(); }
+
   /// Route a check outcome to the log / policy (slow paths only).
   void handle(Region region, CheckOutcome outcome, std::size_t index) {
     if (log_ != nullptr) {
@@ -391,44 +453,91 @@ class RowPtrReader {
   Index decoded_[RS::kGroup] = {};
 };
 
+/// Per-thread row accessor driving SpMV over one protected CSR matrix: wraps
+/// the cached row-pointer decode, the offset bounds guard and the row
+/// decode/accumulate loop behind the accumulate() surface the format-generic
+/// kernels program against (see abft/format_traits.hpp). Checks are counted
+/// locally and flushed into the capture on destruction.
+template <class Index, class ES, class RS>
+class CsrRowCursor {
+ public:
+  using matrix_type = ProtectedCsr<Index, ES, RS>;
+
+  CsrRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
+      : capture_(capture),
+        rp_(m, capture),
+        values_(m.values_data()),
+        cols_(m.cols_data()),
+        nnz_(m.nnz()),
+        ncols_(m.ncols()) {}
+
+  ~CsrRowCursor() { flush_checks(); }
+  CsrRowCursor(const CsrRowCursor&) = delete;
+  CsrRowCursor& operator=(const CsrRowCursor&) = delete;
+
+  /// Compute (A x)[first_row + i] for i in [0, n) and hand each finished row
+  /// sum to `store(i, sum)`, with x accessed through \p xload. The sink
+  /// formulation lets the caller encode each sum straight from the register
+  /// (single-entry vector codewords) or gather whole groups — no mandatory
+  /// spill to an intermediate buffer. CheckMode semantics are the
+  /// container's: full verifies every element and row pointer touched,
+  /// bounds_only only range-guards (paper §VI-A2); rows whose offsets fail
+  /// the guard produce 0.
+  template <class XLoad, class Store>
+  void accumulate(std::size_t first_row, std::size_t n, CheckMode mode, XLoad&& xload,
+                  Store&& store) {
+    // Hot state lives in locals for the duration of the chunk; the check
+    // counter is written back once so the row loop carries no member stores.
+    double* const values = values_;
+    Index* const cols = cols_;
+    const std::size_t nnz = nnz_;
+    const std::size_t ncols = ncols_;
+    ErrorCapture& capture = *capture_;
+    std::uint64_t checks = checks_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = first_row + i;
+      std::size_t begin, end;
+      if (mode == CheckMode::full) {
+        begin = rp_.get(r);
+        end = rp_.get(r + 1);
+      } else {
+        begin = rp_.get_bounds_only(r);
+        end = rp_.get_bounds_only(r + 1);
+      }
+      if (begin > end || end > nnz) {
+        capture.record_bounds(Region::csr_row_ptr, r);
+        store(i, 0.0);
+        continue;
+      }
+      store(i, detail::protected_row_sum<ES>(values, cols, begin, end, ncols, r, mode,
+                                             capture, checks, xload));
+    }
+    checks_ = checks;
+  }
+
+  void flush_checks() noexcept {
+    rp_.flush_checks();
+    if (checks_ > 0) {
+      capture_->add_checks(checks_);
+      checks_ = 0;
+    }
+  }
+
+ private:
+  ErrorCapture* capture_;
+  RowPtrReader<Index, ES, RS> rp_;
+  double* values_;
+  Index* cols_;
+  std::size_t nnz_;
+  std::size_t ncols_;
+  std::uint64_t checks_ = 0;
+};
+
 template <class Index, class ES, class RS>
 void ProtectedCsr<Index, ES, RS>::spmv(std::span<const double> x, std::span<double> y,
                                        CheckMode mode) {
-  if (x.size() != ncols_ || y.size() != nrows_) {
-    throw std::invalid_argument("ProtectedCsr::spmv: dimension mismatch");
-  }
-  ErrorCapture capture;
-  double* values = values_.data();
-  index_type* cols = cols_.data();
-
-#pragma omp parallel
-  {
-    RowPtrReader rp(*this, &capture);
-    std::uint64_t checks = 0;
-
-#pragma omp for schedule(static)
-    for (std::int64_t r = 0; r < static_cast<std::int64_t>(nrows_); ++r) {
-      const auto row = static_cast<std::size_t>(r);
-      std::size_t begin, end;
-      if (mode == CheckMode::full) {
-        begin = rp.get(row);
-        end = rp.get(row + 1);
-      } else {
-        begin = rp.get_bounds_only(row);
-        end = rp.get_bounds_only(row + 1);
-      }
-      if (begin > end || end > nnz_) {
-        capture.record_bounds(Region::csr_row_ptr, row);
-        y[row] = 0.0;
-        continue;
-      }
-      y[row] = detail::protected_row_sum<ES>(values, cols, begin, end, ncols_, row, mode,
-                                             capture, checks,
-                                             [&](index_type c) { return x[c]; });
-    }
-    capture.add_checks(checks);
-  }
-  capture.commit(log_, policy_);
+  detail::chunked_raw_spmv<CsrRowCursor<Index, ES, RS>>(*this, x, y, mode,
+                                                        "ProtectedCsr::spmv");
 }
 
 }  // namespace abft

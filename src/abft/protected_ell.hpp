@@ -1,0 +1,520 @@
+/// \file protected_ell.hpp
+/// \brief ELLPACK matrix whose storage carries embedded redundancy — the
+/// paper's zero-overhead protection (§VI) applied to the second sparse
+/// format.
+///
+/// The protected regions mirror CSR's three (paper §VI-A), reshaped by the
+/// format:
+///   - elements: every (value, column) slot — padding included — protected by
+///     the same element schemes as CSR (Fig. 1). The row-granular CRC scheme
+///     covers a whole padded row (width slots, strided through the
+///     column-major slabs) and keeps its checksum in the first four slots'
+///     top bytes, so it needs width >= 4 rather than per-row NNZ >= 4: a
+///     5-point stencil needs no fill-in at all, where CSR must pad boundary
+///     rows (sparse::pad_rows_to_min_nnz).
+///   - structure: the CSR row-pointer vector (m+1 offsets bounded by NNZ)
+///     collapses into m row widths bounded by the slab width — a far smaller
+///     array of far smaller values, protected by the same structure schemes
+///     (structure_schemes.hpp) with every spare bit available. This is the
+///     cheaper second region layout the selective-reliability line of work
+///     motivates.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "abft/check_policy.hpp"
+#include "abft/element_schemes.hpp"
+#include "abft/error_capture.hpp"
+#include "abft/raw_spmv.hpp"
+#include "abft/structure_schemes.hpp"
+#include "common/aligned.hpp"
+#include "common/fault_log.hpp"
+#include "sparse/ell.hpp"
+
+namespace abft {
+
+/// Sparse matrix in ELLPACK format, fully protected with no storage overhead.
+///
+/// \tparam Index index width (std::uint32_t or std::uint64_t)
+/// \tparam ES element scheme (schemes::ElemNone / ElemSed / ElemSecded /
+///            ElemCrc32c at the same width)
+/// \tparam SS structure scheme protecting the row-width array
+///            (schemes::StructNone / StructSed / StructSecded /
+///            StructSecded128 / StructCrc32c at the same width)
+///
+/// Like ProtectedCsr the matrix is immutable after construction (paper §V-A),
+/// so encoding happens once in from_ell(). Reads go through the decoding
+/// accessors; corrections are written back in place.
+template <class Index, class ES, class SS>
+class ProtectedEll {
+  static_assert(std::is_same_v<Index, typename ES::index_type>,
+                "ProtectedEll: element scheme instantiated at a different index width");
+  static_assert(std::is_same_v<Index, typename SS::index_type>,
+                "ProtectedEll: structure scheme instantiated at a different index width");
+
+ public:
+  using elem_scheme = ES;
+  using struct_scheme = SS;
+  using index_type = Index;
+  using ell_type = sparse::Ell<Index>;
+  using plain_type = ell_type;
+
+  ProtectedEll() = default;
+
+  /// Encode \p a. Throws std::invalid_argument when the matrix violates the
+  /// scheme's range constraints: the column bound is the element scheme's
+  /// (as for CSR), the structure bound is width <= SS::kValueMask (trivially
+  /// satisfied — widths are tiny), and the per-row CRC needs width >= 4
+  /// (build the ELL with Ell::from_csr(a, ES::kMinRowNnz) when the stencil is
+  /// narrower).
+  static ProtectedEll from_ell(const ell_type& a, FaultLog* log = nullptr,
+                               DuePolicy policy = DuePolicy::throw_exception) {
+    a.validate();
+    if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
+      throw std::invalid_argument(
+          "ProtectedEll: matrix has too many columns for the element scheme (max " +
+          std::to_string(static_cast<std::uint64_t>(ES::kColMask) + 1) + ")");
+    }
+    if (a.width() > SS::kValueMask) {
+      throw std::invalid_argument(
+          "ProtectedEll: slab width exceeds the structure scheme's value range (max " +
+          std::to_string(static_cast<std::uint64_t>(SS::kValueMask)) + ")");
+    }
+    if constexpr (ES::kMinRowNnz > 0) {
+      if (a.nrows() > 0 && a.width() < ES::kMinRowNnz) {
+        throw std::invalid_argument(
+            "ProtectedEll: slab width " + std::to_string(a.width()) +
+            " is below the " + std::to_string(ES::kMinRowNnz) +
+            " slots the per-row CRC scheme stores its checksum in; build with "
+            "sparse::Ell::from_csr(a, min_width)");
+      }
+    }
+
+    ProtectedEll p;
+    p.nrows_ = a.nrows();
+    p.ncols_ = a.ncols();
+    p.width_ = a.width();
+    p.nnz_ = a.nnz();
+    p.log_ = log;
+    p.policy_ = policy;
+    p.values_.assign(a.values().begin(), a.values().end());
+    p.cols_.assign(a.cols().begin(), a.cols().end());
+
+    // Row widths: pad the storage to a whole number of groups; padding
+    // entries hold 0 (a valid row length) so every group encodes cleanly.
+    const std::size_t padded =
+        (p.nrows_ + SS::kGroup - 1) / SS::kGroup * SS::kGroup;
+    p.row_nnz_.assign(padded, 0);
+    for (std::size_t i = 0; i < p.nrows_; ++i) p.row_nnz_[i] = a.row_nnz()[i];
+    for (std::size_t g = 0; g < padded / SS::kGroup; ++g) {
+      index_type group[SS::kGroup];
+      for (std::size_t e = 0; e < SS::kGroup; ++e) group[e] = p.row_nnz_[g * SS::kGroup + e];
+      SS::encode_group(group, p.row_nnz_.data() + g * SS::kGroup);
+    }
+
+    // Elements: every slot (padding included) becomes a valid codeword, so
+    // integrity sweeps need no knowledge of which slots are real.
+    if constexpr (ES::kRowGranular) {
+      for (std::size_t r = 0; r < p.nrows_; ++r) {
+        ES::encode_row(p.values_.data() + r, p.cols_.data() + r, p.width_, p.nrows_);
+      }
+    } else {
+      for (std::size_t k = 0; k < p.values_.size(); ++k) {
+        ES::encode(p.values_[k], p.cols_[k]);
+      }
+    }
+    return p;
+  }
+
+  /// Format-uniform spelling of from_ell (see plain_type).
+  static ProtectedEll from_plain(const plain_type& a, FaultLog* log = nullptr,
+                                 DuePolicy policy = DuePolicy::throw_exception) {
+    return from_ell(a, log, policy);
+  }
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
+  [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
+
+  /// Raw storage, exposed for the kernels and for fault injection.
+  [[nodiscard]] double* values_data() noexcept { return values_.data(); }
+  [[nodiscard]] index_type* cols_data() noexcept { return cols_.data(); }
+  [[nodiscard]] std::span<double> raw_values() noexcept { return values_; }
+  [[nodiscard]] std::span<index_type> raw_cols() noexcept { return cols_; }
+  [[nodiscard]] std::span<index_type> raw_row_nnz() noexcept { return row_nnz_; }
+  [[nodiscard]] std::span<const index_type> raw_row_nnz() const noexcept {
+    return row_nnz_;
+  }
+  /// Format-uniform name for the structural index array (ELL: row widths).
+  [[nodiscard]] std::span<index_type> raw_structure() noexcept { return row_nnz_; }
+
+  /// Checked row-width read (slow path; kernels use RowWidthReader). A width
+  /// that survives the scheme corrupted beyond the slab width yields an
+  /// empty row and a logged bounds violation — the §VI-A2 guarantee that no
+  /// structural fault turns into an out-of-range access.
+  [[nodiscard]] index_type row_nnz_at(std::size_t i) {
+    index_type group[SS::kGroup];
+    const std::size_t g = i / SS::kGroup;
+    const auto outcome = SS::decode_group(row_nnz_.data() + g * SS::kGroup, group);
+    handle(Region::ell_row_width, outcome, g);
+    const index_type rl = group[i % SS::kGroup];
+    if (rl > width_) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::ell_row_width, i);
+      return 0;
+    }
+    return rl;
+  }
+
+  /// Unchecked masked row-width read for check-interval skip iterations; the
+  /// caller must range-guard the result against width() (paper §VI-A2).
+  [[nodiscard]] index_type row_nnz_bounds_only(std::size_t i) const noexcept {
+    return row_nnz_[i] & SS::kValueMask;
+  }
+
+  struct Element {
+    double value;
+    index_type col;
+  };
+
+  /// Checked \p j-th element of row \p r (slow path) — the format-uniform
+  /// accessor solver setup code iterates with j in [0, row_nnz_at(r)). For
+  /// the row-granular CRC scheme this verifies the whole containing row. A
+  /// slot beyond the slab width raises BoundsViolation so recovery wrappers
+  /// can checkpoint-restart.
+  [[nodiscard]] Element element_in_row(std::size_t r, std::size_t j) {
+    if (j >= width_) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::ell_row_width, r);
+      throw BoundsViolation(Region::ell_row_width, r);
+    }
+    const std::size_t k = j * nrows_ + r;
+    if constexpr (ES::kRowGranular) {
+      const auto outcome =
+          ES::decode_row(values_.data() + r, cols_.data() + r, width_, nrows_);
+      handle(Region::ell_values, outcome, r);
+      return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
+    } else {
+      double v;
+      index_type c;
+      const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+      handle(Region::ell_values, outcome, k);
+      return {v, c};
+    }
+  }
+
+  /// y = A x over raw dense spans (for callers that do not protect their
+  /// vectors). CheckMode semantics match the free protected-kernel spmv:
+  /// bounds_only skips the integrity checks but still range-guards every
+  /// width and column index. Defined after EllRowCursor below.
+  void spmv(std::span<const double> x, std::span<double> y,
+            CheckMode mode = CheckMode::full);
+
+  /// Full-matrix integrity sweep (paper §VI-A2). Returns the number of
+  /// uncorrectable codewords; corrections are applied in place. Under
+  /// DuePolicy::throw_exception the raised error names the first failing
+  /// region/codeword so recovery tooling looks in the right array.
+  std::size_t verify_all() {
+    std::size_t failures = 0;
+    Region first_region = Region::ell_values;
+    std::size_t first_index = 0;
+    const auto note = [&](Region region, std::size_t index, std::size_t count) {
+      if (failures == 0 && count > 0) {
+        first_region = region;
+        first_index = index;
+      }
+      failures += count;
+    };
+    // Row widths.
+    for (std::size_t g = 0; g < row_nnz_.size() / SS::kGroup; ++g) {
+      index_type group[SS::kGroup];
+      const auto outcome = SS::decode_group(row_nnz_.data() + g * SS::kGroup, group);
+      note(Region::ell_row_width, g, count_and_log(Region::ell_row_width, outcome, g));
+      for (std::size_t e = 0; e < SS::kGroup; ++e) {
+        const std::size_t r = g * SS::kGroup + e;
+        if (r < nrows_ && group[e] > width_) {
+          if (log_ != nullptr) log_->record_bounds_violation(Region::ell_row_width, r);
+          note(Region::ell_row_width, r, 1);
+        }
+      }
+    }
+    // Elements: every slot is encoded, so the sweep never consults the row
+    // widths — a structural DUE cannot blind the element sweep.
+    if constexpr (ES::kRowGranular) {
+      for (std::size_t r = 0; r < nrows_; ++r) {
+        const auto outcome =
+            ES::decode_row(values_.data() + r, cols_.data() + r, width_, nrows_);
+        note(Region::ell_values, r, count_and_log(Region::ell_values, outcome, r));
+      }
+    } else {
+      for (std::size_t k = 0; k < values_.size(); ++k) {
+        double v;
+        index_type c;
+        const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+        note(Region::ell_values, k, count_and_log(Region::ell_values, outcome, k));
+      }
+    }
+    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(first_region, first_index);
+    }
+    return failures;
+  }
+
+  /// Decode back into an unprotected ELL matrix (checks everything).
+  [[nodiscard]] ell_type to_ell() {
+    ell_type out(nrows_, ncols_, width_);
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      out.row_nnz()[r] = row_nnz_at(r);
+      if constexpr (ES::kRowGranular) {
+        const auto outcome =
+            ES::decode_row(values_.data() + r, cols_.data() + r, width_, nrows_);
+        handle(Region::ell_values, outcome, r);
+      }
+      for (std::size_t j = 0; j < width_; ++j) {
+        const std::size_t k = j * nrows_ + r;
+        if constexpr (ES::kRowGranular) {
+          out.values()[k] = values_[k];
+          out.cols()[k] = cols_[k] & ES::kColMask;
+        } else {
+          double v;
+          index_type c;
+          const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+          handle(Region::ell_values, outcome, k);
+          out.values()[k] = v;
+          out.cols()[k] = c;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Format-uniform spelling of to_ell (see plain_type).
+  [[nodiscard]] plain_type to_plain() { return to_ell(); }
+
+  /// Route a check outcome to the log / policy (slow paths only).
+  void handle(Region region, CheckOutcome outcome, std::size_t index) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(region, outcome, index);
+    }
+    if (outcome == CheckOutcome::uncorrectable && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(region, index);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t count_and_log(Region region, CheckOutcome outcome,
+                                          std::size_t index) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(region, outcome, index);
+    }
+    return outcome == CheckOutcome::uncorrectable ? 1 : 0;
+  }
+
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::size_t width_ = 0;
+  std::size_t nnz_ = 0;
+  aligned_vector<double> values_;
+  aligned_vector<index_type> cols_;
+  aligned_vector<index_type> row_nnz_;
+  FaultLog* log_ = nullptr;
+  DuePolicy policy_ = DuePolicy::throw_exception;
+};
+
+/// Cached decoder for the protected row-width vector (one group cached —
+/// SpMV visits rows in order, so consecutive rows usually share a group).
+/// Thread-private; errors are deferred through an ErrorCapture.
+template <class Index, class ES, class SS>
+class RowWidthReader {
+ public:
+  explicit RowWidthReader(ProtectedEll<Index, ES, SS>& m, ErrorCapture* capture) noexcept
+      : m_(&m), capture_(capture) {}
+
+  ~RowWidthReader() { flush_checks(); }
+  RowWidthReader(const RowWidthReader&) = delete;
+  RowWidthReader& operator=(const RowWidthReader&) = delete;
+
+  /// Checked, masked row-width value.
+  [[nodiscard]] Index get(std::size_t i) {
+    const std::size_t g = i / SS::kGroup;
+    if (g != cached_group_) {
+      const auto outcome =
+          SS::decode_group(m_->raw_row_nnz().data() + g * SS::kGroup, decoded_);
+      ++local_checks_;
+      capture_->record(Region::ell_row_width, outcome, g);
+      cached_group_ = g;
+    }
+    return decoded_[i % SS::kGroup];
+  }
+
+  /// Masked-only value for check-interval skip iterations.
+  [[nodiscard]] Index get_bounds_only(std::size_t i) const noexcept {
+    return m_->row_nnz_bounds_only(i);
+  }
+
+  void flush_checks() noexcept {
+    if (local_checks_ > 0) {
+      capture_->add_checks(local_checks_);
+      local_checks_ = 0;
+    }
+  }
+
+ private:
+  ProtectedEll<Index, ES, SS>* m_;
+  ErrorCapture* capture_;
+  std::size_t cached_group_ = static_cast<std::size_t>(-1);
+  std::uint64_t local_checks_ = 0;
+  Index decoded_[SS::kGroup] = {};
+};
+
+/// Per-thread row accessor driving SpMV over one protected ELL matrix — the
+/// ELL counterpart of CsrRowCursor behind the same accumulate() surface (see
+/// abft/format_traits.hpp).
+///
+/// Iteration order exploits the column-major slabs: rows are processed in
+/// blocks, slot-column by slot-column, so the value/column loads are
+/// unit-stride across the block while each row's partial sums still
+/// accumulate in ascending-slot order — bit-identical to the CSR traversal
+/// of the same matrix. The row-granular CRC scheme forces a strided per-row
+/// decode pass first; that is the price of a row codeword in a column-major
+/// layout and shows up honestly in the benches.
+template <class Index, class ES, class SS>
+class EllRowCursor {
+ public:
+  using matrix_type = ProtectedEll<Index, ES, SS>;
+
+  EllRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
+      : capture_(capture),
+        rw_(m, capture),
+        values_(m.values_data()),
+        cols_(m.cols_data()),
+        nrows_(m.nrows()),
+        ncols_(m.ncols()),
+        width_(m.width()) {}
+
+  ~EllRowCursor() { flush_checks(); }
+  EllRowCursor(const EllRowCursor&) = delete;
+  EllRowCursor& operator=(const EllRowCursor&) = delete;
+
+  /// Compute (A x)[first_row + i] for i in [0, n) and hand each finished row
+  /// sum to `store(i, sum)`; see CsrRowCursor::accumulate for the contract.
+  /// Rows whose decoded width fails the guard against the slab width produce
+  /// 0. Internally the rows are processed in blocks so the slab traversal
+  /// stays unit-stride; sums leave the block buffer through the sink.
+  template <class XLoad, class Store>
+  void accumulate(std::size_t first_row, std::size_t n, CheckMode mode, XLoad&& xload,
+                  Store&& store) {
+    double block[kBlock];
+    for (std::size_t done = 0; done < n; done += kBlock) {
+      const std::size_t count = std::min(kBlock, n - done);
+      accumulate_block(first_row + done, count, block, mode, xload);
+      for (std::size_t i = 0; i < count; ++i) store(done + i, block[i]);
+    }
+  }
+
+  void flush_checks() noexcept {
+    rw_.flush_checks();
+    if (checks_ > 0) {
+      capture_->add_checks(checks_);
+      checks_ = 0;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kBlock = 64;
+
+  template <class XLoad>
+  void accumulate_block(std::size_t row0, std::size_t n, double* out, CheckMode mode,
+                        XLoad&& xload) {
+    // Row widths for the block, guarded against the slab width. Interior
+    // stencil blocks have a constant width (min == max), letting the main
+    // loop below run branch-free over whole slab columns.
+    Index rl[kBlock];
+    Index max_rl = 0;
+    Index min_rl = n > 0 ? static_cast<Index>(width_) : Index{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      rl[i] = mode == CheckMode::full ? rw_.get(row0 + i) : rw_.get_bounds_only(row0 + i);
+      if (rl[i] > width_) {
+        capture_->record_bounds(Region::ell_row_width, row0 + i);
+        rl[i] = 0;
+      }
+      max_rl = std::max(max_rl, rl[i]);
+      min_rl = std::min(min_rl, rl[i]);
+    }
+    // Row-granular element scheme: verify each row codeword once up front;
+    // reads below then mask, exactly as in the CSR row loop.
+    if constexpr (ES::kRowGranular) {
+      if (mode == CheckMode::full) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto outcome =
+              ES::decode_row(values_ + row0 + i, cols_ + row0 + i, width_, nrows_);
+          ++checks_;
+          capture_->record(Region::ell_values, outcome, row0 + i);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+
+    if constexpr (!ES::kRowGranular) {
+      if (mode == CheckMode::full) {
+        for (std::size_t j = 0; j < max_rl; ++j) {
+          const std::size_t base = j * nrows_ + row0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (j >= rl[i]) continue;
+            double v;
+            Index c;
+            const auto outcome = ES::decode(values_[base + i], cols_[base + i], v, c);
+            ++checks_;
+            capture_->record(Region::ell_values, outcome, base + i);
+            if (c >= ncols_) {
+              capture_->record_bounds(Region::ell_cols, base + i);
+              continue;
+            }
+            out[i] += v * xload(c);
+          }
+        }
+        return;
+      }
+    }
+    for (std::size_t j = 0; j < max_rl; ++j) {
+      const std::size_t base = j * nrows_ + row0;
+      const bool whole_column = j < min_rl;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!whole_column && j >= rl[i]) continue;
+        const Index c = cols_[base + i] & ES::kColMask;
+        if (c >= ncols_) [[unlikely]] {
+          capture_->record_bounds(Region::ell_cols, base + i);
+          continue;
+        }
+        out[i] += values_[base + i] * xload(c);
+      }
+    }
+  }
+
+  ErrorCapture* capture_;
+  RowWidthReader<Index, ES, SS> rw_;
+  double* values_;
+  Index* cols_;
+  std::size_t nrows_;
+  std::size_t ncols_;
+  std::size_t width_;
+  std::uint64_t checks_ = 0;
+};
+
+template <class Index, class ES, class SS>
+void ProtectedEll<Index, ES, SS>::spmv(std::span<const double> x, std::span<double> y,
+                                       CheckMode mode) {
+  detail::chunked_raw_spmv<EllRowCursor<Index, ES, SS>>(*this, x, y, mode,
+                                                        "ProtectedEll::spmv");
+}
+
+}  // namespace abft

@@ -9,88 +9,85 @@
 /// there are no read-modify-writes and no two threads ever write the same
 /// codeword.
 ///
+/// The SpMV kernel is format-generic: it drives the per-thread row cursor
+/// published through MatrixTraits (abft/format_traits.hpp) and never touches
+/// a container's internals, so one kernel serves ProtectedCsr and
+/// ProtectedEll at either index width — and any future format that supplies
+/// a cursor.
+///
 /// Error handling: outcomes are collected in an ErrorCapture during the
 /// OpenMP region and committed afterwards (logging + optional
 /// UncorrectableError / BoundsViolation per the container's DuePolicy).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 
 #include "abft/check_policy.hpp"
-#include "abft/protected_csr.hpp"
+#include "abft/format_traits.hpp"
 #include "abft/protected_vector.hpp"
 
 namespace abft {
 
-namespace detail {
-
-/// Per-thread accumulator avoiding one atomic per codeword in hot loops.
-struct LocalCounts {
-  std::uint64_t checks = 0;
-};
-
-}  // namespace detail
-
-/// y = A * x with the requested per-access verification level.
+/// y = A * x with the requested per-access verification level, for any
+/// protected matrix format.
 ///
-/// In CheckMode::full every CSR element, row pointer and x codeword touched
-/// is verified (and corrected where the scheme allows). In
+/// In CheckMode::full every matrix element and structural entry touched is
+/// verified (and corrected where the scheme allows). In
 /// CheckMode::bounds_only the matrix checks are skipped and replaced by
-/// range guards: row offsets are validated against nnz and column indices
-/// against ncols, exactly the segfault protection the paper requires of skip
-/// iterations (§VI-A2). The x and y vectors are always fully protected —
-/// they change every iteration, so their checks cannot be deferred.
-template <class Index, class ES, class RS, class VS>
-void spmv(ProtectedCsr<Index, ES, RS>& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
+/// range guards — row extents are validated against the container's bound
+/// and column indices against ncols, exactly the segfault protection the
+/// paper requires of skip iterations (§VI-A2). The x and y vectors are
+/// always fully protected — they change every iteration, so their checks
+/// cannot be deferred.
+///
+/// Rows are processed in chunks of whole y codeword groups; the cursor owns
+/// the per-row decode order, so each format keeps its natural memory access
+/// pattern (CSR: row streams; ELL: unit-stride slab columns).
+template <ProtectedMatrixType PM, class VS>
+void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
           CheckMode mode = CheckMode::full) {
   if (x.size() != a.ncols() || y.size() != a.nrows()) {
     throw std::invalid_argument("spmv: dimension mismatch");
   }
   constexpr std::size_t G = VS::kGroup;
+  constexpr std::size_t kGroupsPerChunk = (64 + G - 1) / G;
+  constexpr std::size_t kChunkRows = kGroupsPerChunk * G;
   const std::size_t ngroups = y.groups();
+  const std::size_t nchunks = (ngroups + kGroupsPerChunk - 1) / kGroupsPerChunk;
   const std::size_t nrows = a.nrows();
-  const std::size_t ncols = a.ncols();
-  const std::size_t nnz = a.nnz();
-  double* values = a.values_data();
-  Index* cols = a.cols_data();
   ErrorCapture capture;
 
 #pragma omp parallel
   {
-    RowPtrReader rp(a, &capture);
+    typename MatrixTraits<PM>::cursor_type cursor(a, &capture);
     GroupReader<VS, 8> xr(x, &capture);
-    detail::LocalCounts counts;
+    const auto xload = [&](auto c) { return xr.get(static_cast<std::size_t>(c)); };
 
 #pragma omp for schedule(static)
-    for (std::int64_t gi = 0; gi < static_cast<std::int64_t>(ngroups); ++gi) {
-      double sums[G] = {};
-      for (std::size_t e = 0; e < G; ++e) {
-        const std::size_t r = static_cast<std::size_t>(gi) * G + e;
-        if (r >= nrows) break;  // group padding rows stay zero
-
-        std::size_t begin, end;
-        if (mode == CheckMode::full) {
-          begin = rp.get(r);
-          end = rp.get(r + 1);
-        } else {
-          begin = rp.get_bounds_only(r);
-          end = rp.get_bounds_only(r + 1);
+    for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+      const std::size_t row0 = static_cast<std::size_t>(ci) * kChunkRows;
+      const std::size_t count = row0 < nrows ? std::min(kChunkRows, nrows - row0) : 0;
+      if constexpr (G == 1) {
+        // Single-entry vector codewords: encode each row sum straight from
+        // the register (no intermediate buffer; storage has no padding rows).
+        cursor.accumulate(row0, count, mode, xload, [&](std::size_t i, double v) {
+          VS::encode_group(&v, y.data() + row0 + i);
+        });
+      } else {
+        double sums[kChunkRows] = {};  // group-padding rows stay zero
+        cursor.accumulate(row0, count, mode, xload,
+                          [&](std::size_t i, double v) { sums[i] = v; });
+        const std::size_t g0 = static_cast<std::size_t>(ci) * kGroupsPerChunk;
+        const std::size_t gend = std::min(g0 + kGroupsPerChunk, ngroups);
+        for (std::size_t g = g0; g < gend; ++g) {
+          VS::encode_group(sums + (g - g0) * G, y.data() + g * G);
         }
-        if (begin > end || end > nnz) {
-          capture.record_bounds(Region::csr_row_ptr, r);
-          continue;
-        }
-
-        sums[e] = detail::protected_row_sum<ES>(values, cols, begin, end, ncols, r, mode,
-                                                capture, counts.checks,
-                                                [&](Index c) { return xr.get(c); });
       }
-      VS::encode_group(sums, y.data() + static_cast<std::size_t>(gi) * G);
     }
-    capture.add_checks(counts.checks);
   }
   capture.commit(a.fault_log(), a.due_policy());
 }

@@ -1,0 +1,52 @@
+/// \file raw_spmv.hpp
+/// \brief Shared chunked OpenMP driver behind the containers' raw-span spmv
+/// members.
+///
+/// ProtectedCsr::spmv and ProtectedEll::spmv differ only in the row cursor
+/// that decodes/guards their storage; the traversal, error capture and
+/// commit logic live here once. (The protected-vector kernel in
+/// protected_kernels.hpp is the third consumer of the cursors, reached
+/// through MatrixTraits; it additionally encodes y codeword groups.)
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "abft/check_policy.hpp"
+#include "abft/error_capture.hpp"
+#include "common/fault_log.hpp"
+
+namespace abft::detail {
+
+/// y = A x over raw dense spans, driven by the container's row cursor.
+template <class Cursor, class Matrix>
+void chunked_raw_spmv(Matrix& m, std::span<const double> x, std::span<double> y,
+                      CheckMode mode, const char* what) {
+  if (x.size() != m.ncols() || y.size() != m.nrows()) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+  ErrorCapture capture;
+  constexpr std::size_t kChunk = 64;
+  const std::size_t nrows = m.nrows();
+  const std::size_t nchunks = (nrows + kChunk - 1) / kChunk;
+
+#pragma omp parallel
+  {
+    Cursor cursor(m, &capture);
+
+#pragma omp for schedule(static)
+    for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+      const std::size_t r0 = static_cast<std::size_t>(ci) * kChunk;
+      cursor.accumulate(r0, std::min(kChunk, nrows - r0), mode,
+                        [&](auto c) { return x[c]; },
+                        [&](std::size_t i, double v) { y[r0 + i] = v; });
+    }
+  }
+  capture.commit(m.fault_log(), m.due_policy());
+}
+
+}  // namespace abft::detail

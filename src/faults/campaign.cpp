@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <ostream>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "abft/abft.hpp"
 #include "common/aligned.hpp"
@@ -21,6 +24,9 @@ const char* to_string(Target t) noexcept {
     case Target::csr_row_ptr: return "csr_row_ptr";
     case Target::rhs_vector: return "rhs_vector";
     case Target::any: return "any";
+    case Target::ell_values: return "ell_values";
+    case Target::ell_cols: return "ell_cols";
+    case Target::ell_row_width: return "ell_row_width";
   }
   return "?";
 }
@@ -41,15 +47,35 @@ template <class T>
   return {reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()};
 }
 
-template <class Index, class ES, class RS, class VS>
-CampaignResult run_impl(const CampaignConfig& cfg) {
-  // Test problem: 5-point Laplacian with known solution u* = 1, assembled at
-  // 32-bit width and re-indexed to the width under test.
-  sparse::CsrMatrix a32 = sparse::laplacian_2d(cfg.nx, cfg.ny);
-  if constexpr (ES::kMinRowNnz > 1) {
-    a32 = sparse::pad_rows_to_min_nnz(a32, ES::kMinRowNnz);
+/// A format's matrix-region targets in raw-region order (values, cols,
+/// structure) — explicit tables so the mapping survives Target reordering.
+inline constexpr Target kCsrTargets[3] = {Target::csr_values, Target::csr_cols,
+                                          Target::csr_row_ptr};
+inline constexpr Target kEllTargets[3] = {Target::ell_values, Target::ell_cols,
+                                          Target::ell_row_width};
+
+[[nodiscard]] constexpr const Target (&matrix_targets(MatrixFormat fmt) noexcept)[3] {
+  return fmt == MatrixFormat::csr ? kCsrTargets : kEllTargets;
+}
+
+/// Byte span of one matrix region (0 = values, 1 = cols, 2 = structure) —
+/// the format-uniform raw accessors make this container-agnostic.
+template <class PM>
+[[nodiscard]] std::span<std::uint8_t> matrix_region(PM& pa, unsigned which) noexcept {
+  switch (which) {
+    case 0: return as_bytes_span(pa.raw_values());
+    case 1: return as_bytes_span(pa.raw_cols());
+    default: return as_bytes_span(pa.raw_structure());
   }
-  const sparse::Csr<Index> a = sparse::Csr<Index>::from_csr(a32);
+}
+
+template <class Fmt, class Index, class ES, class SS, class VS>
+CampaignResult run_impl(const CampaignConfig& cfg) {
+  using PM = typename Fmt::template protected_matrix<Index, ES, SS>;
+
+  // Test problem: 5-point Laplacian with known solution u* = 1, assembled as
+  // 32-bit CSR and converted to the format/width under test.
+  const auto a = Fmt::template make_plain<Index, ES>(sparse::laplacian_2d(cfg.nx, cfg.ny));
   const std::size_t n = a.nrows();
   aligned_vector<double> ones(n, 1.0);
   aligned_vector<double> rhs(n, 0.0);
@@ -65,7 +91,7 @@ CampaignResult run_impl(const CampaignConfig& cfg) {
 
   for (unsigned trial = 0; trial < cfg.trials; ++trial) {
     FaultLog log;
-    auto pa = ProtectedCsr<Index, ES, RS>::from_csr(a, &log, DuePolicy::record_only);
+    auto pa = PM::from_plain(a, &log, DuePolicy::record_only);
     ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
     ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
     b.assign({rhs.data(), n});
@@ -73,20 +99,22 @@ CampaignResult run_impl(const CampaignConfig& cfg) {
     // Pick the injection region.
     Target target = cfg.target;
     if (target == Target::any) {
-      const std::size_t sizes[4] = {pa.raw_values().size_bytes(),
-                                    pa.raw_cols().size_bytes(),
-                                    pa.raw_row_ptr().size_bytes(), b.raw().size_bytes()};
+      const std::size_t sizes[4] = {matrix_region(pa, 0).size(), matrix_region(pa, 1).size(),
+                                    matrix_region(pa, 2).size(), b.raw().size_bytes()};
       const std::size_t total = sizes[0] + sizes[1] + sizes[2] + sizes[3];
       std::size_t pick = injector.rng().below(total);
       unsigned which = 0;
       while (which < 3 && pick >= sizes[which]) pick -= sizes[which++];
-      target = static_cast<Target>(which);
+      target = which < 3 ? matrix_targets(Fmt::kFormat)[which] : Target::rhs_vector;
     }
     std::span<std::uint8_t> region;
     switch (target) {
-      case Target::csr_values: region = as_bytes_span(pa.raw_values()); break;
-      case Target::csr_cols: region = as_bytes_span(pa.raw_cols()); break;
-      case Target::csr_row_ptr: region = as_bytes_span(pa.raw_row_ptr()); break;
+      case Target::csr_values:
+      case Target::ell_values: region = matrix_region(pa, 0); break;
+      case Target::csr_cols:
+      case Target::ell_cols: region = matrix_region(pa, 1); break;
+      case Target::csr_row_ptr:
+      case Target::ell_row_width: region = matrix_region(pa, 2); break;
       case Target::rhs_vector: region = as_bytes_span(b.raw()); break;
       case Target::any: break;  // resolved above
     }
@@ -135,13 +163,40 @@ CampaignResult run_impl(const CampaignConfig& cfg) {
 
 }  // namespace
 
+namespace {
+
+/// Format a matrix-region target belongs to; Target::any / rhs_vector are
+/// format-agnostic and return no value.
+[[nodiscard]] std::optional<MatrixFormat> target_format(Target t) noexcept {
+  switch (t) {
+    case Target::csr_values:
+    case Target::csr_cols:
+    case Target::csr_row_ptr: return MatrixFormat::csr;
+    case Target::ell_values:
+    case Target::ell_cols:
+    case Target::ell_row_width: return MatrixFormat::ell;
+    case Target::rhs_vector:
+    case Target::any: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 CampaignResult run_injection_campaign(const CampaignConfig& cfg) {
+  // Format-specific targets must match the format under test.
+  if (const auto fmt = target_format(cfg.target); fmt.has_value() && *fmt != cfg.format) {
+    throw std::invalid_argument(std::string("campaign target '") + to_string(cfg.target) +
+                                "' does not exist in the '" +
+                                std::string(to_string(cfg.format)) + "' format");
+  }
   // Uniform protection across the three structures; the secded128-at-32-bit
   // element downgrade policy lives in dispatch_uniform_protection.
-  return dispatch_uniform_protection(cfg.width, cfg.scheme,
-                                     [&]<class Index, class ES, class RS, class VS>() {
-                                       return run_impl<Index, ES, RS, VS>(cfg);
-                                     });
+  return dispatch_uniform_protection(
+      cfg.format, cfg.width, cfg.scheme,
+      [&]<class Fmt, class Index, class ES, class SS, class VS>() {
+        return run_impl<Fmt, Index, ES, SS, VS>(cfg);
+      });
 }
 
 void print_summary(std::ostream& os, const CampaignConfig& cfg,
@@ -151,7 +206,7 @@ void print_summary(std::ostream& os, const CampaignConfig& cfg,
                         : 0.0;
   };
   os << "scheme=" << ecc::to_string(cfg.scheme) << " width=" << to_string(cfg.width)
-     << " target=" << to_string(cfg.target)
+     << " format=" << to_string(cfg.format) << " target=" << to_string(cfg.target)
      << " model=" << to_string(cfg.model) << " k=" << cfg.flips_per_trial
      << " trials=" << r.trials << " | corrected " << r.detected_corrected << " ("
      << pct(r.detected_corrected) << "%), uncorrectable " << r.detected_uncorrectable

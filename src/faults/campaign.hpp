@@ -15,13 +15,19 @@
 
 namespace abft::faults {
 
-/// Which structure the flips target.
+/// Which structure the flips target. The csr_* targets are valid with
+/// MatrixFormat::csr, the ell_* targets with MatrixFormat::ell; rhs_vector
+/// and any work with either format (any draws uniformly over the format's
+/// matrix regions plus the rhs, weighted by size).
 enum class Target : std::uint8_t {
-  csr_values,   ///< CSR non-zero values (v)
-  csr_cols,     ///< CSR column indices (y)
-  csr_row_ptr,  ///< CSR row pointers (x)
-  rhs_vector,   ///< dense right-hand-side vector
-  any,          ///< uniformly over all of the above, weighted by size
+  csr_values,     ///< CSR non-zero values (v)
+  csr_cols,       ///< CSR column indices (y)
+  csr_row_ptr,    ///< CSR row pointers (x)
+  rhs_vector,     ///< dense right-hand-side vector
+  any,            ///< uniformly over the format's regions, weighted by size
+  ell_values,     ///< ELL value slab (padding slots included)
+  ell_cols,       ///< ELL column-index slab
+  ell_row_width,  ///< ELL per-row width vector
 };
 
 [[nodiscard]] const char* to_string(Target t) noexcept;
@@ -38,7 +44,8 @@ enum class FaultModel : std::uint8_t {
 /// Campaign configuration.
 struct CampaignConfig {
   ecc::Scheme scheme = ecc::Scheme::secded64;  ///< uniform protection scheme
-  IndexWidth width = IndexWidth::i32;          ///< CSR index width under test
+  IndexWidth width = IndexWidth::i32;          ///< index width under test
+  MatrixFormat format = MatrixFormat::csr;     ///< storage format under test
   Target target = Target::any;
   FaultModel model = FaultModel::single_flip;
   unsigned flips_per_trial = 1;   ///< k for multi_flip / burst length for burst

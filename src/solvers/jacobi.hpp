@@ -14,18 +14,18 @@
 
 namespace abft::solvers {
 
-/// Extract 1/diag(A) into \p dinv (setup path, fully checked).
+/// Extract 1/diag(A) into \p dinv (setup path, fully checked). Uses the
+/// format-uniform row accessors, so any protected matrix format works.
 template <class Matrix, class VS>
 void extract_inverse_diagonal(Matrix& a, ProtectedVector<VS>& dinv) {
   if (dinv.size() != a.nrows()) {
     throw std::invalid_argument("extract_inverse_diagonal: dimension mismatch");
   }
   for (std::size_t r = 0; r < a.nrows(); ++r) {
-    const auto begin = a.row_ptr_at(r);
-    const auto end = a.row_ptr_at(r + 1);
+    const std::size_t nnz = a.row_nnz_at(r);
     double d = 0.0;
-    for (std::size_t k = begin; k < end; ++k) {
-      const auto el = a.element_at(r, k);
+    for (std::size_t j = 0; j < nnz; ++j) {
+      const auto el = a.element_in_row(r, j);
       if (el.col == r) {
         d = el.value;
         break;

@@ -4,13 +4,17 @@
 /// The paper's discussion (§VIII) points out that ABFT lets the *application*
 /// decide what happens on an uncorrectable error: instead of the machine-
 /// check abort a hardware DUE triggers, an iterative solver can restore a
-/// checkpoint and re-run. This wrapper demonstrates that: the pristine CSR
-/// matrix and the initial guess act as the checkpoint; on UncorrectableError
+/// checkpoint and re-run. The wrapper here demonstrates that, generically:
+/// the pristine matrix (in whatever storage format the protected container
+/// uses) and the initial guess act as the checkpoint; on UncorrectableError
 /// or BoundsViolation the protected matrix is re-encoded from the pristine
-/// copy, the solution vector is restored, and the solve retries.
+/// copy, the solution vector is restored, and the supplied solver retries.
+/// Any of the solvers (cg / pcg / ppcg / chebyshev / jacobi) slots in as the
+/// callable; cg_solve_with_restart remains as the CG-flavoured convenience.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "abft/protected_csr.hpp"
 #include "abft/protected_kernels.hpp"
@@ -29,17 +33,19 @@ struct RecoveringSolveResult {
   bool gave_up = false;   ///< true when max_restarts was exhausted
 };
 
-/// CG with checkpoint-restart on detected-uncorrectable errors.
+/// Checkpoint-restart on detected-uncorrectable errors around any solver.
 ///
-/// \p pristine is the fault-free matrix (the "checkpoint on disk"); \p a is
-/// the in-memory protected copy that faults may hit. \p u0 is the initial
-/// guess restored on every restart.
-template <class Matrix, class VS>
-RecoveringSolveResult cg_solve_with_restart(const typename Matrix::csr_type& pristine,
-                                            Matrix& a,
-                                            ProtectedVector<VS>& b, ProtectedVector<VS>& u,
-                                            const SolveOptions& opts = {},
-                                            unsigned max_restarts = 3) {
+/// \p solver is invoked as `solver(a, b, u)` and must return a SolveResult
+/// (wrap the solver of your choice plus its options in a lambda). \p pristine
+/// is the fault-free matrix in the container's plain format (the "checkpoint
+/// on disk"); \p a is the in-memory protected copy that faults may hit. The
+/// initial guess in \p u is captured on entry and restored on every restart.
+template <class Solver, class Matrix, class VS>
+RecoveringSolveResult solve_with_restart(Solver&& solver,
+                                         const typename Matrix::plain_type& pristine,
+                                         Matrix& a, ProtectedVector<VS>& b,
+                                         ProtectedVector<VS>& u,
+                                         unsigned max_restarts = 3) {
   // Checkpoint of the initial guess.
   aligned_vector<double> u0(u.size());
   u.extract(u0);
@@ -47,7 +53,7 @@ RecoveringSolveResult cg_solve_with_restart(const typename Matrix::csr_type& pri
   RecoveringSolveResult result;
   for (;;) {
     try {
-      result.solve = cg_solve(a, b, u, opts);
+      result.solve = solver(a, b, u);
       return result;
     } catch (const UncorrectableError&) {
     } catch (const BoundsViolation&) {
@@ -58,9 +64,24 @@ RecoveringSolveResult cg_solve_with_restart(const typename Matrix::csr_type& pri
     }
     ++result.restarts;
     // Restore: re-encode the matrix from the pristine copy and reset u.
-    a = Matrix::from_csr(pristine, a.fault_log(), a.due_policy());
+    a = Matrix::from_plain(pristine, a.fault_log(), a.due_policy());
     u.assign(u0);
   }
+}
+
+/// CG with checkpoint-restart — the thin wrapper the original API exposed;
+/// see solve_with_restart for the generic version.
+template <class Matrix, class VS>
+RecoveringSolveResult cg_solve_with_restart(const typename Matrix::plain_type& pristine,
+                                            Matrix& a,
+                                            ProtectedVector<VS>& b, ProtectedVector<VS>& u,
+                                            const SolveOptions& opts = {},
+                                            unsigned max_restarts = 3) {
+  return solve_with_restart(
+      [&opts](Matrix& m, ProtectedVector<VS>& bb, ProtectedVector<VS>& uu) {
+        return cg_solve(m, bb, uu, opts);
+      },
+      pristine, a, b, u, max_restarts);
 }
 
 }  // namespace abft::solvers

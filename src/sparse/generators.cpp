@@ -55,6 +55,46 @@ CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny) {
   return csr;
 }
 
+EllMatrix ell_laplacian_2d(std::size_t nx, std::size_t ny) {
+  const std::size_t n = nx * ny;
+  if (n == 0) return EllMatrix(0, 0, 0);
+  // Widest stencil row: the diagonal plus up to two horizontal and two
+  // vertical neighbours, clamped on degenerate (nx or ny < 3) meshes —
+  // exactly the width Ell::from_csr would compute.
+  const std::size_t width =
+      1 + std::min<std::size_t>(nx - 1, 2) + std::min<std::size_t>(ny - 1, 2);
+  EllMatrix m(n, n, width);
+  auto& row_nnz = m.row_nnz();
+  auto& cols = m.cols();
+  auto& values = m.values();
+
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t r = j * nx + i;
+      std::size_t slot = 0;
+      const auto put = [&](std::size_t c, double v) {
+        values[slot * n + r] = v;
+        cols[slot * n + r] = static_cast<EllMatrix::index_type>(c);
+        ++slot;
+      };
+      if (j > 0) put(r - nx, -1.0);
+      if (i > 0) put(r - 1, -1.0);
+      put(r, 4.0);
+      if (i + 1 < nx) put(r + 1, -1.0);
+      if (j + 1 < ny) put(r + nx, -1.0);
+      row_nnz[r] = static_cast<EllMatrix::index_type>(slot);
+      // Pad the remaining slots with the last real column and a zero value
+      // (matches Ell::from_csr so the two assembly paths are bit-identical).
+      const auto pad_col = cols[(slot - 1) * n + r];
+      for (; slot < width; ++slot) {
+        values[slot * n + r] = 0.0;
+        cols[slot * n + r] = pad_col;
+      }
+    }
+  }
+  return m;
+}
+
 CsrMatrix laplacian_2d_9pt(std::size_t nx, std::size_t ny) {
   const std::size_t n = nx * ny;
   CooMatrix coo(n, n);

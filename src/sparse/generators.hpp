@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
 
 namespace abft::sparse {
 
@@ -14,6 +15,12 @@ namespace abft::sparse {
 /// A(i,i) = 4, A(i, i +/- 1) = -1, A(i, i +/- nx) = -1. Symmetric positive
 /// definite; exactly the sparsity pattern TeaLeaf's operator has.
 [[nodiscard]] CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny);
+
+/// The same 5-point Laplacian assembled *directly* in ELLPACK form (width 5,
+/// no CSR intermediate) — the stencil's row structure is known up front, so
+/// the slabs can be written in place. Bit-identical to
+/// Ell<...>::from_csr(laplacian_2d(nx, ny)).
+[[nodiscard]] EllMatrix ell_laplacian_2d(std::size_t nx, std::size_t ny);
 
 /// 9-point Laplacian variant (denser rows; exercises schemes whose per-row
 /// codewords need at least four non-zeros with margin).

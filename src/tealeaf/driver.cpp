@@ -9,15 +9,15 @@ namespace abft::tealeaf {
 
 RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
                                  unsigned check_interval, FaultLog* log,
-                                 DuePolicy policy) {
+                                 DuePolicy policy, MatrixFormat format) {
   // TeaLeaf assembles 32-bit operators; the secded128 element-downgrade
   // policy lives in dispatch_uniform_protection. The dispatcher instantiates
   // the callable at both widths, so the 64-bit branch is compiled out.
   return dispatch_uniform_protection(
-      IndexWidth::i32, scheme,
-      [&]<class Index, class ES, class RS, class VS>() -> RunResult {
+      format, IndexWidth::i32, scheme,
+      [&]<class Fmt, class Index, class ES, class RS, class VS>() -> RunResult {
         if constexpr (std::is_same_v<Index, std::uint32_t>) {
-          Simulation<ES, RS, VS> sim(config, log, policy);
+          Simulation<ES, RS, VS, Fmt> sim(config, log, policy);
           sim.set_check_interval(check_interval);
           return sim.run();
         } else {

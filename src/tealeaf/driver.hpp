@@ -41,8 +41,11 @@ struct RunResult {
   Problem::FieldSummary final_summary{};  ///< TeaLeaf field_summary diagnostics
 };
 
-/// TeaLeaf simulation templated on the protection schemes.
-template <class ES, class RS, class VS>
+/// TeaLeaf simulation templated on the protection schemes and the storage
+/// format of the protected operator (a format tag from format_traits.hpp;
+/// TeaLeaf's 5-point operator is exactly the near-constant-row-width shape
+/// ELLPACK is built for).
+template <class ES, class RS, class VS, class Fmt = CsrFormat>
 class Simulation {
  public:
   explicit Simulation(const Config& config, FaultLog* log = nullptr,
@@ -65,12 +68,12 @@ class Simulation {
   StepResult step() {
     const std::size_t n = problem_.mesh().cells();
 
-    // Assemble and protect this step's operator.
-    sparse::CsrMatrix a = problem_.assemble_matrix();
-    if constexpr (ES::kMinRowNnz > 1) {
-      a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
-    }
-    auto pa = ProtectedCsr<std::uint32_t, ES, RS>::from_csr(a, log_, policy_);
+    // Assemble and protect this step's operator in the configured format
+    // (the format tag applies its own minimum-row-size remedy).
+    using PM = typename Fmt::template protected_matrix<std::uint32_t, ES, RS>;
+    const auto a =
+        Fmt::template make_plain<std::uint32_t, ES>(problem_.assemble_matrix());
+    auto pa = PM::from_plain(a, log_, policy_);
 
     // b = u_old; initial guess u = u_old.
     ProtectedVector<VS> b(n, log_, policy_);
@@ -133,11 +136,12 @@ class Simulation {
 };
 
 /// Convenience: run a full simulation with a *uniform* protection scheme
-/// (the same code family protecting elements, row pointers and vectors),
-/// selected at runtime. This is what the examples use; benches compose the
-/// per-axis dispatchers themselves.
+/// (the same code family protecting elements, structure and vectors),
+/// selected at runtime, in either storage format. This is what the examples
+/// use; benches compose the per-axis dispatchers themselves.
 RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
                                  unsigned check_interval = 1, FaultLog* log = nullptr,
-                                 DuePolicy policy = DuePolicy::throw_exception);
+                                 DuePolicy policy = DuePolicy::throw_exception,
+                                 MatrixFormat format = MatrixFormat::csr);
 
 }  // namespace abft::tealeaf

@@ -39,6 +39,23 @@ TEST(ParseIndexWidth, RoundTripsAndRejects) {
   EXPECT_THROW((void)parse_index_width("128"), std::invalid_argument);
 }
 
+TEST(ParseFormat, RoundTripsAndRejects) {
+  EXPECT_EQ(parse_format("csr"), MatrixFormat::csr);
+  EXPECT_EQ(parse_format("ell"), MatrixFormat::ell);
+  EXPECT_EQ(parse_format(to_string(MatrixFormat::csr)), MatrixFormat::csr);
+  EXPECT_EQ(parse_format(to_string(MatrixFormat::ell)), MatrixFormat::ell);
+  EXPECT_THROW((void)parse_format("coo"), std::invalid_argument);
+  EXPECT_THROW((void)parse_format("ELL"), std::invalid_argument);  // case-sensitive
+}
+
+TEST(DispatchFormat, MapsFormatsToTags) {
+  const auto fmt = [](MatrixFormat f) {
+    return dispatch_format(f, []<class Fmt>() { return Fmt::kFormat; });
+  };
+  EXPECT_EQ(fmt(MatrixFormat::csr), MatrixFormat::csr);
+  EXPECT_EQ(fmt(MatrixFormat::ell), MatrixFormat::ell);
+}
+
 TEST(DispatchElem, MapsSchemesToPolicies32) {
   const auto name = [](ecc::Scheme s) {
     return dispatch_elem(s, []<class ES>() { return ES::kScheme; });
@@ -175,6 +192,37 @@ TEST(DispatchUniformProtection, AppliesElementDowngradePolicyOnce) {
   };
   EXPECT_EQ(row_group(IndexWidth::i32), 4u);
   EXPECT_EQ(row_group(IndexWidth::i64), 2u);
+}
+
+TEST(DispatchProtection, FormatAxisComposesWithSchemeMatrix) {
+  // The 5-parameter overload hands the callable a format tag whose container
+  // and plain-matrix templates agree with the dispatched width and schemes.
+  for (auto fmt : {MatrixFormat::csr, MatrixFormat::ell}) {
+    for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
+      const bool ok = dispatch_protection(
+          fmt, width, SchemeTriple(ecc::Scheme::secded64),
+          []<class Fmt, class Index, class ES, class SS, class VS>() {
+            using PM = typename Fmt::template protected_matrix<Index, ES, SS>;
+            return MatrixTraits<PM>::kFormat == Fmt::kFormat &&
+                   std::is_same_v<typename MatrixTraits<PM>::plain_type,
+                                  typename Fmt::template plain_matrix<Index>> &&
+                   std::is_same_v<typename ES::index_type, Index>;
+          });
+      EXPECT_TRUE(ok) << to_string(fmt) << "/" << to_string(width);
+    }
+  }
+}
+
+TEST(DispatchUniformProtection, FormatOverloadForwards) {
+  const auto fmt_of = [](MatrixFormat f) {
+    return dispatch_uniform_protection(
+        f, IndexWidth::i32, ecc::Scheme::crc32c,
+        []<class Fmt, class Index, class ES, class SS, class VS>() {
+          return Fmt::kFormat;
+        });
+  };
+  EXPECT_EQ(fmt_of(MatrixFormat::csr), MatrixFormat::csr);
+  EXPECT_EQ(fmt_of(MatrixFormat::ell), MatrixFormat::ell);
 }
 
 TEST(DispatchProtection, UniformTripleBroadcastsScheme) {

@@ -1,0 +1,127 @@
+// sparse::Ell — the ELLPACK(-R) container: CSR round trips, the
+// direct-from-stencil generator path, bit-identical SpMV against CSR, and
+// structural validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace abft;
+
+TEST(Ell, FromCsrRoundTripsStencilMatrix) {
+  const auto a = sparse::laplacian_2d(13, 9);
+  const auto e = sparse::EllMatrix::from_csr(a);
+  EXPECT_EQ(e.nrows(), a.nrows());
+  EXPECT_EQ(e.ncols(), a.ncols());
+  EXPECT_EQ(e.width(), 5u);  // interior rows of the 5-point stencil
+  EXPECT_EQ(e.nnz(), a.nnz());
+  e.validate();
+
+  const auto back = e.to_csr();
+  EXPECT_EQ(back.row_ptr(), a.row_ptr());
+  EXPECT_EQ(back.cols(), a.cols());
+  EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Ell, FromCsrRoundTripsIrregularMatrix) {
+  const auto a = sparse::random_spd(200, 7, /*seed=*/3);
+  const auto e = sparse::EllMatrix::from_csr(a);
+  e.validate();
+  const auto back = e.to_csr();
+  EXPECT_EQ(back.row_ptr(), a.row_ptr());
+  EXPECT_EQ(back.cols(), a.cols());
+  EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Ell, MinWidthPadsSlabsNotRows) {
+  const auto a = sparse::laplacian_2d(6, 6);
+  const auto e = sparse::EllMatrix::from_csr(a, 8);
+  EXPECT_EQ(e.width(), 8u);
+  EXPECT_EQ(e.nnz(), a.nnz());  // padding slots are not non-zeros
+  e.validate();
+  const auto back = e.to_csr();
+  EXPECT_EQ(back.values(), a.values());
+}
+
+TEST(Ell, DirectStencilGeneratorMatchesConversionPath) {
+  // Degenerate meshes (nx or ny < 3) have narrower slabs; the direct
+  // generator must clamp the width exactly as from_csr computes it.
+  for (auto [nx, ny] :
+       {std::pair<std::size_t, std::size_t>{11, 7}, {2, 2}, {1, 6}, {2, 3}, {1, 1}}) {
+    const auto via_csr = sparse::EllMatrix::from_csr(sparse::laplacian_2d(nx, ny));
+    const auto direct = sparse::ell_laplacian_2d(nx, ny);
+    direct.validate();
+    EXPECT_EQ(direct.width(), via_csr.width()) << nx << "x" << ny;
+    EXPECT_EQ(direct.row_nnz(), via_csr.row_nnz()) << nx << "x" << ny;
+    EXPECT_EQ(direct.cols(), via_csr.cols()) << nx << "x" << ny;
+    EXPECT_EQ(direct.values(), via_csr.values()) << nx << "x" << ny;
+  }
+}
+
+TEST(Ell, SpmvBitIdenticalToCsr) {
+  for (auto [nx, ny] : {std::pair<std::size_t, std::size_t>{16, 16}, {31, 5}}) {
+    const auto a = sparse::laplacian_2d(nx, ny);
+    const auto e = sparse::EllMatrix::from_csr(a);
+    Xoshiro256 rng(9);
+    std::vector<double> x(a.ncols()), y_csr(a.nrows()), y_ell(a.nrows());
+    for (auto& v : x) v = rng.uniform(-3, 3);
+    sparse::spmv(a, x.data(), y_csr.data());
+    sparse::spmv(e, x.data(), y_ell.data());
+    for (std::size_t i = 0; i < a.nrows(); ++i) {
+      EXPECT_EQ(y_csr[i], y_ell[i]) << i;  // exact: same accumulation order
+    }
+  }
+}
+
+TEST(Ell, SpmvBitIdenticalToCsrOnIrregularMatrix) {
+  const auto a = sparse::random_spd(150, 5, /*seed=*/8);
+  const auto e = sparse::EllMatrix::from_csr(a);
+  Xoshiro256 rng(10);
+  std::vector<double> x(a.ncols()), y_csr(a.nrows()), y_ell(a.nrows());
+  for (auto& v : x) v = rng.uniform(-3, 3);
+  sparse::spmv(a, x.data(), y_csr.data());
+  sparse::spmv(e, x.data(), y_ell.data());
+  for (std::size_t i = 0; i < a.nrows(); ++i) EXPECT_EQ(y_csr[i], y_ell[i]) << i;
+}
+
+TEST(Ell, WideIndexConversionAgrees) {
+  const auto a32 = sparse::laplacian_2d(9, 9);
+  const auto e64 = sparse::Ell64Matrix::from_csr(sparse::Csr64Matrix::from_csr(a32));
+  const auto e32 = sparse::EllMatrix::from_csr(a32);
+  ASSERT_EQ(e64.width(), e32.width());
+  ASSERT_EQ(e64.values().size(), e32.values().size());
+  for (std::size_t k = 0; k < e32.values().size(); ++k) {
+    EXPECT_EQ(e64.values()[k], e32.values()[k]);
+    EXPECT_EQ(e64.cols()[k], static_cast<std::uint64_t>(e32.cols()[k]));
+  }
+}
+
+TEST(Ell, ValidateRejectsMalformedStructure) {
+  auto e = sparse::ell_laplacian_2d(4, 4);
+  e.row_nnz()[3] = 9;  // > width
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+
+  auto e2 = sparse::ell_laplacian_2d(4, 4);
+  e2.cols()[5] = 100;  // >= ncols (16)
+  EXPECT_THROW(e2.validate(), std::invalid_argument);
+
+  auto e3 = sparse::ell_laplacian_2d(4, 4);
+  e3.cols().pop_back();  // slab size mismatch
+  EXPECT_THROW(e3.validate(), std::invalid_argument);
+}
+
+TEST(Ell, AtLooksUpEntries) {
+  const auto e = sparse::ell_laplacian_2d(5, 5);
+  EXPECT_EQ(e.at(12, 12), 4.0);   // interior diagonal
+  EXPECT_EQ(e.at(12, 11), -1.0);  // west neighbour
+  EXPECT_EQ(e.at(12, 0), 0.0);    // structural zero
+}
+
+}  // namespace

@@ -170,4 +170,60 @@ TEST(Campaign, ResultCountsAreConsistent) {
             res.trials);
 }
 
+TEST(Campaign, EllSecdedSingleFlipsAreNeverSdc) {
+  auto cfg = small_config(ecc::Scheme::secded64, Target::any, FaultModel::single_flip, 1);
+  cfg.format = MatrixFormat::ell;
+  const auto res = run_injection_campaign(cfg);
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_EQ(res.not_converged, 0u);
+  EXPECT_GT(res.detected_corrected, res.trials / 2);
+}
+
+TEST(Campaign, EllRowWidthFlipsAreContained) {
+  for (auto scheme : {ecc::Scheme::sed, ecc::Scheme::secded64, ecc::Scheme::crc32c}) {
+    auto cfg =
+        small_config(scheme, Target::ell_row_width, FaultModel::single_flip, 1);
+    cfg.format = MatrixFormat::ell;
+    const auto res = run_injection_campaign(cfg);
+    EXPECT_EQ(res.sdc, 0u) << ecc::to_string(scheme);
+    EXPECT_EQ(res.not_converged, 0u) << ecc::to_string(scheme);
+  }
+}
+
+TEST(Campaign, EllColumnFlipsAreContained) {
+  auto cfg = small_config(ecc::Scheme::crc32c, Target::ell_cols, FaultModel::single_flip, 1);
+  cfg.format = MatrixFormat::ell;
+  const auto res = run_injection_campaign(cfg);
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_GT(res.detected_corrected, res.trials / 2);
+}
+
+TEST(Campaign, FormatMismatchedTargetsAreRejected) {
+  auto cfg = small_config(ecc::Scheme::secded64, Target::csr_row_ptr,
+                          FaultModel::single_flip, 1);
+  cfg.format = MatrixFormat::ell;
+  EXPECT_THROW((void)run_injection_campaign(cfg), std::invalid_argument);
+  auto cfg2 = small_config(ecc::Scheme::secded64, Target::ell_row_width,
+                           FaultModel::single_flip, 1);
+  cfg2.format = MatrixFormat::csr;
+  EXPECT_THROW((void)run_injection_campaign(cfg2), std::invalid_argument);
+  // rhs_vector and any are format-agnostic.
+  auto cfg3 = small_config(ecc::Scheme::secded64, Target::rhs_vector,
+                           FaultModel::single_flip, 1);
+  cfg3.format = MatrixFormat::ell;
+  cfg3.trials = 5;
+  EXPECT_NO_THROW((void)run_injection_campaign(cfg3));
+}
+
+TEST(TargetNames, CoverEveryTarget) {
+  for (auto t : {Target::csr_values, Target::csr_cols, Target::csr_row_ptr,
+                 Target::rhs_vector, Target::any, Target::ell_values, Target::ell_cols,
+                 Target::ell_row_width}) {
+    EXPECT_STRNE(to_string(t), "?");
+  }
+  EXPECT_STREQ(to_string(Target::ell_values), "ell_values");
+  EXPECT_STREQ(to_string(Target::ell_cols), "ell_cols");
+  EXPECT_STREQ(to_string(Target::ell_row_width), "ell_row_width");
+}
+
 }  // namespace

@@ -202,4 +202,18 @@ TEST(ProtectedCsrFaults, CorruptRowPtrIsBoundsGuardedInVerify) {
   EXPECT_GE(log.bounds_violations(), 1u);
 }
 
+TEST(ProtectedCsrFaults, CorruptRowPtrIsBoundsGuardedInRowAccessors) {
+  // The format-uniform slow-path accessors must not underflow the row count
+  // or read past the value array when an offset survives corrupted: the
+  // row reads as empty and the violation is logged (paper §VI-A2).
+  const auto a = sparse::laplacian_2d(10, 10);
+  FaultLog log;
+  auto p =
+      ProtectedCsr<std::uint32_t, ElemNone, RowNone>::from_csr(a, &log, DuePolicy::record_only);
+  p.raw_row_ptr()[5] = 0x7F000000u;  // begin > end for row 5, end > nnz for row 4
+  EXPECT_EQ(p.row_nnz_at(5), 0u);
+  EXPECT_GE(log.bounds_violations(), 1u);
+  EXPECT_THROW((void)p.element_in_row(4, a.row_nnz(4) + 1000), BoundsViolation);
+}
+
 }  // namespace

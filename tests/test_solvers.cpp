@@ -219,6 +219,36 @@ TEST(Recovery, RestartsAfterDueAndSolves) {
   for (double g : got) EXPECT_NEAR(g, 1.0, 1e-6);
 }
 
+TEST(Recovery, GenericRestartWrapsAnySolver) {
+  // The solver-agnostic wrapper: PCG inside solve_with_restart recovers from
+  // a SED-detected DUE exactly as the CG convenience wrapper does.
+  auto [a, rhs] = ones_problem<ElemSed>(16, 16);
+  const std::size_t n = a.nrows();
+  using Matrix = ProtectedCsr<std::uint32_t, ElemSed, RowSed>;
+  FaultLog log;
+  auto pa = Matrix::from_csr(a, &log);
+  ProtectedVector<VecSed> b(n, &log), u(n, &log);
+  b.assign({rhs.data(), n});
+
+  auto values = pa.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(values.data()), values.size_bytes()},
+                   512);
+  SolveOptions opts;
+  opts.tolerance = 1e-10;
+  const auto res = solve_with_restart(
+      [&opts](Matrix& m, ProtectedVector<VecSed>& bb, ProtectedVector<VecSed>& uu) {
+        return pcg_jacobi_solve(m, bb, uu, opts);
+      },
+      a, pa, b, u);
+  EXPECT_FALSE(res.gave_up);
+  EXPECT_EQ(res.restarts, 1u);
+  EXPECT_TRUE(res.solve.converged);
+
+  aligned_vector<double> got(n);
+  u.extract(got);
+  for (double g : got) EXPECT_NEAR(g, 1.0, 1e-6);
+}
+
 TEST(Recovery, GivesUpAfterMaxRestartsOnPersistentFault) {
   // A "pristine" copy that itself trips the bounds guard models a hard
   // fault that re-encoding cannot fix.
