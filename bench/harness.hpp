@@ -18,8 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
+
+#include "abft/dispatch.hpp"
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -42,6 +45,14 @@ struct BenchOptions {
   /// dominated by scheduler/bandwidth noise (the paper used dedicated
   /// nodes). Pass --threads N to scale out.
   unsigned threads = 1;
+  /// Storage-format filter for the drivers that print one series per format
+  /// (fig4/fig5): "csr", "ell", "sell" or "all".
+  const char* format = "all";
+
+  /// True when the per-format series named \p name should run.
+  [[nodiscard]] bool format_selected(const char* name) const {
+    return std::strcmp(format, "all") == 0 || std::strcmp(format, name) == 0;
+  }
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -59,9 +70,21 @@ struct BenchOptions {
           grab("--threads", o.threads)) {
         continue;
       }
+      if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+        o.format = argv[++i];
+        if (std::strcmp(o.format, "all") != 0) {
+          try {
+            (void)abft::parse_format(o.format);  // one format registry for all drivers
+          } catch (const std::invalid_argument& e) {
+            std::printf("%s (or 'all')\n", e.what());
+            std::exit(2);
+          }
+        }
+        continue;
+      }
       if (std::strcmp(argv[i], "--help") == 0) {
         std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
-                    "[--threads N]\n",
+                    "[--threads N] [--format csr|ell|sell|all]\n",
                     argv[0]);
         std::exit(0);
       }

@@ -3,7 +3,7 @@
 /// storage format — bombard it with bit flips, and report what the chosen
 /// scheme catches.
 ///
-/// Usage: matrix_doctor <file.mtx|builtin> [scheme] [flips] [seed] [--format csr|ell]
+/// Usage: matrix_doctor <file.mtx|builtin> [scheme] [flips] [seed] [--format csr|ell|sell]
 ///   file.mtx  MatrixMarket coordinate file, or "builtin" for a 64x64
 ///             Laplacian test matrix
 ///   scheme    none|sed|secded64|secded128|crc32c   (default secded64)
@@ -33,6 +33,13 @@ using namespace abft;
 [[nodiscard]] bool matrices_identical(const sparse::EllMatrix& a,
                                       const sparse::EllMatrix& b) {
   return a.values() == b.values() && a.cols() == b.cols() && a.row_nnz() == b.row_nnz();
+}
+
+[[nodiscard]] bool matrices_identical(const sparse::SellMatrix& a,
+                                      const sparse::SellMatrix& b) {
+  return a.values() == b.values() && a.cols() == b.cols() &&
+         a.row_nnz() == b.row_nnz() && a.perm() == b.perm() &&
+         a.slice_widths() == b.slice_widths();
 }
 
 template <class Fmt, class ES, class SS>
@@ -95,7 +102,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--format") == 0) {
       if (i + 1 >= argc) {
-        std::printf("--format requires a value (csr or ell)\n");
+        std::printf("--format requires a value (csr, ell or sell)\n");
         return 2;
       }
       format_name = argv[++i];
@@ -108,7 +115,7 @@ int main(int argc, char** argv) {
   }
   if (npos < 1) {
     std::printf("usage: %s <file.mtx|builtin> [scheme] [flips] [seed] "
-                "[--format csr|ell]\n",
+                "[--format csr|ell|sell]\n",
                 argv[0]);
     return 2;
   }

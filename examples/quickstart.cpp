@@ -3,10 +3,11 @@
 /// solver vectors — at either index width, in either storage format — flip a
 /// bit, and watch the solve survive.
 ///
-/// Usage: quickstart [scheme] [width] [--format csr|ell|both]
+/// Usage: quickstart [scheme] [width] [--format csr|ell|sell|all]
 ///   scheme: none|sed|secded64|secded128|crc32c   (default secded64)
 ///   width:  32|64|both                           (default both)
-///   format: csr|ell|both                         (default both)
+///   format: csr|ell|sell|all                     (default all; 'both' is
+///           accepted as a legacy alias)
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--format") == 0) {
       if (i + 1 >= argc) {
-        std::printf("--format requires a value (csr, ell or both)\n");
+        std::printf("--format requires a value (csr, ell, sell or all)\n");
         return 2;
       }
       format_name = argv[++i];
@@ -115,7 +116,8 @@ int main(int argc, char** argv) {
   const ecc::Scheme scheme = abft::parse_scheme(scheme_name);
   const bool both_widths = std::strcmp(width_name, "both") == 0;
   if (!both_widths) (void)abft::parse_index_width(width_name);  // reject typos loudly
-  const bool both_formats = std::strcmp(format_name, "both") == 0;
+  const bool both_formats = std::strcmp(format_name, "both") == 0 ||
+                            std::strcmp(format_name, "all") == 0;
   if (!both_formats) (void)abft::parse_format(format_name);
   const auto run_combo = [&](abft::MatrixFormat format, abft::IndexWidth width) {
     try {
@@ -127,7 +129,7 @@ int main(int argc, char** argv) {
     }
   };
   bool any_ok = false;
-  for (const char* fmt : {"csr", "ell"}) {
+  for (const char* fmt : {"csr", "ell", "sell"}) {
     if (!both_formats && std::strcmp(format_name, fmt) != 0) continue;
     const auto format = abft::parse_format(fmt);
     if (both_widths || std::strcmp(width_name, "32") == 0) {

@@ -124,12 +124,14 @@ struct SchemeTriple {
 };
 
 /// Invoke `f.template operator()<Fmt>()` for the format tag matching \p fmt
-/// (CsrFormat / EllFormat, see format_traits.hpp).
+/// (CsrFormat / EllFormat / SellFormat, see format_traits.hpp).
 template <class F>
 decltype(auto) dispatch_format(MatrixFormat fmt, F&& f) {
   switch (fmt) {
     case MatrixFormat::csr: return std::forward<F>(f).template operator()<CsrFormat>();
     case MatrixFormat::ell: return std::forward<F>(f).template operator()<EllFormat>();
+    case MatrixFormat::sell:
+      return std::forward<F>(f).template operator()<SellFormat>();
   }
   throw std::invalid_argument("dispatch_format: unknown format");
 }
@@ -250,12 +252,23 @@ decltype(auto) dispatch_uniform_protection(MatrixFormat fmt, IndexWidth width,
                               "' (valid widths: 32, 64)");
 }
 
-/// Parse a storage format ("csr" or "ell").
+/// Every dispatchable storage format, in declaration order (drivers and
+/// tests iterate this instead of hand-rolling the list).
+inline constexpr MatrixFormat kAllFormats[] = {MatrixFormat::csr, MatrixFormat::ell,
+                                               MatrixFormat::sell};
+
+/// Parse a storage format ("csr", "ell" or "sell").
 [[nodiscard]] inline MatrixFormat parse_format(std::string_view name) {
-  if (name == "csr") return MatrixFormat::csr;
-  if (name == "ell") return MatrixFormat::ell;
+  for (const auto f : kAllFormats) {
+    if (to_string(f) == name) return f;
+  }
+  std::string valid;
+  for (const auto f : kAllFormats) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(f);
+  }
   throw std::invalid_argument("unknown matrix format: '" + std::string(name) +
-                              "' (valid formats: csr, ell)");
+                              "' (valid formats: " + valid + ")");
 }
 
 }  // namespace abft

@@ -25,20 +25,28 @@
 
 #include "abft/protected_csr.hpp"
 #include "abft/protected_ell.hpp"
+#include "abft/protected_sell.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
+#include "sparse/sell.hpp"
 #include "sparse/transform.hpp"
 
 namespace abft {
 
 /// Sparse storage format of the protected matrix stack.
 enum class MatrixFormat : std::uint8_t {
-  csr,  ///< compressed sparse row — the paper's setting (§V-B)
-  ell,  ///< ELLPACK(-R) — padded slabs + row widths; the stencil-shaped format
+  csr,   ///< compressed sparse row — the paper's setting (§V-B)
+  ell,   ///< ELLPACK(-R) — padded slabs + row widths; the stencil-shaped format
+  sell,  ///< SELL-C-sigma — sliced ELLPACK with sigma-window row sorting
 };
 
 [[nodiscard]] constexpr std::string_view to_string(MatrixFormat f) noexcept {
-  return f == MatrixFormat::csr ? "csr" : "ell";
+  switch (f) {
+    case MatrixFormat::csr: return "csr";
+    case MatrixFormat::ell: return "ell";
+    case MatrixFormat::sell: return "sell";
+  }
+  return "?";
 }
 
 /// Traits of a protected matrix type; specialized per container.
@@ -66,6 +74,17 @@ struct MatrixTraits<ProtectedEll<Index, ES, SS>> {
   static constexpr Region kValuesRegion = Region::ell_values;
   static constexpr Region kColsRegion = Region::ell_cols;
   static constexpr Region kStructRegion = Region::ell_row_width;
+};
+
+template <class Index, class ES, class SS>
+struct MatrixTraits<ProtectedSell<Index, ES, SS>> {
+  static constexpr MatrixFormat kFormat = MatrixFormat::sell;
+  using matrix_type = ProtectedSell<Index, ES, SS>;
+  using plain_type = sparse::Sell<Index>;
+  using cursor_type = SellRowCursor<Index, ES, SS>;
+  static constexpr Region kValuesRegion = Region::sell_values;
+  static constexpr Region kColsRegion = Region::sell_cols;
+  static constexpr Region kStructRegion = Region::sell_structure;
 };
 
 /// A type the protected kernels can run over: any container with a
@@ -118,6 +137,31 @@ struct EllFormat {
     } else {
       return sparse::Ell<Index>::from_csr(sparse::Csr<Index>::from_csr(a),
                                           ES::kMinRowNnz);
+    }
+  }
+};
+
+/// Format tag: SELL-C-sigma. make_plain converts the CSR assembly into
+/// sigma-sorted slice slabs with the default slice height and sort window
+/// (which keep the permutation local to the SpMV chunks, as ProtectedSell
+/// requires); the per-row CRC's minimum becomes a minimum slice *width*, so
+/// no fill-in entries are ever added.
+struct SellFormat {
+  static constexpr MatrixFormat kFormat = MatrixFormat::sell;
+
+  template <class Index>
+  using plain_matrix = sparse::Sell<Index>;
+
+  template <class Index, class ES, class SS>
+  using protected_matrix = ProtectedSell<Index, ES, SS>;
+
+  template <class Index, class ES>
+  [[nodiscard]] static sparse::Sell<Index> make_plain(sparse::CsrMatrix a) {
+    if constexpr (std::is_same_v<Index, std::uint32_t>) {
+      return sparse::Sell<Index>::from_csr(a, ES::kMinRowNnz);
+    } else {
+      return sparse::Sell<Index>::from_csr(sparse::Csr<Index>::from_csr(a),
+                                           ES::kMinRowNnz);
     }
   }
 };

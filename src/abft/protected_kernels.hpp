@@ -29,6 +29,7 @@
 #include "abft/check_policy.hpp"
 #include "abft/format_traits.hpp"
 #include "abft/protected_vector.hpp"
+#include "abft/raw_spmv.hpp"
 
 namespace abft {
 
@@ -54,8 +55,12 @@ void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
     throw std::invalid_argument("spmv: dimension mismatch");
   }
   constexpr std::size_t G = VS::kGroup;
-  constexpr std::size_t kGroupsPerChunk = (64 + G - 1) / G;
+  constexpr std::size_t kGroupsPerChunk = (detail::kSpmvChunkRows + G - 1) / G;
   constexpr std::size_t kChunkRows = kGroupsPerChunk * G;
+  // SELL's chunk-local scatter assumes chunks stay at the shared granularity;
+  // every current vector-group size (1/2/4) divides it.
+  static_assert(kChunkRows == detail::kSpmvChunkRows,
+                "vector codeword group must divide the SpMV chunk size");
   const std::size_t ngroups = y.groups();
   const std::size_t nchunks = (ngroups + kGroupsPerChunk - 1) / kGroupsPerChunk;
   const std::size_t nrows = a.nrows();

@@ -1,0 +1,779 @@
+/// \file protected_sell.hpp
+/// \brief SELL-C-sigma matrix whose storage carries embedded redundancy —
+/// the paper's zero-overhead protection (§VI) applied to the third sparse
+/// format.
+///
+/// The protected regions mirror CSR's and ELL's, reshaped by the format:
+///   - elements: every (value, column) slot of every slice slab — padding
+///     included — protected by the same element schemes as CSR/ELL (Fig. 1).
+///     The row-granular CRC scheme covers one whole padded stored row
+///     (slice_width slots, strided by the slice height C through the slab)
+///     and keeps its checksum in the first four slots' top bytes, so every
+///     slice needs width >= 4 (Sell::from_csr's min_width hook).
+///   - structure: three small index arrays — the per-slice widths, the
+///     per-stored-row lengths, and the row permutation — concatenated into
+///     one Struct*-protected array (each section padded to whole codeword
+///     groups). All three are bounded by tiny values (slice width / nrows),
+///     so every spare top bit is available, extending the
+///     cheap-second-region story from ELL's row widths.
+///
+/// Derived metadata (the per-slice slot offsets and the inverse
+/// permutation) is kept unprotected alongside the container's scalar fields:
+/// it is recomputable from the protected widths/permutation, every use is
+/// range-guarded, and the slow-path accessors cross-check it against the
+/// protected data — a fault there surfaces as a bounds violation, never an
+/// out-of-range access (§VI-A2).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "abft/check_policy.hpp"
+#include "abft/element_schemes.hpp"
+#include "abft/error_capture.hpp"
+#include "abft/raw_spmv.hpp"
+#include "abft/structure_schemes.hpp"
+#include "common/aligned.hpp"
+#include "common/fault_log.hpp"
+#include "sparse/sell.hpp"
+
+namespace abft {
+
+/// Sparse matrix in SELL-C-sigma format, fully protected with no storage
+/// overhead.
+///
+/// \tparam Index index width (std::uint32_t or std::uint64_t)
+/// \tparam ES element scheme (schemes::ElemNone / ElemSed / ElemSecded /
+///            ElemCrc32c at the same width)
+/// \tparam SS structure scheme protecting the slice-width / row-length /
+///            permutation array (schemes::StructNone / StructSed /
+///            StructSecded / StructSecded128 / StructCrc32c at the same
+///            width)
+///
+/// Like ProtectedCsr/ProtectedEll the matrix is immutable after construction
+/// (paper §V-A), so encoding happens once in from_sell(). Reads go through
+/// the decoding accessors; corrections are written back in place.
+///
+/// The permutation must stay within aligned 64-row blocks (the SpMV chunk
+/// granularity, detail::kSpmvChunkRows): each chunk then scatters only into
+/// its own y codeword groups, keeping the no-shared-writes property of the
+/// group-encoded kernels. Sell::from_csr's default sort window satisfies
+/// this; from_sell() verifies it and rejects foreign permutations loudly.
+template <class Index, class ES, class SS>
+class ProtectedSell {
+  static_assert(std::is_same_v<Index, typename ES::index_type>,
+                "ProtectedSell: element scheme instantiated at a different index width");
+  static_assert(std::is_same_v<Index, typename SS::index_type>,
+                "ProtectedSell: structure scheme instantiated at a different index width");
+
+ public:
+  using elem_scheme = ES;
+  using struct_scheme = SS;
+  using index_type = Index;
+  using sell_type = sparse::Sell<Index>;
+  using plain_type = sell_type;
+
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  ProtectedSell() = default;
+
+  /// Encode \p a. Throws std::invalid_argument when the matrix violates the
+  /// scheme's range constraints: the column bound is the element scheme's,
+  /// the structure bound requires every slice width and row index to fit
+  /// SS::kValueMask, the per-row CRC needs every slice width >= 4 (build
+  /// with Sell::from_csr(a, ES::kMinRowNnz)), and the permutation must be
+  /// local to aligned 64-row blocks (any sort window dividing 64 — the
+  /// default — qualifies).
+  static ProtectedSell from_sell(const sell_type& a, FaultLog* log = nullptr,
+                                 DuePolicy policy = DuePolicy::throw_exception) {
+    a.validate();
+    if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
+      throw std::invalid_argument(
+          "ProtectedSell: matrix has too many columns for the element scheme (max " +
+          std::to_string(static_cast<std::uint64_t>(ES::kColMask) + 1) + ")");
+    }
+    for (std::size_t s = 0; s < a.nslices(); ++s) {
+      if (a.slice_width(s) > SS::kValueMask) {
+        throw std::invalid_argument(
+            "ProtectedSell: slice width exceeds the structure scheme's value range "
+            "(max " +
+            std::to_string(static_cast<std::uint64_t>(SS::kValueMask)) + ")");
+      }
+    }
+    if (a.nrows() > 0 && a.nrows() - 1 > SS::kValueMask) {
+      throw std::invalid_argument(
+          "ProtectedSell: row count exceeds the structure scheme's value range (max " +
+          std::to_string(static_cast<std::uint64_t>(SS::kValueMask) + 1) + " rows)");
+    }
+    if constexpr (ES::kMinRowNnz > 0) {
+      for (std::size_t s = 0; s < a.nslices(); ++s) {
+        if (a.slice_width(s) < ES::kMinRowNnz) {
+          throw std::invalid_argument(
+              "ProtectedSell: slice " + std::to_string(s) + " has width " +
+              std::to_string(a.slice_width(s)) + ", below the " +
+              std::to_string(ES::kMinRowNnz) +
+              " slots the per-row CRC scheme stores its checksum in; build with "
+              "sparse::Sell::from_csr(a, min_width)");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < a.nrows(); ++i) {
+      if (i / detail::kSpmvChunkRows != a.perm()[i] / detail::kSpmvChunkRows) {
+        throw std::invalid_argument(
+            "ProtectedSell: the row permutation crosses an aligned " +
+            std::to_string(detail::kSpmvChunkRows) +
+            "-row block at stored row " + std::to_string(i) +
+            "; build the SELL matrix with a sort window that divides " +
+            std::to_string(detail::kSpmvChunkRows) +
+            " (sparse::Sell::from_csr's default does)");
+      }
+    }
+
+    ProtectedSell p;
+    p.nrows_ = a.nrows();
+    p.ncols_ = a.ncols();
+    p.slice_ = a.slice_height();
+    p.window_ = a.sort_window();
+    p.nslices_ = a.nslices();
+    p.nnz_ = a.nnz();
+    p.log_ = log;
+    p.policy_ = policy;
+    p.values_.assign(a.values().begin(), a.values().end());
+    p.cols_.assign(a.cols().begin(), a.cols().end());
+    p.slice_ptr_.assign(a.slice_ptr().begin(), a.slice_ptr().end());
+    p.seen_epoch_.assign(p.nrows_, 0);
+    p.inv_perm_.assign(p.nrows_, 0);
+    for (std::size_t i = 0; i < p.nrows_; ++i) p.inv_perm_[a.perm()[i]] = i;
+
+    // Structure array: [slice widths | row lengths | permutation], each
+    // section padded to whole groups (padding holds 0 — a valid width,
+    // length and row index — so every group encodes cleanly).
+    const auto padded = [](std::size_t n) {
+      return (n + SS::kGroup - 1) / SS::kGroup * SS::kGroup;
+    };
+    p.rl_off_ = padded(p.nslices_);
+    p.perm_off_ = p.rl_off_ + padded(p.nrows_);
+    p.structure_.assign(p.perm_off_ + padded(p.nrows_), 0);
+    for (std::size_t s = 0; s < p.nslices_; ++s) {
+      p.structure_[s] = static_cast<Index>(a.slice_width(s));
+    }
+    for (std::size_t i = 0; i < p.nrows_; ++i) {
+      p.structure_[p.rl_off_ + i] = a.row_nnz()[i];
+      p.structure_[p.perm_off_ + i] = a.perm()[i];
+    }
+    for (std::size_t g = 0; g < p.structure_.size() / SS::kGroup; ++g) {
+      index_type group[SS::kGroup];
+      for (std::size_t e = 0; e < SS::kGroup; ++e) {
+        group[e] = p.structure_[g * SS::kGroup + e];
+      }
+      SS::encode_group(group, p.structure_.data() + g * SS::kGroup);
+    }
+
+    // Elements: every slot of every slice (padding and virtual rows
+    // included) becomes a valid codeword, so integrity sweeps need no
+    // knowledge of which slots are real.
+    if constexpr (ES::kRowGranular) {
+      for (std::size_t s = 0; s < p.nslices_; ++s) {
+        const std::size_t base = p.slice_ptr_[s];
+        const std::size_t width = a.slice_width(s);
+        for (std::size_t e = 0; e < p.slice_; ++e) {
+          ES::encode_row(p.values_.data() + base + e, p.cols_.data() + base + e, width,
+                         p.slice_);
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < p.values_.size(); ++k) {
+        ES::encode(p.values_[k], p.cols_[k]);
+      }
+    }
+    return p;
+  }
+
+  /// Format-uniform spelling of from_sell (see plain_type).
+  static ProtectedSell from_plain(const plain_type& a, FaultLog* log = nullptr,
+                                  DuePolicy policy = DuePolicy::throw_exception) {
+    return from_sell(a, log, policy);
+  }
+
+  [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] std::size_t slice_height() const noexcept { return slice_; }
+  [[nodiscard]] std::size_t nslices() const noexcept { return nslices_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return values_.size(); }
+  [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
+  [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
+
+  /// Raw storage, exposed for the kernels and for fault injection.
+  [[nodiscard]] double* values_data() noexcept { return values_.data(); }
+  [[nodiscard]] index_type* cols_data() noexcept { return cols_.data(); }
+  [[nodiscard]] std::span<double> raw_values() noexcept { return values_; }
+  [[nodiscard]] std::span<index_type> raw_cols() noexcept { return cols_; }
+  /// Format-uniform name for the structural index array (SELL: slice widths
+  /// + row lengths + permutation, in that order, each section group-padded).
+  [[nodiscard]] std::span<index_type> raw_structure() noexcept { return structure_; }
+
+  /// Section bases within the structure array (cursor plumbing). The group
+  /// base is added to decoded-group indices so fault events carry the global
+  /// codeword index within the structure region.
+  [[nodiscard]] index_type* slice_width_storage() noexcept { return structure_.data(); }
+  [[nodiscard]] index_type* row_len_storage() noexcept {
+    return structure_.data() + rl_off_;
+  }
+  [[nodiscard]] index_type* perm_storage() noexcept {
+    return structure_.data() + perm_off_;
+  }
+  [[nodiscard]] std::size_t row_len_group_base() const noexcept {
+    return rl_off_ / SS::kGroup;
+  }
+  [[nodiscard]] std::size_t perm_group_base() const noexcept {
+    return perm_off_ / SS::kGroup;
+  }
+  /// Derived (unprotected, range-guarded) slice offsets in slots.
+  [[nodiscard]] const std::size_t* slice_ptr() const noexcept { return slice_ptr_.data(); }
+  /// Construction-time width of slice \p s, derived from the slot offsets —
+  /// element sweeps use this so a structural DUE cannot blind them.
+  [[nodiscard]] std::size_t derived_width(std::size_t s) const noexcept {
+    return (slice_ptr_[s + 1] - slice_ptr_[s]) / slice_;
+  }
+
+  /// Checked slice-width read (slow path; kernels use the cursor's cached
+  /// readers).
+  [[nodiscard]] index_type slice_width_at(std::size_t s) {
+    return checked_struct_read(s);
+  }
+
+  /// Checked row-length read for *original* row \p r (slow path). The stored
+  /// position comes from the derived inverse permutation and is cross-checked
+  /// against the protected permutation; any mismatch or out-of-range length
+  /// yields an empty row and a logged bounds violation — the §VI-A2
+  /// guarantee that no structural fault turns into an out-of-range access.
+  [[nodiscard]] index_type row_nnz_at(std::size_t r) {
+    const std::size_t pos = stored_pos(r);
+    if (pos == kNoPos) return 0;
+    const index_type rl = checked_struct_read(rl_off_ + pos);
+    const index_type w = checked_struct_read(pos / slice_);
+    if (rl > w || rl > derived_width(pos / slice_)) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, r);
+      return 0;
+    }
+    return rl;
+  }
+
+  struct Element {
+    double value;
+    index_type col;
+  };
+
+  /// Checked \p j-th element of *original* row \p r (slow path) — the
+  /// format-uniform accessor solver setup code iterates with j in
+  /// [0, row_nnz_at(r)). For the row-granular CRC scheme this verifies the
+  /// whole containing stored row. A slot beyond the slice's slab raises
+  /// BoundsViolation so recovery wrappers can checkpoint-restart.
+  [[nodiscard]] Element element_in_row(std::size_t r, std::size_t j) {
+    const std::size_t pos = stored_pos(r);
+    const std::size_t s = pos == kNoPos ? 0 : pos / slice_;
+    if (pos == kNoPos || j >= derived_width(s)) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, r);
+      throw BoundsViolation(Region::sell_structure, r);
+    }
+    const std::size_t off = pos - s * slice_;
+    const std::size_t k = slice_ptr_[s] + j * slice_ + off;
+    if constexpr (ES::kRowGranular) {
+      const auto outcome =
+          ES::decode_row(values_.data() + slice_ptr_[s] + off,
+                         cols_.data() + slice_ptr_[s] + off, derived_width(s), slice_);
+      handle(Region::sell_values, outcome, pos);
+      return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
+    } else {
+      double v;
+      index_type c;
+      const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+      handle(Region::sell_values, outcome, k);
+      return {v, c};
+    }
+  }
+
+  /// y = A x over raw dense spans (for callers that do not protect their
+  /// vectors). CheckMode semantics match the free protected-kernel spmv:
+  /// bounds_only skips the integrity checks but still range-guards every
+  /// structural value and column index. Defined after SellRowCursor below.
+  void spmv(std::span<const double> x, std::span<double> y,
+            CheckMode mode = CheckMode::full);
+
+  /// Full-matrix integrity sweep (paper §VI-A2). Returns the number of
+  /// uncorrectable codewords; corrections are applied in place. The element
+  /// sweep walks the slabs by the construction-time slice widths, so a
+  /// structural DUE cannot blind it; the structural pass additionally
+  /// cross-checks the decoded widths against the derived offsets and the
+  /// decoded permutation for bijectivity, so silent structure corruption
+  /// under weak schemes still surfaces as a bounds violation.
+  std::size_t verify_all() {
+    std::size_t failures = 0;
+    Region first_region = Region::sell_values;
+    std::size_t first_index = 0;
+    const auto note = [&](Region region, std::size_t index, std::size_t count) {
+      if (failures == 0 && count > 0) {
+        first_region = region;
+        first_index = index;
+      }
+      failures += count;
+    };
+    const auto bounds_hit = [&](std::size_t index) {
+      if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, index);
+      note(Region::sell_structure, index, 1);
+    };
+
+    // Structure codewords.
+    for (std::size_t g = 0; g < structure_.size() / SS::kGroup; ++g) {
+      index_type group[SS::kGroup];
+      const auto outcome = SS::decode_group(structure_.data() + g * SS::kGroup, group);
+      note(Region::sell_structure, g,
+           count_and_log(Region::sell_structure, outcome, g));
+    }
+    // Semantic guards over the (now possibly repaired) masked values,
+    // slice-major so the hot loop carries no divisions.
+    for (std::size_t s = 0; s < nslices_; ++s) {
+      const index_type w = structure_[s] & SS::kValueMask;
+      const std::size_t dw = derived_width(s);
+      if (w != dw) bounds_hit(s);
+      const std::size_t r0 = s * slice_;
+      const std::size_t rend = std::min(r0 + slice_, nrows_);
+      for (std::size_t i = r0; i < rend; ++i) {
+        const index_type rl = structure_[rl_off_ + i] & SS::kValueMask;
+        if (rl > w || rl > dw) bounds_hit(rl_off_ + i);
+      }
+    }
+    ++sweep_epoch_;
+    for (std::size_t i = 0; i < nrows_; ++i) {
+      const index_type p = structure_[perm_off_ + i] & SS::kValueMask;
+      if (p >= nrows_ || seen_epoch_[p] == sweep_epoch_) {
+        bounds_hit(perm_off_ + i);
+      } else {
+        seen_epoch_[p] = sweep_epoch_;
+      }
+    }
+
+    // Elements: every slot is encoded and the sweep strides by the derived
+    // widths, never the decoded ones.
+    if constexpr (ES::kRowGranular) {
+      for (std::size_t s = 0; s < nslices_; ++s) {
+        const std::size_t base = slice_ptr_[s];
+        const std::size_t width = derived_width(s);
+        for (std::size_t e = 0; e < slice_; ++e) {
+          const auto outcome = ES::decode_row(values_.data() + base + e,
+                                              cols_.data() + base + e, width, slice_);
+          note(Region::sell_values, s * slice_ + e,
+               count_and_log(Region::sell_values, outcome, s * slice_ + e));
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < values_.size(); ++k) {
+        double v;
+        index_type c;
+        const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+        note(Region::sell_values, k, count_and_log(Region::sell_values, outcome, k));
+      }
+    }
+    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(first_region, first_index);
+    }
+    return failures;
+  }
+
+  /// Decode back into an unprotected SELL matrix (checks everything). The
+  /// output is always structurally valid: decoded lengths are clamped into
+  /// the slab, and a decoded permutation that lost bijectivity to silent
+  /// corruption is repaired deterministically (unassigned rows fill the
+  /// conflicting slots in ascending order), each repair logged as a bounds
+  /// violation.
+  [[nodiscard]] sell_type to_sell() {
+    aligned_vector<index_type> widths(nslices_);
+    for (std::size_t s = 0; s < nslices_; ++s) {
+      (void)checked_struct_read(s);  // log/correct the stored width
+      widths[s] = static_cast<index_type>(derived_width(s));
+    }
+    sell_type out(nrows_, ncols_, slice_,
+                  std::span<const index_type>(widths.data(), widths.size()), window_);
+
+    std::vector<bool> used(nrows_, false);
+    std::vector<std::size_t> conflicting;
+    for (std::size_t i = 0; i < nrows_; ++i) {
+      const index_type rl = checked_struct_read(rl_off_ + i);
+      if (rl > widths[i / slice_]) {
+        if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, i);
+        out.row_nnz()[i] = 0;
+      } else {
+        out.row_nnz()[i] = rl;
+      }
+      const index_type p = checked_struct_read(perm_off_ + i);
+      if (p >= nrows_ || used[p]) {
+        if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, i);
+        conflicting.push_back(i);
+      } else {
+        used[p] = true;
+        out.perm()[i] = p;
+      }
+    }
+    std::size_t next_free = 0;
+    for (const std::size_t i : conflicting) {
+      while (used[next_free]) ++next_free;
+      used[next_free] = true;
+      out.perm()[i] = static_cast<index_type>(next_free);
+    }
+
+    for (std::size_t s = 0; s < nslices_; ++s) {
+      const std::size_t base = slice_ptr_[s];
+      const std::size_t width = derived_width(s);
+      for (std::size_t e = 0; e < slice_; ++e) {
+        if constexpr (ES::kRowGranular) {
+          const auto outcome = ES::decode_row(values_.data() + base + e,
+                                              cols_.data() + base + e, width, slice_);
+          handle(Region::sell_values, outcome, s * slice_ + e);
+        }
+        for (std::size_t j = 0; j < width; ++j) {
+          const std::size_t k = base + j * slice_ + e;
+          if constexpr (ES::kRowGranular) {
+            out.values()[k] = values_[k];
+            out.cols()[k] = cols_[k] & ES::kColMask;
+          } else {
+            double v;
+            index_type c;
+            const auto outcome = ES::decode(values_[k], cols_[k], v, c);
+            handle(Region::sell_values, outcome, k);
+            out.values()[k] = v;
+            out.cols()[k] = c;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Format-uniform spelling of to_sell (see plain_type).
+  [[nodiscard]] plain_type to_plain() { return to_sell(); }
+
+  /// Route a check outcome to the log / policy (slow paths only).
+  void handle(Region region, CheckOutcome outcome, std::size_t index) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(region, outcome, index);
+    }
+    if (outcome == CheckOutcome::uncorrectable && policy_ == DuePolicy::throw_exception) {
+      throw UncorrectableError(region, index);
+    }
+  }
+
+ private:
+  /// Stored position of original row \p r, or kNoPos (with a logged bounds
+  /// violation) when the derived inverse permutation and the protected
+  /// permutation disagree.
+  [[nodiscard]] std::size_t stored_pos(std::size_t r) {
+    const std::size_t pos = r < nrows_ ? inv_perm_[r] : kNoPos;
+    if (pos < nrows_ && checked_struct_read(perm_off_ + pos) == r) return pos;
+    if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, r);
+    return kNoPos;
+  }
+
+  /// Decode the structure group containing entry \p idx and return the
+  /// masked value (slow path).
+  [[nodiscard]] index_type checked_struct_read(std::size_t idx) {
+    index_type group[SS::kGroup];
+    const std::size_t g = idx / SS::kGroup;
+    const auto outcome = SS::decode_group(structure_.data() + g * SS::kGroup, group);
+    handle(Region::sell_structure, outcome, g);
+    return group[idx % SS::kGroup];
+  }
+
+  [[nodiscard]] std::size_t count_and_log(Region region, CheckOutcome outcome,
+                                          std::size_t index) {
+    if (log_ != nullptr) {
+      log_->add_checks();
+      log_->record(region, outcome, index);
+    }
+    return outcome == CheckOutcome::uncorrectable ? 1 : 0;
+  }
+
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::size_t slice_ = sell_type::kDefaultSliceHeight;
+  std::size_t window_ = sell_type::kDefaultSortWindow;
+  std::size_t nslices_ = 0;
+  std::size_t nnz_ = 0;
+  std::size_t rl_off_ = 0;    ///< row-length section offset within structure_
+  std::size_t perm_off_ = 0;  ///< permutation section offset within structure_
+  aligned_vector<double> values_;
+  aligned_vector<index_type> cols_;
+  aligned_vector<index_type> structure_;
+  std::vector<std::size_t> slice_ptr_;  ///< derived slot offsets (guarded)
+  std::vector<std::size_t> inv_perm_;   ///< derived inverse permutation (cross-checked)
+  std::vector<std::uint64_t> seen_epoch_;  ///< scratch for the bijectivity sweep
+  std::uint64_t sweep_epoch_ = 0;
+  FaultLog* log_ = nullptr;
+  DuePolicy policy_ = DuePolicy::throw_exception;
+};
+
+/// Cached decoder for one section of the protected structure array (one
+/// group cached — SpMV visits entries in order, so consecutive reads usually
+/// share a group). Thread-private; errors are deferred through an
+/// ErrorCapture with group indices offset into the whole structure region.
+template <class Index, class SS>
+class StructSectionReader {
+ public:
+  StructSectionReader(Index* base, std::size_t group_base, ErrorCapture* capture) noexcept
+      : base_(base), group_base_(group_base), capture_(capture) {}
+
+  ~StructSectionReader() { flush_checks(); }
+  StructSectionReader(const StructSectionReader&) = delete;
+  StructSectionReader& operator=(const StructSectionReader&) = delete;
+
+  /// Checked, masked value of section entry \p i. StructNone has no
+  /// redundancy to decode, so its "check" collapses to the bare load (still
+  /// counted, matching the grouped path's accounting).
+  [[nodiscard]] Index get(std::size_t i) {
+    if constexpr (SS::kScheme == ecc::Scheme::none) {
+      ++local_checks_;
+      return base_[i];
+    } else {
+      const std::size_t g = i / SS::kGroup;
+      if (g != cached_group_) {
+        const auto outcome = SS::decode_group(base_ + g * SS::kGroup, decoded_);
+        ++local_checks_;
+        capture_->record(Region::sell_structure, outcome, group_base_ + g);
+        cached_group_ = g;
+      }
+      return decoded_[i % SS::kGroup];
+    }
+  }
+
+  /// Masked-only value for check-interval skip iterations.
+  [[nodiscard]] Index get_bounds_only(std::size_t i) const noexcept {
+    return base_[i] & SS::kValueMask;
+  }
+
+  void flush_checks() noexcept {
+    if (local_checks_ > 0) {
+      capture_->add_checks(local_checks_);
+      local_checks_ = 0;
+    }
+  }
+
+ private:
+  Index* base_;
+  std::size_t group_base_;
+  ErrorCapture* capture_;
+  std::size_t cached_group_ = static_cast<std::size_t>(-1);
+  std::uint64_t local_checks_ = 0;
+  Index decoded_[SS::kGroup] = {};
+};
+
+/// Per-thread row accessor driving SpMV over one protected SELL matrix — the
+/// SELL counterpart of CsrRowCursor/EllRowCursor behind the same
+/// accumulate() surface (see abft/format_traits.hpp).
+///
+/// Each stored row of a slice lives at stride C inside the slice's own small
+/// slab (C * width * 8 bytes — L1-resident), so rows are accumulated
+/// CSR-style with the sum in a register while the whole traversal still
+/// streams one contiguous slab after another; sigma-sorting keeps the inner
+/// trip counts uniform within a slice. Partial sums accumulate in
+/// ascending-slot order — bit-identical to the CSR traversal of the same
+/// matrix — and each finished sum is scattered through the (protected,
+/// range-guarded) permutation into a zero-initialised segment buffer that
+/// leaves through the store sink in index order. The block-local permutation
+/// contract (see ProtectedSell) keeps every target inside the 64-row
+/// segment; a corrupt permutation entry degrades to a zeroed row, never a
+/// missing or out-of-range store.
+template <class Index, class ES, class SS>
+class SellRowCursor {
+ public:
+  using matrix_type = ProtectedSell<Index, ES, SS>;
+
+  SellRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
+      : capture_(capture),
+        sw_(m.slice_width_storage(), 0, capture),
+        rl_(m.row_len_storage(), m.row_len_group_base(), capture),
+        pr_(m.perm_storage(), m.perm_group_base(), capture),
+        values_(m.values_data()),
+        cols_(m.cols_data()),
+        slice_ptr_(m.slice_ptr()),
+        nrows_(m.nrows()),
+        ncols_(m.ncols()),
+        slice_(m.slice_height()) {}
+
+  ~SellRowCursor() { flush_checks(); }
+  SellRowCursor(const SellRowCursor&) = delete;
+  SellRowCursor& operator=(const SellRowCursor&) = delete;
+
+  /// Compute (A x)[first_row + i] for i in [0, n) and hand each finished row
+  /// sum to `store(i, sum)`; see CsrRowCursor::accumulate for the contract.
+  /// Rows whose decoded structure fails a guard produce 0. first_row must be
+  /// a multiple of detail::kSpmvChunkRows (both kernel drivers chunk that
+  /// way), so the permutation scatter stays inside [0, n).
+  template <class XLoad, class Store>
+  void accumulate(std::size_t first_row, std::size_t n, CheckMode mode, XLoad&& xload,
+                  Store&& store) {
+    // Hot state lives in locals for the duration of the call, as in
+    // CsrRowCursor::accumulate — the member loads would otherwise be
+    // re-issued inside the slab loops.
+    double* const values = values_;
+    Index* const cols = cols_;
+    const std::size_t ncols = ncols_;
+    const std::size_t slice = slice_;
+    std::uint64_t checks = checks_;
+
+    for (std::size_t done = 0; done < n; done += kSeg) {
+      const std::size_t seg0 = first_row + done;
+      const std::size_t count = std::min(kSeg, n - done);
+      // Finished sums land here through the permutation; rows dropped by the
+      // scatter guard stay zero. One sequential store pass per segment keeps
+      // the sink writing in index order.
+      double out[kSeg] = {};
+
+      std::size_t i = seg0;
+      while (i < seg0 + count) {
+        const std::size_t s = i / slice;
+        const std::size_t i1 = std::min((s + 1) * slice, seg0 + count);
+        const std::size_t rows = i1 - i;
+        const std::size_t true_width = (slice_ptr_[s + 1] - slice_ptr_[s]) / slice;
+        const std::size_t base = slice_ptr_[s] + (i - s * slice);
+
+        // Decoded slice width, guarded against the slab extent so a corrupt
+        // width can never walk a row out of its slice.
+        std::size_t w =
+            mode == CheckMode::full ? sw_.get(s) : sw_.get_bounds_only(s);
+        if (w > true_width) [[unlikely]] {
+          capture_->record_bounds(Region::sell_structure, s);
+          w = true_width;
+        }
+
+        // Row-granular element scheme: verify each stored row codeword once
+        // up front; reads below then mask, exactly as in the CSR/ELL loops.
+        if constexpr (ES::kRowGranular) {
+          if (mode == CheckMode::full) {
+            for (std::size_t k = 0; k < rows; ++k) {
+              const auto outcome =
+                  ES::decode_row(values + base + k, cols + base + k, true_width, slice);
+              ++checks;
+              capture_->record(Region::sell_values, outcome, i + k);
+            }
+          }
+        }
+
+        for (std::size_t k = 0; k < rows; ++k) {
+          // Row length, guarded against the slice width.
+          std::size_t rl =
+              mode == CheckMode::full ? rl_.get(i + k) : rl_.get_bounds_only(i + k);
+          if (rl > w) [[unlikely]] {
+            capture_->record_bounds(Region::sell_structure, i + k);
+            rl = 0;
+          }
+
+          const std::size_t row_base = base + k;
+          double sum = 0.0;
+          if constexpr (!ES::kRowGranular && ES::kScheme != ecc::Scheme::none) {
+            if (mode == CheckMode::full) {
+              for (std::size_t j = 0; j < rl; ++j) {
+                const std::size_t slot = row_base + j * slice;
+                double v;
+                Index c;
+                const auto outcome = ES::decode(values[slot], cols[slot], v, c);
+                ++checks;
+                capture_->record(Region::sell_values, outcome, slot);
+                if (c >= ncols) {
+                  capture_->record_bounds(Region::sell_cols, slot);
+                  continue;
+                }
+                sum += v * xload(c);
+              }
+              // Scatter twin #1 — keep identical to twin #2 below (kept
+              // inline in each branch: hoisting it into a helper or behind a
+              // merged control path costs a measured 4-7% on this hot loop).
+              // The permutation guard drops entries pointing outside the
+              // segment (possible only under silent corruption) with a
+              // bounds violation — never an out-of-range store.
+              const Index p = pr_.get(i + k);
+              const std::size_t idx = static_cast<std::size_t>(p) - seg0;
+              if (p >= nrows_ || idx >= count) [[unlikely]] {
+                capture_->record_bounds(Region::sell_structure, i + k);
+              } else {
+                out[idx] = sum;
+              }
+              continue;
+            }
+          }
+          // Masked path: bounds_only iterations, plus full mode for the
+          // check-free element schemes (ElemNone decodes to the identity and
+          // the row-granular CRC already verified the row above) — the
+          // per-slot integrity checks it replaces are still counted so the
+          // FaultLog accounting matches the CSR/ELL cursors.
+          for (std::size_t j = 0; j < rl; ++j) {
+            const std::size_t slot = row_base + j * slice;
+            const Index c = cols[slot] & ES::kColMask;
+            if (c >= ncols) [[unlikely]] {
+              capture_->record_bounds(Region::sell_cols, slot);
+              continue;
+            }
+            sum += values[slot] * xload(c);
+          }
+          if constexpr (ES::kScheme == ecc::Scheme::none) {
+            if (mode == CheckMode::full) checks += rl;
+          }
+          // Scatter twin #2 — see twin #1 above.
+          const Index p =
+              mode == CheckMode::full ? pr_.get(i + k) : pr_.get_bounds_only(i + k);
+          const std::size_t idx = static_cast<std::size_t>(p) - seg0;
+          if (p >= nrows_ || idx >= count) [[unlikely]] {
+            capture_->record_bounds(Region::sell_structure, i + k);
+          } else {
+            out[idx] = sum;
+          }
+        }
+        i = i1;
+      }
+
+      for (std::size_t k = 0; k < count; ++k) store(done + k, out[k]);
+    }
+    checks_ = checks;
+  }
+
+  void flush_checks() noexcept {
+    sw_.flush_checks();
+    rl_.flush_checks();
+    pr_.flush_checks();
+    if (checks_ > 0) {
+      capture_->add_checks(checks_);
+      checks_ = 0;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSeg = detail::kSpmvChunkRows;
+
+
+  ErrorCapture* capture_;
+  StructSectionReader<Index, SS> sw_;
+  StructSectionReader<Index, SS> rl_;
+  StructSectionReader<Index, SS> pr_;
+  double* values_;
+  Index* cols_;
+  const std::size_t* slice_ptr_;
+  std::size_t nrows_;
+  std::size_t ncols_;
+  std::size_t slice_;
+  std::uint64_t checks_ = 0;
+};
+
+template <class Index, class ES, class SS>
+void ProtectedSell<Index, ES, SS>::spmv(std::span<const double> x, std::span<double> y,
+                                        CheckMode mode) {
+  detail::chunked_raw_spmv<SellRowCursor<Index, ES, SS>>(*this, x, y, mode,
+                                                         "ProtectedSell::spmv");
+}
+
+}  // namespace abft

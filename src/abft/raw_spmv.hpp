@@ -22,6 +22,13 @@
 
 namespace abft::detail {
 
+/// Rows per work-sharing chunk in every SpMV driver (this one and the
+/// protected-vector kernel, whose y codeword groups of 1/2/4 entries divide
+/// it evenly). SELL-C-sigma's scatter step relies on this granularity: a
+/// permutation confined to aligned kSpmvChunkRows-row blocks keeps every
+/// finished row sum inside the chunk that computed it (see ProtectedSell).
+inline constexpr std::size_t kSpmvChunkRows = 64;
+
 /// y = A x over raw dense spans, driven by the container's row cursor.
 template <class Cursor, class Matrix>
 void chunked_raw_spmv(Matrix& m, std::span<const double> x, std::span<double> y,
@@ -30,7 +37,7 @@ void chunked_raw_spmv(Matrix& m, std::span<const double> x, std::span<double> y,
     throw std::invalid_argument(std::string(what) + ": dimension mismatch");
   }
   ErrorCapture capture;
-  constexpr std::size_t kChunk = 64;
+  constexpr std::size_t kChunk = kSpmvChunkRows;
   const std::size_t nrows = m.nrows();
   const std::size_t nchunks = (nrows + kChunk - 1) / kChunk;
 

@@ -33,6 +33,9 @@ enum class Region : std::uint8_t {
   ell_values,       ///< ELL value slab (padded, column-major)
   ell_cols,         ///< ELL column-index slab
   ell_row_width,    ///< ELL per-row width (real-length) vector
+  sell_values,      ///< SELL value slabs (padded, per-slice column-major)
+  sell_cols,        ///< SELL column-index slabs
+  sell_structure,   ///< SELL structural array (slice widths + row lengths + permutation)
   dense_vector,     ///< dense double-precision solver vector
   other,
 };
@@ -45,6 +48,9 @@ enum class Region : std::uint8_t {
     case Region::ell_values: return "ell_values";
     case Region::ell_cols: return "ell_cols";
     case Region::ell_row_width: return "ell_row_width";
+    case Region::sell_values: return "sell_values";
+    case Region::sell_cols: return "sell_cols";
+    case Region::sell_structure: return "sell_structure";
     case Region::dense_vector: return "dense_vector";
     case Region::other: return "other";
   }

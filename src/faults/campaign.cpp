@@ -27,6 +27,9 @@ const char* to_string(Target t) noexcept {
     case Target::ell_values: return "ell_values";
     case Target::ell_cols: return "ell_cols";
     case Target::ell_row_width: return "ell_row_width";
+    case Target::sell_values: return "sell_values";
+    case Target::sell_cols: return "sell_cols";
+    case Target::sell_structure: return "sell_structure";
   }
   return "?";
 }
@@ -53,9 +56,16 @@ inline constexpr Target kCsrTargets[3] = {Target::csr_values, Target::csr_cols,
                                           Target::csr_row_ptr};
 inline constexpr Target kEllTargets[3] = {Target::ell_values, Target::ell_cols,
                                           Target::ell_row_width};
+inline constexpr Target kSellTargets[3] = {Target::sell_values, Target::sell_cols,
+                                           Target::sell_structure};
 
 [[nodiscard]] constexpr const Target (&matrix_targets(MatrixFormat fmt) noexcept)[3] {
-  return fmt == MatrixFormat::csr ? kCsrTargets : kEllTargets;
+  switch (fmt) {
+    case MatrixFormat::csr: return kCsrTargets;
+    case MatrixFormat::ell: return kEllTargets;
+    case MatrixFormat::sell: return kSellTargets;
+  }
+  return kCsrTargets;
 }
 
 /// Byte span of one matrix region (0 = values, 1 = cols, 2 = structure) —
@@ -110,11 +120,14 @@ CampaignResult run_impl(const CampaignConfig& cfg) {
     std::span<std::uint8_t> region;
     switch (target) {
       case Target::csr_values:
-      case Target::ell_values: region = matrix_region(pa, 0); break;
+      case Target::ell_values:
+      case Target::sell_values: region = matrix_region(pa, 0); break;
       case Target::csr_cols:
-      case Target::ell_cols: region = matrix_region(pa, 1); break;
+      case Target::ell_cols:
+      case Target::sell_cols: region = matrix_region(pa, 1); break;
       case Target::csr_row_ptr:
-      case Target::ell_row_width: region = matrix_region(pa, 2); break;
+      case Target::ell_row_width:
+      case Target::sell_structure: region = matrix_region(pa, 2); break;
       case Target::rhs_vector: region = as_bytes_span(b.raw()); break;
       case Target::any: break;  // resolved above
     }
@@ -175,6 +188,9 @@ namespace {
     case Target::ell_values:
     case Target::ell_cols:
     case Target::ell_row_width: return MatrixFormat::ell;
+    case Target::sell_values:
+    case Target::sell_cols:
+    case Target::sell_structure: return MatrixFormat::sell;
     case Target::rhs_vector:
     case Target::any: return std::nullopt;
   }

@@ -16,18 +16,22 @@
 namespace abft::faults {
 
 /// Which structure the flips target. The csr_* targets are valid with
-/// MatrixFormat::csr, the ell_* targets with MatrixFormat::ell; rhs_vector
-/// and any work with either format (any draws uniformly over the format's
-/// matrix regions plus the rhs, weighted by size).
+/// MatrixFormat::csr, the ell_* targets with MatrixFormat::ell, the sell_*
+/// targets with MatrixFormat::sell; rhs_vector and any work with every
+/// format (any draws uniformly over the format's matrix regions plus the
+/// rhs, weighted by size).
 enum class Target : std::uint8_t {
-  csr_values,     ///< CSR non-zero values (v)
-  csr_cols,       ///< CSR column indices (y)
-  csr_row_ptr,    ///< CSR row pointers (x)
-  rhs_vector,     ///< dense right-hand-side vector
-  any,            ///< uniformly over the format's regions, weighted by size
-  ell_values,     ///< ELL value slab (padding slots included)
-  ell_cols,       ///< ELL column-index slab
-  ell_row_width,  ///< ELL per-row width vector
+  csr_values,      ///< CSR non-zero values (v)
+  csr_cols,        ///< CSR column indices (y)
+  csr_row_ptr,     ///< CSR row pointers (x)
+  rhs_vector,      ///< dense right-hand-side vector
+  any,             ///< uniformly over the format's regions, weighted by size
+  ell_values,      ///< ELL value slab (padding slots included)
+  ell_cols,        ///< ELL column-index slab
+  ell_row_width,   ///< ELL per-row width vector
+  sell_values,     ///< SELL value slabs (padding slots included)
+  sell_cols,       ///< SELL column-index slabs
+  sell_structure,  ///< SELL slice-width / row-length / permutation array
 };
 
 [[nodiscard]] const char* to_string(Target t) noexcept;

@@ -42,10 +42,27 @@ TEST(ParseIndexWidth, RoundTripsAndRejects) {
 TEST(ParseFormat, RoundTripsAndRejects) {
   EXPECT_EQ(parse_format("csr"), MatrixFormat::csr);
   EXPECT_EQ(parse_format("ell"), MatrixFormat::ell);
-  EXPECT_EQ(parse_format(to_string(MatrixFormat::csr)), MatrixFormat::csr);
-  EXPECT_EQ(parse_format(to_string(MatrixFormat::ell)), MatrixFormat::ell);
+  EXPECT_EQ(parse_format("sell"), MatrixFormat::sell);
+  for (auto f : kAllFormats) {
+    EXPECT_EQ(parse_format(to_string(f)), f);
+  }
   EXPECT_THROW((void)parse_format("coo"), std::invalid_argument);
   EXPECT_THROW((void)parse_format("ELL"), std::invalid_argument);  // case-sensitive
+  EXPECT_THROW((void)parse_format("sell-c-sigma"), std::invalid_argument);
+  EXPECT_THROW((void)parse_format(""), std::invalid_argument);
+}
+
+TEST(ParseFormat, ErrorListsValidFormats) {
+  try {
+    (void)parse_format("coo");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (auto f : kAllFormats) {
+      EXPECT_NE(what.find(to_string(f)), std::string::npos)
+          << "missing '" << to_string(f) << "' in: " << what;
+    }
+  }
 }
 
 TEST(DispatchFormat, MapsFormatsToTags) {
@@ -54,6 +71,7 @@ TEST(DispatchFormat, MapsFormatsToTags) {
   };
   EXPECT_EQ(fmt(MatrixFormat::csr), MatrixFormat::csr);
   EXPECT_EQ(fmt(MatrixFormat::ell), MatrixFormat::ell);
+  EXPECT_EQ(fmt(MatrixFormat::sell), MatrixFormat::sell);
 }
 
 TEST(DispatchElem, MapsSchemesToPolicies32) {
@@ -194,10 +212,30 @@ TEST(DispatchUniformProtection, AppliesElementDowngradePolicyOnce) {
   EXPECT_EQ(row_group(IndexWidth::i64), 2u);
 }
 
+TEST(DispatchProtection, InvalidFormatSchemeComboRaisesSchemeUnavailable) {
+  // The secded128-at-32-bit hole applies on every format axis: the
+  // format-aware overload must surface the same clear error, not a silent
+  // downgrade, for each storage format.
+  for (auto fmt : kAllFormats) {
+    EXPECT_THROW(
+        dispatch_protection(fmt, IndexWidth::i32,
+                            SchemeTriple(ecc::Scheme::secded128, ecc::Scheme::sed,
+                                         ecc::Scheme::sed),
+                            []<class Fmt, class Index, class ES, class SS, class VS>() {}),
+        SchemeUnavailableError)
+        << to_string(fmt);
+    // The same triple is valid at 64-bit width on every format.
+    EXPECT_NO_THROW(dispatch_protection(
+        fmt, IndexWidth::i64,
+        SchemeTriple(ecc::Scheme::secded128, ecc::Scheme::sed, ecc::Scheme::sed),
+        []<class Fmt, class Index, class ES, class SS, class VS>() {}));
+  }
+}
+
 TEST(DispatchProtection, FormatAxisComposesWithSchemeMatrix) {
   // The 5-parameter overload hands the callable a format tag whose container
   // and plain-matrix templates agree with the dispatched width and schemes.
-  for (auto fmt : {MatrixFormat::csr, MatrixFormat::ell}) {
+  for (auto fmt : kAllFormats) {
     for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
       const bool ok = dispatch_protection(
           fmt, width, SchemeTriple(ecc::Scheme::secded64),
@@ -223,6 +261,19 @@ TEST(DispatchUniformProtection, FormatOverloadForwards) {
   };
   EXPECT_EQ(fmt_of(MatrixFormat::csr), MatrixFormat::csr);
   EXPECT_EQ(fmt_of(MatrixFormat::ell), MatrixFormat::ell);
+  EXPECT_EQ(fmt_of(MatrixFormat::sell), MatrixFormat::sell);
+}
+
+TEST(RegionNames, CoverEveryRegion) {
+  for (auto r : {Region::csr_values, Region::csr_cols, Region::csr_row_ptr,
+                 Region::ell_values, Region::ell_cols, Region::ell_row_width,
+                 Region::sell_values, Region::sell_cols, Region::sell_structure,
+                 Region::dense_vector, Region::other}) {
+    EXPECT_STRNE(to_string(r), "?");
+  }
+  EXPECT_STREQ(to_string(Region::sell_values), "sell_values");
+  EXPECT_STREQ(to_string(Region::sell_cols), "sell_cols");
+  EXPECT_STREQ(to_string(Region::sell_structure), "sell_structure");
 }
 
 TEST(DispatchProtection, UniformTripleBroadcastsScheme) {

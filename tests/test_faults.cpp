@@ -198,6 +198,37 @@ TEST(Campaign, EllColumnFlipsAreContained) {
   EXPECT_GT(res.detected_corrected, res.trials / 2);
 }
 
+TEST(Campaign, SellSecdedSingleFlipsAreNeverSdc) {
+  auto cfg = small_config(ecc::Scheme::secded64, Target::any, FaultModel::single_flip, 1);
+  cfg.format = MatrixFormat::sell;
+  const auto res = run_injection_campaign(cfg);
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_EQ(res.not_converged, 0u);
+  EXPECT_GT(res.detected_corrected, res.trials / 2);
+}
+
+TEST(Campaign, SellStructureFlipsAreContained) {
+  // The SELL structural region bundles slice widths, row lengths and the
+  // permutation — flips anywhere in it must never go silent.
+  for (auto scheme : {ecc::Scheme::sed, ecc::Scheme::secded64, ecc::Scheme::crc32c}) {
+    auto cfg =
+        small_config(scheme, Target::sell_structure, FaultModel::single_flip, 1);
+    cfg.format = MatrixFormat::sell;
+    const auto res = run_injection_campaign(cfg);
+    EXPECT_EQ(res.sdc, 0u) << ecc::to_string(scheme);
+    EXPECT_EQ(res.not_converged, 0u) << ecc::to_string(scheme);
+  }
+}
+
+TEST(Campaign, SellColumnFlipsAreContained) {
+  auto cfg =
+      small_config(ecc::Scheme::crc32c, Target::sell_cols, FaultModel::single_flip, 1);
+  cfg.format = MatrixFormat::sell;
+  const auto res = run_injection_campaign(cfg);
+  EXPECT_EQ(res.sdc, 0u);
+  EXPECT_GT(res.detected_corrected, res.trials / 2);
+}
+
 TEST(Campaign, FormatMismatchedTargetsAreRejected) {
   auto cfg = small_config(ecc::Scheme::secded64, Target::csr_row_ptr,
                           FaultModel::single_flip, 1);
@@ -207,23 +238,40 @@ TEST(Campaign, FormatMismatchedTargetsAreRejected) {
                            FaultModel::single_flip, 1);
   cfg2.format = MatrixFormat::csr;
   EXPECT_THROW((void)run_injection_campaign(cfg2), std::invalid_argument);
+  auto cfg4 = small_config(ecc::Scheme::secded64, Target::sell_structure,
+                           FaultModel::single_flip, 1);
+  cfg4.format = MatrixFormat::ell;
+  EXPECT_THROW((void)run_injection_campaign(cfg4), std::invalid_argument);
+  auto cfg5 = small_config(ecc::Scheme::secded64, Target::csr_values,
+                           FaultModel::single_flip, 1);
+  cfg5.format = MatrixFormat::sell;
+  EXPECT_THROW((void)run_injection_campaign(cfg5), std::invalid_argument);
   // rhs_vector and any are format-agnostic.
   auto cfg3 = small_config(ecc::Scheme::secded64, Target::rhs_vector,
                            FaultModel::single_flip, 1);
   cfg3.format = MatrixFormat::ell;
   cfg3.trials = 5;
   EXPECT_NO_THROW((void)run_injection_campaign(cfg3));
+  auto cfg6 = small_config(ecc::Scheme::secded64, Target::rhs_vector,
+                           FaultModel::single_flip, 1);
+  cfg6.format = MatrixFormat::sell;
+  cfg6.trials = 5;
+  EXPECT_NO_THROW((void)run_injection_campaign(cfg6));
 }
 
 TEST(TargetNames, CoverEveryTarget) {
   for (auto t : {Target::csr_values, Target::csr_cols, Target::csr_row_ptr,
                  Target::rhs_vector, Target::any, Target::ell_values, Target::ell_cols,
-                 Target::ell_row_width}) {
+                 Target::ell_row_width, Target::sell_values, Target::sell_cols,
+                 Target::sell_structure}) {
     EXPECT_STRNE(to_string(t), "?");
   }
   EXPECT_STREQ(to_string(Target::ell_values), "ell_values");
   EXPECT_STREQ(to_string(Target::ell_cols), "ell_cols");
   EXPECT_STREQ(to_string(Target::ell_row_width), "ell_row_width");
+  EXPECT_STREQ(to_string(Target::sell_values), "sell_values");
+  EXPECT_STREQ(to_string(Target::sell_cols), "sell_cols");
+  EXPECT_STREQ(to_string(Target::sell_structure), "sell_structure");
 }
 
 }  // namespace
