@@ -1,0 +1,172 @@
+/// \file fig_external.cpp
+/// \brief Protection overhead on an *external* operator: load a Matrix
+/// Market file through the io/ ingestion pipeline and measure the CG solve
+/// time of every (format x scheme) combination on it.
+///
+/// The fig4/fig5 drivers measure the paper's TeaLeaf stencil; this driver is
+/// the same methodology (fixed iteration count so every scheme performs
+/// identical numerical work, min over reps) pointed at SuiteSparse-style
+/// inputs, which is how the related fault-tolerance work evaluates
+/// (Elliott et al., Bridges et al.).
+///
+/// Usage: fig_external --matrix FILE [--iters N] [--reps N] [--threads N]
+///        [--format csr|ell|sell|all] [--width 32|64|auto]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "abft/abft.hpp"
+#include "harness.hpp"
+#include "common/timer.hpp"
+#include "io/io.hpp"
+#include "solvers/cg.hpp"
+
+namespace {
+
+using namespace abft;
+
+struct Options {
+  const char* matrix = nullptr;
+  unsigned iters = 60;
+  unsigned reps = 3;
+  unsigned threads = 1;
+  const char* format = "all";
+  const char* width = "auto";
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::printf("usage: %s --matrix FILE [--iters N] [--reps N] [--threads N] "
+              "[--format csr|ell|sell|all] [--width 32|64|auto]\n",
+              argv0);
+  std::exit(code);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto grab_str = [&](const char* flag, const char*& out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    auto grab_num = [&](const char* flag, unsigned& out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        out = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        return true;
+      }
+      return false;
+    };
+    if (grab_str("--matrix", o.matrix) || grab_num("--iters", o.iters) ||
+        grab_num("--reps", o.reps) || grab_num("--threads", o.threads) ||
+        grab_str("--format", o.format) || grab_str("--width", o.width)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) usage(argv[0], 0);
+    std::printf("unexpected argument: '%s'\n", argv[i]);
+    usage(argv[0], 2);
+  }
+  if (o.matrix == nullptr) usage(argv[0], 2);
+  if (std::strcmp(o.format, "all") != 0) (void)parse_format(o.format);
+  if (std::strcmp(o.width, "auto") != 0) (void)parse_index_width(o.width);
+#if defined(_OPENMP)
+  omp_set_num_threads(static_cast<int>(o.threads == 0 ? 1 : o.threads));
+#endif
+  return o;
+}
+
+/// Fixed-iteration CG on the loaded operator for one (format x width x
+/// uniform scheme) combination; returns min solve seconds over reps.
+template <class Src>
+double time_solve(const Src& src, MatrixFormat format, IndexWidth width,
+                  ecc::Scheme scheme, unsigned iters, unsigned reps) {
+  return dispatch_uniform_protection(
+      format, width, scheme,
+      [&]<class Fmt, class Index, class ES, class SS, class VS>() {
+        using PM = typename Fmt::template protected_matrix<Index, ES, SS>;
+        const auto a = Fmt::template make_plain<Index, ES>(src);
+        const std::size_t n = a.nrows();
+        aligned_vector<double> ones(n, 1.0), rhs(n, 0.0);
+        sparse::spmv(a, ones.data(), rhs.data());
+
+        solvers::SolveOptions opts;
+        opts.tolerance = 0.0;  // fixed work per scheme: never converge early
+        opts.max_iterations = iters;
+
+        TimingStats stats;
+        for (unsigned r = 0; r <= reps; ++r) {  // rep 0 is the untimed warm-up
+          auto pa = PM::from_plain(a);
+          ProtectedVector<VS> b(n), u(n);
+          b.assign({rhs.data(), n});
+          Timer timer;
+          (void)solvers::cg_solve(pa, b, u, opts);
+          if (r > 0) stats.add(timer.seconds());
+        }
+        return stats.min();
+      });
+}
+
+template <class Src>
+void run_series(const Src& src, MatrixFormat format, IndexWidth width,
+                const Options& o) {
+  std::printf("## format %s, %s-bit indices\n", to_string(format).data(),
+              to_string(width).data());
+  bench::print_table_header();
+  double baseline = 0.0;
+  for (const auto scheme : ecc::kAllSchemes) {
+    try {
+      const double seconds = time_solve(src, format, width, scheme, o.iters, o.reps);
+      if (scheme == ecc::Scheme::none) baseline = seconds;
+      bench::print_row(ecc::to_string(scheme).data(), seconds, baseline);
+    } catch (const SchemeUnavailableError&) {
+      std::printf("%-22s %12s\n", ecc::to_string(scheme).data(), "unavailable");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_options(argc, argv);
+
+  io::LoadedMatrix loaded;
+  try {
+    loaded = io::read_matrix_market(std::string(o.matrix), {.protected_assembly = true});
+  } catch (const io::MatrixMarketError& e) {
+    std::printf("cannot load '%s': %s\n", o.matrix, e.what());
+    return 1;
+  }
+
+  IndexWidth width = loaded.width;
+  if (std::strcmp(o.width, "auto") != 0) {
+    width = parse_index_width(o.width);
+    if (width == IndexWidth::i32 && loaded.wide()) {
+      std::printf("matrix requires 64-bit indices; --width 32 is impossible\n");
+      return 1;
+    }
+  }
+
+  const auto stats = loaded.wide() ? io::analyze(loaded.a64) : io::analyze(loaded.a32);
+  const auto advice = io::advise_format(stats);
+  std::printf("# fig_external: protection overhead on %s\n", o.matrix);
+  std::printf("# matrix: %zux%zu, %zu nnz | advisor: %s\n", stats.nrows, stats.ncols,
+              stats.nnz, to_string(advice.format).data());
+  std::printf("# workload: CG, %u fixed iterations, min of %u runs, %u thread(s)\n",
+              o.iters, o.reps, o.threads);
+
+  const auto selected = [&](MatrixFormat f) {
+    return std::strcmp(o.format, "all") == 0 || parse_format(o.format) == f;
+  };
+  for (const auto format : kAllFormats) {
+    if (!selected(format)) continue;
+    if (loaded.wide()) {
+      run_series(loaded.a64, format, width, o);
+    } else {
+      run_series(loaded.a32, format, width, o);
+    }
+  }
+  return 0;
+}

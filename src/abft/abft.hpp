@@ -5,11 +5,9 @@
 #pragma once
 
 #include "abft/check_policy.hpp"        // IWYU pragma: export
-#include "abft/coo_schemes.hpp"         // IWYU pragma: export
 #include "abft/dispatch.hpp"            // IWYU pragma: export
 #include "abft/element_schemes.hpp"     // IWYU pragma: export
 #include "abft/format_traits.hpp"       // IWYU pragma: export
-#include "abft/protected_coo.hpp"       // IWYU pragma: export
 #include "abft/protected_csr64.hpp"     // IWYU pragma: export
 #include "abft/error_capture.hpp"       // IWYU pragma: export
 #include "abft/protected_csr.hpp"       // IWYU pragma: export

@@ -230,45 +230,68 @@ decltype(auto) dispatch_uniform_protection(MatrixFormat fmt, IndexWidth width,
   });
 }
 
-/// Parse a scheme name ("none", "sed", "secded64", "secded128", "crc32c").
-[[nodiscard]] inline ecc::Scheme parse_scheme(std::string_view name) {
-  for (auto s : ecc::kAllSchemes) {
-    if (ecc::to_string(s) == name) return s;
-  }
-  std::string valid;
-  for (auto s : ecc::kAllSchemes) {
-    if (!valid.empty()) valid += ", ";
-    valid += ecc::to_string(s);
-  }
-  throw std::invalid_argument("unknown scheme name: '" + std::string(name) +
-                              "' (valid names: " + valid + ")");
-}
-
-/// Parse an index width ("32" or "64").
-[[nodiscard]] inline IndexWidth parse_index_width(std::string_view name) {
-  if (name == "32") return IndexWidth::i32;
-  if (name == "64") return IndexWidth::i64;
-  throw std::invalid_argument("unknown index width: '" + std::string(name) +
-                              "' (valid widths: 32, 64)");
-}
+/// Every dispatchable index width (drivers and tests iterate this instead of
+/// hand-rolling the list).
+inline constexpr IndexWidth kAllIndexWidths[] = {IndexWidth::i32, IndexWidth::i64};
 
 /// Every dispatchable storage format, in declaration order (drivers and
 /// tests iterate this instead of hand-rolling the list).
 inline constexpr MatrixFormat kAllFormats[] = {MatrixFormat::csr, MatrixFormat::ell,
                                                MatrixFormat::sell};
 
+namespace detail {
+
+/// The one "valid <what>s are ..." formatter behind every parse_* error in
+/// this header, so the three lists cannot drift apart. \p all is any range
+/// whose elements \p to_str renders.
+template <class Range, class ToString>
+[[nodiscard]] std::string unknown_name_message(std::string_view what,
+                                               std::string_view name, const Range& all,
+                                               ToString&& to_str) {
+  std::string msg = "unknown ";
+  msg += what;
+  msg += ": '";
+  msg += name;
+  msg += "' (valid ";
+  msg += what;
+  msg += "s are: ";
+  bool first = true;
+  for (const auto& v : all) {
+    if (!first) msg += ", ";
+    first = false;
+    msg += to_str(v);
+  }
+  msg += ")";
+  return msg;
+}
+
+}  // namespace detail
+
+/// Parse a scheme name ("none", "sed", "secded64", "secded128", "crc32c").
+[[nodiscard]] inline ecc::Scheme parse_scheme(std::string_view name) {
+  for (auto s : ecc::kAllSchemes) {
+    if (ecc::to_string(s) == name) return s;
+  }
+  throw std::invalid_argument(detail::unknown_name_message(
+      "scheme name", name, ecc::kAllSchemes, [](auto s) { return ecc::to_string(s); }));
+}
+
+/// Parse an index width ("32" or "64").
+[[nodiscard]] inline IndexWidth parse_index_width(std::string_view name) {
+  for (const auto w : kAllIndexWidths) {
+    if (to_string(w) == name) return w;
+  }
+  throw std::invalid_argument(detail::unknown_name_message(
+      "index width", name, kAllIndexWidths, [](auto w) { return to_string(w); }));
+}
+
 /// Parse a storage format ("csr", "ell" or "sell").
 [[nodiscard]] inline MatrixFormat parse_format(std::string_view name) {
   for (const auto f : kAllFormats) {
     if (to_string(f) == name) return f;
   }
-  std::string valid;
-  for (const auto f : kAllFormats) {
-    if (!valid.empty()) valid += ", ";
-    valid += to_string(f);
-  }
-  throw std::invalid_argument("unknown matrix format: '" + std::string(name) +
-                              "' (valid formats: " + valid + ")");
+  throw std::invalid_argument(detail::unknown_name_message(
+      "matrix format", name, kAllFormats, [](auto f) { return to_string(f); }));
 }
 
 }  // namespace abft

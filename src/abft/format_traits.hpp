@@ -19,6 +19,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <string_view>
 #include <type_traits>
 #include <utility>
@@ -92,9 +94,41 @@ struct MatrixTraits<ProtectedSell<Index, ES, SS>> {
 template <class PM>
 concept ProtectedMatrixType = requires { typename MatrixTraits<PM>::cursor_type; };
 
-/// Format tag: CSR. Drivers assemble 32-bit CSR operators; make_plain
-/// re-indexes to the requested width and applies the element scheme's
-/// minimum-row-NNZ remedy (explicit zero fill-in, sparse::pad_rows_to_min_nnz).
+namespace detail {
+
+/// Re-index a CSR assembly to the dispatch width. The io loader assembles
+/// wide operators natively (no 32-bit intermediate ever exists for matrices
+/// past the uint32 promotion boundary), so make_plain accepts either source
+/// width. Narrowing is a checked copy: a runtime format/width dispatch
+/// instantiates every (Index, SrcIndex) pair, so the conversion must exist —
+/// it throws when the wide matrix genuinely exceeds the narrow range.
+template <class Index, class SrcIndex>
+[[nodiscard]] sparse::Csr<Index> csr_at_width(const sparse::Csr<SrcIndex>& a) {
+  if constexpr (std::is_same_v<Index, SrcIndex>) {
+    return a;
+  } else if constexpr (sizeof(SrcIndex) < sizeof(Index)) {
+    return sparse::Csr<Index>::from_csr(a);
+  } else {
+    constexpr std::size_t kMax = std::numeric_limits<Index>::max();
+    if (a.nrows() > kMax || a.ncols() > kMax || a.nnz() > kMax) {
+      throw std::invalid_argument(
+          "make_plain: matrix exceeds the 32-bit index range and cannot be "
+          "demoted from the wide assembly");
+    }
+    sparse::Csr<Index> m(a.nrows(), a.ncols());
+    m.values().assign(a.values().begin(), a.values().end());
+    m.cols().assign(a.cols().begin(), a.cols().end());
+    m.row_ptr().assign(a.row_ptr().begin(), a.row_ptr().end());
+    return m;
+  }
+}
+
+}  // namespace detail
+
+/// Format tag: CSR. Drivers assemble CSR operators at either width;
+/// make_plain re-indexes to the requested width and applies the element
+/// scheme's minimum-row-NNZ remedy (explicit zero fill-in,
+/// sparse::pad_rows_to_min_nnz).
 struct CsrFormat {
   static constexpr MatrixFormat kFormat = MatrixFormat::csr;
 
@@ -104,16 +138,13 @@ struct CsrFormat {
   template <class Index, class ES, class SS>
   using protected_matrix = ProtectedCsr<Index, ES, SS>;
 
-  template <class Index, class ES>
-  [[nodiscard]] static sparse::Csr<Index> make_plain(sparse::CsrMatrix a) {
+  template <class Index, class ES, class SrcIndex>
+  [[nodiscard]] static sparse::Csr<Index> make_plain(const sparse::Csr<SrcIndex>& src) {
+    auto a = detail::csr_at_width<Index>(src);
     if constexpr (ES::kMinRowNnz > 1) {
       a = sparse::pad_rows_to_min_nnz(a, ES::kMinRowNnz);
     }
-    if constexpr (std::is_same_v<Index, std::uint32_t>) {
-      return a;
-    } else {
-      return sparse::Csr<Index>::from_csr(a);
-    }
+    return a;
   }
 };
 
@@ -130,14 +161,9 @@ struct EllFormat {
   template <class Index, class ES, class SS>
   using protected_matrix = ProtectedEll<Index, ES, SS>;
 
-  template <class Index, class ES>
-  [[nodiscard]] static sparse::Ell<Index> make_plain(sparse::CsrMatrix a) {
-    if constexpr (std::is_same_v<Index, std::uint32_t>) {
-      return sparse::Ell<Index>::from_csr(a, ES::kMinRowNnz);
-    } else {
-      return sparse::Ell<Index>::from_csr(sparse::Csr<Index>::from_csr(a),
-                                          ES::kMinRowNnz);
-    }
+  template <class Index, class ES, class SrcIndex>
+  [[nodiscard]] static sparse::Ell<Index> make_plain(const sparse::Csr<SrcIndex>& src) {
+    return sparse::Ell<Index>::from_csr(detail::csr_at_width<Index>(src), ES::kMinRowNnz);
   }
 };
 
@@ -155,14 +181,9 @@ struct SellFormat {
   template <class Index, class ES, class SS>
   using protected_matrix = ProtectedSell<Index, ES, SS>;
 
-  template <class Index, class ES>
-  [[nodiscard]] static sparse::Sell<Index> make_plain(sparse::CsrMatrix a) {
-    if constexpr (std::is_same_v<Index, std::uint32_t>) {
-      return sparse::Sell<Index>::from_csr(a, ES::kMinRowNnz);
-    } else {
-      return sparse::Sell<Index>::from_csr(sparse::Csr<Index>::from_csr(a),
-                                           ES::kMinRowNnz);
-    }
+  template <class Index, class ES, class SrcIndex>
+  [[nodiscard]] static sparse::Sell<Index> make_plain(const sparse::Csr<SrcIndex>& src) {
+    return sparse::Sell<Index>::from_csr(detail::csr_at_width<Index>(src), ES::kMinRowNnz);
   }
 };
 

@@ -43,6 +43,21 @@ template <class ES, class Index, class XLoad>
                                        CheckMode mode, ErrorCapture& capture,
                                        std::uint64_t& checks, XLoad&& xload) {
   double sum = 0.0;
+  if constexpr (ES::kScheme == ecc::Scheme::none) {
+    // ElemNone decodes to the identity, so the full-check loop collapses to
+    // the masked reads with bulk check accounting (ported from the SELL
+    // cursor) — the unprotected baseline pays no per-element dispatch.
+    for (std::size_t k = begin; k < end; ++k) {
+      const Index c = cols[k] & ES::kColMask;
+      if (c >= ncols) [[unlikely]] {
+        capture.record_bounds(Region::csr_cols, k);
+        continue;
+      }
+      sum += values[k] * xload(c);
+    }
+    if (mode == CheckMode::full) checks += end - begin;
+    return sum;
+  }
   if (mode == CheckMode::full) {
     if constexpr (ES::kRowGranular) {
       const auto outcome = ES::decode_row(values + begin, cols + begin, end - begin);
@@ -420,17 +435,24 @@ class RowPtrReader {
   RowPtrReader(const RowPtrReader&) = delete;
   RowPtrReader& operator=(const RowPtrReader&) = delete;
 
-  /// Checked, masked row-pointer value.
+  /// Checked, masked row-pointer value. RowNone has no redundancy to decode,
+  /// so its "check" collapses to the bare load (still counted, matching the
+  /// grouped path's accounting — ported from the SELL structure reader).
   [[nodiscard]] Index get(std::size_t i) {
-    const std::size_t g = i / RS::kGroup;
-    if (g != cached_group_) {
-      const auto outcome =
-          RS::decode_group(m_->raw_row_ptr().data() + g * RS::kGroup, decoded_);
+    if constexpr (RS::kScheme == ecc::Scheme::none) {
       ++local_checks_;
-      capture_->record(Region::csr_row_ptr, outcome, g);
-      cached_group_ = g;
+      return m_->raw_row_ptr()[i];
+    } else {
+      const std::size_t g = i / RS::kGroup;
+      if (g != cached_group_) {
+        const auto outcome =
+            RS::decode_group(m_->raw_row_ptr().data() + g * RS::kGroup, decoded_);
+        ++local_checks_;
+        capture_->record(Region::csr_row_ptr, outcome, g);
+        cached_group_ = g;
+      }
+      return decoded_[i % RS::kGroup];
     }
-    return decoded_[i % RS::kGroup];
   }
 
   /// Masked-only value for check-interval skip iterations.

@@ -343,17 +343,25 @@ class RowWidthReader {
   RowWidthReader(const RowWidthReader&) = delete;
   RowWidthReader& operator=(const RowWidthReader&) = delete;
 
-  /// Checked, masked row-width value.
+  /// Checked, masked row-width value. StructNone has no redundancy to
+  /// decode, so its "check" collapses to the bare load (still counted,
+  /// matching the grouped path's accounting — ported from the SELL
+  /// structure reader).
   [[nodiscard]] Index get(std::size_t i) {
-    const std::size_t g = i / SS::kGroup;
-    if (g != cached_group_) {
-      const auto outcome =
-          SS::decode_group(m_->raw_row_nnz().data() + g * SS::kGroup, decoded_);
+    if constexpr (SS::kScheme == ecc::Scheme::none) {
       ++local_checks_;
-      capture_->record(Region::ell_row_width, outcome, g);
-      cached_group_ = g;
+      return m_->raw_row_nnz()[i];
+    } else {
+      const std::size_t g = i / SS::kGroup;
+      if (g != cached_group_) {
+        const auto outcome =
+            SS::decode_group(m_->raw_row_nnz().data() + g * SS::kGroup, decoded_);
+        ++local_checks_;
+        capture_->record(Region::ell_row_width, outcome, g);
+        cached_group_ = g;
+      }
+      return decoded_[i % SS::kGroup];
     }
-    return decoded_[i % SS::kGroup];
   }
 
   /// Masked-only value for check-interval skip iterations.
@@ -464,7 +472,16 @@ class EllRowCursor {
     }
     for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
 
-    if constexpr (!ES::kRowGranular) {
+    // ElemNone decodes to the identity: skip the per-slot decode pass and
+    // run the masked slab loop below even in full mode, counting the checks
+    // it replaces in bulk so the FaultLog accounting matches the other
+    // cursors (ported from the SELL cursor's fast path).
+    if constexpr (ES::kScheme == ecc::Scheme::none) {
+      if (mode == CheckMode::full) {
+        for (std::size_t i = 0; i < n; ++i) checks_ += rl[i];
+      }
+    }
+    if constexpr (!ES::kRowGranular && ES::kScheme != ecc::Scheme::none) {
       if (mode == CheckMode::full) {
         for (std::size_t j = 0; j < max_rl; ++j) {
           const std::size_t base = j * nrows_ + row0;

@@ -83,9 +83,15 @@ template <class Fmt, class Index, class ES, class SS, class VS>
 CampaignResult run_impl(const CampaignConfig& cfg) {
   using PM = typename Fmt::template protected_matrix<Index, ES, SS>;
 
-  // Test problem: 5-point Laplacian with known solution u* = 1, assembled as
-  // 32-bit CSR and converted to the format/width under test.
-  const auto a = Fmt::template make_plain<Index, ES>(sparse::laplacian_2d(cfg.nx, cfg.ny));
+  // Test problem: an externally loaded operator when cfg.matrix is set,
+  // otherwise the 5-point Laplacian — either way with known solution u* = 1
+  // (rhs = A * 1), converted to the format/width under test. Bound by
+  // reference: a mixed lvalue/prvalue ternary would deep-copy the caller's
+  // matrix on every run.
+  sparse::CsrMatrix generated;
+  if (cfg.matrix == nullptr) generated = sparse::laplacian_2d(cfg.nx, cfg.ny);
+  const sparse::CsrMatrix& base = cfg.matrix != nullptr ? *cfg.matrix : generated;
+  const auto a = Fmt::template make_plain<Index, ES>(base);
   const std::size_t n = a.nrows();
   aligned_vector<double> ones(n, 1.0);
   aligned_vector<double> rhs(n, 0.0);

@@ -12,6 +12,7 @@
 #include "abft/dispatch.hpp"
 #include "common/fault_log.hpp"
 #include "ecc/scheme.hpp"
+#include "sparse/csr.hpp"
 
 namespace abft::faults {
 
@@ -59,6 +60,12 @@ struct CampaignConfig {
   double tolerance = 1e-10;
   unsigned max_iterations = 2000;
   std::uint64_t seed = 1234;
+  /// Bombard an externally loaded operator (io/ ingestion path) instead of
+  /// the built-in Laplacian; nx/ny are ignored when set. Non-owning — the
+  /// matrix must outlive the campaign. The reference solution stays all-ones
+  /// (rhs = A * 1), so any matrix works, but non-SPD operators classify
+  /// undetected flips as not-converged rather than SDC.
+  const sparse::CsrMatrix* matrix = nullptr;
 };
 
 /// Outcome counts over all trials.

@@ -1,0 +1,58 @@
+#include "io/advisor.hpp"
+
+#include <cstdio>
+
+namespace abft::io {
+
+namespace {
+
+[[nodiscard]] std::string percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * ratio);
+  return buf;
+}
+
+}  // namespace
+
+FormatAdvice advise_format(const MatrixStats& s) {
+  FormatAdvice advice;
+  if (s.nnz == 0) {
+    advice.format = MatrixFormat::csr;
+    advice.rationale = "the matrix has no stored entries; CSR is the do-nothing default";
+    return advice;
+  }
+
+  const double ell = s.ell_padding_overhead();
+  const double sell = s.sell_padding_overhead();
+
+  if (ell <= kPaddingBudget) {
+    advice.format = MatrixFormat::ell;
+    advice.rationale =
+        "row lengths are nearly uniform (min " + std::to_string(s.row_min) + ", max " +
+        std::to_string(s.row_max) + "): an ELLPACK slab of width " +
+        std::to_string(s.ell_width) + " wastes only " + percent(ell) +
+        " in padding, and the structural region collapses to tiny row widths";
+    return advice;
+  }
+  if (sell <= kPaddingBudget) {
+    advice.format = MatrixFormat::sell;
+    advice.slice_height = s.sell_slice_height;
+    advice.sort_window = s.sell_sort_window;
+    advice.rationale =
+        "row lengths are skewed (ELLPACK would pad " + percent(ell) +
+        "), but sigma-sorted slices absorb it: SELL with C=" +
+        std::to_string(s.sell_slice_height) + ", sigma=" +
+        std::to_string(s.sell_sort_window) + " pads only " + percent(sell);
+    return advice;
+  }
+  advice.format = MatrixFormat::csr;
+  advice.rationale =
+      "the row-length distribution is long-tailed (max " + std::to_string(s.row_max) +
+      " vs mean " + std::to_string(static_cast<std::size_t>(s.row_mean + 0.5)) +
+      "): both slab formats overshoot the " + percent(kPaddingBudget) +
+      " padding budget (ELL " + percent(ell) + ", SELL " + percent(sell) +
+      "); CSR's two contiguous streams never pad";
+  return advice;
+}
+
+}  // namespace abft::io

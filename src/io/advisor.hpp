@@ -1,0 +1,43 @@
+/// \file advisor.hpp
+/// \brief Format advisor: map a MatrixStats profile onto the storage format
+/// (and SELL parameters) the protection stack should run it in.
+///
+/// The rules codify what the PR 2/3 benches measured on this stack:
+///   - near-uniform row lengths -> ELLPACK. The slabs stream branch-free and
+///     the structural region shrinks to tiny row widths, so SED/SECDED cost
+///     far less than on CSR — but every row pays the slab width in padding.
+///   - moderately skewed lengths -> SELL-C-sigma. Sigma-window sorting packs
+///     unequal rows into slices of similar width, keeping ELL's cheap
+///     structure while bounding the padding.
+///   - long-tailed / irregular lengths -> CSR. Even sigma-sorted slices pay
+///     for the outlier rows; CSR's two contiguous streams never pad.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "abft/format_traits.hpp"
+#include "io/stats.hpp"
+
+namespace abft::io {
+
+/// A format recommendation with its reasoning spelled out.
+struct FormatAdvice {
+  MatrixFormat format = MatrixFormat::csr;
+  /// SELL parameters the padding estimate used (meaningful when format ==
+  /// sell; zero otherwise).
+  std::size_t slice_height = 0;
+  std::size_t sort_window = 0;
+  /// One-paragraph rationale with the numbers that drove the choice.
+  std::string rationale;
+};
+
+/// Padding-overhead ceiling (fraction of NNZ) below which a slab format is
+/// considered cheap enough: the slab's bandwidth tax must stay under a
+/// quarter of the useful traffic.
+inline constexpr double kPaddingBudget = 0.25;
+
+/// Recommend a storage format for a matrix with this profile.
+[[nodiscard]] FormatAdvice advise_format(const MatrixStats& stats);
+
+}  // namespace abft::io

@@ -1,0 +1,10 @@
+/// \file io.hpp
+/// \brief Umbrella header for the matrix ingestion subsystem: Matrix Market
+/// reader/writer (typed, line-numbered errors), the COO assembly pipeline
+/// with optional checksummed-triplet protection, matrix analysis, and the
+/// format advisor. See ROADMAP.md for where this layer sits in the stack.
+#pragma once
+
+#include "io/advisor.hpp"        // IWYU pragma: export
+#include "io/matrix_market.hpp"  // IWYU pragma: export
+#include "io/stats.hpp"          // IWYU pragma: export

@@ -1,0 +1,549 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace abft::io {
+
+const char* to_string(MmFormat f) noexcept {
+  switch (f) {
+    case MmFormat::coordinate: return "coordinate";
+    case MmFormat::array: return "array";
+  }
+  return "?";
+}
+
+const char* to_string(MmField f) noexcept {
+  switch (f) {
+    case MmField::real: return "real";
+    case MmField::integer: return "integer";
+    case MmField::pattern: return "pattern";
+  }
+  return "?";
+}
+
+const char* to_string(MmSymmetry s) noexcept {
+  switch (s) {
+    case MmSymmetry::general: return "general";
+    case MmSymmetry::symmetric: return "symmetric";
+    case MmSymmetry::skew_symmetric: return "skew-symmetric";
+  }
+  return "?";
+}
+
+const char* to_string(MatrixMarketError::Kind k) noexcept {
+  using Kind = MatrixMarketError::Kind;
+  switch (k) {
+    case Kind::io: return "io";
+    case Kind::bad_header: return "bad_header";
+    case Kind::unsupported: return "unsupported";
+    case Kind::bad_size: return "bad_size";
+    case Kind::bad_entry: return "bad_entry";
+    case Kind::index_out_of_range: return "index_out_of_range";
+    case Kind::nonfinite_value: return "nonfinite_value";
+    case Kind::truncated: return "truncated";
+    case Kind::inconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] std::string describe(MatrixMarketError::Kind kind, std::size_t line,
+                                   const std::string& message) {
+  std::string out = "MatrixMarket";
+  if (line > 0) out += " line " + std::to_string(line);
+  out += ": ";
+  out += message;
+  out += " [";
+  out += to_string(kind);
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+MatrixMarketError::MatrixMarketError(Kind kind, std::size_t line,
+                                     const std::string& message)
+    : std::runtime_error(describe(kind, line, message)), kind_(kind), line_(line) {}
+
+const sparse::CsrMatrix& LoadedMatrix::narrow() const {
+  if (wide()) {
+    throw std::logic_error(
+        "LoadedMatrix::narrow: matrix was promoted to 64-bit indices");
+  }
+  return a32;
+}
+
+IndexWidth required_index_width(std::size_t nrows, std::size_t ncols,
+                                std::size_t worst_case_nnz) noexcept {
+  constexpr std::size_t kMax32 = std::numeric_limits<std::uint32_t>::max();
+  return (nrows > kMax32 || ncols > kMax32 || worst_case_nnz > kMax32)
+             ? IndexWidth::i64
+             : IndexWidth::i32;
+}
+
+std::size_t worst_case_assembled_nnz(const MmHeader& h) noexcept {
+  // Symmetric/skew entries may all be off-diagonal and mirror — in both the
+  // coordinate and the array layout (an array symmetric file declares only
+  // the packed triangle, n(n+1)/2, but expands toward n^2). Saturate instead
+  // of overflowing for absurd size lines.
+  std::size_t worst = h.entries;
+  if (h.symmetry != MmSymmetry::general) {
+    if (__builtin_mul_overflow(h.entries, std::size_t{2}, &worst)) {
+      worst = std::numeric_limits<std::size_t>::max();
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+using Kind = MatrixMarketError::Kind;
+
+/// Line-oriented tokenizer that keeps the 1-based line number every typed
+/// error reports.
+class Parser {
+ public:
+  explicit Parser(std::istream& is) : is_(is) {}
+
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_number_; }
+
+  /// Next raw line, nullopt at EOF.
+  [[nodiscard]] std::optional<std::string> next_line() {
+    std::string line;
+    if (!std::getline(is_, line)) return std::nullopt;
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF files
+    return line;
+  }
+
+  /// Next line that is neither blank nor a %-comment, nullopt at EOF.
+  [[nodiscard]] std::optional<std::string> next_content_line() {
+    while (auto line = next_line()) {
+      const auto first = line->find_first_not_of(" \t");
+      if (first == std::string::npos) continue;        // blank
+      if ((*line)[first] == '%') continue;             // comment
+      return line;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_number_ = 0;
+};
+
+[[nodiscard]] std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+[[nodiscard]] std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Parse one non-negative integer token in full; \p what names it in errors.
+[[nodiscard]] std::size_t parse_count(const std::string& token, std::size_t line,
+                                      const char* what, Kind kind) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') {
+    throw MatrixMarketError(kind, line,
+                            std::string(what) + " '" + token + "' is not a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) {
+    throw MatrixMarketError(kind, line,
+                            std::string(what) + " '" + token + "' is not a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Parse one real token in full; NaN/Inf raise nonfinite_value.
+[[nodiscard]] double parse_real(const std::string& token, std::size_t line) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size()) {
+    throw MatrixMarketError(Kind::bad_entry, line,
+                            "value '" + token + "' is not a real number");
+  }
+  if (!std::isfinite(v)) {
+    throw MatrixMarketError(Kind::nonfinite_value, line,
+                            "value '" + token + "' is not finite");
+  }
+  return v;
+}
+
+/// Parse one integer-field value token (stored as a double, per the format).
+[[nodiscard]] double parse_integer_value(const std::string& token, std::size_t line) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size() || errno == ERANGE) {
+    throw MatrixMarketError(Kind::bad_entry, line,
+                            "value '" + token + "' is not an integer");
+  }
+  return static_cast<double>(v);
+}
+
+/// Parse a 1-based coordinate token and convert to 0-based.
+[[nodiscard]] std::size_t parse_coordinate(const std::string& token, std::size_t line,
+                                           const char* what, std::size_t extent) {
+  if (!token.empty() && (token[0] == '-' || token[0] == '+')) {
+    throw MatrixMarketError(Kind::index_out_of_range, line,
+                            std::string(what) + " index '" + token +
+                                "' is not a positive 1-based integer");
+  }
+  const std::size_t v = parse_count(token, line, what, Kind::bad_entry);
+  if (v == 0) {
+    throw MatrixMarketError(Kind::index_out_of_range, line,
+                            std::string(what) +
+                                " index 0: Matrix Market indices are 1-based");
+  }
+  if (v > extent) {
+    throw MatrixMarketError(Kind::index_out_of_range, line,
+                            std::string(what) + " index " + std::to_string(v) +
+                                " exceeds the declared extent " + std::to_string(extent));
+  }
+  return v - 1;
+}
+
+[[nodiscard]] MmHeader parse_banner_and_size(Parser& parser) {
+  const auto banner = parser.next_line();
+  if (!banner.has_value()) {
+    throw MatrixMarketError(Kind::bad_header, 1, "empty stream (no banner)");
+  }
+  // The banner tag is matched case-insensitively, like the rest of the
+  // header — real-world files disagree on the capitalization.
+  constexpr std::string_view kBanner = "%%matrixmarket";
+  if (lowercase(banner->substr(0, kBanner.size())) != kBanner) {
+    throw MatrixMarketError(Kind::bad_header, parser.line_number(),
+                            "banner must start with '%%MatrixMarket'");
+  }
+  auto tokens = split_tokens(banner->substr(kBanner.size()));
+  if (tokens.size() < 3 || tokens.size() > 4) {
+    throw MatrixMarketError(Kind::bad_header, parser.line_number(),
+                            "banner needs 'object format field [symmetry]'");
+  }
+  for (auto& t : tokens) t = lowercase(t);
+
+  MmHeader h;
+  if (tokens[0] != "matrix") {
+    throw MatrixMarketError(Kind::unsupported, parser.line_number(),
+                            "object '" + tokens[0] + "' (only 'matrix' is supported)");
+  }
+  if (tokens[1] == "coordinate") {
+    h.format = MmFormat::coordinate;
+  } else if (tokens[1] == "array") {
+    h.format = MmFormat::array;
+  } else {
+    throw MatrixMarketError(Kind::bad_header, parser.line_number(),
+                            "unknown format '" + tokens[1] +
+                                "' (valid: coordinate, array)");
+  }
+  if (tokens[2] == "real") {
+    h.field = MmField::real;
+  } else if (tokens[2] == "integer") {
+    h.field = MmField::integer;
+  } else if (tokens[2] == "pattern") {
+    h.field = MmField::pattern;
+  } else if (tokens[2] == "complex") {
+    throw MatrixMarketError(Kind::unsupported, parser.line_number(),
+                            "field 'complex' (this solver stack is real-valued)");
+  } else {
+    throw MatrixMarketError(Kind::bad_header, parser.line_number(),
+                            "unknown field '" + tokens[2] +
+                                "' (valid: real, integer, pattern)");
+  }
+  const std::string symmetry = tokens.size() == 4 ? tokens[3] : "general";
+  if (symmetry == "general") {
+    h.symmetry = MmSymmetry::general;
+  } else if (symmetry == "symmetric") {
+    h.symmetry = MmSymmetry::symmetric;
+  } else if (symmetry == "skew-symmetric") {
+    h.symmetry = MmSymmetry::skew_symmetric;
+  } else if (symmetry == "hermitian") {
+    throw MatrixMarketError(Kind::unsupported, parser.line_number(),
+                            "symmetry 'hermitian' (complex territory)");
+  } else {
+    throw MatrixMarketError(Kind::bad_header, parser.line_number(),
+                            "unknown symmetry '" + symmetry +
+                                "' (valid: general, symmetric, skew-symmetric)");
+  }
+  if (h.format == MmFormat::array && h.field == MmField::pattern) {
+    throw MatrixMarketError(Kind::unsupported, parser.line_number(),
+                            "array format with pattern field has no values to read");
+  }
+  if (h.field == MmField::pattern && h.symmetry == MmSymmetry::skew_symmetric) {
+    throw MatrixMarketError(Kind::unsupported, parser.line_number(),
+                            "pattern field cannot be skew-symmetric (entries have no sign)");
+  }
+
+  const auto size_line = parser.next_content_line();
+  if (!size_line.has_value()) {
+    throw MatrixMarketError(Kind::bad_size, parser.line_number() + 1,
+                            "missing size line");
+  }
+  const auto size_tokens = split_tokens(*size_line);
+  const std::size_t expected = h.format == MmFormat::coordinate ? 3 : 2;
+  if (size_tokens.size() != expected) {
+    throw MatrixMarketError(
+        Kind::bad_size, parser.line_number(),
+        "size line needs " + std::to_string(expected) + " integers, found " +
+            std::to_string(size_tokens.size()));
+  }
+  h.nrows = parse_count(size_tokens[0], parser.line_number(), "row count", Kind::bad_size);
+  h.ncols =
+      parse_count(size_tokens[1], parser.line_number(), "column count", Kind::bad_size);
+  if (h.symmetry != MmSymmetry::general && h.nrows != h.ncols) {
+    throw MatrixMarketError(Kind::inconsistent, parser.line_number(),
+                            "a " + std::string(to_string(h.symmetry)) +
+                                " matrix must be square");
+  }
+  if (h.format == MmFormat::coordinate) {
+    h.entries =
+        parse_count(size_tokens[2], parser.line_number(), "entry count", Kind::bad_size);
+  } else {
+    // Dense files pack general matrices fully, symmetric ones as the lower
+    // triangle (diagonal included), skew-symmetric ones strictly below.
+    const std::size_t n = h.nrows;
+    switch (h.symmetry) {
+      case MmSymmetry::general: h.entries = h.nrows * h.ncols; break;
+      case MmSymmetry::symmetric: h.entries = n * (n + 1) / 2; break;
+      case MmSymmetry::skew_symmetric: h.entries = n * (n - 1) / 2; break;
+    }
+  }
+  return h;
+}
+
+/// Read the declared entries into a COO buffer, expanding symmetry.
+template <class Index>
+[[nodiscard]] sparse::Csr<Index> assemble(Parser& parser, const MmHeader& h,
+                                          bool protect) {
+  sparse::Coo<Index> coo(h.nrows, h.ncols);
+  if (protect) coo.enable_protection();
+  coo.reserve(worst_case_assembled_nnz(h));
+
+  const auto add_coordinate_entry = [&](std::size_t r, std::size_t c, double v,
+                                        std::size_t line) {
+    switch (h.symmetry) {
+      case MmSymmetry::general:
+        break;
+      case MmSymmetry::symmetric:
+        if (r < c) {
+          throw MatrixMarketError(Kind::inconsistent, line,
+                                  "symmetric files store only the lower triangle "
+                                  "(entry " + std::to_string(r + 1) + " " +
+                                      std::to_string(c + 1) + " is above the diagonal)");
+        }
+        if (r != c) coo.add(c, r, v);
+        break;
+      case MmSymmetry::skew_symmetric:
+        if (r <= c) {
+          throw MatrixMarketError(
+              Kind::inconsistent, line,
+              "skew-symmetric files store only entries strictly below the diagonal "
+              "(entry " + std::to_string(r + 1) + " " + std::to_string(c + 1) + ")");
+        }
+        coo.add(c, r, -v);
+        break;
+    }
+    coo.add(r, c, v);
+  };
+
+  if (h.format == MmFormat::coordinate) {
+    const std::size_t value_tokens = h.field == MmField::pattern ? 0 : 1;
+    for (std::size_t k = 0; k < h.entries; ++k) {
+      const auto line = parser.next_content_line();
+      if (!line.has_value()) {
+        throw MatrixMarketError(Kind::truncated, parser.line_number(),
+                                "file ends after " + std::to_string(k) + " of " +
+                                    std::to_string(h.entries) + " declared entries");
+      }
+      const auto tokens = split_tokens(*line);
+      if (tokens.size() != 2 + value_tokens) {
+        throw MatrixMarketError(
+            Kind::bad_entry, parser.line_number(),
+            "entry needs " + std::to_string(2 + value_tokens) + " tokens, found " +
+                std::to_string(tokens.size()));
+      }
+      const std::size_t r =
+          parse_coordinate(tokens[0], parser.line_number(), "row", h.nrows);
+      const std::size_t c =
+          parse_coordinate(tokens[1], parser.line_number(), "column", h.ncols);
+      double v = 1.0;  // pattern files carry structure only
+      if (h.field == MmField::real) {
+        v = parse_real(tokens[2], parser.line_number());
+      } else if (h.field == MmField::integer) {
+        v = parse_integer_value(tokens[2], parser.line_number());
+      }
+      add_coordinate_entry(r, c, v, parser.line_number());
+    }
+  } else {
+    // Array: one value per line, column-major over the stored triangle.
+    // Exact zeros are dropped (this is a sparse pipeline; the round-trip
+    // format is coordinate).
+    std::size_t read = 0;
+    for (std::size_t c = 0; c < h.ncols; ++c) {
+      const std::size_t r0 = h.symmetry == MmSymmetry::general
+                                 ? 0
+                                 : (h.symmetry == MmSymmetry::symmetric ? c : c + 1);
+      for (std::size_t r = r0; r < h.nrows; ++r) {
+        const auto line = parser.next_content_line();
+        if (!line.has_value()) {
+          throw MatrixMarketError(Kind::truncated, parser.line_number(),
+                                  "file ends after " + std::to_string(read) + " of " +
+                                      std::to_string(h.entries) + " dense values");
+        }
+        const auto tokens = split_tokens(*line);
+        if (tokens.size() != 1) {
+          throw MatrixMarketError(Kind::bad_entry, parser.line_number(),
+                                  "array entries are one value per line, found " +
+                                      std::to_string(tokens.size()) + " tokens");
+        }
+        const double v = h.field == MmField::integer
+                             ? parse_integer_value(tokens[0], parser.line_number())
+                             : parse_real(tokens[0], parser.line_number());
+        ++read;
+        if (v == 0.0) continue;
+        add_coordinate_entry(r, c, v, parser.line_number());
+      }
+    }
+  }
+
+  // Anything but trailing comments/blank lines past the declared count means
+  // the size line and the data disagree.
+  if (const auto extra = parser.next_content_line(); extra.has_value()) {
+    throw MatrixMarketError(Kind::inconsistent, parser.line_number(),
+                            "data continues past the declared entry count");
+  }
+  return coo.to_csr();
+}
+
+}  // namespace
+
+MmHeader read_mm_header(std::istream& is) {
+  Parser parser(is);
+  return parse_banner_and_size(parser);
+}
+
+LoadedMatrix read_matrix_market(std::istream& is, const ReadOptions& opts) {
+  Parser parser(is);
+  LoadedMatrix out;
+  out.header = parse_banner_and_size(parser);
+
+  const IndexWidth required = required_index_width(
+      out.header.nrows, out.header.ncols, worst_case_assembled_nnz(out.header));
+  out.width = opts.force_width.value_or(required);
+  if (out.width == IndexWidth::i32 && required == IndexWidth::i64) {
+    throw MatrixMarketError(
+        Kind::unsupported, 0,
+        "matrix exceeds the 32-bit index range and cannot be forced narrow "
+        "(dimensions " + std::to_string(out.header.nrows) + "x" +
+            std::to_string(out.header.ncols) + ")");
+  }
+
+  if (out.width == IndexWidth::i64) {
+    out.a64 = assemble<std::uint64_t>(parser, out.header, opts.protected_assembly);
+  } else {
+    out.a32 = assemble<std::uint32_t>(parser, out.header, opts.protected_assembly);
+  }
+  return out;
+}
+
+LoadedMatrix read_matrix_market(const std::string& path, const ReadOptions& opts) {
+  std::ifstream is(path);
+  if (!is) {
+    throw MatrixMarketError(Kind::io, 0, "cannot open '" + path + "' for reading");
+  }
+  return read_matrix_market(is, opts);
+}
+
+namespace {
+
+template <class Index>
+void write_impl(std::ostream& os, const sparse::Csr<Index>& a) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << a.nrows() << ' ' << a.ncols() << ' ' << a.nnz() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      os << (r + 1) << ' ' << (a.cols()[k] + 1) << ' ' << a.values()[k] << '\n';
+    }
+  }
+}
+
+template <class Index>
+void write_file(const std::string& path, const sparse::Csr<Index>& a) {
+  std::ofstream os(path);
+  if (!os) {
+    throw MatrixMarketError(Kind::io, 0, "cannot open '" + path + "' for writing");
+  }
+  write_impl(os, a);
+}
+
+}  // namespace
+
+void write_matrix_market(std::ostream& os, const sparse::CsrMatrix& a) {
+  write_impl(os, a);
+}
+void write_matrix_market(std::ostream& os, const sparse::Csr64Matrix& a) {
+  write_impl(os, a);
+}
+void write_matrix_market(const std::string& path, const sparse::CsrMatrix& a) {
+  write_file(path, a);
+}
+void write_matrix_market(const std::string& path, const sparse::Csr64Matrix& a) {
+  write_file(path, a);
+}
+
+void write_vector(const std::string& path, const aligned_vector<double>& v) {
+  std::ofstream os(path);
+  if (!os) {
+    throw MatrixMarketError(Kind::io, 0, "cannot open '" + path + "' for writing");
+  }
+  os << std::setprecision(17);
+  for (double x : v) os << x << '\n';
+}
+
+aligned_vector<double> read_vector(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw MatrixMarketError(Kind::io, 0, "cannot open '" + path + "' for reading");
+  }
+  aligned_vector<double> v;
+  double x = 0.0;
+  while (is >> x) v.push_back(x);
+  // A parse failure mid-stream must not masquerade as EOF: a truncated
+  // vector would surface much later as a dimension mismatch (or not at all).
+  if (!is.eof()) {
+    throw MatrixMarketError(Kind::bad_entry, 0,
+                            "'" + path + "' is not a plain vector file: value " +
+                                std::to_string(v.size() + 1) + " is malformed");
+  }
+  return v;
+}
+
+}  // namespace abft::io

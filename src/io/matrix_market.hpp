@@ -1,0 +1,157 @@
+/// \file matrix_market.hpp
+/// \brief Matrix Market ingestion: a robust reader/writer for the .mtx files
+/// the sparse-solver community exchanges (SuiteSparse et al.), feeding the
+/// protection stack through the sparse::Coo assembly pipeline.
+///
+/// Supported surface (NIST Matrix Market exchange format):
+///   - objects:   matrix
+///   - formats:   coordinate (sparse triplets), array (dense column-major)
+///   - fields:    real, integer, pattern (complex is rejected loudly)
+///   - symmetry:  general, symmetric, skew-symmetric (hermitian is complex
+///                territory and rejected loudly)
+/// plus %-comments, blank lines, 1-based indices, and duplicate entries
+/// (accumulated, the MM convention for repeated coordinates).
+///
+/// Every parse failure raises MatrixMarketError carrying a machine-readable
+/// Kind and the 1-based line number, so tooling (matrix_doctor) can point at
+/// the offending line instead of printing "bad file".
+///
+/// Index width is chosen automatically: files whose dimensions or worst-case
+/// assembled NNZ overflow uint32_t assemble straight into the §V-B wide
+/// stack (sparse::Csr64Matrix) — there is never a narrow intermediate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "abft/dispatch.hpp"
+#include "common/aligned.hpp"
+#include "sparse/csr.hpp"
+
+namespace abft::io {
+
+/// Storage layout declared in the banner.
+enum class MmFormat : std::uint8_t { coordinate, array };
+/// Value field declared in the banner.
+enum class MmField : std::uint8_t { real, integer, pattern };
+/// Symmetry declared in the banner.
+enum class MmSymmetry : std::uint8_t { general, symmetric, skew_symmetric };
+
+[[nodiscard]] const char* to_string(MmFormat f) noexcept;
+[[nodiscard]] const char* to_string(MmField f) noexcept;
+[[nodiscard]] const char* to_string(MmSymmetry s) noexcept;
+
+/// Parsed banner + size line of a Matrix Market file.
+struct MmHeader {
+  MmFormat format = MmFormat::coordinate;
+  MmField field = MmField::real;
+  MmSymmetry symmetry = MmSymmetry::general;
+  std::size_t nrows = 0;
+  std::size_t ncols = 0;
+  /// Entry count declared on the size line (stored entries, before symmetric
+  /// expansion). For array files this is nrows * ncols (general) or the
+  /// packed triangle count.
+  std::size_t entries = 0;
+};
+
+/// Typed Matrix Market parse error: what went wrong (kind) and where
+/// (1-based line; 0 when the failure is not tied to a line, e.g. a missing
+/// file).
+class MatrixMarketError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    io,                  ///< cannot open / read the stream
+    bad_header,          ///< malformed banner line
+    unsupported,         ///< well-formed but outside the supported surface
+    bad_size,            ///< malformed size line
+    bad_entry,           ///< malformed entry line
+    index_out_of_range,  ///< 0-based or past the declared dimensions
+    nonfinite_value,     ///< NaN / Inf entry
+    truncated,           ///< EOF before the declared entry count
+    inconsistent,        ///< violates the declared symmetry / entry count
+  };
+
+  MatrixMarketError(Kind kind, std::size_t line, const std::string& message);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  Kind kind_;
+  std::size_t line_;
+};
+
+[[nodiscard]] const char* to_string(MatrixMarketError::Kind k) noexcept;
+
+/// Ingestion options.
+struct ReadOptions {
+  /// Checksum the triplet buffer between parse and conversion
+  /// (sparse::Coo::enable_protection) — closes the one window where the
+  /// matrix is mutable and the immutable-container schemes cannot cover it.
+  bool protected_assembly = false;
+  /// Override the automatic uint32-overflow promotion (testing hook and
+  /// escape hatch; forcing i32 on a matrix past the boundary throws
+  /// MatrixMarketError{unsupported}).
+  std::optional<IndexWidth> force_width = std::nullopt;
+};
+
+/// An assembled matrix at whichever index width the file required. Exactly
+/// one of the two CSR members is populated (width says which).
+struct LoadedMatrix {
+  MmHeader header;
+  IndexWidth width = IndexWidth::i32;
+  sparse::CsrMatrix a32;
+  sparse::Csr64Matrix a64;
+
+  [[nodiscard]] bool wide() const noexcept { return width == IndexWidth::i64; }
+  [[nodiscard]] std::size_t nrows() const noexcept {
+    return wide() ? a64.nrows() : a32.nrows();
+  }
+  [[nodiscard]] std::size_t ncols() const noexcept {
+    return wide() ? a64.ncols() : a32.ncols();
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return wide() ? a64.nnz() : a32.nnz(); }
+
+  /// The 32-bit matrix; throws std::logic_error when the load promoted.
+  [[nodiscard]] const sparse::CsrMatrix& narrow() const;
+};
+
+/// Index width required by a (nrows, ncols, worst-case assembled nnz)
+/// triple: 64-bit as soon as any of them exceeds uint32_t. Pure — the
+/// promotion boundary is locked by tests without assembling 4-billion-entry
+/// matrices.
+[[nodiscard]] IndexWidth required_index_width(std::size_t nrows, std::size_t ncols,
+                                              std::size_t worst_case_nnz) noexcept;
+
+/// Worst-case assembled NNZ for a header (symmetric/skew entries may all
+/// mirror; array files may be fully dense). The promotion decision uses this
+/// upper bound, so it is deliberately conservative near the boundary.
+[[nodiscard]] std::size_t worst_case_assembled_nnz(const MmHeader& h) noexcept;
+
+/// Parse only the banner + size line (promotion decisions, tooling).
+[[nodiscard]] MmHeader read_mm_header(std::istream& is);
+
+/// Read a full Matrix Market file through the COO assembly pipeline:
+/// banner, size line, entries (with symmetric expansion and duplicate
+/// accumulation), conversion to CSR at the automatically chosen index width.
+[[nodiscard]] LoadedMatrix read_matrix_market(std::istream& is,
+                                              const ReadOptions& opts = {});
+[[nodiscard]] LoadedMatrix read_matrix_market(const std::string& path,
+                                              const ReadOptions& opts = {});
+
+/// Write \p a in Matrix Market "coordinate real general" format (1-based,
+/// 17 significant digits — doubles survive the round trip bit-exactly).
+void write_matrix_market(std::ostream& os, const sparse::CsrMatrix& a);
+void write_matrix_market(std::ostream& os, const sparse::Csr64Matrix& a);
+void write_matrix_market(const std::string& path, const sparse::CsrMatrix& a);
+void write_matrix_market(const std::string& path, const sparse::Csr64Matrix& a);
+
+/// Plain one-value-per-line dense vector IO (solver snapshots).
+void write_vector(const std::string& path, const aligned_vector<double>& v);
+[[nodiscard]] aligned_vector<double> read_vector(const std::string& path);
+
+}  // namespace abft::io

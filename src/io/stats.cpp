@@ -1,0 +1,133 @@
+#include "io/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "sparse/sell.hpp"
+#include "sparse/transform.hpp"
+
+namespace abft::io {
+
+namespace {
+
+/// Total SELL slots for a row-length distribution at (slice_height,
+/// sort_window) — the same stable per-window descending sort and per-slice
+/// max sparse::Sell::from_csr performs, without materializing the slabs.
+[[nodiscard]] std::size_t sell_slots(const std::vector<std::size_t>& row_len,
+                                     std::size_t slice, std::size_t window) {
+  const std::size_t nrows = row_len.size();
+  std::vector<std::size_t> sorted = row_len;
+  for (std::size_t w0 = 0; w0 < nrows; w0 += window) {
+    const std::size_t w1 = std::min(w0 + window, nrows);
+    std::stable_sort(sorted.begin() + static_cast<std::ptrdiff_t>(w0),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(w1),
+                     [](std::size_t a, std::size_t b) { return a > b; });
+  }
+  std::size_t slots = 0;
+  for (std::size_t s0 = 0; s0 < nrows; s0 += slice) {
+    const std::size_t s1 = std::min(s0 + slice, nrows);
+    std::size_t width = 0;
+    for (std::size_t i = s0; i < s1; ++i) width = std::max(width, sorted[i]);
+    slots += slice * width;  // the last slice keeps C storage rows (virtual pad)
+  }
+  return slots;
+}
+
+template <class Index>
+[[nodiscard]] MatrixStats analyze_impl(const sparse::Csr<Index>& a) {
+  MatrixStats s;
+  s.nrows = a.nrows();
+  s.ncols = a.ncols();
+  s.nnz = a.nnz();
+
+  std::vector<std::size_t> row_len(s.nrows, 0);
+  for (std::size_t r = 0; r < s.nrows; ++r) row_len[r] = a.row_nnz(r);
+
+  if (s.nrows > 0) {
+    s.row_min = *std::min_element(row_len.begin(), row_len.end());
+    s.row_max = *std::max_element(row_len.begin(), row_len.end());
+    s.row_mean = static_cast<double>(s.nnz) / static_cast<double>(s.nrows);
+    double var = 0.0;
+    for (const auto len : row_len) {
+      const double d = static_cast<double>(len) - s.row_mean;
+      var += d * d;
+    }
+    s.row_variance = var / static_cast<double>(s.nrows);
+    for (const auto len : row_len) {
+      const std::size_t bucket =
+          len == 0 ? 0
+                   : std::min<std::size_t>(std::bit_width(len), MatrixStats::kHistBuckets - 1);
+      ++s.row_hist[bucket];
+    }
+  }
+
+  for (std::size_t r = 0; r < s.nrows; ++r) {
+    bool diag_seen = false;
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      const std::size_t c = a.cols()[k];
+      const std::size_t dist = c > r ? c - r : r - c;
+      s.bandwidth = std::max(s.bandwidth, dist);
+      if (c == r) {
+        diag_seen = true;
+        if (a.values()[k] != 0.0) ++s.diag_nonzero;
+      }
+    }
+    if (diag_seen) ++s.diag_present;
+  }
+
+  // Symmetry: CSR stores rows with strictly increasing columns, so the
+  // transpose comparison is a plain array compare.
+  if (s.nrows == s.ncols) {
+    const auto at = sparse::transpose(a);
+    s.structurally_symmetric =
+        at.row_ptr() == a.row_ptr() && at.cols() == a.cols();
+    s.numerically_symmetric = s.structurally_symmetric && at.values() == a.values();
+  }
+
+  s.ell_width = s.row_max;
+  s.ell_padded_slots = s.ell_width * s.nrows;
+  s.sell_slice_height = sparse::Sell<Index>::kDefaultSliceHeight;
+  s.sell_sort_window = sparse::Sell<Index>::kDefaultSortWindow;
+  s.sell_padded_slots = sell_slots(row_len, s.sell_slice_height, s.sell_sort_window);
+  return s;
+}
+
+}  // namespace
+
+MatrixStats analyze(const sparse::CsrMatrix& a) { return analyze_impl(a); }
+MatrixStats analyze(const sparse::Csr64Matrix& a) { return analyze_impl(a); }
+
+void print_stats(std::ostream& os, const MatrixStats& s) {
+  os << "dimensions        " << s.nrows << " x " << s.ncols << ", " << s.nnz
+     << " non-zeros\n";
+  os << "row lengths       min " << s.row_min << ", mean " << s.row_mean << ", max "
+     << s.row_max << ", variance " << s.row_variance << "\n";
+  os << "row histogram     ";
+  for (std::size_t b = 0; b < MatrixStats::kHistBuckets; ++b) {
+    if (s.row_hist[b] == 0) continue;
+    const std::size_t lo = b == 0 ? 0 : std::size_t{1} << (b - 1);
+    const std::size_t hi = b == 0 ? 0 : (std::size_t{1} << b) - 1;
+    os << "[" << lo;
+    if (hi > lo) os << "-" << hi;
+    os << "]:" << s.row_hist[b] << " ";
+  }
+  os << "\n";
+  os << "bandwidth         " << s.bandwidth << "\n";
+  os << "symmetry          "
+     << (s.numerically_symmetric
+             ? "numeric"
+             : (s.structurally_symmetric ? "structural only" : "none"))
+     << "\n";
+  os << "diagonal          " << s.diag_present << "/" << s.nrows << " rows stored, "
+     << s.diag_nonzero << " non-zero\n";
+  os << "ELL padding       width " << s.ell_width << " -> " << s.ell_padded_slots
+     << " slots (" << 100.0 * s.ell_padding_overhead() << "% overhead)\n";
+  os << "SELL padding      C=" << s.sell_slice_height << " sigma=" << s.sell_sort_window
+     << " -> " << s.sell_padded_slots << " slots (" << 100.0 * s.sell_padding_overhead()
+     << "% overhead)\n";
+}
+
+}  // namespace abft::io

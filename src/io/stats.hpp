@@ -1,0 +1,74 @@
+/// \file stats.hpp
+/// \brief Structural analysis of an assembled sparse matrix — the numbers
+/// the format advisor (io/advisor.hpp) and matrix_doctor's report are built
+/// from.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#include "sparse/csr.hpp"
+
+namespace abft::io {
+
+/// Structural profile of a sparse matrix. All padding figures count slots
+/// (value + column index pairs), the same unit the protected containers
+/// encode; the SELL estimate mirrors sparse::Sell::from_csr's default
+/// slice-height/sort-window packing exactly (locked by tests against the
+/// real converter).
+struct MatrixStats {
+  std::size_t nrows = 0;
+  std::size_t ncols = 0;
+  std::size_t nnz = 0;
+
+  // Row-length distribution.
+  std::size_t row_min = 0;
+  std::size_t row_max = 0;
+  double row_mean = 0.0;
+  double row_variance = 0.0;
+  /// Log2 histogram: bucket 0 counts empty rows, bucket k >= 1 counts rows
+  /// with length in [2^(k-1), 2^k). The last bucket absorbs everything
+  /// longer.
+  static constexpr std::size_t kHistBuckets = 16;
+  std::array<std::size_t, kHistBuckets> row_hist{};
+
+  /// max |r - c| over stored entries.
+  std::size_t bandwidth = 0;
+
+  /// Pattern of A equals pattern of A^T / A equals A^T bit-exactly.
+  bool structurally_symmetric = false;
+  bool numerically_symmetric = false;
+
+  /// Rows with a stored diagonal entry / with a non-zero diagonal value.
+  std::size_t diag_present = 0;
+  std::size_t diag_nonzero = 0;
+
+  // Padding the slab formats would pay for this row distribution.
+  std::size_t ell_width = 0;          ///< ELLPACK slab width (= row_max)
+  std::size_t ell_padded_slots = 0;   ///< ell_width * nrows
+  std::size_t sell_slice_height = 0;  ///< the C the SELL estimate used
+  std::size_t sell_sort_window = 0;   ///< the sigma the SELL estimate used
+  std::size_t sell_padded_slots = 0;  ///< total SELL slots at (C, sigma)
+
+  /// Padding overhead ratios: padded_slots / nnz - 1 (0 when nnz == 0).
+  [[nodiscard]] double ell_padding_overhead() const noexcept {
+    return nnz == 0 ? 0.0
+                    : static_cast<double>(ell_padded_slots) / static_cast<double>(nnz) - 1.0;
+  }
+  [[nodiscard]] double sell_padding_overhead() const noexcept {
+    return nnz == 0 ? 0.0
+                    : static_cast<double>(sell_padded_slots) / static_cast<double>(nnz) -
+                          1.0;
+  }
+};
+
+/// Analyze an assembled CSR matrix at either index width.
+[[nodiscard]] MatrixStats analyze(const sparse::CsrMatrix& a);
+[[nodiscard]] MatrixStats analyze(const sparse::Csr64Matrix& a);
+
+/// Human-readable multi-line report (matrix_doctor's analysis block).
+void print_stats(std::ostream& os, const MatrixStats& s);
+
+}  // namespace abft::io

@@ -41,6 +41,9 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
 
   SolveResult result;
   result.residual_norm = std::sqrt(rr);
+  if (opts.residual_history != nullptr) {
+    opts.residual_history->push_back(result.residual_norm);
+  }
   if (result.residual_norm <= threshold) {
     result.converged = true;
     if (opts.final_matrix_verify) a.verify_all();
@@ -58,6 +61,9 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
     const double rr_new = dot(r, r);
     result.iterations = iter;
     result.residual_norm = std::sqrt(rr_new);
+    if (opts.residual_history != nullptr) {
+      opts.residual_history->push_back(result.residual_norm);
+    }
     if (!std::isfinite(rr_new)) break;
     if (result.residual_norm <= threshold) {
       result.converged = true;

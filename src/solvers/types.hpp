@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "abft/check_policy.hpp"
 
@@ -20,6 +21,10 @@ struct SolveOptions {
   /// check interval skips iterations so no error escapes the time-step;
   /// harmless (one extra sweep) otherwise.
   bool final_matrix_verify = true;
+  /// When set, every residual norm (the initial one, then one per
+  /// iteration) is appended here. The io pipeline uses this to prove two
+  /// storage formats ran bit-identical solves; not cleared by the solver.
+  std::vector<double>* residual_history = nullptr;
 };
 
 /// Outcome of a solve.

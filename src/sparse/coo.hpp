@@ -1,20 +1,63 @@
 /// \file coo.hpp
-/// \brief Coordinate-format staging container used to assemble CSR matrices.
+/// \brief Coordinate-format staging container: the canonical triplet buffer
+/// every assembly path (stencil generators, the Matrix Market ingestion
+/// pipeline in io/) funnels through before conversion to CSR/ELL/SELL.
+///
+/// The index width is a template parameter, mirroring sparse::Csr: 32-bit
+/// triplets cover the paper's main setting, 64-bit triplets the §V-B
+/// wide-index scenario the io loader auto-promotes into.
+///
+/// Protected assembly mode (the successor of the retired standalone
+/// ProtectedCoo container): ingestion is the one phase where the matrix is
+/// mutable, so the immutable-container schemes of the abft/ layer cannot
+/// cover it. enable_protection() closes that window with CRC32C checksums
+/// over blocks of appended triplets — each add() streams the triplet into
+/// the open block's running checksum, and to_csr() re-walks the buffer and
+/// verifies every block before converting, so a bit flip landing in the
+/// triplet buffer between file read and format conversion is detected
+/// (recovery = re-read the source, which is still at hand during ingestion).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
 
+#include "common/bits.hpp"
+#include "ecc/crc32c.hpp"
 #include "sparse/csr.hpp"
 
 namespace abft::sparse {
 
+/// A checksummed triplet block failed verification between assembly and
+/// conversion (protected assembly mode). Names the first failing block.
+class CooIntegrityError : public std::runtime_error {
+ public:
+  explicit CooIntegrityError(std::size_t block)
+      : std::runtime_error("Coo: triplet checksum block " + std::to_string(block) +
+                           " corrupted between assembly and conversion"),
+        block_(block) {}
+
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+
+ private:
+  std::size_t block_;
+};
+
 /// Triplet (COO) matrix builder. Entries may be added in any order and with
 /// duplicates; to_csr() sorts rows/columns and sums duplicates, which is the
-/// usual finite-difference assembly path.
-class CooMatrix {
+/// usual finite-difference assembly path and the Matrix Market
+/// duplicate-accumulation contract.
+template <class Index>
+class Coo {
+  static_assert(std::is_same_v<Index, std::uint32_t> || std::is_same_v<Index, std::uint64_t>,
+                "Coo: index type must be uint32_t or uint64_t");
+
  public:
-  using index_type = std::uint32_t;
+  using index_type = Index;
 
   struct Entry {
     index_type row;
@@ -22,7 +65,12 @@ class CooMatrix {
     double value;
   };
 
-  CooMatrix(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {}
+  /// Triplets per checksum block in protected assembly mode. Small enough to
+  /// localize a detected corruption, large enough that the per-add CRC work
+  /// stays a fraction of the parse cost.
+  static constexpr std::size_t kChecksumBlock = 1024;
+
+  Coo(std::size_t nrows, std::size_t ncols) : nrows_(nrows), ncols_(ncols) {}
 
   [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
@@ -30,18 +78,122 @@ class CooMatrix {
 
   void reserve(std::size_t n) { entries_.reserve(n); }
 
+  /// Start checksumming appended triplets (must be enabled while empty so
+  /// every triplet is covered).
+  void enable_protection() {
+    if (!entries_.empty()) {
+      throw std::logic_error("Coo: enable_protection() requires an empty buffer");
+    }
+    protect_ = true;
+  }
+
+  [[nodiscard]] bool protected_mode() const noexcept { return protect_; }
+
   /// Record a contribution A(row, col) += value. Out-of-range indices throw.
-  void add(std::size_t row, std::size_t col, double value);
+  void add(std::size_t row, std::size_t col, double value) {
+    if (row >= nrows_ || col >= ncols_) {
+      throw std::out_of_range("Coo::add: index out of range");
+    }
+    entries_.push_back({static_cast<index_type>(row), static_cast<index_type>(col), value});
+    if (protect_) {
+      checksum_entry(open_block_, entries_.back());
+      if (entries_.size() % kChecksumBlock == 0) {
+        block_crcs_.push_back(open_block_.value());
+        open_block_.reset();
+      }
+    }
+  }
+
+  /// Raw triplet storage — exposed for fault injection (tests corrupt the
+  /// assembly window through this, exactly like the raw_* spans of the
+  /// protected containers).
+  [[nodiscard]] std::vector<Entry>& raw_entries() noexcept { return entries_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// Re-walk the buffer and verify every checksum block (protected mode
+  /// only). Returns the number of corrupted blocks; detection-only — the
+  /// recovery path during ingestion is re-reading the source.
+  [[nodiscard]] std::size_t verify() const {
+    std::size_t failures = 0;
+    scan_blocks([&](std::size_t) { ++failures; });
+    return failures;
+  }
 
   /// Convert to CSR: sorts by (row, col) and sums duplicate coordinates.
   /// Entries that sum to exactly zero are kept (structural non-zeros), so the
-  /// sparsity pattern is deterministic for stencil matrices.
-  [[nodiscard]] CsrMatrix to_csr() const;
+  /// sparsity pattern is deterministic for stencil matrices. In protected
+  /// mode the triplet checksums are verified first; a mismatch raises
+  /// CooIntegrityError naming the first corrupted block.
+  [[nodiscard]] Csr<Index> to_csr() const {
+    scan_blocks([](std::size_t b) { throw CooIntegrityError(b); });
+
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+
+    Csr<Index> csr(nrows_, ncols_);
+    csr.reserve(sorted.size());
+    auto& row_ptr = csr.row_ptr();
+    auto& cols = csr.cols();
+    auto& values = csr.values();
+
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      row_ptr[r] = static_cast<index_type>(values.size());
+      while (i < sorted.size() && sorted[i].row == r) {
+        const index_type c = sorted[i].col;
+        double sum = 0.0;
+        while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+          sum += sorted[i].value;
+          ++i;
+        }
+        cols.push_back(c);
+        values.push_back(sum);
+      }
+    }
+    row_ptr[nrows_] = static_cast<index_type>(values.size());
+    return csr;
+  }
 
  private:
+  /// Recompute every checksum block and invoke \p on_corrupt(block) for each
+  /// mismatch — the one walk behind verify() (counts) and to_csr() (throws),
+  /// so the blocking rules cannot diverge. No-op when unprotected.
+  template <class OnCorrupt>
+  void scan_blocks(OnCorrupt&& on_corrupt) const {
+    if (!protect_) return;
+    ecc::Crc32cAccumulator acc;
+    for (std::size_t b = 0; b * kChecksumBlock < entries_.size(); ++b) {
+      const std::size_t begin = b * kChecksumBlock;
+      const std::size_t end = std::min(begin + kChecksumBlock, entries_.size());
+      acc.reset();
+      for (std::size_t k = begin; k < end; ++k) checksum_entry(acc, entries_[k]);
+      const std::uint32_t expected =
+          b < block_crcs_.size() ? block_crcs_[b] : open_block_.value();
+      if (acc.value() != expected) on_corrupt(b);
+    }
+  }
+
+  /// Field-by-field checksum (never struct bytes: Entry has alignment
+  /// padding at 64-bit index width).
+  static void checksum_entry(ecc::Crc32cAccumulator& acc, const Entry& e) noexcept {
+    acc.update_u64(static_cast<std::uint64_t>(e.row));
+    acc.update_u64(static_cast<std::uint64_t>(e.col));
+    acc.update_u64(double_to_bits(e.value));
+  }
+
   std::size_t nrows_;
   std::size_t ncols_;
   std::vector<Entry> entries_;
+  bool protect_ = false;
+  std::vector<std::uint32_t> block_crcs_;  ///< one CRC32C per full block
+  ecc::Crc32cAccumulator open_block_;      ///< running CRC of the last partial block
 };
+
+/// The paper's main setting: 32-bit triplets.
+using CooMatrix = Coo<std::uint32_t>;
+/// The §V-B wide-index setting: 64-bit triplets.
+using Coo64Matrix = Coo<std::uint64_t>;
 
 }  // namespace abft::sparse

@@ -190,7 +190,6 @@ void spmv(const Ell<Index>& a, const double* x, double* y) noexcept {
   const auto* cols = a.cols().data();
   const auto* values = a.values().data();
   const std::size_t nrows = a.nrows();
-  const std::size_t width = a.width();
 #pragma omp parallel for schedule(static)
   for (std::int64_t r = 0; r < static_cast<std::int64_t>(nrows); ++r) {
     double sum = 0.0;

@@ -7,11 +7,12 @@
 
 namespace abft::sparse {
 
-CsrMatrix pad_rows_to_min_nnz(const CsrMatrix& a, std::size_t min_nnz) {
+template <class Index>
+Csr<Index> pad_rows_to_min_nnz(const Csr<Index>& a, std::size_t min_nnz) {
   if (min_nnz > a.ncols()) {
     throw std::invalid_argument("pad_rows_to_min_nnz: min_nnz exceeds column count");
   }
-  CooMatrix coo(a.nrows(), a.ncols());
+  Coo<Index> coo(a.nrows(), a.ncols());
   coo.reserve(a.nnz() + a.nrows());
   for (std::size_t r = 0; r < a.nrows(); ++r) {
     std::set<std::size_t> present;
@@ -28,8 +29,9 @@ CsrMatrix pad_rows_to_min_nnz(const CsrMatrix& a, std::size_t min_nnz) {
   return coo.to_csr();
 }
 
-CsrMatrix transpose(const CsrMatrix& a) {
-  CooMatrix coo(a.ncols(), a.nrows());
+template <class Index>
+Csr<Index> transpose(const Csr<Index>& a) {
+  Coo<Index> coo(a.ncols(), a.nrows());
   coo.reserve(a.nnz());
   for (std::size_t r = 0; r < a.nrows(); ++r) {
     for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
@@ -38,5 +40,10 @@ CsrMatrix transpose(const CsrMatrix& a) {
   }
   return coo.to_csr();
 }
+
+template Csr<std::uint32_t> pad_rows_to_min_nnz(const Csr<std::uint32_t>&, std::size_t);
+template Csr<std::uint64_t> pad_rows_to_min_nnz(const Csr<std::uint64_t>&, std::size_t);
+template Csr<std::uint32_t> transpose(const Csr<std::uint32_t>&);
+template Csr<std::uint64_t> transpose(const Csr<std::uint64_t>&);
 
 }  // namespace abft::sparse

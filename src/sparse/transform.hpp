@@ -1,8 +1,9 @@
 /// \file transform.hpp
-/// \brief Structural CSR transformations.
+/// \brief Structural CSR transformations, width-generic.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sparse/csr.hpp"
 
@@ -17,10 +18,21 @@ namespace abft::sparse {
 /// checksum in the top byte of the first four elements of each row, so rows
 /// need >= 4 non-zeros. TeaLeaf's five-point stencil matrix satisfies this
 /// everywhere except (depending on assembly convention) boundary rows, which
-/// this pads.
-[[nodiscard]] CsrMatrix pad_rows_to_min_nnz(const CsrMatrix& a, std::size_t min_nnz);
+/// this pads; general ingested matrices (io/) may need it anywhere. Works at
+/// either index width — wide operators loaded through the io subsystem pad
+/// natively, without a 32-bit detour.
+template <class Index>
+[[nodiscard]] Csr<Index> pad_rows_to_min_nnz(const Csr<Index>& a, std::size_t min_nnz);
 
-/// Transpose (used by tests to verify symmetry of generated operators).
-[[nodiscard]] CsrMatrix transpose(const CsrMatrix& a);
+/// Transpose (used by tests and the io analyzer to verify symmetry).
+template <class Index>
+[[nodiscard]] Csr<Index> transpose(const Csr<Index>& a);
+
+extern template Csr<std::uint32_t> pad_rows_to_min_nnz(const Csr<std::uint32_t>&,
+                                                       std::size_t);
+extern template Csr<std::uint64_t> pad_rows_to_min_nnz(const Csr<std::uint64_t>&,
+                                                       std::size_t);
+extern template Csr<std::uint32_t> transpose(const Csr<std::uint32_t>&);
+extern template Csr<std::uint64_t> transpose(const Csr<std::uint64_t>&);
 
 }  // namespace abft::sparse

@@ -36,7 +36,42 @@ TEST(ParseScheme, ErrorListsValidNames) {
 TEST(ParseIndexWidth, RoundTripsAndRejects) {
   EXPECT_EQ(parse_index_width("32"), IndexWidth::i32);
   EXPECT_EQ(parse_index_width("64"), IndexWidth::i64);
+  for (auto w : kAllIndexWidths) {
+    EXPECT_EQ(parse_index_width(to_string(w)), w);
+  }
   EXPECT_THROW((void)parse_index_width("128"), std::invalid_argument);
+}
+
+TEST(ParseErrors, AllThreeParsersShareTheValidValuesFormatter) {
+  // One formatter behind parse_scheme / parse_index_width / parse_format:
+  // the same "(valid <what>s are: ...)" shape, each enumerating its whole
+  // registry, so the lists cannot drift apart.
+  const auto message_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::string scheme_msg = message_of([] { (void)parse_scheme("bogus"); });
+  const std::string width_msg = message_of([] { (void)parse_index_width("bogus"); });
+  const std::string format_msg = message_of([] { (void)parse_format("bogus"); });
+
+  EXPECT_NE(scheme_msg.find("(valid scheme names are: "), std::string::npos)
+      << scheme_msg;
+  EXPECT_NE(width_msg.find("(valid index widths are: "), std::string::npos) << width_msg;
+  EXPECT_NE(format_msg.find("(valid matrix formats are: "), std::string::npos)
+      << format_msg;
+  for (auto s : ecc::kAllSchemes) {
+    EXPECT_NE(scheme_msg.find(ecc::to_string(s)), std::string::npos);
+  }
+  for (auto w : kAllIndexWidths) {
+    EXPECT_NE(width_msg.find(to_string(w)), std::string::npos);
+  }
+  for (auto f : kAllFormats) {
+    EXPECT_NE(format_msg.find(to_string(f)), std::string::npos);
+  }
 }
 
 TEST(ParseFormat, RoundTripsAndRejects) {

@@ -1,0 +1,202 @@
+// Matrix analysis (MatrixStats) and the format advisor, including the
+// locked recommendations for the committed fixtures under tests/data/.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "io/io.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/sell.hpp"
+
+namespace {
+
+using namespace abft;
+
+[[nodiscard]] std::string fixture(const char* name) {
+  return std::string(ABFT_TEST_DATA_DIR) + "/" + name;
+}
+
+/// 24x24 SPD arrowhead (one dense row/column): the long-tail archetype.
+[[nodiscard]] sparse::CsrMatrix arrowhead(std::size_t n) {
+  sparse::CooMatrix coo(n, n);
+  coo.add(0, 0, static_cast<double>(n) + 1.0);
+  for (std::size_t j = 1; j < n; ++j) {
+    coo.add(0, j, -1.0);
+    coo.add(j, 0, -1.0);
+    coo.add(j, j, 2.0);
+  }
+  return coo.to_csr();
+}
+
+TEST(MatrixStats, LaplacianProfile) {
+  const auto a = sparse::laplacian_2d(8, 8);
+  const auto s = io::analyze(a);
+  EXPECT_EQ(s.nrows, 64u);
+  EXPECT_EQ(s.ncols, 64u);
+  EXPECT_EQ(s.nnz, a.nnz());
+  EXPECT_EQ(s.row_min, 3u);   // corners
+  EXPECT_EQ(s.row_max, 5u);   // interior
+  EXPECT_DOUBLE_EQ(s.row_mean, static_cast<double>(a.nnz()) / 64.0);
+  EXPECT_GT(s.row_variance, 0.0);
+  EXPECT_EQ(s.bandwidth, 8u);  // the nx-offset coupling
+  EXPECT_TRUE(s.structurally_symmetric);
+  EXPECT_TRUE(s.numerically_symmetric);
+  EXPECT_EQ(s.diag_present, 64u);
+  EXPECT_EQ(s.diag_nonzero, 64u);
+  EXPECT_EQ(s.ell_width, 5u);
+  EXPECT_EQ(s.ell_padded_slots, 5u * 64u);
+  // The histogram partitions the rows.
+  const auto total = std::accumulate(s.row_hist.begin(), s.row_hist.end(), std::size_t{0});
+  EXPECT_EQ(total, s.nrows);
+}
+
+TEST(MatrixStats, DetectsStructuralAndNumericAsymmetry) {
+  {
+    sparse::CooMatrix coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 2, 5.0);  // no mirror
+    coo.add(1, 1, 1.0);
+    coo.add(2, 2, 1.0);
+    const auto s = io::analyze(coo.to_csr());
+    EXPECT_FALSE(s.structurally_symmetric);
+    EXPECT_FALSE(s.numerically_symmetric);
+    EXPECT_EQ(s.bandwidth, 2u);
+  }
+  {
+    sparse::CooMatrix coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 2.0);
+    coo.add(1, 0, 3.0);  // mirrored slot, different value
+    coo.add(1, 1, 1.0);
+    const auto s = io::analyze(coo.to_csr());
+    EXPECT_TRUE(s.structurally_symmetric);
+    EXPECT_FALSE(s.numerically_symmetric);
+  }
+}
+
+TEST(MatrixStats, DiagonalCoverageCountsStoredAndNonZero) {
+  sparse::CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 0.0);  // structural zero on the diagonal
+  coo.add(2, 1, 4.0);  // row 2 has no diagonal at all
+  const auto s = io::analyze(coo.to_csr());
+  EXPECT_EQ(s.diag_present, 2u);
+  EXPECT_EQ(s.diag_nonzero, 1u);
+}
+
+TEST(MatrixStats, PaddingEstimatesMatchTheRealContainers) {
+  // The advisor's numbers must be the numbers the converters would realize —
+  // locked against sparse::Ell / sparse::Sell on assorted shapes.
+  const sparse::CsrMatrix cases[] = {
+      sparse::laplacian_2d(7, 9),
+      sparse::random_spd(100, 7, 42),
+      arrowhead(24),
+  };
+  for (const auto& a : cases) {
+    const auto s = io::analyze(a);
+    EXPECT_EQ(s.ell_padded_slots, sparse::EllMatrix::from_csr(a).values().size());
+    const auto sell = sparse::SellMatrix::from_csr(a);
+    EXPECT_EQ(s.sell_slice_height, sell.slice_height());
+    EXPECT_EQ(s.sell_sort_window, sell.sort_window());
+    EXPECT_EQ(s.sell_padded_slots, sell.values().size());
+  }
+}
+
+TEST(MatrixStats, WideAnalysisMatchesNarrow) {
+  const auto a = sparse::random_spd(60, 5, 3);
+  const auto s32 = io::analyze(a);
+  const auto s64 = io::analyze(sparse::Csr64Matrix::from_csr(a));
+  EXPECT_EQ(s64.nnz, s32.nnz);
+  EXPECT_EQ(s64.row_max, s32.row_max);
+  EXPECT_EQ(s64.bandwidth, s32.bandwidth);
+  EXPECT_EQ(s64.ell_padded_slots, s32.ell_padded_slots);
+  EXPECT_EQ(s64.sell_padded_slots, s32.sell_padded_slots);
+  EXPECT_EQ(s64.numerically_symmetric, s32.numerically_symmetric);
+}
+
+TEST(MatrixStats, PrintReportMentionsTheHeadlines) {
+  std::ostringstream os;
+  io::print_stats(os, io::analyze(sparse::laplacian_2d(4, 4)));
+  const auto text = os.str();
+  EXPECT_NE(text.find("16 x 16"), std::string::npos);
+  EXPECT_NE(text.find("ELL padding"), std::string::npos);
+  EXPECT_NE(text.find("SELL padding"), std::string::npos);
+  EXPECT_NE(text.find("numeric"), std::string::npos);
+}
+
+// --- Advisor: rule behaviour on synthetic shapes. ---
+
+TEST(FormatAdvisor, UniformRowsGetEll) {
+  const auto advice = io::advise_format(io::analyze(sparse::laplacian_2d(16, 16)));
+  EXPECT_EQ(advice.format, MatrixFormat::ell);
+  EXPECT_NE(advice.rationale.find("uniform"), std::string::npos);
+}
+
+TEST(FormatAdvisor, LongTailGetsCsr) {
+  const auto advice = io::advise_format(io::analyze(arrowhead(24)));
+  EXPECT_EQ(advice.format, MatrixFormat::csr);
+  EXPECT_NE(advice.rationale.find("long-tailed"), std::string::npos);
+}
+
+TEST(FormatAdvisor, SkewedButSortableGetsSellWithParameters) {
+  // Two row-length populations (8 and 2): ELL pads 60%, sigma-sorted SELL
+  // packs them into separate slices with no waste.
+  sparse::CooMatrix coo(32, 32);
+  for (std::size_t i = 0; i < 16; ++i) {
+    coo.add(i, i, 9.0);
+    for (std::size_t k = 0; k < 7; ++k) coo.add(i, 16 + (i + k) % 16, -1.0);
+  }
+  for (std::size_t i = 16; i < 32; ++i) {
+    coo.add(i, i, 3.0);
+    coo.add(i, i - 16, -1.0);
+  }
+  const auto stats = io::analyze(coo.to_csr());
+  EXPECT_GT(stats.ell_padding_overhead(), io::kPaddingBudget);
+  EXPECT_LE(stats.sell_padding_overhead(), io::kPaddingBudget);
+  const auto advice = io::advise_format(stats);
+  ASSERT_EQ(advice.format, MatrixFormat::sell);
+  EXPECT_EQ(advice.slice_height, stats.sell_slice_height);
+  EXPECT_EQ(advice.sort_window, stats.sell_sort_window);
+  EXPECT_NE(advice.rationale.find("sigma"), std::string::npos);
+}
+
+TEST(FormatAdvisor, EmptyMatrixDefaultsToCsr) {
+  const auto advice = io::advise_format(io::analyze(sparse::CsrMatrix(4, 4)));
+  EXPECT_EQ(advice.format, MatrixFormat::csr);
+}
+
+// --- Advisor: locked recommendations for every committed fixture. ---
+
+struct FixtureAdvice {
+  const char* file;
+  MatrixFormat expected;
+};
+
+class FixtureAdvisorTest : public ::testing::TestWithParam<FixtureAdvice> {};
+
+TEST_P(FixtureAdvisorTest, RecommendationIsLocked) {
+  const auto [file, expected] = GetParam();
+  const auto loaded = io::read_matrix_market(fixture(file));
+  ASSERT_FALSE(loaded.wide());
+  const auto advice = io::advise_format(io::analyze(loaded.a32));
+  EXPECT_EQ(advice.format, expected) << file << ": " << advice.rationale;
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFixtures, FixtureAdvisorTest,
+    ::testing::Values(FixtureAdvice{"spd_mini.mtx", MatrixFormat::ell},
+                      FixtureAdvice{"pattern_sym.mtx", MatrixFormat::ell},
+                      FixtureAdvice{"longtail.mtx", MatrixFormat::csr},
+                      FixtureAdvice{"blocks.mtx", MatrixFormat::sell},
+                      FixtureAdvice{"array_dense.mtx", MatrixFormat::ell}),
+    [](const auto& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+}  // namespace

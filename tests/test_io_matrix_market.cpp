@@ -1,0 +1,444 @@
+// Matrix Market ingestion: round trips, format/field/symmetry coverage,
+// typed line-numbered errors on malformed input, the 32->64-bit promotion
+// boundary, and the checksummed-triplet protected assembly mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/io.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace abft;
+using Kind = io::MatrixMarketError::Kind;
+
+[[nodiscard]] io::LoadedMatrix read_str(const std::string& text,
+                                        const io::ReadOptions& opts = {}) {
+  std::istringstream ss(text);
+  return io::read_matrix_market(ss, opts);
+}
+
+/// Assert that parsing \p text raises \p kind at \p line.
+void expect_mm_error(const std::string& text, Kind kind, std::size_t line) {
+  std::istringstream ss(text);
+  try {
+    (void)io::read_matrix_market(ss);
+    FAIL() << "expected MatrixMarketError{" << io::to_string(kind) << "} on:\n" << text;
+  } catch (const io::MatrixMarketError& e) {
+    EXPECT_EQ(e.kind(), kind) << e.what();
+    EXPECT_EQ(e.line(), line) << e.what();
+    if (line > 0) {
+      EXPECT_NE(std::string(e.what()).find("line " + std::to_string(line)),
+                std::string::npos)
+          << "message does not name the line: " << e.what();
+    }
+  }
+}
+
+TEST(MatrixMarket, StreamRoundTripIsExact) {
+  const auto a = sparse::random_spd(25, 3, 5);
+  std::stringstream ss;
+  io::write_matrix_market(ss, a);
+  const auto b = read_str(ss.str());
+  ASSERT_EQ(b.width, IndexWidth::i32);
+  EXPECT_EQ(b.a32.row_ptr(), a.row_ptr());
+  EXPECT_EQ(b.a32.cols(), a.cols());
+  EXPECT_EQ(b.a32.values(), a.values());
+}
+
+TEST(MatrixMarket, WideRoundTripIsExact) {
+  const auto a32 = sparse::random_spd(20, 4, 9);
+  const auto a = sparse::Csr64Matrix::from_csr(a32);
+  std::stringstream ss;
+  io::write_matrix_market(ss, a);
+  const auto b = read_str(ss.str(), {.force_width = IndexWidth::i64});
+  ASSERT_TRUE(b.wide());
+  EXPECT_THROW((void)b.narrow(), std::logic_error);
+  EXPECT_EQ(b.a64.row_ptr(), a.row_ptr());
+  EXPECT_EQ(b.a64.cols(), a.cols());
+  EXPECT_EQ(b.a64.values(), a.values());
+}
+
+TEST(MatrixMarket, SymmetricInputIsMirrored) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 2.0\n");
+  EXPECT_EQ(m.nnz(), 5u);  // off-diagonal mirrored, diagonal not doubled
+  EXPECT_EQ(m.a32.at(0, 1), -1.0);
+  EXPECT_EQ(m.a32.at(1, 0), -1.0);
+  EXPECT_EQ(m.a32.at(0, 0), 2.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricMirrorsNegated) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 2 -1.0\n");
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_EQ(m.a32.at(1, 0), 5.0);
+  EXPECT_EQ(m.a32.at(0, 1), -5.0);
+  EXPECT_EQ(m.a32.at(2, 1), -1.0);
+  EXPECT_EQ(m.a32.at(1, 2), 1.0);
+}
+
+TEST(MatrixMarket, PatternEntriesCarryUnitValues) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 3 3\n"
+      "1 1\n"
+      "2 3\n"
+      "1 3\n");
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.a32.at(0, 0), 1.0);
+  EXPECT_EQ(m.a32.at(1, 2), 1.0);
+  EXPECT_EQ(m.a32.at(0, 2), 1.0);
+}
+
+TEST(MatrixMarket, IntegerFieldParsesAsDoubles) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 1 3\n"
+      "2 2 -4\n");
+  EXPECT_EQ(m.a32.at(0, 0), 3.0);
+  EXPECT_EQ(m.a32.at(1, 1), -4.0);
+}
+
+TEST(MatrixMarket, ArrayGeneralIsColumnMajor) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix array real general\n"
+      "2 3\n"
+      "1.0\n2.0\n"    // column 1
+      "3.0\n4.0\n"    // column 2
+      "5.0\n6.0\n");  // column 3
+  EXPECT_EQ(m.nnz(), 6u);
+  EXPECT_EQ(m.a32.at(0, 0), 1.0);
+  EXPECT_EQ(m.a32.at(1, 0), 2.0);
+  EXPECT_EQ(m.a32.at(0, 1), 3.0);
+  EXPECT_EQ(m.a32.at(1, 2), 6.0);
+}
+
+TEST(MatrixMarket, ArraySymmetricPacksLowerTriangle) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix array real symmetric\n"
+      "3 3\n"
+      "2.0\n-1.0\n0.5\n"  // column 1: rows 1..3
+      "2.0\n-1.0\n"       // column 2: rows 2..3
+      "2.0\n");           // column 3: row 3
+  EXPECT_EQ(m.nnz(), 9u);
+  EXPECT_EQ(m.a32.at(2, 0), 0.5);
+  EXPECT_EQ(m.a32.at(0, 2), 0.5);
+  EXPECT_EQ(m.a32.at(1, 1), 2.0);
+}
+
+TEST(MatrixMarket, ArrayDropsExactZeros) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1.0\n0.0\n0.0\n4.0\n");
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(MatrixMarket, DuplicateEntriesAccumulate) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n"
+      "2 2 1.0\n");
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.a32.at(0, 0), 4.0);
+}
+
+TEST(MatrixMarket, CommentsBlankLinesAndCrlfAreTolerated) {
+  const auto m = read_str(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% header comment\r\n"
+      "\r\n"
+      "2 2 2\r\n"
+      "% interleaved comment\n"
+      "1 1 1.0\r\n"
+      "\n"
+      "2 2 2.0\n"
+      "% trailing comment\n");
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+// --- Malformed input: every path raises a typed error naming the line. ---
+
+TEST(MatrixMarketErrors, HeaderProblems) {
+  expect_mm_error("not a matrix\n1 1 1\n", Kind::bad_header, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinates real general\n1 1 1\n",
+                  Kind::bad_header, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinate realish general\n1 1 1\n",
+                  Kind::bad_header, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinate real sym\n1 1 1\n",
+                  Kind::bad_header, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinate\n1 1 1\n", Kind::bad_header, 1);
+  expect_mm_error("", Kind::bad_header, 1);
+}
+
+TEST(MatrixMarketErrors, UnsupportedSurface) {
+  expect_mm_error("%%MatrixMarket vector coordinate real general\n1 1 1\n",
+                  Kind::unsupported, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+                  Kind::unsupported, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n",
+                  Kind::unsupported, 1);
+  expect_mm_error("%%MatrixMarket matrix array pattern general\n1 1\n",
+                  Kind::unsupported, 1);
+  expect_mm_error("%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n",
+                  Kind::unsupported, 1);
+}
+
+TEST(MatrixMarketErrors, SizeLineProblems) {
+  expect_mm_error("%%MatrixMarket matrix coordinate real general\n2 2\n", Kind::bad_size,
+                  2);
+  expect_mm_error("%%MatrixMarket matrix coordinate real general\n2 x 3\n",
+                  Kind::bad_size, 2);
+  expect_mm_error("%%MatrixMarket matrix coordinate real general\n-2 2 1\n",
+                  Kind::bad_size, 2);
+  expect_mm_error("%%MatrixMarket matrix array real general\n2 2 4\n", Kind::bad_size, 2);
+  expect_mm_error("%%MatrixMarket matrix coordinate real general\n", Kind::bad_size, 2);
+  // Comments shift the size line; the error names the real line number.
+  expect_mm_error("%%MatrixMarket matrix coordinate real general\n% c1\n% c2\nbogus\n",
+                  Kind::bad_size, 4);
+}
+
+TEST(MatrixMarketErrors, NonSquareSymmetric) {
+  expect_mm_error("%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n2 1 1.0\n",
+                  Kind::inconsistent, 2);
+}
+
+TEST(MatrixMarketErrors, EntryProblems) {
+  const std::string head = "%%MatrixMarket matrix coordinate real general\n2 2 1\n";
+  expect_mm_error(head + "1 x 1.0\n", Kind::bad_entry, 3);
+  expect_mm_error(head + "1 1\n", Kind::bad_entry, 3);
+  expect_mm_error(head + "1 1 1.0 extra\n", Kind::bad_entry, 3);
+  expect_mm_error(head + "1 1 abc\n", Kind::bad_entry, 3);
+  expect_mm_error("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 1.0\n",
+                  Kind::bad_entry, 3);
+  expect_mm_error("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 1.5\n",
+                  Kind::bad_entry, 3);
+  expect_mm_error("%%MatrixMarket matrix array real general\n2 2\n1.0 2.0\n3.0\n4.0\n",
+                  Kind::bad_entry, 3);
+}
+
+TEST(MatrixMarketErrors, IndexProblems) {
+  const std::string head = "%%MatrixMarket matrix coordinate real general\n2 2 1\n";
+  expect_mm_error(head + "0 1 1.0\n", Kind::index_out_of_range, 3);  // 0-based input
+  expect_mm_error(head + "1 0 1.0\n", Kind::index_out_of_range, 3);
+  expect_mm_error(head + "5 1 1.0\n", Kind::index_out_of_range, 3);
+  expect_mm_error(head + "1 5 1.0\n", Kind::index_out_of_range, 3);
+  expect_mm_error(head + "-1 1 1.0\n", Kind::index_out_of_range, 3);
+}
+
+TEST(MatrixMarketErrors, NonFiniteValues) {
+  const std::string head = "%%MatrixMarket matrix coordinate real general\n2 2 1\n";
+  expect_mm_error(head + "1 1 nan\n", Kind::nonfinite_value, 3);
+  expect_mm_error(head + "1 1 inf\n", Kind::nonfinite_value, 3);
+  expect_mm_error(head + "1 1 -inf\n", Kind::nonfinite_value, 3);
+  expect_mm_error(head + "1 1 1e999\n", Kind::nonfinite_value, 3);
+}
+
+TEST(MatrixMarketErrors, TruncatedFiles) {
+  expect_mm_error("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+                  Kind::truncated, 3);
+  expect_mm_error("%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n",
+                  Kind::truncated, 4);
+}
+
+TEST(MatrixMarketErrors, DataPastDeclaredCount) {
+  expect_mm_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+      Kind::inconsistent, 4);
+}
+
+TEST(MatrixMarketErrors, SymmetryViolations) {
+  expect_mm_error(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n1 2 1.0\n",
+      Kind::inconsistent, 3);  // upper-triangle entry
+  expect_mm_error(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n2 2 1.0\n",
+      Kind::inconsistent, 3);  // diagonal entry
+}
+
+TEST(MatrixMarketErrors, MissingFileHasIoKindAndNoLine) {
+  try {
+    (void)io::read_matrix_market(std::string("/nonexistent/abft_io.mtx"));
+    FAIL() << "expected MatrixMarketError{io}";
+  } catch (const io::MatrixMarketError& e) {
+    EXPECT_EQ(e.kind(), Kind::io);
+    EXPECT_EQ(e.line(), 0u);
+  }
+}
+
+// --- The 32 -> 64-bit promotion boundary. ---
+
+TEST(MatrixMarketPromotion, BoundaryIsExactlyUint32Max) {
+  constexpr std::size_t kMax32 = 0xFFFFFFFFu;
+  EXPECT_EQ(io::required_index_width(kMax32, 1, 1), IndexWidth::i32);
+  EXPECT_EQ(io::required_index_width(1, kMax32, 1), IndexWidth::i32);
+  EXPECT_EQ(io::required_index_width(1, 1, kMax32), IndexWidth::i32);
+  EXPECT_EQ(io::required_index_width(kMax32 + 1, 1, 1), IndexWidth::i64);
+  EXPECT_EQ(io::required_index_width(1, kMax32 + 1, 1), IndexWidth::i64);
+  EXPECT_EQ(io::required_index_width(1, 1, kMax32 + 1), IndexWidth::i64);
+}
+
+TEST(MatrixMarketPromotion, HeaderDrivesTheDecisionWithoutAssembly) {
+  // A declared 2^33-row matrix must promote — decided from the size line
+  // alone, no assembly required.
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n8589934592 8589934592 1\n");
+  const auto h = io::read_mm_header(ss);
+  EXPECT_EQ(io::required_index_width(h.nrows, h.ncols, io::worst_case_assembled_nnz(h)),
+            IndexWidth::i64);
+}
+
+TEST(MatrixMarketPromotion, ArraySymmetricExpansionAlsoCountsDouble) {
+  // An array symmetric file declares only the packed triangle n(n+1)/2; the
+  // expansion approaches n^2, so the promotion bound must double it too
+  // (n = 70000: triangle ~2.45e9 fits uint32, the expansion does not).
+  std::istringstream ss("%%MatrixMarket matrix array real symmetric\n70000 70000\n");
+  const auto h = io::read_mm_header(ss);
+  EXPECT_LE(h.entries, std::size_t{0xFFFFFFFF});
+  EXPECT_EQ(io::required_index_width(h.nrows, h.ncols, io::worst_case_assembled_nnz(h)),
+            IndexWidth::i64);
+}
+
+TEST(MatrixMarket, BannerTagIsCaseInsensitive) {
+  const auto m = read_str(
+      "%%matrixmarket matrix coordinate real general\n"
+      "1 1 1\n"
+      "1 1 2.5\n");
+  EXPECT_EQ(m.a32.at(0, 0), 2.5);
+}
+
+TEST(MatrixMarketPromotion, SymmetricExpansionCountsDouble) {
+  // 3 * 10^9 symmetric entries fit uint32 stored but not expanded: the
+  // worst-case bound promotes.
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n4000000000 4000000000 "
+      "3000000000\n");
+  const auto h = io::read_mm_header(ss);
+  EXPECT_EQ(io::worst_case_assembled_nnz(h), 6000000000u);
+  EXPECT_EQ(io::required_index_width(h.nrows, h.ncols, io::worst_case_assembled_nnz(h)),
+            IndexWidth::i64);
+}
+
+TEST(MatrixMarketPromotion, ForcingNarrowOnWideFails) {
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n8589934592 1 1\n1 1 1.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(ss, {.force_width = IndexWidth::i32}),
+               io::MatrixMarketError);
+}
+
+TEST(MatrixMarketPromotion, SmallFileLoadsIdenticallyAtBothWidths) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 2.0\n";
+  const auto narrow = read_str(text);
+  const auto wide = read_str(text, {.force_width = IndexWidth::i64});
+  ASSERT_FALSE(narrow.wide());
+  ASSERT_TRUE(wide.wide());
+  ASSERT_EQ(narrow.nnz(), wide.nnz());
+  EXPECT_EQ(narrow.a32.values(), wide.a64.values());
+  for (std::size_t i = 0; i < narrow.a32.cols().size(); ++i) {
+    EXPECT_EQ(narrow.a32.cols()[i], wide.a64.cols()[i]);
+  }
+}
+
+// --- Protected (checksummed) assembly mode. ---
+
+TEST(ProtectedAssembly, CleanBufferConvertsIdentically) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 2.0\n";
+  const auto plain = read_str(text);
+  const auto prot = read_str(text, {.protected_assembly = true});
+  EXPECT_EQ(plain.a32.values(), prot.a32.values());
+  EXPECT_EQ(plain.a32.cols(), prot.a32.cols());
+  EXPECT_EQ(plain.a32.row_ptr(), prot.a32.row_ptr());
+}
+
+TEST(ProtectedAssembly, DetectsCorruptionBetweenReadAndConvert) {
+  sparse::CooMatrix coo(8, 8);
+  coo.enable_protection();
+  for (std::size_t i = 0; i < 8; ++i) coo.add(i, i, 1.0 + static_cast<double>(i));
+  EXPECT_EQ(coo.verify(), 0u);
+
+  // A bit flip lands in the triplet buffer after parsing, before conversion.
+  coo.raw_entries()[3].value = 99.0;
+  EXPECT_EQ(coo.verify(), 1u);
+  EXPECT_THROW((void)coo.to_csr(), sparse::CooIntegrityError);
+}
+
+TEST(ProtectedAssembly, DetectsIndexCorruptionAcrossBlocks) {
+  sparse::Coo64Matrix coo(4000, 4000);
+  coo.enable_protection();
+  for (std::size_t i = 0; i < 3000; ++i) coo.add(i, i, 1.0);  // spans >2 blocks
+  coo.raw_entries()[2500].col ^= 1;  // second block
+  EXPECT_EQ(coo.verify(), 1u);
+  try {
+    (void)coo.to_csr();
+    FAIL() << "expected CooIntegrityError";
+  } catch (const sparse::CooIntegrityError& e) {
+    EXPECT_EQ(e.block(), 2500u / sparse::Coo64Matrix::kChecksumBlock);
+  }
+}
+
+TEST(ProtectedAssembly, ProtectionMustStartEmpty) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  EXPECT_THROW(coo.enable_protection(), std::logic_error);
+}
+
+// --- File-level helpers. ---
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "abft_io_test.mtx";
+  const auto a = sparse::laplacian_2d(6, 5);
+  io::write_matrix_market(path.string(), a);
+  const auto b = io::read_matrix_market(path.string());
+  EXPECT_EQ(b.a32.values(), a.values());
+  EXPECT_EQ(b.a32.cols(), a.cols());
+  EXPECT_EQ(b.a32.row_ptr(), a.row_ptr());
+  std::filesystem::remove(path);
+}
+
+TEST(VectorIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "abft_vec_test.txt";
+  aligned_vector<double> v = {1.5, -2.25, 3.0e-7, 4e300};
+  io::write_vector(path.string(), v);
+  const auto w = io::read_vector(path.string());
+  EXPECT_EQ(w, v);
+  std::filesystem::remove(path);
+}
+
+TEST(VectorIo, MalformedContentRaisesInsteadOfTruncating) {
+  const auto path = std::filesystem::temp_directory_path() / "abft_vec_bad.txt";
+  {
+    std::ofstream os(path);
+    os << "1.5\nnot-a-number\n2.5\n";
+  }
+  try {
+    (void)io::read_vector(path.string());
+    FAIL() << "expected MatrixMarketError{bad_entry}";
+  } catch (const io::MatrixMarketError& e) {
+    EXPECT_EQ(e.kind(), Kind::bad_entry);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace

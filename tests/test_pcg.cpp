@@ -5,6 +5,7 @@
 
 #include "abft/abft.hpp"
 #include "solvers/solvers.hpp"
+#include "sparse/coo.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/vector_ops.hpp"
 
