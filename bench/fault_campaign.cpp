@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
   std::printf("## single bit flips, any structure (32- and 64-bit index stacks)\n");
   for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
     for (auto scheme : ecc::kAllSchemes) {
+      // The tile-codeword CRC has no CSR layout (CSR rows are already
+      // unit-stride); the ELL section below campaigns it.
+      if (scheme == ecc::Scheme::crc32c_tile) continue;
       auto cfg = base;
       cfg.width = width;
       cfg.scheme = scheme;

@@ -216,8 +216,8 @@ struct DoctorOptions {
       "                  skew-symmetric; 64-bit indices engage automatically)\n"
       "  --format F      csr, ell or sell (pipeline default: the advisor's\n"
       "                  recommendation)\n"
-      "  --scheme S      none, sed, secded64, secded128 or crc32c\n"
-      "                  (default secded64)\n"
+      "  --scheme S      none, sed, secded64, secded128, crc32c or\n"
+      "                  crc32c-tile (slab formats only; default secded64)\n"
       "  --width W       32, 64 or auto (default auto: whatever the file\n"
       "                  needs; forcing 32 on an oversized matrix fails)\n"
       "  --flips N       random single-bit flips to inject (default 0 in\n"

@@ -5,7 +5,9 @@
 ///
 /// Usage: quickstart [scheme] [width] [--format csr|ell|sell|all]
 ///                   [--matrix file.mtx]
-///   scheme: none|sed|secded64|secded128|crc32c   (default secded64)
+///   scheme: none|sed|secded64|secded128|crc32c|crc32c-tile   (default
+///           secded64; crc32c-tile is the slab formats' unit-stride layout
+///           and is unavailable on csr)
 ///   width:  32|64|both                           (default both)
 ///   format: csr|ell|sell|all                     (default all; 'both' is
 ///           accepted as a legacy alias)

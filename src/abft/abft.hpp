@@ -16,5 +16,7 @@
 #include "abft/protected_kernels.hpp"   // IWYU pragma: export
 #include "abft/protected_vector.hpp"    // IWYU pragma: export
 #include "abft/row_schemes.hpp"         // IWYU pragma: export
+#include "abft/scheme_errors.hpp"       // IWYU pragma: export
 #include "abft/structure_schemes.hpp"   // IWYU pragma: export
+#include "abft/tile_check.hpp"          // IWYU pragma: export
 #include "abft/vector_schemes.hpp"      // IWYU pragma: export

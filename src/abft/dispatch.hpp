@@ -21,6 +21,7 @@
 #include "abft/element_schemes.hpp"
 #include "abft/format_traits.hpp"
 #include "abft/row_schemes.hpp"
+#include "abft/scheme_errors.hpp"
 #include "abft/vector_schemes.hpp"
 #include "ecc/scheme.hpp"
 
@@ -35,12 +36,6 @@ enum class IndexWidth : std::uint8_t {
 [[nodiscard]] constexpr std::string_view to_string(IndexWidth w) noexcept {
   return w == IndexWidth::i32 ? "32" : "64";
 }
-
-/// A scheme is requested at an index width whose bit layout cannot hold it.
-class SchemeUnavailableError : public std::invalid_argument {
- public:
-  using std::invalid_argument::invalid_argument;
-};
 
 /// Invoke `f.template operator()<ElemScheme>()` for the element scheme
 /// matching \p s at index width \p Index (default: 32-bit).
@@ -69,6 +64,10 @@ decltype(auto) dispatch_elem(ecc::Scheme s, F&& f) {
       }
     case ecc::Scheme::crc32c:
       return std::forward<F>(f).template operator()<schemes::ElemCrc32c<Index>>();
+    case ecc::Scheme::crc32c_tile:
+      // Valid at both widths; the *format* hole (CSR has no slab to tile) is
+      // rejected by the format-aware dispatchers and by ProtectedCsr itself.
+      return std::forward<F>(f).template operator()<schemes::ElemCrc32cTile<Index>>();
   }
   throw std::invalid_argument("dispatch_elem: unknown scheme");
 }
@@ -88,6 +87,9 @@ decltype(auto) dispatch_row(ecc::Scheme s, F&& f) {
     case ecc::Scheme::secded128:
       return std::forward<F>(f).template operator()<schemes::RowSecded128<Index>>();
     case ecc::Scheme::crc32c:
+    // The tile layout exists only on the element axis; structural arrays are
+    // already contiguous, so their per-group CRC *is* the unit-stride layout.
+    case ecc::Scheme::crc32c_tile:
       return std::forward<F>(f).template operator()<schemes::RowCrc32c<Index>>();
   }
   throw std::invalid_argument("dispatch_row: unknown scheme");
@@ -105,7 +107,10 @@ decltype(auto) dispatch_vec(ecc::Scheme s, F&& f) {
       return std::forward<F>(f).template operator()<VecSecded64>();
     case ecc::Scheme::secded128:
       return std::forward<F>(f).template operator()<VecSecded128>();
-    case ecc::Scheme::crc32c: return std::forward<F>(f).template operator()<VecCrc32c>();
+    case ecc::Scheme::crc32c:
+    // Dense vectors are contiguous; the grouped CRC is already unit-stride.
+    case ecc::Scheme::crc32c_tile:
+      return std::forward<F>(f).template operator()<VecCrc32c>();
   }
   throw std::invalid_argument("dispatch_vec: unknown scheme");
 }
@@ -156,6 +161,22 @@ decltype(auto) dispatch_protection(IndexWidth width, const SchemeTriple& t, F&& 
              : with_index.template operator()<std::uint32_t>();
 }
 
+namespace detail {
+
+/// The one home of the per-format element-axis hole: the tile-codeword CRC
+/// tiles a physical slab, and CSR has none — its rows are already
+/// unit-stride, so the per-row 'crc32c' layout is the contiguous one there.
+inline void reject_unavailable_format_scheme(MatrixFormat fmt, ecc::Scheme elem) {
+  if (fmt == MatrixFormat::csr && elem == ecc::Scheme::crc32c_tile) {
+    throw SchemeUnavailableError(
+        "element scheme 'crc32c-tile' is unavailable for the csr format: CSR rows "
+        "are already unit-stride, so the per-row codeword ('crc32c') is the "
+        "contiguous layout; crc32c-tile applies to the slab formats (ell, sell)");
+  }
+}
+
+}  // namespace detail
+
 /// Invoke `f.template operator()<Fmt, Index, ES, SS, VS>()` for the full
 /// (format x width x element x structure x vector) combination selected at
 /// runtime. `Fmt` is a format tag; the callable obtains the container as
@@ -164,6 +185,7 @@ decltype(auto) dispatch_protection(IndexWidth width, const SchemeTriple& t, F&& 
 template <class F>
 decltype(auto) dispatch_protection(MatrixFormat fmt, IndexWidth width,
                                    const SchemeTriple& t, F&& f) {
+  detail::reject_unavailable_format_scheme(fmt, t.elem);
   return dispatch_format(fmt, [&]<class Fmt>() -> decltype(auto) {
     return dispatch_protection(
         width, t, [&]<class Index, class ES, class SS, class VS>() -> decltype(auto) {
@@ -209,6 +231,13 @@ decltype(auto) dispatch_uniform_protection(IndexWidth width, ecc::Scheme s, F&& 
         return std::forward<F>(f)
             .template operator()<Index, schemes::ElemCrc32c<Index>,
                                  schemes::RowCrc32c<Index>, VecCrc32c>();
+      case ecc::Scheme::crc32c_tile:
+        // The tile layout is an element-axis concept; structure and vector
+        // arrays are contiguous already, so uniform crc32c-tile keeps their
+        // grouped-CRC layouts.
+        return std::forward<F>(f)
+            .template operator()<Index, schemes::ElemCrc32cTile<Index>,
+                                 schemes::RowCrc32c<Index>, VecCrc32c>();
     }
     throw std::invalid_argument("dispatch_uniform_protection: unknown scheme");
   };
@@ -222,6 +251,7 @@ decltype(auto) dispatch_uniform_protection(IndexWidth width, ecc::Scheme s, F&& 
 template <class F>
 decltype(auto) dispatch_uniform_protection(MatrixFormat fmt, IndexWidth width,
                                            ecc::Scheme s, F&& f) {
+  detail::reject_unavailable_format_scheme(fmt, s);
   return dispatch_format(fmt, [&]<class Fmt>() -> decltype(auto) {
     return dispatch_uniform_protection(
         width, s, [&]<class Index, class ES, class SS, class VS>() -> decltype(auto) {
@@ -267,7 +297,8 @@ template <class Range, class ToString>
 
 }  // namespace detail
 
-/// Parse a scheme name ("none", "sed", "secded64", "secded128", "crc32c").
+/// Parse a scheme name ("none", "sed", "secded64", "secded128", "crc32c",
+/// "crc32c-tile").
 [[nodiscard]] inline ecc::Scheme parse_scheme(std::string_view name) {
   for (auto s : ecc::kAllSchemes) {
     if (ecc::to_string(s) == name) return s;

@@ -21,6 +21,7 @@
 #include "abft/error_capture.hpp"
 #include "abft/raw_spmv.hpp"
 #include "abft/row_schemes.hpp"
+#include "abft/scheme_errors.hpp"
 #include "common/aligned.hpp"
 #include "common/fault_log.hpp"
 #include "sparse/csr.hpp"
@@ -138,6 +139,15 @@ class ProtectedCsr {
   /// >= 4 non-zeros per row — see sparse::pad_rows_to_min_nnz).
   static ProtectedCsr from_csr(const csr_type& a, FaultLog* log = nullptr,
                                DuePolicy policy = DuePolicy::throw_exception) {
+    if constexpr (ES::kTileGranular) {
+      // The tile-codeword CRC tiles a physical slab; CSR's rows are already
+      // unit-stride, so the per-row codeword is its contiguous layout.
+      // Format-blind dispatch still instantiates this container, so the
+      // refusal is a runtime error, not a static_assert.
+      throw SchemeUnavailableError(
+          "ProtectedCsr: element scheme 'crc32c-tile' is unavailable for the csr "
+          "format (CSR rows are already unit-stride; use 'crc32c')");
+    }
     a.validate();
     if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
       throw std::invalid_argument(

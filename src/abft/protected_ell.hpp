@@ -11,7 +11,11 @@
 ///     column-major slabs) and keeps its checksum in the first four slots'
 ///     top bytes, so it needs width >= 4 rather than per-row NNZ >= 4: a
 ///     5-point stencil needs no fill-in at all, where CSR must pad boundary
-///     rows (sparse::pad_rows_to_min_nnz).
+///     rows (sparse::pad_rows_to_min_nnz). The tile-granular CRC
+///     (schemes::ElemCrc32cTile) instead checksums fixed-size unit-stride
+///     tiles of the physical slab — same coverage and spare-bit accounting,
+///     but every checksum walk is a contiguous scan instead of a
+///     stride-nrows gather (this is the slab formats' fast CRC layout).
 ///   - structure: the CSR row-pointer vector (m+1 offsets bounded by NNZ)
 ///     collapses into m row widths bounded by the slab width — a far smaller
 ///     array of far smaller values, protected by the same structure schemes
@@ -33,6 +37,7 @@
 #include "abft/error_capture.hpp"
 #include "abft/raw_spmv.hpp"
 #include "abft/structure_schemes.hpp"
+#include "abft/tile_check.hpp"
 #include "common/aligned.hpp"
 #include "common/fault_log.hpp"
 #include "sparse/ell.hpp"
@@ -43,7 +48,7 @@ namespace abft {
 ///
 /// \tparam Index index width (std::uint32_t or std::uint64_t)
 /// \tparam ES element scheme (schemes::ElemNone / ElemSed / ElemSecded /
-///            ElemCrc32c at the same width)
+///            ElemCrc32c / ElemCrc32cTile at the same width)
 /// \tparam SS structure scheme protecting the row-width array
 ///            (schemes::StructNone / StructSed / StructSecded /
 ///            StructSecded128 / StructCrc32c at the same width)
@@ -120,7 +125,15 @@ class ProtectedEll {
 
     // Elements: every slot (padding included) becomes a valid codeword, so
     // integrity sweeps need no knowledge of which slots are real.
-    if constexpr (ES::kRowGranular) {
+    if constexpr (ES::kTileGranular) {
+      // Unit-stride tiles over the physical slab; the width >= 4 gate above
+      // guarantees every non-empty slab has the 4 slots a checksum needs.
+      for (std::size_t t = 0; t < ES::num_tiles(p.values_.size()); ++t) {
+        ES::encode_tile(p.values_.data() + ES::tile_begin(t),
+                        p.cols_.data() + ES::tile_begin(t),
+                        ES::tile_slots(t, p.values_.size()));
+      }
+    } else if constexpr (ES::kRowGranular) {
       for (std::size_t r = 0; r < p.nrows_; ++r) {
         ES::encode_row(p.values_.data() + r, p.cols_.data() + r, p.width_, p.nrows_);
       }
@@ -196,7 +209,15 @@ class ProtectedEll {
       throw BoundsViolation(Region::ell_row_width, r);
     }
     const std::size_t k = j * nrows_ + r;
-    if constexpr (ES::kRowGranular) {
+    if constexpr (ES::kTileGranular) {
+      const std::size_t t = ES::tile_of(k, values_.size());
+      const auto outcome =
+          ES::decode_tile(values_.data() + ES::tile_begin(t),
+                          cols_.data() + ES::tile_begin(t),
+                          ES::tile_slots(t, values_.size()));
+      handle(Region::ell_values, outcome, t);
+      return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
+    } else if constexpr (ES::kRowGranular) {
       const auto outcome =
           ES::decode_row(values_.data() + r, cols_.data() + r, width_, nrows_);
       handle(Region::ell_values, outcome, r);
@@ -247,7 +268,15 @@ class ProtectedEll {
     }
     // Elements: every slot is encoded, so the sweep never consults the row
     // widths — a structural DUE cannot blind the element sweep.
-    if constexpr (ES::kRowGranular) {
+    if constexpr (ES::kTileGranular) {
+      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+        const auto outcome =
+            ES::decode_tile(values_.data() + ES::tile_begin(t),
+                            cols_.data() + ES::tile_begin(t),
+                            ES::tile_slots(t, values_.size()));
+        note(Region::ell_values, t, count_and_log(Region::ell_values, outcome, t));
+      }
+    } else if constexpr (ES::kRowGranular) {
       for (std::size_t r = 0; r < nrows_; ++r) {
         const auto outcome =
             ES::decode_row(values_.data() + r, cols_.data() + r, width_, nrows_);
@@ -270,6 +299,17 @@ class ProtectedEll {
   /// Decode back into an unprotected ELL matrix (checks everything).
   [[nodiscard]] ell_type to_ell() {
     ell_type out(nrows_, ncols_, width_);
+    if constexpr (ES::kTileGranular) {
+      // Verify (and repair) every tile up front; the row loop below then
+      // copies masked slots.
+      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+        const auto outcome =
+            ES::decode_tile(values_.data() + ES::tile_begin(t),
+                            cols_.data() + ES::tile_begin(t),
+                            ES::tile_slots(t, values_.size()));
+        handle(Region::ell_values, outcome, t);
+      }
+    }
     for (std::size_t r = 0; r < nrows_; ++r) {
       out.row_nnz()[r] = row_nnz_at(r);
       if constexpr (ES::kRowGranular) {
@@ -279,7 +319,7 @@ class ProtectedEll {
       }
       for (std::size_t j = 0; j < width_; ++j) {
         const std::size_t k = j * nrows_ + r;
-        if constexpr (ES::kRowGranular) {
+        if constexpr (ES::kRowGranular || ES::kTileGranular) {
           out.values()[k] = values_[k];
           out.cols()[k] = cols_[k] & ES::kColMask;
         } else {
@@ -403,6 +443,8 @@ class EllRowCursor {
   EllRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
       : capture_(capture),
         rw_(m, capture),
+        tiles_(m.values_data(), m.cols_data(), m.raw_values().size(),
+               Region::ell_values, capture),
         values_(m.values_data()),
         cols_(m.cols_data()),
         nrows_(m.nrows()),
@@ -431,6 +473,7 @@ class EllRowCursor {
 
   void flush_checks() noexcept {
     rw_.flush_checks();
+    tiles_.flush_checks();
     if (checks_ > 0) {
       capture_->add_checks(checks_);
       checks_ = 0;
@@ -470,6 +513,18 @@ class EllRowCursor {
         }
       }
     }
+    // Tile-codeword scheme: prove every tile this block's slab columns touch
+    // before the masked loop below reads them. Each touched range is a
+    // contiguous 64-slot slab column intersecting 1-2 tiles, so the whole
+    // check pass is unit-stride — no strided per-row decode exists.
+    if constexpr (ES::kTileGranular) {
+      if (mode == CheckMode::full) {
+        for (std::size_t j = 0; j < max_rl; ++j) {
+          const std::size_t base = j * nrows_ + row0;
+          tiles_.ensure_range(base, base + n);
+        }
+      }
+    }
     for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
 
     // ElemNone decodes to the identity: skip the per-slot decode pass and
@@ -481,7 +536,8 @@ class EllRowCursor {
         for (std::size_t i = 0; i < n; ++i) checks_ += rl[i];
       }
     }
-    if constexpr (!ES::kRowGranular && ES::kScheme != ecc::Scheme::none) {
+    if constexpr (!ES::kRowGranular && !ES::kTileGranular &&
+                  ES::kScheme != ecc::Scheme::none) {
       if (mode == CheckMode::full) {
         for (std::size_t j = 0; j < max_rl; ++j) {
           const std::size_t base = j * nrows_ + row0;
@@ -519,6 +575,7 @@ class EllRowCursor {
 
   ErrorCapture* capture_;
   RowWidthReader<Index, ES, SS> rw_;
+  TileVerifier<Index, ES> tiles_;
   double* values_;
   Index* cols_;
   std::size_t nrows_;

@@ -15,9 +15,11 @@
 /// ProtectedEll at either index width — and any future format that supplies
 /// a cursor.
 ///
-/// Error handling: outcomes are collected in an ErrorCapture during the
-/// OpenMP region and committed afterwards (logging + optional
-/// UncorrectableError / BoundsViolation per the container's DuePolicy).
+/// Error handling: outcomes are collected per operand in ErrorCaptures
+/// during the OpenMP region and committed afterwards to each operand's own
+/// FaultLog / DuePolicy (logging + optional UncorrectableError /
+/// BoundsViolation) — corruption detected while decoding `b` is b's fault
+/// event, never a's.
 #pragma once
 
 #include <algorithm>
@@ -32,6 +34,31 @@
 #include "abft/raw_spmv.hpp"
 
 namespace abft {
+
+namespace detail {
+
+/// One operand's deferred outcomes and where they belong.
+struct OperandCommit {
+  const ErrorCapture* capture;
+  FaultLog* log;
+  DuePolicy policy;
+};
+
+/// Commit each operand's capture to its *own* fault log / DUE policy.
+///
+/// The BLAS-1 kernels decode several containers in one parallel region;
+/// folding their outcomes into a single capture committed to one container
+/// mis-attributed faults (corruption detected in `b` landed in `a`'s log and
+/// was policed by `a`'s DuePolicy). Every log is updated before any policy
+/// raises, so a throwing first operand cannot swallow a later operand's
+/// accounting; when multiple operands hold a DUE, the first in argument
+/// order raises.
+inline void commit_each(std::initializer_list<OperandCommit> operands) {
+  for (const auto& op : operands) op.capture->commit(op.log, DuePolicy::record_only);
+  for (const auto& op : operands) op.capture->commit(nullptr, op.policy);
+}
+
+}  // namespace detail
 
 /// y = A * x with the requested per-access verification level, for any
 /// protected matrix format.
@@ -64,12 +91,13 @@ void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
   const std::size_t ngroups = y.groups();
   const std::size_t nchunks = (ngroups + kGroupsPerChunk - 1) / kGroupsPerChunk;
   const std::size_t nrows = a.nrows();
-  ErrorCapture capture;
+  ErrorCapture capture;    // matrix-region outcomes (cursor checks)
+  ErrorCapture x_capture;  // x's dense-vector group decodes
 
 #pragma omp parallel
   {
     typename MatrixTraits<PM>::cursor_type cursor(a, &capture);
-    GroupReader<VS, 8> xr(x, &capture);
+    GroupReader<VS, 8> xr(x, &x_capture);
     const auto xload = [&](auto c) { return xr.get(static_cast<std::size_t>(c)); };
 
 #pragma omp for schedule(static)
@@ -94,7 +122,8 @@ void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
       }
     }
   }
-  capture.commit(a.fault_log(), a.due_policy());
+  detail::commit_each({{&capture, a.fault_log(), a.due_policy()},
+                       {&x_capture, x.fault_log(), x.due_policy()}});
 }
 
 /// Dot product of two protected vectors (decodes each group once).
@@ -103,7 +132,7 @@ template <class VS>
   if (a.size() != b.size()) throw std::invalid_argument("dot: dimension mismatch");
   constexpr std::size_t G = VS::kGroup;
   const std::size_t ngroups = a.groups();
-  ErrorCapture capture;
+  ErrorCapture ca, cb;
   double sum = 0.0;
 
 #pragma omp parallel for schedule(static) reduction(+ : sum)
@@ -111,12 +140,14 @@ template <class VS>
     double va[G], vb[G];
     const auto oa = VS::decode_group(a.data() + static_cast<std::size_t>(g) * G, va);
     const auto ob = VS::decode_group(b.data() + static_cast<std::size_t>(g) * G, vb);
-    capture.record(Region::dense_vector, oa, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, ob, static_cast<std::size_t>(g));
+    ca.record(Region::dense_vector, oa, static_cast<std::size_t>(g));
+    cb.record(Region::dense_vector, ob, static_cast<std::size_t>(g));
     for (std::size_t e = 0; e < G; ++e) sum += va[e] * vb[e];
   }
-  capture.add_checks(2 * ngroups);
-  capture.commit(a.fault_log(), a.due_policy());
+  ca.add_checks(ngroups);
+  cb.add_checks(ngroups);
+  detail::commit_each({{&ca, a.fault_log(), a.due_policy()},
+                       {&cb, b.fault_log(), b.due_policy()}});
   return sum;
 }
 
@@ -126,20 +157,22 @@ void axpy(double alpha, ProtectedVector<VS>& x, ProtectedVector<VS>& y) {
   if (x.size() != y.size()) throw std::invalid_argument("axpy: dimension mismatch");
   constexpr std::size_t G = VS::kGroup;
   const std::size_t ngroups = x.groups();
-  ErrorCapture capture;
+  ErrorCapture cx, cy;
 
 #pragma omp parallel for schedule(static)
   for (std::int64_t g = 0; g < static_cast<std::int64_t>(ngroups); ++g) {
     double vx[G], vy[G];
     const auto ox = VS::decode_group(x.data() + static_cast<std::size_t>(g) * G, vx);
     const auto oy = VS::decode_group(y.data() + static_cast<std::size_t>(g) * G, vy);
-    capture.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
+    cx.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
+    cy.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
     for (std::size_t e = 0; e < G; ++e) vy[e] += alpha * vx[e];
     VS::encode_group(vy, y.data() + static_cast<std::size_t>(g) * G);
   }
-  capture.add_checks(2 * ngroups);
-  capture.commit(y.fault_log(), y.due_policy());
+  cx.add_checks(ngroups);
+  cy.add_checks(ngroups);
+  detail::commit_each({{&cx, x.fault_log(), x.due_policy()},
+                       {&cy, y.fault_log(), y.due_policy()}});
 }
 
 /// y = x + beta * y (CG direction update).
@@ -148,20 +181,22 @@ void xpby(ProtectedVector<VS>& x, double beta, ProtectedVector<VS>& y) {
   if (x.size() != y.size()) throw std::invalid_argument("xpby: dimension mismatch");
   constexpr std::size_t G = VS::kGroup;
   const std::size_t ngroups = x.groups();
-  ErrorCapture capture;
+  ErrorCapture cx, cy;
 
 #pragma omp parallel for schedule(static)
   for (std::int64_t g = 0; g < static_cast<std::int64_t>(ngroups); ++g) {
     double vx[G], vy[G];
     const auto ox = VS::decode_group(x.data() + static_cast<std::size_t>(g) * G, vx);
     const auto oy = VS::decode_group(y.data() + static_cast<std::size_t>(g) * G, vy);
-    capture.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
+    cx.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
+    cy.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
     for (std::size_t e = 0; e < G; ++e) vy[e] = vx[e] + beta * vy[e];
     VS::encode_group(vy, y.data() + static_cast<std::size_t>(g) * G);
   }
-  capture.add_checks(2 * ngroups);
-  capture.commit(y.fault_log(), y.due_policy());
+  cx.add_checks(ngroups);
+  cy.add_checks(ngroups);
+  detail::commit_each({{&cx, x.fault_log(), x.due_policy()},
+                       {&cy, y.fault_log(), y.due_policy()}});
 }
 
 /// dst = src (decode + re-encode; the write needs no prior read).
@@ -180,6 +215,8 @@ void copy(ProtectedVector<VS>& src, ProtectedVector<VS>& dst) {
     VS::encode_group(v, dst.data() + static_cast<std::size_t>(g) * G);
   }
   capture.add_checks(ngroups);
+  // Only src is decoded (dst is written whole-group, no prior read), so the
+  // single capture is already correctly attributed.
   capture.commit(src.fault_log(), src.due_policy());
 }
 
@@ -189,20 +226,22 @@ void axpby(double alpha, ProtectedVector<VS>& x, double beta, ProtectedVector<VS
   if (x.size() != y.size()) throw std::invalid_argument("axpby: dimension mismatch");
   constexpr std::size_t G = VS::kGroup;
   const std::size_t ngroups = x.groups();
-  ErrorCapture capture;
+  ErrorCapture cx, cy;
 
 #pragma omp parallel for schedule(static)
   for (std::int64_t g = 0; g < static_cast<std::int64_t>(ngroups); ++g) {
     double vx[G], vy[G];
     const auto ox = VS::decode_group(x.data() + static_cast<std::size_t>(g) * G, vx);
     const auto oy = VS::decode_group(y.data() + static_cast<std::size_t>(g) * G, vy);
-    capture.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
+    cx.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
+    cy.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
     for (std::size_t e = 0; e < G; ++e) vy[e] = alpha * vx[e] + beta * vy[e];
     VS::encode_group(vy, y.data() + static_cast<std::size_t>(g) * G);
   }
-  capture.add_checks(2 * ngroups);
-  capture.commit(y.fault_log(), y.due_policy());
+  cx.add_checks(ngroups);
+  cy.add_checks(ngroups);
+  detail::commit_each({{&cx, x.fault_log(), x.due_policy()},
+                       {&cy, y.fault_log(), y.due_policy()}});
 }
 
 /// r = a - b (residual assembly; the write needs no prior read of r).
@@ -213,20 +252,23 @@ void sub(ProtectedVector<VS>& a, ProtectedVector<VS>& b, ProtectedVector<VS>& r)
   }
   constexpr std::size_t G = VS::kGroup;
   const std::size_t ngroups = a.groups();
-  ErrorCapture capture;
+  ErrorCapture ca, cb;
 
 #pragma omp parallel for schedule(static)
   for (std::int64_t g = 0; g < static_cast<std::int64_t>(ngroups); ++g) {
     double va[G], vb[G];
     const auto oa = VS::decode_group(a.data() + static_cast<std::size_t>(g) * G, va);
     const auto ob = VS::decode_group(b.data() + static_cast<std::size_t>(g) * G, vb);
-    capture.record(Region::dense_vector, oa, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, ob, static_cast<std::size_t>(g));
+    ca.record(Region::dense_vector, oa, static_cast<std::size_t>(g));
+    cb.record(Region::dense_vector, ob, static_cast<std::size_t>(g));
     for (std::size_t e = 0; e < G; ++e) va[e] -= vb[e];
     VS::encode_group(va, r.data() + static_cast<std::size_t>(g) * G);
   }
-  capture.add_checks(2 * ngroups);
-  capture.commit(r.fault_log(), r.due_policy());
+  ca.add_checks(ngroups);
+  cb.add_checks(ngroups);
+  // r is written whole-group without a prior read — no outcomes belong to it.
+  detail::commit_each({{&ca, a.fault_log(), a.due_policy()},
+                       {&cb, b.fault_log(), b.due_policy()}});
 }
 
 /// y[i] += s[i] * x[i] (pointwise fused multiply-add; Jacobi's D^-1 step).
@@ -237,7 +279,7 @@ void pointwise_fma(ProtectedVector<VS>& s, ProtectedVector<VS>& x, ProtectedVect
   }
   constexpr std::size_t G = VS::kGroup;
   const std::size_t ngroups = s.groups();
-  ErrorCapture capture;
+  ErrorCapture cs, cx, cy;
 
 #pragma omp parallel for schedule(static)
   for (std::int64_t g = 0; g < static_cast<std::int64_t>(ngroups); ++g) {
@@ -245,14 +287,18 @@ void pointwise_fma(ProtectedVector<VS>& s, ProtectedVector<VS>& x, ProtectedVect
     const auto os = VS::decode_group(s.data() + static_cast<std::size_t>(g) * G, vs);
     const auto ox = VS::decode_group(x.data() + static_cast<std::size_t>(g) * G, vx);
     const auto oy = VS::decode_group(y.data() + static_cast<std::size_t>(g) * G, vy);
-    capture.record(Region::dense_vector, os, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
-    capture.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
+    cs.record(Region::dense_vector, os, static_cast<std::size_t>(g));
+    cx.record(Region::dense_vector, ox, static_cast<std::size_t>(g));
+    cy.record(Region::dense_vector, oy, static_cast<std::size_t>(g));
     for (std::size_t e = 0; e < G; ++e) vy[e] += vs[e] * vx[e];
     VS::encode_group(vy, y.data() + static_cast<std::size_t>(g) * G);
   }
-  capture.add_checks(3 * ngroups);
-  capture.commit(y.fault_log(), y.due_policy());
+  cs.add_checks(ngroups);
+  cx.add_checks(ngroups);
+  cy.add_checks(ngroups);
+  detail::commit_each({{&cs, s.fault_log(), s.due_policy()},
+                       {&cx, x.fault_log(), x.due_policy()},
+                       {&cy, y.fault_log(), y.due_policy()}});
 }
 
 /// x[i] = value for i < size(); padding elements stay zero.

@@ -9,7 +9,10 @@
 ///     The row-granular CRC scheme covers one whole padded stored row
 ///     (slice_width slots, strided by the slice height C through the slab)
 ///     and keeps its checksum in the first four slots' top bytes, so every
-///     slice needs width >= 4 (Sell::from_csr's min_width hook).
+///     slice needs width >= 4 (Sell::from_csr's min_width hook). The
+///     tile-granular CRC (schemes::ElemCrc32cTile) instead checksums
+///     fixed-size unit-stride tiles of the concatenated slabs — same
+///     coverage and spare-bit accounting, contiguous checksum walks.
 ///   - structure: three small index arrays — the per-slice widths, the
 ///     per-stored-row lengths, and the row permutation — concatenated into
 ///     one Struct*-protected array (each section padded to whole codeword
@@ -39,6 +42,7 @@
 #include "abft/error_capture.hpp"
 #include "abft/raw_spmv.hpp"
 #include "abft/structure_schemes.hpp"
+#include "abft/tile_check.hpp"
 #include "common/aligned.hpp"
 #include "common/fault_log.hpp"
 #include "sparse/sell.hpp"
@@ -50,7 +54,7 @@ namespace abft {
 ///
 /// \tparam Index index width (std::uint32_t or std::uint64_t)
 /// \tparam ES element scheme (schemes::ElemNone / ElemSed / ElemSecded /
-///            ElemCrc32c at the same width)
+///            ElemCrc32c / ElemCrc32cTile at the same width)
 /// \tparam SS structure scheme protecting the slice-width / row-length /
 ///            permutation array (schemes::StructNone / StructSed /
 ///            StructSecded / StructSecded128 / StructCrc32c at the same
@@ -178,7 +182,15 @@ class ProtectedSell {
     // Elements: every slot of every slice (padding and virtual rows
     // included) becomes a valid codeword, so integrity sweeps need no
     // knowledge of which slots are real.
-    if constexpr (ES::kRowGranular) {
+    if constexpr (ES::kTileGranular) {
+      // Unit-stride tiles over the concatenated slice slabs; the per-slice
+      // width >= 4 gate above guarantees >= 4 slots whenever any exist.
+      for (std::size_t t = 0; t < ES::num_tiles(p.values_.size()); ++t) {
+        ES::encode_tile(p.values_.data() + ES::tile_begin(t),
+                        p.cols_.data() + ES::tile_begin(t),
+                        ES::tile_slots(t, p.values_.size()));
+      }
+    } else if constexpr (ES::kRowGranular) {
       for (std::size_t s = 0; s < p.nslices_; ++s) {
         const std::size_t base = p.slice_ptr_[s];
         const std::size_t width = a.slice_width(s);
@@ -285,7 +297,15 @@ class ProtectedSell {
     }
     const std::size_t off = pos - s * slice_;
     const std::size_t k = slice_ptr_[s] + j * slice_ + off;
-    if constexpr (ES::kRowGranular) {
+    if constexpr (ES::kTileGranular) {
+      const std::size_t t = ES::tile_of(k, values_.size());
+      const auto outcome =
+          ES::decode_tile(values_.data() + ES::tile_begin(t),
+                          cols_.data() + ES::tile_begin(t),
+                          ES::tile_slots(t, values_.size()));
+      handle(Region::sell_values, outcome, t);
+      return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
+    } else if constexpr (ES::kRowGranular) {
       const auto outcome =
           ES::decode_row(values_.data() + slice_ptr_[s] + off,
                          cols_.data() + slice_ptr_[s] + off, derived_width(s), slice_);
@@ -361,8 +381,17 @@ class ProtectedSell {
     }
 
     // Elements: every slot is encoded and the sweep strides by the derived
-    // widths, never the decoded ones.
-    if constexpr (ES::kRowGranular) {
+    // widths, never the decoded ones (the tile sweep walks the physical
+    // slab and needs no structural input at all).
+    if constexpr (ES::kTileGranular) {
+      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+        const auto outcome =
+            ES::decode_tile(values_.data() + ES::tile_begin(t),
+                            cols_.data() + ES::tile_begin(t),
+                            ES::tile_slots(t, values_.size()));
+        note(Region::sell_values, t, count_and_log(Region::sell_values, outcome, t));
+      }
+    } else if constexpr (ES::kRowGranular) {
       for (std::size_t s = 0; s < nslices_; ++s) {
         const std::size_t base = slice_ptr_[s];
         const std::size_t width = derived_width(s);
@@ -428,6 +457,17 @@ class ProtectedSell {
       out.perm()[i] = static_cast<index_type>(next_free);
     }
 
+    if constexpr (ES::kTileGranular) {
+      // Verify (and repair) every tile up front; the slab loop below then
+      // copies masked slots.
+      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+        const auto outcome =
+            ES::decode_tile(values_.data() + ES::tile_begin(t),
+                            cols_.data() + ES::tile_begin(t),
+                            ES::tile_slots(t, values_.size()));
+        handle(Region::sell_values, outcome, t);
+      }
+    }
     for (std::size_t s = 0; s < nslices_; ++s) {
       const std::size_t base = slice_ptr_[s];
       const std::size_t width = derived_width(s);
@@ -439,7 +479,7 @@ class ProtectedSell {
         }
         for (std::size_t j = 0; j < width; ++j) {
           const std::size_t k = base + j * slice_ + e;
-          if constexpr (ES::kRowGranular) {
+          if constexpr (ES::kRowGranular || ES::kTileGranular) {
             out.values()[k] = values_[k];
             out.cols()[k] = cols_[k] & ES::kColMask;
           } else {
@@ -599,6 +639,7 @@ class SellRowCursor {
         sw_(m.slice_width_storage(), 0, capture),
         rl_(m.row_len_storage(), m.row_len_group_base(), capture),
         pr_(m.perm_storage(), m.perm_group_base(), capture),
+        tiles_(m.values_data(), m.cols_data(), m.slots(), Region::sell_values, capture),
         values_(m.values_data()),
         cols_(m.cols_data()),
         slice_ptr_(m.slice_ptr()),
@@ -664,6 +705,15 @@ class SellRowCursor {
             }
           }
         }
+        // Tile-codeword scheme: prove the tiles covering this segment's
+        // share of the (L1-resident, contiguous) slice slab before the
+        // masked row loop reads it. Adjacent slices share boundary tiles;
+        // the verifier's cached tile id keeps those checked once.
+        if constexpr (ES::kTileGranular) {
+          if (mode == CheckMode::full && true_width > 0) {
+            tiles_.ensure_range(base, base + (true_width - 1) * slice + rows);
+          }
+        }
 
         for (std::size_t k = 0; k < rows; ++k) {
           // Row length, guarded against the slice width.
@@ -676,7 +726,8 @@ class SellRowCursor {
 
           const std::size_t row_base = base + k;
           double sum = 0.0;
-          if constexpr (!ES::kRowGranular && ES::kScheme != ecc::Scheme::none) {
+          if constexpr (!ES::kRowGranular && !ES::kTileGranular &&
+                        ES::kScheme != ecc::Scheme::none) {
             if (mode == CheckMode::full) {
               for (std::size_t j = 0; j < rl; ++j) {
                 const std::size_t slot = row_base + j * slice;
@@ -746,6 +797,7 @@ class SellRowCursor {
     sw_.flush_checks();
     rl_.flush_checks();
     pr_.flush_checks();
+    tiles_.flush_checks();
     if (checks_ > 0) {
       capture_->add_checks(checks_);
       checks_ = 0;
@@ -760,6 +812,7 @@ class SellRowCursor {
   StructSectionReader<Index, SS> sw_;
   StructSectionReader<Index, SS> rl_;
   StructSectionReader<Index, SS> pr_;
+  TileVerifier<Index, ES> tiles_;
   double* values_;
   Index* cols_;
   const std::size_t* slice_ptr_;

@@ -1,0 +1,22 @@
+/// \file scheme_errors.hpp
+/// \brief Errors raised when a runtime protection selection names a scheme
+/// that has no layout on the requested axis.
+///
+/// Lives below both dispatch.hpp (which raises it for whole-axis holes like
+/// secded128 at 32-bit element width) and the protected containers (which
+/// raise it for per-format holes like the tile-codeword CRC on CSR, whose
+/// rows are already unit-stride).
+#pragma once
+
+#include <stdexcept>
+
+namespace abft {
+
+/// A scheme is requested at an index width / format whose layout cannot hold
+/// it.
+class SchemeUnavailableError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace abft

@@ -1,0 +1,92 @@
+/// \file tile_check.hpp
+/// \brief Cursor-side verifier for the tile-codeword element scheme
+/// (schemes::ElemCrc32cTile): checks whole unit-stride tiles of the physical
+/// slab on first touch, with bulk check accounting.
+///
+/// The slab cursors (EllRowCursor / SellRowCursor) touch contiguous slot
+/// ranges — a 64-row slab column for ELL, a slice slab for SELL — and each
+/// range intersects one or two tiles. The verifier remembers what it has
+/// proved (a last-tile fast path the way GroupReader caches vector codeword
+/// groups, backed by a verified-tile bitmap, one byte per tile of the slab),
+/// so a traversal that re-enters a boundary tile — ELL's per-column chunk
+/// ranges straddle one whenever nrows is not a multiple of the tile size —
+/// never re-checksums it; every tile is decoded at most once per cursor
+/// (i.e. per SpMV pass). Errors are deferred through the kernel's
+/// ErrorCapture like every other cursor check.
+///
+/// Corrections are written back in place. Like the dense-vector group
+/// decodes on the shared x vector, a tile straddling two SpMV chunks may be
+/// decoded by two threads concurrently: the check itself is read-only, and a
+/// concurrent correction writes byte-identical repaired data (the brute
+/// force is deterministic), matching the write-back convention the vector
+/// schemes already follow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "abft/error_capture.hpp"
+#include "common/fault_log.hpp"
+
+namespace abft {
+
+/// Thread-private tile verifier over one container's (values, cols) slab.
+/// Only meaningful for tile-granular element schemes; cursors instantiate it
+/// behind `if constexpr (ES::kTileGranular)`.
+template <class Index, class ES>
+class TileVerifier {
+ public:
+  TileVerifier(double* values, Index* cols, std::size_t total_slots, Region region,
+               ErrorCapture* capture) noexcept
+      : values_(values),
+        cols_(cols),
+        total_(total_slots),
+        region_(region),
+        capture_(capture) {}
+
+  ~TileVerifier() { flush_checks(); }
+  TileVerifier(const TileVerifier&) = delete;
+  TileVerifier& operator=(const TileVerifier&) = delete;
+
+  /// Verify every tile intersecting the slot range [lo, hi); one check is
+  /// counted per tile decode (a tile is one codeword, like a CRC row).
+  void ensure_range(std::size_t lo, std::size_t hi) {
+    if (hi <= lo || total_ == 0) return;
+    const std::size_t t0 = ES::tile_of(lo, total_);
+    const std::size_t t1 = ES::tile_of(hi - 1, total_);
+    if (t0 == last_verified_ && t1 == last_verified_) return;
+    if (seen_.empty()) seen_.assign(ES::num_tiles(total_), 0);
+    for (std::size_t t = t0; t <= t1; ++t) {
+      if (seen_[t] != 0) continue;
+      const auto outcome = ES::decode_tile(values_ + ES::tile_begin(t),
+                                           cols_ + ES::tile_begin(t),
+                                           ES::tile_slots(t, total_));
+      seen_[t] = 1;
+      ++local_checks_;
+      capture_->record(region_, outcome, t);
+    }
+    last_verified_ = t1;
+  }
+
+  void flush_checks() noexcept {
+    if (local_checks_ > 0) {
+      capture_->add_checks(local_checks_);
+      local_checks_ = 0;
+    }
+  }
+
+ private:
+  double* values_;
+  Index* cols_;
+  std::size_t total_;
+  Region region_;
+  ErrorCapture* capture_;
+  std::size_t last_verified_ = static_cast<std::size_t>(-1);
+  std::uint64_t local_checks_ = 0;
+  /// Lazily sized on first use, so the (always-constructed) verifier costs
+  /// non-tile schemes nothing.
+  std::vector<std::uint8_t> seen_;
+};
+
+}  // namespace abft

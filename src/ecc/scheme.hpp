@@ -16,10 +16,18 @@ enum class Scheme : std::uint8_t {
   secded64,   ///< extended Hamming, 8 redundancy bits per 64 data bits
   secded128,  ///< extended Hamming, 9 redundancy bits per 128 data bits
   crc32c,     ///< CRC-32C (Castagnoli); HD = 6 for codewords of 178..5243 bits
+  /// CRC-32C over fixed-size unit-stride tiles of the physical element slab
+  /// instead of logical matrix rows — the element-axis layout for the
+  /// column-major slab formats (ELL / SELL), where a logical-row codeword
+  /// would pay a strided gather per check. The structure and dense-vector
+  /// axes are already unit-stride, so there this name selects the same
+  /// layouts as crc32c.
+  crc32c_tile,
 };
 
-inline constexpr std::array<Scheme, 5> kAllSchemes = {
-    Scheme::none, Scheme::sed, Scheme::secded64, Scheme::secded128, Scheme::crc32c};
+inline constexpr std::array<Scheme, 6> kAllSchemes = {
+    Scheme::none,      Scheme::sed,    Scheme::secded64,
+    Scheme::secded128, Scheme::crc32c, Scheme::crc32c_tile};
 
 [[nodiscard]] constexpr std::string_view to_string(Scheme s) noexcept {
   switch (s) {
@@ -28,6 +36,7 @@ inline constexpr std::array<Scheme, 5> kAllSchemes = {
     case Scheme::secded64: return "secded64";
     case Scheme::secded128: return "secded128";
     case Scheme::crc32c: return "crc32c";
+    case Scheme::crc32c_tile: return "crc32c-tile";
   }
   return "?";
 }
@@ -51,6 +60,11 @@ struct Capability {
     case Scheme::secded64: return {1, 2};
     case Scheme::secded128: return {1, 2};
     case Scheme::crc32c: return {0, 5};
+    // The 64-slot tile codeword is 6144 bits (96-bit elements) or 8192 bits
+    // (128-bit elements) — past the polynomial's HD=6 range but well inside
+    // its HD=4 range, so 3-bit detection is guaranteed (single-bit syndromes
+    // stay distinct, which is what the brute-force correction path needs).
+    case Scheme::crc32c_tile: return {0, 3};
   }
   return {0, 0};
 }

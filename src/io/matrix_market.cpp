@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "io/stats.hpp"
 #include "sparse/coo.hpp"
 
 namespace abft::io {
@@ -483,13 +484,51 @@ LoadedMatrix read_matrix_market(const std::string& path, const ReadOptions& opts
 
 namespace {
 
+/// Restore a stream's formatting state on scope exit: the writers set
+/// 17-digit precision on streams they may not own, and a caller's
+/// std::cout/log formatting must survive a write untouched.
+class StreamStateGuard {
+ public:
+  explicit StreamStateGuard(std::ostream& os)
+      : os_(os), flags_(os.flags()), precision_(os.precision()) {}
+  ~StreamStateGuard() {
+    os_.flags(flags_);
+    os_.precision(precision_);
+  }
+  StreamStateGuard(const StreamStateGuard&) = delete;
+  StreamStateGuard& operator=(const StreamStateGuard&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::ios_base::fmtflags flags_;
+  std::streamsize precision_;
+};
+
 template <class Index>
 void write_impl(std::ostream& os, const sparse::Csr<Index>& a) {
-  os << "%%MatrixMarket matrix coordinate real general\n";
-  os << a.nrows() << ' ' << a.ncols() << ' ' << a.nnz() << '\n';
+  StreamStateGuard guard(os);
+  // Numerically symmetric operators re-emit with a 'symmetric' banner and
+  // only the lower triangle stored — the declaration a symmetric input
+  // arrived with, at half the entries, instead of a ~2x 'general' blow-up.
+  // The symmetry test is MatrixStats' transpose compare (bit-exact value
+  // equality), so the reader's mirror expansion reproduces A exactly.
+  const bool symmetric = is_numerically_symmetric(a);
+  std::size_t stored = a.nnz();
+  if (symmetric) {
+    stored = 0;
+    for (std::size_t r = 0; r < a.nrows(); ++r) {
+      for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+        if (static_cast<std::size_t>(a.cols()[k]) <= r) ++stored;
+      }
+    }
+  }
+  os << "%%MatrixMarket matrix coordinate real "
+     << (symmetric ? "symmetric" : "general") << '\n';
+  os << a.nrows() << ' ' << a.ncols() << ' ' << stored << '\n';
   os << std::setprecision(17);
   for (std::size_t r = 0; r < a.nrows(); ++r) {
     for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      if (symmetric && static_cast<std::size_t>(a.cols()[k]) > r) continue;
       os << (r + 1) << ' ' << (a.cols()[k] + 1) << ' ' << a.values()[k] << '\n';
     }
   }
@@ -519,13 +558,18 @@ void write_matrix_market(const std::string& path, const sparse::Csr64Matrix& a) 
   write_file(path, a);
 }
 
+void write_vector(std::ostream& os, const aligned_vector<double>& v) {
+  StreamStateGuard guard(os);
+  os << std::setprecision(17);
+  for (double x : v) os << x << '\n';
+}
+
 void write_vector(const std::string& path, const aligned_vector<double>& v) {
   std::ofstream os(path);
   if (!os) {
     throw MatrixMarketError(Kind::io, 0, "cannot open '" + path + "' for writing");
   }
-  os << std::setprecision(17);
-  for (double x : v) os << x << '\n';
+  write_vector(os, v);
 }
 
 aligned_vector<double> read_vector(const std::string& path) {

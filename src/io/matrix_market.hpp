@@ -143,14 +143,21 @@ struct LoadedMatrix {
 [[nodiscard]] LoadedMatrix read_matrix_market(const std::string& path,
                                               const ReadOptions& opts = {});
 
-/// Write \p a in Matrix Market "coordinate real general" format (1-based,
-/// 17 significant digits — doubles survive the round trip bit-exactly).
+/// Write \p a in Matrix Market coordinate real format (1-based, 17
+/// significant digits — doubles survive the round trip bit-exactly).
+/// Numerically symmetric operators (MatrixStats' transpose compare) emit a
+/// 'symmetric' banner with only the lower triangle stored, so a symmetric
+/// input round-trips with its declaration and entry count intact; everything
+/// else emits 'general'. The caller's stream formatting (flags, precision)
+/// is restored before returning.
 void write_matrix_market(std::ostream& os, const sparse::CsrMatrix& a);
 void write_matrix_market(std::ostream& os, const sparse::Csr64Matrix& a);
 void write_matrix_market(const std::string& path, const sparse::CsrMatrix& a);
 void write_matrix_market(const std::string& path, const sparse::Csr64Matrix& a);
 
-/// Plain one-value-per-line dense vector IO (solver snapshots).
+/// Plain one-value-per-line dense vector IO (solver snapshots). The stream
+/// overload restores the caller's formatting state before returning.
+void write_vector(std::ostream& os, const aligned_vector<double>& v);
 void write_vector(const std::string& path, const aligned_vector<double>& v);
 [[nodiscard]] aligned_vector<double> read_vector(const std::string& path);
 

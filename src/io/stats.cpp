@@ -36,6 +36,16 @@ namespace {
   return slots;
 }
 
+/// Bit-exact A == A^T: CSR stores rows with strictly increasing columns, so
+/// the transpose comparison is a plain array compare.
+template <class Index>
+[[nodiscard]] bool numerically_symmetric_impl(const sparse::Csr<Index>& a) {
+  if (a.nrows() != a.ncols()) return false;
+  const auto at = sparse::transpose(a);
+  return at.row_ptr() == a.row_ptr() && at.cols() == a.cols() &&
+         at.values() == a.values();
+}
+
 template <class Index>
 [[nodiscard]] MatrixStats analyze_impl(const sparse::Csr<Index>& a) {
   MatrixStats s;
@@ -100,6 +110,13 @@ template <class Index>
 MatrixStats analyze(const sparse::CsrMatrix& a) { return analyze_impl(a); }
 MatrixStats analyze(const sparse::Csr64Matrix& a) { return analyze_impl(a); }
 
+bool is_numerically_symmetric(const sparse::CsrMatrix& a) {
+  return numerically_symmetric_impl(a);
+}
+bool is_numerically_symmetric(const sparse::Csr64Matrix& a) {
+  return numerically_symmetric_impl(a);
+}
+
 void print_stats(std::ostream& os, const MatrixStats& s) {
   os << "dimensions        " << s.nrows << " x " << s.ncols << ", " << s.nnz
      << " non-zeros\n";
@@ -111,7 +128,13 @@ void print_stats(std::ostream& os, const MatrixStats& s) {
     const std::size_t lo = b == 0 ? 0 : std::size_t{1} << (b - 1);
     const std::size_t hi = b == 0 ? 0 : (std::size_t{1} << b) - 1;
     os << "[" << lo;
-    if (hi > lo) os << "-" << hi;
+    if (b + 1 == MatrixStats::kHistBuckets) {
+      // The clamped top bucket aggregates every longer row; an open range,
+      // not the closed [lo-hi] its neighbours print.
+      os << "+";
+    } else if (hi > lo) {
+      os << "-" << hi;
+    }
     os << "]:" << s.row_hist[b] << " ";
   }
   os << "\n";

@@ -68,6 +68,12 @@ struct MatrixStats {
 [[nodiscard]] MatrixStats analyze(const sparse::CsrMatrix& a);
 [[nodiscard]] MatrixStats analyze(const sparse::Csr64Matrix& a);
 
+/// The bit-exact transpose compare behind MatrixStats::numerically_symmetric
+/// on its own — for callers (e.g. the Matrix Market writer) that need only
+/// the symmetry verdict, without the histogram / padding / bandwidth work.
+[[nodiscard]] bool is_numerically_symmetric(const sparse::CsrMatrix& a);
+[[nodiscard]] bool is_numerically_symmetric(const sparse::Csr64Matrix& a);
+
 /// Human-readable multi-line report (matrix_doctor's analysis block).
 void print_stats(std::ostream& os, const MatrixStats& s);
 

@@ -43,19 +43,21 @@ void scale_in_place(ProtectedVector<VS>& v, double s) {
 template <class VS>
 void xpby_scaled(ProtectedVector<VS>& v, double s, ProtectedVector<VS>& w) {
   constexpr std::size_t G = VS::kGroup;
-  ErrorCapture capture;
+  ErrorCapture cv, cw;  // per-operand, like the BLAS-1 kernels
   const std::size_t ngroups = v.groups();
   for (std::size_t g = 0; g < ngroups; ++g) {
     double vv[G], vw[G];
     const auto ov = VS::decode_group(v.data() + g * G, vv);
     const auto ow = VS::decode_group(w.data() + g * G, vw);
-    capture.record(Region::dense_vector, ov, g);
-    capture.record(Region::dense_vector, ow, g);
+    cv.record(Region::dense_vector, ov, g);
+    cw.record(Region::dense_vector, ow, g);
     for (std::size_t e = 0; e < G; ++e) vw[e] = s * vv[e] - vw[e];
     VS::encode_group(vw, w.data() + g * G);
   }
-  capture.add_checks(2 * ngroups);
-  capture.commit(w.fault_log(), w.due_policy());
+  cv.add_checks(ngroups);
+  cw.add_checks(ngroups);
+  abft::detail::commit_each({{&cv, v.fault_log(), v.due_policy()},
+                             {&cw, w.fault_log(), w.due_policy()}});
 }
 
 /// Power iteration for lambda_max, then shifted power iteration on

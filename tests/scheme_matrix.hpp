@@ -47,6 +47,8 @@ namespace abft::scheme_matrix {
     case ecc::Scheme::secded64:
     case ecc::Scheme::secded128: return CheckOutcome::corrected;
     case ecc::Scheme::crc32c: return CheckOutcome::corrected;  // brute-force path
+    case ecc::Scheme::crc32c_tile:
+      return CheckOutcome::corrected;  // same brute-force path, tile codewords
   }
   return CheckOutcome::ok;
 }
@@ -225,6 +227,117 @@ void crc_row_triple_flips_never_ok(int reps = 100) {
           bits_to_double(flip_bit(double_to_bits(row.values[k]), rng.below(64)));
     }
     EXPECT_NE(ES::decode_row(row.values.data(), row.cols.data(), kNnz),
+              CheckOutcome::ok)
+        << rep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tile-granular element scheme (ElemCrc32cTile at either width): unit-stride
+// tiles of a physical slab, short tails folded into the previous tile.
+// ---------------------------------------------------------------------------
+
+/// Tile geometry invariants plus a clean encode/decode round trip, over slab
+/// sizes that hit every tail case (exact multiple, short tail that merges,
+/// long tail that stands alone, sub-tile slabs).
+template <class ES>
+void tile_round_trip() {
+  Xoshiro256 rng(41);
+  for (std::size_t total : {std::size_t{4}, std::size_t{5}, std::size_t{63},
+                            std::size_t{64}, std::size_t{65}, std::size_t{67},
+                            std::size_t{68}, std::size_t{128}, std::size_t{131},
+                            std::size_t{200}}) {
+    const std::size_t ntiles = ES::num_tiles(total);
+    std::size_t covered = 0;
+    for (std::size_t t = 0; t < ntiles; ++t) {
+      ASSERT_EQ(ES::tile_begin(t), covered) << "total " << total << " tile " << t;
+      const std::size_t slots = ES::tile_slots(t, total);
+      ASSERT_GE(slots, 4u) << "total " << total << " tile " << t;
+      for (std::size_t k = covered; k < covered + slots; ++k) {
+        ASSERT_EQ(ES::tile_of(k, total), t) << "total " << total << " slot " << k;
+      }
+      covered += slots;
+    }
+    ASSERT_EQ(covered, total) << "tiles must partition the slab, total " << total;
+
+    auto slab = make_crc_row<ES>(total, rng);
+    const auto original = slab;
+    for (std::size_t t = 0; t < ntiles; ++t) {
+      ES::encode_tile(slab.values.data() + ES::tile_begin(t),
+                      slab.cols.data() + ES::tile_begin(t), ES::tile_slots(t, total));
+    }
+    for (std::size_t t = 0; t < ntiles; ++t) {
+      EXPECT_EQ(ES::decode_tile(slab.values.data() + ES::tile_begin(t),
+                                slab.cols.data() + ES::tile_begin(t),
+                                ES::tile_slots(t, total)),
+                CheckOutcome::ok)
+          << "total " << total << " tile " << t;
+    }
+    for (std::size_t k = 0; k < total; ++k) {
+      EXPECT_EQ(slab.values[k], original.values[k]) << k;
+      EXPECT_EQ(slab.cols[k] & ES::kColMask, original.cols[k]) << k;
+    }
+  }
+}
+
+/// One flip anywhere in the slab — value bits, column data bits, or the
+/// checksum bytes in a tile's first four slots — must be corrected and the
+/// whole slab restored bit-exactly; flips in the unused spare top bytes of
+/// slots 4+ of a tile are invisible (reads mask). The default slab size
+/// exercises a merged tail tile (64 + 3 slots).
+template <class ES>
+void tile_single_flips(std::size_t total = 67, unsigned bit_step = 3) {
+  using Index = typename ES::index_type;
+  constexpr unsigned kIndexBits = std::numeric_limits<Index>::digits;
+  const std::size_t ntiles = ES::num_tiles(total);
+  Xoshiro256 rng(43);
+  for (std::size_t k = 0; k < total; ++k) {
+    for (unsigned bit = 0; bit < 64 + kIndexBits; bit += bit_step) {
+      auto slab = make_crc_row<ES>(total, rng);
+      for (std::size_t t = 0; t < ntiles; ++t) {
+        ES::encode_tile(slab.values.data() + ES::tile_begin(t),
+                        slab.cols.data() + ES::tile_begin(t), ES::tile_slots(t, total));
+      }
+      const auto clean = slab;
+      if (bit < 64) {
+        slab.values[k] = bits_to_double(flip_bit(double_to_bits(slab.values[k]), bit));
+      } else {
+        slab.cols[k] = static_cast<Index>(flip_bit(slab.cols[k], bit - 64));
+      }
+      const std::size_t t = ES::tile_of(k, total);
+      const std::size_t slot_in_tile = k - ES::tile_begin(t);
+      const bool unused_spare = bit >= 64 + ES::kColBits && slot_in_tile >= 4;
+      EXPECT_EQ(ES::decode_tile(slab.values.data() + ES::tile_begin(t),
+                                slab.cols.data() + ES::tile_begin(t),
+                                ES::tile_slots(t, total)),
+                unused_spare ? CheckOutcome::ok : CheckOutcome::corrected)
+          << "slot " << k << " bit " << bit;
+      if (unused_spare) continue;
+      for (std::size_t e = 0; e < total; ++e) {
+        EXPECT_EQ(double_to_bits(slab.values[e]), double_to_bits(clean.values[e]))
+            << "slot " << k << " bit " << bit << " at " << e;
+        EXPECT_EQ(slab.cols[e], clean.cols[e]) << "slot " << k << " bit " << bit
+                                               << " at " << e;
+      }
+    }
+  }
+}
+
+/// Triple flips inside one tile must never pass as clean (HD >= 4 for the
+/// tile codeword sizes in use).
+template <class ES>
+void tile_triple_flips_never_ok(int reps = 100) {
+  constexpr std::size_t kTotal = 64;
+  Xoshiro256 rng(47);
+  for (int rep = 0; rep < reps; ++rep) {
+    auto slab = make_crc_row<ES>(kTotal, rng);
+    ES::encode_tile(slab.values.data(), slab.cols.data(), kTotal);
+    for (int f = 0; f < 3; ++f) {
+      const std::size_t k = rng.below(kTotal);
+      slab.values[k] =
+          bits_to_double(flip_bit(double_to_bits(slab.values[k]), rng.below(64)));
+    }
+    EXPECT_NE(ES::decode_tile(slab.values.data(), slab.cols.data(), kTotal),
               CheckOutcome::ok)
         << rep;
   }

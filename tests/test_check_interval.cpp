@@ -48,15 +48,15 @@ TEST(CheckInterval, SkipIterationsRunFewerMatrixChecks) {
   const auto every = count_checks(1);
   const auto fourth = count_checks(4);
   const auto sixteenth = count_checks(16);
-  // The counters also include the x-vector group decodes of the SpMV (a
-  // fixed per-iteration cost even in bounds-only mode), so the reduction is
-  // not a clean 1/4 and 1/16 — but it must be strictly and substantially
-  // ordered.
+  // Vector decodes commit to the vectors' own (absent) log, so the counter
+  // sees matrix checks alone; skip iterations still pay the final
+  // end-of-interval full pass, so the reduction is not a clean 1/4 and
+  // 1/16 — but it must be strictly and substantially ordered.
   EXPECT_LT(fourth, (every * 3) / 4);
   EXPECT_LT(sixteenth, fourth);
 
   // Isolated single-SpMV comparison: bounds-only skips all matrix codeword
-  // checks, so exactly the x-read decodes remain.
+  // checks, and x's decodes belong to x's (absent) log — nothing remains.
   FaultLog log_full, log_bounds;
   auto pa_full = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(prob.a, &log_full,
                                                                  DuePolicy::record_only);
@@ -68,6 +68,8 @@ TEST(CheckInterval, SkipIterationsRunFewerMatrixChecks) {
   spmv(pa_bounds, x, y, CheckMode::bounds_only);
   // Full mode adds at least one check per matrix element on top.
   EXPECT_GE(log_full.checks(), log_bounds.checks() + prob.a.nnz());
+  EXPECT_EQ(log_bounds.checks(), 0u)
+      << "bounds-only matrix checks are skipped and x's decodes are x's";
 }
 
 TEST(CheckInterval, CorrectableFaultIsFoundAtNextFullCheck) {

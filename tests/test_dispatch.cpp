@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <string>
+#include <tuple>
+#include <type_traits>
 
 #include "abft/dispatch.hpp"
 
@@ -117,6 +119,70 @@ TEST(DispatchElem, MapsSchemesToPolicies32) {
   EXPECT_EQ(name(ecc::Scheme::sed), ecc::Scheme::sed);
   EXPECT_EQ(name(ecc::Scheme::secded64), ecc::Scheme::secded64);
   EXPECT_EQ(name(ecc::Scheme::crc32c), ecc::Scheme::crc32c);
+  EXPECT_EQ(name(ecc::Scheme::crc32c_tile), ecc::Scheme::crc32c_tile);
+}
+
+TEST(DispatchElem, TileCrcSelectsTileSchemeAtBothWidths) {
+  const auto tile32 = dispatch_elem<std::uint32_t>(
+      ecc::Scheme::crc32c_tile, []<class ES>() { return ES::kTileGranular; });
+  const auto tile64 = dispatch_elem<std::uint64_t>(
+      ecc::Scheme::crc32c_tile, []<class ES>() { return ES::kTileGranular; });
+  EXPECT_TRUE(tile32);
+  EXPECT_TRUE(tile64);
+}
+
+TEST(DispatchRowAndVec, TileCrcFallsBackToTheUnitStrideGroupedCrc) {
+  // Structural arrays and dense vectors are contiguous already: on those
+  // axes 'crc32c-tile' selects the same layouts as 'crc32c'.
+  const auto row_scheme = dispatch_row(ecc::Scheme::crc32c_tile,
+                                       []<class RS>() { return RS::kScheme; });
+  EXPECT_EQ(row_scheme, ecc::Scheme::crc32c);
+  const auto vec_scheme = dispatch_vec(ecc::Scheme::crc32c_tile,
+                                       []<class VS>() { return VS::kScheme; });
+  EXPECT_EQ(vec_scheme, ecc::Scheme::crc32c);
+}
+
+TEST(DispatchProtection, TileCrcUnavailableOnCsrAvailableOnSlabFormats) {
+  for (auto width : {IndexWidth::i32, IndexWidth::i64}) {
+    const SchemeTriple t(ecc::Scheme::crc32c_tile, ecc::Scheme::sed, ecc::Scheme::sed);
+    try {
+      dispatch_protection(MatrixFormat::csr, width, t,
+                          []<class Fmt, class Index, class ES, class SS, class VS>() {});
+      FAIL() << "expected SchemeUnavailableError at width " << to_string(width);
+    } catch (const SchemeUnavailableError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("crc32c-tile"), std::string::npos) << what;
+      EXPECT_NE(what.find("csr"), std::string::npos) << what;
+    }
+    for (auto fmt : {MatrixFormat::ell, MatrixFormat::sell}) {
+      const bool tile = dispatch_protection(
+          fmt, width, t, []<class Fmt, class Index, class ES, class SS, class VS>() {
+            return ES::kTileGranular && std::is_same_v<typename ES::index_type, Index>;
+          });
+      EXPECT_TRUE(tile) << to_string(fmt) << "/" << to_string(width);
+    }
+  }
+}
+
+TEST(DispatchUniformProtection, TileCrcKeepsGroupedCrcOnStructureAndVectorAxes) {
+  const auto schemes_of = [](IndexWidth w) {
+    return dispatch_uniform_protection(
+        w, ecc::Scheme::crc32c_tile,
+        []<class Index, class ES, class RS, class VS>() {
+          return std::tuple(ES::kScheme, RS::kScheme, VS::kScheme);
+        });
+  };
+  for (auto w : kAllIndexWidths) {
+    const auto [es, rs, vs] = schemes_of(w);
+    EXPECT_EQ(es, ecc::Scheme::crc32c_tile) << to_string(w);
+    EXPECT_EQ(rs, ecc::Scheme::crc32c) << to_string(w);
+    EXPECT_EQ(vs, ecc::Scheme::crc32c) << to_string(w);
+  }
+  // And the format-aware uniform overload refuses the CSR hole loudly.
+  EXPECT_THROW(dispatch_uniform_protection(
+                   MatrixFormat::csr, IndexWidth::i32, ecc::Scheme::crc32c_tile,
+                   []<class Fmt, class Index, class ES, class SS, class VS>() {}),
+               SchemeUnavailableError);
 }
 
 TEST(DispatchElem, Secded128UnavailableAt32Bits) {
@@ -326,6 +392,8 @@ TEST(SchemeCapability, MatchesPaperTable) {
   EXPECT_EQ(capability(ecc::Scheme::secded64).correct_bits, 1u);
   EXPECT_EQ(capability(ecc::Scheme::secded64).detect_bits, 2u);
   EXPECT_EQ(capability(ecc::Scheme::crc32c).detect_bits, 5u);
+  // Tile codewords are larger than the HD=6 range but inside HD=4.
+  EXPECT_EQ(capability(ecc::Scheme::crc32c_tile).detect_bits, 3u);
 }
 
 }  // namespace

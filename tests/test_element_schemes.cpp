@@ -61,6 +61,30 @@ TYPED_TEST(RowGranularElementScheme, TripleFlipNeverReportsOk) {
 }
 
 // ---------------------------------------------------------------------------
+// Tile-granular CRC32C element scheme x both widths: the slab formats'
+// unit-stride codeword layout.
+// ---------------------------------------------------------------------------
+
+template <class ES>
+class TileGranularElementScheme : public ::testing::Test {};
+
+using TileGranularTypes = ::testing::Types<schemes::ElemCrc32cTile<std::uint32_t>,
+                                           schemes::ElemCrc32cTile<std::uint64_t>>;
+TYPED_TEST_SUITE(TileGranularElementScheme, TileGranularTypes);
+
+TYPED_TEST(TileGranularElementScheme, GeometryPartitionsAndRoundTrips) {
+  scheme_matrix::tile_round_trip<TypeParam>();
+}
+
+TYPED_TEST(TileGranularElementScheme, SingleFlipAnywhereInSlabIsCorrected) {
+  scheme_matrix::tile_single_flips<TypeParam>();
+}
+
+TYPED_TEST(TileGranularElementScheme, TripleFlipNeverReportsOk) {
+  scheme_matrix::tile_triple_flips_never_ok<TypeParam>();
+}
+
+// ---------------------------------------------------------------------------
 // Layout constants per width (paper Fig. 1 vs. §V-B spare-byte layouts).
 // ---------------------------------------------------------------------------
 
@@ -78,6 +102,13 @@ TEST(ElemSchemeLimits, ColumnMasksMatchPaperConstraints) {
   // Per-row CRC needs >= 4 elements to hold its 32 checksum bits, either width.
   EXPECT_EQ(ElemCrc32c::kMinRowNnz, 4u);
   EXPECT_EQ(schemes::ElemCrc32c<std::uint64_t>::kMinRowNnz, 4u);
+  // The tile layout keeps the same spare-bit accounting as the per-row CRC:
+  // same masked column range, same >= 4-slot minimum (now per tile).
+  EXPECT_EQ(ElemCrc32cTile::kColMask, ElemCrc32c::kColMask);
+  EXPECT_EQ(schemes::ElemCrc32cTile<std::uint64_t>::kColMask,
+            schemes::ElemCrc32c<std::uint64_t>::kColMask);
+  EXPECT_EQ(ElemCrc32cTile::kMinRowNnz, 4u);
+  EXPECT_EQ(ElemCrc32cTile::kTileSlots, 64u);
 }
 
 TEST(ElemSchemeLimits, SecdedCodewordsMatchPaperLayouts) {

@@ -118,6 +118,33 @@ TEST(MatrixStats, WideAnalysisMatchesNarrow) {
   EXPECT_EQ(s64.numerically_symmetric, s32.numerically_symmetric);
 }
 
+TEST(MatrixStats, PrintReportLabelsTheClampedTailBucketAsOpenRange) {
+  // Regression: the clamped top bucket aggregates every row with
+  // bit_width(len) >= kHistBuckets-1 but used to print as a closed [lo-hi]
+  // range. A synthetic long-tail distribution: one row far past the last
+  // bucket boundary plus many short rows.
+  const std::size_t kTailLen = (std::size_t{1} << (io::MatrixStats::kHistBuckets - 2)) +
+                               777;  // 2^14 + 777: deep inside the clamped bucket
+  sparse::CooMatrix coo(4, kTailLen);
+  for (std::size_t c = 0; c < kTailLen; ++c) coo.add(0, c, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(2, 0, 1.0);
+  coo.add(2, 1, 1.0);
+  coo.add(3, 0, 1.0);
+  const auto s = io::analyze(coo.to_csr());
+  ASSERT_EQ(s.row_hist[io::MatrixStats::kHistBuckets - 1], 1u);
+
+  std::ostringstream os;
+  io::print_stats(os, s);
+  const auto text = os.str();
+  const std::string lo = std::to_string(std::size_t{1}
+                                        << (io::MatrixStats::kHistBuckets - 2));
+  EXPECT_NE(text.find("[" + lo + "+]:1"), std::string::npos)
+      << "clamped tail must print as an open range: " << text;
+  EXPECT_EQ(text.find("[" + lo + "-"), std::string::npos)
+      << "clamped tail must not claim a closed upper bound: " << text;
+}
+
 TEST(MatrixStats, PrintReportMentionsTheHeadlines) {
   std::ostringstream os;
   io::print_stats(os, io::analyze(sparse::laplacian_2d(4, 4)));

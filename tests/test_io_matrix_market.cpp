@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "io/io.hpp"
@@ -16,6 +17,10 @@ namespace {
 
 using namespace abft;
 using Kind = io::MatrixMarketError::Kind;
+
+[[nodiscard]] std::string fixture(const char* name) {
+  return std::string(ABFT_TEST_DATA_DIR) + "/" + name;
+}
 
 [[nodiscard]] io::LoadedMatrix read_str(const std::string& text,
                                         const io::ReadOptions& opts = {}) {
@@ -62,6 +67,123 @@ TEST(MatrixMarket, WideRoundTripIsExact) {
   EXPECT_EQ(b.a64.row_ptr(), a.row_ptr());
   EXPECT_EQ(b.a64.cols(), a.cols());
   EXPECT_EQ(b.a64.values(), a.values());
+}
+
+// --- Writer: stream-state hygiene and symmetric round trips. ---
+
+TEST(MatrixMarket, WriterRestoresCallerStreamFormatting) {
+  // Regression: write_impl used to leave std::setprecision(17) on the
+  // caller-provided stream.
+  const auto a = sparse::laplacian_2d(4, 4);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  const auto flags_before = os.flags();
+  io::write_matrix_market(os, a);
+  EXPECT_EQ(os.flags(), flags_before);
+  EXPECT_EQ(os.precision(), 3);
+  os.str("");
+  os << 1.23456789;
+  EXPECT_EQ(os.str(), "1.235") << "caller formatting must survive the write";
+}
+
+TEST(VectorIo, StreamWriterRestoresCallerFormatting) {
+  aligned_vector<double> v = {1.5, -2.25};
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  io::write_vector(os, v);
+  EXPECT_EQ(os.precision(), 2);
+  os.str("");
+  os << 0.123456;
+  EXPECT_EQ(os.str(), "0.12");
+}
+
+TEST(MatrixMarket, SymmetricMatrixRoundTripsAsSymmetric) {
+  // Regression: the writer used to re-emit every symmetric operator as
+  // 'general' at ~2x the entries, dropping the symmetry declaration.
+  const auto a = sparse::laplacian_2d(5, 4);  // numerically symmetric
+  std::stringstream ss;
+  io::write_matrix_market(ss, a);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("matrix coordinate real symmetric"), std::string::npos) << text;
+
+  std::size_t lower = 0;
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      if (a.cols()[k] <= r) ++lower;
+    }
+  }
+  const auto b = read_str(text);
+  EXPECT_EQ(b.header.symmetry, io::MmSymmetry::symmetric);
+  EXPECT_EQ(b.header.entries, lower) << "only the lower triangle is stored";
+  EXPECT_EQ(b.a32.row_ptr(), a.row_ptr());
+  EXPECT_EQ(b.a32.cols(), a.cols());
+  EXPECT_EQ(b.a32.values(), a.values());
+}
+
+TEST(MatrixMarket, AsymmetricMatrixStillWritesGeneral) {
+  sparse::CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 2, 5.0);  // no mirror
+  coo.add(1, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  const auto a = coo.to_csr();
+  std::stringstream ss;
+  io::write_matrix_market(ss, a);
+  EXPECT_NE(ss.str().find("matrix coordinate real general"), std::string::npos);
+  const auto b = read_str(ss.str());
+  EXPECT_EQ(b.a32.row_ptr(), a.row_ptr());
+  EXPECT_EQ(b.a32.cols(), a.cols());
+  EXPECT_EQ(b.a32.values(), a.values());
+}
+
+TEST(MatrixMarket, StructurallySymmetricButNumericallyAsymmetricWritesGeneral) {
+  // A mirrored pattern with different values must NOT be folded to one
+  // triangle — that would silently alter the operator.
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 3.0);
+  coo.add(1, 1, 1.0);
+  const auto a = coo.to_csr();
+  std::stringstream ss;
+  io::write_matrix_market(ss, a);
+  EXPECT_NE(ss.str().find("real general"), std::string::npos);
+  const auto b = read_str(ss.str());
+  EXPECT_EQ(b.a32.values(), a.values());
+}
+
+TEST(MatrixMarket, SymmetricFixturesRoundTripWithDeclarationAndEntryCount) {
+  // The committed symmetric fixtures must re-emit at their original stored
+  // entry count (lower triangle), not the ~2x expanded 'general' form —
+  // bit-exact at both widths.
+  for (const char* file : {"spd_mini.mtx", "pattern_sym.mtx"}) {
+    std::ifstream is(fixture(file));
+    ASSERT_TRUE(is) << fixture(file);
+    const auto header = io::read_mm_header(is);
+    ASSERT_EQ(header.symmetry, io::MmSymmetry::symmetric) << file;
+
+    const auto loaded = io::read_matrix_market(fixture(file));
+    std::stringstream ss;
+    io::write_matrix_market(ss, loaded.a32);
+    const auto back = io::read_matrix_market(ss);
+    EXPECT_EQ(back.header.symmetry, io::MmSymmetry::symmetric) << file;
+    EXPECT_EQ(back.header.entries, header.entries)
+        << file << ": the round trip must not inflate the stored entry count";
+    EXPECT_EQ(back.a32.row_ptr(), loaded.a32.row_ptr()) << file;
+    EXPECT_EQ(back.a32.cols(), loaded.a32.cols()) << file;
+    EXPECT_EQ(back.a32.values(), loaded.a32.values()) << file;
+
+    // Wide stack: same declaration, same bits.
+    const auto wide =
+        io::read_matrix_market(fixture(file), {.force_width = IndexWidth::i64});
+    std::stringstream ss64;
+    io::write_matrix_market(ss64, wide.a64);
+    EXPECT_NE(ss64.str().find("real symmetric"), std::string::npos) << file;
+    const auto back64 = io::read_matrix_market(ss64, {.force_width = IndexWidth::i64});
+    EXPECT_EQ(back64.a64.row_ptr(), wide.a64.row_ptr()) << file;
+    EXPECT_EQ(back64.a64.cols(), wide.a64.cols()) << file;
+    EXPECT_EQ(back64.a64.values(), wide.a64.values()) << file;
+  }
 }
 
 TEST(MatrixMarket, SymmetricInputIsMirrored) {

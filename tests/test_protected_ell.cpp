@@ -50,6 +50,8 @@ using CombosEll = ::testing::Types<
              schemes::StructCrc32c<std::uint32_t>>,
     ComboEll<std::uint32_t, schemes::ElemCrc32c<std::uint32_t>,
              schemes::StructSecded<std::uint32_t>>,
+    ComboEll<std::uint32_t, schemes::ElemCrc32cTile<std::uint32_t>,
+             schemes::StructCrc32c<std::uint32_t>>,
     // 64-bit width.
     ComboEll<std::uint64_t, schemes::ElemNone<std::uint64_t>,
              schemes::StructNone<std::uint64_t>>,
@@ -61,6 +63,8 @@ using CombosEll = ::testing::Types<
              schemes::StructSecded128<std::uint64_t>>,
     ComboEll<std::uint64_t, schemes::ElemCrc32c<std::uint64_t>,
              schemes::StructCrc32c<std::uint64_t>>,
+    ComboEll<std::uint64_t, schemes::ElemCrc32cTile<std::uint64_t>,
+             schemes::StructSecded<std::uint64_t>>,
     ComboEll<std::uint64_t, schemes::ElemSecded<std::uint64_t>,
              schemes::StructCrc32c<std::uint64_t>>>;
 TYPED_TEST_SUITE(ProtectedEllTest, CombosEll);
@@ -219,7 +223,12 @@ TEST(ProtectedEllDispatch, SpmvMatchesCsrAcrossFullSchemeMatrix) {
       for (auto ss : ecc::kAllSchemes) {
         for (auto vs : ecc::kAllSchemes) {
           const SchemeTriple t(es, ss, vs);
-          const auto y_csr = run(MatrixFormat::csr, width, t);
+          // crc32c-tile has no CSR layout; the per-row CRC is the CSR
+          // reference (the decoded operator — and therefore y — is
+          // identical, only the codeword layout differs).
+          const SchemeTriple t_csr(
+              es == ecc::Scheme::crc32c_tile ? ecc::Scheme::crc32c : es, ss, vs);
+          const auto y_csr = run(MatrixFormat::csr, width, t_csr);
           const auto y_ell = run(MatrixFormat::ell, width, t);
           ASSERT_EQ(y_csr.size(), y_ell.size());
           for (std::size_t i = 0; i < y_csr.size(); ++i) {

@@ -220,6 +220,128 @@ TYPED_TEST(Blas1Test, NormMatchesReference) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-operand fault attribution (regression: the BLAS-1 kernels used to fold
+// every operand's decode outcomes into one capture committed to a single
+// container — corruption detected in `b` was logged under `a` and policed by
+// `a`'s DuePolicy).
+// ---------------------------------------------------------------------------
+
+/// Flip one storage bit of \p v (inside the first element's value bits, so
+/// every scheme with any redundancy sees it).
+template <class VS>
+void corrupt_vector(ProtectedVector<VS>& v, std::size_t bit = 13) {
+  auto raw = v.raw();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(raw.data()), raw.size_bytes()}, bit);
+}
+
+TEST(KernelFaultAttribution, DotLogsCorruptionInTheOperandThatCarriesIt) {
+  const std::size_t n = 40;
+  FaultLog log_a, log_b;
+  ProtectedVector<VecSed> a(n, &log_a, DuePolicy::record_only);
+  ProtectedVector<VecSed> b(n, &log_b, DuePolicy::record_only);
+  fill(a, 1.0);
+  fill(b, 2.0);
+  corrupt_vector(b);
+  (void)dot(a, b);
+  // The fault lives in b; a's log must stay clean — and both logs account
+  // their own decodes.
+  EXPECT_EQ(log_a.uncorrectable(), 0u);
+  EXPECT_GE(log_b.uncorrectable(), 1u);
+  EXPECT_GE(log_a.checks(), n);
+  EXPECT_GE(log_b.checks(), n);
+}
+
+TEST(KernelFaultAttribution, AxpyAndSubAndFmaAttributePerOperand) {
+  const std::size_t n = 33;
+  {
+    FaultLog log_x, log_y;
+    ProtectedVector<VecSed> x(n, &log_x, DuePolicy::record_only);
+    ProtectedVector<VecSed> y(n, &log_y, DuePolicy::record_only);
+    fill(x, 1.0);
+    fill(y, 2.0);
+    corrupt_vector(x);
+    axpy(0.5, x, y);
+    EXPECT_GE(log_x.uncorrectable(), 1u);
+    EXPECT_EQ(log_y.uncorrectable(), 0u);
+  }
+  {
+    FaultLog log_a, log_b, log_r;
+    ProtectedVector<VecSed> a(n, &log_a, DuePolicy::record_only);
+    ProtectedVector<VecSed> b(n, &log_b, DuePolicy::record_only);
+    ProtectedVector<VecSed> r(n, &log_r, DuePolicy::record_only);
+    fill(a, 1.0);
+    fill(b, 2.0);
+    corrupt_vector(b);
+    sub(a, b, r);
+    EXPECT_EQ(log_a.uncorrectable(), 0u);
+    EXPECT_GE(log_b.uncorrectable(), 1u);
+    // r is written whole-group without a prior read: nothing to attribute.
+    EXPECT_EQ(log_r.uncorrectable(), 0u);
+  }
+  {
+    FaultLog log_s, log_x, log_y;
+    ProtectedVector<VecSed> s(n, &log_s, DuePolicy::record_only);
+    ProtectedVector<VecSed> x(n, &log_x, DuePolicy::record_only);
+    ProtectedVector<VecSed> y(n, &log_y, DuePolicy::record_only);
+    fill(s, 1.0);
+    fill(x, 2.0);
+    fill(y, 3.0);
+    corrupt_vector(y);
+    pointwise_fma(s, x, y);
+    EXPECT_EQ(log_s.uncorrectable(), 0u);
+    EXPECT_EQ(log_x.uncorrectable(), 0u);
+    EXPECT_GE(log_y.uncorrectable(), 1u);
+  }
+}
+
+TEST(KernelFaultAttribution, DuePolicyOfTheCorruptOperandApplies) {
+  const std::size_t n = 24;
+  // a records only, b throws: a fault in a must NOT throw, a fault in b must.
+  FaultLog log_a, log_b;
+  {
+    ProtectedVector<VecSed> a(n, &log_a, DuePolicy::record_only);
+    ProtectedVector<VecSed> b(n, &log_b, DuePolicy::throw_exception);
+    fill(a, 1.0);
+    fill(b, 2.0);
+    corrupt_vector(a);
+    EXPECT_NO_THROW((void)dot(a, b));
+    EXPECT_GE(log_a.uncorrectable(), 1u);
+  }
+  {
+    ProtectedVector<VecSed> a(n, &log_a, DuePolicy::record_only);
+    ProtectedVector<VecSed> b(n, &log_b, DuePolicy::throw_exception);
+    fill(a, 1.0);
+    fill(b, 2.0);
+    corrupt_vector(b);
+    log_a.clear();
+    log_b.clear();
+    EXPECT_THROW((void)dot(a, b), UncorrectableError);
+    // The throwing operand must not swallow the other operand's accounting:
+    // every log is updated before any policy raises.
+    EXPECT_GE(log_a.checks(), n);
+    EXPECT_GE(log_b.uncorrectable(), 1u);
+  }
+}
+
+TEST(KernelFaultAttribution, SpmvAttributesXVectorFaultsToXNotTheMatrix) {
+  auto a = sparse::laplacian_2d(12, 12);
+  FaultLog log_m, log_x, log_y;
+  auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(
+      a, &log_m, DuePolicy::record_only);
+  ProtectedVector<VecSed> x(a.ncols(), &log_x, DuePolicy::record_only);
+  ProtectedVector<VecSed> y(a.nrows(), &log_y, DuePolicy::record_only);
+  fill(x, 1.0);
+  corrupt_vector(x);
+  spmv(pa, x, y);
+  EXPECT_GE(log_x.uncorrectable(), 1u);
+  EXPECT_EQ(log_m.uncorrectable(), 0u);
+  EXPECT_EQ(log_m.corrected(), 0u);
+  // y is only encoded, never decoded, during SpMV — nothing to attribute.
+  EXPECT_EQ(log_y.uncorrectable(), 0u);
+  EXPECT_EQ(log_y.checks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Error propagation out of parallel kernels.
 // ---------------------------------------------------------------------------
 
