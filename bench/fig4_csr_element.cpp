@@ -59,6 +59,34 @@ double run_series(const abft::tealeaf::Config& cfg, unsigned reps) {
   return baseline;
 }
 
+/// Thread-scaling mode (--threads 1,2,4,...): per format, measure the
+/// unprotected baseline and the protected element schemes at every requested
+/// thread count and emit machine-readable `scaling` rows. Speedups are
+/// against the same scheme's first-entry (usually 1-thread) time.
+template <class Fmt>
+void run_scaling(const char* fmt_name, const abft::tealeaf::Config& cfg,
+                 const abft::bench::BenchOptions& opts) {
+  using namespace abft;
+  using namespace abft::bench;
+
+  const auto series = [&](const char* scheme, auto run_one) {
+    double t1 = 0.0;
+    for_each_thread_count(opts, [&](unsigned t) {
+      const double s = run_one();
+      if (t1 == 0.0) t1 = s;
+      print_scaling_row(fmt_name, scheme, t, s, t1);
+    });
+  };
+  series("none", [&] { return time_solve<ElemNone, RowNone, VecNone, Fmt>(cfg, 1, opts.reps); });
+  series("sed", [&] { return time_solve<ElemSed, RowNone, VecNone, Fmt>(cfg, 1, opts.reps); });
+  series("secded", [&] { return time_solve<ElemSecded, RowNone, VecNone, Fmt>(cfg, 1, opts.reps); });
+  if constexpr (std::is_same_v<Fmt, CsrFormat>) {
+    series("crc32c", [&] { return time_solve<ElemCrc32c, RowNone, VecNone, Fmt>(cfg, 1, opts.reps); });
+  } else {
+    series("crc32c-tile", [&] { return time_solve<ElemCrc32cTile, RowNone, VecNone, Fmt>(cfg, 1, opts.reps); });
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +94,14 @@ int main(int argc, char** argv) {
   using namespace abft::bench;
   const auto opts = BenchOptions::parse(argc, argv);
   const auto cfg = make_config(opts);
+
+  if (opts.thread_scaling()) {
+    print_workload(opts, "Figure 4 (thread-scaling mode): element protection");
+    if (opts.format_selected("csr")) run_scaling<CsrFormat>("csr", cfg, opts);
+    if (opts.format_selected("ell")) run_scaling<EllFormat>("ell", cfg, opts);
+    if (opts.format_selected("sell")) run_scaling<SellFormat>("sell", cfg, opts);
+    return 0;
+  }
 
   print_workload(opts, "Figure 4: element protection overheads (CSR, ELL, SELL)");
 

@@ -37,6 +37,28 @@ void run_series(const abft::tealeaf::Config& cfg, unsigned reps) {
             time_solve<ElemNone, RowCrc32c, VecNone, Fmt>(cfg, 1, reps), baseline);
 }
 
+/// Thread-scaling mode (--threads 1,2,4,...): per format, the structure
+/// schemes at every requested thread count as machine-readable rows.
+template <class Fmt>
+void run_scaling(const char* fmt_name, const abft::tealeaf::Config& cfg,
+                 const abft::bench::BenchOptions& opts) {
+  using namespace abft;
+  using namespace abft::bench;
+
+  const auto series = [&](const char* scheme, auto run_one) {
+    double t1 = 0.0;
+    for_each_thread_count(opts, [&](unsigned t) {
+      const double s = run_one();
+      if (t1 == 0.0) t1 = s;
+      print_scaling_row(fmt_name, scheme, t, s, t1);
+    });
+  };
+  series("none", [&] { return time_solve<ElemNone, RowNone, VecNone, Fmt>(cfg, 1, opts.reps); });
+  series("struct-sed", [&] { return time_solve<ElemNone, RowSed, VecNone, Fmt>(cfg, 1, opts.reps); });
+  series("struct-secded64", [&] { return time_solve<ElemNone, RowSecded64, VecNone, Fmt>(cfg, 1, opts.reps); });
+  series("struct-crc32c", [&] { return time_solve<ElemNone, RowCrc32c, VecNone, Fmt>(cfg, 1, opts.reps); });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,6 +66,14 @@ int main(int argc, char** argv) {
   using namespace abft::bench;
   const auto opts = BenchOptions::parse(argc, argv);
   const auto cfg = make_config(opts);
+
+  if (opts.thread_scaling()) {
+    print_workload(opts, "Figure 5 (thread-scaling mode): structure protection");
+    if (opts.format_selected("csr")) run_scaling<CsrFormat>("csr", cfg, opts);
+    if (opts.format_selected("ell")) run_scaling<EllFormat>("ell", cfg, opts);
+    if (opts.format_selected("sell")) run_scaling<SellFormat>("sell", cfg, opts);
+    return 0;
+  }
 
   print_workload(opts, "Figure 5: structural-array protection overheads "
                        "(CSR row pointers / ELL row widths / SELL structure)");

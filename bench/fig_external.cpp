@@ -34,11 +34,13 @@ struct Options {
   unsigned threads = 1;
   const char* format = "all";
   const char* width = "auto";
+  const char* crc_impl = "auto";
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
   std::printf("usage: %s --matrix FILE [--iters N] [--reps N] [--threads N] "
-              "[--format csr|ell|sell|all] [--width 32|64|auto]\n",
+              "[--format csr|ell|sell|all] [--width 32|64|auto] "
+              "[--crc-impl auto|sw|hw]\n",
               argv0);
   std::exit(code);
 }
@@ -62,7 +64,8 @@ Options parse_options(int argc, char** argv) {
     };
     if (grab_str("--matrix", o.matrix) || grab_num("--iters", o.iters) ||
         grab_num("--reps", o.reps) || grab_num("--threads", o.threads) ||
-        grab_str("--format", o.format) || grab_str("--width", o.width)) {
+        grab_str("--format", o.format) || grab_str("--width", o.width) ||
+        grab_str("--crc-impl", o.crc_impl)) {
       continue;
     }
     if (std::strcmp(argv[i], "--help") == 0) usage(argv[0], 0);
@@ -72,6 +75,7 @@ Options parse_options(int argc, char** argv) {
   if (o.matrix == nullptr) usage(argv[0], 2);
   if (std::strcmp(o.format, "all") != 0) (void)parse_format(o.format);
   if (std::strcmp(o.width, "auto") != 0) (void)parse_index_width(o.width);
+  ecc::set_crc32c_impl(parse_crc_impl(o.crc_impl));
 #if defined(_OPENMP)
   omp_set_num_threads(static_cast<int>(o.threads == 0 ? 1 : o.threads));
 #endif

@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "abft/dispatch.hpp"
 
@@ -43,8 +44,16 @@ struct BenchOptions {
   /// Benchmarks default to a single thread: the relative ABFT overheads are
   /// the measurement target, and on a shared host multi-threaded runs are
   /// dominated by scheduler/bandwidth noise (the paper used dedicated
-  /// nodes). Pass --threads N to scale out.
+  /// nodes). Pass --threads N to scale out, or a comma list (--threads
+  /// 1,2,4) to put fig4/fig5 into thread-scaling mode: every entry is
+  /// measured and reported as machine-readable `scaling ...` lines.
   unsigned threads = 1;
+  std::vector<unsigned> thread_list{1};
+  /// CRC32C kernel selection (--crc-impl auto|sw|hw), applied process-wide
+  /// before any measurement.
+  ecc::CrcImpl crc_impl = ecc::CrcImpl::auto_detect;
+  /// SIMD batch-predicate selection (--simd-impl auto|scalar|vector), ditto.
+  ecc::SimdImpl simd_impl = ecc::SimdImpl::auto_detect;
   /// Storage-format filter for the drivers that print one series per format
   /// (fig4/fig5): "csr", "ell", "sell" or "all".
   const char* format = "all";
@@ -53,6 +62,10 @@ struct BenchOptions {
   [[nodiscard]] bool format_selected(const char* name) const {
     return std::strcmp(format, "all") == 0 || std::strcmp(format, name) == 0;
   }
+
+  /// True when --threads listed more than one count (fig4/fig5 switch from
+  /// the overhead tables to the thread-scaling series).
+  [[nodiscard]] bool thread_scaling() const { return thread_list.size() > 1; }
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -66,8 +79,41 @@ struct BenchOptions {
         return false;
       };
       if (grab("--nx", o.nx) || grab("--ny", o.ny) || grab("--steps", o.steps) ||
-          grab("--iters", o.iters) || grab("--reps", o.reps) ||
-          grab("--threads", o.threads)) {
+          grab("--iters", o.iters) || grab("--reps", o.reps)) {
+        continue;
+      }
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        o.thread_list.clear();
+        for (const char* p = argv[++i]; *p != '\0';) {
+          char* end = nullptr;
+          const unsigned long t = std::strtoul(p, &end, 10);
+          if (end == p) {
+            std::printf("bad --threads value '%s' (want N or N,N,...)\n", argv[i]);
+            std::exit(2);
+          }
+          o.thread_list.push_back(t == 0 ? 1u : static_cast<unsigned>(t));
+          p = *end == ',' ? end + 1 : end;
+        }
+        if (o.thread_list.empty()) o.thread_list.push_back(1);
+        o.threads = o.thread_list.front();
+        continue;
+      }
+      auto grab_parsed = [&](const char* flag, auto& out, auto&& parse) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          try {
+            out = parse(argv[++i]);
+          } catch (const std::invalid_argument& e) {
+            std::printf("%s\n", e.what());
+            std::exit(2);
+          }
+          return true;
+        }
+        return false;
+      };
+      if (grab_parsed("--crc-impl", o.crc_impl,
+                      [](const char* s) { return abft::parse_crc_impl(s); }) ||
+          grab_parsed("--simd-impl", o.simd_impl,
+                      [](const char* s) { return abft::parse_simd_impl(s); })) {
         continue;
       }
       if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
@@ -84,7 +130,8 @@ struct BenchOptions {
       }
       if (std::strcmp(argv[i], "--help") == 0) {
         std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
-                    "[--threads N] [--format csr|ell|sell|all]\n",
+                    "[--threads N[,N,...]] [--crc-impl auto|sw|hw] "
+                    "[--simd-impl auto|scalar|vector] [--format csr|ell|sell|all]\n",
                     argv[0]);
         std::exit(0);
       }
@@ -92,9 +139,38 @@ struct BenchOptions {
 #if defined(_OPENMP)
     omp_set_num_threads(static_cast<int>(o.threads == 0 ? 1 : o.threads));
 #endif
+    ecc::set_crc32c_impl(o.crc_impl);
+    ecc::set_simd_impl(o.simd_impl);
     return o;
   }
 };
+
+/// Run \p fn once per --threads entry with the OMP thread count applied, then
+/// restore the first entry. Without OpenMP every entry runs single-threaded
+/// (the lines still print, with the requested count, so parsers need no
+/// special case — the measured times simply will not scale).
+template <class Fn>
+void for_each_thread_count(const BenchOptions& o, Fn&& fn) {
+  for (const unsigned t : o.thread_list) {
+#if defined(_OPENMP)
+    omp_set_num_threads(static_cast<int>(t));
+#endif
+    fn(t);
+  }
+#if defined(_OPENMP)
+  omp_set_num_threads(static_cast<int>(o.threads == 0 ? 1 : o.threads));
+#endif
+}
+
+/// One machine-readable thread-scaling sample: `scaling` lines are stable
+/// key=value records for scripts (everything human-facing stays on `#`/table
+/// rows, so grep '^scaling ' extracts the series).
+inline void print_scaling_row(const char* format, const char* scheme,
+                              unsigned threads, double seconds, double t1_seconds) {
+  std::printf("scaling format=%s scheme=%s threads=%u seconds=%.6f speedup=%.3f\n",
+              format, scheme, threads, seconds,
+              seconds > 0.0 ? t1_seconds / seconds : 0.0);
+}
 
 /// The paper's benchmark deck (two-material TeaLeaf problem) at the
 /// requested scale, with a fixed per-step iteration budget.

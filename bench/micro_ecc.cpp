@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "abft/element_schemes.hpp"
 #include "common/rng.hpp"
 #include "ecc/ecc.hpp"
 
@@ -91,21 +92,85 @@ void BM_Crc32cHardware(benchmark::State& state) {
 BENCHMARK(BM_Crc32cHardware)->Arg(12)->Arg(60)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_Crc32cCorrectSingleBit(benchmark::State& state) {
-  // Cold recovery path: brute-force correction over a 60-byte row codeword
-  // (5 CSR elements, TeaLeaf's stencil width).
+  // Cold recovery path: syndrome-sweep correction. 60 bytes is one CSR row
+  // codeword (5 elements, TeaLeaf's stencil width); 768 bytes is one
+  // 64-slot slab tile at 32-bit indices, the crc32c-tile codeword.
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
   Xoshiro256 rng(6);
-  std::vector<std::uint8_t> buf(60);
+  std::vector<std::uint8_t> buf(len);
   for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
   const auto stored = crc32c(buf.data(), buf.size());
   for (auto _ : state) {
     state.PauseTiming();
     auto corrupted = buf;
-    corrupted[17] ^= 0x10;
+    corrupted[len / 3] ^= 0x10;
     state.ResumeTiming();
     benchmark::DoNotOptimize(crc32c_correct_single_bit(corrupted, stored));
   }
 }
-BENCHMARK(BM_Crc32cCorrectSingleBit);
+BENCHMARK(BM_Crc32cCorrectSingleBit)->Arg(60)->Arg(768);
+
+/// Batch clean-codeword predicates (the slab SpMV fast path) at a forced
+/// implementation: `scalar` is the plain loop, `vector` the AVX2 kernel
+/// (skipped with a notice when the CPU lacks AVX2). Both return the same
+/// predicate bit-for-bit; the interesting number is bytes/second over the
+/// value + column arrays.
+template <class ES>
+void batch_clean_bench(benchmark::State& state, SimdImpl impl) {
+  using Index = typename ES::index_type;
+  if (impl == SimdImpl::vector && !simd_avx2_available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(7);
+  std::vector<double> vals(n);
+  std::vector<Index> cols(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vals[i] = static_cast<double>(rng() >> 11) * 0x1p-53;
+    cols[i] = static_cast<Index>(rng()) & ES::kColMask;
+    ES::encode(vals[i], cols[i]);
+  }
+  const SimdImpl prev = current_simd_impl();
+  set_simd_impl(impl);
+  for (auto _ : state) {
+    bool clean;
+    if constexpr (ES::kScheme == Scheme::sed) {
+      clean = sed_elements_clean(vals.data(), cols.data(), n);
+    } else {
+      clean = secded_elements_clean(vals.data(), cols.data(), n);
+    }
+    benchmark::DoNotOptimize(clean);
+  }
+  set_simd_impl(prev);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * n * (sizeof(double) + sizeof(Index))));
+}
+
+void BM_SedBatchCleanScalar(benchmark::State& state) {
+  batch_clean_bench<schemes::ElemSed<std::uint32_t>>(state, SimdImpl::scalar);
+}
+void BM_SedBatchCleanVector(benchmark::State& state) {
+  batch_clean_bench<schemes::ElemSed<std::uint32_t>>(state, SimdImpl::vector);
+}
+void BM_SecdedBatchCleanScalar(benchmark::State& state) {
+  batch_clean_bench<schemes::ElemSecded<std::uint32_t>>(state, SimdImpl::scalar);
+}
+void BM_SecdedBatchCleanVector(benchmark::State& state) {
+  batch_clean_bench<schemes::ElemSecded<std::uint32_t>>(state, SimdImpl::vector);
+}
+void BM_SecdedBatchCleanScalar64(benchmark::State& state) {
+  batch_clean_bench<schemes::ElemSecded<std::uint64_t>>(state, SimdImpl::scalar);
+}
+void BM_SecdedBatchCleanVector64(benchmark::State& state) {
+  batch_clean_bench<schemes::ElemSecded<std::uint64_t>>(state, SimdImpl::vector);
+}
+BENCHMARK(BM_SedBatchCleanScalar)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SedBatchCleanVector)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SecdedBatchCleanScalar)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SecdedBatchCleanVector)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SecdedBatchCleanScalar64)->Arg(64)->Arg(4096);
+BENCHMARK(BM_SecdedBatchCleanVector64)->Arg(64)->Arg(4096);
 
 }  // namespace
 

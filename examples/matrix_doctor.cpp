@@ -31,6 +31,10 @@
 #include <string>
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 #include "abft/abft.hpp"
 #include "faults/campaign.hpp"
 #include "faults/injector.hpp"
@@ -224,7 +228,10 @@ struct DoctorOptions {
       "                  pipeline mode, 50 in classic mode)\n"
       "  --seed N        RNG seed (default 1)\n"
       "  --campaign N    additionally run an N-trial fault-injection\n"
-      "                  campaign on the loaded matrix (pipeline mode)\n",
+      "                  campaign on the loaded matrix (pipeline mode)\n"
+      "  --crc-impl I    auto, sw or hw CRC32C kernel (default auto)\n"
+      "  --threads N     OpenMP thread count for the protected kernels\n"
+      "                  (accepted but moot without OpenMP)\n",
       argv0, argv0);
   std::exit(code);
 }
@@ -358,6 +365,21 @@ int main(int argc, char** argv) {
     const char* num = nullptr;
     if (grab_str("--matrix", o.matrix) || grab_str("--format", o.format) ||
         grab_str("--scheme", o.scheme) || grab_str("--width", o.width)) {
+      continue;
+    }
+    if (grab_str("--crc-impl", num)) {
+      try {
+        ecc::set_crc32c_impl(parse_crc_impl(num));
+      } catch (const std::invalid_argument& e) {
+        std::printf("%s\n", e.what());
+        usage(argv[0], 2);
+      }
+      continue;
+    }
+    if (grab_str("--threads", num)) {
+#if defined(_OPENMP)
+      omp_set_num_threads(static_cast<int>(std::strtoul(num, nullptr, 10)));
+#endif
       continue;
     }
     if (grab_str("--flips", num)) {

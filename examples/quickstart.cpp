@@ -4,7 +4,8 @@
 /// bit, and watch the solve survive.
 ///
 /// Usage: quickstart [scheme] [width] [--format csr|ell|sell|all]
-///                   [--matrix file.mtx]
+///                   [--matrix file.mtx] [--crc-impl auto|sw|hw]
+///                   [--threads N]
 ///   scheme: none|sed|secded64|secded128|crc32c|crc32c-tile   (default
 ///           secded64; crc32c-tile is the slab formats' unit-stride layout
 ///           and is unavailable on csr)
@@ -15,9 +16,15 @@
 ///           Laplacian — the io/ ingestion pipeline (matrix_doctor --matrix
 ///           runs the same loader with analysis and a format advisor on top)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 #include "abft/abft.hpp"
 #include "common/fault_log.hpp"
@@ -102,6 +109,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       matrix_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--crc-impl") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--crc-impl requires a value (auto, sw or hw)\n");
+        return 2;
+      }
+      try {
+        ecc::set_crc32c_impl(abft::parse_crc_impl(argv[++i]));
+      } catch (const std::invalid_argument& e) {
+        std::printf("%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--threads requires a thread count\n");
+        return 2;
+      }
+#if defined(_OPENMP)
+      omp_set_num_threads(
+          static_cast<int>(std::strtoul(argv[++i], nullptr, 10)));
+#else
+      ++i;  // accepted but moot without OpenMP
+#endif
     } else if (positional == 0) {
       scheme_name = argv[i];
       ++positional;
@@ -145,12 +174,19 @@ int main(int argc, char** argv) {
   //    protection layer saw. secded128 demonstrates width-aware dispatch: it
   //    is a real 128-bit element codeword at 64-bit width and a clear error
   //    at 32-bit.
-  const ecc::Scheme scheme = abft::parse_scheme(scheme_name);
-  const bool both_widths = std::strcmp(width_name, "both") == 0;
-  if (!both_widths) (void)abft::parse_index_width(width_name);  // reject typos loudly
-  const bool both_formats = std::strcmp(format_name, "both") == 0 ||
-                            std::strcmp(format_name, "all") == 0;
-  if (!both_formats) (void)abft::parse_format(format_name);
+  ecc::Scheme scheme;
+  bool both_widths, both_formats;
+  try {
+    scheme = abft::parse_scheme(scheme_name);
+    both_widths = std::strcmp(width_name, "both") == 0;
+    if (!both_widths) (void)abft::parse_index_width(width_name);  // reject typos loudly
+    both_formats = std::strcmp(format_name, "both") == 0 ||
+                   std::strcmp(format_name, "all") == 0;
+    if (!both_formats) (void)abft::parse_format(format_name);
+  } catch (const std::invalid_argument& e) {
+    std::printf("%s\n", e.what());
+    return 2;
+  }
   const auto run_combo = [&](abft::MatrixFormat format, abft::IndexWidth width) {
     try {
       run_protected_solve(a, format, width, scheme);

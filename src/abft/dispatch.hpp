@@ -23,7 +23,9 @@
 #include "abft/row_schemes.hpp"
 #include "abft/scheme_errors.hpp"
 #include "abft/vector_schemes.hpp"
+#include "ecc/crc32c.hpp"
 #include "ecc/scheme.hpp"
+#include "ecc/simd.hpp"
 
 namespace abft {
 
@@ -323,6 +325,50 @@ template <class Range, class ToString>
   }
   throw std::invalid_argument(detail::unknown_name_message(
       "matrix format", name, kAllFormats, [](auto f) { return to_string(f); }));
+}
+
+/// Every selectable CRC32C kernel, in declaration order.
+inline constexpr ecc::CrcImpl kAllCrcImpls[] = {
+    ecc::CrcImpl::auto_detect, ecc::CrcImpl::software, ecc::CrcImpl::hardware};
+
+[[nodiscard]] constexpr std::string_view to_string(ecc::CrcImpl impl) noexcept {
+  switch (impl) {
+    case ecc::CrcImpl::auto_detect: return "auto";
+    case ecc::CrcImpl::software: return "sw";
+    case ecc::CrcImpl::hardware: return "hw";
+  }
+  return "?";
+}
+
+/// Parse a CRC32C kernel selection ("auto", "sw" or "hw").
+[[nodiscard]] inline ecc::CrcImpl parse_crc_impl(std::string_view name) {
+  for (const auto impl : kAllCrcImpls) {
+    if (to_string(impl) == name) return impl;
+  }
+  throw std::invalid_argument(detail::unknown_name_message(
+      "crc impl", name, kAllCrcImpls, [](auto i) { return to_string(i); }));
+}
+
+/// Every selectable SIMD batch-predicate implementation, in declaration order.
+inline constexpr ecc::SimdImpl kAllSimdImpls[] = {
+    ecc::SimdImpl::auto_detect, ecc::SimdImpl::scalar, ecc::SimdImpl::vector};
+
+[[nodiscard]] constexpr std::string_view to_string(ecc::SimdImpl impl) noexcept {
+  switch (impl) {
+    case ecc::SimdImpl::auto_detect: return "auto";
+    case ecc::SimdImpl::scalar: return "scalar";
+    case ecc::SimdImpl::vector: return "vector";
+  }
+  return "?";
+}
+
+/// Parse a SIMD batch-predicate selection ("auto", "scalar" or "vector").
+[[nodiscard]] inline ecc::SimdImpl parse_simd_impl(std::string_view name) {
+  for (const auto impl : kAllSimdImpls) {
+    if (to_string(impl) == name) return impl;
+  }
+  throw std::invalid_argument(detail::unknown_name_message(
+      "simd impl", name, kAllSimdImpls, [](auto i) { return to_string(i); }));
 }
 
 }  // namespace abft

@@ -10,10 +10,31 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <unordered_set>
 
 #include "common/fault_log.hpp"
 
 namespace abft {
+
+/// At-most-once arbitration for *corrected* reports on shared read-only data
+/// (the x vector of the parallel SpMV). Two threads may race to decode the
+/// same faulty codeword group before either's repair lands; both corrections
+/// write identical bytes, but a naive capture would count the event twice.
+/// Claiming here is strictly a cold path — clean decodes never touch it — so
+/// a mutex-protected set costs nothing per pass and no memory per vector.
+class CorrectedOnce {
+ public:
+  /// True exactly once per distinct \p group across all threads.
+  [[nodiscard]] bool claim(std::size_t group) {
+    const std::scoped_lock lock(mu_);
+    return claimed_.insert(group).second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_set<std::size_t> claimed_;
+};
 
 /// Lock-free accumulator of check outcomes raised inside a parallel kernel.
 class ErrorCapture {
@@ -38,6 +59,26 @@ class ErrorCapture {
 
   void add_checks(std::uint64_t n) noexcept {
     checks_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Fold \p other into this capture: counters add, first-fault exemplars
+  /// take the minimum packed (region, index) key. Both operations are
+  /// commutative and associative, so merging per-thread captures in any
+  /// order yields the same result — the basis for the cross-thread-count
+  /// determinism guarantee of the parallel kernels.
+  void merge_from(const ErrorCapture& other) noexcept {
+    checks_.fetch_add(other.checks_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    corrected_.fetch_add(other.corrected_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    uncorrectable_.fetch_add(other.uncorrectable_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    bounds_.fetch_add(other.bounds_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    note_min(first_corrected_, other.first_corrected_.load(std::memory_order_relaxed));
+    note_min(first_uncorrectable_,
+             other.first_uncorrectable_.load(std::memory_order_relaxed));
+    note_min(first_bounds_, other.first_bounds_.load(std::memory_order_relaxed));
   }
 
   [[nodiscard]] bool clean() const noexcept {
@@ -90,13 +131,23 @@ class ErrorCapture {
  private:
   static constexpr std::uint64_t kUnset = ~std::uint64_t{0};
 
+  /// Keep the lowest packed (region, index) key in \p slot. A plain
+  /// first-writer-wins CAS would make the exemplar depend on thread timing;
+  /// the minimum is the same no matter how work is split across threads
+  /// (kUnset is all-ones, so an empty slot loses to any real key).
+  static void note_min(std::atomic<std::uint64_t>& slot, std::uint64_t packed) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (packed < cur &&
+           !slot.compare_exchange_weak(cur, packed, std::memory_order_relaxed)) {
+    }
+  }
+
   static void note_first(std::atomic<std::uint64_t>& slot, Region region,
                          std::size_t index) noexcept {
-    std::uint64_t expected = kUnset;
     const std::uint64_t packed =
         (static_cast<std::uint64_t>(region) << 56) |
         (static_cast<std::uint64_t>(index) & ((std::uint64_t{1} << 56) - 1));
-    slot.compare_exchange_strong(expected, packed, std::memory_order_relaxed);
+    note_min(slot, packed);
   }
 
   [[nodiscard]] static Region unpack_region(const std::atomic<std::uint64_t>& slot) noexcept {

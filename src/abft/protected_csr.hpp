@@ -177,32 +177,54 @@ class ProtectedCsr {
     p.nnz_ = a.nnz();
     p.log_ = log;
     p.policy_ = policy;
-    p.values_.assign(a.values().begin(), a.values().end());
-    p.cols_.assign(a.cols().begin(), a.cols().end());
+
+    // Elements: copy + encode in the same aligned 64-row static partition the
+    // SpMV drivers later read with. The storage is uninitialised until this
+    // loop writes it, so on a first-touch NUMA policy each page lands on the
+    // node of the thread that will stream it.
+    p.values_.resize(p.nnz_);
+    p.cols_.resize(p.nnz_);
+    const std::size_t nrows = a.nrows();
+    constexpr std::size_t kChunk = detail::kSpmvChunkRows;
+    const std::size_t nchunks = (nrows + kChunk - 1) / kChunk;
+#pragma omp parallel for schedule(static) if (nrows >= kParallelRows)
+    for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+      const std::size_t r0 = static_cast<std::size_t>(ci) * kChunk;
+      const std::size_t r1 = std::min(r0 + kChunk, nrows);
+      const std::size_t k0 = a.row_ptr()[r0];
+      const std::size_t k1 = a.row_ptr()[r1];
+      std::copy(a.values().begin() + k0, a.values().begin() + k1, p.values_.begin() + k0);
+      std::copy(a.cols().begin() + k0, a.cols().begin() + k1, p.cols_.begin() + k0);
+      if constexpr (ES::kRowGranular) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::size_t begin = a.row_ptr()[r];
+          const std::size_t end = a.row_ptr()[r + 1];
+          ES::encode_row(p.values_.data() + begin, p.cols_.data() + begin, end - begin);
+        }
+      } else {
+        for (std::size_t k = k0; k < k1; ++k) {
+          ES::encode(p.values_[k], p.cols_[k]);
+        }
+      }
+    }
 
     // Row pointers: pad the storage to a whole number of groups; padding
     // entries hold NNZ (a valid offset) so every group encodes cleanly.
+    // Encoded straight from the source so each group is written exactly once
+    // (first touch again, in the readers' static group order).
     const std::size_t len = a.nrows() + 1;
     const std::size_t padded = (len + RS::kGroup - 1) / RS::kGroup * RS::kGroup;
-    p.row_ptr_.assign(padded, static_cast<index_type>(a.nnz()));
-    for (std::size_t i = 0; i < len; ++i) p.row_ptr_[i] = a.row_ptr()[i];
-    for (std::size_t g = 0; g < padded / RS::kGroup; ++g) {
+    p.row_ptr_.resize(padded);
+    const std::size_t ngroups = padded / RS::kGroup;
+#pragma omp parallel for schedule(static) if (ngroups >= kParallelRows)
+    for (std::int64_t gi = 0; gi < static_cast<std::int64_t>(ngroups); ++gi) {
       index_type group[RS::kGroup];
-      for (std::size_t e = 0; e < RS::kGroup; ++e) group[e] = p.row_ptr_[g * RS::kGroup + e];
-      RS::encode_group(group, p.row_ptr_.data() + g * RS::kGroup);
-    }
-
-    // Elements.
-    if constexpr (ES::kRowGranular) {
-      for (std::size_t r = 0; r < p.nrows_; ++r) {
-        const auto begin = a.row_ptr()[r];
-        const auto end = a.row_ptr()[r + 1];
-        ES::encode_row(p.values_.data() + begin, p.cols_.data() + begin, end - begin);
+      for (std::size_t e = 0; e < RS::kGroup; ++e) {
+        const std::size_t i = static_cast<std::size_t>(gi) * RS::kGroup + e;
+        group[e] = i < len ? a.row_ptr()[i] : static_cast<index_type>(a.nnz());
       }
-    } else {
-      for (std::size_t k = 0; k < p.nnz_; ++k) {
-        ES::encode(p.values_[k], p.cols_[k]);
-      }
+      RS::encode_group(group,
+                       p.row_ptr_.data() + static_cast<std::size_t>(gi) * RS::kGroup);
     }
     return p;
   }
@@ -422,12 +444,16 @@ class ProtectedCsr {
     return outcome == CheckOutcome::uncorrectable ? 1 : 0;
   }
 
+  /// Serial-encode threshold: matrices below it (every unit-test case) are
+  /// not worth a fork-join, and first touch only matters at page scale.
+  static constexpr std::size_t kParallelRows = std::size_t{1} << 14;
+
   std::size_t nrows_ = 0;
   std::size_t ncols_ = 0;
   std::size_t nnz_ = 0;
-  aligned_vector<double> values_;
-  aligned_vector<index_type> cols_;
-  aligned_vector<index_type> row_ptr_;
+  aligned_uninit_vector<double> values_;
+  aligned_uninit_vector<index_type> cols_;
+  aligned_uninit_vector<index_type> row_ptr_;
   FaultLog* log_ = nullptr;
   DuePolicy policy_ = DuePolicy::throw_exception;
 };
@@ -470,6 +496,13 @@ class RowPtrReader {
     return m_->raw_row_ptr()[i] & RS::kValueMask;
   }
 
+  /// Drop the cached group. Called at every chunk boundary so the decode
+  /// (and check-count) pattern is a pure function of the chunk, not of which
+  /// chunks happen to share a thread — row r+1 of a chunk's last row lives
+  /// in the next chunk's first group, so without this a 1-thread pass would
+  /// count fewer decodes than an n-thread pass.
+  void invalidate() noexcept { cached_group_ = static_cast<std::size_t>(-1); }
+
   void flush_checks() noexcept {
     if (local_checks_ > 0) {
       capture_->add_checks(local_checks_);
@@ -495,7 +528,14 @@ class CsrRowCursor {
  public:
   using matrix_type = ProtectedCsr<Index, ES, RS>;
 
-  CsrRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
+  /// Shared per-pass state. CSR needs none — a chunk's row streams are
+  /// private to it — but the slot keeps the cursor construction protocol
+  /// uniform across formats (the slab cursors carry a tile claim table).
+  struct pass_state {
+    explicit pass_state(matrix_type&) noexcept {}
+  };
+
+  CsrRowCursor(matrix_type& m, ErrorCapture* capture, pass_state* = nullptr) noexcept
       : capture_(capture),
         rp_(m, capture),
         values_(m.values_data()),
@@ -518,6 +558,9 @@ class CsrRowCursor {
   template <class XLoad, class Store>
   void accumulate(std::size_t first_row, std::size_t n, CheckMode mode, XLoad&& xload,
                   Store&& store) {
+    // One accumulate call is one chunk: start it cache-clean so the row
+    // pointer decode pattern is chunk-pure (cross-thread-count determinism).
+    rp_.invalidate();
     // Hot state lives in locals for the duration of the chunk; the check
     // counter is written back once so the row loop carries no member stores.
     double* const values = values_;

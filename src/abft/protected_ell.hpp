@@ -40,6 +40,7 @@
 #include "abft/tile_check.hpp"
 #include "common/aligned.hpp"
 #include "common/fault_log.hpp"
+#include "ecc/simd.hpp"
 #include "sparse/ell.hpp"
 
 namespace abft {
@@ -108,39 +109,72 @@ class ProtectedEll {
     p.nnz_ = a.nnz();
     p.log_ = log;
     p.policy_ = policy;
-    p.values_.assign(a.values().begin(), a.values().end());
-    p.cols_.assign(a.cols().begin(), a.cols().end());
+
+    // Elements: every slot (padding included) becomes a valid codeword, so
+    // integrity sweeps need no knowledge of which slots are real. The copy +
+    // encode runs over the same aligned 64-row chunks the SpMV cursor reads
+    // with (one unit-stride segment per slab column), so on a first-touch
+    // NUMA policy each thread places the pages it will later stream.
+    const std::size_t nrows = p.nrows_;
+    const std::size_t width = p.width_;
+    p.values_.resize(a.values().size());
+    p.cols_.resize(a.cols().size());
+    constexpr std::size_t kChunk = detail::kSpmvChunkRows;
+    const std::size_t nchunks = (nrows + kChunk - 1) / kChunk;
+#pragma omp parallel for schedule(static) if (nrows >= kParallelRows)
+    for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+      const std::size_t r0 = static_cast<std::size_t>(ci) * kChunk;
+      const std::size_t cnt = std::min(kChunk, nrows - r0);
+      for (std::size_t j = 0; j < width; ++j) {
+        const std::size_t base = j * nrows + r0;
+        std::copy(a.values().begin() + base, a.values().begin() + base + cnt,
+                  p.values_.begin() + base);
+        std::copy(a.cols().begin() + base, a.cols().begin() + base + cnt,
+                  p.cols_.begin() + base);
+      }
+      if constexpr (ES::kRowGranular) {
+        // A row codeword only touches slots of its own row — inside the chunk.
+        for (std::size_t r = r0; r < r0 + cnt; ++r) {
+          ES::encode_row(p.values_.data() + r, p.cols_.data() + r, width, nrows);
+        }
+      } else if constexpr (!ES::kTileGranular && ES::kScheme != ecc::Scheme::none) {
+        for (std::size_t j = 0; j < width; ++j) {
+          const std::size_t base = j * nrows + r0;
+          for (std::size_t k = base; k < base + cnt; ++k) {
+            ES::encode(p.values_[k], p.cols_[k]);
+          }
+        }
+      }
+    }
+    if constexpr (ES::kTileGranular) {
+      // Unit-stride tiles over the physical slab; the width >= 4 gate above
+      // guarantees every non-empty slab has the 4 slots a checksum needs.
+      // Tiles may straddle the row chunks above, so they are encoded in a
+      // second pass after every slot value has landed.
+      const std::size_t ntiles = ES::num_tiles(p.values_.size());
+#pragma omp parallel for schedule(static) if (nrows >= kParallelRows)
+      for (std::int64_t t = 0; t < static_cast<std::int64_t>(ntiles); ++t) {
+        ES::encode_tile(p.values_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
+                        p.cols_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
+                        ES::tile_slots(static_cast<std::size_t>(t), p.values_.size()));
+      }
+    }
 
     // Row widths: pad the storage to a whole number of groups; padding
     // entries hold 0 (a valid row length) so every group encodes cleanly.
     const std::size_t padded =
         (p.nrows_ + SS::kGroup - 1) / SS::kGroup * SS::kGroup;
-    p.row_nnz_.assign(padded, 0);
-    for (std::size_t i = 0; i < p.nrows_; ++i) p.row_nnz_[i] = a.row_nnz()[i];
-    for (std::size_t g = 0; g < padded / SS::kGroup; ++g) {
+    p.row_nnz_.resize(padded);
+    const std::size_t ngroups = padded / SS::kGroup;
+#pragma omp parallel for schedule(static) if (ngroups >= kParallelRows)
+    for (std::int64_t gi = 0; gi < static_cast<std::int64_t>(ngroups); ++gi) {
       index_type group[SS::kGroup];
-      for (std::size_t e = 0; e < SS::kGroup; ++e) group[e] = p.row_nnz_[g * SS::kGroup + e];
-      SS::encode_group(group, p.row_nnz_.data() + g * SS::kGroup);
-    }
-
-    // Elements: every slot (padding included) becomes a valid codeword, so
-    // integrity sweeps need no knowledge of which slots are real.
-    if constexpr (ES::kTileGranular) {
-      // Unit-stride tiles over the physical slab; the width >= 4 gate above
-      // guarantees every non-empty slab has the 4 slots a checksum needs.
-      for (std::size_t t = 0; t < ES::num_tiles(p.values_.size()); ++t) {
-        ES::encode_tile(p.values_.data() + ES::tile_begin(t),
-                        p.cols_.data() + ES::tile_begin(t),
-                        ES::tile_slots(t, p.values_.size()));
+      for (std::size_t e = 0; e < SS::kGroup; ++e) {
+        const std::size_t i = static_cast<std::size_t>(gi) * SS::kGroup + e;
+        group[e] = i < nrows ? a.row_nnz()[i] : index_type{0};
       }
-    } else if constexpr (ES::kRowGranular) {
-      for (std::size_t r = 0; r < p.nrows_; ++r) {
-        ES::encode_row(p.values_.data() + r, p.cols_.data() + r, p.width_, p.nrows_);
-      }
-    } else {
-      for (std::size_t k = 0; k < p.values_.size(); ++k) {
-        ES::encode(p.values_[k], p.cols_[k]);
-      }
+      SS::encode_group(group,
+                       p.row_nnz_.data() + static_cast<std::size_t>(gi) * SS::kGroup);
     }
     return p;
   }
@@ -359,13 +393,17 @@ class ProtectedEll {
     return outcome == CheckOutcome::uncorrectable ? 1 : 0;
   }
 
+  /// Serial-encode threshold: matrices below it (every unit-test case) are
+  /// not worth a fork-join, and first touch only matters at page scale.
+  static constexpr std::size_t kParallelRows = std::size_t{1} << 14;
+
   std::size_t nrows_ = 0;
   std::size_t ncols_ = 0;
   std::size_t width_ = 0;
   std::size_t nnz_ = 0;
-  aligned_vector<double> values_;
-  aligned_vector<index_type> cols_;
-  aligned_vector<index_type> row_nnz_;
+  aligned_uninit_vector<double> values_;
+  aligned_uninit_vector<index_type> cols_;
+  aligned_uninit_vector<index_type> row_nnz_;
   FaultLog* log_ = nullptr;
   DuePolicy policy_ = DuePolicy::throw_exception;
 };
@@ -409,6 +447,11 @@ class RowWidthReader {
     return m_->row_nnz_bounds_only(i);
   }
 
+  /// Drop the cached group. Called at every chunk boundary so the decode
+  /// (and check-count) pattern is a pure function of the chunk, not of which
+  /// chunks happen to share a thread (cross-thread-count determinism).
+  void invalidate() noexcept { cached_group_ = static_cast<std::size_t>(-1); }
+
   void flush_checks() noexcept {
     if (local_checks_ > 0) {
       capture_->add_checks(local_checks_);
@@ -440,11 +483,28 @@ class EllRowCursor {
  public:
   using matrix_type = ProtectedEll<Index, ES, SS>;
 
-  EllRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
+  /// Shared per-pass state: the tile-decode claim table that arbitrates
+  /// chunk-straddling tiles between threads (see TileClaimTable). Construct
+  /// one before the parallel region and pass it to every thread's cursor;
+  /// empty (and free) for non-tile element schemes.
+  struct pass_state {
+    explicit pass_state(matrix_type& m) {
+      if constexpr (ES::kTileGranular) {
+        claims.reset(ES::num_tiles(m.raw_values().size()));
+      } else {
+        (void)m;
+      }
+    }
+    TileClaimTable claims;
+  };
+
+  EllRowCursor(matrix_type& m, ErrorCapture* capture,
+               pass_state* pass = nullptr) noexcept
       : capture_(capture),
         rw_(m, capture),
         tiles_(m.values_data(), m.cols_data(), m.raw_values().size(),
-               Region::ell_values, capture),
+               Region::ell_values, capture,
+               pass != nullptr ? &pass->claims : nullptr),
         values_(m.values_data()),
         cols_(m.cols_data()),
         nrows_(m.nrows()),
@@ -463,6 +523,11 @@ class EllRowCursor {
   template <class XLoad, class Store>
   void accumulate(std::size_t first_row, std::size_t n, CheckMode mode, XLoad&& xload,
                   Store&& store) {
+    // One accumulate call is one chunk: start it cache-clean so the
+    // row-width decode pattern is chunk-pure (cross-thread-count
+    // determinism — the group is chunk-aligned today, but only because
+    // every kGroup divides the chunk size; don't let that be load-bearing).
+    rw_.invalidate();
     double block[kBlock];
     for (std::size_t done = 0; done < n; done += kBlock) {
       const std::size_t count = std::min(kBlock, n - done);
@@ -541,6 +606,35 @@ class EllRowCursor {
       if (mode == CheckMode::full) {
         for (std::size_t j = 0; j < max_rl; ++j) {
           const std::size_t base = j * nrows_ + row0;
+          // Whole slab columns (every row in the block reaches slot j) are
+          // contiguous runs of element codewords: ask the batch predicate —
+          // SIMD when the CPU has it — whether the whole run is clean. On
+          // the fault-free fast path that replaces n per-element decodes
+          // with one sweep; values are already plain and columns only need
+          // masking, so the accumulate matches the decode loop bit-for-bit,
+          // and the n checks it stands in for are counted in bulk. A dirty
+          // run falls through to the per-element decoder below for the
+          // identical corrections, records and counts the serial path makes.
+          if (j < min_rl) {
+            bool clean;
+            if constexpr (ES::kScheme == ecc::Scheme::sed) {
+              clean = ecc::sed_elements_clean(values_ + base, cols_ + base, n);
+            } else {
+              clean = ecc::secded_elements_clean(values_ + base, cols_ + base, n);
+            }
+            if (clean) {
+              checks_ += n;
+              for (std::size_t i = 0; i < n; ++i) {
+                const Index c = cols_[base + i] & ES::kColMask;
+                if (c >= ncols_) [[unlikely]] {
+                  capture_->record_bounds(Region::ell_cols, base + i);
+                  continue;
+                }
+                out[i] += values_[base + i] * xload(c);
+              }
+              continue;
+            }
+          }
           for (std::size_t i = 0; i < n; ++i) {
             if (j >= rl[i]) continue;
             double v;

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "abft/check_policy.hpp"
 #include "abft/format_traits.hpp"
@@ -93,57 +94,98 @@ void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
   const std::size_t nrows = a.nrows();
   ErrorCapture capture;    // matrix-region outcomes (cursor checks)
   ErrorCapture x_capture;  // x's dense-vector group decodes
+  // Shared per-pass state: tile-decode arbitration for slab formats (empty
+  // for CSR) and at-most-once corrected reporting for the shared x vector.
+  typename MatrixTraits<PM>::cursor_type::pass_state pass(a);
+  CorrectedOnce x_once;
 
 #pragma omp parallel
   {
-    typename MatrixTraits<PM>::cursor_type cursor(a, &capture);
-    GroupReader<VS, 8> xr(x, &x_capture);
-    const auto xload = [&](auto c) { return xr.get(static_cast<std::size_t>(c)); };
+    ErrorCapture local;    // this thread's matrix outcomes
+    ErrorCapture x_local;  // this thread's x outcomes
+    {
+      typename MatrixTraits<PM>::cursor_type cursor(a, &local, &pass);
+      GroupReader<VS, 8> xr(x, &x_local, &x_once);
+      const double* const xdata = x.data();
+      const auto xload = [&](auto c) {
+        if constexpr (VS::kScheme == ecc::Scheme::none) {
+          // Unprotected x: single-entry groups with no redundancy bits —
+          // a direct gather the compiler can vectorise, no cache, no checks.
+          return xdata[static_cast<std::size_t>(c)];
+        } else {
+          return xr.get(static_cast<std::size_t>(c));
+        }
+      };
 
 #pragma omp for schedule(static)
-    for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
-      const std::size_t row0 = static_cast<std::size_t>(ci) * kChunkRows;
-      const std::size_t count = row0 < nrows ? std::min(kChunkRows, nrows - row0) : 0;
-      if constexpr (G == 1) {
-        // Single-entry vector codewords: encode each row sum straight from
-        // the register (no intermediate buffer; storage has no padding rows).
-        cursor.accumulate(row0, count, mode, xload, [&](std::size_t i, double v) {
-          VS::encode_group(&v, y.data() + row0 + i);
-        });
-      } else {
-        double sums[kChunkRows] = {};  // group-padding rows stay zero
-        cursor.accumulate(row0, count, mode, xload,
-                          [&](std::size_t i, double v) { sums[i] = v; });
-        const std::size_t g0 = static_cast<std::size_t>(ci) * kGroupsPerChunk;
-        const std::size_t gend = std::min(g0 + kGroupsPerChunk, ngroups);
-        for (std::size_t g = g0; g < gend; ++g) {
-          VS::encode_group(sums + (g - g0) * G, y.data() + g * G);
+      for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+        // Dropping cached x groups at every chunk boundary makes the decode
+        // (and check-count) pattern a pure function of the chunk, not of
+        // which chunks share a thread — the cross-thread-count determinism
+        // of x's accounting hangs on this.
+        if constexpr (VS::kScheme != ecc::Scheme::none) xr.invalidate();
+        const std::size_t row0 = static_cast<std::size_t>(ci) * kChunkRows;
+        const std::size_t count = row0 < nrows ? std::min(kChunkRows, nrows - row0) : 0;
+        if constexpr (G == 1) {
+          // Single-entry vector codewords: encode each row sum straight from
+          // the register (no intermediate buffer; storage has no padding rows).
+          cursor.accumulate(row0, count, mode, xload, [&](std::size_t i, double v) {
+            VS::encode_group(&v, y.data() + row0 + i);
+          });
+        } else {
+          double sums[kChunkRows] = {};  // group-padding rows stay zero
+          cursor.accumulate(row0, count, mode, xload,
+                            [&](std::size_t i, double v) { sums[i] = v; });
+          const std::size_t g0 = static_cast<std::size_t>(ci) * kGroupsPerChunk;
+          const std::size_t gend = std::min(g0 + kGroupsPerChunk, ngroups);
+          for (std::size_t g = g0; g < gend; ++g) {
+            VS::encode_group(sums + (g - g0) * G, y.data() + g * G);
+          }
         }
       }
-    }
+    }  // cursor / reader destructors flush their check counters
+    capture.merge_from(local);
+    x_capture.merge_from(x_local);
   }
   detail::commit_each({{&capture, a.fault_log(), a.due_policy()},
                        {&x_capture, x.fault_log(), x.due_policy()}});
 }
 
 /// Dot product of two protected vectors (decodes each group once).
+///
+/// The reduction is a fixed-order two-level sum: each aligned block of
+/// kDotBlockGroups codeword groups is summed serially into one partial, and
+/// the partials are folded serially afterwards. The block an element falls in
+/// — and therefore every rounding step — depends only on its index, so the
+/// result is bit-identical at any thread count (an `omp reduction` combines
+/// per-thread sums in whatever order threads finish).
 template <class VS>
 [[nodiscard]] double dot(ProtectedVector<VS>& a, ProtectedVector<VS>& b) {
   if (a.size() != b.size()) throw std::invalid_argument("dot: dimension mismatch");
   constexpr std::size_t G = VS::kGroup;
+  constexpr std::size_t kDotBlockGroups = detail::kSpmvChunkRows;
   const std::size_t ngroups = a.groups();
+  const std::size_t nblocks = (ngroups + kDotBlockGroups - 1) / kDotBlockGroups;
   ErrorCapture ca, cb;
-  double sum = 0.0;
+  std::vector<double> partials(nblocks, 0.0);
 
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-  for (std::int64_t g = 0; g < static_cast<std::int64_t>(ngroups); ++g) {
-    double va[G], vb[G];
-    const auto oa = VS::decode_group(a.data() + static_cast<std::size_t>(g) * G, va);
-    const auto ob = VS::decode_group(b.data() + static_cast<std::size_t>(g) * G, vb);
-    ca.record(Region::dense_vector, oa, static_cast<std::size_t>(g));
-    cb.record(Region::dense_vector, ob, static_cast<std::size_t>(g));
-    for (std::size_t e = 0; e < G; ++e) sum += va[e] * vb[e];
+#pragma omp parallel for schedule(static)
+  for (std::int64_t bi = 0; bi < static_cast<std::int64_t>(nblocks); ++bi) {
+    const std::size_t g0 = static_cast<std::size_t>(bi) * kDotBlockGroups;
+    const std::size_t gend = std::min(g0 + kDotBlockGroups, ngroups);
+    double acc = 0.0;
+    for (std::size_t g = g0; g < gend; ++g) {
+      double va[G], vb[G];
+      const auto oa = VS::decode_group(a.data() + g * G, va);
+      const auto ob = VS::decode_group(b.data() + g * G, vb);
+      ca.record(Region::dense_vector, oa, g);
+      cb.record(Region::dense_vector, ob, g);
+      for (std::size_t e = 0; e < G; ++e) acc += va[e] * vb[e];
+    }
+    partials[static_cast<std::size_t>(bi)] = acc;
   }
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
   ca.add_checks(ngroups);
   cb.add_checks(ngroups);
   detail::commit_each({{&ca, a.fault_log(), a.due_policy()},

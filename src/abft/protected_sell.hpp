@@ -148,8 +148,6 @@ class ProtectedSell {
     p.nnz_ = a.nnz();
     p.log_ = log;
     p.policy_ = policy;
-    p.values_.assign(a.values().begin(), a.values().end());
-    p.cols_.assign(a.cols().begin(), a.cols().end());
     p.slice_ptr_.assign(a.slice_ptr().begin(), a.slice_ptr().end());
     p.seen_epoch_.assign(p.nrows_, 0);
     p.inv_perm_.assign(p.nrows_, 0);
@@ -181,27 +179,44 @@ class ProtectedSell {
 
     // Elements: every slot of every slice (padding and virtual rows
     // included) becomes a valid codeword, so integrity sweeps need no
-    // knowledge of which slots are real.
+    // knowledge of which slots are real. Each slice's slab is one contiguous
+    // segment, so a static parallel loop over slices copies + encodes in the
+    // same order the SpMV cursor streams — the first touch of every slab
+    // page lands on the node of the thread that will read it.
+    p.values_.resize(a.values().size());
+    p.cols_.resize(a.cols().size());
+    const std::size_t nslices = p.nslices_;
+#pragma omp parallel for schedule(static) if (p.nrows_ >= kParallelRows)
+    for (std::int64_t si = 0; si < static_cast<std::int64_t>(nslices); ++si) {
+      const std::size_t s = static_cast<std::size_t>(si);
+      const std::size_t k0 = p.slice_ptr_[s];
+      const std::size_t k1 = p.slice_ptr_[s + 1];
+      std::copy(a.values().begin() + k0, a.values().begin() + k1,
+                p.values_.begin() + k0);
+      std::copy(a.cols().begin() + k0, a.cols().begin() + k1, p.cols_.begin() + k0);
+      if constexpr (ES::kRowGranular) {
+        const std::size_t width = a.slice_width(s);
+        for (std::size_t e = 0; e < p.slice_; ++e) {
+          ES::encode_row(p.values_.data() + k0 + e, p.cols_.data() + k0 + e, width,
+                         p.slice_);
+        }
+      } else if constexpr (!ES::kTileGranular && ES::kScheme != ecc::Scheme::none) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          ES::encode(p.values_[k], p.cols_[k]);
+        }
+      }
+    }
     if constexpr (ES::kTileGranular) {
       // Unit-stride tiles over the concatenated slice slabs; the per-slice
       // width >= 4 gate above guarantees >= 4 slots whenever any exist.
-      for (std::size_t t = 0; t < ES::num_tiles(p.values_.size()); ++t) {
-        ES::encode_tile(p.values_.data() + ES::tile_begin(t),
-                        p.cols_.data() + ES::tile_begin(t),
-                        ES::tile_slots(t, p.values_.size()));
-      }
-    } else if constexpr (ES::kRowGranular) {
-      for (std::size_t s = 0; s < p.nslices_; ++s) {
-        const std::size_t base = p.slice_ptr_[s];
-        const std::size_t width = a.slice_width(s);
-        for (std::size_t e = 0; e < p.slice_; ++e) {
-          ES::encode_row(p.values_.data() + base + e, p.cols_.data() + base + e, width,
-                         p.slice_);
-        }
-      }
-    } else {
-      for (std::size_t k = 0; k < p.values_.size(); ++k) {
-        ES::encode(p.values_[k], p.cols_[k]);
+      // Tiles may straddle slice boundaries, so they are encoded in a second
+      // pass after every slot value has landed.
+      const std::size_t ntiles = ES::num_tiles(p.values_.size());
+#pragma omp parallel for schedule(static) if (p.nrows_ >= kParallelRows)
+      for (std::int64_t t = 0; t < static_cast<std::int64_t>(ntiles); ++t) {
+        ES::encode_tile(p.values_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
+                        p.cols_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
+                        ES::tile_slots(static_cast<std::size_t>(t), p.values_.size()));
       }
     }
     return p;
@@ -546,10 +561,14 @@ class ProtectedSell {
   std::size_t window_ = sell_type::kDefaultSortWindow;
   std::size_t nslices_ = 0;
   std::size_t nnz_ = 0;
+  /// Serial-encode threshold: matrices below it (every unit-test case) are
+  /// not worth a fork-join, and first touch only matters at page scale.
+  static constexpr std::size_t kParallelRows = std::size_t{1} << 14;
+
   std::size_t rl_off_ = 0;    ///< row-length section offset within structure_
   std::size_t perm_off_ = 0;  ///< permutation section offset within structure_
-  aligned_vector<double> values_;
-  aligned_vector<index_type> cols_;
+  aligned_uninit_vector<double> values_;
+  aligned_uninit_vector<index_type> cols_;
   aligned_vector<index_type> structure_;
   std::vector<std::size_t> slice_ptr_;  ///< derived slot offsets (guarded)
   std::vector<std::size_t> inv_perm_;   ///< derived inverse permutation (cross-checked)
@@ -597,6 +616,13 @@ class StructSectionReader {
     return base_[i] & SS::kValueMask;
   }
 
+  /// Drop the cached group. Called at every chunk boundary so the decode
+  /// (and check-count) pattern is a pure function of the chunk, not of which
+  /// chunks happen to share a thread — the section bases are not
+  /// chunk-aligned in the combined structure array, so groups straddle
+  /// chunk boundaries (cross-thread-count determinism).
+  void invalidate() noexcept { cached_group_ = static_cast<std::size_t>(-1); }
+
   void flush_checks() noexcept {
     if (local_checks_ > 0) {
       capture_->add_checks(local_checks_);
@@ -634,12 +660,29 @@ class SellRowCursor {
  public:
   using matrix_type = ProtectedSell<Index, ES, SS>;
 
-  SellRowCursor(matrix_type& m, ErrorCapture* capture) noexcept
+  /// Shared per-pass state: the tile-decode claim table that arbitrates
+  /// chunk-straddling tiles between threads (see TileClaimTable). Construct
+  /// one before the parallel region and pass it to every thread's cursor;
+  /// empty (and free) for non-tile element schemes.
+  struct pass_state {
+    explicit pass_state(matrix_type& m) {
+      if constexpr (ES::kTileGranular) {
+        claims.reset(ES::num_tiles(m.slots()));
+      } else {
+        (void)m;
+      }
+    }
+    TileClaimTable claims;
+  };
+
+  SellRowCursor(matrix_type& m, ErrorCapture* capture,
+                pass_state* pass = nullptr) noexcept
       : capture_(capture),
         sw_(m.slice_width_storage(), 0, capture),
         rl_(m.row_len_storage(), m.row_len_group_base(), capture),
         pr_(m.perm_storage(), m.perm_group_base(), capture),
-        tiles_(m.values_data(), m.cols_data(), m.slots(), Region::sell_values, capture),
+        tiles_(m.values_data(), m.cols_data(), m.slots(), Region::sell_values, capture,
+               pass != nullptr ? &pass->claims : nullptr),
         values_(m.values_data()),
         cols_(m.cols_data()),
         slice_ptr_(m.slice_ptr()),
@@ -659,6 +702,12 @@ class SellRowCursor {
   template <class XLoad, class Store>
   void accumulate(std::size_t first_row, std::size_t n, CheckMode mode, XLoad&& xload,
                   Store&& store) {
+    // One accumulate call is one chunk: start the structure readers
+    // cache-clean so their decode pattern is chunk-pure (cross-thread-count
+    // determinism).
+    sw_.invalidate();
+    rl_.invalidate();
+    pr_.invalidate();
     // Hot state lives in locals for the duration of the call, as in
     // CsrRowCursor::accumulate — the member loads would otherwise be
     // re-issued inside the slab loops.

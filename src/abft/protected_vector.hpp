@@ -32,18 +32,17 @@ class ProtectedVector {
  public:
   using scheme_type = S;
   static constexpr std::size_t kGroup = S::kGroup;
+  /// Below this many groups the encode loops stay serial: the vectors in the
+  /// unit tests (and CG's short recurrences on tiny grids) are not worth a
+  /// fork-join, and first-touch placement only matters for page-sized data.
+  static constexpr std::size_t kParallelGroups = std::size_t{1} << 14;
 
   ProtectedVector() = default;
 
   explicit ProtectedVector(std::size_t n, FaultLog* log = nullptr,
                            DuePolicy policy = DuePolicy::throw_exception)
-      : n_(n), log_(log), policy_(policy) {
-    storage_.assign(padded_size(n), 0.0);
-    // Encode the all-zero contents so every group is a valid codeword.
-    double zeros[kGroup] = {};
-    for (std::size_t g = 0; g < groups(); ++g) {
-      S::encode_group(zeros, storage_.data() + g * kGroup);
-    }
+      : log_(log), policy_(policy) {
+    resize(n);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
@@ -78,12 +77,21 @@ class ProtectedVector {
 
   /// Bulk initialise from raw values (encodes every group once).
   void assign(std::span<const double> values) {
-    resize(values.size());
-    double logical[kGroup] = {};
-    for (std::size_t g = 0; g < groups(); ++g) {
+    n_ = values.size();
+    storage_.resize(padded_size(n_));
+    const std::size_t ng = groups();
+    const double* const src = values.data();
+    const std::size_t n = n_;
+    // First-touch/NUMA: the encode writes every byte of the storage, in the
+    // same static group partition the parallel kernels later read with, so
+    // each page lands on the node of the thread that will use it.
+#pragma omp parallel for schedule(static) if (ng >= kParallelGroups)
+    for (std::int64_t gi = 0; gi < static_cast<std::int64_t>(ng); ++gi) {
+      const std::size_t g = static_cast<std::size_t>(gi);
+      double logical[kGroup];
       for (std::size_t e = 0; e < kGroup; ++e) {
         const std::size_t i = g * kGroup + e;
-        logical[e] = i < n_ ? S::mask(values[i]) : 0.0;
+        logical[e] = i < n ? S::mask(src[i]) : 0.0;
       }
       S::encode_group(logical, storage_.data() + g * kGroup);
     }
@@ -91,10 +99,14 @@ class ProtectedVector {
 
   void resize(std::size_t n) {
     n_ = n;
-    storage_.assign(padded_size(n), 0.0);
-    double zeros[kGroup] = {};
-    for (std::size_t g = 0; g < groups(); ++g) {
-      S::encode_group(zeros, storage_.data() + g * kGroup);
+    // resize (not assign) leaves new doubles default-initialised — no page is
+    // touched until the encode below writes it (first-touch placement).
+    storage_.resize(padded_size(n));
+    const std::size_t ng = groups();
+#pragma omp parallel for schedule(static) if (ng >= kParallelGroups)
+    for (std::int64_t gi = 0; gi < static_cast<std::int64_t>(ng); ++gi) {
+      double zeros[kGroup] = {};
+      S::encode_group(zeros, storage_.data() + static_cast<std::size_t>(gi) * kGroup);
     }
   }
 
@@ -152,7 +164,7 @@ class ProtectedVector {
   }
 
   std::size_t n_ = 0;
-  aligned_vector<double> storage_;
+  aligned_uninit_vector<double> storage_;
   FaultLog* log_ = nullptr;
   DuePolicy policy_ = DuePolicy::throw_exception;
 };
@@ -170,9 +182,14 @@ class GroupReader {
 
   /// With \p capture == nullptr, check outcomes are routed through
   /// ProtectedVector::handle (which may throw). Inside OpenMP kernels pass an
-  /// ErrorCapture so errors are deferred past the parallel region.
-  explicit GroupReader(ProtectedVector<S>& v, ErrorCapture* capture = nullptr) noexcept
-      : v_(&v), capture_(capture) {
+  /// ErrorCapture so errors are deferred past the parallel region, and a
+  /// shared CorrectedOnce so a faulty group repaired concurrently by several
+  /// threads is reported exactly once (the repair itself is idempotent — every
+  /// decoder writes the same corrected bytes — only the report needs
+  /// arbitration).
+  explicit GroupReader(ProtectedVector<S>& v, ErrorCapture* capture = nullptr,
+                       CorrectedOnce* once = nullptr) noexcept
+      : v_(&v), capture_(capture), once_(once) {
     tags_.fill(kEmpty);
   }
 
@@ -190,7 +207,10 @@ class GroupReader {
                                            decoded_[slot].data());
       if (capture_ != nullptr) {
         ++local_checks_;
-        capture_->record(Region::dense_vector, outcome, g);
+        if (outcome != CheckOutcome::corrected || once_ == nullptr ||
+            once_->claim(g)) {
+          capture_->record(Region::dense_vector, outcome, g);
+        }
       } else {
         v_->handle(outcome, g);  // counts the check in the vector's log
       }
@@ -215,6 +235,7 @@ class GroupReader {
   static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
   ProtectedVector<S>* v_;
   ErrorCapture* capture_;
+  CorrectedOnce* once_ = nullptr;
   std::uint64_t local_checks_ = 0;
   std::array<std::size_t, Slots> tags_{};
   std::array<std::array<double, kGroup>, Slots> decoded_{};

@@ -30,6 +30,14 @@ namespace abft::detail {
 inline constexpr std::size_t kSpmvChunkRows = 64;
 
 /// y = A x over raw dense spans, driven by the container's row cursor.
+///
+/// Each thread accumulates outcomes into a private ErrorCapture, destroyed-
+/// flushed and merged into the shared capture at the end of the region.
+/// merge_from() is commutative (counts add, first-fault exemplars take the
+/// minimum (region, index) key), so the committed FaultLog / DuePolicy
+/// outcome is bit-identical at any thread count. The cursor's pass_state —
+/// shared arbitration a pass needs across threads (today: the tile claim
+/// table) — is built once before the region.
 template <class Cursor, class Matrix>
 void chunked_raw_spmv(Matrix& m, std::span<const double> x, std::span<double> y,
                       CheckMode mode, const char* what) {
@@ -37,21 +45,26 @@ void chunked_raw_spmv(Matrix& m, std::span<const double> x, std::span<double> y,
     throw std::invalid_argument(std::string(what) + ": dimension mismatch");
   }
   ErrorCapture capture;
+  typename Cursor::pass_state pass(m);
   constexpr std::size_t kChunk = kSpmvChunkRows;
   const std::size_t nrows = m.nrows();
   const std::size_t nchunks = (nrows + kChunk - 1) / kChunk;
 
 #pragma omp parallel
   {
-    Cursor cursor(m, &capture);
+    ErrorCapture local;
+    {
+      Cursor cursor(m, &local, &pass);
 
 #pragma omp for schedule(static)
-    for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
-      const std::size_t r0 = static_cast<std::size_t>(ci) * kChunk;
-      cursor.accumulate(r0, std::min(kChunk, nrows - r0), mode,
-                        [&](auto c) { return x[c]; },
-                        [&](std::size_t i, double v) { y[r0 + i] = v; });
-    }
+      for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+        const std::size_t r0 = static_cast<std::size_t>(ci) * kChunk;
+        cursor.accumulate(r0, std::min(kChunk, nrows - r0), mode,
+                          [&](auto c) { return x[c]; },
+                          [&](std::size_t i, double v) { y[r0 + i] = v; });
+      }
+    }  // cursor destructor flushes its local check counters into `local`
+    capture.merge_from(local);
   }
   capture.commit(m.fault_log(), m.due_policy());
 }

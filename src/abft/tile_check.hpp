@@ -10,20 +10,25 @@
 /// groups, backed by a verified-tile bitmap, one byte per tile of the slab),
 /// so a traversal that re-enters a boundary tile — ELL's per-column chunk
 /// ranges straddle one whenever nrows is not a multiple of the tile size —
-/// never re-checksums it; every tile is decoded at most once per cursor
-/// (i.e. per SpMV pass). Errors are deferred through the kernel's
+/// never re-checksums it. Errors are deferred through the kernel's
 /// ErrorCapture like every other cursor check.
 ///
-/// Corrections are written back in place. Like the dense-vector group
-/// decodes on the shared x vector, a tile straddling two SpMV chunks may be
-/// decoded by two threads concurrently: the check itself is read-only, and a
-/// concurrent correction writes byte-identical repaired data (the brute
-/// force is deterministic), matching the write-back convention the vector
-/// schemes already follow.
+/// Under the thread-parallel SpMV a tile straddling two 64-row chunks is
+/// reachable from two threads in the same pass. A shared TileClaimTable
+/// (constructed once per pass, outside the parallel region) arbitrates:
+/// exactly one thread claims the tile, decodes it, records the outcome and
+/// counts the check; every other thread waits for the published result and
+/// observes any correction through the release/acquire pair. This keeps the
+/// per-pass check count and the fault log bit-identical at any thread count
+/// — with a first-writer-wins race, a boundary tile would be decoded (and
+/// counted, and on a fault logged) once per touching thread.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "abft/error_capture.hpp"
@@ -31,19 +36,74 @@
 
 namespace abft {
 
+/// Shared per-pass arbitration of tile decodes. One slot per tile of a slab,
+/// three states: 0 = unclaimed, 1 = decode in progress, 2 = published.
+/// Constructed (or reset) once per SpMV pass before the parallel region.
+class TileClaimTable {
+ public:
+  TileClaimTable() = default;
+
+  explicit TileClaimTable(std::size_t ntiles) { reset(ntiles); }
+
+  /// Size for \p ntiles tiles and mark every tile unclaimed.
+  void reset(std::size_t ntiles) {
+    if (ntiles != size_) {
+      state_ = ntiles > 0 ? std::make_unique<std::atomic<std::uint8_t>[]>(ntiles)
+                          : nullptr;
+      size_ = ntiles;
+    }
+    for (std::size_t t = 0; t < size_; ++t) {
+      state_[t].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Try to claim tile \p t for decoding. True: the caller owns the decode
+  /// and must call publish() when the tile bytes are final. False: another
+  /// thread owns (or owned) it — call wait_done() before reading the tile.
+  [[nodiscard]] bool claim(std::size_t t) noexcept {
+    std::uint8_t expected = 0;
+    return state_[t].compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+  }
+
+  /// Publish tile \p t: any correction written by the claiming thread is
+  /// visible to threads returning from wait_done().
+  void publish(std::size_t t) noexcept {
+    state_[t].store(2, std::memory_order_release);
+  }
+
+  /// Wait until tile \p t has been published by its claiming thread.
+  void wait_done(std::size_t t) const noexcept {
+    std::size_t spins = 0;
+    while (state_[t].load(std::memory_order_acquire) != 2) {
+      if (++spins > 1024) std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint8_t>[]> state_;
+  std::size_t size_ = 0;
+};
+
 /// Thread-private tile verifier over one container's (values, cols) slab.
 /// Only meaningful for tile-granular element schemes; cursors instantiate it
-/// behind `if constexpr (ES::kTileGranular)`.
+/// behind `if constexpr (ES::kTileGranular)`. When \p claims is non-null the
+/// verifier participates in the shared per-pass claim protocol above; a null
+/// table gives the plain single-thread behaviour (every tile decoded at most
+/// once per cursor).
 template <class Index, class ES>
 class TileVerifier {
  public:
   TileVerifier(double* values, Index* cols, std::size_t total_slots, Region region,
-               ErrorCapture* capture) noexcept
+               ErrorCapture* capture, TileClaimTable* claims = nullptr) noexcept
       : values_(values),
         cols_(cols),
         total_(total_slots),
         region_(region),
-        capture_(capture) {}
+        capture_(capture),
+        claims_(claims) {}
 
   ~TileVerifier() { flush_checks(); }
   TileVerifier(const TileVerifier&) = delete;
@@ -59,12 +119,17 @@ class TileVerifier {
     if (seen_.empty()) seen_.assign(ES::num_tiles(total_), 0);
     for (std::size_t t = t0; t <= t1; ++t) {
       if (seen_[t] != 0) continue;
-      const auto outcome = ES::decode_tile(values_ + ES::tile_begin(t),
-                                           cols_ + ES::tile_begin(t),
-                                           ES::tile_slots(t, total_));
+      if (claims_ != nullptr) {
+        if (claims_->claim(t)) {
+          decode_and_record(t);
+          claims_->publish(t);
+        } else {
+          claims_->wait_done(t);
+        }
+      } else {
+        decode_and_record(t);
+      }
       seen_[t] = 1;
-      ++local_checks_;
-      capture_->record(region_, outcome, t);
     }
     last_verified_ = t1;
   }
@@ -77,11 +142,20 @@ class TileVerifier {
   }
 
  private:
+  void decode_and_record(std::size_t t) {
+    const auto outcome = ES::decode_tile(values_ + ES::tile_begin(t),
+                                         cols_ + ES::tile_begin(t),
+                                         ES::tile_slots(t, total_));
+    ++local_checks_;
+    capture_->record(region_, outcome, t);
+  }
+
   double* values_;
   Index* cols_;
   std::size_t total_;
   Region region_;
   ErrorCapture* capture_;
+  TileClaimTable* claims_;
   std::size_t last_verified_ = static_cast<std::size_t>(-1);
   std::uint64_t local_checks_ = 0;
   /// Lazily sized on first use, so the (always-constructed) verifier costs

@@ -5,7 +5,10 @@
 #include <cstddef>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace abft {
@@ -42,5 +45,39 @@ class AlignedAllocator {
 /// Vector whose data() is 64-byte aligned; used for all solver arrays.
 template <class T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// Allocator adaptor: value-construction without arguments becomes *default*
+/// construction, so `resize()` on a vector of trivial T leaves the new
+/// elements uninitialised instead of zero-filling them. The protected
+/// containers use this so the encode pass — parallelised with the same static
+/// partition the kernels later read with — performs the first touch of every
+/// page, giving NUMA-local placement without a dependency on libnuma.
+template <class A>
+class DefaultInitAllocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  using A::A;
+
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<typename traits::template rebind_alloc<U>>;
+  };
+
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), p, std::forward<Args>(args)...);
+  }
+};
+
+/// 64-byte aligned vector whose resize() does not touch the new elements.
+template <class T>
+using aligned_uninit_vector =
+    std::vector<T, DefaultInitAllocator<AlignedAllocator<T>>>;
 
 }  // namespace abft

@@ -5,6 +5,14 @@
 #include <bit>
 #include <cstring>
 
+// The hardware kernel carries a per-function target attribute, so this
+// translation unit builds at the base ISA on any x86 GNU-compatible compiler
+// and the CRC32 instruction path is chosen by CPUID at runtime.
+#if !defined(ABFT_HAVE_SSE42_CRC) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ABFT_HAVE_SSE42_CRC 1
+#endif
+
 #if defined(ABFT_HAVE_SSE42_CRC)
 #include <nmmintrin.h>
 #if defined(__GNUC__) || defined(__clang__)
@@ -79,7 +87,9 @@ bool detect_sse42() noexcept {
 #endif
 }
 
-std::uint32_t hw_kernel(const std::uint8_t* p, std::size_t len, std::uint32_t crc) noexcept {
+__attribute__((target("sse4.2"))) std::uint32_t hw_kernel(const std::uint8_t* p,
+                                                          std::size_t len,
+                                                          std::uint32_t crc) noexcept {
   std::uint64_t c = crc;
   while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
     c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p++);
@@ -190,14 +200,27 @@ CrcCorrection crc32c_correct_single_bit(std::span<std::uint8_t> buffer,
     return {true, -1};
   }
 
-  // Case 2: try every single-bit flip in the data buffer.
-  for (std::size_t byte = 0; byte < buffer.size(); ++byte) {
-    for (unsigned bit = 0; bit < 8; ++bit) {
-      buffer[byte] ^= static_cast<std::uint8_t>(1u << bit);
-      if (crc32c(buffer.data(), buffer.size()) == stored_crc) {
-        return {true, static_cast<std::ptrdiff_t>(byte * 8 + bit)};
+  // Case 2: locate the flipped data bit through CRC linearity. The CRC is
+  // affine in the message over GF(2), so flipping bit b of byte i changes the
+  // final CRC by a fixed syndrome that depends only on (b, bytes after i).
+  // Seed eight syndromes with a flip in the LAST byte (one table step each)
+  // and advance them with the zero-byte CRC update while walking i backwards:
+  // one O(len) sweep instead of len recomputations of an O(len) checksum.
+  const std::uint32_t delta = actual ^ stored_crc;
+  std::uint32_t syn[8];
+  for (unsigned b = 0; b < 8; ++b) syn[b] = kTables.t[0][1u << b];
+  for (std::size_t i = buffer.size(); i-- > 0;) {
+    for (unsigned b = 0; b < 8; ++b) {
+      if (syn[b] == delta) {
+        buffer[i] ^= static_cast<std::uint8_t>(1u << b);
+        // One full recompute guards the repair (and the return contract:
+        // the buffer is only modified on success).
+        if (crc32c(buffer.data(), buffer.size()) == stored_crc) {
+          return {true, static_cast<std::ptrdiff_t>(i * 8 + b)};
+        }
+        buffer[i] ^= static_cast<std::uint8_t>(1u << b);
       }
-      buffer[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      syn[b] = kTables.t[0][syn[b] & 0xffu] ^ (syn[b] >> 8);
     }
   }
   return {false, -1};

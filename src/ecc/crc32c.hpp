@@ -1,15 +1,16 @@
 /// \file crc32c.hpp
 /// \brief CRC-32C (Castagnoli) with software (slicing-by-8) and hardware
-/// (SSE4.2 `crc32` instruction) implementations, plus brute-force bit-flip
-/// correction for the recovery path.
+/// (SSE4.2 `crc32` instruction) implementations, plus syndrome-based
+/// single-bit correction for the recovery path.
 ///
 /// The paper picks CRC32C because (a) its generator polynomial has a (x+1)
 /// factor, so all odd-weight errors and all burst errors up to 32 bits are
 /// detected, (b) its minimum Hamming distance is 6 for codewords between 178
 /// and 5243 bits, allowing up to 5-bit detection (or 2EC3ED / 1EC4ED
 /// operating points), and (c) modern Intel/ARMv8 CPUs compute it in hardware
-/// (paper §IV). Error *correction* is brute force over candidate flips: it
-/// runs only in the rare recovery path, never on the per-access check path.
+/// (paper §IV). Error *correction* exploits the CRC's GF(2) linearity to
+/// locate a single flipped bit in one pass over the buffer; it runs only in
+/// the rare recovery path, never on the per-access check path.
 #pragma once
 
 #include <cstddef>
@@ -67,7 +68,7 @@ class Crc32cAccumulator {
   std::uint32_t crc_ = 0;
 };
 
-/// Result of a brute-force CRC correction attempt.
+/// Result of a single-bit CRC correction attempt.
 struct CrcCorrection {
   bool corrected = false;
   /// Bit offset of the repaired flip inside the data buffer, or -1 when the
@@ -77,11 +78,13 @@ struct CrcCorrection {
 
 /// Attempt single-bit correction of \p buffer against \p stored_crc.
 ///
-/// Tries every single-bit flip in the buffer (O(bits) CRC recomputations;
-/// each recomputation could be replaced by a precomputed error-pattern table,
-/// but this runs only on the rare recovery path). Also recognises the case
-/// where the flip hit the stored checksum rather than the data. Returns
-/// corrected=false when no single flip explains the mismatch (2+ flips).
+/// The CRC is linear over GF(2), so each candidate flip position has a fixed
+/// error syndrome; the implementation folds all of them into one backward
+/// sweep over the buffer (O(bits) table steps, one verifying recomputation)
+/// instead of recomputing an O(len) checksum per candidate. Also recognises
+/// the case where the flip hit the stored checksum rather than the data.
+/// Returns corrected=false when no single flip explains the mismatch
+/// (2+ flips); the buffer is modified only on success.
 [[nodiscard]] CrcCorrection crc32c_correct_single_bit(std::span<std::uint8_t> buffer,
                                                       std::uint32_t stored_crc) noexcept;
 

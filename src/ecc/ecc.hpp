@@ -6,3 +6,4 @@
 #include "ecc/hamming.hpp"   // IWYU pragma: export
 #include "ecc/parity.hpp"    // IWYU pragma: export
 #include "ecc/scheme.hpp"    // IWYU pragma: export
+#include "ecc/simd.hpp"      // IWYU pragma: export

@@ -1,0 +1,417 @@
+// Cross-thread-count determinism of the parallel protected kernels.
+//
+// The chunked SpMV, the fixed-order dot and the claim-table tile protocol
+// promise that results, fault-log contents and check accounting are
+// bit-identical at any OMP thread count — faults included, even faults that
+// land in a tile straddling two 64-row chunks. The OpenMP suites below pin
+// the thread count to 1, 2, 4 and 7 in turn (7 deliberately does not divide
+// the chunk counts) and compare every observable against the 1-thread run.
+//
+// The ThreadStress suites at the bottom drive the synchronization primitives
+// themselves (TileClaimTable, ErrorCapture::merge_from, CorrectedOnce) with
+// raw std::thread — no OpenMP — so a ThreadSanitizer build can watch the
+// exact acquire/release handshakes the kernels rely on without libgomp's
+// uninstrumented internals drowning the report in false positives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "abft/abft.hpp"
+#include "abft/error_capture.hpp"
+#include "abft/tile_check.hpp"
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "solvers/solvers.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/transform.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace abft;
+
+// ---------------------------------------------------------------------------
+// std::thread stress tests of the kernel synchronization primitives.
+// ---------------------------------------------------------------------------
+
+constexpr int kStressThreads = 8;
+
+void run_threads(int nthreads, const std::function<void(int)>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) workers.emplace_back(body, t);
+  for (auto& w : workers) w.join();
+}
+
+TEST(ThreadStress, TileClaimTableElectsExactlyOneWinnerPerTile) {
+  constexpr std::size_t kTiles = 64;
+  for (int rep = 0; rep < 100; ++rep) {
+    TileClaimTable table(kTiles);
+    std::vector<std::atomic<int>> winners(kTiles);
+    // One payload slot per tile stands in for the decoded tile bytes: the
+    // claim winner writes it before publish(), everyone else must observe
+    // the write after wait_done() — the handshake TileVerifier depends on
+    // for corrections to be visible across chunks.
+    std::vector<int> payload(kTiles, 0);
+    std::atomic<int> stale_reads{0};
+    run_threads(kStressThreads, [&](int) {
+      for (std::size_t t = 0; t < kTiles; ++t) {
+        if (table.claim(t)) {
+          payload[t] = 1;
+          winners[t].fetch_add(1, std::memory_order_relaxed);
+          table.publish(t);
+        } else {
+          table.wait_done(t);
+          if (payload[t] != 1) stale_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    for (std::size_t t = 0; t < kTiles; ++t) {
+      ASSERT_EQ(winners[t].load(), 1) << "tile " << t << " rep " << rep;
+    }
+    ASSERT_EQ(stale_reads.load(), 0) << "rep " << rep;
+  }
+}
+
+TEST(ThreadStress, CorrectedOnceClaimsEachGroupExactlyOnce) {
+  constexpr std::size_t kGroups = 200;
+  for (int rep = 0; rep < 20; ++rep) {
+    CorrectedOnce once;
+    std::vector<std::atomic<int>> granted(kGroups);
+    run_threads(kStressThreads, [&](int) {
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        if (once.claim(g)) granted[g].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      ASSERT_EQ(granted[g].load(), 1) << "group " << g << " rep " << rep;
+    }
+  }
+}
+
+/// Snapshot of a FaultLog's observable state after a kernel pass.
+struct LogState {
+  std::uint64_t checks = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t bounds = 0;
+  std::vector<FaultEvent> events;
+
+  static LogState of(const FaultLog& log) {
+    return {log.checks(), log.corrected(), log.uncorrectable(),
+            log.bounds_violations(), log.events()};
+  }
+};
+
+void expect_same_log(const LogState& got, const LogState& want, const char* what) {
+  EXPECT_EQ(got.checks, want.checks) << what;
+  EXPECT_EQ(got.corrected, want.corrected) << what;
+  EXPECT_EQ(got.uncorrectable, want.uncorrectable) << what;
+  EXPECT_EQ(got.bounds, want.bounds) << what;
+  ASSERT_EQ(got.events.size(), want.events.size()) << what;
+  for (std::size_t i = 0; i < got.events.size(); ++i) {
+    EXPECT_EQ(got.events[i].region, want.events[i].region) << what << " event " << i;
+    EXPECT_EQ(got.events[i].outcome, want.events[i].outcome) << what << " event " << i;
+    EXPECT_EQ(got.events[i].index, want.events[i].index) << what << " event " << i;
+  }
+}
+
+TEST(ThreadStress, ErrorCaptureConcurrentMergeMatchesSerialFold) {
+  // Per-thread captures with distinct exemplar indices, merged concurrently
+  // into one shared capture: counters must sum exactly and the committed
+  // exemplar must be the global minimum key, independent of merge order.
+  for (int rep = 0; rep < 50; ++rep) {
+    ErrorCapture shared;
+    run_threads(kStressThreads, [&](int t) {
+      ErrorCapture local;
+      local.add_checks(static_cast<std::uint64_t>(t) + 1);
+      // Thread t's first fault sits at index 1000 - 100*t: the *last*
+      // thread holds the global minimum, so first-writer-wins would get
+      // this wrong whenever thread 0 merges first.
+      local.record(Region::csr_values, CheckOutcome::uncorrectable,
+                   1000 - 100 * static_cast<std::size_t>(t));
+      local.record(Region::ell_values, CheckOutcome::corrected,
+                   500 + static_cast<std::size_t>(t));
+      shared.merge_from(local);
+    });
+    FaultLog log;
+    shared.commit(&log, DuePolicy::record_only);
+    EXPECT_EQ(log.checks(), std::uint64_t{kStressThreads} * (kStressThreads + 1) / 2);
+    EXPECT_EQ(log.uncorrectable(), std::uint64_t{kStressThreads});
+    EXPECT_EQ(log.corrected(), std::uint64_t{kStressThreads});
+    const auto events = log.events();
+    ASSERT_FALSE(events.empty());
+    // The exemplar (first event of each outcome) carries the minimum key.
+    bool saw_min_unc = false, saw_min_corr = false;
+    for (const auto& e : events) {
+      if (e.region == Region::csr_values) {
+        EXPECT_EQ(e.index, 1000 - 100 * (kStressThreads - 1));
+        saw_min_unc = true;
+      }
+      if (e.region == Region::ell_values) {
+        EXPECT_EQ(e.index, 500u);
+        saw_min_corr = true;
+      }
+    }
+    EXPECT_TRUE(saw_min_unc);
+    EXPECT_TRUE(saw_min_corr);
+  }
+}
+
+#ifdef _OPENMP
+
+// ---------------------------------------------------------------------------
+// OpenMP cross-thread-count determinism: every observable of a protected
+// kernel pass — result bits, fault-log contents, check counts — must be
+// identical at 1, 2, 4 and 7 threads.
+// ---------------------------------------------------------------------------
+
+const std::vector<int> kThreadCounts{1, 2, 4, 7};
+
+/// RAII guard restoring the ambient OMP thread count.
+struct ThreadCountGuard {
+  int saved = omp_get_max_threads();
+  ~ThreadCountGuard() { omp_set_num_threads(saved); }
+};
+
+/// Everything observable from one SpMV pass.
+struct SpmvRun {
+  std::vector<std::uint64_t> ybits;
+  LogState mat, vec;
+};
+
+void expect_same_run(const SpmvRun& got, const SpmvRun& want, int nthreads) {
+  ASSERT_EQ(got.ybits.size(), want.ybits.size());
+  for (std::size_t i = 0; i < got.ybits.size(); ++i) {
+    ASSERT_EQ(got.ybits[i], want.ybits[i]) << "y[" << i << "] at " << nthreads
+                                           << " threads";
+  }
+  expect_same_log(got.mat, want.mat, "matrix log");
+  expect_same_log(got.vec, want.vec, "vector log");
+}
+
+/// Build the protected matrix fresh, apply \p corrupt to it and the x vector,
+/// run one full-mode SpMV and snapshot all observables. Fresh construction
+/// per run matters: correcting schemes repair storage in place.
+template <class PM, class VS, class Plain, class Corrupt>
+SpmvRun run_spmv(const Plain& plain, Corrupt&& corrupt) {
+  FaultLog mlog, xlog;
+  auto p = PM::from_plain(plain, &mlog, DuePolicy::record_only);
+  ProtectedVector<VS> x(plain.ncols(), &xlog, DuePolicy::record_only);
+  ProtectedVector<VS> y(plain.nrows(), &xlog, DuePolicy::record_only);
+  Xoshiro256 rng(17);
+  std::vector<double> xraw(plain.ncols());
+  for (auto& v : xraw) v = VS::mask(rng.uniform(-2, 2));
+  x.assign({xraw.data(), xraw.size()});
+  corrupt(p, x);
+  spmv(p, x, y);
+  SpmvRun run;
+  std::vector<double> got(plain.nrows());
+  y.extract({got.data(), got.size()});
+  run.ybits.reserve(got.size());
+  for (double v : got) run.ybits.push_back(double_to_bits(v));
+  run.mat = LogState::of(mlog);
+  run.vec = LogState::of(xlog);
+  return run;
+}
+
+template <class PM, class VS, class Plain, class Corrupt>
+void expect_thread_count_invariant_spmv(const Plain& plain, Corrupt&& corrupt) {
+  ThreadCountGuard guard;
+  omp_set_num_threads(1);
+  const SpmvRun reference = run_spmv<PM, VS>(plain, corrupt);
+  EXPECT_GT(reference.mat.checks + reference.vec.checks, 0u)
+      << "suite must exercise the accounting path";
+  for (int nthreads : kThreadCounts) {
+    omp_set_num_threads(nthreads);
+    const SpmvRun run = run_spmv<PM, VS>(plain, corrupt);
+    expect_same_run(run, reference, nthreads);
+  }
+}
+
+/// Flip bit \p bit of a protected matrix's value slab.
+template <class PM>
+void flip_value_bit(PM& p, std::size_t bit) {
+  auto vals = p.raw_values();
+  faults::flip_bit({reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()},
+                   bit);
+}
+
+TEST(ThreadDeterminism, CsrSecdedCleanAndFaulty) {
+  // 851 rows: 14 chunks, the last one ragged.
+  const auto a = sparse::laplacian_2d(37, 23);
+  using PM = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>;
+  expect_thread_count_invariant_spmv<PM, VecSecded64>(a, [](auto&, auto&) {});
+  expect_thread_count_invariant_spmv<PM, VecSecded64>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 1000 + 19);  // corrected mid-matrix
+    flip_value_bit(p, 64 * 2500 + 3);   // second fault, different chunk
+  });
+}
+
+TEST(ThreadDeterminism, CsrSedUncorrectableFaults) {
+  const auto a = sparse::laplacian_2d(37, 23);
+  using PM = ProtectedCsr<std::uint32_t, ElemSed, RowSed>;
+  expect_thread_count_invariant_spmv<PM, VecSed>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 700 + 11);
+    flip_value_bit(p, 64 * 3100 + 42);
+  });
+}
+
+TEST(ThreadDeterminism, CsrCrc32cRowGranular) {
+  const auto a =
+      sparse::pad_rows_to_min_nnz(sparse::laplacian_2d(37, 23), ElemCrc32c::kMinRowNnz);
+  using PM = ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>;
+  expect_thread_count_invariant_spmv<PM, VecNone>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 1800 + 27);
+  });
+}
+
+TEST(ThreadDeterminism, EllSecdedBatchPathCleanAndFaulty) {
+  const auto a = sparse::Ell<std::uint32_t>::from_csr(sparse::laplacian_2d(16, 13));
+  using PM = ProtectedEll<std::uint32_t, schemes::ElemSecded<std::uint32_t>,
+                          schemes::StructSecded<std::uint32_t>>;
+  expect_thread_count_invariant_spmv<PM, VecSecded64>(a, [](auto&, auto&) {});
+  expect_thread_count_invariant_spmv<PM, VecSecded64>(a, [](auto& p, auto&) {
+    // Knock one slab column dirty so the batch predicate's per-element
+    // fallback runs under every thread count.
+    flip_value_bit(p, 64 * 70 + 9);
+  });
+}
+
+TEST(ThreadDeterminism, EllSedBatchPathFaulty) {
+  const auto a = sparse::Ell<std::uint32_t>::from_csr(sparse::laplacian_2d(16, 13));
+  using PM = ProtectedEll<std::uint32_t, schemes::ElemSed<std::uint32_t>,
+                          schemes::StructSed<std::uint32_t>>;
+  expect_thread_count_invariant_spmv<PM, VecSed>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 33 + 50);
+  });
+}
+
+TEST(ThreadDeterminism, EllTileFaultStraddlingChunkBoundary) {
+  // 96 rows = two 64-row chunks (the second ragged). Slab slot 70 lies in
+  // tile 1, which spans slots [64, 160): rows 64..95 of slab column 0 plus
+  // rows 0..63 of column 1 — i.e. the tile is shared by both chunks, the
+  // exact case the claim table arbitrates.
+  const auto a = sparse::Ell<std::uint32_t>::from_csr(
+      sparse::laplacian_2d(12, 8), ElemCrc32cTile::kMinRowNnz);
+  ASSERT_EQ(a.nrows(), 96u);
+  using PM = ProtectedEll<std::uint32_t, schemes::ElemCrc32cTile<std::uint32_t>,
+                          schemes::StructCrc32c<std::uint32_t>>;
+  expect_thread_count_invariant_spmv<PM, VecNone>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 70 + 13);
+  });
+  // And a double fault: one per chunk-straddling tile region.
+  expect_thread_count_invariant_spmv<PM, VecNone>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 70 + 13);
+    flip_value_bit(p, 64 * 130 + 7);
+  });
+}
+
+TEST(ThreadDeterminism, SellTileFaults) {
+  const auto a = sparse::Sell<std::uint32_t>::from_csr(
+      sparse::laplacian_2d(12, 9), ElemCrc32cTile::kMinRowNnz);
+  using PM = ProtectedSell<std::uint32_t, schemes::ElemCrc32cTile<std::uint32_t>,
+                           schemes::StructCrc32c<std::uint32_t>>;
+  expect_thread_count_invariant_spmv<PM, VecNone>(a, [](auto&, auto&) {});
+  expect_thread_count_invariant_spmv<PM, VecNone>(a, [](auto& p, auto&) {
+    flip_value_bit(p, 64 * 50 + 21);
+  });
+}
+
+TEST(ThreadDeterminism, XVectorCorrectionRecordedOnce) {
+  // A fault in the shared x vector: multiple chunks read the same faulty
+  // group, but CorrectedOnce must keep the log identical to the serial run
+  // (exactly one corrected record) at every thread count.
+  const auto a = sparse::laplacian_2d(37, 23);
+  using PM = ProtectedCsr<std::uint32_t, ElemNone, RowNone>;
+  expect_thread_count_invariant_spmv<PM, VecSecded64>(a, [](auto&, auto& x) {
+    auto raw = x.raw();
+    faults::flip_bit({reinterpret_cast<std::uint8_t*>(raw.data()), raw.size_bytes()},
+                     64 * 3 + 17);
+  });
+}
+
+TEST(ThreadDeterminism, DotIsBitwiseThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const std::size_t n = 10'000;
+  Xoshiro256 rng(23);
+  std::vector<double> araw(n), braw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    araw[i] = VecSed::mask(rng.uniform(-5, 5));
+    braw[i] = VecSed::mask(rng.uniform(-5, 5));
+  }
+  omp_set_num_threads(1);
+  const auto run_dot = [&] {
+    ProtectedVector<VecSed> pa(n), pb(n);
+    pa.assign({araw.data(), n});
+    pb.assign({braw.data(), n});
+    return dot(pa, pb);
+  };
+  const double reference = run_dot();
+  for (int nthreads : kThreadCounts) {
+    omp_set_num_threads(nthreads);
+    EXPECT_EQ(double_to_bits(run_dot()), double_to_bits(reference)) << nthreads;
+  }
+}
+
+TEST(ThreadDeterminism, CgSolveIsBitwiseThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const auto a = sparse::laplacian_2d(20, 20);
+  struct CgRun {
+    std::vector<std::uint64_t> ubits;
+    std::vector<double> residuals;
+    unsigned iterations = 0;
+    LogState mat;
+  };
+  const auto run_cg = [&] {
+    FaultLog mlog, vlog;
+    auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(
+        a, &mlog, DuePolicy::record_only);
+    ProtectedVector<VecSecded64> b(a.nrows(), &vlog, DuePolicy::record_only);
+    ProtectedVector<VecSecded64> u(a.nrows(), &vlog, DuePolicy::record_only);
+    fill(b, 1.0);
+    fill(u, 0.0);
+    solvers::SolveOptions opts;
+    opts.tolerance = 1e-9;
+    CgRun run;
+    opts.residual_history = &run.residuals;
+    const auto res = solvers::cg_solve(pa, b, u, opts);
+    EXPECT_TRUE(res.converged);
+    run.iterations = res.iterations;
+    std::vector<double> got(a.nrows());
+    u.extract({got.data(), got.size()});
+    for (double v : got) run.ubits.push_back(double_to_bits(v));
+    run.mat = LogState::of(mlog);
+    return run;
+  };
+  omp_set_num_threads(1);
+  const CgRun reference = run_cg();
+  for (int nthreads : kThreadCounts) {
+    omp_set_num_threads(nthreads);
+    const CgRun run = run_cg();
+    EXPECT_EQ(run.iterations, reference.iterations) << nthreads;
+    ASSERT_EQ(run.ubits.size(), reference.ubits.size());
+    for (std::size_t i = 0; i < run.ubits.size(); ++i) {
+      ASSERT_EQ(run.ubits[i], reference.ubits[i]) << "u[" << i << "] at " << nthreads
+                                                  << " threads";
+    }
+    ASSERT_EQ(run.residuals.size(), reference.residuals.size()) << nthreads;
+    for (std::size_t i = 0; i < run.residuals.size(); ++i) {
+      ASSERT_EQ(double_to_bits(run.residuals[i]), double_to_bits(reference.residuals[i]))
+          << "residual " << i << " at " << nthreads << " threads";
+    }
+    expect_same_log(run.mat, reference.mat, "cg matrix log");
+  }
+}
+
+#endif  // _OPENMP
+
+}  // namespace
