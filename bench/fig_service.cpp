@@ -1,0 +1,250 @@
+/// \file fig_service.cpp
+/// \brief Batched multi-RHS solve bench: the amortization curve and the
+/// concurrent solve-service tail latency.
+///
+/// Two sections, both machine-readable:
+///
+///   `amortization format=... scheme=... nrhs=K per_rhs_seconds=... overhead_pct=...`
+///     Per-RHS protected-solve cost of a k-wide cg_solve_batch against the
+///     unprotected batch at the same k. The SpMM verifies the matrix region
+///     once per pass for the whole batch, so the per-RHS protection overhead
+///     must fall toward zero as k grows — this row series is the measured
+///     curve (CSR/crc32c and ELL/crc32c-tile, the schemes whose matrix-side
+///     checks dominate).
+///
+///   `service nrhs=K threads=T scheme=... mode=... p50=... p99=... throughput=...`
+///     End-to-end request latency of a solve service: client threads push
+///     independent right-hand sides into a BatchQueue, one worker drains
+///     batches of up to K and runs cg_solve_batch. p50/p99 are per-request
+///     enqueue-to-completion latencies in milliseconds, throughput is
+///     requests/second. mode=clean runs fault-free; mode=faults flips one
+///     random matrix value bit before every batch (CRC32C corrects them all,
+///     so the column is the *tail cost of correction under load*).
+///
+/// Latencies are wall-clock (std::chrono::steady_clock), not solver time:
+/// queueing delay is the quantity of interest — larger K trades median
+/// latency (requests wait for a batch) for throughput (one matrix stream
+/// serves K requests).
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "abft/abft.hpp"
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "harness.hpp"
+#include "service/batch_queue.hpp"
+#include "solvers/solvers.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/transform.hpp"
+
+namespace {
+
+using namespace abft;
+
+/// Deterministic right-hand side for request \p id (requests are replayable
+/// across schemes and batch sizes, so every config solves identical systems).
+template <class VS>
+std::vector<double> request_rhs(std::size_t n, std::size_t id) {
+  Xoshiro256 rng(1000 + id);
+  std::vector<double> b(n);
+  for (auto& e : b) e = VS::mask(rng.uniform(-1.0, 1.0));
+  return b;
+}
+
+/// Fixed-work batched solve: tolerance 0 never converges, so every column
+/// runs exactly \p iters iterations and the per-RHS time is pure kernel cost.
+template <class PM, class VS, class Plain>
+double batch_solve_seconds(const Plain& plain, unsigned k, unsigned iters,
+                           unsigned reps) {
+  auto p = PM::from_plain(plain);
+  solvers::SolveOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iterations = iters;
+  TimingStats stats;
+  for (unsigned r = 0; r <= reps; ++r) {  // rep 0 is the untimed warm-up
+    ProtectedMultiVector<VS> b(plain.nrows()), u(plain.nrows());
+    for (unsigned j = 0; j < k; ++j) {
+      auto& bj = b.add_column();
+      u.add_column();
+      const auto raw = request_rhs<VS>(plain.nrows(), j);
+      bj.assign({raw.data(), raw.size()});
+    }
+    Timer t;
+    (void)solvers::cg_solve_batch(p, b, u, opts);
+    if (r > 0) stats.add(t.seconds());
+  }
+  return stats.min();
+}
+
+void print_amortization_row(const char* format, const char* scheme, unsigned k,
+                            double per_rhs, double base_per_rhs) {
+  std::printf("amortization format=%s scheme=%s nrhs=%u per_rhs_seconds=%.6f "
+              "overhead_pct=%+.1f\n",
+              format, scheme, k, per_rhs,
+              base_per_rhs > 0.0 ? (per_rhs / base_per_rhs - 1.0) * 100.0 : 0.0);
+}
+
+/// One format's amortization series: unprotected vs protected per-RHS time at
+/// every --nrhs entry. The overhead baseline is the *same-k* unprotected
+/// batch, so the row isolates the protection cost from the k-column locality
+/// effects both variants share.
+template <class PmNone, class PmProt, class Plain>
+void run_amortization(const char* format, const char* scheme, const Plain& plain,
+                      const bench::BenchOptions& o) {
+  for (const unsigned k : o.nrhs_list) {
+    const double base =
+        batch_solve_seconds<PmNone, VecNone>(plain, k, o.iters, o.reps) / k;
+    const double prot =
+        batch_solve_seconds<PmProt, VecNone>(plain, k, o.iters, o.reps) / k;
+    print_amortization_row(format, "none", k, base, base);
+    print_amortization_row(format, scheme, k, prot, base);
+  }
+}
+
+/// One solve request: its own right-hand side and its own fault log (the
+/// service promise is per-tenant accounting even when solved in a batch).
+struct Request {
+  std::size_t id = 0;
+  std::chrono::steady_clock::time_point enqueued;
+  FaultLog log;
+};
+
+/// Run the solve service once: \p producers client threads push \p total
+/// requests through a BatchQueue, the calling thread drains batches of up to
+/// \p k and solves them with cg_solve_batch. Returns per-request latencies
+/// (milliseconds) and fills \p wall_seconds with the drain wall time.
+template <class PM, class VS, class Plain>
+std::vector<double> run_service(const Plain& plain, unsigned k, unsigned iters,
+                                std::size_t total, bool inject_faults,
+                                double* wall_seconds) {
+  FaultLog mlog;
+  auto pm = PM::from_plain(plain, &mlog, DuePolicy::record_only);
+  solvers::SolveOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iterations = iters;
+
+  std::deque<Request> requests(total);
+  service::BatchQueue<Request*> queue(/*capacity=*/256);
+  constexpr std::size_t kProducers = 2;
+  std::vector<std::thread> producers;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < kProducers; ++c) {
+    producers.emplace_back([&, c] {
+      for (std::size_t i = c; i < total; i += kProducers) {
+        requests[i].id = i;
+        requests[i].enqueued = std::chrono::steady_clock::now();
+        queue.push(&requests[i]);
+      }
+    });
+  }
+
+  Xoshiro256 fault_rng(4242);
+  const std::size_t value_bits = pm.raw_values().size_bytes() * 8;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(total);
+  std::size_t served = 0;
+  while (served < total) {
+    const auto batch = queue.pop_batch(k);
+    if (batch.empty()) break;  // closed early — cannot happen here
+    ProtectedMultiVector<VS> b(plain.nrows()), u(plain.nrows());
+    for (Request* req : batch) {
+      auto& bj = b.add_column(&req->log, DuePolicy::record_only);
+      u.add_column(&req->log, DuePolicy::record_only);
+      const auto raw = request_rhs<VS>(plain.nrows(), req->id);
+      bj.assign({raw.data(), raw.size()});
+    }
+    if (inject_faults) {
+      const std::size_t bit = static_cast<std::size_t>(
+          fault_rng.uniform(0.0, static_cast<double>(value_bits)));
+      auto vals = pm.raw_values();
+      faults::flip_bit(
+          {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()},
+          std::min(bit, value_bits - 1));
+    }
+    (void)solvers::cg_solve_batch(pm, b, u, opts);
+    const auto done = std::chrono::steady_clock::now();
+    for (const Request* req : batch) {
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(done - req->enqueued).count());
+    }
+    served += batch.size();
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  *wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                start)
+                      .count();
+  if (inject_faults && mlog.uncorrectable() > 0) {
+    std::printf("# WARNING: %llu uncorrectable matrix events under fault load\n",
+                static_cast<unsigned long long>(mlog.uncorrectable()));
+  }
+  return latencies_ms;
+}
+
+template <class PM, class VS, class Plain>
+void run_service_modes(const char* scheme, const Plain& plain, unsigned k,
+                       unsigned threads, unsigned iters, std::size_t total) {
+  for (const bool faults : {false, true}) {
+    double wall = 0.0;
+    auto lat = run_service<PM, VS>(plain, k, iters, total, faults, &wall);
+    std::printf("service nrhs=%u threads=%u scheme=%s mode=%s p50=%.3f p99=%.3f "
+                "throughput=%.2f\n",
+                k, threads, scheme, faults ? "faults" : "clean",
+                service::percentile(lat, 50.0), service::percentile(lat, 99.0),
+                wall > 0.0 ? static_cast<double>(lat.size()) / wall : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace abft;
+  using namespace abft::bench;
+  const auto opts = BenchOptions::parse(argc, argv);
+
+  std::printf("# Batched multi-RHS solves: amortized matrix verification + solve "
+              "service\n");
+  std::printf("# operator: 5-point Laplacian %zux%zu, %u fixed CG iterations, min "
+              "of %u runs\n",
+              opts.nx, opts.ny, opts.iters, opts.reps);
+
+  const auto csr = sparse::pad_rows_to_min_nnz(sparse::laplacian_2d(opts.nx, opts.ny),
+                                               ElemCrc32c::kMinRowNnz);
+  const auto ell =
+      sparse::Ell<std::uint32_t>::from_csr(csr, ElemCrc32cTile::kMinRowNnz);
+
+  std::printf("\n## per-RHS cost vs batch size (matrix checks charged once per "
+              "batch pass)\n");
+  if (opts.format_selected("csr")) {
+    run_amortization<ProtectedCsr<std::uint32_t, ElemNone, RowNone>,
+                     ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>>(
+        "csr", "crc32c", csr, opts);
+  }
+  if (opts.format_selected("ell")) {
+    run_amortization<
+        ProtectedEll<std::uint32_t, schemes::ElemNone<std::uint32_t>,
+                     schemes::StructNone<std::uint32_t>>,
+        ProtectedEll<std::uint32_t, schemes::ElemCrc32cTile<std::uint32_t>,
+                     schemes::StructCrc32c<std::uint32_t>>>("ell", "crc32c-tile",
+                                                            ell, opts);
+  }
+
+  std::printf("\n## solve service: p50/p99 request latency (ms) and throughput "
+              "(req/s)\n");
+  const std::size_t total_requests = std::size_t{24} * opts.reps;
+  for_each_thread_count(opts, [&](unsigned t) {
+    for (const unsigned k : opts.nrhs_list) {
+      run_service_modes<ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>,
+                        VecCrc32c>("crc32c", csr, k, t, opts.iters, total_requests);
+    }
+  });
+  std::printf("# larger nrhs amortizes the per-batch matrix verification and\n"
+              "# queueing: throughput rises with k while p50 grows (requests\n"
+              "# wait to fill a batch) — the service operator picks k on that\n"
+              "# trade-off; mode=faults shows correction cost stays off the\n"
+              "# tail (CRC32C repairs in place during the verified pass).\n");
+  return 0;
+}

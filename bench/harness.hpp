@@ -57,6 +57,9 @@ struct BenchOptions {
   /// Storage-format filter for the drivers that print one series per format
   /// (fig4/fig5): "csr", "ell", "sell" or "all".
   const char* format = "all";
+  /// Batch sizes for the multi-RHS drivers (fig_service): --nrhs N or a
+  /// comma list (--nrhs 1,2,4,8) to sweep the batch-size axis.
+  std::vector<unsigned> nrhs_list{1, 2, 4, 8};
 
   /// True when the per-format series named \p name should run.
   [[nodiscard]] bool format_selected(const char* name) const {
@@ -82,22 +85,27 @@ struct BenchOptions {
           grab("--iters", o.iters) || grab("--reps", o.reps)) {
         continue;
       }
-      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-        o.thread_list.clear();
+      auto grab_list = [&](const char* flag, std::vector<unsigned>& out) {
+        if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+        out.clear();
         for (const char* p = argv[++i]; *p != '\0';) {
           char* end = nullptr;
           const unsigned long t = std::strtoul(p, &end, 10);
           if (end == p) {
-            std::printf("bad --threads value '%s' (want N or N,N,...)\n", argv[i]);
+            std::printf("bad %s value '%s' (want N or N,N,...)\n", flag, argv[i]);
             std::exit(2);
           }
-          o.thread_list.push_back(t == 0 ? 1u : static_cast<unsigned>(t));
+          out.push_back(t == 0 ? 1u : static_cast<unsigned>(t));
           p = *end == ',' ? end + 1 : end;
         }
-        if (o.thread_list.empty()) o.thread_list.push_back(1);
+        if (out.empty()) out.push_back(1);
+        return true;
+      };
+      if (grab_list("--threads", o.thread_list)) {
         o.threads = o.thread_list.front();
         continue;
       }
+      if (grab_list("--nrhs", o.nrhs_list)) continue;
       auto grab_parsed = [&](const char* flag, auto& out, auto&& parse) {
         if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
           try {
@@ -130,7 +138,7 @@ struct BenchOptions {
       }
       if (std::strcmp(argv[i], "--help") == 0) {
         std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
-                    "[--threads N[,N,...]] [--crc-impl auto|sw|hw] "
+                    "[--threads N[,N,...]] [--nrhs N[,N,...]] [--crc-impl auto|sw|hw] "
                     "[--simd-impl auto|scalar|vector] [--format csr|ell|sell|all]\n",
                     argv[0]);
         std::exit(0);

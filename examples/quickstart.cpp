@@ -5,7 +5,7 @@
 ///
 /// Usage: quickstart [scheme] [width] [--format csr|ell|sell|all]
 ///                   [--matrix file.mtx] [--crc-impl auto|sw|hw]
-///                   [--threads N]
+///                   [--threads N] [--nrhs K]
 ///   scheme: none|sed|secded64|secded128|crc32c|crc32c-tile   (default
 ///           secded64; crc32c-tile is the slab formats' unit-stride layout
 ///           and is unavailable on csr)
@@ -15,6 +15,10 @@
 ///   matrix: a Matrix Market file to protect instead of the built-in
 ///           Laplacian — the io/ ingestion pipeline (matrix_doctor --matrix
 ///           runs the same loader with analysis and a format advisor on top)
+///   nrhs:   solve K right-hand sides as one cg_solve_batch() (default 1 =
+///           plain cg_solve); the batch verifies the matrix once per pass
+///           for all K systems — examples/solve_service.cpp drives the same
+///           API from a concurrent request queue
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +34,7 @@
 #include "common/fault_log.hpp"
 #include "faults/injector.hpp"
 #include "io/io.hpp"
-#include "solvers/cg.hpp"
+#include "solvers/solvers.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/transform.hpp"
 
@@ -40,9 +44,11 @@ using namespace abft;
 
 /// Protect, inject one flip, CG-solve and report — for one
 /// (format x width x scheme) combination picked at runtime through
-/// dispatch_protection().
+/// dispatch_protection(). With nrhs > 1 the K systems b_j = (j+1) * (A·1)
+/// are solved as one cg_solve_batch() call (exact solutions u_j = (j+1)·1),
+/// paying the matrix verification once per batch pass.
 void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
-                         IndexWidth width, ecc::Scheme scheme) {
+                         IndexWidth width, ecc::Scheme scheme, std::size_t nrhs) {
   FaultLog log;
   std::printf("-- %s, %s-bit indices --\n", to_string(format).data(),
               to_string(width).data());
@@ -55,9 +61,6 @@ void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
     sparse::spmv(a, ones.data(), rhs.data());
 
     auto pa = PM::from_plain(a, &log, DuePolicy::record_only);
-    ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
-    ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
-    b.assign({rhs.data(), n});
 
     faults::Injector injector(/*seed=*/7);
     auto vals = pa.raw_values();
@@ -68,17 +71,48 @@ void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
 
     solvers::SolveOptions opts;
     opts.tolerance = 1e-12;
-    const auto res = solvers::cg_solve(pa, b, u, opts);
+    if (nrhs == 1) {
+      ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
+      ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
+      b.assign({rhs.data(), n});
+      const auto res = solvers::cg_solve(pa, b, u, opts);
 
-    aligned_vector<double> got(n, 0.0);
-    u.extract(got);
-    double max_err = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double e = got[i] > 1.0 ? got[i] - 1.0 : 1.0 - got[i];
-      if (e > max_err) max_err = e;
+      aligned_vector<double> got(n, 0.0);
+      u.extract(got);
+      double max_err = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double e = got[i] > 1.0 ? got[i] - 1.0 : 1.0 - got[i];
+        if (e > max_err) max_err = e;
+      }
+      std::printf("CG: %u iterations, converged=%s, max |u - 1| = %.3e\n",
+                  res.iterations, res.converged ? "yes" : "no", max_err);
+    } else {
+      ProtectedMultiVector<VS> b(n), u(n);
+      std::vector<double> scaled(n);
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        auto& bj = b.add_column(&log, DuePolicy::record_only);
+        u.add_column(&log, DuePolicy::record_only);
+        for (std::size_t i = 0; i < n; ++i) {
+          scaled[i] = static_cast<double>(j + 1) * rhs[i];
+        }
+        bj.assign({scaled.data(), scaled.size()});
+      }
+      const auto results = solvers::cg_solve_batch(pa, b, u, opts);
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        const double want = static_cast<double>(j + 1);
+        aligned_vector<double> got(n, 0.0);
+        u.column(j).extract(got);
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double e = got[i] > want ? got[i] - want : want - got[i];
+          if (e > max_err) max_err = e;
+        }
+        std::printf("CG column %zu: %u iterations, converged=%s, "
+                    "max |u - %g| = %.3e\n",
+                    j, results[j].iterations, results[j].converged ? "yes" : "no",
+                    want, max_err);
+      }
     }
-    std::printf("CG: %u iterations, converged=%s, max |u - 1| = %.3e\n",
-                res.iterations, res.converged ? "yes" : "no", max_err);
   });
   std::printf("fault log: %llu checks, %llu corrected, %llu uncorrectable, "
               "%llu bounds-guard hits\n",
@@ -95,9 +129,32 @@ int main(int argc, char** argv) {
   const char* width_name = "both";
   const char* format_name = "both";
   const char* matrix_path = nullptr;
+  std::size_t nrhs = 1;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--format") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: quickstart [scheme] [width] [--format csr|ell|sell|all]\n"
+          "                  [--matrix file.mtx] [--crc-impl auto|sw|hw]\n"
+          "                  [--threads N] [--nrhs K]\n"
+          "  scheme  none|sed|secded64|secded128|crc32c|crc32c-tile (default "
+          "secded64)\n"
+          "  width   32|64|both (default both)\n"
+          "  --nrhs K  solve K right-hand sides as one cg_solve_batch(): the\n"
+          "            matrix region is verified once per batch pass for all K\n"
+          "            systems (see examples/solve_service.cpp for the\n"
+          "            request-queue service built on the same API, and\n"
+          "            bench/fig_service.cpp for its latency/throughput bench)\n");
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--nrhs") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--nrhs requires a batch width\n");
+        return 2;
+      }
+      nrhs = std::strtoull(argv[++i], nullptr, 10);
+      if (nrhs == 0) nrhs = 1;
+    } else if (std::strcmp(argv[i], "--format") == 0) {
       if (i + 1 >= argc) {
         std::printf("--format requires a value (csr, ell, sell or all)\n");
         return 2;
@@ -189,7 +246,7 @@ int main(int argc, char** argv) {
   }
   const auto run_combo = [&](abft::MatrixFormat format, abft::IndexWidth width) {
     try {
-      run_protected_solve(a, format, width, scheme);
+      run_protected_solve(a, format, width, scheme, nrhs);
       return true;
     } catch (const abft::SchemeUnavailableError& e) {
       std::printf("scheme unavailable: %s\n", e.what());

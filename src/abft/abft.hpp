@@ -14,6 +14,7 @@
 #include "abft/protected_ell.hpp"       // IWYU pragma: export
 #include "abft/protected_sell.hpp"      // IWYU pragma: export
 #include "abft/protected_kernels.hpp"   // IWYU pragma: export
+#include "abft/protected_multivector.hpp"  // IWYU pragma: export
 #include "abft/protected_vector.hpp"    // IWYU pragma: export
 #include "abft/row_schemes.hpp"         // IWYU pragma: export
 #include "abft/scheme_errors.hpp"       // IWYU pragma: export

@@ -624,14 +624,7 @@ class EllRowCursor {
             }
             if (clean) {
               checks_ += n;
-              for (std::size_t i = 0; i < n; ++i) {
-                const Index c = cols_[base + i] & ES::kColMask;
-                if (c >= ncols_) [[unlikely]] {
-                  capture_->record_bounds(Region::ell_cols, base + i);
-                  continue;
-                }
-                out[i] += values_[base + i] * xload(c);
-              }
+              accumulate_whole_column(out, base, n, xload);
               continue;
             }
           }
@@ -654,9 +647,12 @@ class EllRowCursor {
     }
     for (std::size_t j = 0; j < max_rl; ++j) {
       const std::size_t base = j * nrows_ + row0;
-      const bool whole_column = j < min_rl;
+      if (j < min_rl) {
+        accumulate_whole_column(out, base, n, xload);
+        continue;
+      }
       for (std::size_t i = 0; i < n; ++i) {
-        if (!whole_column && j >= rl[i]) continue;
+        if (j >= rl[i]) continue;
         const Index c = cols_[base + i] & ES::kColMask;
         if (c >= ncols_) [[unlikely]] {
           capture_->record_bounds(Region::ell_cols, base + i);
@@ -664,6 +660,31 @@ class EllRowCursor {
         }
         out[i] += values_[base + i] * xload(c);
       }
+    }
+  }
+
+  /// One whole slab column over a row block: every row reaches slot j, so
+  /// the run is a dense masked gather. With a raw (schemeless) x the AVX2
+  /// gather kernel applies the run four lanes at a time — lanes are
+  /// independent accumulators, so it is bit-identical to the loop below —
+  /// and declines (returning false, out untouched) when any masked column
+  /// fails the range guard or the scalar implementation is selected.
+  template <class XLoad>
+  void accumulate_whole_column(double* out, std::size_t base, std::size_t n,
+                               XLoad&& xload) {
+    if constexpr (detail::kIsRawXLoad<XLoad>) {
+      if (ecc::gather_mul_add(out, values_ + base, cols_ + base, n, xload.x,
+                              static_cast<Index>(ES::kColMask), ncols_)) {
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Index c = cols_[base + i] & ES::kColMask;
+      if (c >= ncols_) [[unlikely]] {
+        capture_->record_bounds(Region::ell_cols, base + i);
+        continue;
+      }
+      out[i] += values_[base + i] * xload(c);
     }
   }
 

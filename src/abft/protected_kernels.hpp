@@ -26,11 +26,13 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <stdexcept>
 #include <vector>
 
 #include "abft/check_policy.hpp"
 #include "abft/format_traits.hpp"
+#include "abft/protected_multivector.hpp"
 #include "abft/protected_vector.hpp"
 #include "abft/raw_spmv.hpp"
 
@@ -55,6 +57,12 @@ struct OperandCommit {
 /// accounting; when multiple operands hold a DUE, the first in argument
 /// order raises.
 inline void commit_each(std::initializer_list<OperandCommit> operands) {
+  for (const auto& op : operands) op.capture->commit(op.log, DuePolicy::record_only);
+  for (const auto& op : operands) op.capture->commit(nullptr, op.policy);
+}
+
+/// Runtime-sized variant for the batched kernels (one operand per column).
+inline void commit_each(const std::vector<OperandCommit>& operands) {
   for (const auto& op : operands) op.capture->commit(op.log, DuePolicy::record_only);
   for (const auto& op : operands) op.capture->commit(nullptr, op.policy);
 }
@@ -106,41 +114,41 @@ void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
     {
       typename MatrixTraits<PM>::cursor_type cursor(a, &local, &pass);
       GroupReader<VS, 8> xr(x, &x_local, &x_once);
-      const double* const xdata = x.data();
-      const auto xload = [&](auto c) {
-        if constexpr (VS::kScheme == ecc::Scheme::none) {
-          // Unprotected x: single-entry groups with no redundancy bits —
-          // a direct gather the compiler can vectorise, no cache, no checks.
-          return xdata[static_cast<std::size_t>(c)];
-        } else {
-          return xr.get(static_cast<std::size_t>(c));
-        }
-      };
 
 #pragma omp for schedule(static)
       for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
-        // Dropping cached x groups at every chunk boundary makes the decode
-        // (and check-count) pattern a pure function of the chunk, not of
-        // which chunks share a thread — the cross-thread-count determinism
-        // of x's accounting hangs on this.
-        if constexpr (VS::kScheme != ecc::Scheme::none) xr.invalidate();
         const std::size_t row0 = static_cast<std::size_t>(ci) * kChunkRows;
         const std::size_t count = row0 < nrows ? std::min(kChunkRows, nrows - row0) : 0;
-        if constexpr (G == 1) {
-          // Single-entry vector codewords: encode each row sum straight from
-          // the register (no intermediate buffer; storage has no padding rows).
-          cursor.accumulate(row0, count, mode, xload, [&](std::size_t i, double v) {
-            VS::encode_group(&v, y.data() + row0 + i);
-          });
-        } else {
-          double sums[kChunkRows] = {};  // group-padding rows stay zero
-          cursor.accumulate(row0, count, mode, xload,
-                            [&](std::size_t i, double v) { sums[i] = v; });
-          const std::size_t g0 = static_cast<std::size_t>(ci) * kGroupsPerChunk;
-          const std::size_t gend = std::min(g0 + kGroupsPerChunk, ngroups);
-          for (std::size_t g = g0; g < gend; ++g) {
-            VS::encode_group(sums + (g - g0) * G, y.data() + g * G);
+        const auto run_chunk = [&](auto&& xload) {
+          if constexpr (G == 1) {
+            // Single-entry vector codewords: encode each row sum straight from
+            // the register (no intermediate buffer; storage has no padding rows).
+            cursor.accumulate(row0, count, mode, xload, [&](std::size_t i, double v) {
+              VS::encode_group(&v, y.data() + row0 + i);
+            });
+          } else {
+            double sums[kChunkRows] = {};  // group-padding rows stay zero
+            cursor.accumulate(row0, count, mode, xload,
+                              [&](std::size_t i, double v) { sums[i] = v; });
+            const std::size_t g0 = static_cast<std::size_t>(ci) * kGroupsPerChunk;
+            const std::size_t gend = std::min(g0 + kGroupsPerChunk, ngroups);
+            for (std::size_t g = g0; g < gend; ++g) {
+              VS::encode_group(sums + (g - g0) * G, y.data() + g * G);
+            }
           }
+        };
+        if constexpr (VS::kScheme == ecc::Scheme::none) {
+          // Unprotected x: single-entry groups with no redundancy bits — the
+          // raw-gather marker lets slab cursors use the SIMD gather; no
+          // cache, no checks.
+          run_chunk(detail::RawXLoad{x.data()});
+        } else {
+          // Dropping cached x groups at every chunk boundary makes the decode
+          // (and check-count) pattern a pure function of the chunk, not of
+          // which chunks share a thread — the cross-thread-count determinism
+          // of x's accounting hangs on this.
+          xr.invalidate();
+          run_chunk([&](auto c) { return xr.get(static_cast<std::size_t>(c)); });
         }
       }
     }  // cursor / reader destructors flush their check counters
@@ -149,6 +157,127 @@ void spmv(PM& a, ProtectedVector<VS>& x, ProtectedVector<VS>& y,
   }
   detail::commit_each({{&capture, a.fault_log(), a.due_policy()},
                        {&x_capture, x.fault_log(), x.due_policy()}});
+}
+
+/// Y = A * X for a batch of k right-hand sides (SpMM), amortizing the matrix
+/// verification over the batch.
+///
+/// Per 64-row chunk, the *first* active column runs at the requested check
+/// mode — in CheckMode::full that decodes, verifies and (where the scheme
+/// allows) corrects in place every matrix element, structure word and crc32c
+/// tile the chunk touches. The remaining columns stream the same chunk in
+/// CheckMode::bounds_only: masked loads plus range guards, exactly the
+/// skip-iteration contract of §VI-A2. Values are stored plain, redundancy
+/// lives in the index top bits, and corrections land in place before the
+/// guarded columns run, so each guarded stream is bit-identical to a full
+/// pass over the (clean-or-corrected) data: every column's y bits equal its
+/// independent spmv()'s, while the matrix-region check accounting is that of
+/// exactly ONE full pass — per SpMM call, at any thread count and any k.
+/// (Data a full pass left uncorrectable stays dirty; a guarded column that
+/// trips over its masked index records a bounds violation, again exactly as
+/// a skip iteration would.)
+///
+/// Vector accounting keeps per-request isolation: each x/y column carries
+/// its own ErrorCapture committed to its own FaultLog / DuePolicy, and each
+/// column's chunk-pure decode pattern matches its independent spmv()
+/// bit-for-bit. \p active (optional, size k, non-zero = solve) masks
+/// converged columns out of the batch without disturbing the others.
+template <ProtectedMatrixType PM, class VS>
+void spmm(PM& a, ProtectedMultiVector<VS>& x, ProtectedMultiVector<VS>& y,
+          CheckMode mode = CheckMode::full,
+          const std::vector<std::uint8_t>* active = nullptr) {
+  const std::size_t k = x.batch();
+  if (y.batch() != k) throw std::invalid_argument("spmm: batch size mismatch");
+  if (active != nullptr && active->size() != k) {
+    throw std::invalid_argument("spmm: active mask size mismatch");
+  }
+  if (x.size() != a.ncols() || y.size() != a.nrows()) {
+    throw std::invalid_argument("spmm: dimension mismatch");
+  }
+  bool any_active = false;
+  for (std::size_t j = 0; j < k; ++j) {
+    any_active |= active == nullptr || (*active)[j] != 0;
+  }
+  if (!any_active) return;
+  constexpr std::size_t G = VS::kGroup;
+  constexpr std::size_t kGroupsPerChunk = (detail::kSpmvChunkRows + G - 1) / G;
+  constexpr std::size_t kChunkRows = kGroupsPerChunk * G;
+  static_assert(kChunkRows == detail::kSpmvChunkRows,
+                "vector codeword group must divide the SpMV chunk size");
+  const std::size_t ngroups = y.column(0).groups();
+  const std::size_t nchunks = (ngroups + kGroupsPerChunk - 1) / kGroupsPerChunk;
+  const std::size_t nrows = a.nrows();
+  ErrorCapture capture;  // matrix-region outcomes — one full pass's worth
+  // Per-column x captures / corrected-once arbiters (deque: ErrorCapture and
+  // CorrectedOnce are pinned, non-movable types).
+  std::deque<ErrorCapture> x_captures(k);
+  std::deque<CorrectedOnce> x_onces(k);
+  typename MatrixTraits<PM>::cursor_type::pass_state pass(a);
+
+#pragma omp parallel
+  {
+    ErrorCapture local;
+    std::deque<ErrorCapture> x_locals(k);
+    {
+      typename MatrixTraits<PM>::cursor_type cursor(a, &local, &pass);
+      std::deque<GroupReader<VS, 8>> readers;
+      for (std::size_t j = 0; j < k; ++j) {
+        readers.emplace_back(x.column(j), &x_locals[j], &x_onces[j]);
+      }
+
+#pragma omp for schedule(static)
+      for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
+        const std::size_t row0 = static_cast<std::size_t>(ci) * kChunkRows;
+        const std::size_t count = row0 < nrows ? std::min(kChunkRows, nrows - row0) : 0;
+        // The matrix data for this chunk is verified by the first active
+        // column's pass and is cache-hot for the k-1 guarded streams behind
+        // it; the column order is fixed, so which column carries the full
+        // pass is a pure function of the active mask, not of threading.
+        bool matrix_checked = false;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (active != nullptr && (*active)[j] == 0) continue;
+          const CheckMode col_mode = matrix_checked ? CheckMode::bounds_only : mode;
+          matrix_checked = true;
+          double* const ydata = y.column(j).data();
+          const auto run_column = [&](auto&& xload) {
+            if constexpr (G == 1) {
+              cursor.accumulate(row0, count, col_mode, xload,
+                                [&](std::size_t i, double v) {
+                                  VS::encode_group(&v, ydata + row0 + i);
+                                });
+            } else {
+              double sums[kChunkRows] = {};  // group-padding rows stay zero
+              cursor.accumulate(row0, count, col_mode, xload,
+                                [&](std::size_t i, double v) { sums[i] = v; });
+              const std::size_t g0 = static_cast<std::size_t>(ci) * kGroupsPerChunk;
+              const std::size_t gend = std::min(g0 + kGroupsPerChunk, ngroups);
+              for (std::size_t g = g0; g < gend; ++g) {
+                VS::encode_group(sums + (g - g0) * G, ydata + g * G);
+              }
+            }
+          };
+          if constexpr (VS::kScheme == ecc::Scheme::none) {
+            run_column(detail::RawXLoad{x.column(j).data()});
+          } else {
+            // Chunk-pure decode pattern per column (see spmv).
+            auto& xr = readers[j];
+            xr.invalidate();
+            run_column([&](auto c) { return xr.get(static_cast<std::size_t>(c)); });
+          }
+        }
+      }
+    }  // cursor / reader destructors flush their check counters
+    capture.merge_from(local);
+    for (std::size_t j = 0; j < k; ++j) x_captures[j].merge_from(x_locals[j]);
+  }
+  std::vector<detail::OperandCommit> commits;
+  commits.reserve(k + 1);
+  commits.push_back({&capture, a.fault_log(), a.due_policy()});
+  for (std::size_t j = 0; j < k; ++j) {
+    commits.push_back(
+        {&x_captures[j], x.column(j).fault_log(), x.column(j).due_policy()});
+  }
+  detail::commit_each(commits);
 }
 
 /// Dot product of two protected vectors (decodes each group once).

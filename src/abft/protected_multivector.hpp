@@ -1,0 +1,65 @@
+/// \file protected_multivector.hpp
+/// \brief A batch of k dense protected columns sharing one operator — the
+/// multi-RHS right-hand-side/solution container the SpMM kernel and the
+/// batched CG solver stream against.
+///
+/// Each column is a full ProtectedVector with its *own* FaultLog and
+/// DuePolicy: a solve service batches requests from independent tenants, and
+/// corruption detected while decoding request j's vectors must land in
+/// request j's log (and be policed by request j's policy), never in a
+/// neighbour's. The columns share nothing but their logical length.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+#include "abft/protected_vector.hpp"
+#include "common/fault_log.hpp"
+
+namespace abft {
+
+/// k dense columns of logical length n, each protected with scheme \p S.
+///
+/// Columns live in a deque so references handed out by add_column() stay
+/// valid as later requests join the batch (the solve-service worker builds
+/// its batch incrementally from queued requests).
+template <class S>
+class ProtectedMultiVector {
+ public:
+  using scheme_type = S;
+  using column_type = ProtectedVector<S>;
+  static constexpr std::size_t kGroup = S::kGroup;
+
+  ProtectedMultiVector() = default;
+
+  /// An empty batch of columns of length \p n (add columns per request).
+  explicit ProtectedMultiVector(std::size_t n) : n_(n) {}
+
+  /// \p k zero-initialised columns sharing one log/policy (benches, tests).
+  ProtectedMultiVector(std::size_t n, std::size_t k, FaultLog* log = nullptr,
+                       DuePolicy policy = DuePolicy::throw_exception)
+      : n_(n) {
+    for (std::size_t j = 0; j < k; ++j) add_column(log, policy);
+  }
+
+  /// Append a zero-initialised column with its own fault log / DUE policy.
+  column_type& add_column(FaultLog* log = nullptr,
+                          DuePolicy policy = DuePolicy::throw_exception) {
+    return cols_.emplace_back(n_, log, policy);
+  }
+
+  /// Logical length shared by every column.
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Number of columns in the batch (k).
+  [[nodiscard]] std::size_t batch() const noexcept { return cols_.size(); }
+
+  [[nodiscard]] column_type& column(std::size_t j) { return cols_[j]; }
+  [[nodiscard]] const column_type& column(std::size_t j) const { return cols_[j]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::deque<column_type> cols_;
+};
+
+}  // namespace abft

@@ -15,12 +15,30 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "abft/check_policy.hpp"
 #include "abft/error_capture.hpp"
 #include "common/fault_log.hpp"
 
 namespace abft::detail {
+
+/// x-load callable over a bare dense array (no vector scheme, no group
+/// decode). The type is a marker as much as a closure: cursors test
+/// kIsRawXLoad to know the gather has no side effects and no per-access
+/// checks, which is what licenses the SIMD gather on the ELL slab-column
+/// fast path (a GroupReader-backed load can cache-fill and record, so it can
+/// never be vectorised).
+struct RawXLoad {
+  const double* x;
+  template <class C>
+  [[nodiscard]] double operator()(C c) const noexcept {
+    return x[static_cast<std::size_t>(c)];
+  }
+};
+
+template <class XLoad>
+inline constexpr bool kIsRawXLoad = std::is_same_v<std::remove_cvref_t<XLoad>, RawXLoad>;
 
 /// Rows per work-sharing chunk in every SpMV driver (this one and the
 /// protected-vector kernel, whose y codeword groups of 1/2/4 entries divide
@@ -60,7 +78,7 @@ void chunked_raw_spmv(Matrix& m, std::span<const double> x, std::span<double> y,
       for (std::int64_t ci = 0; ci < static_cast<std::int64_t>(nchunks); ++ci) {
         const std::size_t r0 = static_cast<std::size_t>(ci) * kChunk;
         cursor.accumulate(r0, std::min(kChunk, nrows - r0), mode,
-                          [&](auto c) { return x[c]; },
+                          RawXLoad{x.data()},
                           [&](std::size_t i, double v) { y[r0 + i] = v; });
       }
     }  // cursor destructor flushes its local check counters into `local`

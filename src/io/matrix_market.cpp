@@ -14,6 +14,7 @@
 
 #include "io/stats.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/transform.hpp"
 
 namespace abft::io {
 
@@ -504,32 +505,76 @@ class StreamStateGuard {
   std::streamsize precision_;
 };
 
+/// Would this matrix round-trip through a 'pattern' banner? The reader
+/// materializes pattern entries as 1.0 exactly, so the test is bit-exact
+/// equality with 1.0 on every stored value.
+template <class Index>
+[[nodiscard]] bool is_all_ones(const sparse::Csr<Index>& a) {
+  if (a.nnz() == 0) return false;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    if (a.values()[k] != 1.0) return false;
+  }
+  return true;
+}
+
+/// Would this matrix round-trip through a 'skew-symmetric' banner? Square,
+/// no stored diagonal (skew files cannot carry one), and A^T's structure
+/// matches A with every value the exact negation — the mirror the reader's
+/// expansion produces.
+template <class Index>
+[[nodiscard]] bool is_skew_mirror(const sparse::Csr<Index>& a) {
+  if (a.nrows() != a.ncols() || a.nnz() == 0) return false;
+  for (std::size_t r = 0; r < a.nrows(); ++r) {
+    for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      if (static_cast<std::size_t>(a.cols()[k]) == r) return false;
+    }
+  }
+  const auto at = sparse::transpose(a);
+  if (!(at.row_ptr() == a.row_ptr()) || !(at.cols() == a.cols())) return false;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    if (at.values()[k] != -a.values()[k]) return false;
+  }
+  return true;
+}
+
 template <class Index>
 void write_impl(std::ostream& os, const sparse::Csr<Index>& a) {
   StreamStateGuard guard(os);
-  // Numerically symmetric operators re-emit with a 'symmetric' banner and
-  // only the lower triangle stored — the declaration a symmetric input
-  // arrived with, at half the entries, instead of a ~2x 'general' blow-up.
-  // The symmetry test is MatrixStats' transpose compare (bit-exact value
-  // equality), so the reader's mirror expansion reproduces A exactly.
+  // Re-emit recognisable inputs under their original qualifier instead of an
+  // expanded 'real general' blow-up: numerically symmetric operators keep
+  // 'symmetric' (lower triangle, ~half the entries), exact sign-mirrors with
+  // an empty diagonal keep 'skew-symmetric' (strictly-below triangle), and
+  // all-ones matrices keep 'pattern' (no value column). Every test is
+  // bit-exact against what the reader's expansion reconstructs, so the
+  // round trip reproduces A exactly. pattern+skew cannot co-occur (the
+  // reader rejects that banner; an all-ones matrix is never a sign mirror).
+  const bool pattern = is_all_ones(a);
   const bool symmetric = is_numerically_symmetric(a);
+  const bool skew = !symmetric && is_skew_mirror(a);
   std::size_t stored = a.nnz();
-  if (symmetric) {
+  if (symmetric || skew) {
     stored = 0;
     for (std::size_t r = 0; r < a.nrows(); ++r) {
       for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
-        if (static_cast<std::size_t>(a.cols()[k]) <= r) ++stored;
+        const auto c = static_cast<std::size_t>(a.cols()[k]);
+        if (symmetric ? c <= r : c < r) ++stored;
       }
     }
   }
-  os << "%%MatrixMarket matrix coordinate real "
-     << (symmetric ? "symmetric" : "general") << '\n';
+  os << "%%MatrixMarket matrix coordinate "
+     << (pattern ? "pattern" : "real") << ' '
+     << (symmetric ? "symmetric" : (skew ? "skew-symmetric" : "general"))
+     << '\n';
   os << a.nrows() << ' ' << a.ncols() << ' ' << stored << '\n';
   os << std::setprecision(17);
   for (std::size_t r = 0; r < a.nrows(); ++r) {
     for (auto k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
-      if (symmetric && static_cast<std::size_t>(a.cols()[k]) > r) continue;
-      os << (r + 1) << ' ' << (a.cols()[k] + 1) << ' ' << a.values()[k] << '\n';
+      const auto c = static_cast<std::size_t>(a.cols()[k]);
+      if (symmetric && c > r) continue;
+      if (skew && c >= r) continue;
+      os << (r + 1) << ' ' << (a.cols()[k] + 1);
+      if (!pattern) os << ' ' << a.values()[k];
+      os << '\n';
     }
   }
 }

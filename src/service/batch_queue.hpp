@@ -1,0 +1,102 @@
+/// \file batch_queue.hpp
+/// \brief Request queue for the concurrent solve service: many client
+/// threads submit independent solve requests, a worker drains them in
+/// batches of up to k so the batched CG can amortize one matrix verification
+/// over the whole batch (see solvers::cg_solve_batch).
+///
+/// Deliberately small and lock-based: the queue hand-off is microseconds
+/// against solves that are milliseconds, so a mutex + two condition
+/// variables is the entire synchronization story — easy to reason about and
+/// exactly what the TSan stress test hammers.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace abft::service {
+
+/// Bounded MPMC queue delivering items in arrival order, batch-at-a-time.
+///
+/// push() blocks while the queue is full; pop_batch() blocks until at least
+/// one item is available (then takes up to max_batch without waiting for
+/// more — a service must not hold a lone request hostage to fill a batch).
+/// close() wakes everyone: pushes start failing, pops drain what is left and
+/// then return empty batches.
+template <class T>
+class BatchQueue {
+ public:
+  explicit BatchQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Enqueue one request. False if the queue was closed (item dropped).
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue up to \p max_batch requests in arrival order; blocks until at
+  /// least one is available. An empty result means closed-and-drained.
+  std::vector<T> pop_batch(std::size_t max_batch) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    std::vector<T> batch;
+    const std::size_t take = std::min(max_batch, q_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    lock.unlock();
+    if (take > 0) not_full_.notify_all();
+    return batch;
+  }
+
+  /// Stop accepting pushes and wake every waiter. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Nearest-rank percentile of a latency sample, \p q in [0, 100]. Sorts a
+/// copy — service-sized samples (thousands) make that free.
+[[nodiscard]] inline double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = q / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + (sample[hi] - sample[lo]) * frac;
+}
+
+}  // namespace abft::service

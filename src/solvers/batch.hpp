@@ -1,0 +1,126 @@
+/// \file batch.hpp
+/// \brief Batched Conjugate Gradient: k independent systems against one
+/// shared protected operator, solved in lockstep so the SpMM kernel can
+/// amortize the matrix verification over the whole batch.
+///
+/// Numerically each column runs *exactly* the op sequence of cg_solve() —
+/// same kernels, same fixed-order reductions, same convergence test — so a
+/// batched solve is bit-identical to k sequential solves (the SpMM's guarded
+/// column streams reproduce the full-check SpMV bit-for-bit on
+/// clean-or-corrected data; see spmm()). What changes is the accounting: the
+/// matrix region is verified once per SpMM pass instead of once per column
+/// per pass, which is the whole point — the per-RHS protection overhead
+/// falls toward the unprotected baseline as k grows.
+///
+/// Fault isolation: each column's vectors (b, u and the solver temporaries)
+/// carry that request's own FaultLog and DuePolicy, so corruption in one
+/// tenant's data is logged to — and policed by — that tenant alone.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "abft/protected_kernels.hpp"
+#include "abft/protected_multivector.hpp"
+#include "solvers/types.hpp"
+
+namespace abft::solvers {
+
+/// Per-column residual histories of a batched solve (index = column).
+using ResidualHistories = std::vector<std::vector<double>>;
+
+/// Solve A u_j = b_j for every column j with unpreconditioned CG in
+/// lockstep. Each \p u column holds that request's initial guess on entry
+/// and its solution on exit. Converged (or broken-down) columns are frozen
+/// via the SpMM active mask; the batch runs until every column is done or
+/// opts.max_iterations is hit. opts.residual_history is ignored (it has no
+/// column dimension) — pass \p histories for per-column residual traces.
+template <class Matrix, class VS>
+std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
+                                        ProtectedMultiVector<VS>& u,
+                                        const SolveOptions& opts = {},
+                                        ResidualHistories* histories = nullptr) {
+  const std::size_t k = b.batch();
+  if (u.batch() != k) {
+    throw std::invalid_argument("cg_solve_batch: batch size mismatch");
+  }
+  std::vector<SolveResult> results(k);
+  if (histories != nullptr) histories->assign(k, {});
+  if (k == 0) return results;
+  const std::size_t n = u.size();
+
+  // Temporaries inherit each request's own log/policy from its u column.
+  ProtectedMultiVector<VS> r(n), p(n), w(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (auto* mv : {&r, &p, &w}) {
+      mv->add_column(u.column(j).fault_log(), u.column(j).due_policy());
+    }
+  }
+
+  std::vector<std::uint8_t> active(k, 1);
+  std::vector<double> threshold(k), rr(k, 0.0);
+
+  // r_j = b_j - A u_j ; p_j = r_j — one matrix verification for the batch.
+  spmm(a, u, w, opts.check_policy.mode_for_iteration(0), &active);
+  std::size_t nactive = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double bnorm = norm2(b.column(j));
+    threshold[j] = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+    sub(b.column(j), w.column(j), r.column(j));
+    copy(r.column(j), p.column(j));
+    rr[j] = dot(r.column(j), r.column(j));
+    results[j].residual_norm = std::sqrt(rr[j]);
+    if (histories != nullptr) (*histories)[j].push_back(results[j].residual_norm);
+    if (results[j].residual_norm <= threshold[j]) {
+      results[j].converged = true;
+      active[j] = 0;
+    } else {
+      ++nactive;
+    }
+  }
+
+  for (unsigned iter = 1; iter <= opts.max_iterations && nactive > 0; ++iter) {
+    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    spmm(a, p, w, mode, &active);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (active[j] == 0) continue;
+      const double pw = dot(p.column(j), w.column(j));
+      if (pw == 0.0 || !std::isfinite(pw)) {  // breakdown (e.g. SDC damage)
+        active[j] = 0;
+        --nactive;
+        continue;
+      }
+      const double alpha = rr[j] / pw;
+      axpy(alpha, p.column(j), u.column(j));
+      axpy(-alpha, w.column(j), r.column(j));
+      const double rr_new = dot(r.column(j), r.column(j));
+      results[j].iterations = iter;
+      results[j].residual_norm = std::sqrt(rr_new);
+      if (histories != nullptr) (*histories)[j].push_back(results[j].residual_norm);
+      if (!std::isfinite(rr_new)) {
+        active[j] = 0;
+        --nactive;
+        continue;
+      }
+      if (results[j].residual_norm <= threshold[j]) {
+        results[j].converged = true;
+        active[j] = 0;
+        --nactive;
+        continue;
+      }
+      const double beta = rr_new / rr[j];
+      xpby(r.column(j), beta, p.column(j));
+      rr[j] = rr_new;
+    }
+  }
+
+  // End-of-solve sweep, once for the whole batch (the matrix is shared; with
+  // check intervals > 1 this is what guarantees no corruption survives the
+  // batch unnoticed, paper §VI-A2).
+  if (opts.final_matrix_verify) a.verify_all();
+  return results;
+}
+
+}  // namespace abft::solvers

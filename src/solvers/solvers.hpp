@@ -2,6 +2,7 @@
 /// \brief Umbrella header for the protection-aware iterative solvers.
 #pragma once
 
+#include "solvers/batch.hpp"           // IWYU pragma: export
 #include "solvers/cg.hpp"              // IWYU pragma: export
 #include "solvers/chebyshev.hpp"       // IWYU pragma: export
 #include "solvers/eigen_estimate.hpp"  // IWYU pragma: export

@@ -157,4 +157,33 @@ TEST(FaultSweepDoubles, StructureSecdedDetectsEveryCoveredBitPair) {
   scheme_matrix::struct_exhaustive_double_flips<schemes::StructSecded128<std::uint64_t>>();
 }
 
+// CRC32C's half of the double-flip contract: detect, never miscorrect. A
+// double flip decoded as `corrected` would silently write wrong data back,
+// so every distinct bit pair must land on `uncorrectable` (HD=4 at these
+// codeword sizes). Row and small-tile codewords go through the real decoder
+// exhaustively; the full 64-slot tile is proved in syndrome space.
+
+TEST(FaultSweepDoubles, CrcRowEveryBitPairIsUncorrectableNarrow) {
+  scheme_matrix::crc_row_exhaustive_double_flips<schemes::ElemCrc32c<std::uint32_t>>();
+}
+
+TEST(FaultSweepDoubles, CrcRowEveryBitPairIsUncorrectableWide) {
+  scheme_matrix::crc_row_exhaustive_double_flips<schemes::ElemCrc32c<std::uint64_t>>();
+}
+
+TEST(FaultSweepDoubles, CrcTileEveryBitPairFollowsTheContractNarrow) {
+  scheme_matrix::tile_exhaustive_double_flips<schemes::ElemCrc32cTile<std::uint32_t>>();
+}
+
+TEST(FaultSweepDoubles, CrcTileEveryBitPairFollowsTheContractWide) {
+  scheme_matrix::tile_exhaustive_double_flips<schemes::ElemCrc32cTile<std::uint64_t>>();
+}
+
+TEST(FaultSweepDoubles, CrcTileFullSizeSyndromeSpaceProof) {
+  scheme_matrix::crc_tile_syndrome_space_double_flips<
+      schemes::ElemCrc32cTile<std::uint32_t>>();
+  scheme_matrix::crc_tile_syndrome_space_double_flips<
+      schemes::ElemCrc32cTile<std::uint64_t>>();
+}
+
 }  // namespace

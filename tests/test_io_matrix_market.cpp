@@ -173,17 +173,116 @@ TEST(MatrixMarket, SymmetricFixturesRoundTripWithDeclarationAndEntryCount) {
     EXPECT_EQ(back.a32.cols(), loaded.a32.cols()) << file;
     EXPECT_EQ(back.a32.values(), loaded.a32.values()) << file;
 
+    // The field qualifier survives too: pattern fixtures (all-ones values)
+    // re-emit as 'pattern', numeric ones as 'real'.
+    EXPECT_EQ(back.header.field, header.field) << file;
+
     // Wide stack: same declaration, same bits.
     const auto wide =
         io::read_matrix_market(fixture(file), {.force_width = IndexWidth::i64});
     std::stringstream ss64;
     io::write_matrix_market(ss64, wide.a64);
-    EXPECT_NE(ss64.str().find("real symmetric"), std::string::npos) << file;
+    EXPECT_NE(ss64.str().find(std::string(io::to_string(header.field)) +
+                              " symmetric"),
+              std::string::npos)
+        << file;
     const auto back64 = io::read_matrix_market(ss64, {.force_width = IndexWidth::i64});
     EXPECT_EQ(back64.a64.row_ptr(), wide.a64.row_ptr()) << file;
     EXPECT_EQ(back64.a64.cols(), wide.a64.cols()) << file;
     EXPECT_EQ(back64.a64.values(), wide.a64.values()) << file;
   }
+}
+
+TEST(MatrixMarket, PatternInputRoundTripsAsPattern) {
+  // Regression: all-ones matrices used to re-emit as 'real general' with a
+  // value column of 1s; they now keep their 'pattern' declaration.
+  const std::string text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 4\n"
+      "1 1\n"
+      "1 3\n"
+      "2 4\n"
+      "3 2\n";
+  const auto m = read_str(text);
+  std::stringstream ss;
+  io::write_matrix_market(ss, m.a32);
+  EXPECT_NE(ss.str().find("matrix coordinate pattern general"), std::string::npos)
+      << ss.str();
+  const auto back = read_str(ss.str());
+  EXPECT_EQ(back.header.field, io::MmField::pattern);
+  EXPECT_EQ(back.header.entries, 4u);
+  EXPECT_EQ(back.a32.row_ptr(), m.a32.row_ptr());
+  EXPECT_EQ(back.a32.cols(), m.a32.cols());
+  EXPECT_EQ(back.a32.values(), m.a32.values());
+
+  // Wide stack: same declaration, same bits.
+  const auto wide = read_str(text, {.force_width = IndexWidth::i64});
+  std::stringstream ss64;
+  io::write_matrix_market(ss64, wide.a64);
+  EXPECT_NE(ss64.str().find("pattern general"), std::string::npos);
+  const auto back64 = read_str(ss64.str(), {.force_width = IndexWidth::i64});
+  EXPECT_EQ(back64.a64.row_ptr(), wide.a64.row_ptr());
+  EXPECT_EQ(back64.a64.cols(), wide.a64.cols());
+  EXPECT_EQ(back64.a64.values(), wide.a64.values());
+}
+
+TEST(MatrixMarket, SkewSymmetricInputRoundTripsAsSkewSymmetric) {
+  // Regression: skew inputs used to re-emit as 'real general' with both
+  // signed mirrors stored; they now keep 'skew-symmetric' with only the
+  // strictly-below-diagonal entries.
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "4 4 3\n"
+      "2 1 5.0\n"
+      "3 2 -1.25\n"
+      "4 1 0.5\n";
+  const auto m = read_str(text);
+  ASSERT_EQ(m.nnz(), 6u);  // each stored entry expands to a negated mirror
+  std::stringstream ss;
+  io::write_matrix_market(ss, m.a32);
+  EXPECT_NE(ss.str().find("matrix coordinate real skew-symmetric"),
+            std::string::npos)
+      << ss.str();
+  const auto back = read_str(ss.str());
+  EXPECT_EQ(back.header.symmetry, io::MmSymmetry::skew_symmetric);
+  EXPECT_EQ(back.header.entries, 3u)
+      << "only the strictly-below triangle is stored";
+  EXPECT_EQ(back.a32.row_ptr(), m.a32.row_ptr());
+  EXPECT_EQ(back.a32.cols(), m.a32.cols());
+  EXPECT_EQ(back.a32.values(), m.a32.values());
+
+  // Wide stack: same declaration, same bits.
+  const auto wide = read_str(text, {.force_width = IndexWidth::i64});
+  std::stringstream ss64;
+  io::write_matrix_market(ss64, wide.a64);
+  EXPECT_NE(ss64.str().find("real skew-symmetric"), std::string::npos);
+  const auto back64 = read_str(ss64.str(), {.force_width = IndexWidth::i64});
+  EXPECT_EQ(back64.a64.row_ptr(), wide.a64.row_ptr());
+  EXPECT_EQ(back64.a64.cols(), wide.a64.cols());
+  EXPECT_EQ(back64.a64.values(), wide.a64.values());
+}
+
+TEST(MatrixMarket, SkewDetectionRequiresExactNegatedMirror) {
+  // A matrix with an explicit diagonal entry, or an imperfect mirror, must
+  // stay 'general' — the skew banner cannot represent it.
+  sparse::CooMatrix coo(3, 3);
+  coo.add(0, 0, 2.0);  // diagonal entry: not representable as skew
+  coo.add(1, 0, 5.0);
+  coo.add(0, 1, -5.0);
+  const auto a = coo.to_csr();
+  std::stringstream ss;
+  io::write_matrix_market(ss, a);
+  EXPECT_NE(ss.str().find("real general"), std::string::npos) << ss.str();
+
+  sparse::CooMatrix coo2(3, 3);
+  coo2.add(1, 0, 5.0);
+  coo2.add(0, 1, -4.0);  // mirror is not the exact negation
+  const auto a2 = coo2.to_csr();
+  std::stringstream ss2;
+  io::write_matrix_market(ss2, a2);
+  EXPECT_NE(ss2.str().find("real general"), std::string::npos) << ss2.str();
+  const auto back2 = read_str(ss2.str());
+  EXPECT_EQ(back2.a32.values(), a2.values());
 }
 
 TEST(MatrixMarket, SymmetricInputIsMirrored) {
