@@ -21,6 +21,18 @@
 ///     random matrix value bit before every batch (CRC32C corrects them all,
 ///     so the column is the *tail cost of correction under load*).
 ///
+///   `fleet workers=W nrhs=K threads=T scheme=... mode=... batching=...
+///          p50=... p99=... throughput=... breakdowns=N`
+///     The same service scaled out to a service::WorkerPool: W workers drain
+///     one queue against one shared encode-once operator, each batch's
+///     matrix-region events go to a private per-batch log (MatrixLogView)
+///     and merge into the shared matrix log in batch-sequence order.
+///     batching=fixed pops greedily (pop_batch); batching=deadline (emitted
+///     when --deadline-ms D > 0) waits to fill a batch only until the oldest
+///     request's budget D is at risk (pop_batch_until), trading batch width
+///     for tail latency. breakdowns counts columns the batched CG froze on a
+///     non-finite/zero curvature (SolveResult::breakdown).
+///
 /// Latencies are wall-clock (std::chrono::steady_clock), not solver time:
 /// queueing delay is the quantity of interest — larger K trades median
 /// latency (requests wait for a batch) for throughput (one matrix stream
@@ -28,6 +40,7 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -36,6 +49,7 @@
 #include "faults/injector.hpp"
 #include "harness.hpp"
 #include "service/batch_queue.hpp"
+#include "service/worker_pool.hpp"
 #include "solvers/solvers.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/transform.hpp"
@@ -198,6 +212,150 @@ void run_service_modes(const char* scheme, const Plain& plain, unsigned k,
   }
 }
 
+/// What a fleet worker hands from its concurrent solve to its ordered commit.
+struct FleetOutcome {
+  std::unique_ptr<FaultLog> matrix_log;  ///< this batch's matrix-region events
+  std::size_t breakdowns = 0;
+};
+
+/// Run the worker fleet once: 2 producers push \p total requests, \p nworkers
+/// WorkerPool threads drain batches of up to \p k (greedy, or deadline-aware
+/// when \p deadline_ms > 0) and solve against one shared operator. Returns
+/// per-request latencies (milliseconds, enqueue to ordered commit) and fills
+/// \p wall_seconds / \p breakdowns.
+template <class PM, class VS, class Plain>
+std::vector<double> run_fleet(const Plain& plain, unsigned k, unsigned nworkers,
+                              unsigned iters, std::size_t total,
+                              bool inject_faults, double deadline_ms,
+                              double* wall_seconds, std::size_t* breakdowns) {
+  FaultLog shared_mlog;
+  // The shared container carries no log of its own: every matrix-region
+  // event flows through a per-batch MatrixLogView and lands in shared_mlog
+  // via the ordered commit below.
+  auto pm = PM::from_plain(plain, nullptr, DuePolicy::record_only);
+  solvers::SolveOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iterations = iters;
+  // The end-of-batch sweep runs inside the ordered commit, where it is
+  // serialized — concurrent verify_all calls on one container would race.
+  opts.final_matrix_verify = false;
+
+  std::deque<Request> requests(total);
+  service::BatchQueue<Request*> queue(/*capacity=*/256);
+  constexpr std::size_t kProducers = 2;
+  std::vector<std::thread> producers;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < kProducers; ++c) {
+    producers.emplace_back([&, c] {
+      for (std::size_t i = c; i < total; i += kProducers) {
+        requests[i].id = i;
+        requests[i].enqueued = std::chrono::steady_clock::now();
+        if (!queue.push(&requests[i])) return;  // closed — cannot happen here
+      }
+    });
+  }
+
+  const std::size_t value_bits = pm.raw_values().size_bytes() * 8;
+  const auto budget =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  // Disjoint id-indexed slots: each request is solved by exactly one batch,
+  // so workers write latencies without synchronization.
+  std::vector<double> latency_ms(total, 0.0);
+  std::size_t total_breakdowns = 0;
+
+  service::WorkerPool pool(
+      nworkers,
+      [&](std::uint64_t* seq) {
+        return deadline_ms > 0.0
+                   ? queue.pop_batch_until(
+                         k, budget,
+                         [](const Request* r) { return r->enqueued; }, seq)
+                   : queue.pop_batch(k, seq);
+      },
+      [&](std::uint64_t seq, std::vector<Request*>& batch) {
+        FleetOutcome out;
+        out.matrix_log = std::make_unique<FaultLog>();
+        service::MatrixLogView<PM> view(pm, out.matrix_log.get(),
+                                        DuePolicy::record_only);
+        ProtectedMultiVector<VS> b(plain.nrows()), u(plain.nrows());
+        for (Request* req : batch) {
+          auto& bj = b.add_column(&req->log, DuePolicy::record_only);
+          u.add_column(&req->log, DuePolicy::record_only);
+          const auto raw = request_rhs<VS>(plain.nrows(), req->id);
+          bj.assign({raw.data(), raw.size()});
+        }
+        if (inject_faults) {
+          // Seeded by the batch sequence number: the fault pattern is a
+          // function of the request stream, not of worker scheduling.
+          Xoshiro256 fault_rng(4242 + seq);
+          const std::size_t bit = static_cast<std::size_t>(
+              fault_rng.uniform(0.0, static_cast<double>(value_bits)));
+          auto vals = pm.raw_values();
+          faults::flip_bit(
+              {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()},
+              std::min(bit, value_bits - 1));
+        }
+        const auto results = solvers::cg_solve_batch(view, b, u, opts);
+        for (const auto& r : results) {
+          if (r.breakdown) ++out.breakdowns;
+        }
+        return out;
+      },
+      [&](std::uint64_t, std::vector<Request*>& batch, FleetOutcome& out) {
+        // Ordered commit: serialized end-of-batch sweep, then the in-order
+        // merge into the shared matrix log.
+        service::MatrixLogView<PM> view(pm, out.matrix_log.get(),
+                                        DuePolicy::record_only);
+        view.verify_all();
+        shared_mlog.append_from(*out.matrix_log);
+        total_breakdowns += out.breakdowns;
+        const auto done = std::chrono::steady_clock::now();
+        for (const Request* req : batch) {
+          latency_ms[req->id] =
+              std::chrono::duration<double, std::milli>(done - req->enqueued)
+                  .count();
+        }
+      });
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  pool.join();
+  *wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                start)
+                      .count();
+  *breakdowns = total_breakdowns;
+  if (inject_faults && shared_mlog.uncorrectable() > 0) {
+    std::printf("# WARNING: %llu uncorrectable matrix events under fault load\n",
+                static_cast<unsigned long long>(shared_mlog.uncorrectable()));
+  }
+  return latency_ms;
+}
+
+template <class PM, class VS, class Plain>
+void run_fleet_modes(const char* scheme, const Plain& plain, unsigned k,
+                     unsigned nworkers, unsigned threads, unsigned iters,
+                     std::size_t total, double deadline_ms) {
+  for (const bool faults : {false, true}) {
+    for (const bool deadline : {false, true}) {
+      if (deadline && deadline_ms <= 0.0) continue;
+      double wall = 0.0;
+      std::size_t breakdowns = 0;
+      auto lat = run_fleet<PM, VS>(plain, k, nworkers, iters, total, faults,
+                                   deadline ? deadline_ms : 0.0, &wall,
+                                   &breakdowns);
+      std::printf("fleet workers=%u nrhs=%u threads=%u scheme=%s mode=%s "
+                  "batching=%s p50=%.3f p99=%.3f throughput=%.2f "
+                  "breakdowns=%zu\n",
+                  nworkers, k, threads, scheme, faults ? "faults" : "clean",
+                  deadline ? "deadline" : "fixed",
+                  service::percentile(lat, 50.0), service::percentile(lat, 99.0),
+                  wall > 0.0 ? static_cast<double>(lat.size()) / wall : 0.0,
+                  breakdowns);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,5 +404,21 @@ int main(int argc, char** argv) {
               "# wait to fill a batch) — the service operator picks k on that\n"
               "# trade-off; mode=faults shows correction cost stays off the\n"
               "# tail (CRC32C repairs in place during the verified pass).\n");
+
+  std::printf("\n## solve fleet: N workers drain one queue against one shared "
+              "operator\n");
+  for (const unsigned w : opts.workers_list) {
+    for (const unsigned k : opts.nrhs_list) {
+      run_fleet_modes<ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>,
+                      VecCrc32c>("crc32c", csr, k, w, opts.threads, opts.iters,
+                                 total_requests, opts.deadline_ms);
+    }
+  }
+  std::printf("# fleet rows: matrix-region events commit to the shared log in\n"
+              "# batch-sequence order (service::WorkerPool), so these runs are\n"
+              "# bit-deterministic at any worker count; batching=deadline rows\n"
+              "# (with --deadline-ms D) close batches early when the oldest\n"
+              "# queued request's budget is at risk — p99 at or below the\n"
+              "# batching=fixed row at the same k is the design target.\n");
   return 0;
 }

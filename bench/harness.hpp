@@ -60,6 +60,13 @@ struct BenchOptions {
   /// Batch sizes for the multi-RHS drivers (fig_service): --nrhs N or a
   /// comma list (--nrhs 1,2,4,8) to sweep the batch-size axis.
   std::vector<unsigned> nrhs_list{1, 2, 4, 8};
+  /// Worker-fleet sizes for the solve-service driver (fig_service):
+  /// --workers N or a comma list (--workers 1,2,4) to sweep the
+  /// queue-draining worker count (the `fleet ...` rows).
+  std::vector<unsigned> workers_list{1, 2};
+  /// Per-request latency budget in milliseconds for the fleet's
+  /// deadline-batching leg (--deadline-ms D); 0 disables the deadline legs.
+  double deadline_ms = 0.0;
 
   /// True when the per-format series named \p name should run.
   [[nodiscard]] bool format_selected(const char* name) const {
@@ -106,6 +113,12 @@ struct BenchOptions {
         continue;
       }
       if (grab_list("--nrhs", o.nrhs_list)) continue;
+      if (grab_list("--workers", o.workers_list)) continue;
+      if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+        o.deadline_ms = std::strtod(argv[++i], nullptr);
+        if (o.deadline_ms < 0.0) o.deadline_ms = 0.0;
+        continue;
+      }
       auto grab_parsed = [&](const char* flag, auto& out, auto&& parse) {
         if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
           try {
@@ -138,7 +151,8 @@ struct BenchOptions {
       }
       if (std::strcmp(argv[i], "--help") == 0) {
         std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
-                    "[--threads N[,N,...]] [--nrhs N[,N,...]] [--crc-impl auto|sw|hw] "
+                    "[--threads N[,N,...]] [--nrhs N[,N,...]] [--workers N[,N,...]] "
+                    "[--deadline-ms D] [--crc-impl auto|sw|hw] "
                     "[--simd-impl auto|scalar|vector] [--format csr|ell|sell|all]\n",
                     argv[0]);
         std::exit(0);

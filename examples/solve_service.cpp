@@ -1,26 +1,39 @@
 /// \file solve_service.cpp
 /// \brief A miniature concurrent solve service: client threads submit
-/// right-hand sides against one shared protected operator, a worker drains
-/// them in batches and solves each batch with cg_solve_batch — so the
-/// matrix-region verification is paid once per batch pass instead of once
-/// per request, while every request keeps its own FaultLog.
+/// right-hand sides against one shared protected operator and a fleet of
+/// workers drains them in batches, each batch solved with cg_solve_batch —
+/// so the matrix-region verification is paid once per batch pass instead of
+/// once per request, while every request keeps its own FaultLog. Workers
+/// solve concurrently; each batch's matrix-region events go to a private
+/// per-batch log (service::MatrixLogView) and are merged into the shared
+/// matrix log in batch-sequence order (service::WorkerPool), so the output
+/// is identical no matter how many workers raced for the queue.
 ///
-/// Usage: solve_service [--nrhs K] [--requests N] [--clients C] [--inject]
+/// Usage: solve_service [--nrhs K] [--requests N] [--clients C]
+///                      [--workers W] [--deadline-ms D] [--inject]
 ///                      [--threads N]
-///   --nrhs K      worker batch width (default 4): up to K queued requests
-///                 are solved together
-///   --requests N  total requests submitted across all clients (default 12)
-///   --clients C   client (producer) threads (default 3)
-///   --inject      flip one random matrix value bit before every batch; the
-///                 CRC32C element codewords correct it mid-solve
-///   --threads N   OpenMP threads for the solver kernels
+///   --nrhs K        worker batch width (default 4): up to K queued requests
+///                   are solved together
+///   --requests N    total requests submitted across all clients (default 12)
+///   --clients C     client (producer) threads (default 3)
+///   --workers W     solver (consumer) threads draining the queue (default 2)
+///   --deadline-ms D per-request latency budget in milliseconds: a worker
+///                   waits for its batch to fill only until the oldest
+///                   queued request's budget is at risk, then solves what it
+///                   has (default 0 = greedy pop, never waits to fill)
+///   --inject        flip one random matrix value bit per batch; the CRC32C
+///                   element codewords correct it mid-solve
+///   --threads N     OpenMP threads for the solver kernels (0 clamps to 1)
 ///
 /// Request j's system is A u = (j+1) * (A·1), so its exact solution is
 /// u = (j+1) * 1 — each result line checks its own answer.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -32,6 +45,7 @@
 #include "common/rng.hpp"
 #include "faults/injector.hpp"
 #include "service/batch_queue.hpp"
+#include "service/worker_pool.hpp"
 #include "solvers/solvers.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/transform.hpp"
@@ -42,13 +56,25 @@ using namespace abft;
 
 struct Request {
   std::size_t id = 0;
+  std::chrono::steady_clock::time_point enqueued{};
   FaultLog log;  ///< this tenant's own fault accounting
+};
+
+/// What a worker hands from its (concurrent) solve to its (ordered) commit.
+struct BatchOutcome {
+  std::vector<solvers::SolveResult> results;
+  std::vector<double> max_err;     ///< per request, vs the known solution
+  std::vector<double> latency_ms;  ///< enqueue -> solved
+  std::unique_ptr<FaultLog> matrix_log;  ///< this batch's matrix-region events
+  std::size_t injected_bit = 0;
+  bool injected = false;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t nrhs = 4, total = 12, clients = 3;
+  std::size_t nrhs = 4, total = 12, clients = 3, workers = 2;
+  double deadline_ms = 0.0;
   bool inject = false;
   for (int i = 1; i < argc; ++i) {
     auto grab = [&](const char* flag, std::size_t& out) {
@@ -60,21 +86,36 @@ int main(int argc, char** argv) {
       return false;
     };
     if (grab("--nrhs", nrhs) || grab("--requests", total) ||
-        grab("--clients", clients)) {
+        grab("--clients", clients) || grab("--workers", workers)) {
       continue;
     }
-    if (std::strcmp(argv[i], "--inject") == 0) {
+    if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
+      if (deadline_ms < 0.0) deadline_ms = 0.0;
+    } else if (std::strcmp(argv[i], "--inject") == 0) {
       inject = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
 #if defined(_OPENMP)
-      omp_set_num_threads(static_cast<int>(std::strtoul(argv[++i], nullptr, 10)));
+      const unsigned long t = std::strtoul(argv[++i], nullptr, 10);
+      omp_set_num_threads(static_cast<int>(t == 0 ? 1 : t));
 #else
       ++i;
 #endif
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--nrhs K] [--requests N] [--clients C] [--inject] "
-                  "[--threads N]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--nrhs K] [--requests N] [--clients C] [--workers W]\n"
+          "          [--deadline-ms D] [--inject] [--threads N]\n"
+          "  --nrhs K        batch width: up to K requests solved together\n"
+          "  --requests N    total requests across all clients\n"
+          "  --clients C     producer threads\n"
+          "  --workers W     solver threads draining the shared queue\n"
+          "  --deadline-ms D per-request latency budget; workers stop waiting\n"
+          "                  for a full batch when the oldest request's budget\n"
+          "                  is at risk (0 = greedy pop, the default)\n"
+          "  --inject        flip one matrix value bit per batch (corrected\n"
+          "                  mid-solve by the CRC32C element codewords)\n"
+          "  --threads N     OpenMP threads for the kernels (0 clamps to 1)\n",
+          argv[0]);
       return 0;
     } else {
       std::printf("unexpected argument: '%s' (try --help)\n", argv[i]);
@@ -83,93 +124,155 @@ int main(int argc, char** argv) {
   }
 
   // One shared protected operator for every tenant: the 5-point Laplacian,
-  // rows padded to the CRC32C row-codeword minimum.
+  // rows padded to the CRC32C row-codeword minimum. The container carries no
+  // log of its own — every matrix-region event is accounted through a
+  // per-batch MatrixLogView and lands in matrix_log in batch order.
   const auto a = sparse::pad_rows_to_min_nnz(sparse::laplacian_2d(96, 96),
                                              ElemCrc32c::kMinRowNnz);
   const std::size_t n = a.nrows();
   FaultLog matrix_log;
   using PM = ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>;
-  auto pa = PM::from_plain(a, &matrix_log, DuePolicy::record_only);
+  auto pa = PM::from_plain(a, nullptr, DuePolicy::record_only);
 
   // rhs1 = A·1; request j submits (j+1)*rhs1 and expects u = (j+1)*1.
   aligned_vector<double> ones(n, 1.0), rhs1(n, 0.0);
   sparse::spmv(a, ones.data(), rhs1.data());
 
-  std::printf("== solve service: %zu requests from %zu clients, batches of up "
-              "to %zu%s ==\n",
-              total, clients, nrhs, inject ? ", faults injected" : "");
+  std::printf("== solve service: %zu requests from %zu clients, %zu workers, "
+              "batches of up to %zu%s%s ==\n",
+              total, clients, workers, nrhs,
+              deadline_ms > 0.0 ? ", deadline batching" : "",
+              inject ? ", faults injected" : "");
   std::printf("operator: %zux%zu Laplacian, %zu non-zeros, crc32c elements\n",
               a.nrows(), a.ncols(), a.nnz());
 
   std::deque<Request> requests(total);
   service::BatchQueue<Request*> queue(/*capacity=*/64);
+  std::atomic<std::size_t> dropped{0};
   std::vector<std::thread> client_threads;
   for (std::size_t c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
       for (std::size_t i = c; i < total; i += clients) {
         requests[i].id = i;
-        queue.push(&requests[i]);
+        requests[i].enqueued = std::chrono::steady_clock::now();
+        if (!queue.push(&requests[i])) {
+          // Closed queue: the request is dropped, not silently lost — the
+          // exit accounting below reports it.
+          dropped.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }
 
-  faults::Injector injector(/*seed=*/11);
+  const auto budget = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(deadline_ms));
   solvers::SolveOptions opts;
   opts.tolerance = 1e-12;
-  std::size_t served = 0, batches = 0;
-  while (served < total) {
-    const auto batch = queue.pop_batch(nrhs);
-    if (batch.empty()) break;
-    ++batches;
-    ProtectedMultiVector<VecCrc32c> b(n), u(n);
-    std::vector<double> scaled(n);
-    for (Request* req : batch) {
-      auto& bj = b.add_column(&req->log, DuePolicy::record_only);
-      u.add_column(&req->log, DuePolicy::record_only);
-      const double s = static_cast<double>(req->id + 1);
-      for (std::size_t i = 0; i < n; ++i) scaled[i] = s * rhs1[i];
-      bj.assign({scaled.data(), scaled.size()});
-    }
-    if (inject) {
-      auto vals = pa.raw_values();
-      const auto fault = injector.inject_single(
-          {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()});
-      std::printf("batch %zu: flipped matrix value bit %zu\n", batches,
-                  fault.bit_offset);
-    }
-    const auto results = solvers::cg_solve_batch(pa, b, u, opts);
+  // The whole-matrix sweep runs in the ordered commit below, not inside the
+  // solve: concurrent verify_all calls on one shared container would race.
+  opts.final_matrix_verify = false;
 
-    for (std::size_t j = 0; j < batch.size(); ++j) {
-      const Request* req = batch[j];
-      const double want = static_cast<double>(req->id + 1);
-      aligned_vector<double> got(n, 0.0);
-      u.column(j).extract(got);
-      double max_err = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double e = got[i] > want ? got[i] - want : want - got[i];
-        if (e > max_err) max_err = e;
-      }
-      std::printf("request %2zu: %3u iterations, converged=%s, "
-                  "max |u - %g| = %.3e, own log: %llu checks, %llu corrected, "
-                  "%llu uncorrectable\n",
-                  req->id, results[j].iterations,
-                  results[j].converged ? "yes" : "no", want, max_err,
-                  static_cast<unsigned long long>(req->log.checks()),
-                  static_cast<unsigned long long>(req->log.corrected()),
-                  static_cast<unsigned long long>(req->log.uncorrectable()));
-    }
-    served += batch.size();
-  }
+  std::size_t served = 0, batches = 0;
+  service::WorkerPool pool(
+      workers,
+      [&](std::uint64_t* seq) {
+        return deadline_ms > 0.0
+                   ? queue.pop_batch_until(
+                         nrhs, budget,
+                         [](const Request* r) { return r->enqueued; }, seq)
+                   : queue.pop_batch(nrhs, seq);
+      },
+      [&](std::uint64_t seq, std::vector<Request*>& batch) {
+        BatchOutcome out;
+        out.matrix_log = std::make_unique<FaultLog>();
+        service::MatrixLogView<PM> view(pa, out.matrix_log.get(),
+                                        DuePolicy::record_only);
+        ProtectedMultiVector<VecCrc32c> b(n), u(n);
+        std::vector<double> scaled(n);
+        for (Request* req : batch) {
+          auto& bj = b.add_column(&req->log, DuePolicy::record_only);
+          u.add_column(&req->log, DuePolicy::record_only);
+          const double s = static_cast<double>(req->id + 1);
+          for (std::size_t i = 0; i < n; ++i) scaled[i] = s * rhs1[i];
+          bj.assign({scaled.data(), scaled.size()});
+        }
+        if (inject) {
+          // Per-batch injector seeded by the batch sequence number: the
+          // fault pattern is a function of the request stream, not of which
+          // worker got the batch.
+          faults::Injector injector(/*seed=*/11 + seq);
+          auto vals = pa.raw_values();
+          const auto fault = injector.inject_single(
+              {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()});
+          out.injected = true;
+          out.injected_bit = fault.bit_offset;
+        }
+        out.results = solvers::cg_solve_batch(view, b, u, opts);
+        const auto done = std::chrono::steady_clock::now();
+        out.max_err.resize(batch.size());
+        out.latency_ms.resize(batch.size());
+        aligned_vector<double> got(n, 0.0);
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          const double want = static_cast<double>(batch[j]->id + 1);
+          u.column(j).extract(got);
+          double max_err = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double e = got[i] > want ? got[i] - want : want - got[i];
+            if (e > max_err) max_err = e;
+          }
+          out.max_err[j] = max_err;
+          out.latency_ms[j] =
+              std::chrono::duration<double, std::milli>(done -
+                                                        batch[j]->enqueued)
+                  .count();
+        }
+        return out;
+      },
+      [&](std::uint64_t seq, std::vector<Request*>& batch, BatchOutcome& out) {
+        // Ordered commit: the end-of-batch matrix sweep (serialized here so
+        // concurrent sweeps never race), then the merge into the shared
+        // matrix log — batch s's events always land after batch s-1's.
+        service::MatrixLogView<PM> view(pa, out.matrix_log.get(),
+                                        DuePolicy::record_only);
+        view.verify_all();
+        matrix_log.append_from(*out.matrix_log);
+        ++batches;
+        if (out.injected) {
+          std::printf("batch %llu: flipped matrix value bit %zu\n",
+                      static_cast<unsigned long long>(seq + 1),
+                      out.injected_bit);
+        }
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          const Request* req = batch[j];
+          std::printf(
+              "request %2zu: %3u iterations, converged=%s, breakdown=%s, "
+              "max |u - %g| = %.3e, %.2f ms, own log: %llu checks, "
+              "%llu corrected, %llu uncorrectable\n",
+              req->id, out.results[j].iterations,
+              out.results[j].converged ? "yes" : "no",
+              out.results[j].breakdown ? "yes" : "no",
+              static_cast<double>(req->id + 1), out.max_err[j],
+              out.latency_ms[j],
+              static_cast<unsigned long long>(req->log.checks()),
+              static_cast<unsigned long long>(req->log.corrected()),
+              static_cast<unsigned long long>(req->log.uncorrectable()));
+        }
+        served += batch.size();
+      });
+
   for (auto& t : client_threads) t.join();
   queue.close();
+  pool.join();
 
-  std::printf("served %zu requests in %zu batches; matrix log: %llu checks, "
-              "%llu corrected, %llu uncorrectable\n",
-              served, batches,
+  std::printf("served %zu/%zu requests (%zu dropped) in %zu batches across "
+              "%zu workers; matrix log: %llu checks, %llu corrected, "
+              "%llu uncorrectable\n",
+              served, total, dropped.load(), batches, workers,
               static_cast<unsigned long long>(matrix_log.checks()),
               static_cast<unsigned long long>(matrix_log.corrected()),
               static_cast<unsigned long long>(matrix_log.uncorrectable()));
   std::printf("(the matrix checks above are per *batch pass*, not per request "
               "— the amortization cg_solve_batch exists for)\n");
-  return served == total ? 0 : 1;
+  return served == total && dropped.load() == 0 ? 0 : 1;
 }

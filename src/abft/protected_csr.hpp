@@ -346,13 +346,19 @@ class ProtectedCsr {
   /// Full-matrix integrity sweep (paper: run at the end of every time-step
   /// in check-interval mode so no error escapes unnoticed). Returns the
   /// number of uncorrectable codewords; corrections are applied in place.
-  std::size_t verify_all() {
+  std::size_t verify_all() { return verify_all(log_, policy_); }
+
+  /// Same sweep with the accounting target supplied by the caller: the
+  /// worker fleet routes each batch's final verify into a private per-batch
+  /// log (see service::MatrixLogView) so concurrent workers never contend on
+  /// — or nondeterministically interleave — the shared matrix log.
+  std::size_t verify_all(FaultLog* log, DuePolicy policy) {
     std::size_t failures = 0;
     // Row pointers.
     for (std::size_t g = 0; g < row_ptr_.size() / RS::kGroup; ++g) {
       index_type group[RS::kGroup];
       const auto outcome = RS::decode_group(row_ptr_.data() + g * RS::kGroup, group);
-      failures += count_and_log(Region::csr_row_ptr, outcome, g);
+      failures += count_and_log(log, Region::csr_row_ptr, outcome, g);
     }
     // Elements: iterate rows through the (just verified) row pointers, but
     // guard the offsets so a DUE in the row pointers cannot fault us.
@@ -361,7 +367,7 @@ class ProtectedCsr {
       std::size_t begin = row_ptr_[r] & RS::kValueMask;
       std::size_t end = row_ptr_[r + 1] & RS::kValueMask;
       if (begin > end || end > nnz_) {
-        if (log_ != nullptr) log_->record_bounds_violation(Region::csr_row_ptr, r);
+        if (log != nullptr) log->record_bounds_violation(Region::csr_row_ptr, r);
         ++failures;
         begin = end = prev_end;
       }
@@ -369,17 +375,17 @@ class ProtectedCsr {
       if constexpr (ES::kRowGranular) {
         const auto outcome =
             ES::decode_row(values_.data() + begin, cols_.data() + begin, end - begin);
-        failures += count_and_log(Region::csr_values, outcome, r);
+        failures += count_and_log(log, Region::csr_values, outcome, r);
       } else {
         for (std::size_t k = begin; k < end; ++k) {
           double v;
           index_type c;
           const auto outcome = ES::decode(values_[k], cols_[k], v, c);
-          failures += count_and_log(Region::csr_values, outcome, k);
+          failures += count_and_log(log, Region::csr_values, outcome, k);
         }
       }
     }
-    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+    if (failures > 0 && policy == DuePolicy::throw_exception) {
       throw UncorrectableError(Region::csr_values, 0);
     }
     return failures;
@@ -435,11 +441,12 @@ class ProtectedCsr {
   }
 
  private:
-  [[nodiscard]] std::size_t count_and_log(Region region, CheckOutcome outcome,
-                                          std::size_t index) {
-    if (log_ != nullptr) {
-      log_->add_checks();
-      log_->record(region, outcome, index);
+  [[nodiscard]] static std::size_t count_and_log(FaultLog* log, Region region,
+                                                 CheckOutcome outcome,
+                                                 std::size_t index) {
+    if (log != nullptr) {
+      log->add_checks();
+      log->record(region, outcome, index);
     }
     return outcome == CheckOutcome::uncorrectable ? 1 : 0;
   }

@@ -276,7 +276,11 @@ class ProtectedEll {
   /// uncorrectable codewords; corrections are applied in place. Under
   /// DuePolicy::throw_exception the raised error names the first failing
   /// region/codeword so recovery tooling looks in the right array.
-  std::size_t verify_all() {
+  std::size_t verify_all() { return verify_all(log_, policy_); }
+
+  /// Same sweep with the accounting target supplied by the caller (the
+  /// worker fleet's per-batch log; see service::MatrixLogView).
+  std::size_t verify_all(FaultLog* log, DuePolicy policy) {
     std::size_t failures = 0;
     Region first_region = Region::ell_values;
     std::size_t first_index = 0;
@@ -291,11 +295,12 @@ class ProtectedEll {
     for (std::size_t g = 0; g < row_nnz_.size() / SS::kGroup; ++g) {
       index_type group[SS::kGroup];
       const auto outcome = SS::decode_group(row_nnz_.data() + g * SS::kGroup, group);
-      note(Region::ell_row_width, g, count_and_log(Region::ell_row_width, outcome, g));
+      note(Region::ell_row_width, g,
+           count_and_log(log, Region::ell_row_width, outcome, g));
       for (std::size_t e = 0; e < SS::kGroup; ++e) {
         const std::size_t r = g * SS::kGroup + e;
         if (r < nrows_ && group[e] > width_) {
-          if (log_ != nullptr) log_->record_bounds_violation(Region::ell_row_width, r);
+          if (log != nullptr) log->record_bounds_violation(Region::ell_row_width, r);
           note(Region::ell_row_width, r, 1);
         }
       }
@@ -308,23 +313,23 @@ class ProtectedEll {
             ES::decode_tile(values_.data() + ES::tile_begin(t),
                             cols_.data() + ES::tile_begin(t),
                             ES::tile_slots(t, values_.size()));
-        note(Region::ell_values, t, count_and_log(Region::ell_values, outcome, t));
+        note(Region::ell_values, t, count_and_log(log, Region::ell_values, outcome, t));
       }
     } else if constexpr (ES::kRowGranular) {
       for (std::size_t r = 0; r < nrows_; ++r) {
         const auto outcome =
             ES::decode_row(values_.data() + r, cols_.data() + r, width_, nrows_);
-        note(Region::ell_values, r, count_and_log(Region::ell_values, outcome, r));
+        note(Region::ell_values, r, count_and_log(log, Region::ell_values, outcome, r));
       }
     } else {
       for (std::size_t k = 0; k < values_.size(); ++k) {
         double v;
         index_type c;
         const auto outcome = ES::decode(values_[k], cols_[k], v, c);
-        note(Region::ell_values, k, count_and_log(Region::ell_values, outcome, k));
+        note(Region::ell_values, k, count_and_log(log, Region::ell_values, outcome, k));
       }
     }
-    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+    if (failures > 0 && policy == DuePolicy::throw_exception) {
       throw UncorrectableError(first_region, first_index);
     }
     return failures;
@@ -384,11 +389,12 @@ class ProtectedEll {
   }
 
  private:
-  [[nodiscard]] std::size_t count_and_log(Region region, CheckOutcome outcome,
-                                          std::size_t index) {
-    if (log_ != nullptr) {
-      log_->add_checks();
-      log_->record(region, outcome, index);
+  [[nodiscard]] static std::size_t count_and_log(FaultLog* log, Region region,
+                                                 CheckOutcome outcome,
+                                                 std::size_t index) {
+    if (log != nullptr) {
+      log->add_checks();
+      log->record(region, outcome, index);
     }
     return outcome == CheckOutcome::uncorrectable ? 1 : 0;
   }

@@ -349,7 +349,14 @@ class ProtectedSell {
   /// cross-checks the decoded widths against the derived offsets and the
   /// decoded permutation for bijectivity, so silent structure corruption
   /// under weak schemes still surfaces as a bounds violation.
-  std::size_t verify_all() {
+  std::size_t verify_all() { return verify_all(log_, policy_); }
+
+  /// Same sweep with the accounting target supplied by the caller (the
+  /// worker fleet's per-batch log; see service::MatrixLogView). Note the
+  /// permutation bijectivity check stamps the epoch scratch, so concurrent
+  /// verify_all calls on one container must be serialized by the caller —
+  /// the fleet runs them inside its ordered commit section.
+  std::size_t verify_all(FaultLog* log, DuePolicy policy) {
     std::size_t failures = 0;
     Region first_region = Region::sell_values;
     std::size_t first_index = 0;
@@ -361,7 +368,7 @@ class ProtectedSell {
       failures += count;
     };
     const auto bounds_hit = [&](std::size_t index) {
-      if (log_ != nullptr) log_->record_bounds_violation(Region::sell_structure, index);
+      if (log != nullptr) log->record_bounds_violation(Region::sell_structure, index);
       note(Region::sell_structure, index, 1);
     };
 
@@ -370,7 +377,7 @@ class ProtectedSell {
       index_type group[SS::kGroup];
       const auto outcome = SS::decode_group(structure_.data() + g * SS::kGroup, group);
       note(Region::sell_structure, g,
-           count_and_log(Region::sell_structure, outcome, g));
+           count_and_log(log, Region::sell_structure, outcome, g));
     }
     // Semantic guards over the (now possibly repaired) masked values,
     // slice-major so the hot loop carries no divisions.
@@ -404,7 +411,7 @@ class ProtectedSell {
             ES::decode_tile(values_.data() + ES::tile_begin(t),
                             cols_.data() + ES::tile_begin(t),
                             ES::tile_slots(t, values_.size()));
-        note(Region::sell_values, t, count_and_log(Region::sell_values, outcome, t));
+        note(Region::sell_values, t, count_and_log(log, Region::sell_values, outcome, t));
       }
     } else if constexpr (ES::kRowGranular) {
       for (std::size_t s = 0; s < nslices_; ++s) {
@@ -414,7 +421,7 @@ class ProtectedSell {
           const auto outcome = ES::decode_row(values_.data() + base + e,
                                               cols_.data() + base + e, width, slice_);
           note(Region::sell_values, s * slice_ + e,
-               count_and_log(Region::sell_values, outcome, s * slice_ + e));
+               count_and_log(log, Region::sell_values, outcome, s * slice_ + e));
         }
       }
     } else {
@@ -422,10 +429,10 @@ class ProtectedSell {
         double v;
         index_type c;
         const auto outcome = ES::decode(values_[k], cols_[k], v, c);
-        note(Region::sell_values, k, count_and_log(Region::sell_values, outcome, k));
+        note(Region::sell_values, k, count_and_log(log, Region::sell_values, outcome, k));
       }
     }
-    if (failures > 0 && policy_ == DuePolicy::throw_exception) {
+    if (failures > 0 && policy == DuePolicy::throw_exception) {
       throw UncorrectableError(first_region, first_index);
     }
     return failures;
@@ -546,11 +553,12 @@ class ProtectedSell {
     return group[idx % SS::kGroup];
   }
 
-  [[nodiscard]] std::size_t count_and_log(Region region, CheckOutcome outcome,
-                                          std::size_t index) {
-    if (log_ != nullptr) {
-      log_->add_checks();
-      log_->record(region, outcome, index);
+  [[nodiscard]] static std::size_t count_and_log(FaultLog* log, Region region,
+                                                 CheckOutcome outcome,
+                                                 std::size_t index) {
+    if (log != nullptr) {
+      log->add_checks();
+      log->record(region, outcome, index);
     }
     return outcome == CheckOutcome::uncorrectable ? 1 : 0;
   }

@@ -162,6 +162,26 @@ class FaultLog {
     events_.clear();
   }
 
+  /// Fold another log into this one: counters add, traced events append in
+  /// \p other's order (up to the trace cap). This is the fleet's ordered
+  /// commit primitive — each worker accumulates matrix-region events into a
+  /// private per-batch log, then merges into the shared log keyed by batch
+  /// sequence number, so the shared trace is identical at any worker count.
+  /// \p other must not be mutated concurrently with this call.
+  void append_from(const FaultLog& other) {
+    checks_.fetch_add(other.checks(), std::memory_order_relaxed);
+    corrected_.fetch_add(other.corrected(), std::memory_order_relaxed);
+    uncorrectable_.fetch_add(other.uncorrectable(), std::memory_order_relaxed);
+    bounds_violations_.fetch_add(other.bounds_violations(),
+                                 std::memory_order_relaxed);
+    const auto theirs = other.events();
+    std::lock_guard lock(mutex_);
+    for (const FaultEvent& e : theirs) {
+      if (events_.size() >= kMaxTracedEvents) break;
+      events_.push_back(e);
+    }
+  }
+
  private:
   void trace(FaultEvent e) {
     std::lock_guard lock(mutex_);

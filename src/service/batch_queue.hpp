@@ -1,8 +1,9 @@
 /// \file batch_queue.hpp
 /// \brief Request queue for the concurrent solve service: many client
-/// threads submit independent solve requests, a worker drains them in
-/// batches of up to k so the batched CG can amortize one matrix verification
-/// over the whole batch (see solvers::cg_solve_batch).
+/// threads submit independent solve requests, a fleet of workers drains them
+/// in batches of up to k so the batched CG can amortize one matrix
+/// verification over the whole batch (see solvers::cg_solve_batch and
+/// service::WorkerPool).
 ///
 /// Deliberately small and lock-based: the queue hand-off is microseconds
 /// against solves that are milliseconds, so a mutex + two condition
@@ -11,8 +12,10 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -42,25 +45,52 @@ class BatchQueue {
     if (closed_) return false;
     q_.push_back(std::move(item));
     lock.unlock();
-    not_empty_.notify_one();
+    // notify_all, not notify_one: consumers wait on not_empty_ with two
+    // different predicates (greedy "non-empty" vs deadline "batch full"), so
+    // a single wake could land on a waiter whose predicate still fails and
+    // strand the one it would have satisfied.
+    not_empty_.notify_all();
     return true;
   }
 
   /// Dequeue up to \p max_batch requests in arrival order; blocks until at
   /// least one is available. An empty result means closed-and-drained.
-  std::vector<T> pop_batch(std::size_t max_batch) {
+  ///
+  /// When \p seq_out is non-null and the batch is non-empty, it receives the
+  /// batch's sequence number: batches are numbered 0, 1, 2, ... in pop (FIFO)
+  /// order, assigned under the queue lock, so a worker fleet can replay
+  /// shared-state commits in exactly the order batches left the queue.
+  std::vector<T> pop_batch(std::size_t max_batch,
+                           std::uint64_t* seq_out = nullptr) {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
-    std::vector<T> batch;
-    const std::size_t take = std::min(max_batch, q_.size());
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(q_.front()));
-      q_.pop_front();
+    return take_locked(lock, max_batch, seq_out);
+  }
+
+  /// Deadline-aware pop: blocks until at least one request is queued, then —
+  /// unlike pop_batch — keeps waiting for the batch to *fill* to
+  /// \p max_batch, but only until the oldest queued request's latency budget
+  /// is at risk: the wait ends at enqueued_at(front) + \p budget, where
+  /// \p enqueued_at maps a queued item to its steady_clock enqueue time.
+  /// Past the deadline the batch closes early with whatever is queued —
+  /// trading batch width (and the k-way amortized matrix verification) for
+  /// tail latency. With a backlog of at least \p max_batch it never waits,
+  /// so it degenerates to pop_batch under load. Sequence numbers are shared
+  /// with pop_batch (same counter, same ordering guarantee).
+  template <class EnqueuedAt>
+  std::vector<T> pop_batch_until(std::size_t max_batch,
+                                 std::chrono::steady_clock::duration budget,
+                                 EnqueuedAt&& enqueued_at,
+                                 std::uint64_t* seq_out = nullptr) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (!q_.empty() && q_.size() < max_batch && !closed_) {
+      const auto deadline = enqueued_at(q_.front()) + budget;
+      not_empty_.wait_until(lock, deadline, [&] {
+        return q_.size() >= max_batch || closed_;
+      });
     }
-    lock.unlock();
-    if (take > 0) not_full_.notify_all();
-    return batch;
+    return take_locked(lock, max_batch, seq_out);
   }
 
   /// Stop accepting pushes and wake every waiter. Idempotent.
@@ -79,20 +109,45 @@ class BatchQueue {
   }
 
  private:
+  /// Take up to max_batch items off the (locked) queue, stamp the batch
+  /// sequence number, release the lock, wake blocked pushers.
+  std::vector<T> take_locked(std::unique_lock<std::mutex>& lock,
+                             std::size_t max_batch, std::uint64_t* seq_out) {
+    std::vector<T> batch;
+    const std::size_t take = std::min(max_batch, q_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    if (take > 0) {
+      if (seq_out != nullptr) *seq_out = batches_popped_;
+      ++batches_popped_;
+    }
+    lock.unlock();
+    if (take > 0) not_full_.notify_all();
+    return batch;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> q_;
   std::size_t capacity_;
+  std::uint64_t batches_popped_ = 0;
   bool closed_ = false;
 };
 
-/// Nearest-rank percentile of a latency sample, \p q in [0, 100]. Sorts a
+/// Linearly interpolated percentile of a latency sample, \p q in [0, 100]:
+/// the rank q/100 * (n-1) is split into its integer and fractional parts and
+/// the two bracketing order statistics are blended (so q=50 over {1, 2}
+/// yields 1.5, not a nearest-rank 1 or 2; q clamps to the extremes). Sorts a
 /// copy — service-sized samples (thousands) make that free.
 [[nodiscard]] inline double percentile(std::vector<double> sample, double q) {
   if (sample.empty()) return 0.0;
   std::sort(sample.begin(), sample.end());
-  const double rank = q / 100.0 * static_cast<double>(sample.size() - 1);
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sample.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sample.size() - 1);
   const double frac = rank - static_cast<double>(lo);

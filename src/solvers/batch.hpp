@@ -88,6 +88,7 @@ std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
       if (active[j] == 0) continue;
       const double pw = dot(p.column(j), w.column(j));
       if (pw == 0.0 || !std::isfinite(pw)) {  // breakdown (e.g. SDC damage)
+        results[j].breakdown = true;
         active[j] = 0;
         --nactive;
         continue;
@@ -100,6 +101,7 @@ std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
       results[j].residual_norm = std::sqrt(rr_new);
       if (histories != nullptr) (*histories)[j].push_back(results[j].residual_norm);
       if (!std::isfinite(rr_new)) {
+        results[j].breakdown = true;
         active[j] = 0;
         --nactive;
         continue;

@@ -54,7 +54,10 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
     const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
     spmv(a, p, w, mode);
     const double pw = dot(p, w);
-    if (pw == 0.0 || !std::isfinite(pw)) break;  // breakdown (e.g. SDC damage)
+    if (pw == 0.0 || !std::isfinite(pw)) {  // breakdown (e.g. SDC damage)
+      result.breakdown = true;
+      break;
+    }
     const double alpha = rr / pw;
     axpy(alpha, p, u);
     axpy(-alpha, w, r);
@@ -64,7 +67,10 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
     if (opts.residual_history != nullptr) {
       opts.residual_history->push_back(result.residual_norm);
     }
-    if (!std::isfinite(rr_new)) break;
+    if (!std::isfinite(rr_new)) {
+      result.breakdown = true;
+      break;
+    }
     if (result.residual_norm <= threshold) {
       result.converged = true;
       break;

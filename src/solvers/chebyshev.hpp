@@ -57,7 +57,10 @@ SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
     axpy(-1.0, w, r);   // r -= A d
     result.iterations = iter;
     result.residual_norm = norm2(r);
-    if (!std::isfinite(result.residual_norm)) break;
+    if (!std::isfinite(result.residual_norm)) {
+      result.breakdown = true;
+      break;
+    }
     if (result.residual_norm <= threshold) {
       result.converged = true;
       break;

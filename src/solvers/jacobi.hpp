@@ -58,7 +58,10 @@ SolveResult jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
     sub(b, w, r);
     result.iterations = iter;
     result.residual_norm = norm2(r);
-    if (!std::isfinite(result.residual_norm)) break;
+    if (!std::isfinite(result.residual_norm)) {
+      result.breakdown = true;
+      break;
+    }
     if (result.residual_norm <= threshold) {
       result.converged = true;
       break;

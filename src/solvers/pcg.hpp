@@ -51,13 +51,19 @@ SolveResult pcg_jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
     const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
     spmv(a, p, w, mode);
     const double pw = dot(p, w);
-    if (pw == 0.0 || !std::isfinite(pw)) break;
+    if (pw == 0.0 || !std::isfinite(pw)) {
+      result.breakdown = true;
+      break;
+    }
     const double alpha = rz / pw;
     axpy(alpha, p, u);
     axpy(-alpha, w, r);
     result.iterations = iter;
     result.residual_norm = norm2(r);
-    if (!std::isfinite(result.residual_norm)) break;
+    if (!std::isfinite(result.residual_norm)) {
+      result.breakdown = true;
+      break;
+    }
     if (result.residual_norm <= threshold) {
       result.converged = true;
       break;

@@ -32,6 +32,12 @@ struct SolveResult {
   unsigned iterations = 0;
   double residual_norm = 0.0;
   bool converged = false;
+  /// The recurrence broke down (p'Ap hit zero or a non-finite value, or the
+  /// residual went non-finite — the signature of SDC damage to the operator
+  /// or vectors) and the solver froze this system early. Distinguishes
+  /// "stopped because the math died" from plain iteration exhaustion, which
+  /// leaves both converged and breakdown false.
+  bool breakdown = false;
 };
 
 }  // namespace abft::solvers
