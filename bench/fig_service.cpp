@@ -33,21 +33,44 @@
 ///     for tail latency. breakdowns counts columns the batched CG froze on a
 ///     non-finite/zero curvature (SolveResult::breakdown).
 ///
+///   `metrics leg=... checks=N corrected=N uncorrectable=N batches=N
+///            deadline_closed_early=N consistent=yes|no|n/a`
+///     Observability cross-check emitted after every service/fleet leg: the
+///     delta of the global metrics registry (obs/metrics.hpp) across the
+///     leg. On fleet legs `consistent` compares the registry's check /
+///     corrected / uncorrectable deltas against the leg's own FaultLog
+///     totals (shared matrix log + every tenant log) — the two accounting
+///     paths must agree exactly; n/a means obs is off or compiled out.
+///
+///   `obs_overhead nrhs=K on_seconds=... off_seconds=... overhead_pct=...`
+///     Instrumentation-cost A/B on the clean CSR amortization config: the
+///     same fixed-work batched solve timed with the runtime obs switch on
+///     and off. The design budget is <2 %; a breach prints a WARNING line
+///     (benchmarks stay exit-0 — smoke-sized runs are noise-dominated).
+///
 /// Latencies are wall-clock (std::chrono::steady_clock), not solver time:
 /// queueing delay is the quantity of interest — larger K trades median
 /// latency (requests wait for a batch) for throughput (one matrix stream
 /// serves K requests).
+///
+/// --trace-out F writes one JSONL span record per fleet-leg request (schema:
+/// obs/trace.hpp); --metrics-out F dumps the registry at exit (Prometheus
+/// text, or JSON when F ends in .json).
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "abft/abft.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "faults/injector.hpp"
 #include "harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/batch_queue.hpp"
 #include "service/worker_pool.hpp"
 #include "solvers/solvers.hpp"
@@ -126,6 +149,62 @@ struct Request {
   FaultLog log;
 };
 
+/// Sum of every FaultLog a leg touched (shared matrix log + tenant logs) —
+/// the ground truth the `metrics` row's registry deltas are checked against.
+struct FaultTotals {
+  std::uint64_t checks = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+
+  void add(const FaultLog& log) {
+    checks += log.checks();
+    corrected += log.corrected();
+    uncorrectable += log.uncorrectable();
+  }
+};
+
+[[nodiscard]] std::uint64_t counter_delta(const obs::Snapshot& before,
+                                          const obs::Snapshot& after,
+                                          const std::string& name) {
+  return after.counter(name) - before.counter(name);
+}
+
+/// The post-leg `metrics` row: registry deltas across the leg, plus the
+/// FaultLog cross-check when \p expect is non-null (fleet legs). The two
+/// accounting paths — FaultLog's atomic totals and the sharded obs counters
+/// fed from the same commit points — must agree exactly.
+void print_metrics_row(const std::string& leg, const obs::Snapshot& before,
+                       const obs::Snapshot& after, const FaultTotals* expect) {
+  const std::uint64_t checks = counter_delta(before, after, "abft_checks_total");
+  const std::uint64_t corrected =
+      counter_delta(before, after, "abft_corrected_total");
+  const std::uint64_t uncorrectable =
+      counter_delta(before, after, "abft_uncorrectable_total");
+  const char* consistent = "n/a";
+  if (obs::enabled() && expect != nullptr) {
+    consistent = (checks == expect->checks && corrected == expect->corrected &&
+                  uncorrectable == expect->uncorrectable)
+                     ? "yes"
+                     : "no";
+  }
+  std::printf("metrics leg=%s checks=%llu corrected=%llu uncorrectable=%llu "
+              "batches=%llu deadline_closed_early=%llu consistent=%s\n",
+              leg.c_str(), static_cast<unsigned long long>(checks),
+              static_cast<unsigned long long>(corrected),
+              static_cast<unsigned long long>(uncorrectable),
+              static_cast<unsigned long long>(
+                  counter_delta(before, after, "abft_queue_batches_total")),
+              static_cast<unsigned long long>(counter_delta(
+                  before, after, "abft_queue_deadline_closed_early_total")),
+              consistent);
+  if (obs::enabled() && expect != nullptr && std::strcmp(consistent, "no") == 0) {
+    std::printf("# WARNING: metrics/FaultLog divergence — expected %llu/%llu/%llu\n",
+                static_cast<unsigned long long>(expect->checks),
+                static_cast<unsigned long long>(expect->corrected),
+                static_cast<unsigned long long>(expect->uncorrectable));
+  }
+}
+
 /// Run the solve service once: \p producers client threads push \p total
 /// requests through a BatchQueue, the calling thread drains batches of up to
 /// \p k and solves them with cg_solve_batch. Returns per-request latencies
@@ -202,6 +281,7 @@ template <class PM, class VS, class Plain>
 void run_service_modes(const char* scheme, const Plain& plain, unsigned k,
                        unsigned threads, unsigned iters, std::size_t total) {
   for (const bool faults : {false, true}) {
+    const auto before = obs::MetricsRegistry::global().snapshot();
     double wall = 0.0;
     auto lat = run_service<PM, VS>(plain, k, iters, total, faults, &wall);
     std::printf("service nrhs=%u threads=%u scheme=%s mode=%s p50=%.3f p99=%.3f "
@@ -209,12 +289,21 @@ void run_service_modes(const char* scheme, const Plain& plain, unsigned k,
                 k, threads, scheme, faults ? "faults" : "clean",
                 service::percentile(lat, 50.0), service::percentile(lat, 99.0),
                 wall > 0.0 ? static_cast<double>(lat.size()) / wall : 0.0);
+    char leg[96];
+    std::snprintf(leg, sizeof leg, "service_nrhs%u_%s", k,
+                  faults ? "faults" : "clean");
+    print_metrics_row(leg, before, obs::MetricsRegistry::global().snapshot(),
+                      nullptr);
   }
 }
 
 /// What a fleet worker hands from its concurrent solve to its ordered commit.
 struct FleetOutcome {
   std::unique_ptr<FaultLog> matrix_log;  ///< this batch's matrix-region events
+  std::vector<solvers::SolveResult> results;
+  std::vector<std::uint64_t> queue_wait_ns;  ///< per request, enqueue -> pop
+  std::uint64_t solve_ns = 0;
+  std::chrono::steady_clock::time_point solved_at{};
   std::size_t breakdowns = 0;
 };
 
@@ -227,7 +316,9 @@ template <class PM, class VS, class Plain>
 std::vector<double> run_fleet(const Plain& plain, unsigned k, unsigned nworkers,
                               unsigned iters, std::size_t total,
                               bool inject_faults, double deadline_ms,
-                              double* wall_seconds, std::size_t* breakdowns) {
+                              double* wall_seconds, std::size_t* breakdowns,
+                              FaultTotals* totals = nullptr,
+                              obs::SolveTrace* trace = nullptr) {
   FaultLog shared_mlog;
   // The shared container carries no log of its own: every matrix-region
   // event flows through a per-batch MatrixLogView and lands in shared_mlog
@@ -274,8 +365,13 @@ std::vector<double> run_fleet(const Plain& plain, unsigned k, unsigned nworkers,
                    : queue.pop_batch(k, seq);
       },
       [&](std::uint64_t seq, std::vector<Request*>& batch) {
+        const auto popped = std::chrono::steady_clock::now();
         FleetOutcome out;
         out.matrix_log = std::make_unique<FaultLog>();
+        out.queue_wait_ns.reserve(batch.size());
+        for (const Request* req : batch) {
+          out.queue_wait_ns.push_back(elapsed_ns(req->enqueued, popped));
+        }
         service::MatrixLogView<PM> view(pm, out.matrix_log.get(),
                                         DuePolicy::record_only);
         ProtectedMultiVector<VS> b(plain.nrows()), u(plain.nrows());
@@ -296,25 +392,53 @@ std::vector<double> run_fleet(const Plain& plain, unsigned k, unsigned nworkers,
               {reinterpret_cast<std::uint8_t*>(vals.data()), vals.size_bytes()},
               std::min(bit, value_bits - 1));
         }
-        const auto results = solvers::cg_solve_batch(view, b, u, opts);
-        for (const auto& r : results) {
+        {
+          ScopedTimerNs solve_timer(&out.solve_ns);
+          out.results = solvers::cg_solve_batch(view, b, u, opts);
+        }
+        out.solved_at = std::chrono::steady_clock::now();
+        for (const auto& r : out.results) {
           if (r.breakdown) ++out.breakdowns;
         }
         return out;
       },
-      [&](std::uint64_t, std::vector<Request*>& batch, FleetOutcome& out) {
+      [&](std::uint64_t seq, std::vector<Request*>& batch, FleetOutcome& out) {
         // Ordered commit: serialized end-of-batch sweep, then the in-order
         // merge into the shared matrix log.
         service::MatrixLogView<PM> view(pm, out.matrix_log.get(),
                                         DuePolicy::record_only);
-        view.verify_all();
+        std::uint64_t verify_ns = 0;
+        {
+          ScopedTimerNs verify_timer(&verify_ns);
+          view.verify_all();
+        }
         shared_mlog.append_from(*out.matrix_log);
         total_breakdowns += out.breakdowns;
         const auto done = std::chrono::steady_clock::now();
-        for (const Request* req : batch) {
+        const std::uint64_t commit_ns = elapsed_ns(out.solved_at, done);
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          const Request* req = batch[j];
           latency_ms[req->id] =
               std::chrono::duration<double, std::milli>(done - req->enqueued)
                   .count();
+          if (trace != nullptr) {
+            obs::TraceRecord rec;
+            rec.request_id = req->id;
+            rec.batch_seq = seq;
+            rec.solver = "cg-batch";
+            rec.iterations = out.results[j].iterations;
+            rec.converged = out.results[j].converged;
+            rec.breakdown = out.results[j].breakdown;
+            rec.residual_norm = out.results[j].residual_norm;
+            rec.queue_wait_ns = out.queue_wait_ns[j];
+            rec.solve_ns = out.solve_ns;
+            rec.ordered_commit_ns = commit_ns;
+            rec.verify_all_ns = verify_ns;
+            rec.checks = req->log.checks();
+            rec.corrected = req->log.corrected();
+            rec.uncorrectable = req->log.uncorrectable();
+            trace->emit(rec);
+          }
         }
       });
 
@@ -325,6 +449,10 @@ std::vector<double> run_fleet(const Plain& plain, unsigned k, unsigned nworkers,
                                                 start)
                       .count();
   *breakdowns = total_breakdowns;
+  if (totals != nullptr) {
+    totals->add(shared_mlog);
+    for (const Request& req : requests) totals->add(req.log);
+  }
   if (inject_faults && shared_mlog.uncorrectable() > 0) {
     std::printf("# WARNING: %llu uncorrectable matrix events under fault load\n",
                 static_cast<unsigned long long>(shared_mlog.uncorrectable()));
@@ -335,15 +463,18 @@ std::vector<double> run_fleet(const Plain& plain, unsigned k, unsigned nworkers,
 template <class PM, class VS, class Plain>
 void run_fleet_modes(const char* scheme, const Plain& plain, unsigned k,
                      unsigned nworkers, unsigned threads, unsigned iters,
-                     std::size_t total, double deadline_ms) {
+                     std::size_t total, double deadline_ms,
+                     obs::SolveTrace* trace) {
   for (const bool faults : {false, true}) {
     for (const bool deadline : {false, true}) {
       if (deadline && deadline_ms <= 0.0) continue;
+      const auto before = obs::MetricsRegistry::global().snapshot();
       double wall = 0.0;
       std::size_t breakdowns = 0;
+      FaultTotals totals;
       auto lat = run_fleet<PM, VS>(plain, k, nworkers, iters, total, faults,
                                    deadline ? deadline_ms : 0.0, &wall,
-                                   &breakdowns);
+                                   &breakdowns, &totals, trace);
       std::printf("fleet workers=%u nrhs=%u threads=%u scheme=%s mode=%s "
                   "batching=%s p50=%.3f p99=%.3f throughput=%.2f "
                   "breakdowns=%zu\n",
@@ -352,6 +483,12 @@ void run_fleet_modes(const char* scheme, const Plain& plain, unsigned k,
                   service::percentile(lat, 50.0), service::percentile(lat, 99.0),
                   wall > 0.0 ? static_cast<double>(lat.size()) / wall : 0.0,
                   breakdowns);
+      char leg[96];
+      std::snprintf(leg, sizeof leg, "fleet_w%u_nrhs%u_%s_%s", nworkers, k,
+                    faults ? "faults" : "clean",
+                    deadline ? "deadline" : "fixed");
+      print_metrics_row(leg, before, obs::MetricsRegistry::global().snapshot(),
+                        &totals);
     }
   }
 }
@@ -407,11 +544,13 @@ int main(int argc, char** argv) {
 
   std::printf("\n## solve fleet: N workers drain one queue against one shared "
               "operator\n");
+  obs::SolveTrace trace;
+  obs::SolveTrace* trace_ptr = opts.trace_out.empty() ? nullptr : &trace;
   for (const unsigned w : opts.workers_list) {
     for (const unsigned k : opts.nrhs_list) {
       run_fleet_modes<ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>,
                       VecCrc32c>("crc32c", csr, k, w, opts.threads, opts.iters,
-                                 total_requests, opts.deadline_ms);
+                                 total_requests, opts.deadline_ms, trace_ptr);
     }
   }
   std::printf("# fleet rows: matrix-region events commit to the shared log in\n"
@@ -420,5 +559,54 @@ int main(int argc, char** argv) {
               "# (with --deadline-ms D) close batches early when the oldest\n"
               "# queued request's budget is at risk — p99 at or below the\n"
               "# batching=fixed row at the same k is the design target.\n");
+
+  std::printf("\n## instrumentation overhead: the same clean CSR batched solve, "
+              "obs on vs off\n");
+  {
+    using PmProt = ProtectedCsr<std::uint32_t, ElemCrc32c, RowCrc32c>;
+    const unsigned k = opts.nrhs_list.back();
+    obs::set_enabled(true);
+    const double on_s = batch_solve_seconds<PmProt, VecNone>(csr, k, opts.iters,
+                                                             opts.reps);
+    obs::set_enabled(false);
+    const double off_s = batch_solve_seconds<PmProt, VecNone>(csr, k, opts.iters,
+                                                              opts.reps);
+    obs::set_enabled(opts.obs);  // restore the --obs default
+    const double pct = off_s > 0.0 ? (on_s / off_s - 1.0) * 100.0 : 0.0;
+    std::printf("obs_overhead nrhs=%u on_seconds=%.6f off_seconds=%.6f "
+                "overhead_pct=%+.2f\n",
+                k, on_s, off_s, pct);
+    if (pct > 2.0) {
+      std::printf("# WARNING: instrumentation overhead %+.2f%% exceeds the 2%% "
+                  "budget (smoke-sized runs are noise-dominated; confirm at "
+                  "--nx 512 --ny 512 before acting)\n",
+                  pct);
+    }
+  }
+
+  if (!opts.metrics_out.empty()) {
+    std::ofstream os(opts.metrics_out);
+    const bool json =
+        opts.metrics_out.size() >= 5 &&
+        opts.metrics_out.compare(opts.metrics_out.size() - 5, 5, ".json") == 0;
+    if (os) {
+      os << (json ? obs::MetricsRegistry::global().json()
+                  : obs::MetricsRegistry::global().prometheus_text());
+      std::printf("# metrics written to %s (%s)\n", opts.metrics_out.c_str(),
+                  json ? "json" : "prometheus text");
+    } else {
+      std::printf("# WARNING: cannot open %s\n", opts.metrics_out.c_str());
+    }
+  }
+  if (trace_ptr != nullptr) {
+    std::ofstream os(opts.trace_out);
+    if (os) {
+      trace.write_jsonl(os);
+      std::printf("# %zu trace records written to %s\n", trace.size(),
+                  opts.trace_out.c_str());
+    } else {
+      std::printf("# WARNING: cannot open %s\n", opts.trace_out.c_str());
+    }
+  }
   return 0;
 }

@@ -30,6 +30,7 @@
 #endif
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 #include "tealeaf/deck.hpp"
 #include "tealeaf/driver.hpp"
 
@@ -67,6 +68,15 @@ struct BenchOptions {
   /// Per-request latency budget in milliseconds for the fleet's
   /// deadline-batching leg (--deadline-ms D); 0 disables the deadline legs.
   double deadline_ms = 0.0;
+  /// Runtime observability switch (--obs on|off), applied process-wide
+  /// before any measurement. fig_service additionally runs an explicit
+  /// on/off A/B leg regardless of this default.
+  bool obs = true;
+  /// Metrics / trace dump files (--metrics-out F, --trace-out F); empty
+  /// means no dump. Drivers that serve requests write the trace, every
+  /// driver can scrape the registry.
+  std::string metrics_out;
+  std::string trace_out;
 
   /// True when the per-format series named \p name should run.
   [[nodiscard]] bool format_selected(const char* name) const {
@@ -137,6 +147,26 @@ struct BenchOptions {
                       [](const char* s) { return abft::parse_simd_impl(s); })) {
         continue;
       }
+      if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+        const char* v = argv[++i];
+        if (std::strcmp(v, "on") == 0) {
+          o.obs = true;
+        } else if (std::strcmp(v, "off") == 0) {
+          o.obs = false;
+        } else {
+          std::printf("bad --obs value '%s' (want on|off)\n", v);
+          std::exit(2);
+        }
+        continue;
+      }
+      if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+        o.metrics_out = argv[++i];
+        continue;
+      }
+      if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+        o.trace_out = argv[++i];
+        continue;
+      }
       if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
         o.format = argv[++i];
         if (std::strcmp(o.format, "all") != 0) {
@@ -153,7 +183,8 @@ struct BenchOptions {
         std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
                     "[--threads N[,N,...]] [--nrhs N[,N,...]] [--workers N[,N,...]] "
                     "[--deadline-ms D] [--crc-impl auto|sw|hw] "
-                    "[--simd-impl auto|scalar|vector] [--format csr|ell|sell|all]\n",
+                    "[--simd-impl auto|scalar|vector] [--format csr|ell|sell|all] "
+                    "[--obs on|off] [--metrics-out F] [--trace-out F]\n",
                     argv[0]);
         std::exit(0);
       }
@@ -163,6 +194,7 @@ struct BenchOptions {
 #endif
     ecc::set_crc32c_impl(o.crc_impl);
     ecc::set_simd_impl(o.simd_impl);
+    obs::set_enabled(o.obs);
     return o;
   }
 };

@@ -11,7 +11,7 @@
 ///
 /// Usage: solve_service [--nrhs K] [--requests N] [--clients C]
 ///                      [--workers W] [--deadline-ms D] [--inject]
-///                      [--threads N]
+///                      [--threads N] [--metrics-out F] [--trace-out F]
 ///   --nrhs K        worker batch width (default 4): up to K queued requests
 ///                   are solved together
 ///   --requests N    total requests submitted across all clients (default 12)
@@ -24,6 +24,11 @@
 ///   --inject        flip one random matrix value bit per batch; the CRC32C
 ///                   element codewords correct it mid-solve
 ///   --threads N     OpenMP threads for the solver kernels (0 clamps to 1)
+///   --metrics-out F dump the metrics registry at exit: Prometheus text
+///                   exposition, or a JSON snapshot if F ends in ".json"
+///   --trace-out F   write one JSONL trace record per served request (see
+///                   obs/trace.hpp for the schema); records are appended at
+///                   ordered commit, so file order == batch-sequence order
 ///
 /// Request j's system is A u = (j+1) * (A·1), so its exact solution is
 /// u = (j+1) * 1 — each result line checks its own answer.
@@ -33,7 +38,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,7 +50,10 @@
 
 #include "abft/abft.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "faults/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/batch_queue.hpp"
 #include "service/worker_pool.hpp"
 #include "solvers/solvers.hpp"
@@ -63,8 +73,12 @@ struct Request {
 /// What a worker hands from its (concurrent) solve to its (ordered) commit.
 struct BatchOutcome {
   std::vector<solvers::SolveResult> results;
-  std::vector<double> max_err;     ///< per request, vs the known solution
-  std::vector<double> latency_ms;  ///< enqueue -> solved
+  std::vector<double> max_err;  ///< per request, vs the known solution
+  std::vector<std::uint64_t> queue_wait_ns;  ///< per request, enqueue -> pop
+  solvers::ResidualHistories residuals;      ///< per request (tracing only)
+  std::uint64_t batch_assembly_ns = 0;       ///< pop -> batch vectors ready
+  std::uint64_t solve_ns = 0;                ///< cg_solve_batch wall time
+  std::chrono::steady_clock::time_point solved_at{};
   std::unique_ptr<FaultLog> matrix_log;  ///< this batch's matrix-region events
   std::size_t injected_bit = 0;
   bool injected = false;
@@ -76,6 +90,7 @@ int main(int argc, char** argv) {
   std::size_t nrhs = 4, total = 12, clients = 3, workers = 2;
   double deadline_ms = 0.0;
   bool inject = false;
+  std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     auto grab = [&](const char* flag, std::size_t& out) {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
@@ -94,6 +109,10 @@ int main(int argc, char** argv) {
       if (deadline_ms < 0.0) deadline_ms = 0.0;
     } else if (std::strcmp(argv[i], "--inject") == 0) {
       inject = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
 #if defined(_OPENMP)
       const unsigned long t = std::strtoul(argv[++i], nullptr, 10);
@@ -105,6 +124,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: %s [--nrhs K] [--requests N] [--clients C] [--workers W]\n"
           "          [--deadline-ms D] [--inject] [--threads N]\n"
+          "          [--metrics-out F] [--trace-out F]\n"
           "  --nrhs K        batch width: up to K requests solved together\n"
           "  --requests N    total requests across all clients\n"
           "  --clients C     producer threads\n"
@@ -114,7 +134,11 @@ int main(int argc, char** argv) {
           "                  is at risk (0 = greedy pop, the default)\n"
           "  --inject        flip one matrix value bit per batch (corrected\n"
           "                  mid-solve by the CRC32C element codewords)\n"
-          "  --threads N     OpenMP threads for the kernels (0 clamps to 1)\n",
+          "  --threads N     OpenMP threads for the kernels (0 clamps to 1)\n"
+          "  --metrics-out F dump the metrics registry at exit (Prometheus\n"
+          "                  text; JSON snapshot if F ends in .json)\n"
+          "  --trace-out F   one JSONL span record per served request, in\n"
+          "                  batch-sequence order (schema: obs/trace.hpp)\n",
           argv[0]);
       return 0;
     } else {
@@ -174,6 +198,8 @@ int main(int argc, char** argv) {
   opts.final_matrix_verify = false;
 
   std::size_t served = 0, batches = 0;
+  obs::SolveTrace trace;
+  const bool want_trace = !trace_out.empty();
   service::WorkerPool pool(
       workers,
       [&](std::uint64_t* seq) {
@@ -184,18 +210,26 @@ int main(int argc, char** argv) {
                    : queue.pop_batch(nrhs, seq);
       },
       [&](std::uint64_t seq, std::vector<Request*>& batch) {
+        const auto popped = std::chrono::steady_clock::now();
         BatchOutcome out;
         out.matrix_log = std::make_unique<FaultLog>();
+        out.queue_wait_ns.reserve(batch.size());
+        for (const Request* req : batch) {
+          out.queue_wait_ns.push_back(elapsed_ns(req->enqueued, popped));
+        }
         service::MatrixLogView<PM> view(pa, out.matrix_log.get(),
                                         DuePolicy::record_only);
         ProtectedMultiVector<VecCrc32c> b(n), u(n);
-        std::vector<double> scaled(n);
-        for (Request* req : batch) {
-          auto& bj = b.add_column(&req->log, DuePolicy::record_only);
-          u.add_column(&req->log, DuePolicy::record_only);
-          const double s = static_cast<double>(req->id + 1);
-          for (std::size_t i = 0; i < n; ++i) scaled[i] = s * rhs1[i];
-          bj.assign({scaled.data(), scaled.size()});
+        {
+          ScopedTimerNs assembly_timer(&out.batch_assembly_ns);
+          std::vector<double> scaled(n);
+          for (Request* req : batch) {
+            auto& bj = b.add_column(&req->log, DuePolicy::record_only);
+            u.add_column(&req->log, DuePolicy::record_only);
+            const double s = static_cast<double>(req->id + 1);
+            for (std::size_t i = 0; i < n; ++i) scaled[i] = s * rhs1[i];
+            bj.assign({scaled.data(), scaled.size()});
+          }
         }
         if (inject) {
           // Per-batch injector seeded by the batch sequence number: the
@@ -208,10 +242,13 @@ int main(int argc, char** argv) {
           out.injected = true;
           out.injected_bit = fault.bit_offset;
         }
-        out.results = solvers::cg_solve_batch(view, b, u, opts);
-        const auto done = std::chrono::steady_clock::now();
+        {
+          ScopedTimerNs solve_timer(&out.solve_ns);
+          out.results = solvers::cg_solve_batch(
+              view, b, u, opts, want_trace ? &out.residuals : nullptr);
+        }
+        out.solved_at = std::chrono::steady_clock::now();
         out.max_err.resize(batch.size());
-        out.latency_ms.resize(batch.size());
         aligned_vector<double> got(n, 0.0);
         for (std::size_t j = 0; j < batch.size(); ++j) {
           const double want = static_cast<double>(batch[j]->id + 1);
@@ -222,10 +259,6 @@ int main(int argc, char** argv) {
             if (e > max_err) max_err = e;
           }
           out.max_err[j] = max_err;
-          out.latency_ms[j] =
-              std::chrono::duration<double, std::milli>(done -
-                                                        batch[j]->enqueued)
-                  .count();
         }
         return out;
       },
@@ -235,7 +268,11 @@ int main(int argc, char** argv) {
         // matrix log — batch s's events always land after batch s-1's.
         service::MatrixLogView<PM> view(pa, out.matrix_log.get(),
                                         DuePolicy::record_only);
-        view.verify_all();
+        std::uint64_t verify_ns = 0;
+        {
+          ScopedTimerNs verify_timer(&verify_ns);
+          view.verify_all();
+        }
         matrix_log.append_from(*out.matrix_log);
         ++batches;
         if (out.injected) {
@@ -243,20 +280,47 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(seq + 1),
                       out.injected_bit);
         }
+        // Commit-section span: solve done -> here, i.e. the wait for this
+        // batch's turn plus the sweep and merge above. One clock read shared
+        // by every request in the batch.
+        const std::uint64_t commit_ns =
+            elapsed_ns(out.solved_at, std::chrono::steady_clock::now());
         for (std::size_t j = 0; j < batch.size(); ++j) {
           const Request* req = batch[j];
+          const double queue_ms =
+              static_cast<double>(out.queue_wait_ns[j]) / 1e6;
+          const double solve_ms = static_cast<double>(out.solve_ns) / 1e6;
           std::printf(
               "request %2zu: %3u iterations, converged=%s, breakdown=%s, "
-              "max |u - %g| = %.3e, %.2f ms, own log: %llu checks, "
-              "%llu corrected, %llu uncorrectable\n",
+              "max |u - %g| = %.3e, queue %.2f ms + solve %.2f ms, own log: "
+              "%llu checks, %llu corrected, %llu uncorrectable\n",
               req->id, out.results[j].iterations,
               out.results[j].converged ? "yes" : "no",
               out.results[j].breakdown ? "yes" : "no",
-              static_cast<double>(req->id + 1), out.max_err[j],
-              out.latency_ms[j],
+              static_cast<double>(req->id + 1), out.max_err[j], queue_ms,
+              solve_ms,
               static_cast<unsigned long long>(req->log.checks()),
               static_cast<unsigned long long>(req->log.corrected()),
               static_cast<unsigned long long>(req->log.uncorrectable()));
+          obs::TraceRecord rec;
+          rec.request_id = req->id;
+          rec.batch_seq = seq;
+          rec.solver = "cg-batch";
+          rec.iterations = out.results[j].iterations;
+          rec.converged = out.results[j].converged;
+          rec.breakdown = out.results[j].breakdown;
+          rec.residual_norm = out.results[j].residual_norm;
+          rec.queue_wait_ns = out.queue_wait_ns[j];
+          rec.batch_assembly_ns = out.batch_assembly_ns;
+          rec.solve_ns = out.solve_ns;
+          rec.ordered_commit_ns = commit_ns;
+          rec.verify_all_ns = verify_ns;
+          rec.checks = req->log.checks();
+          rec.corrected = req->log.corrected();
+          rec.uncorrectable = req->log.uncorrectable();
+          rec.residuals =
+              j < out.residuals.size() ? &out.residuals[j] : nullptr;
+          if (want_trace) trace.emit(rec);
         }
         served += batch.size();
       });
@@ -274,5 +338,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(matrix_log.uncorrectable()));
   std::printf("(the matrix checks above are per *batch pass*, not per request "
               "— the amortization cg_solve_batch exists for)\n");
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::printf("cannot open %s for writing\n", metrics_out.c_str());
+      return 1;
+    }
+    const bool json = metrics_out.size() >= 5 &&
+                      metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+    os << (json ? obs::MetricsRegistry::global().json()
+                : obs::MetricsRegistry::global().prometheus_text());
+    std::printf("metrics written to %s (%s)\n", metrics_out.c_str(),
+                json ? "json" : "prometheus text");
+  }
+  if (want_trace) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::printf("cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    trace.write_jsonl(os);
+    std::printf("%zu trace records written to %s\n", trace.size(),
+                trace_out.c_str());
+  }
   return served == total && dropped.load() == 0 ? 0 : 1;
 }

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace abft {
 
 /// Result of one codeword integrity check.
@@ -115,15 +117,25 @@ class FaultLog {
  public:
   static constexpr std::size_t kMaxTracedEvents = 4096;
 
+  // Every record/add_checks below also bumps the process-wide observability
+  // counters (obs/metrics.hpp). FaultLog is the deterministic funnel all
+  // protection layers already commit through — kernels defer parallel-region
+  // outcomes into ErrorCaptures and commit here serially — so publishing
+  // metrics at this point adds one shard increment per event and can never
+  // perturb check accounting or event order. append_from() deliberately does
+  // NOT republish: a per-batch log merged into the shared matrix log was
+  // already counted when its events were first recorded.
   void record(Region region, CheckOutcome outcome, std::size_t index) {
     switch (outcome) {
       case CheckOutcome::ok: break;
       case CheckOutcome::corrected:
         corrected_.fetch_add(1, std::memory_order_relaxed);
+        obs::count_corrected();
         trace({region, outcome, index});
         break;
       case CheckOutcome::uncorrectable:
         uncorrectable_.fetch_add(1, std::memory_order_relaxed);
+        obs::count_uncorrectable();
         trace({region, outcome, index});
         break;
     }
@@ -131,11 +143,13 @@ class FaultLog {
 
   void record_bounds_violation(Region region, std::size_t index) {
     bounds_violations_.fetch_add(1, std::memory_order_relaxed);
+    obs::count_bounds();
     trace({region, CheckOutcome::uncorrectable, index});
   }
 
   void add_checks(std::uint64_t n = 1) noexcept {
     checks_.fetch_add(n, std::memory_order_relaxed);
+    obs::count_checks(n);
   }
 
   [[nodiscard]] std::uint64_t checks() const noexcept {

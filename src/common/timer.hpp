@@ -8,9 +8,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace abft {
+
+// Every latency figure in the repo (bench timings, service percentiles,
+// SolveTrace spans) is a steady_clock difference: system_clock is subject to
+// NTP slew and manual adjustment, which silently corrupts latency math.
+// Anything that needs wall-clock *timestamps* must label them as such and
+// never difference them against these timers.
+static_assert(std::chrono::steady_clock::is_steady,
+              "latency math requires a monotonic clock");
 
 /// Monotonic wall-clock stopwatch.
 class Timer {
@@ -27,6 +36,35 @@ class Timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Nanoseconds between two steady_clock points (non-negative; the clock is
+/// monotonic by the static_assert above).
+[[nodiscard]] inline std::uint64_t elapsed_ns(
+    std::chrono::steady_clock::time_point from,
+    std::chrono::steady_clock::time_point to) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+/// Nanosecond-resolution scoped timer: adds the scope's elapsed time to the
+/// target on destruction. SolveTrace spans are stamped with these so a span
+/// costs two clock reads and one add, with no early-exit bookkeeping.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(std::uint64_t* out) noexcept
+      : out_(out), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+  ~ScopedTimerNs() {
+    *out_ += elapsed_ns(start_, std::chrono::steady_clock::now());
+  }
+
+ private:
+  std::uint64_t* out_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Accumulates per-repetition timings and reports summary statistics.

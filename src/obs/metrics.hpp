@@ -1,0 +1,303 @@
+/// \file metrics.hpp
+/// \brief Production metrics: a registry of named monotonic counters, gauges
+/// and fixed-bucket latency histograms, with Prometheus-style text and JSON
+/// exposition.
+///
+/// Design rules, in the order they matter:
+///
+///   1. *Zero determinism drift.* Metrics only observe — nothing in this
+///      layer feeds back into kernel, solver or service decisions, so
+///      solution bits, fault logs and check counts are bit-identical with
+///      observability on, off, or compiled out. The determinism suites lock
+///      this (test_thread_determinism / test_service obs legs).
+///   2. *Hot paths pay one relaxed atomic.* Counter and histogram updates go
+///      to a per-thread shard (a cache-line-padded slot picked once per
+///      thread) with a relaxed fetch_add — the same merge-on-read discipline
+///      ErrorCapture uses: shards are commutatively summed at scrape time,
+///      never synchronized on the write path.
+///   3. *Compile-time off means gone.* Configure with -DABFT_OBS=OFF and
+///      every instrumentation call compiles to an empty inline function; the
+///      registry API keeps its shape so call sites need no #ifdefs.
+///
+/// A runtime switch (set_enabled) additionally lets one binary A/B its own
+/// instrumentation cost (fig_service --obs on|off); it defaults to on.
+#pragma once
+
+#ifndef ABFT_OBS_ENABLED
+#define ABFT_OBS_ENABLED 1
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#if ABFT_OBS_ENABLED
+#include <atomic>
+#endif
+
+namespace abft::obs {
+
+/// Merged, point-in-time view of the whole registry (see
+/// MetricsRegistry::snapshot). Keys are the full metric names including any
+/// {label="..."} suffix. Histograms carry per-bucket (non-cumulative) counts
+/// aligned with their upper bounds, plus a +Inf overflow count.
+struct Snapshot {
+  struct HistogramValue {
+    std::vector<double> bounds;        ///< bucket upper bounds (inclusive)
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries; last is +Inf
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  /// Counter value by full name; 0 when absent (scrape-friendly deltas).
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::int64_t gauge(const std::string& name) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+};
+
+#if ABFT_OBS_ENABLED
+
+/// Process-wide runtime switch. Disabled instrumentation still costs the
+/// relaxed load + branch; use the ABFT_OBS=OFF build for a true zero.
+void set_enabled(bool on) noexcept;
+[[nodiscard]] bool enabled() noexcept;
+
+namespace detail {
+
+/// Number of write shards. Threads pick a slot round-robin on first touch;
+/// with a fleet of <= kShards writer threads every writer owns its line.
+inline constexpr std::size_t kShards = 32;
+
+/// Index of this thread's shard (assigned once, cached in TLS).
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+struct alignas(64) PaddedCounter {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace detail
+
+/// Monotonic counter. inc() is wait-free: one relaxed fetch_add on this
+/// thread's shard.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Shard-merged total (scrape path; safe concurrent with writers).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  detail::PaddedCounter shards_[detail::kShards];
+};
+
+/// Last-writer-wins instantaneous value (queue depth, pool size). Gauges are
+/// set at event granularity, not per element — a single relaxed atomic is
+/// the right cost.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (!enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: immutable upper bounds chosen at registration,
+/// per-thread shards of per-bucket counts merged on scrape. observe() does
+/// one linear bucket search (bounds are a handful) plus two relaxed
+/// fetch_adds (bucket count and the fixed-point sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept {
+    if (!enabled()) return;
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    auto& shard = shards_[detail::shard_index()];
+    shard.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    shard.sum_micro.fetch_add(to_micro(v), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+  /// Shard-merged value (scrape path; safe concurrent with writers).
+  [[nodiscard]] Snapshot::HistogramValue value() const;
+
+ private:
+  /// The running sum is kept in fixed point (micro-units) so shards stay
+  /// plain integer atomics; 1e-6 resolution over uint64 gives ~5.8e5 years
+  /// of accumulated seconds before wrap.
+  [[nodiscard]] static std::uint64_t to_micro(double v) noexcept {
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v * 1e6 + 0.5);
+  }
+
+  struct Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;  ///< bounds + 1 (+Inf)
+    alignas(64) std::atomic<std::uint64_t> sum_micro{0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Named metric registry. Registration (counter/gauge/histogram) takes a
+/// mutex and is meant for setup paths or per-solve cold code — cache the
+/// returned handle (it lives as long as the registry) for hot paths, e.g.
+/// in a function-local static. Metric names follow Prometheus conventions;
+/// an optional label suffix ('solver="cg"') distinguishes instances and is
+/// emitted verbatim inside {...}.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in metric registers with.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = {},
+                   const std::string& label = {});
+  Gauge& gauge(const std::string& name, const std::string& help = {},
+               const std::string& label = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = {},
+                       const std::string& label = {});
+
+  /// Merge every metric's shards into one consistent-enough view: scraping
+  /// is safe concurrent with writers (relaxed reads of monotonic shards),
+  /// individual values are exact whenever writers are quiescent.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Prometheus text exposition format (one # HELP/# TYPE pair per family,
+  /// histogram as cumulative le-buckets + _sum + _count).
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// The same snapshot as a single JSON object.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  struct Impl;
+  MetricsRegistry();
+  ~MetricsRegistry();
+  Impl* impl_;
+};
+
+#else  // !ABFT_OBS_ENABLED — every instrument compiles to a no-op.
+
+inline void set_enabled(bool) noexcept {}
+[[nodiscard]] inline bool enabled() noexcept { return false; }
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  void observe(double) noexcept {}
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] Snapshot::HistogramValue value() const { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global() {
+    static MetricsRegistry r;
+    return r;
+  }
+  Counter& counter(const std::string&, const std::string& = {},
+                   const std::string& = {}) {
+    static Counter c;
+    return c;
+  }
+  Gauge& gauge(const std::string&, const std::string& = {},
+               const std::string& = {}) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& histogram(const std::string&, std::vector<double>,
+                       const std::string& = {}, const std::string& = {}) {
+    static Histogram h;
+    return h;
+  }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  [[nodiscard]] std::string prometheus_text() const { return {}; }
+  [[nodiscard]] std::string json() const { return "{}"; }
+};
+
+#endif  // ABFT_OBS_ENABLED
+
+/// Default latency bucket bounds in seconds: 100us .. 30s, roughly 1-2.5-5
+/// per decade — wide enough for both a single SpMV-bound solve and a queued
+/// fleet request.
+[[nodiscard]] inline std::vector<double> latency_buckets_seconds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+          1e-1, 2.5e-1, 5e-1, 1.0,  2.5,    5.0,  10.0, 30.0};
+}
+
+/// Default iteration-count buckets: powers of two up to the solver default
+/// iteration cap.
+[[nodiscard]] inline std::vector<double> iteration_buckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+/// Default batch-width buckets (BatchQueue batch-size distribution).
+[[nodiscard]] inline std::vector<double> batch_size_buckets() {
+  return {1, 2, 4, 8, 16, 32, 64};
+}
+
+/// Built-in protection counters, fed from the FaultLog commit points (the
+/// deterministic, outside-the-parallel-region funnel every kernel and
+/// container already reports through). Handles are resolved once into
+/// function-local statics, so each call is one shard increment.
+///   count_checks         -> abft_checks_total
+///   count_corrected      -> abft_corrected_total (DCEs)
+///   count_uncorrectable  -> abft_uncorrectable_total (DUEs)
+///   count_bounds         -> abft_bounds_violations_total
+#if ABFT_OBS_ENABLED
+void count_checks(std::uint64_t n) noexcept;
+void count_corrected() noexcept;
+void count_uncorrectable() noexcept;
+void count_bounds() noexcept;
+#else
+inline void count_checks(std::uint64_t) noexcept {}
+inline void count_corrected() noexcept {}
+inline void count_uncorrectable() noexcept {}
+inline void count_bounds() noexcept {}
+#endif
+
+}  // namespace abft::obs

@@ -1,0 +1,128 @@
+/// \file service_metrics.hpp
+/// \brief Service-layer telemetry hooks: queue health and per-worker
+/// utilization for the BatchQueue / WorkerPool fleet.
+///
+/// Exported series (process-global — a process running several queues or
+/// pools aggregates them, which is what a scrape wants):
+///
+///   abft_queue_depth                        gauge, requests waiting now
+///   abft_queue_pushes_total                 accepted enqueues
+///   abft_queue_drops_total                  pushes rejected by close()
+///   abft_queue_batches_total                non-empty batches popped
+///   abft_queue_batch_size                   histogram of popped batch widths
+///   abft_queue_deadline_closed_early_total  deadline pops that gave up on
+///                                           filling the batch (tail-latency
+///                                           protection kicked in)
+///   abft_workers                            gauge, live pool size
+///   abft_worker_batches_total{worker="w"}   batches this worker solved
+///   abft_worker_busy_ns_total{worker="w"}   ns spent in solve + commit
+///   abft_worker_wait_ns_total{worker="w"}   ns blocked popping the queue
+///
+/// Every hook is observation-only (shard increments off the queue lock's
+/// critical path decisions) and compiles to an empty inline under
+/// ABFT_OBS=OFF, so fleet scheduling — and therefore batch composition,
+/// sequence numbers and all fault accounting — is identical with the
+/// instrumentation on, off, or compiled out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace abft::obs {
+
+#if ABFT_OBS_ENABLED
+
+inline void queue_push_accepted(std::int64_t depth_now) {
+  auto& reg = MetricsRegistry::global();
+  static Counter& pushes =
+      reg.counter("abft_queue_pushes_total", "Accepted enqueues");
+  static Gauge& depth =
+      reg.gauge("abft_queue_depth", "Requests waiting in the batch queue");
+  pushes.inc();
+  depth.set(depth_now);
+}
+
+inline void queue_push_dropped() {
+  static Counter& drops = MetricsRegistry::global().counter(
+      "abft_queue_drops_total", "Pushes rejected because the queue was closed");
+  drops.inc();
+}
+
+inline void queue_batch_popped(std::size_t batch_size, std::int64_t depth_now) {
+  auto& reg = MetricsRegistry::global();
+  static Counter& batches =
+      reg.counter("abft_queue_batches_total", "Non-empty batches popped");
+  static Histogram& widths =
+      reg.histogram("abft_queue_batch_size", batch_size_buckets(),
+                    "Requests per popped batch");
+  static Gauge& depth =
+      reg.gauge("abft_queue_depth", "Requests waiting in the batch queue");
+  batches.inc();
+  widths.observe(static_cast<double>(batch_size));
+  depth.set(depth_now);
+}
+
+inline void queue_deadline_closed_early() {
+  static Counter& early = MetricsRegistry::global().counter(
+      "abft_queue_deadline_closed_early_total",
+      "Deadline pops that stopped waiting for a full batch");
+  early.inc();
+}
+
+/// Per-worker handle bundle, resolved once per worker thread at run() entry.
+class WorkerObs {
+ public:
+  explicit WorkerObs(std::size_t worker) {
+    auto& reg = MetricsRegistry::global();
+    const std::string label = "worker=\"" + std::to_string(worker) + "\"";
+    batches_ = &reg.counter("abft_worker_batches_total",
+                            "Batches solved by this worker", label);
+    busy_ns_ = &reg.counter("abft_worker_busy_ns_total",
+                            "Nanoseconds spent solving and committing", label);
+    wait_ns_ = &reg.counter("abft_worker_wait_ns_total",
+                            "Nanoseconds blocked popping the queue", label);
+  }
+
+  void record_batch(std::uint64_t busy_ns, std::uint64_t wait_ns) noexcept {
+    batches_->inc();
+    busy_ns_->inc(busy_ns);
+    wait_ns_->inc(wait_ns);
+  }
+
+  /// Wait time of the final (empty, shutdown) pop still counts as idle.
+  void record_wait(std::uint64_t wait_ns) noexcept { wait_ns_->inc(wait_ns); }
+
+ private:
+  Counter* batches_;
+  Counter* busy_ns_;
+  Counter* wait_ns_;
+};
+
+inline void pool_size(std::int64_t n) {
+  static Gauge& workers =
+      MetricsRegistry::global().gauge("abft_workers", "Live worker threads");
+  workers.set(n);
+}
+
+#else  // !ABFT_OBS_ENABLED
+
+inline void queue_push_accepted(std::int64_t) noexcept {}
+inline void queue_push_dropped() noexcept {}
+inline void queue_batch_popped(std::size_t, std::int64_t) noexcept {}
+inline void queue_deadline_closed_early() noexcept {}
+
+class WorkerObs {
+ public:
+  explicit WorkerObs(std::size_t) noexcept {}
+  void record_batch(std::uint64_t, std::uint64_t) noexcept {}
+  void record_wait(std::uint64_t) noexcept {}
+};
+
+inline void pool_size(std::int64_t) noexcept {}
+
+#endif  // ABFT_OBS_ENABLED
+
+}  // namespace abft::obs

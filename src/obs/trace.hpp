@@ -1,0 +1,143 @@
+/// \file trace.hpp
+/// \brief SolveTrace: per-request span records for the solve service,
+/// emitted as machine-readable JSONL.
+///
+/// One record per served request, stamped by the service drivers at their
+/// ordered-commit point — so the trace file order is the batch-sequence
+/// order, deterministic at any worker count (span *durations* are wall
+/// clock and obviously vary run to run; every other field is a pure
+/// function of the request stream).
+///
+/// JSONL schema (one object per line, all spans in nanoseconds from the
+/// steady clock):
+///
+///   {"request":N,"batch":N,"solver":"cg-batch","iterations":N,
+///    "converged":true|false,"cause":"converged|breakdown|exhausted",
+///    "residual":R,
+///    "queue_wait_ns":N,"batch_assembly_ns":N,"solve_ns":N,
+///    "ordered_commit_ns":N,"verify_all_ns":N,
+///    "checks":N,"corrected":N,"uncorrectable":N,
+///    "residuals":[...]}            <- optional (residual-trajectory hook)
+///
+/// Tracing shares the obs runtime/compile-time gates: with ABFT_OBS=OFF,
+/// emit() compiles to nothing and write_jsonl produces an empty stream.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace abft::obs {
+
+/// One request's trace record. Span fields left at zero are emitted as zero
+/// (a fixed schema is easier on downstream parsers than optional keys); the
+/// residual trajectory is the only optional field.
+struct TraceRecord {
+  std::uint64_t request_id = 0;
+  std::uint64_t batch_seq = 0;
+  const char* solver = "cg";
+  unsigned iterations = 0;
+  bool converged = false;
+  bool breakdown = false;
+  double residual_norm = 0.0;
+  std::uint64_t queue_wait_ns = 0;      ///< enqueue -> popped by a worker
+  std::uint64_t batch_assembly_ns = 0;  ///< pop -> batch vectors ready
+  std::uint64_t solve_ns = 0;           ///< cg_solve_batch wall time
+  std::uint64_t ordered_commit_ns = 0;  ///< commit-section wall time (incl. wait)
+  std::uint64_t verify_all_ns = 0;      ///< end-of-batch matrix sweep
+  std::uint64_t checks = 0;             ///< this tenant's log totals
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+  const std::vector<double>* residuals = nullptr;  ///< optional trajectory
+};
+
+/// Why the solver stopped, for the "cause" field.
+[[nodiscard]] inline const char* stop_cause(bool converged, bool breakdown) noexcept {
+  return converged ? "converged" : breakdown ? "breakdown" : "exhausted";
+}
+
+/// Render one record as a single JSONL line (no trailing newline). Pure —
+/// the golden schema test pins this format.
+[[nodiscard]] inline std::string trace_json_line(const TraceRecord& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"request\":%llu,\"batch\":%llu,\"solver\":\"%s\","
+      "\"iterations\":%u,\"converged\":%s,\"cause\":\"%s\","
+      "\"residual\":%.17g,"
+      "\"queue_wait_ns\":%llu,\"batch_assembly_ns\":%llu,\"solve_ns\":%llu,"
+      "\"ordered_commit_ns\":%llu,\"verify_all_ns\":%llu,"
+      "\"checks\":%llu,\"corrected\":%llu,\"uncorrectable\":%llu",
+      static_cast<unsigned long long>(r.request_id),
+      static_cast<unsigned long long>(r.batch_seq), r.solver, r.iterations,
+      r.converged ? "true" : "false", stop_cause(r.converged, r.breakdown),
+      r.residual_norm, static_cast<unsigned long long>(r.queue_wait_ns),
+      static_cast<unsigned long long>(r.batch_assembly_ns),
+      static_cast<unsigned long long>(r.solve_ns),
+      static_cast<unsigned long long>(r.ordered_commit_ns),
+      static_cast<unsigned long long>(r.verify_all_ns),
+      static_cast<unsigned long long>(r.checks),
+      static_cast<unsigned long long>(r.corrected),
+      static_cast<unsigned long long>(r.uncorrectable));
+  std::string line(buf);
+  if (r.residuals != nullptr) {
+    line += ",\"residuals\":[";
+    for (std::size_t i = 0; i < r.residuals->size(); ++i) {
+      if (i > 0) line += ",";
+      char num[32];
+      std::snprintf(num, sizeof num, "%.17g", (*r.residuals)[i]);
+      line += num;
+    }
+    line += "]";
+  }
+  line += "}";
+  return line;
+}
+
+#if ABFT_OBS_ENABLED
+
+/// Thread-safe trace collector. emit() appends under a mutex — it is called
+/// once per request at commit granularity, far off any hot path.
+class SolveTrace {
+ public:
+  void emit(const TraceRecord& r) {
+    if (!enabled()) return;
+    std::lock_guard lock(mu_);
+    lines_.push_back(trace_json_line(r));
+  }
+
+  /// Number of records collected so far.
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return lines_.size();
+  }
+
+  /// Write every collected record, one JSON object per line.
+  void write_jsonl(std::ostream& os) const {
+    std::lock_guard lock(mu_);
+    for (const auto& line : lines_) os << line << "\n";
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+#else
+
+class SolveTrace {
+ public:
+  void emit(const TraceRecord&) {}
+  [[nodiscard]] std::size_t size() const { return 0; }
+  void write_jsonl(std::ostream&) const {}
+};
+
+#endif  // ABFT_OBS_ENABLED
+
+}  // namespace abft::obs

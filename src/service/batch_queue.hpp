@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/service_metrics.hpp"
+
 namespace abft::service {
 
 /// Bounded MPMC queue delivering items in arrival order, batch-at-a-time.
@@ -42,9 +44,15 @@ class BatchQueue {
   bool push(T item) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
-    if (closed_) return false;
+    if (closed_) {
+      lock.unlock();
+      obs::queue_push_dropped();
+      return false;
+    }
     q_.push_back(std::move(item));
+    const auto depth = static_cast<std::int64_t>(q_.size());
     lock.unlock();
+    obs::queue_push_accepted(depth);
     // notify_all, not notify_one: consumers wait on not_empty_ with two
     // different predicates (greedy "non-empty" vs deadline "batch full"), so
     // a single wake could land on a waiter whose predicate still fails and
@@ -86,9 +94,10 @@ class BatchQueue {
     not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
     if (!q_.empty() && q_.size() < max_batch && !closed_) {
       const auto deadline = enqueued_at(q_.front()) + budget;
-      not_empty_.wait_until(lock, deadline, [&] {
+      const bool filled = not_empty_.wait_until(lock, deadline, [&] {
         return q_.size() >= max_batch || closed_;
       });
+      if (!filled) obs::queue_deadline_closed_early();
     }
     return take_locked(lock, max_batch, seq_out);
   }
@@ -124,8 +133,12 @@ class BatchQueue {
       if (seq_out != nullptr) *seq_out = batches_popped_;
       ++batches_popped_;
     }
+    const auto depth = static_cast<std::int64_t>(q_.size());
     lock.unlock();
-    if (take > 0) not_full_.notify_all();
+    if (take > 0) {
+      not_full_.notify_all();
+      obs::queue_batch_popped(take, depth);
+    }
     return batch;
   }
 

@@ -37,6 +37,8 @@
 
 #include "abft/format_traits.hpp"
 #include "common/fault_log.hpp"
+#include "common/timer.hpp"
+#include "obs/service_metrics.hpp"
 
 namespace abft::service {
 
@@ -133,9 +135,10 @@ class WorkerPool {
         solve_(std::move(solve)),
         commit_(std::move(commit)) {
     const std::size_t n = nworkers == 0 ? 1 : nworkers;
+    obs::pool_size(static_cast<std::int64_t>(n));
     workers_.reserve(n);
     for (std::size_t w = 0; w < n; ++w) {
-      workers_.emplace_back([this] { run(); });
+      workers_.emplace_back([this, w] { run(w); });
     }
   }
 
@@ -162,16 +165,27 @@ class WorkerPool {
   }
 
  private:
-  void run() {
+  void run(std::size_t worker) {
+    // Utilization telemetry is per-worker (labeled series) and strictly
+    // observational: the pop/solve/commit sequence is identical with obs
+    // compiled out, so batch composition and commit order cannot drift.
+    obs::WorkerObs wobs(worker);
     for (;;) {
       std::uint64_t seq = 0;
+      const auto pop_start = std::chrono::steady_clock::now();
       auto batch = pop_(&seq);
-      if (batch.empty()) return;
+      const auto popped = std::chrono::steady_clock::now();
+      if (batch.empty()) {
+        wobs.record_wait(elapsed_ns(pop_start, popped));
+        return;
+      }
       bool solved = false;
       try {
         auto result = solve_(seq, batch);
         solved = true;
         committer_.commit(seq, [&] { commit_(seq, batch, result); });
+        wobs.record_batch(elapsed_ns(popped, std::chrono::steady_clock::now()),
+                          elapsed_ns(pop_start, popped));
       } catch (...) {
         // The sequence must advance regardless, or every later batch wedges
         // behind this one. (If commit itself threw, OrderedCommitter already

@@ -17,6 +17,7 @@
 /// tenant's data is logged to — and policed by — that tenant alone.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
@@ -24,6 +25,7 @@
 
 #include "abft/protected_kernels.hpp"
 #include "abft/protected_multivector.hpp"
+#include "obs/solve_metrics.hpp"
 #include "solvers/types.hpp"
 
 namespace abft::solvers {
@@ -47,6 +49,7 @@ std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
     throw std::invalid_argument("cg_solve_batch: batch size mismatch");
   }
   std::vector<SolveResult> results(k);
+  const auto obs_start = std::chrono::steady_clock::now();
   if (histories != nullptr) histories->assign(k, {});
   if (k == 0) return results;
   const std::size_t n = u.size();
@@ -122,6 +125,7 @@ std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
   // check intervals > 1 this is what guarantees no corruption survives the
   // batch unnoticed, paper §VI-A2).
   if (opts.final_matrix_verify) a.verify_all();
+  obs::record_batch_solve("cg-batch", results, obs_start);
   return results;
 }
 

@@ -13,6 +13,7 @@
 #include "abft/protected_csr.hpp"
 #include "abft/protected_kernels.hpp"
 #include "abft/protected_vector.hpp"
+#include "obs/solve_metrics.hpp"
 #include "solvers/types.hpp"
 
 namespace abft::solvers {
@@ -23,6 +24,8 @@ namespace abft::solvers {
 template <class Matrix, class VS>
 SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
                      ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
+  SolveResult result;
+  obs::SolveScope obs_scope("cg", &result);
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();
   const DuePolicy policy = u.due_policy();
@@ -39,7 +42,6 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
   copy(r, p);
   double rr = dot(r, r);
 
-  SolveResult result;
   result.residual_norm = std::sqrt(rr);
   if (opts.residual_history != nullptr) {
     opts.residual_history->push_back(result.residual_norm);

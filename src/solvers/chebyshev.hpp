@@ -13,6 +13,7 @@
 #include "abft/protected_csr.hpp"
 #include "abft/protected_kernels.hpp"
 #include "abft/protected_vector.hpp"
+#include "obs/solve_metrics.hpp"
 #include "solvers/eigen_estimate.hpp"
 #include "solvers/types.hpp"
 
@@ -23,6 +24,8 @@ template <class Matrix, class VS>
 SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
                             ProtectedVector<VS>& u, const SpectralBounds& bounds,
                             const SolveOptions& opts = {}) {
+  SolveResult result;
+  obs::SolveScope obs_scope("chebyshev", &result);
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();
   const DuePolicy policy = u.due_policy();
@@ -41,7 +44,6 @@ SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
   sub(b, w, r);
   axpby(1.0 / theta, r, 0.0, d);
 
-  SolveResult result;
   result.residual_norm = norm2(r);
   if (result.residual_norm <= threshold) {
     result.converged = true;

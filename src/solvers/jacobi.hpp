@@ -10,6 +10,7 @@
 #include "abft/protected_csr.hpp"
 #include "abft/protected_kernels.hpp"
 #include "abft/protected_vector.hpp"
+#include "obs/solve_metrics.hpp"
 #include "solvers/types.hpp"
 
 namespace abft::solvers {
@@ -40,6 +41,8 @@ void extract_inverse_diagonal(Matrix& a, ProtectedVector<VS>& dinv) {
 template <class Matrix, class VS>
 SolveResult jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
                          ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
+  SolveResult result;
+  obs::SolveScope obs_scope("jacobi", &result);
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();
   const DuePolicy policy = u.due_policy();
@@ -51,7 +54,6 @@ SolveResult jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
   const double bnorm = norm2(b);
   const double threshold = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
-  SolveResult result;
   for (unsigned iter = 0; iter <= opts.max_iterations; ++iter) {
     const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
     spmv(a, u, w, mode);

@@ -9,6 +9,7 @@
 #include "abft/protected_csr.hpp"
 #include "abft/protected_kernels.hpp"
 #include "abft/protected_vector.hpp"
+#include "obs/solve_metrics.hpp"
 #include "solvers/jacobi.hpp"
 #include "solvers/types.hpp"
 
@@ -18,6 +19,8 @@ namespace abft::solvers {
 template <class Matrix, class VS>
 SolveResult pcg_jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
                              ProtectedVector<VS>& u, const SolveOptions& opts = {}) {
+  SolveResult result;
+  obs::SolveScope obs_scope("pcg", &result);
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();
   const DuePolicy policy = u.due_policy();
@@ -39,7 +42,6 @@ SolveResult pcg_jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
   copy(z, p);
   double rz = dot(r, z);
 
-  SolveResult result;
   result.residual_norm = norm2(r);
   if (result.residual_norm <= threshold) {
     result.converged = true;

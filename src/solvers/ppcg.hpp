@@ -13,6 +13,7 @@
 #include "abft/protected_csr.hpp"
 #include "abft/protected_kernels.hpp"
 #include "abft/protected_vector.hpp"
+#include "obs/solve_metrics.hpp"
 #include "solvers/eigen_estimate.hpp"
 #include "solvers/types.hpp"
 
@@ -59,6 +60,8 @@ template <class Matrix, class VS>
 SolveResult ppcg_solve(Matrix& a, ProtectedVector<VS>& b,
                        ProtectedVector<VS>& u, const SpectralBounds& bounds,
                        const PpcgOptions& opts = {}) {
+  SolveResult result;
+  obs::SolveScope obs_scope("ppcg", &result);
   const std::size_t n = u.size();
   FaultLog* log = u.fault_log();
   const DuePolicy policy = u.due_policy();
@@ -80,7 +83,6 @@ SolveResult ppcg_solve(Matrix& a, ProtectedVector<VS>& b,
   copy(z, p);
   double rz = dot(r, z);
 
-  SolveResult result;
   result.residual_norm = norm2(r);
   if (result.residual_norm <= threshold) {
     result.converged = true;

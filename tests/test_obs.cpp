@@ -1,0 +1,352 @@
+// The observability layer: counter/gauge/histogram semantics, the sharded
+// write path (concurrent increments must sum exactly, like ErrorCapture's
+// merge), scrape-while-writing safety on raw std::threads (the TSan job runs
+// this binary), the Prometheus/JSON exposition formats, and the SolveTrace
+// JSONL golden schema.
+//
+// Everything here uses registry instances' *handles* through the global
+// registry — metrics are process-global and monotonic, so tests assert on
+// before/after deltas, never on absolute values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace abft;
+
+int unique_counter = 0;
+
+/// Fresh metric name per test: the global registry is append-only, so each
+/// test works against names nothing else touches.
+std::string fresh(const char* stem) {
+  return std::string("test_") + stem + "_" + std::to_string(unique_counter++);
+}
+
+void run_threads(int nthreads, const std::function<void(int)>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) workers.emplace_back(body, t);
+  for (auto& w : workers) w.join();
+}
+
+#if ABFT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Counter: sharded relaxed increments must sum exactly.
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  auto& c = obs::MetricsRegistry::global().counter(fresh("ctr"));
+  run_threads(kThreads, [&](int) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, IncByNAndRepeatRegistrationShareTheInstance) {
+  const auto name = fresh("ctr");
+  auto& a = obs::MetricsRegistry::global().counter(name);
+  auto& b = obs::MetricsRegistry::global().counter(name);
+  EXPECT_EQ(&a, &b) << "same name must hand back the same heap-pinned handle";
+  a.inc(41);
+  b.inc();
+  EXPECT_EQ(a.value(), 42u);
+}
+
+TEST(ObsCounter, LabelledInstancesAreDistinct) {
+  const auto name = fresh("ctr");
+  auto& a = obs::MetricsRegistry::global().counter(name, "", "k=\"a\"");
+  auto& b = obs::MetricsRegistry::global().counter(name, "", "k=\"b\"");
+  EXPECT_NE(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  auto& g = obs::MetricsRegistry::global().gauge(fresh("gauge"));
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: bucket boundaries and concurrent-shard merge == serial fold.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  auto& h = obs::MetricsRegistry::global().histogram(
+      fresh("hist"), {1.0, 2.0, 4.0});
+  // On-boundary lands in the bucket (le semantics); above the last bound
+  // lands in +Inf.
+  for (double v : {0.5, 1.0}) h.observe(v);   // bucket 0 (le 1)
+  h.observe(1.5);                             // bucket 1 (le 2)
+  h.observe(4.0);                             // bucket 2 (le 4)
+  for (double v : {4.1, 100.0}) h.observe(v); // +Inf
+  const auto v = h.value();
+  ASSERT_EQ(v.bounds.size(), 3u);
+  ASSERT_EQ(v.counts.size(), 4u);
+  EXPECT_EQ(v.counts[0], 2u);
+  EXPECT_EQ(v.counts[1], 1u);
+  EXPECT_EQ(v.counts[2], 1u);
+  EXPECT_EQ(v.counts[3], 2u);
+  EXPECT_EQ(v.count, 6u);
+  EXPECT_NEAR(v.sum, 0.5 + 1.0 + 1.5 + 4.0 + 4.1 + 100.0, 1e-3);
+}
+
+TEST(ObsHistogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(obs::MetricsRegistry::global().histogram(fresh("hist"),
+                                                        {1.0, 1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      obs::MetricsRegistry::global().histogram(fresh("hist"), {2.0, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(ObsHistogram, ConcurrentShardMergeMatchesSerialFold) {
+  // The same observation stream applied concurrently (sharded) and serially
+  // (single thread) must scrape to identical bucket counts and totals — the
+  // merge is a commutative sum, exactly the ErrorCapture discipline.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  auto& conc = obs::MetricsRegistry::global().histogram(
+      fresh("hist"), obs::latency_buckets_seconds());
+  auto& serial = obs::MetricsRegistry::global().histogram(
+      fresh("hist"), obs::latency_buckets_seconds());
+  const auto value_of = [](int t, int i) {
+    // Deterministic spread over ~6 decades, varying per thread and step.
+    return 1e-5 * static_cast<double>(1 + (t * kPerThread + i) % 1'000'000);
+  };
+  run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < kPerThread; ++i) conc.observe(value_of(t, i));
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) serial.observe(value_of(t, i));
+  }
+  const auto got = conc.value();
+  const auto want = serial.value();
+  ASSERT_EQ(got.counts.size(), want.counts.size());
+  for (std::size_t b = 0; b < got.counts.size(); ++b) {
+    EXPECT_EQ(got.counts[b], want.counts[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);  // fixed-point accumulation: exact
+}
+
+// ---------------------------------------------------------------------------
+// Registry: scrape concurrent with writers (the TSan target) and exposition.
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, ScrapeWhileWritingIsSafeAndMonotonic) {
+  constexpr int kWriters = 6;
+  constexpr std::uint64_t kPerWriter = 30'000;
+  const auto name = fresh("ctr");
+  auto& reg = obs::MetricsRegistry::global();
+  auto& c = reg.counter(name);
+  auto& h = reg.histogram(fresh("hist"), {0.5});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(i % 2));
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = reg.snapshot();
+      const std::uint64_t now = snap.counter(name);
+      EXPECT_GE(now, last) << "scraped counters must be monotonic";
+      last = now;
+      (void)reg.prometheus_text();  // text render is scrape-safe too
+    }
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(c.value(), kWriters * kPerWriter);
+}
+
+TEST(ObsRegistry, TypeMismatchOnRegisteredNameThrows) {
+  const auto name = fresh("ctr");
+  (void)obs::MetricsRegistry::global().counter(name);
+  EXPECT_THROW((void)obs::MetricsRegistry::global().gauge(name),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistry, PrometheusTextExposition) {
+  const auto cname = fresh("ctr");
+  const auto hname = fresh("hist");
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter(cname, "a test counter", "solver=\"cg\"").inc(5);
+  auto& h = reg.histogram(hname, {1.0, 2.0}, "a test histogram");
+  h.observe(0.5);
+  h.observe(3.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP " + cname + " a test counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE " + cname + " counter"), std::string::npos);
+  EXPECT_NE(text.find(cname + "{solver=\"cg\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE " + hname + " histogram"), std::string::npos);
+  // Cumulative le buckets: the 3.0 observation only shows in +Inf.
+  EXPECT_NE(text.find(hname + "_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find(hname + "_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find(hname + "_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find(hname + "_count 2"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonSnapshotContainsRegisteredSeries) {
+  const auto cname = fresh("ctr");
+  obs::MetricsRegistry::global().counter(cname).inc(9);
+  const std::string json = obs::MetricsRegistry::global().json();
+  EXPECT_NE(json.find("\"" + cname + "\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonEscapesQuotesInLabeledKeys) {
+  // A labeled key is 'name{solver="cg"}' — the literal quotes must come out
+  // escaped or the whole dump is unparseable (solve_service --metrics-out
+  // x.json feeds this straight to a JSON parser).
+  const auto cname = fresh("ctr");
+  obs::MetricsRegistry::global().counter(cname, "", "solver=\"cg\"").inc(4);
+  const std::string json = obs::MetricsRegistry::global().json();
+  EXPECT_NE(json.find("\"" + cname + "{solver=\\\"cg\\\"}\":4"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find(cname + "{solver=\"cg\"}"), std::string::npos)
+      << "raw unescaped quotes leaked into the JSON dump";
+}
+
+TEST(ObsRuntime, DisabledSwitchStopsIncrements) {
+  auto& c = obs::MetricsRegistry::global().counter(fresh("ctr"));
+  obs::set_enabled(false);
+  c.inc(100);
+  obs::set_enabled(true);
+  c.inc(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+#else  // !ABFT_OBS_ENABLED
+
+// The OFF build keeps the API shape but compiles every instrument to a
+// no-op: values stay zero, expositions stay empty, nothing throws.
+
+TEST(ObsOff, EverythingIsANoOp) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& c = reg.counter("x");
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+  auto& g = reg.gauge("y");
+  g.set(5);
+  EXPECT_EQ(g.value(), 0);
+  auto& h = reg.histogram("z", {1.0});
+  h.observe(0.5);
+  EXPECT_EQ(h.value().count, 0u);
+  EXPECT_TRUE(reg.prometheus_text().empty());
+  EXPECT_FALSE(obs::enabled());
+  obs::SolveTrace trace;
+  trace.emit({});
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+#endif  // ABFT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// SolveTrace: golden JSONL schema (trace_json_line is pure and build-mode
+// independent, so these run in ON and OFF builds alike).
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, GoldenJsonLine) {
+  obs::TraceRecord r;
+  r.request_id = 7;
+  r.batch_seq = 2;
+  r.solver = "cg-batch";
+  r.iterations = 42;
+  r.converged = true;
+  r.breakdown = false;
+  r.residual_norm = 0.5;
+  r.queue_wait_ns = 1500;
+  r.batch_assembly_ns = 200;
+  r.solve_ns = 900'000;
+  r.ordered_commit_ns = 3000;
+  r.verify_all_ns = 2500;
+  r.checks = 123;
+  r.corrected = 1;
+  r.uncorrectable = 0;
+  EXPECT_EQ(obs::trace_json_line(r),
+            "{\"request\":7,\"batch\":2,\"solver\":\"cg-batch\","
+            "\"iterations\":42,\"converged\":true,\"cause\":\"converged\","
+            "\"residual\":0.5,"
+            "\"queue_wait_ns\":1500,\"batch_assembly_ns\":200,"
+            "\"solve_ns\":900000,"
+            "\"ordered_commit_ns\":3000,\"verify_all_ns\":2500,"
+            "\"checks\":123,\"corrected\":1,\"uncorrectable\":0}");
+}
+
+TEST(ObsTrace, StopCauseAndResidualTrajectory) {
+  EXPECT_STREQ(obs::stop_cause(true, false), "converged");
+  EXPECT_STREQ(obs::stop_cause(false, true), "breakdown");
+  EXPECT_STREQ(obs::stop_cause(false, false), "exhausted");
+
+  obs::TraceRecord r;
+  const std::vector<double> residuals{1.0, 0.25};
+  r.residuals = &residuals;
+  r.breakdown = true;
+  const std::string line = obs::trace_json_line(r);
+  EXPECT_NE(line.find("\"cause\":\"breakdown\""), std::string::npos);
+  EXPECT_NE(line.find("\"residuals\":[1,0.25]}"), std::string::npos) << line;
+}
+
+#if ABFT_OBS_ENABLED
+TEST(ObsTrace, EmitCollectsInOrderAndWritesJsonl) {
+  obs::set_enabled(true);
+  obs::SolveTrace trace;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    obs::TraceRecord r;
+    r.request_id = i;
+    trace.emit(r);
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  const std::string out = os.str();
+  // One object per line, in emission order.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_LT(out.find("\"request\":0"), out.find("\"request\":1"));
+  EXPECT_LT(out.find("\"request\":1"), out.find("\"request\":2"));
+}
+
+TEST(ObsTimer, ScopedTimerAccumulatesNonNegativeSpans) {
+  std::uint64_t acc = 0;
+  {
+    ScopedTimerNs t1(&acc);
+  }
+  const std::uint64_t first = acc;
+  {
+    ScopedTimerNs t2(&acc);
+  }
+  EXPECT_GE(acc, first) << "spans accumulate, never reset";
+}
+#endif  // ABFT_OBS_ENABLED
+
+}  // namespace

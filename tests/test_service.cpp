@@ -24,6 +24,7 @@
 
 #include "abft/abft.hpp"
 #include "common/fault_log.hpp"
+#include "obs/metrics.hpp"
 #include "service/batch_queue.hpp"
 #include "service/worker_pool.hpp"
 #include "solvers/solvers.hpp"
@@ -533,6 +534,80 @@ TEST(ThreadStress, FleetIsWorkerCountInvariantWithUncorrectableMatrixFault) {
   using PmSed = ProtectedCsr<std::uint32_t, ElemSed, RowSed>;
   expect_fleet_determinism<PmSed>(FleetFault::matrix_due, "matrix DUE");
 }
+
+// ---------------------------------------------------------------------------
+// Observability legs: the metrics layer rides the FaultLog commit points, so
+// (a) flipping the runtime obs switch moves no solver observable at any
+// worker count, and (b) the registry's counter deltas across a fleet run
+// agree exactly with the FaultLog totals the run produced — two independent
+// accounting paths over the same events.
+// ---------------------------------------------------------------------------
+
+void expect_same_fleet_run(const FleetRun& got, const FleetRun& want,
+                           const char* what) {
+  for (std::size_t id = 0; id < want.ubits.size(); ++id) {
+    ASSERT_EQ(got.ubits[id], want.ubits[id]) << what << " request " << id;
+    EXPECT_EQ(got.iterations[id], want.iterations[id]) << what;
+    EXPECT_EQ(got.converged[id], want.converged[id]) << what;
+    EXPECT_EQ(got.breakdown[id], want.breakdown[id]) << what;
+    expect_same_log(got.tenant_logs[id], want.tenant_logs[id], what);
+  }
+  expect_same_log(got.matrix_log, want.matrix_log, what);
+}
+
+TEST(ThreadStress, FleetBitIdenticalWithObsOnAndOff) {
+  struct ObsGuard {
+    ~ObsGuard() { obs::set_enabled(true); }
+  } guard;
+  obs::set_enabled(true);
+  const auto reference = run_fleet<Pm32>(1, FleetFault::tenant_vector);
+  for (const std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const bool on : {true, false}) {
+      obs::set_enabled(on);
+      const auto got = run_fleet<Pm32>(w, FleetFault::tenant_vector);
+      expect_same_fleet_run(got, reference,
+                            on ? "obs on fleet" : "obs off fleet");
+    }
+  }
+}
+
+#if ABFT_OBS_ENABLED
+TEST(ThreadStress, FleetMetricsDeltaMatchesFaultLogTotals) {
+  obs::set_enabled(true);
+  for (const std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const auto before = obs::MetricsRegistry::global().snapshot();
+    const auto run = run_fleet<Pm32>(w, FleetFault::tenant_vector);
+    const auto after = obs::MetricsRegistry::global().snapshot();
+
+    std::uint64_t checks = run.matrix_log.checks;
+    std::uint64_t corrected = run.matrix_log.corrected;
+    std::uint64_t uncorrectable = run.matrix_log.uncorrectable;
+    for (const auto& t : run.tenant_logs) {
+      checks += t.checks;
+      corrected += t.corrected;
+      uncorrectable += t.uncorrectable;
+    }
+    ASSERT_GT(checks, 0u);
+    ASSERT_GT(corrected, 0u);  // the tenant-vector fault leg corrects one bit
+    EXPECT_EQ(after.counter("abft_checks_total") -
+                  before.counter("abft_checks_total"),
+              checks)
+        << w << " workers";
+    EXPECT_EQ(after.counter("abft_corrected_total") -
+                  before.counter("abft_corrected_total"),
+              corrected)
+        << w << " workers";
+    EXPECT_EQ(after.counter("abft_uncorrectable_total") -
+                  before.counter("abft_uncorrectable_total"),
+              uncorrectable)
+        << w << " workers";
+    // The fleet's queue telemetry fired too: every batch pop is counted.
+    EXPECT_GT(after.counter("abft_queue_batches_total"),
+              before.counter("abft_queue_batches_total"))
+        << w << " workers";
+  }
+}
+#endif  // ABFT_OBS_ENABLED
 
 // ---------------------------------------------------------------------------
 // SolveResult::breakdown: CG breakdown is distinguishable from exhaustion.

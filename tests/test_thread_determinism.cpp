@@ -27,6 +27,7 @@
 #include "abft/tile_check.hpp"
 #include "common/rng.hpp"
 #include "faults/injector.hpp"
+#include "obs/metrics.hpp"
 #include "service/batch_queue.hpp"
 #include "solvers/solvers.hpp"
 #include "sparse/generators.hpp"
@@ -618,6 +619,79 @@ TEST(ThreadDeterminism, CgSolveBatchIsBitwiseThreadCountInvariant) {
       }
     }
     expect_same_log(run.mat, reference.mat, "batch matrix log");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability leg: the obs layer only watches the FaultLog commit points,
+// so flipping the runtime switch must not move a single bit of any solver
+// observable, at any thread count, faults included. This is the contract the
+// whole metrics design rests on (obs/metrics.hpp rule 1).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadDeterminism, ObsOnOffBitIdentical) {
+  ThreadCountGuard guard;
+  struct ObsGuard {
+    ~ObsGuard() { obs::set_enabled(true); }
+  } obs_guard;
+  const auto a = sparse::laplacian_2d(20, 20);
+  struct Run {
+    std::vector<std::uint64_t> ubits;
+    std::vector<double> residuals;
+    unsigned iterations = 0;
+    LogState mat, vec;
+  };
+  const auto run_cg = [&](bool faulty) {
+    FaultLog mlog, vlog;
+    auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(
+        a, &mlog, DuePolicy::record_only);
+    if (faulty) flip_value_bit(pa, 64 * 500 + 11);
+    ProtectedVector<VecSecded64> b(a.nrows(), &vlog, DuePolicy::record_only);
+    ProtectedVector<VecSecded64> u(a.nrows(), &vlog, DuePolicy::record_only);
+    fill(b, 1.0);
+    fill(u, 0.0);
+    solvers::SolveOptions opts;
+    opts.tolerance = 1e-9;
+    Run run;
+    opts.residual_history = &run.residuals;
+    const auto res = solvers::cg_solve(pa, b, u, opts);
+    EXPECT_TRUE(res.converged);
+    run.iterations = res.iterations;
+    std::vector<double> got(a.nrows());
+    u.extract({got.data(), got.size()});
+    for (double v : got) run.ubits.push_back(double_to_bits(v));
+    run.mat = LogState::of(mlog);
+    run.vec = LogState::of(vlog);
+    return run;
+  };
+  for (const bool faulty : {false, true}) {
+    omp_set_num_threads(1);
+    obs::set_enabled(true);
+    const Run reference = run_cg(faulty);
+    EXPECT_GT(reference.mat.checks + reference.vec.checks, 0u);
+    for (int nthreads : kThreadCounts) {
+      for (const bool obs_on : {true, false}) {
+        omp_set_num_threads(nthreads);
+        obs::set_enabled(obs_on);
+        const Run run = run_cg(faulty);
+        EXPECT_EQ(run.iterations, reference.iterations)
+            << nthreads << " threads, obs " << obs_on;
+        ASSERT_EQ(run.ubits.size(), reference.ubits.size());
+        for (std::size_t i = 0; i < run.ubits.size(); ++i) {
+          ASSERT_EQ(run.ubits[i], reference.ubits[i])
+              << "u[" << i << "] at " << nthreads << " threads, obs " << obs_on;
+        }
+        ASSERT_EQ(run.residuals.size(), reference.residuals.size());
+        for (std::size_t i = 0; i < run.residuals.size(); ++i) {
+          ASSERT_EQ(double_to_bits(run.residuals[i]),
+                    double_to_bits(reference.residuals[i]))
+              << "residual " << i << " at " << nthreads << " threads, obs "
+              << obs_on;
+        }
+        expect_same_log(run.mat, reference.mat, "matrix log (obs leg)");
+        expect_same_log(run.vec, reference.vec, "vector log (obs leg)");
+      }
+    }
   }
 }
 
