@@ -2,11 +2,15 @@
 /// \brief Reproduces paper Figure 6: runtime overhead of protecting the
 /// whole CSR matrix (elements + row pointers) with SED, as a function of
 /// the integrity-check interval (checks every N-th CG iteration; other
-/// iterations only range-guard the indices).
+/// iterations only range-guard the indices). Also runs the adaptive
+/// controller as an extra leg and the adaptive-vs-static fault campaign
+/// (machine-readable `interval ...` / `campaign ...` rows).
 #include <cstdio>
+#include <vector>
 
 #include "abft/abft.hpp"
 #include "harness.hpp"
+#include "interval_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace abft;
@@ -19,12 +23,32 @@ int main(int argc, char** argv) {
 
   const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
   print_row("unprotected", baseline, baseline);
-  for (unsigned interval : {1u, 2u, 4u, 8u, 16u, 32u}) {
+
+  const std::vector<unsigned> intervals = opts.interval_list.empty()
+                                              ? std::vector<unsigned>{1, 2, 4, 8, 16, 32}
+                                              : opts.interval_list;
+  double interval1_seconds = 0.0;
+  for (const unsigned interval : intervals) {
     char label[32];
     std::snprintf(label, sizeof label, "every %u iter%s", interval,
                   interval == 1 ? "" : "s");
-    print_row(label, time_solve<ElemSed, RowSed, VecNone>(cfg, interval, opts.reps),
-              baseline);
+    const double s = time_solve<ElemSed, RowSed, VecNone>(cfg, interval, opts.reps);
+    if (interval == 1) interval1_seconds = s;
+    print_row(label, s, baseline);
+    print_interval_row("csr", "sed", std::to_string(interval), s, baseline);
+  }
+  const double adaptive_seconds =
+      time_solve<ElemSed, RowSed, VecNone>(cfg, 1, opts.reps, 0, /*adaptive=*/true);
+  print_row("adaptive", adaptive_seconds, baseline);
+  print_interval_row("csr", "sed", "adaptive", adaptive_seconds, baseline);
+
+  // Price the committed fault-trace campaign with this run's measured costs.
+  const double total_iters = static_cast<double>(opts.steps) * opts.iters;
+  if (interval1_seconds > 0.0 && total_iters > 0.0) {
+    const double per_iter = baseline / total_iters;
+    const double per_check =
+        interval1_seconds > baseline ? (interval1_seconds - baseline) / total_iters : 0.0;
+    run_interval_campaign("csr", "sed", per_check, per_iter);
   }
 
   std::printf("\n# paper shape (Broadwell): checking every other iteration helps,\n"

@@ -2,11 +2,15 @@
 /// \brief Reproduces paper Figure 7: runtime overhead of protecting the
 /// whole CSR matrix with Hamming SECDED64 vs integrity-check interval
 /// (paper platform: Cavium ThunderX; overhead drops to ~9 % with sparse
-/// checks, the rest being the mandatory range guards).
+/// checks, the rest being the mandatory range guards). Emits the
+/// machine-readable `interval ...` rows plus the adaptive leg and the
+/// adaptive-vs-static campaign.
 #include <cstdio>
+#include <vector>
 
 #include "abft/abft.hpp"
 #include "harness.hpp"
+#include "interval_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace abft;
@@ -19,13 +23,32 @@ int main(int argc, char** argv) {
 
   const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
   print_row("unprotected", baseline, baseline);
-  for (unsigned interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+
+  const std::vector<unsigned> intervals =
+      opts.interval_list.empty() ? std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64, 128}
+                                 : opts.interval_list;
+  double interval1_seconds = 0.0;
+  for (const unsigned interval : intervals) {
     char label[32];
     std::snprintf(label, sizeof label, "every %u iter%s", interval,
                   interval == 1 ? "" : "s");
-    print_row(label,
-              time_solve<ElemSecded, RowSecded64, VecNone>(cfg, interval, opts.reps),
-              baseline);
+    const double s =
+        time_solve<ElemSecded, RowSecded64, VecNone>(cfg, interval, opts.reps);
+    if (interval == 1) interval1_seconds = s;
+    print_row(label, s, baseline);
+    print_interval_row("csr", "secded64", std::to_string(interval), s, baseline);
+  }
+  const double adaptive_seconds = time_solve<ElemSecded, RowSecded64, VecNone>(
+      cfg, 1, opts.reps, 0, /*adaptive=*/true);
+  print_row("adaptive", adaptive_seconds, baseline);
+  print_interval_row("csr", "secded64", "adaptive", adaptive_seconds, baseline);
+
+  const double total_iters = static_cast<double>(opts.steps) * opts.iters;
+  if (interval1_seconds > 0.0 && total_iters > 0.0) {
+    const double per_iter = baseline / total_iters;
+    const double per_check =
+        interval1_seconds > baseline ? (interval1_seconds - baseline) / total_iters : 0.0;
+    run_interval_campaign("csr", "secded64", per_check, per_iter);
   }
 
   std::printf("\n# paper shape: monotone decrease with interval, flattening once\n"

@@ -2,11 +2,16 @@
 /// \brief Reproduces paper Figure 8: runtime overhead of protecting the
 /// whole CSR matrix with CRC32C vs integrity-check interval (paper
 /// platform: consumer GTX 1080 Ti; 88 % at every-iteration checking down to
-/// 1 % at every-128-iterations).
+/// 1 % at every-128-iterations). Emits machine-readable `interval ...`
+/// rows, adds the adaptive-controller leg and the adaptive-vs-static
+/// campaign, and sweeps the runtime crc32c-tile geometry on the ELL slab
+/// (--tile-slots, default 16,64,256).
 #include <cstdio>
+#include <vector>
 
 #include "abft/abft.hpp"
 #include "harness.hpp"
+#include "interval_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace abft;
@@ -20,26 +25,69 @@ int main(int argc, char** argv) {
   const double baseline = time_solve<ElemNone, RowNone, VecNone>(cfg, 1, opts.reps);
   print_row("unprotected", baseline, baseline);
 
+  const std::vector<unsigned> intervals =
+      opts.interval_list.empty() ? std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64, 128}
+                                 : opts.interval_list;
+
   // Software CRC (closest to a platform without crc32 instructions).
   ecc::set_crc32c_impl(ecc::CrcImpl::software);
-  for (unsigned interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+  double interval1_seconds = 0.0;
+  for (const unsigned interval : intervals) {
     char label[32];
     std::snprintf(label, sizeof label, "sw, every %u", interval);
-    print_row(label,
-              time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, interval, opts.reps),
-              baseline);
+    const double s =
+        time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, interval, opts.reps);
+    if (interval == 1) interval1_seconds = s;
+    print_row(label, s, baseline);
+    print_interval_row("csr", "crc32c", std::to_string(interval), s, baseline);
   }
+  const double adaptive_seconds =
+      time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, 1, opts.reps, 0, true);
+  print_row("sw, adaptive", adaptive_seconds, baseline);
+  print_interval_row("csr", "crc32c", "adaptive", adaptive_seconds, baseline);
+
+  const double total_iters = static_cast<double>(opts.steps) * opts.iters;
+  if (interval1_seconds > 0.0 && total_iters > 0.0) {
+    const double per_iter = baseline / total_iters;
+    const double per_check =
+        interval1_seconds > baseline ? (interval1_seconds - baseline) / total_iters : 0.0;
+    run_interval_campaign("csr", "crc32c", per_check, per_iter);
+  }
+
   if (ecc::crc32c_hw_available()) {
     ecc::set_crc32c_impl(ecc::CrcImpl::hardware);
-    for (unsigned interval : {1u, 16u, 128u}) {
+    for (const unsigned interval : {1u, 16u, 128u}) {
       char label[32];
       std::snprintf(label, sizeof label, "hw, every %u", interval);
-      print_row(label,
-                time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, interval, opts.reps),
-                baseline);
+      const double s =
+          time_solve<ElemCrc32c, RowCrc32c, VecNone>(cfg, interval, opts.reps);
+      print_row(label, s, baseline);
+      print_interval_row("csr", "crc32c-hw", std::to_string(interval), s, baseline);
     }
   }
   ecc::set_crc32c_impl(ecc::CrcImpl::auto_detect);
+
+  // Runtime tile geometry on the ELL slab: the tile CRC's unit-stride
+  // codewords at each requested size (small tiles buy HD=6 detection reach
+  // and finer invalidation, large tiles amortise the checksum work).
+  std::printf("\n## ell crc32c-tile geometry sweep\n");
+  const std::vector<std::size_t> tile_sweep =
+      opts.tile_slots_list.empty() ? std::vector<std::size_t>{16, 64, 256}
+                                   : opts.tile_slots_list;
+  const double ell_baseline =
+      time_solve<ElemNone, RowNone, VecNone, EllFormat>(cfg, 1, opts.reps);
+  print_row("ell unprotected", ell_baseline, ell_baseline);
+  for (const std::size_t slots : tile_sweep) {
+    for (const unsigned interval : {1u, 16u}) {
+      char label[32];
+      std::snprintf(label, sizeof label, "%zu slots, every %u", slots, interval);
+      const double s = time_solve<ElemCrc32cTile, RowCrc32c, VecNone, EllFormat>(
+          cfg, interval, opts.reps, slots);
+      print_row(label, s, ell_baseline);
+      print_interval_row("ell", "crc32c-tile", std::to_string(interval), s,
+                         ell_baseline, slots);
+    }
+  }
 
   std::printf("\n# paper shape: the steepest interval curve of the three codes —\n"
               "# from ~88%% (every iteration) down to ~1%% (every 128) on the\n"

@@ -68,6 +68,15 @@ struct BenchOptions {
   /// Per-request latency budget in milliseconds for the fleet's
   /// deadline-batching leg (--deadline-ms D); 0 disables the deadline legs.
   double deadline_ms = 0.0;
+  /// Integrity-check intervals for the interval benches (figs 6-8):
+  /// --intervals N or a comma list (--intervals 1,2,4). Empty = each
+  /// driver's built-in sweep. 0 clamps to 1, matching the documented
+  /// CheckIntervalPolicy(0) clamp, instead of slipping through unvalidated.
+  std::vector<unsigned> interval_list;
+  /// Tile geometries for the crc32c-tile series (--tile-slots N or a comma
+  /// list --tile-slots 16,64,256), validated against the same registry as
+  /// parse_scheme; empty = each driver's default sweep.
+  std::vector<std::size_t> tile_slots_list;
   /// Runtime observability switch (--obs on|off), applied process-wide
   /// before any measurement. fig_service additionally runs an explicit
   /// on/off A/B leg regardless of this default.
@@ -124,6 +133,26 @@ struct BenchOptions {
       }
       if (grab_list("--nrhs", o.nrhs_list)) continue;
       if (grab_list("--workers", o.workers_list)) continue;
+      if (grab_list("--intervals", o.interval_list)) continue;
+      if (std::strcmp(argv[i], "--tile-slots") == 0 && i + 1 < argc) {
+        o.tile_slots_list.clear();
+        std::string entry;
+        for (const char* p = argv[++i];; ++p) {
+          if (*p != '\0' && *p != ',') {
+            entry.push_back(*p);
+            continue;
+          }
+          try {
+            o.tile_slots_list.push_back(abft::parse_tile_slots(entry));
+          } catch (const std::invalid_argument& e) {
+            std::printf("%s\n", e.what());
+            std::exit(2);
+          }
+          entry.clear();
+          if (*p == '\0') break;
+        }
+        continue;
+      }
       if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
         o.deadline_ms = std::strtod(argv[++i], nullptr);
         if (o.deadline_ms < 0.0) o.deadline_ms = 0.0;
@@ -182,6 +211,7 @@ struct BenchOptions {
       if (std::strcmp(argv[i], "--help") == 0) {
         std::printf("usage: %s [--nx N] [--ny N] [--steps N] [--iters N] [--reps N] "
                     "[--threads N[,N,...]] [--nrhs N[,N,...]] [--workers N[,N,...]] "
+                    "[--intervals N[,N,...]] [--tile-slots N[,N,...]] "
                     "[--deadline-ms D] [--crc-impl auto|sw|hw] "
                     "[--simd-impl auto|scalar|vector] [--format csr|ell|sell|all] "
                     "[--obs on|off] [--metrics-out F] [--trace-out F]\n",
@@ -255,18 +285,24 @@ inline tealeaf::Config make_config(const BenchOptions& o) {
 /// first configuration in a binary does not absorb page-fault / OpenMP
 /// thread spin-up costs.
 template <class ES, class RS, class VS, class Fmt = abft::CsrFormat>
-double time_solve(const tealeaf::Config& cfg, unsigned check_interval, unsigned reps) {
+double time_solve(const tealeaf::Config& cfg, unsigned check_interval, unsigned reps,
+                  std::size_t tile_slots = 0, bool adaptive = false) {
+  const auto configure = [&](tealeaf::Simulation<ES, RS, VS, Fmt>& sim) {
+    sim.set_check_interval(check_interval);
+    sim.set_tile_slots(tile_slots);
+    if (adaptive) sim.set_adaptive();
+  };
   {
     tealeaf::Config warm = cfg;
     warm.end_step = 1;
     tealeaf::Simulation<ES, RS, VS, Fmt> sim(warm);
-    sim.set_check_interval(check_interval);
+    configure(sim);
     (void)sim.run();
   }
   TimingStats stats;
   for (unsigned r = 0; r < reps; ++r) {
     tealeaf::Simulation<ES, RS, VS, Fmt> sim(cfg);
-    sim.set_check_interval(check_interval);
+    configure(sim);
     const auto result = sim.run();
     stats.add(result.solve_seconds);
   }

@@ -22,6 +22,7 @@
 /// Usage:
 ///   matrix_doctor --matrix file.mtx [--format csr|ell|sell] [--scheme S]
 ///                 [--width 32|64] [--flips N] [--seed N] [--campaign N]
+///                 [--check-interval N] [--tile-slots N]
 ///   matrix_doctor <file.mtx|builtin> [scheme] [flips] [seed]
 ///                 [--format csr|ell|sell]
 #include <cstdio>
@@ -75,11 +76,12 @@ void print_log(const FaultLog& log) {
 
 /// Classic mode: protect, bombard, verify, compare (32-bit, any format).
 template <class Fmt, class ES, class SS>
-void doctor(const sparse::CsrMatrix& a32, unsigned flips, std::uint64_t seed) {
+void doctor(const sparse::CsrMatrix& a32, unsigned flips, std::uint64_t seed,
+            std::size_t tile_slots) {
   using PM = typename Fmt::template protected_matrix<std::uint32_t, ES, SS>;
   const auto a = Fmt::template make_plain<std::uint32_t, ES>(a32);
   FaultLog log;
-  auto p = PM::from_plain(a, &log, DuePolicy::record_only);
+  auto p = PM::from_plain(a, &log, DuePolicy::record_only, tile_slots);
   std::printf("encoded (%s): %zu values, %zu column indices, %zu structure entries\n",
               to_string(Fmt::kFormat).data(), p.raw_values().size(), p.raw_cols().size(),
               p.raw_structure().size());
@@ -128,7 +130,8 @@ void doctor(const sparse::CsrMatrix& a32, unsigned flips, std::uint64_t seed) {
 /// protect, optionally bombard, verify, CG-solve with a residual history.
 template <class Src>
 void protect_and_solve(const Src& src, MatrixFormat format, IndexWidth width,
-                       ecc::Scheme scheme, unsigned flips, std::uint64_t seed) {
+                       ecc::Scheme scheme, unsigned flips, std::uint64_t seed,
+                       unsigned check_interval, std::size_t tile_slots) {
   FaultLog log;
   dispatch_protection(format, width, SchemeTriple(scheme),
                       [&]<class Fmt, class Index, class ES, class SS, class VS>() {
@@ -136,7 +139,7 @@ void protect_and_solve(const Src& src, MatrixFormat format, IndexWidth width,
     const auto a = Fmt::template make_plain<Index, ES>(src);
     const std::size_t n = a.nrows();
 
-    auto pa = PM::from_plain(a, &log, DuePolicy::record_only);
+    auto pa = PM::from_plain(a, &log, DuePolicy::record_only, tile_slots);
     std::printf("protected (%s, %s-bit, %s): %zu value slots, %zu structure entries\n",
                 to_string(format).data(), to_string(width).data(),
                 std::string(ecc::to_string(scheme)).c_str(), pa.raw_values().size(),
@@ -167,6 +170,7 @@ void protect_and_solve(const Src& src, MatrixFormat format, IndexWidth width,
     opts.tolerance = 1e-10;
     opts.max_iterations = 1000;
     opts.residual_history = &history;
+    opts.check_policy = CheckIntervalPolicy(check_interval);
     const auto res = solvers::cg_solve(pa, b, u, opts);
 
     aligned_vector<double> got(n, 0.0);
@@ -198,6 +202,8 @@ struct DoctorOptions {
   bool flips_given = false;  ///< --flips was passed (classic mode defaults to 50)
   std::uint64_t seed = 1;
   unsigned campaign_trials = 0;
+  unsigned check_interval = 1;   ///< 0 clamps to 1 (documented CheckIntervalPolicy rule)
+  std::size_t tile_slots = 0;    ///< 0 = TileGeometry default (crc32c-tile only)
   // Classic-mode positionals: <file.mtx|builtin> [scheme] [flips] [seed]
   // (positionals win over the equivalent flags when both are given).
   const char* positional[4] = {nullptr, nullptr, nullptr, nullptr};
@@ -229,6 +235,12 @@ struct DoctorOptions {
       "  --seed N        RNG seed (default 1)\n"
       "  --campaign N    additionally run an N-trial fault-injection\n"
       "                  campaign on the loaded matrix (pipeline mode)\n"
+      "  --check-interval N  full integrity check every N-th CG iteration\n"
+      "                  (default 1; 0 clamps to 1, the documented\n"
+      "                  CheckIntervalPolicy behavior)\n"
+      "  --tile-slots N  crc32c-tile codeword geometry: 16, 32, 64, 128 or\n"
+      "                  256 slots (default 64; other values are rejected\n"
+      "                  with the valid list, like --scheme)\n"
       "  --crc-impl I    auto, sw or hw CRC32C kernel (default auto)\n"
       "  --threads N     OpenMP thread count for the protected kernels\n"
       "                  (accepted but moot without OpenMP)\n",
@@ -282,14 +294,29 @@ int run_pipeline(const DoctorOptions& o) {
               o.format == nullptr ? ", advisor's pick" : "");
   try {
     if (loaded.wide()) {
-      protect_and_solve(loaded.a64, format, width, scheme, o.flips, o.seed);
+      protect_and_solve(loaded.a64, format, width, scheme, o.flips, o.seed,
+                        o.check_interval, o.tile_slots);
     } else {
-      protect_and_solve(loaded.a32, format, width, scheme, o.flips, o.seed);
+      protect_and_solve(loaded.a32, format, width, scheme, o.flips, o.seed,
+                        o.check_interval, o.tile_slots);
     }
   } catch (const SchemeUnavailableError& e) {
     std::printf("scheme unavailable: %s\n", e.what());
     return 1;
   }
+
+  // Full protection recommendation, folding the fault rate this process
+  // actually observed (obs registry when compiled in, zero otherwise).
+  const auto protection = io::advise_protection(stats, io::observed_protection_inputs());
+  std::printf("\n-- protection advisor --\n"
+              "recommended: format=%s scheme=%s interval=%u",
+              to_string(protection.format.format).data(),
+              std::string(ecc::to_string(protection.scheme)).c_str(),
+              protection.check_interval);
+  if (protection.tile_slots != 0) {
+    std::printf(" tile-slots=%zu", protection.tile_slots);
+  }
+  std::printf("\nrationale: %s\n", protection.rationale.c_str());
 
   // Optional campaign on the loaded operator.
   if (o.campaign_trials > 0) {
@@ -336,7 +363,8 @@ int run_classic(const DoctorOptions& o) {
   try {
     dispatch_format(format, [&]<class Fmt>() {
       dispatch_elem(scheme, [&]<class ES>() {
-        dispatch_row(scheme, [&]<class SS>() { doctor<Fmt, ES, SS>(a, flips, seed); });
+        dispatch_row(scheme,
+                     [&]<class SS>() { doctor<Fmt, ES, SS>(a, flips, seed, o.tile_slots); });
       });
     });
   } catch (const SchemeUnavailableError& e) {
@@ -393,6 +421,20 @@ int main(int argc, char** argv) {
     }
     if (grab_str("--campaign", num)) {
       o.campaign_trials = static_cast<unsigned>(std::strtoul(num, nullptr, 10));
+      continue;
+    }
+    if (grab_str("--check-interval", num)) {
+      // 0 clamps to 1 — the documented CheckIntervalPolicy(0) behavior.
+      o.check_interval = static_cast<unsigned>(std::strtoul(num, nullptr, 10));
+      continue;
+    }
+    if (grab_str("--tile-slots", num)) {
+      try {
+        o.tile_slots = parse_tile_slots(num);
+      } catch (const std::invalid_argument& e) {
+        std::printf("%s\n", e.what());
+        return 2;
+      }
       continue;
     }
     if (std::strcmp(argv[i], "--help") == 0) usage(argv[0], 0);

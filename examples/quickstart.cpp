@@ -48,7 +48,8 @@ using namespace abft;
 /// are solved as one cg_solve_batch() call (exact solutions u_j = (j+1)·1),
 /// paying the matrix verification once per batch pass.
 void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
-                         IndexWidth width, ecc::Scheme scheme, std::size_t nrhs) {
+                         IndexWidth width, ecc::Scheme scheme, std::size_t nrhs,
+                         unsigned check_interval, std::size_t tile_slots) {
   FaultLog log;
   std::printf("-- %s, %s-bit indices --\n", to_string(format).data(),
               to_string(width).data());
@@ -60,7 +61,7 @@ void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
     aligned_vector<double> ones(n, 1.0), rhs(n, 0.0);
     sparse::spmv(a, ones.data(), rhs.data());
 
-    auto pa = PM::from_plain(a, &log, DuePolicy::record_only);
+    auto pa = PM::from_plain(a, &log, DuePolicy::record_only, tile_slots);
 
     faults::Injector injector(/*seed=*/7);
     auto vals = pa.raw_values();
@@ -71,6 +72,7 @@ void run_protected_solve(const sparse::CsrMatrix& a32, MatrixFormat format,
 
     solvers::SolveOptions opts;
     opts.tolerance = 1e-12;
+    opts.check_policy = CheckIntervalPolicy(check_interval);
     if (nrhs == 1) {
       ProtectedVector<VS> b(n, &log, DuePolicy::record_only);
       ProtectedVector<VS> u(n, &log, DuePolicy::record_only);
@@ -130,6 +132,8 @@ int main(int argc, char** argv) {
   const char* format_name = "both";
   const char* matrix_path = nullptr;
   std::size_t nrhs = 1;
+  unsigned check_interval = 1;
+  std::size_t tile_slots = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
           "usage: quickstart [scheme] [width] [--format csr|ell|sell|all]\n"
           "                  [--matrix file.mtx] [--crc-impl auto|sw|hw]\n"
           "                  [--threads N] [--nrhs K]\n"
+          "                  [--check-interval N] [--tile-slots 16|32|64|128|256]\n"
           "  scheme  none|sed|secded64|secded128|crc32c|crc32c-tile (default "
           "secded64)\n"
           "  width   32|64|both (default both)\n"
@@ -144,7 +149,12 @@ int main(int argc, char** argv) {
           "            matrix region is verified once per batch pass for all K\n"
           "            systems (see examples/solve_service.cpp for the\n"
           "            request-queue service built on the same API, and\n"
-          "            bench/fig_service.cpp for its latency/throughput bench)\n");
+          "            bench/fig_service.cpp for its latency/throughput bench)\n"
+          "  --check-interval N  run the matrix integrity checks every N-th CG\n"
+          "            iteration, range-guarding in between (paper fig. 6-8;\n"
+          "            0 clamps to 1, i.e. check every iteration)\n"
+          "  --tile-slots N  crc32c-tile geometry: slots per tile, power of\n"
+          "            two in 16..256 (default 64; ignored by other schemes)\n");
       return 0;
     }
     if (std::strcmp(argv[i], "--nrhs") == 0) {
@@ -154,6 +164,25 @@ int main(int argc, char** argv) {
       }
       nrhs = std::strtoull(argv[++i], nullptr, 10);
       if (nrhs == 0) nrhs = 1;
+    } else if (std::strcmp(argv[i], "--check-interval") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--check-interval requires an iteration count\n");
+        return 2;
+      }
+      // 0 clamps to 1 — the documented CheckIntervalPolicy(0) behavior.
+      check_interval =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tile-slots") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--tile-slots requires a tile size\n");
+        return 2;
+      }
+      try {
+        tile_slots = abft::parse_tile_slots(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::printf("%s\n", e.what());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--format") == 0) {
       if (i + 1 >= argc) {
         std::printf("--format requires a value (csr, ell, sell or all)\n");
@@ -246,7 +275,8 @@ int main(int argc, char** argv) {
   }
   const auto run_combo = [&](abft::MatrixFormat format, abft::IndexWidth width) {
     try {
-      run_protected_solve(a, format, width, scheme, nrhs);
+      run_protected_solve(a, format, width, scheme, nrhs, check_interval,
+                          tile_slots);
       return true;
     } catch (const abft::SchemeUnavailableError& e) {
       std::printf("scheme unavailable: %s\n", e.what());

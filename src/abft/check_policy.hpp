@@ -1,5 +1,6 @@
 /// \file check_policy.hpp
-/// \brief Less-frequent correctness checking (paper §VI-A2).
+/// \brief Less-frequent correctness checking (paper §VI-A2), static and
+/// adaptive.
 ///
 /// The sparse matrix does not change between CG iterations, so an error that
 /// appears in iteration t is still present at iteration t+N. Running the
@@ -10,9 +11,44 @@
 /// ability to correct is effectively lost). Iterations that skip the checks
 /// still range-guard all indices so corrupted offsets cannot segfault, and a
 /// mandatory whole-matrix verification runs at the end of every time-step.
+///
+/// Two policies implement the iteration -> CheckMode map:
+///
+///   - CheckIntervalPolicy: the static interval the paper's figs 6-8 sweep.
+///   - AdaptiveCheckPolicy: an online controller that widens the interval
+///     while the solve stays quiet and tightens it when faults arrive.
+///     Decisions are taken only at the per-iteration serial point, from the
+///     committed FaultLog counters (the funnel every kernel already commits
+///     through) and the iteration number — never from wall-clock time or
+///     unsynchronized state — so the interval trajectory, and therefore the
+///     solver's check pattern, fault log and solution bits, are identical at
+///     any thread count, any worker count, and with observability on, off or
+///     compiled out. The controller's transition function:
+///
+///       * an uncorrectable fault (or bounds violation) since the last check
+///         pins the interval to min_interval and latches a scheme-escalation
+///         recommendation (the code in use failed to correct — see
+///         recommended_scheme());
+///       * a corrected fault also pins the interval to min_interval (without
+///         the escalation latch) — fault arrivals cluster, so the first
+///         detection predicts more in flight, and a tight interval both
+///         catches the rest of the burst promptly and preserves the
+///         correcting schemes' power (see the header note above);
+///       * quiet_windows consecutive clean check windows double the interval
+///         (toward max_interval), re-amortising the checks.
+///
+///     The observed (iteration, interval) trajectory is recorded so the
+///     determinism suites can compare it across thread/worker counts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/fault_log.hpp"
+#include "ecc/scheme.hpp"
+#include "obs/metrics.hpp"
 
 namespace abft {
 
@@ -27,6 +63,9 @@ class CheckIntervalPolicy {
  public:
   /// \p interval = 1 checks every iteration (the paper's default);
   /// N > 1 checks on iterations 0, N, 2N, ... and bounds-guards in between.
+  /// \p interval = 0 is documented to clamp to 1: "check at least every
+  /// iteration" is the only sensible reading of a zero cadence, and the
+  /// flag-parsing layers rely on the clamp instead of re-validating.
   explicit constexpr CheckIntervalPolicy(unsigned interval = 1) noexcept
       : interval_(interval == 0 ? 1 : interval) {}
 
@@ -45,6 +84,212 @@ class CheckIntervalPolicy {
 
  private:
   unsigned interval_;
+};
+
+/// Committed fault totals at one serial decision point: the deterministic
+/// inputs the adaptive policy consumes. Sourced either from the FaultLog(s)
+/// of the solve (per-solve, always available) or from the process-wide obs
+/// registry (observed_fault_totals below).
+struct FaultObservation {
+  std::uint64_t corrected = 0;      ///< DCEs committed so far
+  std::uint64_t uncorrectable = 0;  ///< DUEs + bounds violations committed so far
+
+  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
+    return corrected + uncorrectable;
+  }
+  friend constexpr bool operator==(FaultObservation a, FaultObservation b) noexcept {
+    return a.corrected == b.corrected && a.uncorrectable == b.uncorrectable;
+  }
+};
+
+/// Sum the committed counters of a set of fault logs (nulls and duplicate
+/// pointers are skipped — solvers pass {matrix log, vector log} which often
+/// alias). This is the per-solve serial-commit-funnel read the adaptive
+/// policy's determinism guarantee is built on: every kernel commits its
+/// parallel-region outcomes into these logs serially, before the solver
+/// reaches the next decision point.
+[[nodiscard]] inline FaultObservation
+committed_fault_totals(const FaultLog* const* logs, std::size_t count) noexcept {
+  FaultObservation o;
+  for (std::size_t i = 0; i < count; ++i) {
+    const FaultLog* log = logs[i];
+    if (log == nullptr) continue;
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen = seen || logs[j] == log;
+    if (seen) continue;
+    o.corrected += log->corrected();
+    o.uncorrectable += log->uncorrectable() + log->bounds_violations();
+  }
+  return o;
+}
+
+[[nodiscard]] inline FaultObservation
+committed_fault_totals(std::initializer_list<const FaultLog*> logs) noexcept {
+  return committed_fault_totals(logs.begin(), logs.size());
+}
+
+/// Process-wide fault totals from the obs MetricsRegistry
+/// (abft_corrected_total / abft_uncorrectable_total /
+/// abft_bounds_violations_total — the counters FaultLog commits feed).
+/// When the registry is compiled out (-DABFT_OBS=OFF) or runtime-disabled,
+/// the snapshot is empty and the \p fallback log's counts are returned
+/// instead, so callers degrade gracefully to FaultLog-fed accounting. Use
+/// this for *process-level* rate observation (advisor seeding, tooling) —
+/// a per-solve controller must use committed_fault_totals, because the
+/// global registry aggregates concurrent workers nondeterministically.
+[[nodiscard]] inline FaultObservation
+observed_fault_totals(const FaultLog* fallback = nullptr) {
+  const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  FaultObservation o{snap.counter("abft_corrected_total"),
+                     snap.counter("abft_uncorrectable_total") +
+                         snap.counter("abft_bounds_violations_total")};
+  const std::uint64_t checks = snap.counter("abft_checks_total");
+  if (checks == 0 && fallback != nullptr) {
+    // Registry compiled out or disabled (a live registry always has checks
+    // once any protected kernel ran): fall back to the log's own counters.
+    o.corrected = fallback->corrected();
+    o.uncorrectable = fallback->uncorrectable() + fallback->bounds_violations();
+  }
+  return o;
+}
+
+/// Tuning bounds of the adaptive controller.
+struct AdaptiveConfig {
+  unsigned min_interval = 1;   ///< tightest cadence (clamped to >= 1)
+  /// Widest cadence the controller may reach. The default caps the burst
+  /// detection latency at 32 contaminated iterations — on the committed
+  /// campaign trace (bench/interval_common.hpp) this beats every static
+  /// interval whenever a checked iteration costs no more than the iteration
+  /// itself, which is where all three measured schemes sit.
+  unsigned max_interval = 32;
+  unsigned initial_interval = 1;  ///< cadence before any evidence arrives
+  /// Consecutive clean check windows required before the interval doubles.
+  unsigned quiet_windows = 2;
+};
+
+/// Online check-interval controller (see the header comment for the
+/// transition function and the determinism contract). One instance drives
+/// one solve; solvers call begin_iteration() once per iteration at the
+/// serial point before the SpMV.
+class AdaptiveCheckPolicy {
+ public:
+  /// One recorded interval change (the trajectory the determinism suites
+  /// compare across thread and worker counts).
+  struct IntervalChange {
+    std::uint64_t iteration;
+    unsigned interval;
+    friend bool operator==(const IntervalChange&, const IntervalChange&) = default;
+  };
+
+  explicit AdaptiveCheckPolicy(AdaptiveConfig cfg = {}) noexcept : cfg_(cfg) {
+    if (cfg_.min_interval == 0) cfg_.min_interval = 1;
+    if (cfg_.max_interval < cfg_.min_interval) cfg_.max_interval = cfg_.min_interval;
+    if (cfg_.quiet_windows == 0) cfg_.quiet_windows = 1;
+    interval_ = clamp_interval(cfg_.initial_interval);
+  }
+
+  /// Decide the CheckMode for iteration \p iter given the fault totals
+  /// committed through the end of the previous iteration. Must be called
+  /// with non-decreasing iteration numbers, once per iteration, from the
+  /// solver's serial point. Deterministic: the result depends only on the
+  /// call sequence (iter, committed), never on time or thread schedule.
+  [[nodiscard]] CheckMode begin_iteration(std::uint64_t iter,
+                                          FaultObservation committed) {
+    if (!primed_) {
+      // First call: faults recorded before the solve (encode-time sweeps,
+      // earlier solves against the same log) are not this solve's evidence.
+      last_ = committed;
+      primed_ = true;
+    }
+    if (iter < next_check_) return CheckMode::bounds_only;
+
+    // Check iteration: consume the delta since the previous check window
+    // and adapt before scheduling the next one.
+    const std::uint64_t new_uncorrectable =
+        committed.uncorrectable - last_.uncorrectable;
+    const std::uint64_t new_corrected = committed.corrected - last_.corrected;
+    last_ = committed;
+
+    const unsigned before = interval_;
+    if (new_uncorrectable > 0) {
+      escalate_ = true;
+      interval_ = cfg_.min_interval;
+      quiet_streak_ = 0;
+    } else if (new_corrected > 0) {
+      // Bursts cluster: the first detection predicts more faults in flight,
+      // so drop straight to the floor rather than halving down to it.
+      interval_ = cfg_.min_interval;
+      quiet_streak_ = 0;
+    } else if (checks_ > 0) {  // the first window has no history to relax on
+      if (++quiet_streak_ >= cfg_.quiet_windows) {
+        interval_ = clamp_interval(interval_ * 2);
+        quiet_streak_ = 0;
+      }
+    }
+    if (interval_ != before || trajectory_.empty()) {
+      trajectory_.push_back({iter, interval_});
+    }
+    ++checks_;
+    next_check_ = iter + interval_;
+    return CheckMode::full;
+  }
+
+  /// Current interval (after the most recent decision).
+  [[nodiscard]] unsigned interval() const noexcept { return interval_; }
+
+  /// Full checks granted so far.
+  [[nodiscard]] std::uint64_t full_checks() const noexcept { return checks_; }
+
+  /// True once an uncorrectable fault (or bounds violation) was observed:
+  /// the scheme in use failed to repair — consider a stronger code.
+  [[nodiscard]] bool recommends_escalation() const noexcept { return escalate_; }
+
+  /// The stronger scheme the controller recommends after escalation: gain
+  /// correction first (sed/none -> secded64), then detection reach
+  /// (secded -> crc32c). Already-maximal schemes map to themselves.
+  [[nodiscard]] static constexpr ecc::Scheme
+  recommended_scheme(ecc::Scheme current) noexcept {
+    switch (current) {
+      case ecc::Scheme::none:
+      case ecc::Scheme::sed: return ecc::Scheme::secded64;
+      case ecc::Scheme::secded64:
+      case ecc::Scheme::secded128: return ecc::Scheme::crc32c;
+      case ecc::Scheme::crc32c: return ecc::Scheme::crc32c;
+      case ecc::Scheme::crc32c_tile: return ecc::Scheme::crc32c_tile;
+    }
+    return current;
+  }
+
+  /// Every interval change, in decision order (starts with the first check
+  /// iteration's interval). Bit-identical across thread and worker counts.
+  [[nodiscard]] const std::vector<IntervalChange>& trajectory() const noexcept {
+    return trajectory_;
+  }
+
+  /// The adaptive policy may always skip checks, so solvers must keep the
+  /// end-of-timestep full-matrix verification unless it can never widen.
+  [[nodiscard]] bool requires_final_sweep() const noexcept {
+    return cfg_.max_interval > 1;
+  }
+
+  [[nodiscard]] const AdaptiveConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] unsigned clamp_interval(unsigned v) const noexcept {
+    if (v < cfg_.min_interval) return cfg_.min_interval;
+    if (v > cfg_.max_interval) return cfg_.max_interval;
+    return v;
+  }
+
+  AdaptiveConfig cfg_;
+  unsigned interval_ = 1;
+  std::uint64_t next_check_ = 0;  ///< first decision always checks
+  std::uint64_t checks_ = 0;
+  unsigned quiet_streak_ = 0;
+  bool primed_ = false;
+  bool escalate_ = false;
+  FaultObservation last_{};
+  std::vector<IntervalChange> trajectory_;
 };
 
 }  // namespace abft

@@ -371,4 +371,20 @@ inline constexpr ecc::SimdImpl kAllSimdImpls[] = {
       "simd impl", name, kAllSimdImpls, [](auto i) { return to_string(i); }));
 }
 
+/// Every legal crc32c-tile geometry, in ascending order (the power-of-two
+/// sizes TileGeometry accepts).
+inline constexpr std::size_t kAllTileSlots[] = {16, 32, 64, 128, 256};
+
+/// Parse a crc32c-tile size ("16", "32", "64", "128" or "256" — the
+/// --tile-slots flag). Errors use the same valid-values formatter as the
+/// other parse_* functions.
+[[nodiscard]] inline std::size_t parse_tile_slots(std::string_view name) {
+  for (const auto s : kAllTileSlots) {
+    if (std::to_string(s) == name) return s;
+  }
+  throw std::invalid_argument(detail::unknown_name_message(
+      "tile-slot", name, kAllTileSlots,
+      [](auto s) { return std::to_string(s); }));
+}
+
 }  // namespace abft

@@ -35,6 +35,7 @@
 #include <limits>
 #include <type_traits>
 
+#include "abft/tile_geometry.hpp"
 #include "common/bits.hpp"
 #include "common/fault_log.hpp"
 #include "ecc/crc32c.hpp"
@@ -264,11 +265,13 @@ struct ElemCrc32c {
 /// four column indices, the same spare-bit accounting, but every checksum
 /// walk is a contiguous memcpy-speed scan.
 ///
-/// Tile geometry over a slab of `total` slots: tiles start at multiples of
-/// kTileSlots; a tail shorter than the 4 checksum slots is folded into the
-/// previous tile (so the last tile holds kTileSlots..kTileSlots+3 slots).
-/// Containers guarantee total >= 4 whenever total > 0 (the same width >= 4
-/// remedy the per-row CRC needs).
+/// Tile geometry over a slab of `total` slots is a runtime value
+/// (abft::TileGeometry): tiles start at multiples of the configured tile
+/// size (a power of two in [16, 256], default 64); a tail shorter than the
+/// 4 checksum slots is folded into the previous tile (so the last tile
+/// holds slots..slots+3 slots). Containers guarantee total >= 4 whenever
+/// total > 0 (the same width >= 4 remedy the per-row CRC needs) and carry
+/// the geometry their slab was encoded with.
 ///
 /// This layout only exists for the slab formats: CSR rows are already
 /// unit-stride, so ProtectedCsr rejects it with SchemeUnavailableError. The
@@ -288,41 +291,16 @@ struct ElemCrc32cTile {
   static constexpr std::size_t kMinRowNnz = 4;
   static constexpr ecc::Scheme kScheme = ecc::Scheme::crc32c_tile;
 
-  /// Slots per tile. 64 slots keep the whole codeword (768 B at 32-bit
-  /// indices) well inside CRC32C's HD=4 range, and a 64-slot slab column of
-  /// an SpMV chunk maps onto 1-2 tiles.
-  static constexpr std::size_t kTileSlots = 64;
+  /// Default slots per tile. 64 slots keep the whole codeword (768 B at
+  /// 32-bit indices) well inside CRC32C's HD=4 range, and a 64-slot slab
+  /// column of an SpMV chunk maps onto 1-2 tiles. Other sizes trade stride
+  /// for Hamming distance (see abft::TileGeometry and ecc::capability).
+  static constexpr std::size_t kDefaultTileSlots = TileGeometry::kDefaultSlots;
 
-  /// Number of tiles covering a slab of \p total slots.
-  [[nodiscard]] static constexpr std::size_t num_tiles(std::size_t total) noexcept {
-    if (total == 0) return 0;
-    const std::size_t q = total / kTileSlots;
-    const std::size_t r = total % kTileSlots;
-    if (r == 0) return q;
-    return (q == 0 || r >= 4) ? q + 1 : q;  // short tails merge backwards
-  }
-
-  /// First slot of tile \p t.
-  [[nodiscard]] static constexpr std::size_t tile_begin(std::size_t t) noexcept {
-    return t * kTileSlots;
-  }
-
-  /// Slot count of tile \p t in a slab of \p total slots.
-  [[nodiscard]] static constexpr std::size_t tile_slots(std::size_t t,
-                                                        std::size_t total) noexcept {
-    return t + 1 == num_tiles(total) ? total - t * kTileSlots : kTileSlots;
-  }
-
-  /// Tile containing \p slot (tail-merged slots map to the last tile).
-  [[nodiscard]] static constexpr std::size_t tile_of(std::size_t slot,
-                                                     std::size_t total) noexcept {
-    const std::size_t n = num_tiles(total);
-    const std::size_t t = slot / kTileSlots;
-    return n > 0 && t >= n ? n - 1 : t;
-  }
-
-  /// Largest tile the geometry can produce (a merged tail: 64 + 3 slots).
-  static constexpr std::size_t kMaxTileSlots = kTileSlots + 3;
+  /// Largest tile any legal geometry can produce (a 256-slot tile with a
+  /// merged 3-slot tail); bounds the stack buffers of the cold paths below.
+  static constexpr std::size_t kMaxTileSlots =
+      TileGeometry::kMaxSlots + TileGeometry::kSpareSlots - 1;
 
   /// Encode one tile of \p nslots contiguous slots in place: checksum the
   /// tile and split it one byte into the top byte of the first four slots'
@@ -365,8 +343,8 @@ struct ElemCrc32cTile {
   /// Tile codeword: the nslots raw value bytes followed by the nslots masked
   /// column indices. Unlike the per-row scheme there is no per-slot
   /// interleave to assemble — the value array is checksummed in place (one
-  /// contiguous CRC pass over up to 536 bytes), and only the columns pass
-  /// through a small masking buffer. The CRC's guarantees depend only on the
+  /// contiguous CRC pass over the tile's value bytes), and only the columns
+  /// pass through a small masking buffer. The CRC's guarantees depend only on the
   /// codeword length, not the byte order, so the coverage matches an
   /// interleaved layout of the same slots.
   [[nodiscard]] static std::uint32_t tile_crc(const double* values, const Index* cols,

@@ -137,8 +137,15 @@ class ProtectedCsr {
   /// < 2^31 columns, SECDED/CRC < 2^24; grouped row schemes need NNZ < 2^28;
   /// the 64-bit layouts allow < 2^63 / 2^56 respectively; per-row CRC needs
   /// >= 4 non-zeros per row — see sparse::pad_rows_to_min_nnz).
+  ///
+  /// \p tile_slots exists for format uniformity with the slab containers: it
+  /// is validated whenever non-zero (so a bad --tile-slots fails identically
+  /// on every format) and otherwise ignored — CSR rejects the tile-granular
+  /// scheme itself below.
   static ProtectedCsr from_csr(const csr_type& a, FaultLog* log = nullptr,
-                               DuePolicy policy = DuePolicy::throw_exception) {
+                               DuePolicy policy = DuePolicy::throw_exception,
+                               std::size_t tile_slots = 0) {
+    if (tile_slots != 0) (void)TileGeometry(tile_slots);
     if constexpr (ES::kTileGranular) {
       // The tile-codeword CRC tiles a physical slab; CSR's rows are already
       // unit-stride, so the per-row codeword is its contiguous layout.
@@ -231,13 +238,16 @@ class ProtectedCsr {
 
   /// Format-uniform spelling of from_csr (see plain_type).
   static ProtectedCsr from_plain(const plain_type& a, FaultLog* log = nullptr,
-                                 DuePolicy policy = DuePolicy::throw_exception) {
-    return from_csr(a, log, policy);
+                                 DuePolicy policy = DuePolicy::throw_exception,
+                                 std::size_t tile_slots = 0) {
+    return from_csr(a, log, policy, tile_slots);
   }
 
   [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
   [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  /// Format-uniform tile-geometry surface: CSR never carries a tile slab.
+  [[nodiscard]] std::size_t tile_slots() const noexcept { return 0; }
   [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
   [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
 

@@ -79,8 +79,14 @@ class ProtectedEll {
   /// satisfied — widths are tiny), and the per-row CRC needs width >= 4
   /// (build the ELL with Ell::from_csr(a, ES::kMinRowNnz) when the stencil is
   /// narrower).
+  ///
+  /// \p tile_slots selects the crc32c-tile geometry (power of two in
+  /// [16, 256]; 0 = the default 64). It is validated whenever non-zero and
+  /// ignored by non-tile element schemes, so format/scheme-blind dispatch
+  /// can pass a user's --tile-slots through unconditionally.
   static ProtectedEll from_ell(const ell_type& a, FaultLog* log = nullptr,
-                               DuePolicy policy = DuePolicy::throw_exception) {
+                               DuePolicy policy = DuePolicy::throw_exception,
+                               std::size_t tile_slots = 0) {
     a.validate();
     if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
       throw std::invalid_argument(
@@ -109,6 +115,7 @@ class ProtectedEll {
     p.nnz_ = a.nnz();
     p.log_ = log;
     p.policy_ = policy;
+    if (tile_slots != 0) p.tile_geom_ = TileGeometry(tile_slots);
 
     // Elements: every slot (padding included) becomes a valid codeword, so
     // integrity sweeps need no knowledge of which slots are real. The copy +
@@ -151,12 +158,14 @@ class ProtectedEll {
       // guarantees every non-empty slab has the 4 slots a checksum needs.
       // Tiles may straddle the row chunks above, so they are encoded in a
       // second pass after every slot value has landed.
-      const std::size_t ntiles = ES::num_tiles(p.values_.size());
+      const TileGeometry geom = p.tile_geom_;
+      const std::size_t ntiles = geom.num_tiles(p.values_.size());
 #pragma omp parallel for schedule(static) if (nrows >= kParallelRows)
       for (std::int64_t t = 0; t < static_cast<std::int64_t>(ntiles); ++t) {
-        ES::encode_tile(p.values_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
-                        p.cols_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
-                        ES::tile_slots(static_cast<std::size_t>(t), p.values_.size()));
+        ES::encode_tile(
+            p.values_.data() + geom.tile_begin(static_cast<std::size_t>(t)),
+            p.cols_.data() + geom.tile_begin(static_cast<std::size_t>(t)),
+            geom.tile_slots(static_cast<std::size_t>(t), p.values_.size()));
       }
     }
 
@@ -181,14 +190,22 @@ class ProtectedEll {
 
   /// Format-uniform spelling of from_ell (see plain_type).
   static ProtectedEll from_plain(const plain_type& a, FaultLog* log = nullptr,
-                                 DuePolicy policy = DuePolicy::throw_exception) {
-    return from_ell(a, log, policy);
+                                 DuePolicy policy = DuePolicy::throw_exception,
+                                 std::size_t tile_slots = 0) {
+    return from_ell(a, log, policy, tile_slots);
   }
 
   [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] std::size_t ncols() const noexcept { return ncols_; }
   [[nodiscard]] std::size_t width() const noexcept { return width_; }
   [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+  /// Geometry the crc32c-tile slab was encoded with (default for other
+  /// schemes). tile_slots() is the format-uniform scalar spelling: the
+  /// configured slots per tile for tile-granular schemes, 0 otherwise.
+  [[nodiscard]] TileGeometry tile_geometry() const noexcept { return tile_geom_; }
+  [[nodiscard]] std::size_t tile_slots() const noexcept {
+    return ES::kTileGranular ? tile_geom_.slots() : 0;
+  }
   [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
   [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
 
@@ -244,11 +261,11 @@ class ProtectedEll {
     }
     const std::size_t k = j * nrows_ + r;
     if constexpr (ES::kTileGranular) {
-      const std::size_t t = ES::tile_of(k, values_.size());
+      const std::size_t t = tile_geom_.tile_of(k, values_.size());
       const auto outcome =
-          ES::decode_tile(values_.data() + ES::tile_begin(t),
-                          cols_.data() + ES::tile_begin(t),
-                          ES::tile_slots(t, values_.size()));
+          ES::decode_tile(values_.data() + tile_geom_.tile_begin(t),
+                          cols_.data() + tile_geom_.tile_begin(t),
+                          tile_geom_.tile_slots(t, values_.size()));
       handle(Region::ell_values, outcome, t);
       return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
     } else if constexpr (ES::kRowGranular) {
@@ -308,11 +325,11 @@ class ProtectedEll {
     // Elements: every slot is encoded, so the sweep never consults the row
     // widths — a structural DUE cannot blind the element sweep.
     if constexpr (ES::kTileGranular) {
-      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+      for (std::size_t t = 0; t < tile_geom_.num_tiles(values_.size()); ++t) {
         const auto outcome =
-            ES::decode_tile(values_.data() + ES::tile_begin(t),
-                            cols_.data() + ES::tile_begin(t),
-                            ES::tile_slots(t, values_.size()));
+            ES::decode_tile(values_.data() + tile_geom_.tile_begin(t),
+                            cols_.data() + tile_geom_.tile_begin(t),
+                            tile_geom_.tile_slots(t, values_.size()));
         note(Region::ell_values, t, count_and_log(log, Region::ell_values, outcome, t));
       }
     } else if constexpr (ES::kRowGranular) {
@@ -341,11 +358,11 @@ class ProtectedEll {
     if constexpr (ES::kTileGranular) {
       // Verify (and repair) every tile up front; the row loop below then
       // copies masked slots.
-      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+      for (std::size_t t = 0; t < tile_geom_.num_tiles(values_.size()); ++t) {
         const auto outcome =
-            ES::decode_tile(values_.data() + ES::tile_begin(t),
-                            cols_.data() + ES::tile_begin(t),
-                            ES::tile_slots(t, values_.size()));
+            ES::decode_tile(values_.data() + tile_geom_.tile_begin(t),
+                            cols_.data() + tile_geom_.tile_begin(t),
+                            tile_geom_.tile_slots(t, values_.size()));
         handle(Region::ell_values, outcome, t);
       }
     }
@@ -410,6 +427,7 @@ class ProtectedEll {
   aligned_uninit_vector<double> values_;
   aligned_uninit_vector<index_type> cols_;
   aligned_uninit_vector<index_type> row_nnz_;
+  TileGeometry tile_geom_{};
   FaultLog* log_ = nullptr;
   DuePolicy policy_ = DuePolicy::throw_exception;
 };
@@ -496,7 +514,7 @@ class EllRowCursor {
   struct pass_state {
     explicit pass_state(matrix_type& m) {
       if constexpr (ES::kTileGranular) {
-        claims.reset(ES::num_tiles(m.raw_values().size()));
+        claims.reset(m.tile_geometry().num_tiles(m.raw_values().size()));
       } else {
         (void)m;
       }
@@ -509,7 +527,7 @@ class EllRowCursor {
       : capture_(capture),
         rw_(m, capture),
         tiles_(m.values_data(), m.cols_data(), m.raw_values().size(),
-               Region::ell_values, capture,
+               m.tile_geometry(), Region::ell_values, capture,
                pass != nullptr ? &pass->claims : nullptr),
         values_(m.values_data()),
         cols_(m.cols_data()),

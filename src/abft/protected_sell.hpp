@@ -94,8 +94,14 @@ class ProtectedSell {
   /// with Sell::from_csr(a, ES::kMinRowNnz)), and the permutation must be
   /// local to aligned 64-row blocks (any sort window dividing 64 — the
   /// default — qualifies).
+  ///
+  /// \p tile_slots selects the crc32c-tile geometry (power of two in
+  /// [16, 256]; 0 = the default 64). It is validated whenever non-zero and
+  /// ignored by non-tile element schemes, so format/scheme-blind dispatch
+  /// can pass a user's --tile-slots through unconditionally.
   static ProtectedSell from_sell(const sell_type& a, FaultLog* log = nullptr,
-                                 DuePolicy policy = DuePolicy::throw_exception) {
+                                 DuePolicy policy = DuePolicy::throw_exception,
+                                 std::size_t tile_slots = 0) {
     a.validate();
     if (a.ncols() > 0 && a.ncols() - 1 > ES::kColMask) {
       throw std::invalid_argument(
@@ -148,6 +154,7 @@ class ProtectedSell {
     p.nnz_ = a.nnz();
     p.log_ = log;
     p.policy_ = policy;
+    if (tile_slots != 0) p.tile_geom_ = TileGeometry(tile_slots);
     p.slice_ptr_.assign(a.slice_ptr().begin(), a.slice_ptr().end());
     p.seen_epoch_.assign(p.nrows_, 0);
     p.inv_perm_.assign(p.nrows_, 0);
@@ -211,12 +218,14 @@ class ProtectedSell {
       // width >= 4 gate above guarantees >= 4 slots whenever any exist.
       // Tiles may straddle slice boundaries, so they are encoded in a second
       // pass after every slot value has landed.
-      const std::size_t ntiles = ES::num_tiles(p.values_.size());
+      const TileGeometry geom = p.tile_geom_;
+      const std::size_t ntiles = geom.num_tiles(p.values_.size());
 #pragma omp parallel for schedule(static) if (p.nrows_ >= kParallelRows)
       for (std::int64_t t = 0; t < static_cast<std::int64_t>(ntiles); ++t) {
-        ES::encode_tile(p.values_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
-                        p.cols_.data() + ES::tile_begin(static_cast<std::size_t>(t)),
-                        ES::tile_slots(static_cast<std::size_t>(t), p.values_.size()));
+        ES::encode_tile(
+            p.values_.data() + geom.tile_begin(static_cast<std::size_t>(t)),
+            p.cols_.data() + geom.tile_begin(static_cast<std::size_t>(t)),
+            geom.tile_slots(static_cast<std::size_t>(t), p.values_.size()));
       }
     }
     return p;
@@ -224,8 +233,9 @@ class ProtectedSell {
 
   /// Format-uniform spelling of from_sell (see plain_type).
   static ProtectedSell from_plain(const plain_type& a, FaultLog* log = nullptr,
-                                  DuePolicy policy = DuePolicy::throw_exception) {
-    return from_sell(a, log, policy);
+                                  DuePolicy policy = DuePolicy::throw_exception,
+                                  std::size_t tile_slots = 0) {
+    return from_sell(a, log, policy, tile_slots);
   }
 
   [[nodiscard]] std::size_t nrows() const noexcept { return nrows_; }
@@ -234,6 +244,13 @@ class ProtectedSell {
   [[nodiscard]] std::size_t slice_height() const noexcept { return slice_; }
   [[nodiscard]] std::size_t nslices() const noexcept { return nslices_; }
   [[nodiscard]] std::size_t slots() const noexcept { return values_.size(); }
+  /// Geometry the crc32c-tile slab was encoded with (default for other
+  /// schemes). tile_slots() is the format-uniform scalar spelling: the
+  /// configured slots per tile for tile-granular schemes, 0 otherwise.
+  [[nodiscard]] TileGeometry tile_geometry() const noexcept { return tile_geom_; }
+  [[nodiscard]] std::size_t tile_slots() const noexcept {
+    return ES::kTileGranular ? tile_geom_.slots() : 0;
+  }
   [[nodiscard]] FaultLog* fault_log() const noexcept { return log_; }
   [[nodiscard]] DuePolicy due_policy() const noexcept { return policy_; }
 
@@ -313,11 +330,11 @@ class ProtectedSell {
     const std::size_t off = pos - s * slice_;
     const std::size_t k = slice_ptr_[s] + j * slice_ + off;
     if constexpr (ES::kTileGranular) {
-      const std::size_t t = ES::tile_of(k, values_.size());
+      const std::size_t t = tile_geom_.tile_of(k, values_.size());
       const auto outcome =
-          ES::decode_tile(values_.data() + ES::tile_begin(t),
-                          cols_.data() + ES::tile_begin(t),
-                          ES::tile_slots(t, values_.size()));
+          ES::decode_tile(values_.data() + tile_geom_.tile_begin(t),
+                          cols_.data() + tile_geom_.tile_begin(t),
+                          tile_geom_.tile_slots(t, values_.size()));
       handle(Region::sell_values, outcome, t);
       return {values_[k], static_cast<index_type>(cols_[k] & ES::kColMask)};
     } else if constexpr (ES::kRowGranular) {
@@ -406,11 +423,11 @@ class ProtectedSell {
     // widths, never the decoded ones (the tile sweep walks the physical
     // slab and needs no structural input at all).
     if constexpr (ES::kTileGranular) {
-      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+      for (std::size_t t = 0; t < tile_geom_.num_tiles(values_.size()); ++t) {
         const auto outcome =
-            ES::decode_tile(values_.data() + ES::tile_begin(t),
-                            cols_.data() + ES::tile_begin(t),
-                            ES::tile_slots(t, values_.size()));
+            ES::decode_tile(values_.data() + tile_geom_.tile_begin(t),
+                            cols_.data() + tile_geom_.tile_begin(t),
+                            tile_geom_.tile_slots(t, values_.size()));
         note(Region::sell_values, t, count_and_log(log, Region::sell_values, outcome, t));
       }
     } else if constexpr (ES::kRowGranular) {
@@ -482,11 +499,11 @@ class ProtectedSell {
     if constexpr (ES::kTileGranular) {
       // Verify (and repair) every tile up front; the slab loop below then
       // copies masked slots.
-      for (std::size_t t = 0; t < ES::num_tiles(values_.size()); ++t) {
+      for (std::size_t t = 0; t < tile_geom_.num_tiles(values_.size()); ++t) {
         const auto outcome =
-            ES::decode_tile(values_.data() + ES::tile_begin(t),
-                            cols_.data() + ES::tile_begin(t),
-                            ES::tile_slots(t, values_.size()));
+            ES::decode_tile(values_.data() + tile_geom_.tile_begin(t),
+                            cols_.data() + tile_geom_.tile_begin(t),
+                            tile_geom_.tile_slots(t, values_.size()));
         handle(Region::sell_values, outcome, t);
       }
     }
@@ -582,6 +599,7 @@ class ProtectedSell {
   std::vector<std::size_t> inv_perm_;   ///< derived inverse permutation (cross-checked)
   std::vector<std::uint64_t> seen_epoch_;  ///< scratch for the bijectivity sweep
   std::uint64_t sweep_epoch_ = 0;
+  TileGeometry tile_geom_{};
   FaultLog* log_ = nullptr;
   DuePolicy policy_ = DuePolicy::throw_exception;
 };
@@ -675,7 +693,7 @@ class SellRowCursor {
   struct pass_state {
     explicit pass_state(matrix_type& m) {
       if constexpr (ES::kTileGranular) {
-        claims.reset(ES::num_tiles(m.slots()));
+        claims.reset(m.tile_geometry().num_tiles(m.slots()));
       } else {
         (void)m;
       }
@@ -689,7 +707,8 @@ class SellRowCursor {
         sw_(m.slice_width_storage(), 0, capture),
         rl_(m.row_len_storage(), m.row_len_group_base(), capture),
         pr_(m.perm_storage(), m.perm_group_base(), capture),
-        tiles_(m.values_data(), m.cols_data(), m.slots(), Region::sell_values, capture,
+        tiles_(m.values_data(), m.cols_data(), m.slots(), m.tile_geometry(),
+               Region::sell_values, capture,
                pass != nullptr ? &pass->claims : nullptr),
         values_(m.values_data()),
         cols_(m.cols_data()),

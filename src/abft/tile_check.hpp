@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "abft/error_capture.hpp"
+#include "abft/tile_geometry.hpp"
 #include "common/fault_log.hpp"
 
 namespace abft {
@@ -96,11 +97,13 @@ class TileClaimTable {
 template <class Index, class ES>
 class TileVerifier {
  public:
-  TileVerifier(double* values, Index* cols, std::size_t total_slots, Region region,
-               ErrorCapture* capture, TileClaimTable* claims = nullptr) noexcept
+  TileVerifier(double* values, Index* cols, std::size_t total_slots,
+               TileGeometry geom, Region region, ErrorCapture* capture,
+               TileClaimTable* claims = nullptr) noexcept
       : values_(values),
         cols_(cols),
         total_(total_slots),
+        geom_(geom),
         region_(region),
         capture_(capture),
         claims_(claims) {}
@@ -113,10 +116,10 @@ class TileVerifier {
   /// counted per tile decode (a tile is one codeword, like a CRC row).
   void ensure_range(std::size_t lo, std::size_t hi) {
     if (hi <= lo || total_ == 0) return;
-    const std::size_t t0 = ES::tile_of(lo, total_);
-    const std::size_t t1 = ES::tile_of(hi - 1, total_);
+    const std::size_t t0 = geom_.tile_of(lo, total_);
+    const std::size_t t1 = geom_.tile_of(hi - 1, total_);
     if (t0 == last_verified_ && t1 == last_verified_) return;
-    if (seen_.empty()) seen_.assign(ES::num_tiles(total_), 0);
+    if (seen_.empty()) seen_.assign(geom_.num_tiles(total_), 0);
     for (std::size_t t = t0; t <= t1; ++t) {
       if (seen_[t] != 0) continue;
       if (claims_ != nullptr) {
@@ -143,9 +146,9 @@ class TileVerifier {
 
  private:
   void decode_and_record(std::size_t t) {
-    const auto outcome = ES::decode_tile(values_ + ES::tile_begin(t),
-                                         cols_ + ES::tile_begin(t),
-                                         ES::tile_slots(t, total_));
+    const auto outcome = ES::decode_tile(values_ + geom_.tile_begin(t),
+                                         cols_ + geom_.tile_begin(t),
+                                         geom_.tile_slots(t, total_));
     ++local_checks_;
     capture_->record(region_, outcome, t);
   }
@@ -153,6 +156,7 @@ class TileVerifier {
   double* values_;
   Index* cols_;
   std::size_t total_;
+  TileGeometry geom_;
   Region region_;
   ErrorCapture* capture_;
   TileClaimTable* claims_;

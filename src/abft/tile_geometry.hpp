@@ -1,0 +1,104 @@
+/// \file tile_geometry.hpp
+/// \brief Runtime geometry of the crc32c-tile codeword partition.
+///
+/// The crc32c-tile scheme checksums unit-stride tiles of a physical slab
+/// (ELL / SELL value+index storage). The tile size used to be the compile-
+/// time constant ElemCrc32cTile::kTileSlots = 64; this class makes it a
+/// runtime value so the protection controller can trade checksum stride
+/// against Hamming distance per deployment (paper fig. 8: smaller tiles
+/// keep the CRC32C polynomial inside its HD=6 range at the cost of more
+/// checksum words per slab; larger tiles amortize the sweep).
+///
+/// Geometry rules, generalized from the fixed-64 original:
+///   - tile size is a power of two in [16, 256] (default 64);
+///   - a slab of `total` slots is partitioned into floor(total/slots) full
+///     tiles plus one tail tile of `total % slots` slots;
+///   - a tail shorter than kSpareSlots (4) folds backwards into the previous
+///     full tile, so every tile spans at least 4 slots — the CRC stores one
+///     byte in the top byte of each of the tile's first 4 column words, and
+///     the containers' kMinRowNnz = 4 floor guarantees every non-empty slab
+///     has at least 4 slots to fold into. The last tile of a slab therefore
+///     spans slots .. slots+kSpareSlots-1 slots.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace abft {
+
+/// Value type describing one crc32c-tile partition. Cheap to copy; protected
+/// containers store one and hand it to their tile verifiers and cursors.
+class TileGeometry {
+ public:
+  static constexpr std::size_t kMinSlots = 16;    ///< smallest legal tile
+  static constexpr std::size_t kMaxSlots = 256;   ///< largest legal tile
+  static constexpr std::size_t kDefaultSlots = 64;
+  /// Minimum slots a tile may span: the CRC occupies the top byte of the
+  /// first 4 column words, so tails shorter than this fold backwards.
+  static constexpr std::size_t kSpareSlots = 4;
+
+  /// Default geometry: the original fixed 64-slot tile.
+  constexpr TileGeometry() noexcept = default;
+
+  /// Validated construction. \throws std::invalid_argument unless
+  /// \p tile_slots is a power of two in [kMinSlots, kMaxSlots].
+  explicit constexpr TileGeometry(std::size_t tile_slots) : slots_(tile_slots) {
+    if (!valid_slots(tile_slots)) {
+      throw std::invalid_argument(
+          "invalid tile-slots: '" + std::to_string(tile_slots) +
+          "' (valid tile-slots are: 16, 32, 64, 128, 256)");
+    }
+  }
+
+  [[nodiscard]] static constexpr bool valid_slots(std::size_t s) noexcept {
+    return s >= kMinSlots && s <= kMaxSlots && (s & (s - 1)) == 0;
+  }
+
+  /// Nominal slots per tile.
+  [[nodiscard]] constexpr std::size_t slots() const noexcept { return slots_; }
+
+  /// The widest tile the partition can produce (full tile + folded tail).
+  [[nodiscard]] constexpr std::size_t max_tile_span() const noexcept {
+    return slots_ + kSpareSlots - 1;
+  }
+
+  /// Number of tiles covering a slab of \p total slots.
+  [[nodiscard]] constexpr std::size_t num_tiles(std::size_t total) const noexcept {
+    const std::size_t q = total / slots_;
+    const std::size_t r = total % slots_;
+    if (r == 0) return q;
+    // A short tail folds into the previous tile; if there is no previous
+    // tile (slab smaller than one tile) the tail stands alone.
+    return (q == 0 || r >= kSpareSlots) ? q + 1 : q;
+  }
+
+  /// First slot of tile \p t.
+  [[nodiscard]] constexpr std::size_t tile_begin(std::size_t t) const noexcept {
+    return t * slots_;
+  }
+
+  /// Slots spanned by tile \p t of a slab of \p total slots.
+  [[nodiscard]] constexpr std::size_t tile_slots(std::size_t t,
+                                                 std::size_t total) const noexcept {
+    return (t + 1 == num_tiles(total)) ? total - t * slots_ : slots_;
+  }
+
+  /// Tile containing \p slot in a slab of \p total slots (tail-merged slots
+  /// clamp to the last tile).
+  [[nodiscard]] constexpr std::size_t tile_of(std::size_t slot,
+                                              std::size_t total) const noexcept {
+    const std::size_t t = slot / slots_;
+    const std::size_t n = num_tiles(total);
+    return (n == 0) ? 0 : (t >= n ? n - 1 : t);
+  }
+
+  friend constexpr bool operator==(TileGeometry a, TileGeometry b) noexcept {
+    return a.slots_ == b.slots_;
+  }
+
+ private:
+  std::size_t slots_ = kDefaultSlots;
+};
+
+}  // namespace abft

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -60,13 +61,33 @@ struct Capability {
     case Scheme::secded64: return {1, 2};
     case Scheme::secded128: return {1, 2};
     case Scheme::crc32c: return {0, 5};
-    // The 64-slot tile codeword is 6144 bits (96-bit elements) or 8192 bits
-    // (128-bit elements) — past the polynomial's HD=6 range but well inside
-    // its HD=4 range, so 3-bit detection is guaranteed (single-bit syndromes
-    // stay distinct, which is what the brute-force correction path needs).
+    // The default 64-slot tile codeword is 6144 bits (96-bit elements) or
+    // 8192 bits (128-bit elements) — past the polynomial's HD=6 range but
+    // well inside its HD=4 range, so 3-bit detection is guaranteed
+    // (single-bit syndromes stay distinct, which is what the brute-force
+    // correction path needs). See the tile-size-aware overload below for
+    // the honest per-geometry figures.
     case Scheme::crc32c_tile: return {0, 3};
   }
   return {0, 0};
+}
+
+/// Tile-size-aware capability: the crc32c-tile codeword length is
+/// tile_slots x 96 bits (32-bit indices) or tile_slots x 128 bits (64-bit),
+/// and the Castagnoli polynomial's Hamming distance depends on it. With the
+/// worst case 128-bit elements and the tail fold (up to 3 extra slots):
+///   - 16-slot tiles: <= (16+3) x 128 = 2432 bits, inside the HD=6 range
+///     (178..5243 bits) -> 5-bit detection, same as the per-row CRC;
+///   - 32-slot tiles: <= (32+3) x 128 = 4480 bits, still HD=6 -> 5-bit;
+///   - 64..256-slot tiles: past 5243 bits, HD=4 -> 3-bit detection.
+/// Smaller tiles therefore buy back Hamming distance at the cost of more
+/// checksum words per slab (shorter checksum stride) — the trade the
+/// --tile-slots knob exposes. \p tile_slots = 0 means the default geometry.
+/// Non-tile schemes ignore the size.
+[[nodiscard]] constexpr Capability capability(Scheme s,
+                                              std::size_t tile_slots) noexcept {
+  if (s != Scheme::crc32c_tile || tile_slots == 0) return capability(s);
+  return tile_slots <= 32 ? Capability{0, 5} : Capability{0, 3};
 }
 
 }  // namespace abft::ecc

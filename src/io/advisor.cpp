@@ -2,6 +2,11 @@
 
 #include <cstdio>
 
+#include "abft/check_policy.hpp"
+#include "abft/tile_geometry.hpp"
+#include "common/fault_log.hpp"
+#include "obs/metrics.hpp"
+
 namespace abft::io {
 
 namespace {
@@ -9,6 +14,12 @@ namespace {
 [[nodiscard]] std::string percent(double ratio) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * ratio);
+  return buf;
+}
+
+[[nodiscard]] std::string rate_str(double per_million) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f faults/Mcheck", per_million);
   return buf;
 }
 
@@ -53,6 +64,88 @@ FormatAdvice advise_format(const MatrixStats& s) {
       " padding budget (ELL " + percent(ell) + ", SELL " + percent(sell) +
       "); CSR's two contiguous streams never pad";
   return advice;
+}
+
+ProtectionAdvice advise_protection(const MatrixStats& stats,
+                                   const ProtectionInputs& in) {
+  ProtectionAdvice a;
+  a.format = advise_format(stats);
+  const bool slab = a.format.format != MatrixFormat::csr;
+  const double rate = in.faults_per_million_checks;
+  const bool tight = in.overhead_budget < kTightBudget;
+
+  // Scheme: an observed uncorrectable trumps every rate rule — whatever ran
+  // failed to repair, so buy maximum detection reach. Otherwise the rate
+  // ladder: storms get CRC-class detection, active machines get correcting
+  // SECDED, quiet machines get the cheapest code the budget tolerates.
+  if (in.saw_uncorrectable || rate >= kStormFaultRate) {
+    if (slab) {
+      a.scheme = ecc::Scheme::crc32c_tile;
+      // 32-slot tiles stay under the CRC32C HD=6 span (a 32-slot 128-bit
+      // tile covers (32+3)*128 = 4480 bits <= 5243), so any <=5-bit flip per
+      // tile is detected instead of the 64-slot geometry's HD=4 guarantee.
+      a.tile_slots = rate >= kStormFaultRate || in.saw_uncorrectable
+                         ? 32
+                         : TileGeometry::kDefaultSlots;
+    } else {
+      a.scheme = ecc::Scheme::crc32c;
+    }
+    a.check_interval = 1;
+  } else if (rate >= kActiveFaultRate) {
+    a.scheme = ecc::Scheme::secded64;
+    a.check_interval = 1;  // correction is only worth it checked every pass
+  } else if (rate >= kQuietFaultRate) {
+    a.scheme = ecc::Scheme::secded64;
+    a.check_interval = 2;
+  } else {
+    // Quiet machine: amortise. A tight budget buys SED (detect-only is the
+    // paper's recommended pairing with wide intervals) at interval 16; the
+    // default budget keeps single-bit correction at interval 8.
+    a.scheme = tight ? ecc::Scheme::sed : ecc::Scheme::secded64;
+    a.check_interval = tight ? 16 : 8;
+  }
+  if (a.scheme == ecc::Scheme::crc32c_tile && a.tile_slots == 0) {
+    a.tile_slots = tight ? 128 : TileGeometry::kDefaultSlots;
+  }
+
+  const ecc::Capability cap = ecc::capability(a.scheme, a.tile_slots);
+  a.rationale =
+      std::string(in.saw_uncorrectable
+                      ? "an uncorrectable fault was observed, so the serving "
+                        "scheme demonstrably failed to repair; "
+                      : "") +
+      "at " + rate_str(rate) + " with a " + percent(in.overhead_budget) +
+      " overhead budget, " + std::string(ecc::to_string(a.scheme)) +
+      " (corrects " + std::to_string(cap.correct_bits) + ", detects " +
+      std::to_string(cap.detect_bits) + " bit flips" +
+      (a.tile_slots != 0
+           ? " at " + std::to_string(a.tile_slots) + "-slot tiles"
+           : std::string()) +
+      ") checked every " + std::to_string(a.check_interval) +
+      (a.check_interval == 1 ? " iteration" : " iterations") +
+      " balances coverage against the budget (rate thresholds: quiet < " +
+      std::to_string(static_cast<unsigned>(kQuietFaultRate)) + ", active >= " +
+      std::to_string(static_cast<unsigned>(kActiveFaultRate)) + ", storm >= " +
+      std::to_string(static_cast<unsigned>(kStormFaultRate)) + " faults/Mcheck)";
+  return a;
+}
+
+ProtectionInputs observed_protection_inputs(const FaultLog* fallback) {
+  const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  std::uint64_t checks = snap.counter("abft_checks_total");
+  FaultObservation totals = observed_fault_totals(fallback);
+  if (checks == 0 && fallback != nullptr) {
+    // Registry compiled out or disabled (see observed_fault_totals):
+    // degrade to the log's own accounting.
+    checks = fallback->checks();
+  }
+  ProtectionInputs in;
+  if (checks > 0) {
+    in.faults_per_million_checks =
+        1e6 * static_cast<double>(totals.total()) / static_cast<double>(checks);
+  }
+  in.saw_uncorrectable = totals.uncorrectable > 0;
+  return in;
 }
 
 }  // namespace abft::io

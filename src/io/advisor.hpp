@@ -1,8 +1,9 @@
 /// \file advisor.hpp
-/// \brief Format advisor: map a MatrixStats profile onto the storage format
-/// (and SELL parameters) the protection stack should run it in.
+/// \brief Format + protection advisor: map a MatrixStats profile (and the
+/// observed fault environment) onto the storage format, ECC scheme, check
+/// interval and tile geometry the protection stack should run with.
 ///
-/// The rules codify what the PR 2/3 benches measured on this stack:
+/// The format rules codify what the PR 2/3 benches measured on this stack:
 ///   - near-uniform row lengths -> ELLPACK. The slabs stream branch-free and
 ///     the structural region shrinks to tiny row widths, so SED/SECDED cost
 ///     far less than on CSR — but every row pays the slab width in padding.
@@ -11,13 +12,26 @@
 ///     structure while bounding the padding.
 ///   - long-tailed / irregular lengths -> CSR. Even sigma-sorted slices pay
 ///     for the outlier rows; CSR's two contiguous streams never pad.
+///
+/// The protection rules (advise_protection) fold two runtime inputs on top:
+/// the fault arrival rate (faults per million checks, e.g. seeded from the
+/// obs registry via observed_protection_inputs) and the caller's tolerable
+/// protection-overhead budget. Higher fault rates buy stronger schemes and
+/// tighter check intervals; tighter overhead budgets buy wider intervals and
+/// larger tiles. An observed uncorrectable fault overrides the rate rules —
+/// the scheme in service demonstrably failed to repair.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 #include "abft/format_traits.hpp"
+#include "ecc/scheme.hpp"
 #include "io/stats.hpp"
+
+namespace abft {
+class FaultLog;
+}
 
 namespace abft::io {
 
@@ -39,5 +53,55 @@ inline constexpr double kPaddingBudget = 0.25;
 
 /// Recommend a storage format for a matrix with this profile.
 [[nodiscard]] FormatAdvice advise_format(const MatrixStats& stats);
+
+/// Runtime fault-environment inputs advise_protection folds on top of the
+/// structural profile. Defaults describe a quiet machine with a moderate
+/// overhead budget.
+struct ProtectionInputs {
+  /// Observed fault arrival rate: (corrected + uncorrectable) faults per
+  /// million integrity checks. 0 = no fault ever observed.
+  double faults_per_million_checks = 0.0;
+  /// True once any DUE or bounds violation was observed: the scheme in
+  /// service failed to correct, so the advisor escalates detection reach.
+  bool saw_uncorrectable = false;
+  /// Tolerable protection overhead as a fraction of solve time. Tight
+  /// budgets (< 0.05) widen the check interval and enlarge tiles; generous
+  /// budgets keep the paper's check-every-iteration default.
+  double overhead_budget = 0.10;
+};
+
+/// Rate thresholds (faults per million checks) the scheme/interval rules
+/// switch on; public so the fixture tests can lock the boundaries.
+inline constexpr double kQuietFaultRate = 1.0;
+inline constexpr double kActiveFaultRate = 10.0;
+inline constexpr double kStormFaultRate = 100.0;
+/// An overhead budget below this is "tight": trade detection latency for
+/// amortised checks.
+inline constexpr double kTightBudget = 0.05;
+
+/// The full protection recommendation: storage format plus the ECC scheme,
+/// check-interval and tile-geometry knobs that format should run with.
+struct ProtectionAdvice {
+  FormatAdvice format;                        ///< format leg with its own rationale
+  ecc::Scheme scheme = ecc::Scheme::secded64; ///< recommended element/row/vector family
+  unsigned check_interval = 1;                ///< integrity-check cadence
+  std::size_t tile_slots = 0;                 ///< tile geometry; 0 unless crc32c_tile
+  /// One-paragraph rationale carrying the numbers (rate, budget, HD
+  /// figures) that drove the scheme/interval/tile choices.
+  std::string rationale;
+};
+
+/// Recommend a full protection configuration for a matrix with this profile
+/// under the observed fault environment.
+[[nodiscard]] ProtectionAdvice advise_protection(const MatrixStats& stats,
+                                                 const ProtectionInputs& inputs = {});
+
+/// Seed ProtectionInputs from the process-wide obs MetricsRegistry
+/// (abft_*_total counters). When the registry is compiled out or disabled
+/// the counts fall back to \p fallback's FaultLog accounting, so the advisor
+/// degrades gracefully to per-log observation. overhead_budget keeps its
+/// default — the registry cannot know the caller's latency budget.
+[[nodiscard]] ProtectionInputs
+observed_protection_inputs(const FaultLog* fallback = nullptr);
 
 }  // namespace abft::io

@@ -65,8 +65,26 @@ std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
   std::vector<std::uint8_t> active(k, 1);
   std::vector<double> threshold(k), rr(k, 0.0);
 
+  // The batch's committed-fault funnel for the adaptive policy: the shared
+  // matrix log plus every column's own log (deduplicated by pointer). All
+  // kernels commit into these serially before each iteration's decision
+  // point, so the decision inputs are deterministic at any thread count.
+  std::vector<const FaultLog*> batch_logs;
+  batch_logs.push_back(a.fault_log());
+  for (std::size_t j = 0; j < k; ++j) {
+    batch_logs.push_back(u.column(j).fault_log());
+    batch_logs.push_back(b.column(j).fault_log());
+  }
+  const auto batch_mode = [&](std::uint64_t iter) {
+    if (opts.adaptive_policy != nullptr) {
+      return opts.adaptive_policy->begin_iteration(
+          iter, committed_fault_totals(batch_logs.data(), batch_logs.size()));
+    }
+    return opts.check_policy.mode_for_iteration(iter);
+  };
+
   // r_j = b_j - A u_j ; p_j = r_j — one matrix verification for the batch.
-  spmm(a, u, w, opts.check_policy.mode_for_iteration(0), &active);
+  spmm(a, u, w, batch_mode(0), &active);
   std::size_t nactive = 0;
   for (std::size_t j = 0; j < k; ++j) {
     const double bnorm = norm2(b.column(j));
@@ -85,7 +103,7 @@ std::vector<SolveResult> cg_solve_batch(Matrix& a, ProtectedMultiVector<VS>& b,
   }
 
   for (unsigned iter = 1; iter <= opts.max_iterations && nactive > 0; ++iter) {
-    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    const CheckMode mode = batch_mode(iter);
     spmm(a, p, w, mode, &active);
     for (std::size_t j = 0; j < k; ++j) {
       if (active[j] == 0) continue;

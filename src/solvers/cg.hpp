@@ -37,7 +37,7 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
   const double threshold = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
   // r = b - A u ; p = r.
-  spmv(a, u, w, opts.check_policy.mode_for_iteration(0));
+  spmv(a, u, w, iteration_check_mode(opts, 0, {a.fault_log(), log, b.fault_log()}));
   sub(b, w, r);
   copy(r, p);
   double rr = dot(r, r);
@@ -53,7 +53,8 @@ SolveResult cg_solve(Matrix& a, ProtectedVector<VS>& b,
   }
 
   for (unsigned iter = 1; iter <= opts.max_iterations; ++iter) {
-    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    const CheckMode mode =
+        iteration_check_mode(opts, iter, {a.fault_log(), log, b.fault_log()});
     spmv(a, p, w, mode);
     const double pw = dot(p, w);
     if (pw == 0.0 || !std::isfinite(pw)) {  // breakdown (e.g. SDC damage)

@@ -40,7 +40,7 @@ SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
   const double threshold = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
   // r = b - A u ; d = r / theta.
-  spmv(a, u, w, opts.check_policy.mode_for_iteration(0));
+  spmv(a, u, w, iteration_check_mode(opts, 0, {a.fault_log(), log, b.fault_log()}));
   sub(b, w, r);
   axpby(1.0 / theta, r, 0.0, d);
 
@@ -53,7 +53,8 @@ SolveResult chebyshev_solve(Matrix& a, ProtectedVector<VS>& b,
 
   double rho = 1.0 / sigma1;
   for (unsigned iter = 1; iter <= opts.max_iterations; ++iter) {
-    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    const CheckMode mode =
+        iteration_check_mode(opts, iter, {a.fault_log(), log, b.fault_log()});
     axpy(1.0, d, u);    // u += d
     spmv(a, d, w, mode);
     axpy(-1.0, w, r);   // r -= A d

@@ -55,7 +55,8 @@ SolveResult jacobi_solve(Matrix& a, ProtectedVector<VS>& b,
   const double threshold = opts.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
   for (unsigned iter = 0; iter <= opts.max_iterations; ++iter) {
-    const CheckMode mode = opts.check_policy.mode_for_iteration(iter);
+    const CheckMode mode =
+        iteration_check_mode(opts, iter, {a.fault_log(), log, b.fault_log()});
     spmv(a, u, w, mode);
     sub(b, w, r);
     result.iterations = iter;

@@ -75,11 +75,15 @@ SolveResult ppcg_solve(Matrix& a, ProtectedVector<VS>& b,
   const double bnorm = norm2(b);
   const double threshold = opts.base.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
-  // r = b - A u ; z = M^-1 r ; p = z.
-  spmv(a, u, w, opts.base.check_policy.mode_for_iteration(0));
+  // r = b - A u ; z = M^-1 r ; p = z. One decision covers both the initial
+  // SpMV and the preconditioner's inner SpMVs (they are one iteration-0
+  // serial window; the adaptive policy is consulted once per iteration).
+  const CheckMode mode0 =
+      iteration_check_mode(opts.base, 0, {a.fault_log(), log, b.fault_log()});
+  spmv(a, u, w, mode0);
   sub(b, w, r);
   detail::chebyshev_precondition(a, r, z, inner_r, inner_d, w, bounds, opts.inner_steps,
-                                 opts.base.check_policy.mode_for_iteration(0));
+                                 mode0);
   copy(z, p);
   double rz = dot(r, z);
 
@@ -91,7 +95,8 @@ SolveResult ppcg_solve(Matrix& a, ProtectedVector<VS>& b,
   }
 
   for (unsigned iter = 1; iter <= opts.base.max_iterations; ++iter) {
-    const CheckMode mode = opts.base.check_policy.mode_for_iteration(iter);
+    const CheckMode mode =
+        iteration_check_mode(opts.base, iter, {a.fault_log(), log, b.fault_log()});
     spmv(a, p, w, mode);
     const double pw = dot(p, w);
     if (pw == 0.0 || !std::isfinite(pw)) {

@@ -63,8 +63,9 @@ RecoveringSolveResult solve_with_restart(Solver&& solver,
       return result;
     }
     ++result.restarts;
-    // Restore: re-encode the matrix from the pristine copy and reset u.
-    a = Matrix::from_plain(pristine, a.fault_log(), a.due_policy());
+    // Restore: re-encode the matrix from the pristine copy and reset u,
+    // preserving the tile geometry the faulty copy was configured with.
+    a = Matrix::from_plain(pristine, a.fault_log(), a.due_policy(), a.tile_slots());
     u.assign(u0);
   }
 }

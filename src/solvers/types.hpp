@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "abft/check_policy.hpp"
+#include "common/fault_log.hpp"
 
 namespace abft::solvers {
 
@@ -17,6 +19,12 @@ struct SolveOptions {
   /// Matrix integrity-check cadence (paper §VI-A2). Vectors are always
   /// checked: they change every iteration.
   CheckIntervalPolicy check_policy{1};
+  /// Online controller overriding the static cadence when non-null. The
+  /// instance drives exactly one solve (it carries per-solve state); the
+  /// solver feeds it the committed fault totals of its own logs at each
+  /// iteration's serial point, so decisions are bit-identical at any thread
+  /// or worker count (see AdaptiveCheckPolicy).
+  AdaptiveCheckPolicy* adaptive_policy = nullptr;
   /// Run the end-of-solve whole-matrix verification. Mandatory when the
   /// check interval skips iterations so no error escapes the time-step;
   /// harmless (one extra sweep) otherwise.
@@ -39,5 +47,20 @@ struct SolveResult {
   /// leaves both converged and breakdown false.
   bool breakdown = false;
 };
+
+/// The one iteration -> CheckMode decision point every solver routes
+/// through: the static interval policy, or — when opts.adaptive_policy is
+/// set — the adaptive controller fed with the committed fault totals of the
+/// solve's own logs (\p logs; nulls and aliases are deduplicated). Called
+/// once per iteration from the solver's serial point.
+[[nodiscard]] inline CheckMode
+iteration_check_mode(const SolveOptions& opts, std::uint64_t iter,
+                     std::initializer_list<const FaultLog*> logs) {
+  if (opts.adaptive_policy != nullptr) {
+    return opts.adaptive_policy->begin_iteration(iter,
+                                                 committed_fault_totals(logs));
+  }
+  return opts.check_policy.mode_for_iteration(iter);
+}
 
 }  // namespace abft::solvers

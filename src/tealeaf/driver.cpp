@@ -9,7 +9,8 @@ namespace abft::tealeaf {
 
 RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
                                  unsigned check_interval, FaultLog* log,
-                                 DuePolicy policy, MatrixFormat format) {
+                                 DuePolicy policy, MatrixFormat format,
+                                 std::size_t tile_slots) {
   // TeaLeaf assembles 32-bit operators; the secded128 element-downgrade
   // policy lives in dispatch_uniform_protection. The dispatcher instantiates
   // the callable at both widths, so the 64-bit branch is compiled out.
@@ -19,6 +20,7 @@ RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
         if constexpr (std::is_same_v<Index, std::uint32_t>) {
           Simulation<ES, RS, VS, Fmt> sim(config, log, policy);
           sim.set_check_interval(check_interval);
+          sim.set_tile_slots(tile_slots);
           return sim.run();
         } else {
           throw std::logic_error("run_simulation_uniform: TeaLeaf operators are 32-bit");

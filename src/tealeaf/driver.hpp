@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "abft/protected_csr.hpp"
@@ -60,6 +61,28 @@ class Simulation {
     opts_.check_policy = CheckIntervalPolicy(interval);
   }
 
+  /// Tile geometry for crc32c-tile protected operators (0 = scheme default).
+  /// Validated at the next step()'s encode; ignored by non-tile schemes.
+  void set_tile_slots(std::size_t tile_slots) { tile_slots_ = tile_slots; }
+
+  /// Drive the check cadence with the online AdaptiveCheckPolicy instead of
+  /// the static interval. One controller instance drives one solve, so each
+  /// timestep gets a fresh one; the last step's interval trajectory and the
+  /// cumulative full-check count stay readable for benches and the
+  /// determinism suites.
+  void set_adaptive(AdaptiveConfig cfg = {}) {
+    adaptive_cfg_ = cfg;
+    use_adaptive_ = true;
+  }
+
+  [[nodiscard]] const std::vector<AdaptiveCheckPolicy::IntervalChange>&
+  last_trajectory() const noexcept {
+    return last_trajectory_;
+  }
+  [[nodiscard]] std::uint64_t adaptive_full_checks() const noexcept {
+    return adaptive_checks_;
+  }
+
   [[nodiscard]] Problem& problem() noexcept { return problem_; }
   [[nodiscard]] const solvers::SolveOptions& options() const noexcept { return opts_; }
   [[nodiscard]] solvers::SolveOptions& options() noexcept { return opts_; }
@@ -73,13 +96,16 @@ class Simulation {
     using PM = typename Fmt::template protected_matrix<std::uint32_t, ES, RS>;
     const auto a =
         Fmt::template make_plain<std::uint32_t, ES>(problem_.assemble_matrix());
-    auto pa = PM::from_plain(a, log_, policy_);
+    auto pa = PM::from_plain(a, log_, policy_, tile_slots_);
 
     // b = u_old; initial guess u = u_old.
     ProtectedVector<VS> b(n, log_, policy_);
     ProtectedVector<VS> u(n, log_, policy_);
     b.assign({problem_.u().data(), n});
     u.assign({problem_.u().data(), n});
+
+    AdaptiveCheckPolicy adaptive(adaptive_cfg_);
+    if (use_adaptive_) opts_.adaptive_policy = &adaptive;
 
     Timer solve_timer;
     solvers::SolveResult res;
@@ -102,6 +128,11 @@ class Simulation {
       }
     }
     const double solve_seconds = solve_timer.seconds();
+    if (use_adaptive_) {
+      opts_.adaptive_policy = nullptr;  // the controller dies with this frame
+      last_trajectory_ = adaptive.trajectory();
+      adaptive_checks_ += adaptive.full_checks();
+    }
 
     // Extract the solution and update the energy field.
     u.extract({problem_.u().data(), n});
@@ -133,6 +164,11 @@ class Simulation {
   FaultLog* log_;
   DuePolicy policy_;
   solvers::SolveOptions opts_{};
+  std::size_t tile_slots_ = 0;
+  AdaptiveConfig adaptive_cfg_{};
+  bool use_adaptive_ = false;
+  std::vector<AdaptiveCheckPolicy::IntervalChange> last_trajectory_;
+  std::uint64_t adaptive_checks_ = 0;
 };
 
 /// Convenience: run a full simulation with a *uniform* protection scheme
@@ -142,6 +178,7 @@ class Simulation {
 RunResult run_simulation_uniform(const Config& config, ecc::Scheme scheme,
                                  unsigned check_interval = 1, FaultLog* log = nullptr,
                                  DuePolicy policy = DuePolicy::throw_exception,
-                                 MatrixFormat format = MatrixFormat::csr);
+                                 MatrixFormat format = MatrixFormat::csr,
+                                 std::size_t tile_slots = 0);
 
 }  // namespace abft::tealeaf

@@ -241,22 +241,23 @@ void crc_row_triple_flips_never_ok(int reps = 100) {
 
 /// Tile geometry invariants plus a clean encode/decode round trip, over slab
 /// sizes that hit every tail case (exact multiple, short tail that merges,
-/// long tail that stands alone, sub-tile slabs).
+/// long tail that stands alone, sub-tile slabs) at the given runtime
+/// geometry.
 template <class ES>
-void tile_round_trip() {
+void tile_round_trip(TileGeometry geom = {}) {
   Xoshiro256 rng(41);
-  for (std::size_t total : {std::size_t{4}, std::size_t{5}, std::size_t{63},
-                            std::size_t{64}, std::size_t{65}, std::size_t{67},
-                            std::size_t{68}, std::size_t{128}, std::size_t{131},
-                            std::size_t{200}}) {
-    const std::size_t ntiles = ES::num_tiles(total);
+  const std::size_t s = geom.slots();
+  for (std::size_t total : {std::size_t{4}, std::size_t{5}, s - 1, s, s + 1,
+                            s + 3, s + 4, 2 * s, 2 * s + 3, 3 * s + 8}) {
+    const std::size_t ntiles = geom.num_tiles(total);
     std::size_t covered = 0;
     for (std::size_t t = 0; t < ntiles; ++t) {
-      ASSERT_EQ(ES::tile_begin(t), covered) << "total " << total << " tile " << t;
-      const std::size_t slots = ES::tile_slots(t, total);
+      ASSERT_EQ(geom.tile_begin(t), covered) << "total " << total << " tile " << t;
+      const std::size_t slots = geom.tile_slots(t, total);
       ASSERT_GE(slots, 4u) << "total " << total << " tile " << t;
+      ASSERT_LE(slots, geom.max_tile_span()) << "total " << total << " tile " << t;
       for (std::size_t k = covered; k < covered + slots; ++k) {
-        ASSERT_EQ(ES::tile_of(k, total), t) << "total " << total << " slot " << k;
+        ASSERT_EQ(geom.tile_of(k, total), t) << "total " << total << " slot " << k;
       }
       covered += slots;
     }
@@ -265,13 +266,14 @@ void tile_round_trip() {
     auto slab = make_crc_row<ES>(total, rng);
     const auto original = slab;
     for (std::size_t t = 0; t < ntiles; ++t) {
-      ES::encode_tile(slab.values.data() + ES::tile_begin(t),
-                      slab.cols.data() + ES::tile_begin(t), ES::tile_slots(t, total));
+      ES::encode_tile(slab.values.data() + geom.tile_begin(t),
+                      slab.cols.data() + geom.tile_begin(t),
+                      geom.tile_slots(t, total));
     }
     for (std::size_t t = 0; t < ntiles; ++t) {
-      EXPECT_EQ(ES::decode_tile(slab.values.data() + ES::tile_begin(t),
-                                slab.cols.data() + ES::tile_begin(t),
-                                ES::tile_slots(t, total)),
+      EXPECT_EQ(ES::decode_tile(slab.values.data() + geom.tile_begin(t),
+                                slab.cols.data() + geom.tile_begin(t),
+                                geom.tile_slots(t, total)),
                 CheckOutcome::ok)
           << "total " << total << " tile " << t;
     }
@@ -286,19 +288,22 @@ void tile_round_trip() {
 /// checksum bytes in a tile's first four slots — must be corrected and the
 /// whole slab restored bit-exactly; flips in the unused spare top bytes of
 /// slots 4+ of a tile are invisible (reads mask). The default slab size
-/// exercises a merged tail tile (64 + 3 slots).
+/// (geometry + 3 slots) exercises a merged tail tile.
 template <class ES>
-void tile_single_flips(std::size_t total = 67, unsigned bit_step = 3) {
+void tile_single_flips(TileGeometry geom = {}, std::size_t total = 0,
+                       unsigned bit_step = 3) {
   using Index = typename ES::index_type;
   constexpr unsigned kIndexBits = std::numeric_limits<Index>::digits;
-  const std::size_t ntiles = ES::num_tiles(total);
+  if (total == 0) total = geom.slots() + 3;
+  const std::size_t ntiles = geom.num_tiles(total);
   Xoshiro256 rng(43);
   for (std::size_t k = 0; k < total; ++k) {
     for (unsigned bit = 0; bit < 64 + kIndexBits; bit += bit_step) {
       auto slab = make_crc_row<ES>(total, rng);
       for (std::size_t t = 0; t < ntiles; ++t) {
-        ES::encode_tile(slab.values.data() + ES::tile_begin(t),
-                        slab.cols.data() + ES::tile_begin(t), ES::tile_slots(t, total));
+        ES::encode_tile(slab.values.data() + geom.tile_begin(t),
+                        slab.cols.data() + geom.tile_begin(t),
+                        geom.tile_slots(t, total));
       }
       const auto clean = slab;
       if (bit < 64) {
@@ -306,12 +311,12 @@ void tile_single_flips(std::size_t total = 67, unsigned bit_step = 3) {
       } else {
         slab.cols[k] = static_cast<Index>(flip_bit(slab.cols[k], bit - 64));
       }
-      const std::size_t t = ES::tile_of(k, total);
-      const std::size_t slot_in_tile = k - ES::tile_begin(t);
+      const std::size_t t = geom.tile_of(k, total);
+      const std::size_t slot_in_tile = k - geom.tile_begin(t);
       const bool unused_spare = bit >= 64 + ES::kColBits && slot_in_tile >= 4;
-      EXPECT_EQ(ES::decode_tile(slab.values.data() + ES::tile_begin(t),
-                                slab.cols.data() + ES::tile_begin(t),
-                                ES::tile_slots(t, total)),
+      EXPECT_EQ(ES::decode_tile(slab.values.data() + geom.tile_begin(t),
+                                slab.cols.data() + geom.tile_begin(t),
+                                geom.tile_slots(t, total)),
                 unused_spare ? CheckOutcome::ok : CheckOutcome::corrected)
           << "slot " << k << " bit " << bit;
       if (unused_spare) continue;
@@ -326,10 +331,10 @@ void tile_single_flips(std::size_t total = 67, unsigned bit_step = 3) {
 }
 
 /// Triple flips inside one tile must never pass as clean (HD >= 4 for the
-/// tile codeword sizes in use).
+/// tile codeword sizes in use, every runtime geometry included).
 template <class ES>
-void tile_triple_flips_never_ok(int reps = 100) {
-  constexpr std::size_t kTotal = 64;
+void tile_triple_flips_never_ok(int reps = 100, TileGeometry geom = {}) {
+  const std::size_t kTotal = geom.slots();
   Xoshiro256 rng(47);
   for (int rep = 0; rep < reps; ++rep) {
     auto slab = make_crc_row<ES>(kTotal, rng);
@@ -577,20 +582,21 @@ template <class PM>
 ///   - None: the codecs report nothing (structural range guards may fire).
 template <class PM>
 void container_exhaustive_flip_sweep(const typename PM::plain_type& a,
-                                     ContainerRegion which) {
+                                     ContainerRegion which,
+                                     std::size_t tile_slots = 0) {
   const ecc::Scheme scheme = which == ContainerRegion::structure
                                  ? PM::struct_scheme::kScheme
                                  : PM::elem_scheme::kScheme;
   const auto expected = expected_single_flip(scheme);
   std::size_t nbits = 0;
   {
-    auto probe = PM::from_plain(a);
+    auto probe = PM::from_plain(a, nullptr, DuePolicy::throw_exception, tile_slots);
     nbits = container_region_bytes(probe, which).size() * 8;
   }
   ASSERT_GT(nbits, 0u);
   for (std::size_t bit = 0; bit < nbits; ++bit) {
     FaultLog log;
-    auto p = PM::from_plain(a, &log, DuePolicy::record_only);
+    auto p = PM::from_plain(a, &log, DuePolicy::record_only, tile_slots);
     faults::flip_bit(container_region_bytes(p, which), bit);
     const std::size_t failures = p.verify_all();
     if (expected == CheckOutcome::corrected) {
@@ -784,7 +790,8 @@ template <class ES>
 void tile_exhaustive_double_flips(std::size_t total = 8) {
   using Index = typename ES::index_type;
   const unsigned kElemBits = 64 + std::numeric_limits<Index>::digits;
-  ASSERT_EQ(ES::num_tiles(total), 1u) << "sweep expects a single tile";
+  ASSERT_LE(total, TileGeometry::kMinSlots)
+      << "sweep expects a single (sub-tile) slab at every runtime geometry";
   Xoshiro256 rng(59);
   auto clean = make_crc_row<ES>(total, rng);
   ES::encode_tile(clean.values.data(), clean.cols.data(), total);
@@ -837,7 +844,8 @@ void tile_exhaustive_double_flips(std::size_t total = 8) {
 /// no pair XOR is a single" over data bits plus the 32 stored checksum bits
 /// therefore covers every pair without decoding ~19M corrupted tiles.
 template <class ES>
-void crc_tile_syndrome_space_double_flips(std::size_t slots = ES::kTileSlots) {
+void crc_tile_syndrome_space_double_flips(
+    std::size_t slots = TileGeometry::kDefaultSlots) {
   using Index = typename ES::index_type;
   const std::size_t nbytes = slots * (8 + sizeof(Index));
   std::vector<std::uint8_t> buf(nbytes, 0);

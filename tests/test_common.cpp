@@ -154,6 +154,20 @@ TEST(CheckPolicy, IntervalSchedule) {
   EXPECT_EQ(zero.interval(), 1u);
 }
 
+// Regression: interval 0 must clamp to 1 ("check at least every iteration"),
+// not divide by zero in mode_for_iteration or silently disable checking.
+// The CLI layers (--check-interval, bench --intervals) rely on this clamp
+// instead of re-validating the flag value.
+TEST(CheckPolicy, ZeroIntervalClampsToEveryIteration) {
+  const CheckIntervalPolicy zero(0);
+  const CheckIntervalPolicy one(1);
+  EXPECT_EQ(zero.interval(), one.interval());
+  EXPECT_FALSE(zero.requires_final_sweep());
+  for (std::uint64_t it = 0; it < 16; ++it) {
+    EXPECT_EQ(zero.mode_for_iteration(it), CheckMode::full);
+  }
+}
+
 TEST(ErrorCaptureTest, CommitsToLogAndThrows) {
   ErrorCapture capture;
   capture.add_checks(10);

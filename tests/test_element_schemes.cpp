@@ -76,6 +76,31 @@ TYPED_TEST(TileGranularElementScheme, GeometryPartitionsAndRoundTrips) {
   scheme_matrix::tile_round_trip<TypeParam>();
 }
 
+// Runtime tile geometry: the partition/tail-fold/round-trip contract holds at
+// every supported tile size, not just the default.
+TYPED_TEST(TileGranularElementScheme, GeometryContractHoldsAtEverySize) {
+  for (std::size_t slots : {16u, 32u, 64u, 128u, 256u}) {
+    SCOPED_TRACE(slots);
+    scheme_matrix::tile_round_trip<TypeParam>(TileGeometry(slots));
+  }
+}
+
+TYPED_TEST(TileGranularElementScheme, SingleFlipCorrectedAtEveryGeometry) {
+  // Step the flipped bit coarsely; the default-geometry test covers the
+  // dense sweep, this one covers the tail-fold boundaries per size.
+  for (std::size_t slots : {16u, 32u, 128u, 256u}) {
+    SCOPED_TRACE(slots);
+    scheme_matrix::tile_single_flips<TypeParam>(TileGeometry(slots), 0, 17);
+  }
+}
+
+TYPED_TEST(TileGranularElementScheme, TripleFlipNeverOkAtEveryGeometry) {
+  for (std::size_t slots : {16u, 32u, 128u, 256u}) {
+    SCOPED_TRACE(slots);
+    scheme_matrix::tile_triple_flips_never_ok<TypeParam>(25, TileGeometry(slots));
+  }
+}
+
 TYPED_TEST(TileGranularElementScheme, SingleFlipAnywhereInSlabIsCorrected) {
   scheme_matrix::tile_single_flips<TypeParam>();
 }
@@ -108,7 +133,8 @@ TEST(ElemSchemeLimits, ColumnMasksMatchPaperConstraints) {
   EXPECT_EQ(schemes::ElemCrc32cTile<std::uint64_t>::kColMask,
             schemes::ElemCrc32c<std::uint64_t>::kColMask);
   EXPECT_EQ(ElemCrc32cTile::kMinRowNnz, 4u);
-  EXPECT_EQ(ElemCrc32cTile::kTileSlots, 64u);
+  EXPECT_EQ(ElemCrc32cTile::kDefaultTileSlots, 64u);
+  EXPECT_EQ(TileGeometry{}.slots(), 64u);
 }
 
 TEST(ElemSchemeLimits, SecdedCodewordsMatchPaperLayouts) {

@@ -71,6 +71,20 @@ void sweep_element_regions(MatrixFormat fmt, IndexWidth width, ecc::Scheme es) {
         const auto a = small_plain<Fmt, Index, ES>();
         scheme_matrix::container_exhaustive_flip_sweep<PM>(a, ContainerRegion::values);
         scheme_matrix::container_exhaustive_flip_sweep<PM>(a, ContainerRegion::cols);
+        if (es == ecc::Scheme::crc32c_tile) {
+          // The tile partition is now a runtime choice: repeat the whole
+          // sweep at a non-default geometry so every slab format proves the
+          // contract at both ends of the size range, per width (16 exercises
+          // maximal tail folding, 128 the widest codewords this slab forms).
+          for (const std::size_t slots : {std::size_t{16}, std::size_t{128}}) {
+            SCOPED_TRACE("tile-slots=" + std::to_string(slots));
+            scheme_matrix::container_exhaustive_flip_sweep<PM>(
+                a, ContainerRegion::values, slots);
+            scheme_matrix::container_exhaustive_flip_sweep<PM>(
+                a, ContainerRegion::cols, slots);
+            if (::testing::Test::HasFailure()) return;
+          }
+        }
       });
     });
   });

@@ -226,4 +226,110 @@ INSTANTIATE_TEST_SUITE_P(
       return name.substr(0, name.find('.'));
     });
 
+// --- Protection advisor: fault-rate and budget inputs folded into a full
+// (format, scheme, interval, tile-slots) recommendation. advise_protection
+// is a pure function of (stats, inputs), so these lock exact outputs. ---
+
+TEST(ProtectionAdvisor, QuietMachineAmortisesWithCorrection) {
+  const auto stats = io::analyze(sparse::laplacian_2d(16, 16));  // ell shape
+  const auto a = io::advise_protection(stats, {});               // rate 0, budget 10%
+  EXPECT_EQ(a.format.format, MatrixFormat::ell);
+  EXPECT_EQ(a.scheme, ecc::Scheme::secded64);
+  EXPECT_EQ(a.check_interval, 8u);
+  EXPECT_EQ(a.tile_slots, 0u);
+  EXPECT_NE(a.rationale.find("faults/Mcheck"), std::string::npos);
+  EXPECT_NE(a.rationale.find("secded64"), std::string::npos);
+  EXPECT_NE(a.rationale.find("corrects 1"), std::string::npos);
+}
+
+TEST(ProtectionAdvisor, TightBudgetBuysDetectOnlyAtWideIntervals) {
+  const auto stats = io::analyze(sparse::laplacian_2d(16, 16));
+  const auto a = io::advise_protection(stats, {.overhead_budget = 0.04});
+  EXPECT_EQ(a.scheme, ecc::Scheme::sed);
+  EXPECT_EQ(a.check_interval, 16u);
+  EXPECT_NE(a.rationale.find("4.0%"), std::string::npos);
+}
+
+TEST(ProtectionAdvisor, ActiveRateTightensToEveryIteration) {
+  const auto stats = io::analyze(sparse::laplacian_2d(16, 16));
+  const auto mid = io::advise_protection(stats, {.faults_per_million_checks = 5.0});
+  EXPECT_EQ(mid.scheme, ecc::Scheme::secded64);
+  EXPECT_EQ(mid.check_interval, 2u);
+  const auto hot = io::advise_protection(stats, {.faults_per_million_checks = 10.0});
+  EXPECT_EQ(hot.scheme, ecc::Scheme::secded64);
+  EXPECT_EQ(hot.check_interval, 1u);
+}
+
+TEST(ProtectionAdvisor, StormOnASlabGetsSmallTileCrc) {
+  const auto stats = io::analyze(sparse::laplacian_2d(16, 16));
+  const auto a = io::advise_protection(stats, {.faults_per_million_checks = 150.0});
+  EXPECT_EQ(a.scheme, ecc::Scheme::crc32c_tile);
+  EXPECT_EQ(a.check_interval, 1u);
+  // 32-slot tiles keep the CRC inside its HD=6 span: detects 5-bit flips.
+  EXPECT_EQ(a.tile_slots, 32u);
+  EXPECT_NE(a.rationale.find("detects 5"), std::string::npos);
+  EXPECT_NE(a.rationale.find("32-slot tiles"), std::string::npos);
+}
+
+TEST(ProtectionAdvisor, StormOnCsrGetsRowCrc) {
+  const auto stats = io::analyze(arrowhead(24));  // csr shape
+  const auto a = io::advise_protection(stats, {.faults_per_million_checks = 150.0});
+  EXPECT_EQ(a.format.format, MatrixFormat::csr);
+  EXPECT_EQ(a.scheme, ecc::Scheme::crc32c);  // no slab, no tiles
+  EXPECT_EQ(a.tile_slots, 0u);
+  EXPECT_EQ(a.check_interval, 1u);
+}
+
+TEST(ProtectionAdvisor, UncorrectableObservationTrumpsARateOfZero) {
+  const auto stats = io::analyze(sparse::laplacian_2d(16, 16));
+  const auto a = io::advise_protection(stats, {.saw_uncorrectable = true});
+  EXPECT_EQ(a.scheme, ecc::Scheme::crc32c_tile);
+  EXPECT_EQ(a.tile_slots, 32u);
+  EXPECT_EQ(a.check_interval, 1u);
+  EXPECT_NE(a.rationale.find("failed to repair"), std::string::npos);
+}
+
+// Locked full recommendations for the committed fixtures: the same inputs
+// must keep producing the same (format, scheme, interval, tile-slots).
+struct FixtureProtection {
+  const char* file;
+  io::ProtectionInputs inputs;
+  MatrixFormat format;
+  ecc::Scheme scheme;
+  unsigned interval;
+  std::size_t tile_slots;
+};
+
+class FixtureProtectionTest : public ::testing::TestWithParam<FixtureProtection> {};
+
+TEST_P(FixtureProtectionTest, FullRecommendationIsLocked) {
+  const auto& p = GetParam();
+  const auto loaded = io::read_matrix_market(fixture(p.file));
+  ASSERT_FALSE(loaded.wide());
+  const auto a = io::advise_protection(io::analyze(loaded.a32), p.inputs);
+  EXPECT_EQ(a.format.format, p.format) << a.rationale;
+  EXPECT_EQ(a.scheme, p.scheme) << a.rationale;
+  EXPECT_EQ(a.check_interval, p.interval) << a.rationale;
+  EXPECT_EQ(a.tile_slots, p.tile_slots) << a.rationale;
+  EXPECT_FALSE(a.rationale.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFixtures, FixtureProtectionTest,
+    ::testing::Values(
+        FixtureProtection{"spd_mini.mtx", {}, MatrixFormat::ell,
+                          ecc::Scheme::secded64, 8, 0},
+        FixtureProtection{"spd_mini.mtx", {.faults_per_million_checks = 200.0},
+                          MatrixFormat::ell, ecc::Scheme::crc32c_tile, 1, 32},
+        FixtureProtection{"longtail.mtx", {.faults_per_million_checks = 200.0},
+                          MatrixFormat::csr, ecc::Scheme::crc32c, 1, 0},
+        FixtureProtection{"blocks.mtx", {.saw_uncorrectable = true},
+                          MatrixFormat::sell, ecc::Scheme::crc32c_tile, 1, 32},
+        FixtureProtection{"longtail.mtx", {.overhead_budget = 0.03},
+                          MatrixFormat::csr, ecc::Scheme::sed, 16, 0}),
+    [](const auto& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.')) + "_" + std::to_string(info.index);
+    });
+
 }  // namespace

@@ -378,6 +378,10 @@ struct FleetRun {
   std::vector<unsigned> iterations;               ///< per request
   std::vector<bool> converged, breakdown;         ///< per request
   LogState matrix_log;                            ///< the shared, ordered log
+  /// Per batch (by sequence number), the adaptive controller's trajectory
+  /// and check count — empty unless the adaptive leg is on.
+  std::vector<std::vector<AdaptiveCheckPolicy::IntervalChange>> trajectories;
+  std::vector<std::uint64_t> full_checks;
 };
 
 struct FleetRequest {
@@ -390,9 +394,10 @@ struct FleetRequest {
 /// composition is pinned to [s*k, (s+1)*k) — the determinism contract is
 /// about *worker scheduling*, not about racing producers into the queue.
 template <class PM>
-FleetRun run_fleet(std::size_t nworkers, FleetFault fault) {
+FleetRun run_fleet(std::size_t nworkers, FleetFault fault, bool adaptive = false) {
   constexpr std::size_t kTotal = 14;
   constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kBatches = (kTotal + kBatch - 1) / kBatch;
   constexpr std::size_t kFaultTenant = 3;
   using ES = typename PM::elem_scheme;
 
@@ -427,11 +432,15 @@ FleetRun run_fleet(std::size_t nworkers, FleetFault fault) {
   run.iterations.resize(kTotal);
   run.converged.resize(kTotal);
   run.breakdown.resize(kTotal);
+  run.trajectories.resize(kBatches);
+  run.full_checks.resize(kBatches, 0);
 
   struct Outcome {
     std::unique_ptr<FaultLog> mlog;
     std::vector<solvers::SolveResult> results;
     std::vector<std::vector<std::uint64_t>> ubits;
+    std::vector<AdaptiveCheckPolicy::IntervalChange> trajectory;
+    std::uint64_t full_checks = 0;
   };
   service::WorkerPool pool(
       nworkers,
@@ -456,7 +465,17 @@ FleetRun run_fleet(std::size_t nworkers, FleetFault fault) {
             reinterpret_cast<std::uint64_t&>(bj.raw()[1]) ^= 1ull << 44;
           }
         }
-        out.results = solvers::cg_solve_batch(view, b, u, opts);
+        // Each concurrent batch solve gets its own fresh controller: the
+        // policy carries per-solve state, so sharing one instance across
+        // workers would race (and break the once-per-iteration contract).
+        AdaptiveCheckPolicy controller;
+        auto batch_opts = opts;
+        if (adaptive) batch_opts.adaptive_policy = &controller;
+        out.results = solvers::cg_solve_batch(view, b, u, batch_opts);
+        if (adaptive) {
+          out.trajectory = controller.trajectory();
+          out.full_checks = controller.full_checks();
+        }
         out.ubits.resize(batch.size());
         std::vector<double> got(n, 0.0);
         for (std::size_t j = 0; j < batch.size(); ++j) {
@@ -468,11 +487,13 @@ FleetRun run_fleet(std::size_t nworkers, FleetFault fault) {
         }
         return out;
       },
-      [&](std::uint64_t, std::vector<FleetRequest*>& batch, Outcome& out) {
+      [&](std::uint64_t seq, std::vector<FleetRequest*>& batch, Outcome& out) {
         service::MatrixLogView<PM> view(pm, out.mlog.get(),
                                         DuePolicy::record_only);
         (void)view.verify_all();
         shared_mlog.append_from(*out.mlog);
+        run.trajectories[seq] = std::move(out.trajectory);
+        run.full_checks[seq] = out.full_checks;
         for (std::size_t j = 0; j < batch.size(); ++j) {
           const std::size_t id = batch[j]->id;
           run.ubits[id] = std::move(out.ubits[j]);
@@ -490,8 +511,9 @@ FleetRun run_fleet(std::size_t nworkers, FleetFault fault) {
 }
 
 template <class PM>
-void expect_fleet_determinism(FleetFault fault, const char* what) {
-  const auto reference = run_fleet<PM>(1, fault);
+void expect_fleet_determinism(FleetFault fault, const char* what,
+                              bool adaptive = false) {
+  const auto reference = run_fleet<PM>(1, fault, adaptive);
   // Sanity: the matrix log actually carries traffic (checks per batch pass).
   ASSERT_GT(reference.matrix_log.checks, 0u) << what;
   if (fault == FleetFault::matrix_due) {
@@ -504,8 +526,13 @@ void expect_fleet_determinism(FleetFault fault, const char* what) {
       if (i != 3) EXPECT_EQ(reference.tenant_logs[i].corrected, 0u) << what;
     }
   }
+  if (adaptive) {
+    // The controller must have decided something per batch, and a faulty
+    // matrix must have pinned at least one batch's cadence to the floor.
+    for (const auto& t : reference.trajectories) ASSERT_FALSE(t.empty()) << what;
+  }
   for (const std::size_t w : {std::size_t{2}, std::size_t{4}}) {
-    const auto got = run_fleet<PM>(w, fault);
+    const auto got = run_fleet<PM>(w, fault, adaptive);
     for (std::size_t id = 0; id < reference.ubits.size(); ++id) {
       ASSERT_EQ(got.ubits[id], reference.ubits[id])
           << what << ": solution bits, request " << id << " at " << w
@@ -516,6 +543,14 @@ void expect_fleet_determinism(FleetFault fault, const char* what) {
       expect_same_log(got.tenant_logs[id], reference.tenant_logs[id], what);
     }
     expect_same_log(got.matrix_log, reference.matrix_log, what);
+    ASSERT_EQ(got.full_checks, reference.full_checks)
+        << what << ": adaptive check counts at " << w << " workers";
+    ASSERT_EQ(got.trajectories.size(), reference.trajectories.size()) << what;
+    for (std::size_t s = 0; s < got.trajectories.size(); ++s) {
+      ASSERT_TRUE(got.trajectories[s] == reference.trajectories[s])
+          << what << ": batch " << s << " interval trajectory at " << w
+          << " workers";
+    }
   }
 }
 
@@ -533,6 +568,19 @@ TEST(ThreadStress, FleetIsWorkerCountInvariantWithUncorrectableMatrixFault) {
   // function of the request set — at any worker count.
   using PmSed = ProtectedCsr<std::uint32_t, ElemSed, RowSed>;
   expect_fleet_determinism<PmSed>(FleetFault::matrix_due, "matrix DUE");
+}
+
+TEST(ThreadStress, FleetIsWorkerCountInvariantWithAdaptiveController) {
+  // Adaptive cadence in the fleet: one fresh controller per batch solve, fed
+  // only by that batch's committed per-solve logs — so each batch's interval
+  // trajectory, the check counts, and every solution bit are identical at 1,
+  // 2 and 4 workers, clean and with an uncorrectable matrix fault pinning
+  // the cadence.
+  expect_fleet_determinism<Pm32>(FleetFault::none, "adaptive clean",
+                                 /*adaptive=*/true);
+  using PmSed = ProtectedCsr<std::uint32_t, ElemSed, RowSed>;
+  expect_fleet_determinism<PmSed>(FleetFault::matrix_due, "adaptive matrix DUE",
+                                  /*adaptive=*/true);
 }
 
 // ---------------------------------------------------------------------------

@@ -623,6 +623,104 @@ TEST(ThreadDeterminism, CgSolveBatchIsBitwiseThreadCountInvariant) {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive-controller leg: with AdaptiveCheckPolicy driving the check
+// cadence, the interval trajectory is a pure function of the committed
+// fault counts — so solution bits, residuals, fault logs, check counts AND
+// the trajectory itself must be identical at every thread count, with obs
+// on or off, clean and faulty alike.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadDeterminism, AdaptiveCgSolveIsBitwiseThreadCountInvariant) {
+  ThreadCountGuard guard;
+  struct ObsGuard {
+    ~ObsGuard() { obs::set_enabled(true); }
+  } obs_guard;
+  const auto a = sparse::laplacian_2d(20, 20);
+  struct Run {
+    std::vector<std::uint64_t> ubits;
+    std::vector<double> residuals;
+    unsigned iterations = 0;
+    std::uint64_t full_checks = 0;
+    std::vector<AdaptiveCheckPolicy::IntervalChange> trajectory;
+    LogState mat, vec;
+  };
+  const auto run_cg = [&](bool faulty) {
+    FaultLog mlog, vlog;
+    auto pa = ProtectedCsr<std::uint32_t, ElemSecded, RowSecded64>::from_csr(
+        a, &mlog, DuePolicy::record_only);
+    if (faulty) {
+      flip_value_bit(pa, 64 * 500 + 11);   // corrected early: pins the interval
+      flip_value_bit(pa, 64 * 1800 + 40);  // second chunk, same sweep
+    }
+    ProtectedVector<VecSecded64> b(a.nrows(), &vlog, DuePolicy::record_only);
+    ProtectedVector<VecSecded64> u(a.nrows(), &vlog, DuePolicy::record_only);
+    fill(b, 1.0);
+    fill(u, 0.0);
+    AdaptiveCheckPolicy adaptive;  // fresh per solve: it carries solve state
+    solvers::SolveOptions opts;
+    opts.tolerance = 1e-9;
+    opts.adaptive_policy = &adaptive;
+    Run run;
+    opts.residual_history = &run.residuals;
+    const auto res = solvers::cg_solve(pa, b, u, opts);
+    EXPECT_TRUE(res.converged);
+    run.iterations = res.iterations;
+    run.full_checks = adaptive.full_checks();
+    run.trajectory = adaptive.trajectory();
+    std::vector<double> got(a.nrows());
+    u.extract({got.data(), got.size()});
+    for (double v : got) run.ubits.push_back(double_to_bits(v));
+    run.mat = LogState::of(mlog);
+    run.vec = LogState::of(vlog);
+    return run;
+  };
+  for (const bool faulty : {false, true}) {
+    omp_set_num_threads(1);
+    obs::set_enabled(true);
+    const Run reference = run_cg(faulty);
+    EXPECT_GT(reference.mat.checks + reference.vec.checks, 0u);
+    // A quiet solve must actually widen, and full checks must stay below
+    // one-per-iteration — otherwise this leg proves nothing about skipping.
+    if (!faulty) {
+      ASSERT_GE(reference.trajectory.size(), 2u);
+      EXPECT_LT(reference.full_checks, std::uint64_t{reference.iterations});
+    }
+    for (int nthreads : kThreadCounts) {
+      for (const bool obs_on : {true, false}) {
+        omp_set_num_threads(nthreads);
+        obs::set_enabled(obs_on);
+        const Run run = run_cg(faulty);
+        EXPECT_EQ(run.iterations, reference.iterations)
+            << nthreads << " threads, obs " << obs_on;
+        EXPECT_EQ(run.full_checks, reference.full_checks)
+            << nthreads << " threads, obs " << obs_on;
+        ASSERT_EQ(run.trajectory.size(), reference.trajectory.size())
+            << nthreads << " threads, obs " << obs_on;
+        for (std::size_t i = 0; i < run.trajectory.size(); ++i) {
+          ASSERT_TRUE(run.trajectory[i] == reference.trajectory[i])
+              << "trajectory step " << i << " at " << nthreads << " threads, obs "
+              << obs_on;
+        }
+        ASSERT_EQ(run.ubits.size(), reference.ubits.size());
+        for (std::size_t i = 0; i < run.ubits.size(); ++i) {
+          ASSERT_EQ(run.ubits[i], reference.ubits[i])
+              << "u[" << i << "] at " << nthreads << " threads, obs " << obs_on;
+        }
+        ASSERT_EQ(run.residuals.size(), reference.residuals.size());
+        for (std::size_t i = 0; i < run.residuals.size(); ++i) {
+          ASSERT_EQ(double_to_bits(run.residuals[i]),
+                    double_to_bits(reference.residuals[i]))
+              << "residual " << i << " at " << nthreads << " threads, obs "
+              << obs_on;
+        }
+        expect_same_log(run.mat, reference.mat, "adaptive matrix log");
+        expect_same_log(run.vec, reference.vec, "adaptive vector log");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Observability leg: the obs layer only watches the FaultLog commit points,
 // so flipping the runtime switch must not move a single bit of any solver
 // observable, at any thread count, faults included. This is the contract the
